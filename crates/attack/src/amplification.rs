@@ -1,0 +1,95 @@
+//! The traffic-amplification (reflection) attack: requests are small, DNS
+//! answers can be big, and the response goes to whoever the source address
+//! names — a third-party victim (section I, attack strategy 2).
+
+use netsim::engine::{Context, Node};
+use netsim::metrics::TrafficMeter;
+use netsim::packet::Packet;
+
+/// A victim host that just measures what lands on it.
+#[derive(Debug, Default)]
+pub struct Victim {
+    /// Bytes/packets received, by direction (only `rx` is meaningful).
+    pub traffic: TrafficMeter,
+    /// Packets received.
+    pub packets: u64,
+}
+
+impl Victim {
+    /// A fresh victim.
+    pub fn new() -> Self {
+        Victim::default()
+    }
+
+    /// Bandwidth consumed over `elapsed`, in bits per second.
+    pub fn inbound_bps(&self, elapsed: netsim::time::SimTime) -> f64 {
+        if elapsed == netsim::time::SimTime::ZERO {
+            return 0.0;
+        }
+        self.traffic.bytes_in as f64 * 8.0 / elapsed.as_secs_f64()
+    }
+}
+
+impl Node for Victim {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+        self.packets += 1;
+        self.traffic.rx(pkt.wire_size());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
+    use dnswire::record::Record;
+    use netsim::engine::{CpuConfig, Simulator};
+    use netsim::time::SimTime;
+    use server::authoritative::Authority;
+    use server::nodes::AuthNode;
+    use server::zone::ZoneBuilder;
+    use std::net::Ipv4Addr;
+
+    /// An unguarded ANS with a fat TXT record amplifies spoofed requests
+    /// onto the victim by several ×; the paper cites up to 10×.
+    #[test]
+    fn unguarded_ans_amplifies_onto_victim() {
+        let ans_ip = Ipv4Addr::new(192, 0, 2, 53);
+        let victim_ip = Ipv4Addr::new(203, 0, 113, 9);
+        // A name with a fat RRset: 30 addresses ≈ 480 bytes of answer for a
+        // ~50-byte request.
+        let mut builder = ZoneBuilder::new("foo.com".parse().unwrap());
+        for i in 0..30u8 {
+            builder = builder.record(Record::a(
+                "big.foo.com".parse().unwrap(),
+                Ipv4Addr::new(10, 10, 10, i),
+                3600,
+            ));
+        }
+        let zone = builder.build();
+
+        let mut sim = Simulator::new(5);
+        sim.add_node(
+            ans_ip,
+            CpuConfig::unbounded(),
+            AuthNode::new(ans_ip, Authority::new(vec![zone])),
+        );
+        let victim = sim.add_node(victim_ip, CpuConfig::unbounded(), Victim::new());
+        sim.add_node(
+            Ipv4Addr::new(66, 6, 6, 6),
+            CpuConfig::unbounded(),
+            SpoofedFlood::new(FloodConfig {
+                target: ans_ip,
+                rate: 10_000.0,
+                sources: SourceStrategy::Fixed(victim_ip),
+                payload: AttackPayload::PlainQuery("big.foo.com".parse().unwrap()),
+                duration: Some(SimTime::from_millis(100)),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(200));
+        let v = sim.node_ref::<Victim>(victim).unwrap();
+        assert!(v.packets > 500, "victim bombarded: {} packets", v.packets);
+        // Request ≈ 57 B on the wire; response ≈ 500+ B → factor > 5.
+        let per_packet = v.traffic.bytes_in as f64 / v.packets as f64;
+        assert!(per_packet > 400.0, "response size {per_packet}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Attack workload generators for the DNS Guard evaluation — the
+//! adversaries of section III.G, as simulator nodes:
+//!
+//! * [`flood`] — open-loop spoofed floods with pluggable payloads: plain
+//!   queries, NS-name cookie guesses, extension-cookie guesses, and the
+//!   `COOKIE2` subnet spray (the 1/R_y attack);
+//! * [`amplification`] — the reflection attack and its measuring victim.
+//!
+//! Non-spoofed ("zombie") floods reuse [`flood::SourceStrategy::Pool`]:
+//! real addresses at high rates, which is exactly what Rate-Limiter2
+//! throttles.
+
+pub mod amplification;
+pub mod flood;
+pub mod prober;
+
+pub use amplification::Victim;
+pub use flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
+pub use prober::{FeedbackProber, ProberConfig};
+
+#[cfg(test)]
+mod guard_attack_tests {
+    //! Attack-vs-guard integration: the claims of section III.G, executed.
+
+    use crate::flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
+    use dnsguard::classify::AuthorityClassifier;
+    use dnsguard::config::{GuardConfig, SchemeMode};
+    use dnsguard::guard::RemoteGuard;
+    use netsim::engine::{CpuConfig, Simulator};
+    use netsim::time::SimTime;
+    use server::authoritative::Authority;
+    use server::nodes::AuthNode;
+    use server::zone::paper_hierarchy;
+    use std::net::Ipv4Addr;
+
+    const PUB: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+    const PRIV: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
+    const SUBNET: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 0);
+
+    fn guarded(seed: u64, zone_idx: usize, mode: SchemeMode) -> (Simulator, netsim::NodeId, netsim::NodeId) {
+        let (root, com, foo) = paper_hierarchy();
+        let zone = [root, com, foo][zone_idx].clone();
+        let authority = Authority::new(vec![zone]);
+        let mut sim = Simulator::new(seed);
+        let config = GuardConfig {
+            subnet_base: SUBNET,
+            ..GuardConfig::new(PUB, PRIV)
+        }
+        .with_mode(mode);
+        let guard = sim.add_node(
+            PUB,
+            CpuConfig::unbounded(),
+            RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+        );
+        sim.add_subnet(SUBNET, 24, guard);
+        let ans = sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
+        (sim, guard, ans)
+    }
+
+    #[test]
+    fn random_ns_cookie_guesses_blocked_at_2_32_rate() {
+        let (mut sim, guard, ans) = guarded(1, 0, SchemeMode::DnsBased);
+        sim.add_node(
+            Ipv4Addr::new(66, 0, 0, 1),
+            CpuConfig::unbounded(),
+            SpoofedFlood::new(FloodConfig {
+                target: PUB,
+                rate: 100_000.0,
+                sources: SourceStrategy::Random,
+                payload: AttackPayload::CookieLabelGuess {
+                    zone_suffix: "com".into(),
+                    parent: dnswire::Name::root(),
+                },
+                duration: Some(SimTime::from_millis(200)),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(300));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(g.stats.ns_cookie_invalid > 15_000);
+        assert_eq!(g.stats.ns_cookie_valid, 0, "2^32 space: ~0 of 20K guesses pass");
+        assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
+    }
+
+    #[test]
+    fn ext_cookie_guesses_blocked_at_2_128_rate() {
+        let (mut sim, guard, ans) = guarded(2, 2, SchemeMode::ModifiedOnly);
+        sim.add_node(
+            Ipv4Addr::new(66, 0, 0, 2),
+            CpuConfig::unbounded(),
+            SpoofedFlood::new(FloodConfig {
+                target: PUB,
+                rate: 100_000.0,
+                sources: SourceStrategy::Random,
+                payload: AttackPayload::ExtCookieGuess("www.foo.com".parse().unwrap()),
+                duration: Some(SimTime::from_millis(200)),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(300));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(g.stats.ext_invalid > 15_000);
+        assert_eq!(g.stats.ext_valid, 0);
+        assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
+    }
+
+    #[test]
+    fn cookie2_spray_succeeds_at_one_over_ry() {
+        // Section III.G: "1/R_y of the attack requests will have a correct
+        // cookie value... This is the worst false negative ratio."
+        let (mut sim, guard, _ans) = guarded(3, 2, SchemeMode::DnsBased);
+        sim.add_node(
+            Ipv4Addr::new(66, 0, 0, 3),
+            CpuConfig::unbounded(),
+            SpoofedFlood::new(FloodConfig {
+                target: PUB,
+                rate: 250_000.0,
+                sources: SourceStrategy::Random,
+                payload: AttackPayload::Cookie2Spray {
+                    qname: "www.foo.com".parse().unwrap(),
+                    subnet_base: SUBNET,
+                    range: 254,
+                },
+                duration: Some(SimTime::from_millis(200)),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(300));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        let seen = g.stats.cookie2_valid + g.stats.cookie2_invalid;
+        assert!(seen > 25_000, "spray arrived: {seen}");
+        let hit_rate = g.stats.cookie2_valid as f64 / seen as f64;
+        let expected = 1.0 / 254.0;
+        assert!(
+            (hit_rate - expected).abs() < expected, // within ±100% of 1/254
+            "hit rate {hit_rate:.5} vs expected {expected:.5}"
+        );
+    }
+
+    #[test]
+    fn zombie_flood_throttled_by_rate_limiter2() {
+        // A zombie with a real address and the correct cookie still gets
+        // per-host limited by Rate-Limiter2 ("not much damage can be done").
+        let (root, _, _) = paper_hierarchy();
+        let authority = Authority::new(vec![root]);
+        let mut sim = Simulator::new(4);
+        let mut config = GuardConfig {
+            subnet_base: SUBNET,
+            ..GuardConfig::new(PUB, PRIV)
+        }
+        .with_mode(SchemeMode::DnsBased);
+        config.rl2_per_source_rate = 100.0; // the "nominal, very low" rate
+        let guard = sim.add_node(
+            PUB,
+            CpuConfig::unbounded(),
+            RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+        );
+        sim.add_subnet(SUBNET, 24, guard);
+        let ans = sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
+
+        let zombie_ip = Ipv4Addr::new(44, 0, 0, 1);
+        struct CookieZombie {
+            me: Ipv4Addr,
+            cookie_hex: String,
+            sent: u64,
+        }
+        impl netsim::engine::Node for CookieZombie {
+            fn on_start(&mut self, ctx: &mut netsim::engine::Context<'_>) {
+                ctx.set_timer(SimTime::ZERO, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut netsim::engine::Context<'_>, _t: u64) {
+                for _ in 0..50 {
+                    self.sent += 1;
+                    let name: dnswire::Name =
+                        format!("PR{}com", self.cookie_hex).parse().unwrap();
+                    let q = dnswire::Message::iterative_query(
+                        (self.sent % 65535) as u16,
+                        name,
+                        dnswire::RrType::A,
+                    );
+                    ctx.send(netsim::Packet::udp(
+                        netsim::Endpoint::new(self.me, 2000),
+                        netsim::Endpoint::new(PUB, 53),
+                        q.encode(),
+                    ));
+                }
+                ctx.set_timer(SimTime::from_millis(1), 0); // 50K req/s
+            }
+            fn on_packet(&mut self, _ctx: &mut netsim::engine::Context<'_>, _p: netsim::Packet) {}
+        }
+        let cookie_hex = sim
+            .node_ref::<RemoteGuard>(guard)
+            .unwrap()
+            .cookie_factory()
+            .generate(zombie_ip)
+            .ns_label_suffix();
+        sim.add_node(
+            zombie_ip,
+            CpuConfig::unbounded(),
+            CookieZombie {
+                me: zombie_ip,
+                cookie_hex,
+                sent: 0,
+            },
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(g.stats.rl2_dropped > 30_000, "rl2 dropped {}", g.stats.rl2_dropped);
+        let served = sim.node_ref::<AuthNode>(ans).unwrap().total_queries();
+        assert!(served < 300, "ANS saw only the nominal rate: {served}");
+    }
+
+    #[test]
+    fn reflection_bounded_by_rate_limiter1() {
+        // A spoofed flood tries to use the guard as a reflector against the
+        // addresses it spoofs; Rate-Limiter1's global budget caps the
+        // response volume no matter how fast the flood.
+        let (mut sim, guard, _ans) = guarded(5, 0, SchemeMode::DnsBased);
+        sim.add_node(
+            Ipv4Addr::new(66, 0, 0, 5),
+            CpuConfig::unbounded(),
+            SpoofedFlood::new(FloodConfig {
+                target: PUB,
+                rate: 200_000.0,
+                sources: SourceStrategy::Random,
+                payload: AttackPayload::PlainQuery("www.foo.com".parse().unwrap()),
+                duration: Some(SimTime::from_secs(1)),
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        // Default global budget: 10K/s. Responses sent ≈ fabricated NS count.
+        assert!(g.stats.rl1_dropped > 150_000, "rl1 dropped {}", g.stats.rl1_dropped);
+        assert!(
+            g.stats.fabricated_ns_sent < 15_000,
+            "responses bounded: {}",
+            g.stats.fabricated_ns_sent
+        );
+        // And what *is* reflected amplifies < 1.5× per the DNS-based bound.
+        assert!(g.traffic_unverified.amplification() < 1.5);
+    }
+}

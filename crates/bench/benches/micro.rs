@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for the guard's hot paths: cookie
+//! computation/verification (the paper's "cookie checker... sustains large
+//! attack rates"), wire encode/decode, and the rate limiters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dnswire::message::Message;
+use dnswire::record::Record;
+use dnswire::types::RrType;
+use guardhash::cookie::CookieFactory;
+use guardhash::md5::md5;
+use netsim::time::SimTime;
+use netsim::tokenbucket::TokenBucket;
+use std::net::Ipv4Addr;
+
+fn bench_md5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("md5");
+    // The paper's exact input shape: 80 bytes (4-byte IP + 76-byte key).
+    let input = [0x5Au8; 80];
+    g.throughput(Throughput::Bytes(input.len() as u64));
+    g.bench_function("digest_80B", |b| b.iter(|| md5(black_box(&input))));
+    g.finish();
+}
+
+fn bench_cookie(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cookie");
+    let factory = CookieFactory::from_seed(2006);
+    let ip = Ipv4Addr::new(192, 0, 2, 53);
+    let cookie = factory.generate(ip);
+    let suffix = cookie.ns_label_suffix();
+
+    g.bench_function("generate", |b| b.iter(|| factory.generate(black_box(ip))));
+    g.bench_function("verify_full", |b| {
+        b.iter(|| factory.verify(black_box(ip), black_box(&cookie)))
+    });
+    g.bench_function("verify_ns_suffix", |b| {
+        b.iter(|| factory.verify_ns_suffix(black_box(ip), black_box(&suffix)))
+    });
+    g.bench_function("verify_reject", |b| {
+        let wrong = factory.generate(Ipv4Addr::new(1, 1, 1, 1));
+        b.iter(|| factory.verify(black_box(ip), black_box(&wrong)))
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let query = Message::iterative_query(7, "www.foo.com".parse().unwrap(), RrType::A);
+    let mut referral = query.response();
+    referral
+        .authorities
+        .push(Record::ns("com".parse().unwrap(), "a.gtld-servers.net".parse().unwrap(), 172_800));
+    referral.additionals.push(Record::a(
+        "a.gtld-servers.net".parse().unwrap(),
+        Ipv4Addr::new(192, 5, 6, 30),
+        172_800,
+    ));
+    let query_wire = query.encode();
+    let referral_wire = referral.encode();
+
+    g.bench_function("encode_query", |b| b.iter(|| black_box(&query).encode()));
+    g.bench_function("encode_referral", |b| b.iter(|| black_box(&referral).encode()));
+    g.bench_function("decode_query", |b| b.iter(|| Message::decode(black_box(&query_wire))));
+    g.bench_function("decode_referral", |b| {
+        b.iter(|| Message::decode(black_box(&referral_wire)))
+    });
+    g.finish();
+}
+
+fn bench_ratelimit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ratelimit");
+    g.bench_function("token_bucket_take", |b| {
+        let mut tb = TokenBucket::new(1e9, 1e6);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1_000;
+            tb.try_take(SimTime::from_nanos(t))
+        })
+    });
+    g.bench_function("source_limiter_admit", |b| {
+        let mut rl = dnsguard::ratelimit::SourceRateLimiter::new(1e9, 1e6);
+        let mut t = 0u64;
+        let mut ip = 0u32;
+        b.iter(|| {
+            t += 1_000;
+            ip = ip.wrapping_add(0x01000193);
+            rl.admit(SimTime::from_nanos(t), Ipv4Addr::from(ip % 4096))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_md5, bench_cookie, bench_wire, bench_ratelimit);
+criterion_main!(benches);

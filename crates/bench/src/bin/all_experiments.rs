@@ -1,0 +1,145 @@
+//! Runs every table and figure of the paper's evaluation in sequence.
+//! This is the command behind `EXPERIMENTS.md`.
+
+use bench::experiments::*;
+use bench::report::{kreq, ms, pct, render_table};
+
+fn main() {
+    println!("== DNS Guard reproduction: full evaluation ==\n");
+
+    // Table I.
+    let t1 = table1_comparison();
+    let rows: Vec<Vec<String>> = t1
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.to_string(),
+                format!("{:.1}", r.worst_latency_rtt),
+                format!("{:.1}", r.best_latency_rtt),
+                r.cookie_range.to_string(),
+                format!("{:.0}%", (r.amplification - 1.0) * 100.0),
+                r.deployment.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table I — scheme comparison (measured)",
+            &["Scheme", "Worst RTTs", "Best RTTs", "Range", "Amp", "Deployment"],
+            &rows,
+        )
+    );
+
+    // Table II.
+    let t2 = table2_latency();
+    let rows: Vec<Vec<String>> = t2
+        .iter()
+        .map(|r| vec![r.scheme.label().to_string(), ms(r.miss_ms), ms(r.hit_ms)])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table II — request latency (ms), RTT 10.9 ms",
+            &["Scheme", "Cache miss", "Cache hit"],
+            &rows,
+        )
+    );
+
+    // Table III.
+    let t3 = table3_throughput();
+    let rows: Vec<Vec<String>> = t3
+        .iter()
+        .map(|r| vec![r.scheme.label().to_string(), kreq(r.miss), kreq(r.hit)])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table III — guard throughput (req/s)",
+            &["Scheme", "Cache miss", "Cache hit"],
+            &rows,
+        )
+    );
+
+    // Figure 5.
+    let rates5: Vec<f64> = (0..=8).map(|i| i as f64 * 2_000.0).collect();
+    let f5_on = fig5_bind_attack(true, &rates5);
+    let f5_off = fig5_bind_attack(false, &rates5);
+    let rows: Vec<Vec<String>> = f5_on
+        .iter()
+        .zip(f5_off.iter())
+        .map(|(e, d)| {
+            vec![
+                format!("{:.0}K", e.attack_rate / 1_000.0),
+                format!("{:.0}", e.legit_throughput),
+                format!("{:.0}", d.legit_throughput),
+                pct(e.ans_cpu),
+                pct(d.ans_cpu),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 5 — BIND under attack (legit rps / ANS CPU; on vs off)",
+            &["Attack", "Legit on", "Legit off", "CPU on", "CPU off"],
+            &rows,
+        )
+    );
+
+    // Figure 6.
+    let rates6: Vec<f64> = (0..=10).map(|i| i as f64 * 25_000.0).collect();
+    let f6_on = fig6_guard_attack(true, &rates6);
+    let f6_off = fig6_guard_attack(false, &rates6);
+    let rows: Vec<Vec<String>> = f6_on
+        .iter()
+        .zip(f6_off.iter())
+        .map(|(e, d)| {
+            vec![
+                format!("{:.0}K", e.attack_rate / 1_000.0),
+                kreq(e.legit_throughput),
+                kreq(d.legit_throughput),
+                pct(e.guard_cpu),
+                pct(d.guard_cpu),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 6 — guard under attack (legit req/s / guard CPU; on vs off)",
+            &["Attack", "Legit on", "Legit off", "CPU on", "CPU off"],
+            &rows,
+        )
+    );
+
+    // Figure 7.
+    let concs = [1u32, 10, 20, 50, 100, 500, 1_000, 3_000, 6_000];
+    let f7a = fig7a_tcp_concurrency(&concs);
+    let rows: Vec<Vec<String>> = f7a
+        .iter()
+        .map(|p| vec![p.concurrency.to_string(), kreq(p.throughput)])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 7(a) — TCP proxy throughput vs concurrency",
+            &["Concurrent", "Throughput"],
+            &rows,
+        )
+    );
+    let rates7: Vec<f64> = (0..=5).map(|i| i as f64 * 50_000.0).collect();
+    let f7b = fig7b_tcp_under_attack(&rates7);
+    let rows: Vec<Vec<String>> = f7b
+        .iter()
+        .map(|p| vec![format!("{:.0}K", p.attack_rate / 1_000.0), kreq(p.throughput)])
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 7(b) — TCP proxy under UDP attack (50 concurrent)",
+            &["Attack", "Throughput"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,45 @@
+//! Regenerates Figure 6: throughput of legitimate requests (a) and guard
+//! CPU utilisation (b) as a spoofed flood ramps to 250 K req/s, with spoof
+//! detection enabled (modified-DNS scheme) and disabled (pure forwarding).
+
+use bench::experiments::fig6_guard_attack;
+use bench::report::{kreq, pct, render_table};
+
+fn main() {
+    let rates: Vec<f64> = (0..=10).map(|i| i as f64 * 25_000.0).collect();
+    let enabled = fig6_guard_attack(true, &rates);
+    let disabled = fig6_guard_attack(false, &rates);
+
+    let table: Vec<Vec<String>> = enabled
+        .iter()
+        .zip(disabled.iter())
+        .map(|(e, d)| {
+            vec![
+                format!("{:.0}K", e.attack_rate / 1_000.0),
+                kreq(e.legit_throughput),
+                kreq(d.legit_throughput),
+                pct(e.guard_cpu),
+                pct(d.guard_cpu),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Figure 6 — guard under attack (legit LRS saturates the 110K ANS; modified DNS)",
+            &[
+                "Attack",
+                "Legit (on)",
+                "Legit (off)",
+                "Guard CPU (on)",
+                "Guard CPU (off)",
+            ],
+            &table,
+        )
+    );
+    println!(
+        "Paper shape: protection off decays linearly to ~0 at 110K attack; \
+         protection on holds ≥100K to 200K attack and ~80K at 250K, \
+         spoof-detection CPU overhead 15–25%."
+    );
+}

@@ -1,0 +1,33 @@
+//! Regenerates Table III: guard throughput (req/s) per scheme at CPU
+//! saturation, cache miss vs cache hit, against the 110 K req/s ANS
+//! simulator.
+
+use bench::experiments::{table3_throughput, Scheme};
+use bench::report::{kreq, render_table};
+
+fn main() {
+    let rows = table3_throughput();
+    let paper_miss = [84_200.0, 60_100.0, 22_700.0, 84_300.0];
+    let paper_hit = [110_100.0, 109_700.0, 22_700.0, 110_300.0];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .zip(Scheme::ALL.iter().enumerate())
+        .map(|(r, (i, _))| {
+            vec![
+                r.scheme.label().to_string(),
+                kreq(r.miss),
+                kreq(paper_miss[i]),
+                kreq(r.hit),
+                kreq(paper_hit[i]),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            "Table III — guard throughput (req/s), CPU-saturated",
+            &["Scheme", "Miss (ours)", "Miss (paper)", "Hit (ours)", "Hit (paper)"],
+            &table,
+        )
+    );
+}

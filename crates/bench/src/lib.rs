@@ -1,0 +1,63 @@
+//! The benchmark harness: rebuilds every table and figure of the paper's
+//! evaluation section from the simulated testbed.
+//!
+//! * [`worlds`] — the guard + ANS + LRS + attacker topologies;
+//! * [`experiments`] — one function per paper artefact (Table I–III,
+//!   Figures 5–7), each returning the rows/series the paper reports;
+//! * [`report`] — plain-text table rendering.
+//!
+//! Run everything: `cargo run --release -p bench --bin all_experiments`.
+//! Individual binaries: `table1_comparison`, `table2_latency`,
+//! `table3_throughput`, `fig5_bind_attack`, `fig6_guard_attack`,
+//! `fig7_tcp_proxy`.
+//!
+//! Criterion micro-benchmarks (cookie computation, wire codec, rate
+//! limiters): `cargo bench -p bench`.
+
+pub mod experiments;
+pub mod report;
+pub mod worlds;
+
+#[cfg(test)]
+mod smoke {
+    //! Smoke tests: each experiment runs (with reduced sweeps) and lands in
+    //! the paper's qualitative bands. The full sweeps run in the binaries.
+
+    use crate::experiments::*;
+
+    #[test]
+    fn table2_shape() {
+        let rows = table2_latency();
+        let get = |s: Scheme| rows.iter().find(|r| r.scheme == s).unwrap();
+        // Cache hits: one RTT (~11 ms) for everything but TCP (~3 RTT).
+        for s in [Scheme::NsName, Scheme::Fabricated, Scheme::Modified] {
+            let hit = get(s).hit_ms;
+            assert!((10.0..14.0).contains(&hit), "{s:?} hit {hit}");
+        }
+        let tcp_hit = get(Scheme::Tcp).hit_ms;
+        assert!((30.0..38.0).contains(&tcp_hit), "tcp hit {tcp_hit}");
+        // Cache misses: 2 RTT for NS-name and modified, 3 for fabricated.
+        let ns = get(Scheme::NsName).miss_ms;
+        assert!((20.0..25.0).contains(&ns), "ns miss {ns}");
+        let fab = get(Scheme::Fabricated).miss_ms;
+        assert!((31.0..37.0).contains(&fab), "fabricated miss {fab}");
+        let modified = get(Scheme::Modified).miss_ms;
+        assert!((20.0..25.0).contains(&modified), "modified miss {modified}");
+    }
+
+    #[test]
+    fn fig7b_decays_under_attack() {
+        let pts = fig7b_tcp_under_attack(&[0.0, 250_000.0]);
+        assert!(
+            pts[0].throughput > 15_000.0,
+            "unattacked proxy ~20K: {}",
+            pts[0].throughput
+        );
+        assert!(
+            pts[1].throughput < pts[0].throughput * 0.7,
+            "attack halves throughput: {} vs {}",
+            pts[1].throughput,
+            pts[0].throughput
+        );
+    }
+}

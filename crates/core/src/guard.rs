@@ -1,0 +1,987 @@
+//! The remote DNS guard: the composite pipeline of Figure 4.
+//!
+//! One node owns the protected ANS's public address (and the surrounding
+//! subnet for `COOKIE2` addresses) and dispatches every packet through the
+//! cookie checker, the rate limiters and the scheme handlers:
+//!
+//! ```text
+//!                  UDP req                     UDP req
+//!  Internet ──► Cookie Checker ──► Rate-Limiter2 ──► ANS
+//!                  │    ▲ UDP resp                  │ UDP resp
+//!        TCP req   ▼    │                           ▼
+//!           ──► TCP proxy ──► Rate-Limiter2     (relayed back)
+//!                  │
+//!                  └── cookie/TC/NS responses ──► Rate-Limiter1 ──► Internet
+//! ```
+//!
+//! CPU is accounted with the calibrated constants of [`netsim::cost`]: one
+//! `packet_cost` per packet in or out, one `cookie_cost` per cookie
+//! computation, `tcp_conn_cost` per proxied connection — nothing else. The
+//! throughput and utilisation figures of the paper emerge from these charges
+//! plus the packet counts of each scheme.
+
+use crate::classify::{AuthorityClassifier, Classification, Classifier};
+use crate::config::{GuardConfig, SchemeMode};
+use crate::ratelimit::SourceRateLimiter;
+use crate::tcp_proxy::{ProxyAction, TcpProxy};
+use dnswire::cookie_ext;
+use dnswire::message::{Message, MAX_UDP_PAYLOAD};
+use dnswire::name::Name;
+use dnswire::question::Question;
+use dnswire::record::Record;
+use guardhash::cookie::CookieFactory;
+use netsim::engine::{Context, Node};
+use netsim::metrics::TrafficMeter;
+use netsim::packet::{Endpoint, Packet, Proto, DNS_PORT};
+use netsim::time::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Timer tag for the guard's housekeeping window (rate estimation, proxy
+/// reaping, forward-table sweeping).
+const TAG_WINDOW: u64 = u64::MAX;
+
+/// Housekeeping period.
+const WINDOW: SimTime = SimTime::from_millis(100);
+
+/// Observable guard counters, by pipeline decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GuardStats {
+    /// Queries forwarded to the ANS (verified or pass-through).
+    pub forwarded: u64,
+    /// Queries relayed while spoof detection was inactive.
+    pub passthrough: u64,
+    /// Fabricated NS responses sent (DNS-based scheme, message 2).
+    pub fabricated_ns_sent: u64,
+    /// Truncation responses sent (TCP-based scheme).
+    pub tc_sent: u64,
+    /// Cookie grants sent (modified-DNS scheme, message 3).
+    pub grants_sent: u64,
+    /// Requests accepted with a valid extension cookie.
+    pub ext_valid: u64,
+    /// Requests dropped with an invalid extension cookie.
+    pub ext_invalid: u64,
+    /// Cookie-label queries accepted (message 3 of the DNS-based scheme).
+    pub ns_cookie_valid: u64,
+    /// Cookie-label queries dropped as spoofed.
+    pub ns_cookie_invalid: u64,
+    /// `COOKIE2` queries accepted (message 7).
+    pub cookie2_valid: u64,
+    /// `COOKIE2` queries dropped as spoofed.
+    pub cookie2_invalid: u64,
+    /// Plain queries dropped by Rate-Limiter1.
+    pub rl1_dropped: u64,
+    /// Verified queries dropped by Rate-Limiter2.
+    pub rl2_dropped: u64,
+    /// Responses relayed back from the ANS.
+    pub relayed_responses: u64,
+    /// Answers served from the guard's one-shot stash (message 10 fast
+    /// path).
+    pub stash_hits: u64,
+    /// Packets that were not parseable DNS and were dropped.
+    pub unparseable: u64,
+}
+
+impl GuardStats {
+    /// Total requests classified as spoofed and dropped.
+    pub fn spoofed_dropped(&self) -> u64 {
+        self.ext_invalid + self.ns_cookie_invalid + self.cookie2_invalid
+    }
+}
+
+#[derive(Debug)]
+enum Rewrite {
+    /// Relay the ANS response as-is (txid restored).
+    Passthrough,
+    /// DNS-based referral: answer the cookie-name question with the glue
+    /// addresses from the ANS's referral.
+    ReferralCookie { cookie_question: Question },
+    /// DNS-based non-referral: stash the real answer, reply `COOKIE2`.
+    Fabricated {
+        cookie_question: Question,
+        original: Name,
+    },
+    /// TCP proxy relay (token routes back to the connection).
+    TcpRelay { token: u64 },
+}
+
+#[derive(Debug)]
+struct Forwarded {
+    requester: Endpoint,
+    reply_from: Endpoint,
+    orig_txid: u16,
+    rewrite: Rewrite,
+    created: SimTime,
+}
+
+#[derive(Debug)]
+struct StashEntry {
+    answers: Vec<Record>,
+    created: SimTime,
+}
+
+/// The remote DNS guard node.
+///
+/// Deploy it by routing the ANS's public address *and* the guard subnet to
+/// this node, and giving the real ANS a private address:
+///
+/// ```text
+/// sim.add_node(guard_public_ip, cpu, RemoteGuard::new(config, classifier));
+/// sim.add_subnet(subnet_base, 24, guard_node);
+/// sim.add_node(ans_private_ip, cpu, AuthNode::new(...));
+/// ```
+pub struct RemoteGuard {
+    config: GuardConfig,
+    cookies: CookieFactory,
+    classifier: AuthorityClassifier,
+    rl1: SourceRateLimiter,
+    rl2: SourceRateLimiter,
+    proxy: TcpProxy,
+    fwd: HashMap<u16, Forwarded>,
+    next_txid: u16,
+    stash: HashMap<(Ipv4Addr, Name), StashEntry>,
+    window_count: u64,
+    active: bool,
+    last_rotation: SimTime,
+    /// Counters.
+    pub stats: GuardStats,
+    /// All bytes through the guard.
+    pub traffic: TrafficMeter,
+    /// Bytes exchanged with *unverified* sources (requests in, cookie/TC
+    /// responses out) — the amplification-relevant meter.
+    pub traffic_unverified: TrafficMeter,
+}
+
+impl RemoteGuard {
+    /// Creates a guard from its configuration and the classifier that knows
+    /// the protected ANS's delegations.
+    pub fn new(config: GuardConfig, classifier: AuthorityClassifier) -> Self {
+        let proxy = TcpProxy::new(
+            config.key_seed ^ 0x7CB9,
+            config.tcp_conn_rate,
+            config.tcp_conn_lifetime,
+        );
+        RemoteGuard {
+            cookies: CookieFactory::from_seed(config.key_seed),
+            rl1: SourceRateLimiter::new(config.rl1_global_rate, config.rl1_per_source_rate),
+            rl2: SourceRateLimiter::per_source_only(config.rl2_per_source_rate),
+            proxy,
+            fwd: HashMap::new(),
+            next_txid: 1,
+            stash: HashMap::new(),
+            window_count: 0,
+            active: config.activation_threshold == 0.0,
+            last_rotation: SimTime::ZERO,
+            stats: GuardStats::default(),
+            traffic: TrafficMeter::default(),
+            traffic_unverified: TrafficMeter::default(),
+            config,
+            classifier,
+        }
+    }
+
+    /// Whether spoof detection is currently engaged.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Mutable access to the configuration. Note that the rate limiters and
+    /// TCP proxy are built at construction; changing their rates here does
+    /// not rebuild them — but routing-level fields (`tcp_redirect_sources`,
+    /// `activation_threshold`, TTLs) take effect immediately.
+    pub fn config_mut(&mut self) -> &mut GuardConfig {
+        &mut self.config
+    }
+
+    /// Rotates the guard's secret key (section III.E).
+    pub fn rotate_key(&mut self) {
+        self.cookies.rotate();
+    }
+
+    /// The guard's cookie factory (tests and the attack crate peek at it).
+    pub fn cookie_factory(&self) -> &CookieFactory {
+        &self.cookies
+    }
+
+    /// Number of live TCP proxy connections.
+    pub fn proxy_connections(&self) -> usize {
+        self.proxy.open_connections()
+    }
+
+    /// TCP proxy counters.
+    pub fn proxy_stats(&self) -> crate::tcp_proxy::ProxyStats {
+        self.proxy.stats
+    }
+
+    // ---- helpers ---------------------------------------------------------
+
+    fn tx(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        ctx.charge(netsim::cost::packet_cost());
+        self.traffic.tx(pkt.wire_size());
+        ctx.send(pkt);
+    }
+
+    fn tx_unverified(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        self.traffic_unverified.tx(pkt.wire_size());
+        self.tx(ctx, pkt);
+    }
+
+    fn charge_cookie(&self, ctx: &mut Context<'_>) {
+        ctx.charge(netsim::cost::cookie_cost());
+    }
+
+    /// Allocates the next upstream transaction id in O(1). If the id is
+    /// still occupied (possible only when >65 K requests are in flight,
+    /// i.e. the ANS is hopelessly behind), the old entry is overwritten —
+    /// its response, if it ever comes, is treated as lost. This mirrors a
+    /// real NAT-style table shedding stale flows under overload.
+    fn alloc_txid(&mut self) -> u16 {
+        let id = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1).max(1);
+        self.fwd.remove(&id);
+        id
+    }
+
+    fn forward_to_ans(
+        &mut self,
+        ctx: &mut Context<'_>,
+        mut query: Message,
+        requester: Endpoint,
+        reply_from: Endpoint,
+        rewrite: Rewrite,
+    ) {
+        let orig_txid = query.header.id;
+        let txid = self.alloc_txid();
+        query.header.id = txid;
+        self.fwd.insert(
+            txid,
+            Forwarded {
+                requester,
+                reply_from,
+                orig_txid,
+                rewrite,
+                created: ctx.now(),
+            },
+        );
+        self.stats.forwarded += 1;
+        let pkt = Packet::udp(
+            Endpoint::new(self.config.public_addr, DNS_PORT),
+            Endpoint::new(self.config.ans_addr, DNS_PORT),
+            query.encode(),
+        );
+        self.tx(ctx, pkt);
+    }
+
+    /// Builds the fabricated NS label: `PR` + 8 hex cookie chars + the
+    /// first label of the target (child zone or query name).
+    fn fabricate_label(&self, src: Ipv4Addr, target_first_label: &[u8]) -> Vec<u8> {
+        let cookie = self.cookies.generate(src);
+        let mut label = Vec::with_capacity(10 + target_first_label.len());
+        label.extend_from_slice(b"PR");
+        label.extend_from_slice(cookie.ns_label_suffix().as_bytes());
+        label.extend_from_slice(target_first_label);
+        label
+    }
+
+    /// Parses a fabricated label back into `(hex_cookie, original_first_label)`.
+    /// The prefix check is case-insensitive because DNS names compare (and
+    /// our wire library canonicalises) case-insensitively.
+    fn parse_cookie_label(label: &[u8]) -> Option<(&str, &[u8])> {
+        let rest = match label.split_first_chunk::<2>() {
+            Some((prefix, rest)) if prefix.eq_ignore_ascii_case(b"PR") => rest,
+            _ => return None,
+        };
+        if rest.len() < 8 {
+            return None;
+        }
+        let (hex, original) = rest.split_at(8);
+        let hex = std::str::from_utf8(hex).ok()?;
+        if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        Some((hex, original))
+    }
+
+    /// The usable `COOKIE2` offset space, excluding the guard's own public
+    /// address when it falls inside the subnet (a `COOKIE2` equal to the
+    /// public address would be routed into the plain-query path).
+    fn cookie2_space(&self) -> (u32, Option<u32>) {
+        let base = u32::from(self.config.subnet_base);
+        let public = u32::from(self.config.public_addr);
+        let pub_off = public
+            .checked_sub(base + 1)
+            .filter(|&off| off < self.config.subnet_range);
+        let effective = self.config.subnet_range - pub_off.is_some() as u32;
+        debug_assert!(effective >= 1, "cookie2 subnet too small");
+        (effective, pub_off)
+    }
+
+    fn cookie2_addr(&self, src: Ipv4Addr) -> Ipv4Addr {
+        let (effective, pub_off) = self.cookie2_space();
+        let y = self.cookies.generate_subnet_offset(src, effective);
+        let y = match pub_off {
+            Some(p) if y >= p => y + 1,
+            _ => y,
+        };
+        Ipv4Addr::from(u32::from(self.config.subnet_base) + 1 + y)
+    }
+
+    fn cookie2_matches(&self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let (effective, pub_off) = self.cookie2_space();
+        let base = u32::from(self.config.subnet_base);
+        let host = u32::from(dst);
+        if host <= base {
+            return false;
+        }
+        let h = host - base - 1;
+        if Some(h) == pub_off {
+            return false;
+        }
+        let presented = match pub_off {
+            Some(p) if h > p => h - 1,
+            _ => h,
+        };
+        self.cookies.verify_subnet_offset(src, presented, effective)
+    }
+
+    // ---- pipeline --------------------------------------------------------
+
+    fn handle_udp(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        let Ok(msg) = Message::decode(&pkt.payload) else {
+            self.stats.unparseable += 1;
+            return;
+        };
+        if msg.header.response {
+            if pkt.src.ip == self.config.ans_addr {
+                self.handle_ans_response(ctx, msg);
+            }
+            return;
+        }
+        self.window_count += 1;
+
+        if !self.active {
+            // Protection disengaged: transparent forwarding.
+            self.stats.passthrough += 1;
+            self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+            return;
+        }
+
+        // 1. Cookie extension (modified-DNS scheme) takes precedence.
+        if let Some(ext) = cookie_ext::find_cookie(&msg) {
+            if ext.is_request() {
+                // Grant a cookie — through Rate-Limiter1 (reflection bound).
+                if !self.rl1.admit(ctx.now(), pkt.src.ip) {
+                    self.stats.rl1_dropped += 1;
+                    return;
+                }
+                self.charge_cookie(ctx);
+                let cookie = self.cookies.generate(pkt.src.ip);
+                let mut grant = msg.response();
+                cookie_ext::attach_cookie(&mut grant, cookie.0, self.config.cookie_ttl);
+                self.stats.grants_sent += 1;
+                self.traffic_unverified.rx(pkt.wire_size());
+                let reply = Packet::udp(pkt.dst, pkt.src, grant.encode());
+                self.tx_unverified(ctx, reply);
+                return;
+            }
+            self.charge_cookie(ctx);
+            if self.cookies.verify(pkt.src.ip, &guardhash::Cookie(ext.cookie)) {
+                self.stats.ext_valid += 1;
+                if !self.rl2.admit(ctx.now(), pkt.src.ip) {
+                    self.stats.rl2_dropped += 1;
+                    return;
+                }
+                let mut inner = msg;
+                cookie_ext::strip_cookie(&mut inner);
+                self.forward_to_ans(ctx, inner, pkt.src, pkt.dst, Rewrite::Passthrough);
+            } else {
+                self.stats.ext_invalid += 1;
+            }
+            return;
+        }
+
+        // 2. COOKIE2 destination (message 7 of the fabricated NS/IP flow)?
+        if pkt.dst.ip != self.config.public_addr {
+            self.charge_cookie(ctx);
+            if !self.cookie2_matches(pkt.src.ip, pkt.dst.ip) {
+                self.stats.cookie2_invalid += 1;
+                return;
+            }
+            self.stats.cookie2_valid += 1;
+            if !self.rl2.admit(ctx.now(), pkt.src.ip) {
+                self.stats.rl2_dropped += 1;
+                return;
+            }
+            let Some(question) = msg.question().cloned() else {
+                return;
+            };
+            // One-shot stash from the first exchange (messages 4/5).
+            if let Some(entry) = self.stash.remove(&(pkt.src.ip, question.name.clone())) {
+                self.stats.stash_hits += 1;
+                let mut resp = msg.response();
+                resp.header.authoritative = true;
+                resp.answers = entry.answers;
+                let (wire, _) = resp
+                    .encode_with_limit(MAX_UDP_PAYLOAD)
+                    .unwrap_or_else(|_| (resp.encode(), false));
+                let reply = Packet::udp(pkt.dst, pkt.src, wire);
+                self.tx(ctx, reply);
+                return;
+            }
+            self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+            return;
+        }
+
+        // 3. Cookie-embedded NS-name query (message 3 of the DNS-based
+        // scheme)?
+        let first_label = msg.question().and_then(|q| q.name.first_label().map(|l| l.to_vec()));
+        if let Some(label) = first_label.as_deref() {
+            if let Some((hex, original_first)) = Self::parse_cookie_label(label) {
+                self.handle_cookie_name_query(ctx, pkt, msg, hex.to_string(), original_first.to_vec());
+                return;
+            }
+        }
+
+        // 4. Plain cookie-less query: dispatch per configured scheme.
+        self.handle_plain_query(ctx, pkt, msg);
+    }
+
+    fn handle_cookie_name_query(
+        &mut self,
+        ctx: &mut Context<'_>,
+        pkt: Packet,
+        msg: Message,
+        hex: String,
+        original_first: Vec<u8>,
+    ) {
+        self.charge_cookie(ctx);
+        if !self.cookies.verify_ns_suffix(pkt.src.ip, &hex) {
+            self.stats.ns_cookie_invalid += 1;
+            return;
+        }
+        self.stats.ns_cookie_valid += 1;
+        if !self.rl2.admit(ctx.now(), pkt.src.ip) {
+            self.stats.rl2_dropped += 1;
+            return;
+        }
+        let cookie_question = msg.question().cloned().expect("first_label implies question");
+        // Restore the original name: swap the fabricated label for the
+        // original first label it encodes.
+        let Ok(original) = cookie_question.name.with_first_label(&original_first) else {
+            self.stats.ns_cookie_invalid += 1;
+            return;
+        };
+        let restored = Message::iterative_query(msg.header.id, original.clone(), dnswire::types::RrType::A);
+        match self.classifier.classify(&original) {
+            Classification::Referral { .. } | Classification::Unknown => {
+                self.forward_to_ans(
+                    ctx,
+                    restored,
+                    pkt.src,
+                    pkt.dst,
+                    Rewrite::ReferralCookie { cookie_question },
+                );
+            }
+            Classification::NonReferral => {
+                self.forward_to_ans(
+                    ctx,
+                    restored,
+                    pkt.src,
+                    pkt.dst,
+                    Rewrite::Fabricated {
+                        cookie_question,
+                        original,
+                    },
+                );
+            }
+        }
+    }
+
+    fn handle_plain_query(&mut self, ctx: &mut Context<'_>, pkt: Packet, msg: Message) {
+        let Some(question) = msg.question().cloned() else {
+            self.stats.unparseable += 1;
+            return;
+        };
+        // Every response to an unverified source passes Rate-Limiter1.
+        if !self.rl1.admit(ctx.now(), pkt.src.ip) {
+            self.stats.rl1_dropped += 1;
+            return;
+        }
+        self.traffic_unverified.rx(pkt.wire_size());
+        let mode = if self.config.tcp_redirect_sources.contains(&pkt.src.ip) {
+            SchemeMode::TcpBased
+        } else {
+            self.config.mode
+        };
+        match mode {
+            SchemeMode::TcpBased => {
+                let tc = msg.truncated_response();
+                self.stats.tc_sent += 1;
+                let reply = Packet::udp(pkt.dst, pkt.src, tc.encode());
+                self.tx_unverified(ctx, reply);
+            }
+            SchemeMode::ModifiedOnly => {
+                // Treat like a grant request: hand the requester a cookie so
+                // a cookie-capable LRS can proceed (message 3).
+                self.charge_cookie(ctx);
+                let cookie = self.cookies.generate(pkt.src.ip);
+                let mut grant = msg.response();
+                cookie_ext::attach_cookie(&mut grant, cookie.0, self.config.cookie_ttl);
+                self.stats.grants_sent += 1;
+                let reply = Packet::udp(pkt.dst, pkt.src, grant.encode());
+                self.tx_unverified(ctx, reply);
+            }
+            SchemeMode::DnsBased => {
+                let target = match self.classifier.classify(&question.name) {
+                    Classification::Referral { child_zone } => child_zone,
+                    Classification::NonReferral => question.name.clone(),
+                    Classification::Unknown => {
+                        // Not ours: let the ANS answer (it will refuse).
+                        self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+                        return;
+                    }
+                };
+                let Some(first) = target.first_label().map(|l| l.to_vec()) else {
+                    // Query for the root itself: fall back to forwarding.
+                    self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+                    return;
+                };
+                self.charge_cookie(ctx);
+                let label = self.fabricate_label(pkt.src.ip, &first);
+                let Ok(fab_name) = target.with_first_label(&label) else {
+                    // Label too long (very deep name): forward unprotected.
+                    self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+                    return;
+                };
+                let mut reply = msg.response();
+                reply
+                    .authorities
+                    .push(Record::ns(target, fab_name, self.config.fabricated_ns_ttl));
+                self.stats.fabricated_ns_sent += 1;
+                let out = Packet::udp(pkt.dst, pkt.src, reply.encode());
+                self.tx_unverified(ctx, out);
+            }
+        }
+    }
+
+    fn handle_ans_response(&mut self, ctx: &mut Context<'_>, mut msg: Message) {
+        let Some(fwd) = self.fwd.remove(&msg.header.id) else {
+            return;
+        };
+        self.stats.relayed_responses += 1;
+        match fwd.rewrite {
+            Rewrite::Passthrough => {
+                msg.header.id = fwd.orig_txid;
+                let (wire, _) = msg
+                    .encode_with_limit(MAX_UDP_PAYLOAD)
+                    .unwrap_or_else(|_| (msg.encode(), false));
+                let reply = Packet::udp(fwd.reply_from, fwd.requester, wire);
+                self.tx(ctx, reply);
+            }
+            Rewrite::ReferralCookie { cookie_question } => {
+                // Map the referral's glue addresses onto the cookie name
+                // ("one name can be mapped to multiple IP addresses").
+                let glue: Vec<Record> = msg
+                    .additionals
+                    .iter()
+                    .chain(msg.answers.iter())
+                    .filter(|r| r.rtype == dnswire::types::RrType::A)
+                    .map(|r| Record {
+                        name: cookie_question.name.clone(),
+                        ..r.clone()
+                    })
+                    .collect();
+                let mut reply = Message {
+                    header: dnswire::header::Header {
+                        id: fwd.orig_txid,
+                        response: true,
+                        authoritative: true,
+                        ..dnswire::header::Header::default()
+                    },
+                    questions: vec![cookie_question],
+                    answers: glue,
+                    ..Message::default()
+                };
+                if reply.answers.is_empty() {
+                    reply.header.rcode = dnswire::types::Rcode::ServFail;
+                }
+                let reply_pkt = Packet::udp(fwd.reply_from, fwd.requester, reply.encode());
+                self.tx(ctx, reply_pkt);
+            }
+            Rewrite::Fabricated {
+                cookie_question,
+                original,
+            } => {
+                // Stash the real answer for the imminent COOKIE2 query and
+                // answer the cookie-name question with the COOKIE2 address.
+                // The COOKIE2 offset derives from the digest already
+                // computed when the cookie label was verified, so no extra
+                // cookie charge is taken here — but the third computation of
+                // the paper's count happens when message 7 is verified.
+                self.stash.insert(
+                    (fwd.requester.ip, original),
+                    StashEntry {
+                        answers: msg.answers.clone(),
+                        created: ctx.now(),
+                    },
+                );
+                let cookie2 = self.cookie2_addr(fwd.requester.ip);
+                let reply = Message {
+                    header: dnswire::header::Header {
+                        id: fwd.orig_txid,
+                        response: true,
+                        authoritative: true,
+                        ..dnswire::header::Header::default()
+                    },
+                    questions: vec![cookie_question.clone()],
+                    answers: vec![Record::a(
+                        cookie_question.name.clone(),
+                        cookie2,
+                        self.config.fabricated_ns_ttl,
+                    )],
+                    ..Message::default()
+                };
+                let reply_pkt = Packet::udp(fwd.reply_from, fwd.requester, reply.encode());
+                self.tx(ctx, reply_pkt);
+            }
+            Rewrite::TcpRelay { token } => {
+                if let Some(pkt) = self.proxy.on_ans_response(token, &msg) {
+                    self.tx(ctx, pkt);
+                }
+            }
+        }
+    }
+
+    fn handle_tcp(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        // Charge the connection cost when a handshake completes; detect via
+        // accepted-count delta.
+        let accepted_before = self.proxy.stats.accepted;
+        let actions = self.proxy.on_segment(ctx.now(), &pkt);
+        if self.proxy.stats.accepted > accepted_before {
+            ctx.charge(netsim::cost::tcp_conn_cost());
+            self.charge_cookie(ctx); // SYN-cookie computation
+        }
+        for action in actions {
+            match action {
+                ProxyAction::Send(p) => self.tx(ctx, p),
+                ProxyAction::ForwardQuery { token, query } => {
+                    // Connection-table bookkeeping scales with the number of
+                    // open proxied connections (Figure 7(a)); charged once
+                    // per relayed request.
+                    ctx.charge(netsim::cost::tcp_conn_table_cost(self.proxy.open_connections()));
+                    if !self.rl2.admit(ctx.now(), pkt.src.ip) {
+                        self.stats.rl2_dropped += 1;
+                        continue;
+                    }
+                    self.forward_to_ans(
+                        ctx,
+                        query,
+                        pkt.src,
+                        Endpoint::new(self.config.public_addr, DNS_PORT),
+                        Rewrite::TcpRelay { token },
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl Node for RemoteGuard {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_daemon_timer(WINDOW, TAG_WINDOW);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        ctx.charge(netsim::cost::packet_cost());
+        self.traffic.rx(pkt.wire_size());
+        match pkt.proto {
+            Proto::Udp => self.handle_udp(ctx, pkt),
+            Proto::Tcp => self.handle_tcp(ctx, pkt),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if tag != TAG_WINDOW {
+            return;
+        }
+        ctx.set_daemon_timer(WINDOW, TAG_WINDOW);
+        // Activation decision from the inbound request rate.
+        if self.config.activation_threshold > 0.0 {
+            let rate = self.window_count as f64 / WINDOW.as_secs_f64();
+            self.active = rate > self.config.activation_threshold;
+        }
+        self.window_count = 0;
+        // Scheduled key rotation.
+        if let Some(interval) = self.config.key_rotation_interval {
+            if ctx.now().saturating_sub(self.last_rotation) >= interval {
+                self.last_rotation = ctx.now();
+                self.cookies.rotate();
+            }
+        }
+        // Housekeeping.
+        self.proxy.reap(ctx.now());
+        let now = ctx.now();
+        let horizon = SimTime::from_secs(1);
+        self.fwd.retain(|_, f| now.saturating_sub(f.created) < horizon);
+        self.stash
+            .retain(|_, s| now.saturating_sub(s.created) < SimTime::from_secs(2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::rdata::RData;
+    use dnswire::types::{Rcode, RrType};
+    use netsim::engine::{CpuConfig, Simulator};
+    use server::authoritative::Authority;
+    use server::nodes::AuthNode;
+    use server::simclient::{CookieMode, LrsSimConfig, LrsSimulator};
+    use server::zone::{paper_hierarchy, ROOT_SERVER};
+
+    const ANS_PRIVATE: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
+    const GUARD_SUBNET: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 0);
+
+    /// Builds guard + ANS world. `which_zone`: 0 = root (referral answers),
+    /// 2 = foo.com (non-referral answers). Returns (sim, guard_id, ans_id).
+    fn guarded_world(
+        seed: u64,
+        which_zone: usize,
+        mode: SchemeMode,
+    ) -> (Simulator, netsim::NodeId, netsim::NodeId) {
+        let (root, com, foo) = paper_hierarchy();
+        let zones = [root, com, foo];
+        let zone = zones[which_zone].clone();
+        let authority = Authority::new(vec![zone]);
+
+        let mut sim = Simulator::new(seed);
+        let config = GuardConfig {
+            subnet_base: GUARD_SUBNET,
+            ..GuardConfig::new(ROOT_SERVER, ANS_PRIVATE)
+        }
+        .with_mode(mode);
+        let guard = sim.add_node(
+            ROOT_SERVER,
+            CpuConfig::unbounded(),
+            RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+        );
+        sim.add_subnet(GUARD_SUBNET, 24, guard);
+        let ans = sim.add_node(ANS_PRIVATE, CpuConfig::unbounded(), AuthNode::new(ANS_PRIVATE, authority));
+        (sim, guard, ans)
+    }
+
+    fn add_lrs(sim: &mut Simulator, last: u8, mode: CookieMode, cache: bool) -> netsim::NodeId {
+        let ip = Ipv4Addr::new(10, 0, 0, last);
+        let mut config = LrsSimConfig::new(ip, ROOT_SERVER, "www.foo.com".parse().unwrap());
+        config.mode = mode;
+        config.cookie_cache = cache;
+        sim.add_node(ip, CpuConfig::unbounded(), LrsSimulator::new(config))
+    }
+
+    #[test]
+    fn ns_name_scheme_end_to_end_referral() {
+        let (mut sim, guard, _ans) = guarded_world(1, 0, SchemeMode::DnsBased);
+        let lrs = add_lrs(&mut sim, 2, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(200));
+        let lrs_state = sim.node_ref::<LrsSimulator>(lrs).unwrap();
+        assert!(lrs_state.stats.completed > 10, "completed {}", lrs_state.stats.completed);
+        assert_eq!(lrs_state.stats.timeouts, 0);
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(guard_state.stats.fabricated_ns_sent >= 1);
+        assert!(guard_state.stats.ns_cookie_valid > 10);
+        assert_eq!(guard_state.stats.ns_cookie_invalid, 0, "no false positives");
+    }
+
+    #[test]
+    fn fabricated_ns_ip_scheme_end_to_end() {
+        let (mut sim, guard, _ans) = guarded_world(2, 2, SchemeMode::DnsBased);
+        let lrs = add_lrs(&mut sim, 3, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(200));
+        let lrs_state = sim.node_ref::<LrsSimulator>(lrs).unwrap();
+        assert!(lrs_state.stats.completed > 10, "completed {}", lrs_state.stats.completed);
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(guard_state.stats.cookie2_valid > 10, "COOKIE2 path exercised");
+        assert_eq!(guard_state.stats.cookie2_invalid, 0);
+        assert!(guard_state.stats.stash_hits >= 1, "first exchange uses the stash");
+    }
+
+    #[test]
+    fn modified_scheme_end_to_end() {
+        let (mut sim, guard, _ans) = guarded_world(3, 2, SchemeMode::ModifiedOnly);
+        let lrs = add_lrs(&mut sim, 4, CookieMode::Extension, true);
+        sim.run_until(SimTime::from_millis(200));
+        let lrs_state = sim.node_ref::<LrsSimulator>(lrs).unwrap();
+        assert!(lrs_state.stats.completed > 10, "completed {}", lrs_state.stats.completed);
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert_eq!(guard_state.stats.grants_sent, 1, "one grant, then cached cookie");
+        assert!(guard_state.stats.ext_valid > 10);
+        assert_eq!(guard_state.stats.ext_invalid, 0);
+    }
+
+    #[test]
+    fn tcp_scheme_end_to_end() {
+        let (mut sim, guard, _ans) = guarded_world(4, 2, SchemeMode::TcpBased);
+        let lrs = add_lrs(&mut sim, 5, CookieMode::Plain, false);
+        sim.run_until(SimTime::from_millis(200));
+        let lrs_state = sim.node_ref::<LrsSimulator>(lrs).unwrap();
+        assert!(lrs_state.stats.completed > 5, "completed {}", lrs_state.stats.completed);
+        assert!(lrs_state.stats.tcp_fallbacks > 5);
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(guard_state.stats.tc_sent > 5);
+        assert!(guard_state.proxy_stats().accepted > 5);
+        assert!(guard_state.proxy_stats().requests_relayed > 5);
+    }
+
+    #[test]
+    fn spoofed_cookie_labels_dropped() {
+        let (mut sim, guard, ans) = guarded_world(5, 0, SchemeMode::DnsBased);
+        // Forge message-3-style queries with random cookie hex from a
+        // spoofed source.
+        struct Forger;
+        impl Node for Forger {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for i in 0..100u32 {
+                    let name: Name = format!("PR{:08x}com", i).parse().unwrap();
+                    let q = Message::iterative_query(i as u16, name, RrType::A);
+                    ctx.send(Packet::udp(
+                        Endpoint::new(Ipv4Addr::new(66, 1, (i >> 8) as u8, i as u8), 999),
+                        Endpoint::new(ROOT_SERVER, DNS_PORT),
+                        q.encode(),
+                    ));
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        sim.add_node(Ipv4Addr::new(66, 1, 0, 0), CpuConfig::unbounded(), Forger);
+        sim.run_until(SimTime::from_millis(50));
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert_eq!(guard_state.stats.ns_cookie_invalid, 100);
+        assert_eq!(guard_state.stats.forwarded, 0, "nothing reached the ANS");
+        assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
+    }
+
+    #[test]
+    fn invalid_ext_cookie_dropped() {
+        let (mut sim, guard, ans) = guarded_world(6, 2, SchemeMode::ModifiedOnly);
+        struct ExtForger;
+        impl Node for ExtForger {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for i in 0..50u16 {
+                    let mut q = Message::iterative_query(i, "www.foo.com".parse().unwrap(), RrType::A);
+                    cookie_ext::attach_cookie(&mut q, [0xBA; 16], 0);
+                    ctx.send(Packet::udp(
+                        Endpoint::new(Ipv4Addr::new(77, 1, 1, (i % 250) as u8), 999),
+                        Endpoint::new(ROOT_SERVER, DNS_PORT),
+                        q.encode(),
+                    ));
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        sim.add_node(Ipv4Addr::new(77, 1, 1, 1), CpuConfig::unbounded(), ExtForger);
+        sim.run_until(SimTime::from_millis(50));
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert_eq!(guard_state.stats.ext_invalid, 50);
+        assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
+    }
+
+    #[test]
+    fn amplification_bounded_for_dns_based() {
+        let (mut sim, guard, _ans) = guarded_world(7, 0, SchemeMode::DnsBased);
+        let _lrs = add_lrs(&mut sim, 6, CookieMode::Plain, false); // every request cold
+        sim.run_until(SimTime::from_millis(100));
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        let amp = guard_state.traffic_unverified.amplification();
+        assert!(amp > 1.0, "NS record adds bytes: {amp}");
+        assert!(amp < 1.5, "paper: DNS-based amplification < 50%, got {amp}");
+    }
+
+    #[test]
+    fn no_amplification_for_tc_and_grants() {
+        for (seed, mode, lrs_mode) in [
+            (8, SchemeMode::TcpBased, CookieMode::Plain),
+            (9, SchemeMode::ModifiedOnly, CookieMode::Extension),
+        ] {
+            let (mut sim, guard, _ans) = guarded_world(seed, 2, mode);
+            let _lrs = add_lrs(&mut sim, 7, lrs_mode, false);
+            sim.run_until(SimTime::from_millis(100));
+            let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+            let amp = guard_state.traffic_unverified.amplification();
+            assert!(amp <= 1.02, "mode {mode:?}: amplification {amp}");
+        }
+    }
+
+    #[test]
+    fn activation_threshold_gates_detection() {
+        let (mut sim, guard, _ans) = guarded_world(10, 0, SchemeMode::DnsBased);
+        sim.node_mut::<RemoteGuard>(guard).unwrap().config.activation_threshold = 1_000.0;
+        sim.node_mut::<RemoteGuard>(guard).unwrap().active = false;
+        let lrs = add_lrs(&mut sim, 8, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(300));
+        // A single closed-loop client (~1 req/RTT ≈ 2.5K/s on LAN · but each
+        // takes ~0.4ms → ~2.5K/s) ... the client rate is above 1K/s so the
+        // guard should engage; before engagement requests pass through.
+        let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(guard_state.stats.passthrough > 0, "initial window passed through");
+        assert!(guard_state.is_active(), "guard engaged once rate exceeded threshold");
+        assert!(guard_state.stats.fabricated_ns_sent > 0);
+        let _ = lrs;
+    }
+
+    #[test]
+    fn key_rotation_preserves_service() {
+        let (mut sim, guard, _ans) = guarded_world(11, 0, SchemeMode::DnsBased);
+        let lrs = add_lrs(&mut sim, 9, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(100));
+        let before = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed;
+        assert!(before > 0);
+        sim.node_mut::<RemoteGuard>(guard).unwrap().rotate_key();
+        sim.run_until(SimTime::from_millis(200));
+        let after = sim.node_ref::<LrsSimulator>(lrs).unwrap();
+        assert!(after.stats.completed > before, "cached cookies still verify after one rotation");
+        assert_eq!(sim.node_ref::<RemoteGuard>(guard).unwrap().stats.ns_cookie_invalid, 0);
+    }
+
+    #[test]
+    fn rcode_passthrough_for_unknown_zone() {
+        // A query outside the ANS's bailiwick is forwarded and the REFUSED
+        // response relayed. (Guard the foo.com zone: example names are then
+        // genuinely out of bailiwick; a root guard would own everything.)
+        let (mut sim, _guard, _ans) = guarded_world(12, 2, SchemeMode::DnsBased);
+        struct Asker {
+            reply: Option<Message>,
+        }
+        impl Node for Asker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let q = Message::iterative_query(5, "out.of.zone.example".parse().unwrap(), RrType::A);
+                ctx.send(Packet::udp(
+                    Endpoint::new(Ipv4Addr::new(10, 0, 0, 40), 999),
+                    Endpoint::new(ROOT_SERVER, DNS_PORT),
+                    q.encode(),
+                ));
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                self.reply = Message::decode(&pkt.payload).ok();
+            }
+        }
+        let asker = sim.add_node(Ipv4Addr::new(10, 0, 0, 40), CpuConfig::unbounded(), Asker { reply: None });
+        sim.run_until(SimTime::from_millis(20));
+        let reply = sim.node_ref::<Asker>(asker).unwrap().reply.clone();
+        let reply = reply.expect("got a response");
+        assert_eq!(reply.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn referral_reply_carries_real_server_address() {
+        // The cookie-name answer must hold the true com-server glue.
+        let (mut sim, _guard, _ans) = guarded_world(13, 0, SchemeMode::DnsBased);
+        let lrs = add_lrs(&mut sim, 10, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(50));
+        let lrs_state = sim.node_ref::<LrsSimulator>(lrs).unwrap();
+        assert!(lrs_state.stats.completed > 0);
+        // The LRS's cached NS name resolves through the guard to the real
+        // com server address — verified implicitly by completion, and the
+        // answer values are checked in the integration tests.
+        let _ = RData::A(server::zone::COM_SERVER);
+    }
+}

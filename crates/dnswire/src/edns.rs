@@ -1,0 +1,308 @@
+//! EDNS(0) (RFC 6891) OPT pseudo-records and the COOKIE option (RFC 7873).
+//!
+//! The paper's modified-DNS scheme predates EDNS adoption and carries its
+//! cookie in a TXT record ([`crate::cookie_ext`]). The idea was later
+//! standardised as DNS Cookies using an EDNS option; this module provides
+//! the wire plumbing for that modern form so the reproduction can bridge
+//! both generations.
+//!
+//! An OPT pseudo-record overloads its fixed fields (RFC 6891 §6.1.2):
+//! owner = root, TYPE = 41, CLASS = requester's UDP payload size,
+//! TTL = `[ext-rcode:8][version:8][DO:1][zeros:15]`, RDATA = a sequence of
+//! `{code: u16, len: u16, data}` options.
+
+use crate::message::Message;
+use crate::name::Name;
+use crate::rdata::RData;
+use crate::record::Record;
+use crate::types::{RrClass, RrType};
+
+/// The EDNS option code for DNS Cookies (RFC 7873).
+pub const OPTION_COOKIE: u16 = 10;
+
+/// The extended RCODE value BADCOOKIE (RFC 7873 §8).
+pub const EXT_RCODE_BADCOOKIE: u16 = 23;
+
+/// A decoded EDNS option.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdnsOption {
+    /// Option code.
+    pub code: u16,
+    /// Option payload.
+    pub data: Vec<u8>,
+}
+
+/// A decoded OPT pseudo-record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edns {
+    /// Requester's maximum UDP payload size (the CLASS field).
+    pub udp_payload_size: u16,
+    /// Upper 8 bits of the extended RCODE (TTL byte 0).
+    pub ext_rcode_hi: u8,
+    /// EDNS version (TTL byte 1); 0 for EDNS(0).
+    pub version: u8,
+    /// Options carried in the RDATA.
+    pub options: Vec<EdnsOption>,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload_size: 1232,
+            ext_rcode_hi: 0,
+            version: 0,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl Edns {
+    /// The full 12-bit extended RCODE, combining the message header's
+    /// 4-bit RCODE with this record's high bits.
+    pub fn extended_rcode(&self, header_rcode: u8) -> u16 {
+        ((self.ext_rcode_hi as u16) << 4) | (header_rcode as u16 & 0x0F)
+    }
+
+    /// Finds the first option with `code`.
+    pub fn option(&self, code: u16) -> Option<&EdnsOption> {
+        self.options.iter().find(|o| o.code == code)
+    }
+
+    /// Renders this EDNS data as an OPT [`Record`].
+    pub fn to_record(&self) -> Record {
+        let mut rdata = Vec::new();
+        for opt in &self.options {
+            rdata.extend_from_slice(&opt.code.to_be_bytes());
+            rdata.extend_from_slice(&(opt.data.len() as u16).to_be_bytes());
+            rdata.extend_from_slice(&opt.data);
+        }
+        let ttl = ((self.ext_rcode_hi as u32) << 24) | ((self.version as u32) << 16);
+        Record {
+            name: Name::root(),
+            rtype: RrType::Opt,
+            class: RrClass::Other(self.udp_payload_size),
+            ttl,
+            rdata: RData::Unknown(rdata),
+        }
+    }
+
+    /// Parses an OPT [`Record`] back into EDNS data. Returns `None` when
+    /// the record is not a well-formed OPT.
+    pub fn from_record(record: &Record) -> Option<Edns> {
+        if record.rtype != RrType::Opt || !record.name.is_root() {
+            return None;
+        }
+        let RData::Unknown(rdata) = &record.rdata else {
+            return None;
+        };
+        let mut options = Vec::new();
+        let mut pos = 0usize;
+        while pos < rdata.len() {
+            if pos + 4 > rdata.len() {
+                return None;
+            }
+            let code = u16::from_be_bytes([rdata[pos], rdata[pos + 1]]);
+            let len = u16::from_be_bytes([rdata[pos + 2], rdata[pos + 3]]) as usize;
+            pos += 4;
+            if pos + len > rdata.len() {
+                return None;
+            }
+            options.push(EdnsOption {
+                code,
+                data: rdata[pos..pos + len].to_vec(),
+            });
+            pos += len;
+        }
+        Some(Edns {
+            udp_payload_size: record.class.code(),
+            ext_rcode_hi: (record.ttl >> 24) as u8,
+            version: (record.ttl >> 16) as u8,
+            options,
+        })
+    }
+}
+
+/// A DNS Cookie as carried in the COOKIE option (RFC 7873 §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsCookie {
+    /// The 8-byte client cookie.
+    pub client: [u8; 8],
+    /// The 8–32-byte server cookie, absent on a client's first contact.
+    pub server: Option<Vec<u8>>,
+}
+
+impl DnsCookie {
+    /// A client-only cookie (first contact).
+    pub fn client_only(client: [u8; 8]) -> Self {
+        DnsCookie {
+            client,
+            server: None,
+        }
+    }
+
+    /// Serialises into COOKIE option data.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.client.to_vec();
+        if let Some(s) = &self.server {
+            debug_assert!((8..=32).contains(&s.len()), "server cookie length");
+            out.extend_from_slice(s);
+        }
+        out
+    }
+
+    /// Parses COOKIE option data. Returns `None` on invalid lengths
+    /// (RFC 7873 §5.2.2: FORMERR).
+    pub fn decode(data: &[u8]) -> Option<DnsCookie> {
+        match data.len() {
+            8 => Some(DnsCookie {
+                client: data.try_into().ok()?,
+                server: None,
+            }),
+            16..=40 => Some(DnsCookie {
+                client: data[..8].try_into().ok()?,
+                server: Some(data[8..].to_vec()),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Finds the OPT record in a message's additional section.
+pub fn find_edns(msg: &Message) -> Option<Edns> {
+    msg.additionals.iter().find_map(Edns::from_record)
+}
+
+/// Extracts the DNS Cookie from a message, if present and well-formed.
+pub fn find_dns_cookie(msg: &Message) -> Option<DnsCookie> {
+    let edns = find_edns(msg)?;
+    let opt = edns.option(OPTION_COOKIE)?;
+    DnsCookie::decode(&opt.data)
+}
+
+/// Attaches (or replaces) an OPT record carrying `cookie` to `msg`.
+pub fn set_dns_cookie(msg: &mut Message, cookie: &DnsCookie) {
+    msg.additionals.retain(|r| r.rtype != RrType::Opt);
+    let edns = Edns {
+        options: vec![EdnsOption {
+            code: OPTION_COOKIE,
+            data: cookie.encode(),
+        }],
+        ..Edns::default()
+    };
+    msg.additionals.push(edns.to_record());
+}
+
+/// Removes any OPT record from `msg`, returning the cookie it carried.
+pub fn strip_dns_cookie(msg: &mut Message) -> Option<DnsCookie> {
+    let cookie = find_dns_cookie(msg);
+    msg.additionals.retain(|r| r.rtype != RrType::Opt);
+    cookie
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RrType;
+
+    fn msg() -> Message {
+        Message::query(5, "www.foo.com".parse().unwrap(), RrType::A)
+    }
+
+    #[test]
+    fn opt_record_round_trip() {
+        let edns = Edns {
+            udp_payload_size: 4096,
+            ext_rcode_hi: 1,
+            version: 0,
+            options: vec![
+                EdnsOption {
+                    code: OPTION_COOKIE,
+                    data: vec![1; 16],
+                },
+                EdnsOption {
+                    code: 9,
+                    data: vec![],
+                },
+            ],
+        };
+        let rec = edns.to_record();
+        assert_eq!(Edns::from_record(&rec), Some(edns));
+    }
+
+    #[test]
+    fn opt_survives_wire() {
+        let mut m = msg();
+        set_dns_cookie(&mut m, &DnsCookie::client_only([7; 8]));
+        let decoded = Message::decode(&m.encode()).unwrap();
+        assert_eq!(
+            find_dns_cookie(&decoded),
+            Some(DnsCookie::client_only([7; 8]))
+        );
+    }
+
+    #[test]
+    fn cookie_encode_decode() {
+        let c = DnsCookie {
+            client: [1, 2, 3, 4, 5, 6, 7, 8],
+            server: Some(vec![9; 16]),
+        };
+        assert_eq!(DnsCookie::decode(&c.encode()), Some(c));
+        let only = DnsCookie::client_only([3; 8]);
+        assert_eq!(DnsCookie::decode(&only.encode()), Some(only));
+        assert_eq!(DnsCookie::decode(&[1; 7]), None, "short");
+        assert_eq!(DnsCookie::decode(&[1; 12]), None, "server cookie < 8");
+        assert_eq!(DnsCookie::decode(&[1; 41]), None, "too long");
+    }
+
+    #[test]
+    fn extended_rcode_combines() {
+        let edns = Edns {
+            ext_rcode_hi: 1,
+            ..Edns::default()
+        };
+        // BADCOOKIE = 23 = (1 << 4) | 7.
+        assert_eq!(edns.extended_rcode(7), EXT_RCODE_BADCOOKIE);
+    }
+
+    #[test]
+    fn set_replaces_existing_opt() {
+        let mut m = msg();
+        set_dns_cookie(&mut m, &DnsCookie::client_only([1; 8]));
+        set_dns_cookie(&mut m, &DnsCookie::client_only([2; 8]));
+        let opts: Vec<_> = m.additionals.iter().filter(|r| r.rtype == RrType::Opt).collect();
+        assert_eq!(opts.len(), 1);
+        assert_eq!(find_dns_cookie(&m).unwrap().client, [2; 8]);
+    }
+
+    #[test]
+    fn strip_removes_opt() {
+        let mut m = msg();
+        set_dns_cookie(&mut m, &DnsCookie::client_only([4; 8]));
+        let taken = strip_dns_cookie(&mut m).unwrap();
+        assert_eq!(taken.client, [4; 8]);
+        assert!(find_edns(&m).is_none());
+        assert_eq!(m, msg());
+    }
+
+    #[test]
+    fn malformed_options_rejected() {
+        // Truncated option header.
+        let rec = Record {
+            name: Name::root(),
+            rtype: RrType::Opt,
+            class: RrClass::Other(512),
+            ttl: 0,
+            rdata: RData::Unknown(vec![0, 10, 0]),
+        };
+        assert_eq!(Edns::from_record(&rec), None);
+        // Declared length overruns.
+        let rec = Record {
+            name: Name::root(),
+            rtype: RrType::Opt,
+            class: RrClass::Other(512),
+            ttl: 0,
+            rdata: RData::Unknown(vec![0, 10, 0, 4, 1]),
+        };
+        assert_eq!(Edns::from_record(&rec), None);
+    }
+}

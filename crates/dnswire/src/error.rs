@@ -1,0 +1,87 @@
+//! Error types for DNS wire encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while parsing or serialising DNS wire data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The input ended before a complete field could be read.
+    UnexpectedEnd {
+        /// Byte offset at which more data was needed.
+        offset: usize,
+    },
+    /// A domain-name label exceeded 63 bytes.
+    LabelTooLong(usize),
+    /// A domain name exceeded 255 bytes on the wire.
+    NameTooLong(usize),
+    /// A label length octet used the reserved `0x40`/`0x80` prefix bits.
+    BadLabelType(u8),
+    /// A compression pointer pointed at or after its own position, or the
+    /// pointer chain exceeded the jump budget.
+    BadPointer {
+        /// Pointer target offset.
+        target: usize,
+        /// Offset of the pointer itself.
+        at: usize,
+    },
+    /// Too many compression pointer jumps (loop suspected).
+    PointerLoop,
+    /// A resource record's RDLENGTH did not match its RDATA encoding.
+    RdataLengthMismatch {
+        /// Declared RDLENGTH.
+        declared: usize,
+        /// Bytes actually consumed.
+        consumed: usize,
+    },
+    /// A character-string inside RDATA overran the record boundary.
+    BadCharacterString,
+    /// Trailing bytes remained after the counts in the header were satisfied.
+    TrailingBytes(usize),
+    /// A name contained non-ASCII or otherwise unrepresentable characters
+    /// when parsed from text.
+    InvalidText(String),
+    /// The message would exceed the encoder's size budget and cannot be
+    /// truncated safely (e.g. a single question larger than the limit).
+    TooLarge {
+        /// Size the message needed.
+        needed: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnexpectedEnd { offset } => {
+                write!(f, "unexpected end of input at byte {offset}")
+            }
+            WireError::LabelTooLong(len) => write!(f, "label of {len} bytes exceeds 63"),
+            WireError::NameTooLong(len) => write!(f, "name of {len} bytes exceeds 255"),
+            WireError::BadLabelType(octet) => {
+                write!(f, "reserved label type in length octet {octet:#04x}")
+            }
+            WireError::BadPointer { target, at } => {
+                write!(f, "compression pointer at {at} targets invalid offset {target}")
+            }
+            WireError::PointerLoop => write!(f, "compression pointer loop detected"),
+            WireError::RdataLengthMismatch { declared, consumed } => write!(
+                f,
+                "rdata length mismatch: declared {declared}, consumed {consumed}"
+            ),
+            WireError::BadCharacterString => write!(f, "character-string overruns rdata"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::InvalidText(s) => write!(f, "invalid name text: {s}"),
+            WireError::TooLarge { needed, limit } => {
+                write!(f, "message needs {needed} bytes, limit is {limit}")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Convenient alias for wire-format results.
+pub type WireResult<T> = Result<T, WireError>;

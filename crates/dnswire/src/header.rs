@@ -1,0 +1,215 @@
+//! The 12-byte DNS message header.
+
+use crate::error::{WireError, WireResult};
+use crate::types::{Opcode, Rcode};
+
+/// Wire length of a DNS header.
+pub const HEADER_LEN: usize = 12;
+
+/// A decoded DNS message header (RFC 1035 section 4.1.1).
+///
+/// The four count fields are not stored here; `Message` derives them from its
+/// section vectors when encoding and verifies them when decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Header {
+    /// Transaction identifier, echoed by responses.
+    pub id: u16,
+    /// `true` for responses, `false` for queries (QR bit).
+    pub response: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative answer (AA).
+    pub authoritative: bool,
+    /// Truncation (TC) — the signal the TCP-based guard scheme relies on.
+    pub truncated: bool,
+    /// Recursion desired (RD).
+    pub recursion_desired: bool,
+    /// Recursion available (RA).
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+/// The section counts carried in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SectionCounts {
+    /// QDCOUNT — questions.
+    pub questions: u16,
+    /// ANCOUNT — answer records.
+    pub answers: u16,
+    /// NSCOUNT — authority records.
+    pub authorities: u16,
+    /// ARCOUNT — additional records.
+    pub additionals: u16,
+}
+
+impl Header {
+    /// Creates a query header with the given transaction id and RD set —
+    /// the shape stub resolvers send.
+    pub fn query(id: u16) -> Self {
+        Header {
+            id,
+            recursion_desired: true,
+            ..Header::default()
+        }
+    }
+
+    /// Creates an iterative (non-recursive) query header, as an LRS sends to
+    /// authoritative servers.
+    pub fn iterative_query(id: u16) -> Self {
+        Header {
+            id,
+            ..Header::default()
+        }
+    }
+
+    /// Creates the response header matching this query: same id/opcode/RD,
+    /// QR set.
+    pub fn response_to(&self) -> Self {
+        Header {
+            id: self.id,
+            response: true,
+            opcode: self.opcode,
+            authoritative: false,
+            truncated: false,
+            recursion_desired: self.recursion_desired,
+            recursion_available: false,
+            rcode: Rcode::NoError,
+        }
+    }
+
+    /// Encodes the header plus explicit section counts.
+    pub fn encode(&self, counts: SectionCounts, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags: u16 = 0;
+        if self.response {
+            flags |= 0x8000;
+        }
+        flags |= (self.opcode.code() as u16) << 11;
+        if self.authoritative {
+            flags |= 0x0400;
+        }
+        if self.truncated {
+            flags |= 0x0200;
+        }
+        if self.recursion_desired {
+            flags |= 0x0100;
+        }
+        if self.recursion_available {
+            flags |= 0x0080;
+        }
+        flags |= self.rcode.code() as u16;
+        buf.extend_from_slice(&flags.to_be_bytes());
+        buf.extend_from_slice(&counts.questions.to_be_bytes());
+        buf.extend_from_slice(&counts.answers.to_be_bytes());
+        buf.extend_from_slice(&counts.authorities.to_be_bytes());
+        buf.extend_from_slice(&counts.additionals.to_be_bytes());
+    }
+
+    /// Decodes a header and its section counts from the front of `msg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::UnexpectedEnd`] when fewer than 12 bytes remain.
+    pub fn decode(msg: &[u8]) -> WireResult<(Header, SectionCounts)> {
+        if msg.len() < HEADER_LEN {
+            return Err(WireError::UnexpectedEnd { offset: msg.len() });
+        }
+        let id = u16::from_be_bytes([msg[0], msg[1]]);
+        let flags = u16::from_be_bytes([msg[2], msg[3]]);
+        let header = Header {
+            id,
+            response: flags & 0x8000 != 0,
+            opcode: Opcode::from(((flags >> 11) & 0x0F) as u8),
+            authoritative: flags & 0x0400 != 0,
+            truncated: flags & 0x0200 != 0,
+            recursion_desired: flags & 0x0100 != 0,
+            recursion_available: flags & 0x0080 != 0,
+            rcode: Rcode::from((flags & 0x0F) as u8),
+        };
+        let counts = SectionCounts {
+            questions: u16::from_be_bytes([msg[4], msg[5]]),
+            answers: u16::from_be_bytes([msg[6], msg[7]]),
+            authorities: u16::from_be_bytes([msg[8], msg[9]]),
+            additionals: u16::from_be_bytes([msg[10], msg[11]]),
+        };
+        Ok((header, counts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let header = Header {
+            id: 0xBEEF,
+            response: true,
+            opcode: Opcode::Status,
+            authoritative: true,
+            truncated: true,
+            recursion_desired: true,
+            recursion_available: true,
+            rcode: Rcode::Refused,
+        };
+        let counts = SectionCounts {
+            questions: 1,
+            answers: 2,
+            authorities: 3,
+            additionals: 4,
+        };
+        let mut buf = Vec::new();
+        header.encode(counts, &mut buf);
+        assert_eq!(buf.len(), HEADER_LEN);
+        let (decoded, decoded_counts) = Header::decode(&buf).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(decoded_counts, counts);
+    }
+
+    #[test]
+    fn all_flag_bits_independent() {
+        for bit in 0..5 {
+            let mut h = Header::query(1);
+            match bit {
+                0 => h.response = true,
+                1 => h.authoritative = true,
+                2 => h.truncated = true,
+                3 => h.recursion_desired = false,
+                _ => h.recursion_available = true,
+            }
+            let mut buf = Vec::new();
+            h.encode(SectionCounts::default(), &mut buf);
+            let (d, _) = Header::decode(&buf).unwrap();
+            assert_eq!(d, h, "bit {bit}");
+        }
+    }
+
+    #[test]
+    fn response_to_echoes_id_and_rd() {
+        let q = Header::query(77);
+        let r = q.response_to();
+        assert_eq!(r.id, 77);
+        assert!(r.response);
+        assert!(r.recursion_desired);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert!(matches!(
+            Header::decode(&[0u8; 11]),
+            Err(WireError::UnexpectedEnd { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_bit_is_0x0200() {
+        // The TC bit position matters for interop; pin it explicitly.
+        let mut h = Header::query(0);
+        h.truncated = true;
+        let mut buf = Vec::new();
+        h.encode(SectionCounts::default(), &mut buf);
+        assert_eq!(buf[2] & 0x02, 0x02);
+    }
+}

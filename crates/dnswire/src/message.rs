@@ -1,0 +1,462 @@
+//! Whole DNS messages: sections, compression-aware encoding, decoding and
+//! the 512-byte UDP truncation rule that the TCP-based guard scheme exploits.
+
+use crate::error::{WireError, WireResult};
+use crate::header::{Header, SectionCounts};
+use crate::name::Name;
+use crate::question::Question;
+use crate::record::Record;
+use crate::types::{RrType, Rcode};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Classic maximum UDP DNS payload (RFC 1035); larger answers set TC.
+pub const MAX_UDP_PAYLOAD: usize = 512;
+
+/// A DNS message: header plus the four sections.
+///
+/// # Examples
+///
+/// ```
+/// use dnswire::message::Message;
+/// use dnswire::types::RrType;
+///
+/// let query = Message::query(0x1234, "www.foo.com".parse()?, RrType::A);
+/// let wire = query.encode();
+/// let back = Message::decode(&wire)?;
+/// assert_eq!(back, query);
+/// # Ok::<(), dnswire::error::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    /// The header (counts are derived from the vectors below).
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section — where referral NS records live.
+    pub authorities: Vec<Record>,
+    /// Additional section — glue A records and the cookie TXT extension.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// Builds a recursive query (RD set) for `name`/`rtype`.
+    pub fn query(id: u16, name: Name, rtype: RrType) -> Self {
+        Message {
+            header: Header::query(id),
+            questions: vec![Question::new(name, rtype)],
+            ..Message::default()
+        }
+    }
+
+    /// Builds an iterative query (RD clear), as an LRS sends to an ANS.
+    pub fn iterative_query(id: u16, name: Name, rtype: RrType) -> Self {
+        Message {
+            header: Header::iterative_query(id),
+            questions: vec![Question::new(name, rtype)],
+            ..Message::default()
+        }
+    }
+
+    /// Starts a response to this query: header echoed, question copied,
+    /// sections empty.
+    pub fn response(&self) -> Self {
+        Message {
+            header: self.header.response_to(),
+            questions: self.questions.clone(),
+            ..Message::default()
+        }
+    }
+
+    /// Starts an error response with the given rcode.
+    pub fn error_response(&self, rcode: Rcode) -> Self {
+        let mut r = self.response();
+        r.header.rcode = rcode;
+        r
+    }
+
+    /// A truncation response: question echoed, TC set, all sections empty.
+    /// This is what the guard sends to push a requester onto TCP; it is the
+    /// same size as the request, so there is no amplification.
+    pub fn truncated_response(&self) -> Self {
+        let mut r = self.response();
+        r.header.truncated = true;
+        r
+    }
+
+    /// The first question, if any — the common single-question case.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// True when this message is a response carrying *referral* information:
+    /// no answers, but NS records in the authority section (or, for guard
+    /// purposes, NS in answers with no terminal records).
+    pub fn is_referral(&self) -> bool {
+        if !self.header.response {
+            return false;
+        }
+        let ns_in_authority = self.authorities.iter().any(|r| r.rtype == RrType::Ns);
+        self.answers.is_empty() && ns_in_authority
+    }
+
+    /// Encodes with name compression, no size limit.
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_with_limit(usize::MAX)
+            .expect("unlimited encode cannot fail")
+            .0
+    }
+
+    /// Encodes with name compression, truncating at `limit` bytes.
+    ///
+    /// When the full message does not fit, records are dropped
+    /// (additional → authority → answer, whole records at a time), the TC
+    /// bit is set, and the shortened message is returned with `true`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TooLarge`] if even header + questions exceed `limit`.
+    pub fn encode_with_limit(&self, limit: usize) -> WireResult<(Vec<u8>, bool)> {
+        let full = self.encode_all();
+        if full.len() <= limit {
+            return Ok((full, false));
+        }
+        // Drop whole records until the message fits.
+        let mut m = self.clone();
+        m.header.truncated = true;
+        while !(m.additionals.is_empty() && m.authorities.is_empty() && m.answers.is_empty()) {
+            if !m.additionals.is_empty() {
+                m.additionals.pop();
+            } else if !m.authorities.is_empty() {
+                m.authorities.pop();
+            } else {
+                m.answers.pop();
+            }
+            let enc = m.encode_all();
+            if enc.len() <= limit {
+                return Ok((enc, true));
+            }
+        }
+        let enc = m.encode_all();
+        if enc.len() <= limit {
+            Ok((enc, true))
+        } else {
+            Err(WireError::TooLarge {
+                needed: enc.len(),
+                limit,
+            })
+        }
+    }
+
+    /// The wire size of the fully-encoded message (with compression).
+    pub fn wire_len(&self) -> usize {
+        self.encode().len()
+    }
+
+    fn encode_all(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(128);
+        let counts = SectionCounts {
+            questions: self.questions.len() as u16,
+            answers: self.answers.len() as u16,
+            authorities: self.authorities.len() as u16,
+            additionals: self.additionals.len() as u16,
+        };
+        self.header.encode(counts, &mut buf);
+        let mut compressor = Compressor::default();
+        for q in &self.questions {
+            compressor.encode_name(&q.name, &mut buf);
+            buf.extend_from_slice(&q.qtype.code().to_be_bytes());
+            buf.extend_from_slice(&q.qclass.code().to_be_bytes());
+        }
+        for r in self.answers.iter().chain(&self.authorities).chain(&self.additionals) {
+            compressor.encode_name(&r.name, &mut buf);
+            buf.extend_from_slice(&r.rtype.code().to_be_bytes());
+            buf.extend_from_slice(&r.class.code().to_be_bytes());
+            buf.extend_from_slice(&r.ttl.to_be_bytes());
+            let rdlen_at = buf.len();
+            buf.extend_from_slice(&[0, 0]);
+            r.rdata.encode(&mut buf);
+            let rdlen = (buf.len() - rdlen_at - 2) as u16;
+            buf[rdlen_at..rdlen_at + 2].copy_from_slice(&rdlen.to_be_bytes());
+        }
+        buf
+    }
+
+    /// Decodes a full message.
+    ///
+    /// # Errors
+    ///
+    /// Any structural error, including trailing bytes after the counted
+    /// records.
+    pub fn decode(msg: &[u8]) -> WireResult<Message> {
+        let (header, counts) = Header::decode(msg)?;
+        let mut pos = crate::header::HEADER_LEN;
+        let mut questions = Vec::with_capacity(counts.questions as usize);
+        for _ in 0..counts.questions {
+            let (q, next) = Question::decode(msg, pos)?;
+            questions.push(q);
+            pos = next;
+        }
+        let decode_section = |count: u16, pos: &mut usize| -> WireResult<Vec<Record>> {
+            let mut records = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let (r, next) = Record::decode(msg, *pos)?;
+                records.push(r);
+                *pos = next;
+            }
+            Ok(records)
+        };
+        let answers = decode_section(counts.answers, &mut pos)?;
+        let authorities = decode_section(counts.authorities, &mut pos)?;
+        let additionals = decode_section(counts.additionals, &mut pos)?;
+        if pos != msg.len() {
+            return Err(WireError::TrailingBytes(msg.len() - pos));
+        }
+        Ok(Message {
+            header,
+            questions,
+            answers,
+            authorities,
+            additionals,
+        })
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            ";; id {} {} {} {}{}",
+            self.header.id,
+            if self.header.response { "response" } else { "query" },
+            self.header.rcode,
+            if self.header.authoritative { "aa " } else { "" },
+            if self.header.truncated { "tc" } else { "" },
+        )?;
+        for q in &self.questions {
+            writeln!(f, ";; question: {q}")?;
+        }
+        for (label, section) in [
+            ("answer", &self.answers),
+            ("authority", &self.authorities),
+            ("additional", &self.additionals),
+        ] {
+            for r in section {
+                writeln!(f, ";; {label}: {r}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Suffix-sharing name compressor. Remembers the offset of every name suffix
+/// written so far and emits a pointer to the longest known suffix.
+#[derive(Default)]
+struct Compressor {
+    offsets: HashMap<Vec<Vec<u8>>, u16>,
+}
+
+impl Compressor {
+    fn encode_name(&mut self, name: &Name, buf: &mut Vec<u8>) {
+        let labels: Vec<Vec<u8>> = name.labels().map(|l| l.to_vec()).collect();
+        // Find the longest suffix already in the map.
+        let mut emit_until = labels.len(); // labels[..emit_until] written literally
+        let mut pointer: Option<u16> = None;
+        for start in 0..labels.len() {
+            if let Some(&off) = self.offsets.get(&labels[start..].to_vec()) {
+                emit_until = start;
+                pointer = Some(off);
+                break;
+            }
+        }
+        // Register the new suffixes that will be written literally.
+        for start in 0..emit_until {
+            let here = buf.len() + labels[..start].iter().map(|l| l.len() + 1).sum::<usize>();
+            if here < 0x4000 {
+                self.offsets.entry(labels[start..].to_vec()).or_insert(here as u16);
+            }
+        }
+        for label in &labels[..emit_until] {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label);
+        }
+        match pointer {
+            Some(off) => {
+                buf.push(0xC0 | (off >> 8) as u8);
+                buf.push((off & 0xFF) as u8);
+            }
+            None => buf.push(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn sample_response() -> Message {
+        let query = Message::query(7, n("www.foo.com"), RrType::A);
+        let mut resp = query.response();
+        resp.header.authoritative = true;
+        resp.answers.push(Record::a(n("www.foo.com"), Ipv4Addr::new(192, 0, 2, 10), 300));
+        resp.authorities.push(Record::ns(n("foo.com"), n("ns1.foo.com"), 3600));
+        resp.authorities.push(Record::ns(n("foo.com"), n("ns2.foo.com"), 3600));
+        resp.additionals.push(Record::a(n("ns1.foo.com"), Ipv4Addr::new(192, 0, 2, 1), 3600));
+        resp.additionals.push(Record::a(n("ns2.foo.com"), Ipv4Addr::new(192, 0, 2, 2), 3600));
+        resp
+    }
+
+    #[test]
+    fn query_round_trip() {
+        let q = Message::query(0x1234, n("example.org"), RrType::Aaaa);
+        let wire = q.encode();
+        assert_eq!(Message::decode(&wire).unwrap(), q);
+    }
+
+    #[test]
+    fn response_round_trip_with_all_sections() {
+        let resp = sample_response();
+        let wire = resp.encode();
+        assert_eq!(Message::decode(&wire).unwrap(), resp);
+    }
+
+    #[test]
+    fn compression_shrinks_output() {
+        let resp = sample_response();
+        let compressed = resp.encode();
+        // Rough uncompressed size: encode each record standalone.
+        let mut uncompressed = 12usize;
+        for q in &resp.questions {
+            let mut b = Vec::new();
+            q.encode(&mut b);
+            uncompressed += b.len();
+        }
+        for r in resp.answers.iter().chain(&resp.authorities).chain(&resp.additionals) {
+            let mut b = Vec::new();
+            r.name.encode_uncompressed(&mut b);
+            b.extend_from_slice(&[0u8; 10]);
+            r.rdata.encode(&mut b);
+            uncompressed += b.len();
+        }
+        assert!(
+            compressed.len() < uncompressed,
+            "compressed {} >= uncompressed {}",
+            compressed.len(),
+            uncompressed
+        );
+    }
+
+    #[test]
+    fn pointers_resolve_to_original_names() {
+        // Decoding the compressed form must reproduce identical names.
+        let resp = sample_response();
+        let decoded = Message::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.authorities[0].name, n("foo.com"));
+        assert_eq!(decoded.additionals[1].name, n("ns2.foo.com"));
+    }
+
+    #[test]
+    fn truncation_drops_records_and_sets_tc() {
+        let mut resp = sample_response();
+        // Inflate with many answers so it cannot fit in 512 bytes.
+        for i in 0..60u8 {
+            resp.answers.push(Record::a(
+                n(&format!("host{i}.foo.com")),
+                Ipv4Addr::new(10, 0, 0, i),
+                60,
+            ));
+        }
+        let full = resp.encode();
+        assert!(full.len() > MAX_UDP_PAYLOAD);
+        let (wire, truncated) = resp.encode_with_limit(MAX_UDP_PAYLOAD).unwrap();
+        assert!(truncated);
+        assert!(wire.len() <= MAX_UDP_PAYLOAD);
+        let decoded = Message::decode(&wire).unwrap();
+        assert!(decoded.header.truncated);
+        assert_eq!(decoded.questions, resp.questions);
+    }
+
+    #[test]
+    fn no_truncation_when_it_fits() {
+        let resp = sample_response();
+        let (wire, truncated) = resp.encode_with_limit(MAX_UDP_PAYLOAD).unwrap();
+        assert!(!truncated);
+        assert!(!Message::decode(&wire).unwrap().header.truncated);
+    }
+
+    #[test]
+    fn too_large_when_question_alone_exceeds_limit() {
+        let q = Message::query(1, n("a-rather-long-domain-name.example.org"), RrType::A);
+        assert!(matches!(
+            q.encode_with_limit(20),
+            Err(WireError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = Message::query(9, n("x.y"), RrType::A).encode();
+        wire.push(0);
+        assert!(matches!(
+            Message::decode(&wire),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn is_referral_detects_delegation() {
+        let query = Message::iterative_query(3, n("www.foo.com"), RrType::A);
+        let mut referral = query.response();
+        referral.authorities.push(Record::ns(n("com"), n("a.gtld-servers.net"), 172800));
+        referral.additionals.push(Record::a(n("a.gtld-servers.net"), Ipv4Addr::new(192, 5, 6, 30), 172800));
+        assert!(referral.is_referral());
+
+        let mut answer = query.response();
+        answer.answers.push(Record::a(n("www.foo.com"), Ipv4Addr::new(1, 2, 3, 4), 60));
+        assert!(!answer.is_referral());
+        assert!(!query.is_referral(), "queries are never referrals");
+    }
+
+    #[test]
+    fn truncated_response_same_size_as_request() {
+        let query = Message::query(5, n("www.foo.com"), RrType::A);
+        let tc = query.truncated_response();
+        assert_eq!(tc.encode().len(), query.encode().len());
+        assert!(tc.header.truncated);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(Message::decode(&[]).is_err());
+        assert!(Message::decode(&[0u8; 5]).is_err());
+        // Header claiming one question but no question bytes.
+        let mut buf = Vec::new();
+        Header::query(1).encode(
+            SectionCounts {
+                questions: 1,
+                ..SectionCounts::default()
+            },
+            &mut buf,
+        );
+        assert!(Message::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn decoder_never_panics_on_fuzzed_mutations() {
+        let wire = sample_response().encode();
+        for i in 0..wire.len() {
+            for bit in 0..8 {
+                let mut mutated = wire.clone();
+                mutated[i] ^= 1 << bit;
+                let _ = Message::decode(&mutated); // must not panic
+            }
+        }
+    }
+}

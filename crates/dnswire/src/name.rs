@@ -1,0 +1,533 @@
+//! Domain names: text parsing, wire encoding with compression, decoding with
+//! pointer chasing, and the hierarchy operations the resolver and guard need.
+
+use crate::error::{WireError, WireResult};
+use std::fmt;
+use std::str::FromStr;
+
+/// Maximum length of a single label in bytes (RFC 1035 section 2.3.4).
+pub const MAX_LABEL_LEN: usize = 63;
+
+/// Maximum length of a name on the wire, including length octets.
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Maximum number of compression-pointer jumps tolerated while decoding one
+/// name. Real names never need more than a handful; this bounds malicious
+/// pointer chains.
+const MAX_POINTER_JUMPS: usize = 64;
+
+/// A fully-qualified domain name, stored as a sequence of labels (without the
+/// trailing root label, which is implicit).
+///
+/// Comparison and hashing are ASCII case-insensitive, per RFC 1035.
+///
+/// # Examples
+///
+/// ```
+/// use dnswire::name::Name;
+///
+/// let name: Name = "www.Foo.COM".parse()?;
+/// assert_eq!(name.to_string(), "www.foo.com.");
+/// assert_eq!(name.label_count(), 3);
+/// assert!(name.is_subdomain_of(&"com".parse()?));
+/// # Ok::<(), dnswire::error::WireError>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct Name {
+    /// Labels in query order (leftmost first), stored lowercased for
+    /// comparison but preserving original bytes for display round-trips is
+    /// not required by the reproduction, so we canonicalise to lowercase.
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Builds a name from label byte-slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError::LabelTooLong`] / [`WireError::NameTooLong`] when
+    /// RFC 1035 limits are violated, and [`WireError::InvalidText`] for empty
+    /// labels.
+    pub fn from_labels<I, L>(labels: I) -> WireResult<Self>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut out = Vec::new();
+        for l in labels {
+            let l = l.as_ref();
+            if l.is_empty() {
+                return Err(WireError::InvalidText("empty label".into()));
+            }
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            out.push(l.to_ascii_lowercase());
+        }
+        let name = Name { labels: out };
+        let wire = name.wire_len();
+        if wire > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire));
+        }
+        Ok(name)
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of labels (the root name has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Iterates over the labels, leftmost (most specific) first.
+    pub fn labels(&self) -> impl Iterator<Item = &[u8]> {
+        self.labels.iter().map(|l| l.as_slice())
+    }
+
+    /// The leftmost label, if any.
+    pub fn first_label(&self) -> Option<&[u8]> {
+        self.labels.first().map(|l| l.as_slice())
+    }
+
+    /// The leftmost label as UTF-8 text, if it is valid UTF-8.
+    pub fn first_label_str(&self) -> Option<&str> {
+        self.first_label().and_then(|l| std::str::from_utf8(l).ok())
+    }
+
+    /// Length of this name on the wire (length octets + labels + root octet).
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The parent name (this name minus its leftmost label). The parent of
+    /// the root is the root.
+    pub fn parent(&self) -> Name {
+        if self.labels.is_empty() {
+            return Name::root();
+        }
+        Name {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+
+    /// Returns the suffix of this name with `count` labels (e.g. for
+    /// `www.foo.com`, `suffix(2)` is `foo.com`). `count` larger than the
+    /// label count returns the whole name.
+    pub fn suffix(&self, count: usize) -> Name {
+        let skip = self.labels.len().saturating_sub(count);
+        Name {
+            labels: self.labels[skip..].to_vec(),
+        }
+    }
+
+    /// True when `self` is `other` or a descendant of `other`.
+    /// Every name is a subdomain of the root.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..] == other.labels[..]
+    }
+
+    /// Creates a child name by prepending `label`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the label or the resulting name exceeds RFC limits.
+    pub fn child<L: AsRef<[u8]>>(&self, label: L) -> WireResult<Name> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_ref().to_vec());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// Concatenates `self` with `suffix` (self's labels first).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the combined name exceeds the 255-byte wire limit.
+    pub fn concat(&self, suffix: &Name) -> WireResult<Name> {
+        Name::from_labels(self.labels.iter().chain(suffix.labels.iter()))
+    }
+
+    /// Replaces the leftmost label with `label` (used by the guard to swap a
+    /// real NS label for a fabricated cookie label and back).
+    ///
+    /// # Errors
+    ///
+    /// Fails on RFC limit violations; on the root name this is equivalent to
+    /// [`Name::child`].
+    pub fn with_first_label<L: AsRef<[u8]>>(&self, label: L) -> WireResult<Name> {
+        if self.labels.is_empty() {
+            return self.child(label);
+        }
+        let mut labels = self.labels.clone();
+        labels[0] = label.as_ref().to_vec();
+        Name::from_labels(labels)
+    }
+
+    /// Encodes the name without compression, appending to `buf`.
+    pub fn encode_uncompressed(&self, buf: &mut Vec<u8>) {
+        for l in &self.labels {
+            buf.push(l.len() as u8);
+            buf.extend_from_slice(l);
+        }
+        buf.push(0);
+    }
+
+    /// Decodes a name starting at `offset` in `msg`, following compression
+    /// pointers. Returns the name and the offset just past the name's
+    /// in-place encoding (pointers do not advance past their two bytes).
+    ///
+    /// # Errors
+    ///
+    /// Rejects forward-pointing or looping pointers, reserved label types,
+    /// over-long labels/names and truncated input.
+    pub fn decode(msg: &[u8], offset: usize) -> WireResult<(Name, usize)> {
+        let mut labels = Vec::new();
+        let mut pos = offset;
+        let mut end_after: Option<usize> = None;
+        let mut jumps = 0usize;
+        let mut wire_len = 1usize; // trailing root octet
+
+        loop {
+            let len_octet = *msg.get(pos).ok_or(WireError::UnexpectedEnd { offset: pos })?;
+            match len_octet {
+                0 => {
+                    let end = end_after.unwrap_or(pos + 1);
+                    let name = Name { labels };
+                    return Ok((name, end));
+                }
+                l if l & 0xC0 == 0xC0 => {
+                    let next = *msg
+                        .get(pos + 1)
+                        .ok_or(WireError::UnexpectedEnd { offset: pos + 1 })?;
+                    let target = (((l & 0x3F) as usize) << 8) | next as usize;
+                    if target >= pos {
+                        return Err(WireError::BadPointer { target, at: pos });
+                    }
+                    jumps += 1;
+                    if jumps > MAX_POINTER_JUMPS {
+                        return Err(WireError::PointerLoop);
+                    }
+                    if end_after.is_none() {
+                        end_after = Some(pos + 2);
+                    }
+                    pos = target;
+                }
+                l if l & 0xC0 != 0 => return Err(WireError::BadLabelType(l)),
+                l => {
+                    let len = l as usize;
+                    let start = pos + 1;
+                    let end = start + len;
+                    let label = msg
+                        .get(start..end)
+                        .ok_or(WireError::UnexpectedEnd { offset: end })?;
+                    wire_len += len + 1;
+                    if wire_len > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    labels.push(label.to_ascii_lowercase());
+                    pos = end;
+                }
+            }
+        }
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels == other.labels
+    }
+}
+
+impl Eq for Name {}
+
+impl std::hash::Hash for Name {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.labels.hash(state);
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering: compare label sequences right-to-left
+    /// (hierarchical order), so a zone sorts before its children.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.labels.iter().rev();
+        let b = other.labels.iter().rev();
+        a.cmp(b)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for l in &self.labels {
+            for &b in l {
+                // Escape dots and non-printables inside labels per RFC 4343.
+                match b {
+                    b'.' => f.write_str("\\.")?,
+                    b'\\' => f.write_str("\\\\")?,
+                    0x21..=0x7E => write!(f, "{}", b as char)?,
+                    other => write!(f, "\\{:03}", other)?,
+                }
+            }
+            f.write_str(".")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
+    }
+}
+
+impl FromStr for Name {
+    type Err = WireError;
+
+    /// Parses dotted text (`www.foo.com`, trailing dot optional, `.` or empty
+    /// string for the root). Supports `\.`/`\\`/`\DDD` escapes.
+    fn from_str(s: &str) -> WireResult<Self> {
+        if s.is_empty() || s == "." {
+            return Ok(Name::root());
+        }
+        let s = s.strip_suffix('.').unwrap_or(s);
+        let mut labels: Vec<Vec<u8>> = Vec::new();
+        let mut current: Vec<u8> = Vec::new();
+        let mut chars = s.bytes().peekable();
+        while let Some(b) = chars.next() {
+            match b {
+                b'\\' => match chars.next() {
+                    Some(d @ b'0'..=b'9') => {
+                        let d2 = chars
+                            .next()
+                            .filter(u8::is_ascii_digit)
+                            .ok_or_else(|| WireError::InvalidText(s.into()))?;
+                        let d3 = chars
+                            .next()
+                            .filter(u8::is_ascii_digit)
+                            .ok_or_else(|| WireError::InvalidText(s.into()))?;
+                        let value = (d - b'0') as u16 * 100 + (d2 - b'0') as u16 * 10 + (d3 - b'0') as u16;
+                        if value > 255 {
+                            return Err(WireError::InvalidText(s.into()));
+                        }
+                        current.push(value as u8);
+                    }
+                    Some(escaped) => current.push(escaped),
+                    None => return Err(WireError::InvalidText(s.into())),
+                },
+                b'.' => {
+                    labels.push(std::mem::take(&mut current));
+                    // Empty labels (consecutive dots) are invalid; caught by
+                    // from_labels below.
+                }
+                other => current.push(other),
+            }
+        }
+        labels.push(current);
+        Name::from_labels(labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        assert_eq!(n("www.foo.com").to_string(), "www.foo.com.");
+        assert_eq!(n("www.foo.com.").to_string(), "www.foo.com.");
+        assert_eq!(n(".").to_string(), ".");
+        assert_eq!(n("").to_string(), ".");
+        assert_eq!(n("COM").to_string(), "com.");
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(n("WWW.Foo.Com"), n("www.foo.com"));
+        let mut set = std::collections::HashSet::new();
+        set.insert(n("Example.ORG"));
+        assert!(set.contains(&n("example.org")));
+    }
+
+    #[test]
+    fn rejects_empty_label() {
+        assert!("a..b".parse::<Name>().is_err());
+        assert!(Name::from_labels(["a", "", "b"]).is_err());
+    }
+
+    #[test]
+    fn rejects_long_label_and_name() {
+        let long_label = "x".repeat(64);
+        assert!(long_label.parse::<Name>().is_err());
+        let ok_label = "x".repeat(63);
+        assert!(ok_label.parse::<Name>().is_ok());
+
+        let long_name = (0..32).map(|_| "abcdefg").collect::<Vec<_>>().join(".");
+        assert!(long_name.parse::<Name>().is_err());
+    }
+
+    #[test]
+    fn hierarchy_ops() {
+        let name = n("www.foo.com");
+        assert_eq!(name.parent(), n("foo.com"));
+        assert_eq!(name.parent().parent(), n("com"));
+        assert_eq!(name.parent().parent().parent(), Name::root());
+        assert_eq!(Name::root().parent(), Name::root());
+
+        assert!(name.is_subdomain_of(&n("foo.com")));
+        assert!(name.is_subdomain_of(&n("com")));
+        assert!(name.is_subdomain_of(&Name::root()));
+        assert!(name.is_subdomain_of(&name));
+        assert!(!n("foo.com").is_subdomain_of(&name));
+        assert!(!n("barfoo.com").is_subdomain_of(&n("foo.com")));
+
+        assert_eq!(name.suffix(2), n("foo.com"));
+        assert_eq!(name.suffix(0), Name::root());
+        assert_eq!(name.suffix(99), name);
+    }
+
+    #[test]
+    fn child_and_concat() {
+        assert_eq!(n("foo.com").child("www").unwrap(), n("www.foo.com"));
+        assert_eq!(Name::root().child("com").unwrap(), n("com"));
+        assert_eq!(n("www").concat(&n("foo.com")).unwrap(), n("www.foo.com"));
+        assert_eq!(n("a.b").concat(&Name::root()).unwrap(), n("a.b"));
+    }
+
+    #[test]
+    fn with_first_label_swaps() {
+        let original = n("ns1.foo.com");
+        let fabricated = original.with_first_label("PRdeadbeef").unwrap();
+        assert_eq!(fabricated, n("PRdeadbeef.foo.com"));
+        assert_eq!(fabricated.with_first_label("ns1").unwrap(), original);
+        assert_eq!(Name::root().with_first_label("x").unwrap(), n("x"));
+    }
+
+    #[test]
+    fn wire_round_trip_uncompressed() {
+        for s in ["www.foo.com", "a", ".", "x.y.z.w.v.u"] {
+            let name = n(s);
+            let mut buf = Vec::new();
+            name.encode_uncompressed(&mut buf);
+            let (decoded, used) = Name::decode(&buf, 0).unwrap();
+            assert_eq!(decoded, name);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn wire_len_matches_encoding() {
+        for s in ["www.foo.com", "a", "."] {
+            let name = n(s);
+            let mut buf = Vec::new();
+            name.encode_uncompressed(&mut buf);
+            assert_eq!(buf.len(), name.wire_len());
+        }
+    }
+
+    #[test]
+    fn decode_follows_pointer() {
+        // "foo.com" at offset 0; "www" + pointer to offset 0 at offset 9.
+        let mut buf = Vec::new();
+        n("foo.com").encode_uncompressed(&mut buf);
+        let ptr_at = buf.len();
+        buf.push(3);
+        buf.extend_from_slice(b"www");
+        buf.push(0xC0);
+        buf.push(0);
+        let (decoded, used) = Name::decode(&buf, ptr_at).unwrap();
+        assert_eq!(decoded, n("www.foo.com"));
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn decode_rejects_forward_pointer() {
+        let buf = [0xC0u8, 0x02, 0x00];
+        assert!(matches!(
+            Name::decode(&buf, 0),
+            Err(WireError::BadPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_self_pointer() {
+        let buf = [0xC0u8, 0x00];
+        assert!(matches!(
+            Name::decode(&buf, 0),
+            Err(WireError::BadPointer { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_reserved_label_types() {
+        assert!(matches!(Name::decode(&[0x40, 0x00], 0), Err(WireError::BadLabelType(_))));
+        assert!(matches!(Name::decode(&[0x80, 0x00], 0), Err(WireError::BadLabelType(_))));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        assert!(matches!(Name::decode(&[], 0), Err(WireError::UnexpectedEnd { .. })));
+        assert!(matches!(Name::decode(&[3, b'w'], 0), Err(WireError::UnexpectedEnd { .. })));
+        assert!(matches!(Name::decode(&[0xC0], 0), Err(WireError::UnexpectedEnd { .. })));
+    }
+
+    #[test]
+    fn escapes_in_display_and_parse() {
+        let name = Name::from_labels([b"a.b".as_slice(), b"c".as_slice()]).unwrap();
+        let text = name.to_string();
+        assert_eq!(text, "a\\.b.c.");
+        assert_eq!(text.parse::<Name>().unwrap(), name);
+
+        let weird = Name::from_labels([&[0x07u8, b'x'][..]]).unwrap();
+        let round = weird.to_string().parse::<Name>().unwrap();
+        assert_eq!(round, weird);
+    }
+
+    #[test]
+    fn canonical_ordering_groups_zones() {
+        let mut names = vec![n("b.com"), n("a.com"), n("com"), n("www.a.com"), n("org")];
+        names.sort();
+        assert_eq!(
+            names,
+            vec![n("com"), n("a.com"), n("www.a.com"), n("b.com"), n("org")]
+        );
+    }
+
+    #[test]
+    fn max_pointer_jumps_bounded() {
+        // Build a chain of pointers each pointing 2 bytes back; 100 jumps.
+        let mut buf = vec![0u8]; // root name at offset 0
+        for i in 0..100u16 {
+            // Each pointer points to the previous pointer (or the root).
+            let target = if i == 0 { 0 } else { 1 + (i - 1) * 2 };
+            buf.push(0xC0 | ((target >> 8) as u8));
+            buf.push((target & 0xFF) as u8);
+        }
+        let start = buf.len() - 2;
+        assert!(matches!(Name::decode(&buf, start), Err(WireError::PointerLoop)));
+    }
+}

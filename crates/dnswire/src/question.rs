@@ -1,0 +1,115 @@
+//! The question section entry.
+
+use crate::error::WireResult;
+use crate::name::Name;
+use crate::types::{RrClass, RrType};
+use std::fmt;
+
+/// A single question: QNAME, QTYPE, QCLASS.
+///
+/// # Examples
+///
+/// ```
+/// use dnswire::{question::Question, types::RrType};
+///
+/// let q = Question::new("www.foo.com".parse()?, RrType::A);
+/// assert_eq!(q.to_string(), "www.foo.com. IN A");
+/// # Ok::<(), dnswire::error::WireError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Question {
+    /// The name being queried.
+    pub name: Name,
+    /// The record type requested.
+    pub qtype: RrType,
+    /// The class (practically always `IN`).
+    pub qclass: RrClass,
+}
+
+impl Question {
+    /// Creates an `IN`-class question.
+    pub fn new(name: Name, qtype: RrType) -> Self {
+        Question {
+            name,
+            qtype,
+            qclass: RrClass::In,
+        }
+    }
+
+    /// Encodes into `buf` without name compression (questions come first, so
+    /// there is rarely anything to point at; the message encoder still adds
+    /// this name to its compression map for later sections).
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        self.name.encode_uncompressed(buf);
+        buf.extend_from_slice(&self.qtype.code().to_be_bytes());
+        buf.extend_from_slice(&self.qclass.code().to_be_bytes());
+    }
+
+    /// Decodes a question at `offset`, returning it and the next offset.
+    pub fn decode(msg: &[u8], offset: usize) -> WireResult<(Question, usize)> {
+        let (name, mut pos) = Name::decode(msg, offset)?;
+        let qtype = read_u16(msg, pos)?;
+        pos += 2;
+        let qclass = read_u16(msg, pos)?;
+        pos += 2;
+        Ok((
+            Question {
+                name,
+                qtype: RrType::from(qtype),
+                qclass: RrClass::from(qclass),
+            },
+            pos,
+        ))
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.name, self.qclass, self.qtype)
+    }
+}
+
+pub(crate) fn read_u16(msg: &[u8], offset: usize) -> WireResult<u16> {
+    let bytes = msg
+        .get(offset..offset + 2)
+        .ok_or(crate::error::WireError::UnexpectedEnd { offset })?;
+    Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+}
+
+pub(crate) fn read_u32(msg: &[u8], offset: usize) -> WireResult<u32> {
+    let bytes = msg
+        .get(offset..offset + 4)
+        .ok_or(crate::error::WireError::UnexpectedEnd { offset })?;
+    Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let q = Question::new("example.org".parse().unwrap(), RrType::Mx);
+        let mut buf = Vec::new();
+        q.encode(&mut buf);
+        let (decoded, used) = Question::decode(&buf, 0).unwrap();
+        assert_eq!(decoded, q);
+        assert_eq!(used, buf.len());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let q = Question::new("a.b".parse().unwrap(), RrType::A);
+        let mut buf = Vec::new();
+        q.encode(&mut buf);
+        for len in 0..buf.len() {
+            assert!(Question::decode(&buf[..len], 0).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        let q = Question::new("x.y".parse().unwrap(), RrType::Txt);
+        assert_eq!(q.to_string(), "x.y. IN TXT");
+    }
+}

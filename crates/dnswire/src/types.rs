@@ -1,0 +1,281 @@
+//! Resource-record types, classes, opcodes and response codes.
+
+use std::fmt;
+
+/// DNS resource-record TYPE values (RFC 1035 and successors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RrType {
+    /// IPv4 host address.
+    A,
+    /// Authoritative name server.
+    Ns,
+    /// Canonical name (alias).
+    Cname,
+    /// Start of authority.
+    Soa,
+    /// Domain name pointer (reverse mapping).
+    Ptr,
+    /// Mail exchange.
+    Mx,
+    /// Text strings — also the carrier of the DNS Guard cookie extension.
+    Txt,
+    /// IPv6 host address.
+    Aaaa,
+    /// EDNS(0) pseudo-record.
+    Opt,
+    /// Any other type, preserved numerically.
+    Other(u16),
+}
+
+impl RrType {
+    /// The numeric TYPE code.
+    pub fn code(self) -> u16 {
+        match self {
+            RrType::A => 1,
+            RrType::Ns => 2,
+            RrType::Cname => 5,
+            RrType::Soa => 6,
+            RrType::Ptr => 12,
+            RrType::Mx => 15,
+            RrType::Txt => 16,
+            RrType::Aaaa => 28,
+            RrType::Opt => 41,
+            RrType::Other(code) => code,
+        }
+    }
+}
+
+impl From<u16> for RrType {
+    fn from(code: u16) -> Self {
+        match code {
+            1 => RrType::A,
+            2 => RrType::Ns,
+            5 => RrType::Cname,
+            6 => RrType::Soa,
+            12 => RrType::Ptr,
+            15 => RrType::Mx,
+            16 => RrType::Txt,
+            28 => RrType::Aaaa,
+            41 => RrType::Opt,
+            other => RrType::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrType::A => f.write_str("A"),
+            RrType::Ns => f.write_str("NS"),
+            RrType::Cname => f.write_str("CNAME"),
+            RrType::Soa => f.write_str("SOA"),
+            RrType::Ptr => f.write_str("PTR"),
+            RrType::Mx => f.write_str("MX"),
+            RrType::Txt => f.write_str("TXT"),
+            RrType::Aaaa => f.write_str("AAAA"),
+            RrType::Opt => f.write_str("OPT"),
+            RrType::Other(code) => write!(f, "TYPE{code}"),
+        }
+    }
+}
+
+/// DNS CLASS values. Practically always [`RrClass::In`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RrClass {
+    /// The Internet.
+    In,
+    /// CHAOS (used by some diagnostics).
+    Ch,
+    /// QCLASS `*` (any).
+    Any,
+    /// Any other class, preserved numerically.
+    Other(u16),
+}
+
+impl RrClass {
+    /// The numeric CLASS code.
+    pub fn code(self) -> u16 {
+        match self {
+            RrClass::In => 1,
+            RrClass::Ch => 3,
+            RrClass::Any => 255,
+            RrClass::Other(code) => code,
+        }
+    }
+}
+
+impl From<u16> for RrClass {
+    fn from(code: u16) -> Self {
+        match code {
+            1 => RrClass::In,
+            3 => RrClass::Ch,
+            255 => RrClass::Any,
+            other => RrClass::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for RrClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrClass::In => f.write_str("IN"),
+            RrClass::Ch => f.write_str("CH"),
+            RrClass::Any => f.write_str("ANY"),
+            RrClass::Other(code) => write!(f, "CLASS{code}"),
+        }
+    }
+}
+
+/// Header OPCODE values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Opcode {
+    /// Standard query.
+    #[default]
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Anything else, preserved numerically (4 bits).
+    Other(u8),
+}
+
+impl Opcode {
+    /// The numeric opcode (4 bits).
+    pub fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Other(code) => code & 0x0F,
+        }
+    }
+}
+
+impl From<u8> for Opcode {
+    fn from(code: u8) -> Self {
+        match code & 0x0F {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// Header RCODE values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// Format error.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist (authoritative).
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused by policy.
+    Refused,
+    /// Anything else, preserved numerically (4 bits).
+    Other(u8),
+}
+
+impl Rcode {
+    /// The numeric rcode (4 bits).
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(code) => code & 0x0F,
+        }
+    }
+}
+
+impl From<u8> for Rcode {
+    fn from(code: u8) -> Self {
+        match code & 0x0F {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => f.write_str("NOERROR"),
+            Rcode::FormErr => f.write_str("FORMERR"),
+            Rcode::ServFail => f.write_str("SERVFAIL"),
+            Rcode::NxDomain => f.write_str("NXDOMAIN"),
+            Rcode::NotImp => f.write_str("NOTIMP"),
+            Rcode::Refused => f.write_str("REFUSED"),
+            Rcode::Other(code) => write!(f, "RCODE{code}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [
+            RrType::A,
+            RrType::Ns,
+            RrType::Cname,
+            RrType::Soa,
+            RrType::Ptr,
+            RrType::Mx,
+            RrType::Txt,
+            RrType::Aaaa,
+            RrType::Opt,
+            RrType::Other(999),
+        ] {
+            assert_eq!(RrType::from(t.code()), t);
+        }
+    }
+
+    #[test]
+    fn known_codes_decode_to_named_variants() {
+        assert_eq!(RrType::from(1), RrType::A);
+        assert_eq!(RrType::from(16), RrType::Txt);
+        assert_eq!(RrClass::from(1), RrClass::In);
+        assert_eq!(Rcode::from(3), Rcode::NxDomain);
+        assert_eq!(Opcode::from(0), Opcode::Query);
+    }
+
+    #[test]
+    fn other_preserves_code() {
+        assert_eq!(RrType::Other(12345).code(), 12345);
+        assert_eq!(RrType::from(12345), RrType::Other(12345));
+        assert_eq!(RrClass::from(7).code(), 7);
+    }
+
+    #[test]
+    fn four_bit_fields_masked() {
+        assert_eq!(Opcode::Other(0xFF).code(), 0x0F);
+        assert_eq!(Rcode::Other(0xFF).code(), 0x0F);
+        assert_eq!(Opcode::from(0x13), Opcode::Other(3));
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(RrType::Ns.to_string(), "NS");
+        assert_eq!(RrType::Other(300).to_string(), "TYPE300");
+        assert_eq!(Rcode::NxDomain.to_string(), "NXDOMAIN");
+        assert_eq!(RrClass::In.to_string(), "IN");
+    }
+}

@@ -1,0 +1,545 @@
+//! The DNS Guard cookie construction (paper section III.E).
+//!
+//! A guard holds a 76-byte secret key. For a request whose source address is
+//! `source_ip`, the cookie is `c = MD5(source_ip || key)` — 80 bytes of input
+//! producing a 16-byte cookie. Three encodings of `c` are used by the three
+//! spoof detection schemes:
+//!
+//! * **NS-name encoding** — a 2-byte prefix (`PR`) plus the first 4 bytes of
+//!   `c` in hex, yielding a 10-byte DNS label such as `PRa1b2c3d4`
+//!   (cookie range 2^32);
+//! * **subnet-IP encoding** — `y = first_4_bytes(c) mod R_y`, placed in the
+//!   host part of the guarded subnet (cookie range `R_y`);
+//! * **full encoding** — all 16 bytes, carried in the TXT RData of the
+//!   modified-DNS scheme (cookie range 2^128).
+//!
+//! Weekly key rotation overwrites the first bit of `c` with a generation
+//! indicator so each verification needs exactly one MD5 (section III.E).
+
+use crate::md5::{to_hex, Digest, Md5};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Length in bytes of a guard secret key (fixed by the paper: 76 bytes, so
+/// that key ‖ IPv4 address is exactly 80 bytes).
+pub const KEY_LEN: usize = 76;
+
+/// Length in bytes of a full cookie (one MD5 digest).
+pub const COOKIE_LEN: usize = 16;
+
+/// The label prefix that marks a fabricated, cookie-carrying NS name.
+pub const NS_PREFIX: &str = "PR";
+
+/// Number of cookie bytes hex-encoded into a fabricated NS name.
+pub const NS_COOKIE_BYTES: usize = 4;
+
+/// A 16-byte spoof-detection cookie.
+///
+/// # Examples
+///
+/// ```
+/// use guardhash::cookie::{Cookie, SecretKey};
+/// use std::net::Ipv4Addr;
+///
+/// let key = SecretKey::from_seed(7);
+/// let c = Cookie::compute(&key, Ipv4Addr::new(10, 0, 0, 1));
+/// assert!(c.matches_prefix(&c.ns_label_suffix()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cookie(pub [u8; COOKIE_LEN]);
+
+impl fmt::Debug for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cookie({})", to_hex(&self.0))
+    }
+}
+
+impl fmt::Display for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_hex(&self.0))
+    }
+}
+
+impl Cookie {
+    /// Computes `MD5(source_ip || key)` — the raw cookie for `ip`.
+    pub fn compute(key: &SecretKey, ip: Ipv4Addr) -> Self {
+        let mut h = Md5::new();
+        h.update(&ip.octets());
+        h.update(key.as_bytes());
+        Cookie(h.finalize())
+    }
+
+    /// The first 4 cookie bytes as a big-endian integer; the quantity the
+    /// paper calls "the first 4 bytes of cookie c".
+    pub fn head(&self) -> u32 {
+        u32::from_be_bytes([self.0[0], self.0[1], self.0[2], self.0[3]])
+    }
+
+    /// Hex-encodes the first [`NS_COOKIE_BYTES`] bytes — the variable part of
+    /// a fabricated NS label (`a1b2c3d4` in `PRa1b2c3d4`).
+    pub fn ns_label_suffix(&self) -> String {
+        to_hex(&self.0[..NS_COOKIE_BYTES])
+    }
+
+    /// Full fabricated NS label, prefix included: e.g. `PRa1b2c3d4`.
+    pub fn ns_label(&self) -> String {
+        format!("{NS_PREFIX}{}", self.ns_label_suffix())
+    }
+
+    /// Checks a hex suffix (as extracted from an incoming NS-name label)
+    /// against this cookie. Comparison is over the encoded prefix only,
+    /// mirroring the truncated 2^32 cookie range of the NS-name scheme.
+    pub fn matches_prefix(&self, hex_suffix: &str) -> bool {
+        hex_suffix.eq_ignore_ascii_case(&self.ns_label_suffix())
+    }
+
+    /// Subnet-IP encoding: `y = head mod range`, returned as the host offset
+    /// used to build `COOKIE2` (e.g. `1.2.3.y` in a /24).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is zero.
+    pub fn subnet_offset(&self, range: u32) -> u32 {
+        assert!(range > 0, "subnet cookie range must be non-zero");
+        self.head() % range
+    }
+
+    /// Builds the `COOKIE2` address inside the guarded subnet: `base + y`.
+    pub fn subnet_ip(&self, base: Ipv4Addr, range: u32) -> Ipv4Addr {
+        let y = self.subnet_offset(range);
+        Ipv4Addr::from(u32::from(base).wrapping_add(y))
+    }
+
+    /// Returns a copy with the most significant bit of byte 0 forced to
+    /// `generation & 1` — the rotation indicator of section III.E.
+    pub fn with_generation_bit(mut self, generation: u64) -> Self {
+        if generation & 1 == 1 {
+            self.0[0] |= 0x80;
+        } else {
+            self.0[0] &= 0x7f;
+        }
+        self
+    }
+
+    /// Reads the generation indicator bit.
+    pub fn generation_bit(&self) -> u8 {
+        self.0[0] >> 7
+    }
+}
+
+impl AsRef<[u8]> for Cookie {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Digest> for Cookie {
+    fn from(d: Digest) -> Self {
+        Cookie(d)
+    }
+}
+
+/// A 76-byte guard secret key.
+///
+/// Only the guard itself ever needs the key; there is no distribution
+/// problem. Construct one from explicit bytes or deterministically from a
+/// seed (useful for reproducible simulations).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey([u8; KEY_LEN]);
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(redacted, {KEY_LEN} bytes)")
+    }
+}
+
+impl SecretKey {
+    /// Wraps explicit key bytes.
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        SecretKey(bytes)
+    }
+
+    /// Derives a key deterministically from `seed` using splitmix64. Suitable
+    /// for simulations and tests; a production deployment would draw from the
+    /// OS entropy pool instead.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut state = seed;
+        let mut bytes = [0u8; KEY_LEN];
+        for chunk in bytes.chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let le = z.to_le_bytes();
+            chunk.copy_from_slice(&le[..chunk.len()]);
+        }
+        SecretKey(bytes)
+    }
+
+    /// The raw key bytes.
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.0
+    }
+}
+
+/// Cookie generator/verifier with the paper's weekly key-rotation protocol.
+///
+/// Cookies issued under generation *g* carry `g mod 2` in their first bit.
+/// While generation *g+1* is current, cookies bearing the previous parity are
+/// verified against the previous key, so every verification costs exactly one
+/// MD5. After a further rotation the old generation expires naturally with
+/// the cookie TTL.
+///
+/// # Examples
+///
+/// ```
+/// use guardhash::cookie::CookieFactory;
+/// use std::net::Ipv4Addr;
+///
+/// let mut f = CookieFactory::from_seed(1);
+/// let ip = Ipv4Addr::new(192, 0, 2, 7);
+/// let c = f.generate(ip);
+/// assert!(f.verify(ip, &c));
+/// f.rotate();
+/// assert!(f.verify(ip, &c), "previous-generation cookie still valid");
+/// f.rotate();
+/// assert!(!f.verify(ip, &c), "two rotations expire the cookie");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CookieFactory {
+    current: SecretKey,
+    previous: Option<SecretKey>,
+    generation: u64,
+    seed: u64,
+}
+
+impl CookieFactory {
+    /// Creates a factory whose generation-0 key derives from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        CookieFactory {
+            current: SecretKey::from_seed(seed),
+            previous: None,
+            generation: 0,
+            seed,
+        }
+    }
+
+    /// Creates a factory from an explicit initial key. Rotation keys derive
+    /// from the supplied `rotation_seed`.
+    pub fn with_key(key: SecretKey, rotation_seed: u64) -> Self {
+        CookieFactory {
+            current: key,
+            previous: None,
+            generation: 0,
+            seed: rotation_seed,
+        }
+    }
+
+    /// Current key generation (increments on [`CookieFactory::rotate`]).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Issues the cookie for `ip` under the current key, generation bit set.
+    pub fn generate(&self, ip: Ipv4Addr) -> Cookie {
+        Cookie::compute(&self.current, ip).with_generation_bit(self.generation)
+    }
+
+    /// Verifies a presented 16-byte cookie for `ip`.
+    ///
+    /// The generation bit selects which key to check against, so exactly one
+    /// MD5 is computed per verification regardless of rotation state.
+    pub fn verify(&self, ip: Ipv4Addr, presented: &Cookie) -> bool {
+        match self.key_for_bit(presented.generation_bit()) {
+            Some((key, generation)) => {
+                Cookie::compute(key, ip).with_generation_bit(generation) == *presented
+            }
+            None => false,
+        }
+    }
+
+    /// Verifies the truncated hex form used in fabricated NS names.
+    pub fn verify_ns_suffix(&self, ip: Ipv4Addr, hex_suffix: &str) -> bool {
+        // The generation bit lives in the first hex digit, which is part of
+        // the suffix, so the same bit-dispatch applies.
+        let Some(first) = hex_suffix.chars().next() else {
+            return false;
+        };
+        let Some(digit) = first.to_digit(16) else {
+            return false;
+        };
+        let bit = (digit >> 3) as u8;
+        match self.key_for_bit(bit) {
+            Some((key, generation)) => Cookie::compute(key, ip)
+                .with_generation_bit(generation)
+                .matches_prefix(hex_suffix),
+            None => false,
+        }
+    }
+
+    /// Verifies the subnet-IP form (`COOKIE2`): does `presented_offset` equal
+    /// `head(c) mod range` under either live key?
+    ///
+    /// The subnet form cannot carry a generation bit (it is folded by the
+    /// modulo), so both live keys are tried — the paper accepts this because
+    /// the fabricated-IP variant is already the weakest encoding.
+    pub fn verify_subnet_offset(&self, ip: Ipv4Addr, presented_offset: u32, range: u32) -> bool {
+        if Cookie::compute(&self.current, ip).subnet_offset(range) == presented_offset {
+            return true;
+        }
+        if let Some(prev) = &self.previous {
+            return Cookie::compute(prev, ip).subnet_offset(range) == presented_offset;
+        }
+        false
+    }
+
+    /// Issues the subnet-IP cookie offset for `ip` under the current key.
+    ///
+    /// The offset derives from the *raw* cookie (no generation bit — the
+    /// modulo would fold it away anyway), matching what
+    /// [`CookieFactory::verify_subnet_offset`] checks.
+    pub fn generate_subnet_offset(&self, ip: Ipv4Addr, range: u32) -> u32 {
+        Cookie::compute(&self.current, ip).subnet_offset(range)
+    }
+
+    /// Rotates to a fresh key, retaining the previous one for the grace
+    /// window.
+    pub fn rotate(&mut self) {
+        let next_gen = self.generation + 1;
+        let next = SecretKey::from_seed(self.seed ^ (next_gen.wrapping_mul(0x2545_F491_4F6C_DD1D)));
+        self.previous = Some(std::mem::replace(&mut self.current, next));
+        self.generation = next_gen;
+    }
+
+    fn key_for_bit(&self, bit: u8) -> Option<(&SecretKey, u64)> {
+        let current_bit = (self.generation & 1) as u8;
+        if bit == current_bit {
+            Some((&self.current, self.generation))
+        } else {
+            self.previous
+                .as_ref()
+                .map(|k| (k, self.generation.wrapping_sub(1)))
+        }
+    }
+}
+
+/// Extracts the hex cookie suffix from a DNS label if it is a fabricated
+/// cookie label (`PRa1b2c3d4...` → `a1b2c3d4...`).
+///
+/// Returns `None` when the label does not start with [`NS_PREFIX`] or the
+/// remainder is not plain hex of the expected length.
+pub fn parse_ns_label(label: &str) -> Option<&str> {
+    let suffix = label.strip_prefix(NS_PREFIX)?;
+    if suffix.len() != NS_COOKIE_BYTES * 2 {
+        return None;
+    }
+    if !suffix.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    Some(suffix)
+}
+
+/// Convenience: the raw (un-rotated) cookie for `ip` under `key`, as the
+/// paper's formula `c = MD5(source_ip, key)`.
+pub fn raw_cookie(key: &SecretKey, ip: Ipv4Addr) -> Cookie {
+    Cookie::compute(key, ip)
+}
+
+/// Verifies that the 80-byte MD5 input layout matches the paper (76-byte key
+/// plus 4-byte address). Exposed for documentation tests and audits.
+pub fn cookie_input_len() -> usize {
+    KEY_LEN + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md5::md5;
+
+    fn ip(a: u8, b: u8, c: u8, d: u8) -> Ipv4Addr {
+        Ipv4Addr::new(a, b, c, d)
+    }
+
+    #[test]
+    fn input_is_80_bytes() {
+        assert_eq!(cookie_input_len(), 80);
+    }
+
+    #[test]
+    fn cookie_matches_direct_md5() {
+        let key = SecretKey::from_seed(42);
+        let addr = ip(1, 2, 3, 4);
+        let mut input = Vec::new();
+        input.extend_from_slice(&addr.octets());
+        input.extend_from_slice(key.as_bytes());
+        assert_eq!(Cookie::compute(&key, addr).0, md5(&input));
+    }
+
+    #[test]
+    fn cookies_differ_per_ip_and_per_key() {
+        let k1 = SecretKey::from_seed(1);
+        let k2 = SecretKey::from_seed(2);
+        let a = ip(10, 0, 0, 1);
+        let b = ip(10, 0, 0, 2);
+        assert_ne!(Cookie::compute(&k1, a), Cookie::compute(&k1, b));
+        assert_ne!(Cookie::compute(&k1, a), Cookie::compute(&k2, a));
+    }
+
+    #[test]
+    fn ns_label_format() {
+        let key = SecretKey::from_seed(3);
+        let c = Cookie::compute(&key, ip(8, 8, 8, 8));
+        let label = c.ns_label();
+        assert_eq!(label.len(), 10, "paper: COOKIE is encoded in 10 bytes");
+        assert!(label.starts_with("PR"));
+        assert!(label[2..].bytes().all(|b| b.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn parse_ns_label_accepts_valid_rejects_invalid() {
+        let key = SecretKey::from_seed(4);
+        let c = Cookie::compute(&key, ip(9, 9, 9, 9));
+        let label = c.ns_label();
+        assert_eq!(parse_ns_label(&label), Some(c.ns_label_suffix().as_str()));
+        assert_eq!(parse_ns_label("www"), None);
+        assert_eq!(parse_ns_label("PRzzzzzzzz"), None);
+        assert_eq!(parse_ns_label("PRa1b2c3"), None, "too short");
+        assert_eq!(parse_ns_label("PRa1b2c3d4e5"), None, "too long");
+        assert_eq!(parse_ns_label(""), None);
+    }
+
+    #[test]
+    fn subnet_offset_in_range() {
+        let key = SecretKey::from_seed(5);
+        for host in 1..100u8 {
+            let c = Cookie::compute(&key, ip(172, 16, 0, host));
+            assert!(c.subnet_offset(254) < 254);
+        }
+    }
+
+    #[test]
+    fn subnet_ip_is_base_plus_offset() {
+        let key = SecretKey::from_seed(6);
+        let c = Cookie::compute(&key, ip(4, 4, 4, 4));
+        let base = ip(1, 2, 3, 0);
+        let got = c.subnet_ip(base, 254);
+        assert_eq!(u32::from(got), u32::from(base) + c.subnet_offset(254));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn subnet_offset_zero_range_panics() {
+        let key = SecretKey::from_seed(7);
+        Cookie::compute(&key, ip(1, 1, 1, 1)).subnet_offset(0);
+    }
+
+    #[test]
+    fn generation_bit_round_trip() {
+        let key = SecretKey::from_seed(8);
+        let c = Cookie::compute(&key, ip(2, 2, 2, 2));
+        assert_eq!(c.with_generation_bit(0).generation_bit(), 0);
+        assert_eq!(c.with_generation_bit(1).generation_bit(), 1);
+        assert_eq!(c.with_generation_bit(2).generation_bit(), 0);
+        assert_eq!(c.with_generation_bit(3).generation_bit(), 1);
+    }
+
+    #[test]
+    fn factory_generate_verify() {
+        let f = CookieFactory::from_seed(9);
+        let addr = ip(198, 51, 100, 23);
+        let c = f.generate(addr);
+        assert!(f.verify(addr, &c));
+        assert!(!f.verify(ip(198, 51, 100, 24), &c), "cookie bound to source ip");
+    }
+
+    #[test]
+    fn factory_rejects_flipped_bit() {
+        let f = CookieFactory::from_seed(10);
+        let addr = ip(203, 0, 113, 5);
+        let mut c = f.generate(addr);
+        c.0[5] ^= 0x01;
+        assert!(!f.verify(addr, &c));
+    }
+
+    #[test]
+    fn rotation_grace_window() {
+        let mut f = CookieFactory::from_seed(11);
+        let addr = ip(10, 1, 2, 3);
+        let week0 = f.generate(addr);
+        assert_eq!(week0.generation_bit(), 0);
+
+        f.rotate();
+        let week1 = f.generate(addr);
+        assert_eq!(week1.generation_bit(), 1);
+        assert!(f.verify(addr, &week0), "week-0 cookie valid during week 1");
+        assert!(f.verify(addr, &week1));
+
+        f.rotate();
+        let week2 = f.generate(addr);
+        assert_eq!(week2.generation_bit(), 0);
+        assert!(!f.verify(addr, &week0), "week-0 cookie expired in week 2");
+        assert!(f.verify(addr, &week1), "week-1 cookie still in grace window");
+        assert!(f.verify(addr, &week2));
+    }
+
+    #[test]
+    fn ns_suffix_verification_across_rotation() {
+        let mut f = CookieFactory::from_seed(12);
+        let addr = ip(10, 9, 8, 7);
+        let suffix0 = f.generate(addr).ns_label_suffix();
+        assert!(f.verify_ns_suffix(addr, &suffix0));
+        f.rotate();
+        assert!(f.verify_ns_suffix(addr, &suffix0));
+        let suffix1 = f.generate(addr).ns_label_suffix();
+        assert!(f.verify_ns_suffix(addr, &suffix1));
+        f.rotate();
+        assert!(!f.verify_ns_suffix(addr, &suffix0));
+        assert!(f.verify_ns_suffix(addr, &suffix1));
+    }
+
+    #[test]
+    fn ns_suffix_rejects_garbage() {
+        let f = CookieFactory::from_seed(13);
+        assert!(!f.verify_ns_suffix(ip(1, 1, 1, 1), ""));
+        assert!(!f.verify_ns_suffix(ip(1, 1, 1, 1), "nothex!!"));
+        assert!(!f.verify_ns_suffix(ip(1, 1, 1, 1), "00000000"));
+    }
+
+    #[test]
+    fn subnet_verification_across_rotation() {
+        let mut f = CookieFactory::from_seed(14);
+        let addr = ip(10, 20, 30, 40);
+        let range = 254;
+        let y0 = f.generate_subnet_offset(addr, range);
+        assert!(f.verify_subnet_offset(addr, y0, range));
+        f.rotate();
+        assert!(f.verify_subnet_offset(addr, y0, range), "grace window");
+        let y1 = f.generate_subnet_offset(addr, range);
+        assert!(f.verify_subnet_offset(addr, y1, range));
+    }
+
+    #[test]
+    fn subnet_verification_rejects_wrong_offset() {
+        let f = CookieFactory::from_seed(15);
+        let addr = ip(10, 20, 30, 41);
+        let range = 254;
+        let y = f.generate_subnet_offset(addr, range);
+        assert!(!f.verify_subnet_offset(addr, (y + 1) % range, range));
+    }
+
+    #[test]
+    fn secret_key_debug_redacts() {
+        let key = SecretKey::from_seed(99);
+        let dbg = format!("{key:?}");
+        assert!(dbg.contains("redacted"));
+        assert!(!dbg.contains(&to_hex(key.as_bytes())));
+    }
+
+    #[test]
+    fn from_seed_is_deterministic_and_seed_sensitive() {
+        assert_eq!(SecretKey::from_seed(5).as_bytes(), SecretKey::from_seed(5).as_bytes());
+        assert_ne!(SecretKey::from_seed(5).as_bytes(), SecretKey::from_seed(6).as_bytes());
+    }
+}

@@ -1,0 +1,107 @@
+//! Hash primitives for the DNS Guard reproduction.
+//!
+//! Two modules:
+//!
+//! * [`md5`](mod@md5) — the MD5 message digest (RFC 1321), implemented from scratch so
+//!   the reproduction carries no external crypto dependency;
+//! * [`cookie`] — the DNS Guard cookie construction from the paper's section
+//!   III.E: `c = MD5(source_ip || 76-byte key)`, with the NS-name (hex),
+//!   subnet-IP (modulo) and full (16-byte) encodings plus generation-bit key
+//!   rotation.
+//!
+//! # Examples
+//!
+//! ```
+//! use guardhash::cookie::CookieFactory;
+//! use std::net::Ipv4Addr;
+//!
+//! let factory = CookieFactory::from_seed(2006);
+//! let requester = Ipv4Addr::new(192, 0, 2, 53);
+//! let cookie = factory.generate(requester);
+//! assert!(factory.verify(requester, &cookie));
+//! assert!(!factory.verify(Ipv4Addr::new(192, 0, 2, 54), &cookie));
+//! ```
+
+pub mod cookie;
+pub mod md5;
+
+pub use cookie::{Cookie, CookieFactory, SecretKey};
+pub use md5::{md5, Md5};
+
+#[cfg(test)]
+mod proptests {
+    use crate::cookie::{parse_ns_label, CookieFactory};
+    use crate::md5::{from_hex, md5, to_hex, Md5};
+    use proptest::prelude::*;
+    use std::net::Ipv4Addr;
+
+    proptest! {
+        /// Streaming and one-shot MD5 agree for arbitrary data and splits.
+        #[test]
+        fn md5_streaming_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                        split in 0usize..512) {
+            let split = split.min(data.len());
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), md5(&data));
+        }
+
+        /// Hex encode/decode round-trips arbitrary bytes.
+        #[test]
+        fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            prop_assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+        }
+
+        /// Every issued cookie verifies, for any source address — the
+        /// "no false positives" claim of the paper.
+        #[test]
+        fn every_issued_cookie_verifies(ip_bits in any::<u32>(), seed in any::<u64>()) {
+            let f = CookieFactory::from_seed(seed);
+            let ip = Ipv4Addr::from(ip_bits);
+            let c = f.generate(ip);
+            prop_assert!(f.verify(ip, &c));
+            prop_assert!(f.verify_ns_suffix(ip, &c.ns_label_suffix()));
+        }
+
+        /// A cookie issued for one address never verifies for another.
+        #[test]
+        fn cookie_bound_to_address(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+            prop_assume!(a != b);
+            let f = CookieFactory::from_seed(seed);
+            let c = f.generate(Ipv4Addr::from(a));
+            prop_assert!(!f.verify(Ipv4Addr::from(b), &c));
+        }
+
+        /// NS labels produced by a cookie always parse back to their suffix.
+        #[test]
+        fn ns_label_parses(ip_bits in any::<u32>(), seed in any::<u64>()) {
+            let f = CookieFactory::from_seed(seed);
+            let c = f.generate(Ipv4Addr::from(ip_bits));
+            let label = c.ns_label();
+            let suffix = c.ns_label_suffix();
+            prop_assert_eq!(parse_ns_label(&label), Some(suffix.as_str()));
+        }
+
+        /// Rotation grace window: one rotation keeps a cookie valid, two
+        /// expire it — for any address and seed.
+        #[test]
+        fn rotation_window(ip_bits in any::<u32>(), seed in any::<u64>()) {
+            let mut f = CookieFactory::from_seed(seed);
+            let ip = Ipv4Addr::from(ip_bits);
+            let c = f.generate(ip);
+            f.rotate();
+            prop_assert!(f.verify(ip, &c));
+            f.rotate();
+            prop_assert!(!f.verify(ip, &c));
+        }
+
+        /// Subnet offsets always stay inside the configured range.
+        #[test]
+        fn subnet_offset_in_range(ip_bits in any::<u32>(), seed in any::<u64>(), range in 1u32..10_000) {
+            let f = CookieFactory::from_seed(seed);
+            let y = f.generate_subnet_offset(Ipv4Addr::from(ip_bits), range);
+            prop_assert!(y < range);
+        }
+    }
+}

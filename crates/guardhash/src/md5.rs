@@ -1,0 +1,298 @@
+//! MD5 message digest, implemented from scratch per RFC 1321.
+//!
+//! The DNS Guard paper computes each cookie as `MD5(source_ip || key)`; this
+//! module provides the hash primitive. The implementation is a streaming
+//! digest ([`Md5`]) plus a one-shot convenience ([`md5`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use guardhash::md5::md5;
+//!
+//! let digest = md5(b"abc");
+//! assert_eq!(guardhash::md5::to_hex(&digest), "900150983cd24fb0d6963f7d28e17f72");
+//! ```
+
+/// Length in bytes of an MD5 digest.
+pub const DIGEST_LEN: usize = 16;
+
+/// Length in bytes of an MD5 block.
+pub const BLOCK_LEN: usize = 64;
+
+/// A 16-byte MD5 digest.
+pub type Digest = [u8; DIGEST_LEN];
+
+/// Per-round left-rotation amounts (RFC 1321 section 3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived additive constants: `K[i] = floor(2^32 * |sin(i + 1)|)`.
+const K: [u32; 64] = [
+    0xd76a_a478, 0xe8c7_b756, 0x2420_70db, 0xc1bd_ceee, 0xf57c_0faf, 0x4787_c62a, 0xa830_4613,
+    0xfd46_9501, 0x6980_98d8, 0x8b44_f7af, 0xffff_5bb1, 0x895c_d7be, 0x6b90_1122, 0xfd98_7193,
+    0xa679_438e, 0x49b4_0821, 0xf61e_2562, 0xc040_b340, 0x265e_5a51, 0xe9b6_c7aa, 0xd62f_105d,
+    0x0244_1453, 0xd8a1_e681, 0xe7d3_fbc8, 0x21e1_cde6, 0xc337_07d6, 0xf4d5_0d87, 0x455a_14ed,
+    0xa9e3_e905, 0xfcef_a3f8, 0x676f_02d9, 0x8d2a_4c8a, 0xfffa_3942, 0x8771_f681, 0x6d9d_6122,
+    0xfde5_380c, 0xa4be_ea44, 0x4bde_cfa9, 0xf6bb_4b60, 0xbebf_bc70, 0x289b_7ec6, 0xeaa1_27fa,
+    0xd4ef_3085, 0x0488_1d05, 0xd9d4_d039, 0xe6db_99e5, 0x1fa2_7cf8, 0xc4ac_5665, 0xf429_2244,
+    0x432a_ff97, 0xab94_23a7, 0xfc93_a039, 0x655b_59c3, 0x8f0c_cc92, 0xffef_f47d, 0x8584_5dd1,
+    0x6fa8_7e4f, 0xfe2c_e6e0, 0xa301_4314, 0x4e08_11a1, 0xf753_7e82, 0xbd3a_f235, 0x2ad7_d2bb,
+    0xeb86_d391,
+];
+
+/// Streaming MD5 digest state.
+///
+/// Feed data with [`Md5::update`] and obtain the digest with
+/// [`Md5::finalize`].
+///
+/// # Examples
+///
+/// ```
+/// use guardhash::md5::Md5;
+///
+/// let mut h = Md5::new();
+/// h.update(b"mess");
+/// h.update(b"age digest");
+/// assert_eq!(guardhash::md5::to_hex(&h.finalize()), "f96b697d7cb7938d525a2f31aaf161d0");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes, modulo 2^64.
+    len: u64,
+    buf: [u8; BLOCK_LEN],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    /// Creates a digest initialised with the RFC 1321 chaining values.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476],
+            len: 0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the digest state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = (BLOCK_LEN - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == BLOCK_LEN {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= BLOCK_LEN {
+            let (block, tail) = rest.split_at(BLOCK_LEN);
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Applies RFC 1321 padding and returns the final digest, consuming the
+    /// state.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: a single 0x80 byte, then zeros until 8 bytes short of a
+        // block boundary, then the 64-bit little-endian message bit length.
+        self.update(&[0x80]);
+        while self.buf_len != BLOCK_LEN - 8 {
+            self.update(&[0x00]);
+        }
+        // Splice the length in directly: update() would double-count it.
+        self.buf[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; DIGEST_LEN];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// One 64-byte block of the MD5 compression function.
+    fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
+        let mut m = [0u32; 16];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            m[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(K[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+/// Computes the MD5 digest of `data` in one shot.
+///
+/// # Examples
+///
+/// ```
+/// let d = guardhash::md5::md5(b"");
+/// assert_eq!(guardhash::md5::to_hex(&d), "d41d8cd98f00b204e9800998ecf8427e");
+/// ```
+pub fn md5(data: &[u8]) -> Digest {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Renders a digest (or any byte slice) as lowercase hex.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0x0f) as usize] as char);
+    }
+    s
+}
+
+/// Parses lowercase/uppercase hex into bytes. Returns `None` on odd length or
+/// non-hex characters.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let digits: Option<Vec<u8>> = s.bytes().map(|b| (b as char).to_digit(16).map(|d| d as u8)).collect();
+    let digits = digits?;
+    Some(digits.chunks_exact(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The full RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        let cases: &[(&str, &str)] = &[
+            ("", "d41d8cd98f00b204e9800998ecf8427e"),
+            ("a", "0cc175b9c0f1b6a831c399e269772661"),
+            ("abc", "900150983cd24fb0d6963f7d28e17f72"),
+            ("message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+            ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"),
+            (
+                "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+                "d174ab98d277d9f5a5611c2c9f419d9f",
+            ),
+            (
+                "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+                "57edf4a22be3c955ac49da2e2107b67a",
+            ),
+        ];
+        for (input, want) in cases {
+            assert_eq!(to_hex(&md5(input.as_bytes())), *want, "input {input:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_at_every_split() {
+        let data = b"The quick brown fox jumps over the lazy dog, repeatedly, \
+                     until the message spans several MD5 blocks of sixty-four bytes each.";
+        let want = md5(data);
+        for split in 0..=data.len() {
+            let mut h = Md5::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_many_small_updates() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let want = md5(&data);
+        let mut h = Md5::new();
+        for b in &data {
+            h.update(std::slice::from_ref(b));
+        }
+        assert_eq!(h.finalize(), want);
+    }
+
+    #[test]
+    fn exact_block_boundaries() {
+        // Lengths around the 64-byte block and 56-byte padding boundary are
+        // the classic off-by-one sites in MD5 implementations.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 121, 127, 128, 129] {
+            let data = vec![0xabu8; len];
+            let mut h = Md5::new();
+            h.update(&data);
+            let a = h.finalize();
+            let b = md5(&data);
+            assert_eq!(a, b, "len {len}");
+            // Not comparing to a fixed vector here; the property is internal
+            // consistency plus the RFC vectors above pinning correctness.
+        }
+    }
+
+    #[test]
+    fn paper_input_shape_80_bytes() {
+        // The paper feeds exactly 80 bytes (76-byte key + 4-byte IP); make
+        // sure that length is handled (it spans two blocks after padding).
+        let data = [0x42u8; 80];
+        let d = md5(&data);
+        assert_eq!(d.len(), DIGEST_LEN);
+        assert_ne!(d, md5(&[0x42u8; 79]));
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let d = md5(b"round trip");
+        let h = to_hex(&d);
+        assert_eq!(from_hex(&h).unwrap(), d.to_vec());
+        assert_eq!(from_hex("zz"), None);
+        assert_eq!(from_hex("abc"), None);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(md5(b"10.0.0.1"), md5(b"10.0.0.2"));
+    }
+}

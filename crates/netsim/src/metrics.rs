@@ -1,0 +1,195 @@
+//! Small measurement helpers shared by the experiments: windowed rate
+//! meters and latency recorders.
+
+use crate::time::SimTime;
+
+/// Counts events and reports a rate over an explicit window.
+///
+/// # Examples
+///
+/// ```
+/// use netsim::metrics::RateMeter;
+/// use netsim::time::SimTime;
+///
+/// let mut m = RateMeter::new();
+/// for _ in 0..500 { m.record(); }
+/// let rate = m.take_rate(SimTime::from_millis(500));
+/// assert!((rate - 1000.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RateMeter {
+    count: u64,
+    total: u64,
+}
+
+impl RateMeter {
+    /// New meter at zero.
+    pub fn new() -> Self {
+        RateMeter::default()
+    }
+
+    /// Records one event.
+    pub fn record(&mut self) {
+        self.count += 1;
+        self.total += 1;
+    }
+
+    /// Events since the last `take_rate`.
+    pub fn window_count(&self) -> u64 {
+        self.count
+    }
+
+    /// Events over the meter's whole lifetime.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Returns events/second over `window` and resets the window counter.
+    pub fn take_rate(&mut self, window: SimTime) -> f64 {
+        let n = std::mem::take(&mut self.count);
+        if window == SimTime::ZERO {
+            return 0.0;
+        }
+        n as f64 / window.as_secs_f64()
+    }
+}
+
+/// Records latency samples and reports summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<SimTime>,
+}
+
+impl LatencyRecorder {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, sample: SimTime) {
+        self.samples.push(sample);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<SimTime> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: SimTime = self.samples.iter().copied().sum();
+        Some(total / self.samples.len() as u64)
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by nearest-rank, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<SimTime> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<SimTime> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Drops all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// Byte counters for traffic-amplification accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficMeter {
+    /// Bytes received (requests in).
+    pub bytes_in: u64,
+    /// Bytes sent (responses out).
+    pub bytes_out: u64,
+}
+
+impl TrafficMeter {
+    /// Records an inbound wire size.
+    pub fn rx(&mut self, wire_bytes: usize) {
+        self.bytes_in += wire_bytes as u64;
+    }
+
+    /// Records an outbound wire size.
+    pub fn tx(&mut self, wire_bytes: usize) {
+        self.bytes_out += wire_bytes as u64;
+    }
+
+    /// Amplification ratio `out/in`; 1.0 when nothing was received.
+    pub fn amplification(&self) -> f64 {
+        if self.bytes_in == 0 {
+            1.0
+        } else {
+            self.bytes_out as f64 / self.bytes_in as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_meter_window_resets() {
+        let mut m = RateMeter::new();
+        for _ in 0..100 {
+            m.record();
+        }
+        assert_eq!(m.window_count(), 100);
+        let r = m.take_rate(SimTime::from_secs(1));
+        assert_eq!(r, 100.0);
+        assert_eq!(m.window_count(), 0);
+        assert_eq!(m.total(), 100);
+        assert_eq!(m.take_rate(SimTime::from_secs(1)), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_zero_window() {
+        let mut m = RateMeter::new();
+        m.record();
+        assert_eq!(m.take_rate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut r = LatencyRecorder::new();
+        assert!(r.mean().is_none());
+        assert!(r.quantile(0.5).is_none());
+        for ms in [10u64, 20, 30, 40] {
+            r.record(SimTime::from_millis(ms));
+        }
+        assert_eq!(r.mean(), Some(SimTime::from_millis(25)));
+        assert_eq!(r.quantile(0.0), Some(SimTime::from_millis(10)));
+        assert_eq!(r.quantile(1.0), Some(SimTime::from_millis(40)));
+        assert_eq!(r.max(), Some(SimTime::from_millis(40)));
+        assert_eq!(r.len(), 4);
+        r.clear();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn amplification_ratio() {
+        let mut t = TrafficMeter::default();
+        assert_eq!(t.amplification(), 1.0);
+        t.rx(50);
+        t.tx(74);
+        assert!((t.amplification() - 1.48).abs() < 1e-9, "paper: DNS-based ≤ 1.5×");
+    }
+}

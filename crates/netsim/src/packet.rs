@@ -1,0 +1,115 @@
+//! Simulated packets: endpoints, protocols and payloads.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// A transport endpoint: IPv4 address and port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Endpoint {
+    /// IPv4 address.
+    pub ip: Ipv4Addr,
+    /// UDP/TCP port.
+    pub port: u16,
+}
+
+impl Endpoint {
+    /// Creates an endpoint.
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// The standard DNS port.
+pub const DNS_PORT: u16 = 53;
+
+/// Transport protocol of a simulated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Proto {
+    /// Datagram; payload is the application message.
+    Udp,
+    /// Stream segment; payload is an encoded [`crate::tcp::Segment`].
+    Tcp,
+}
+
+/// A simulated IPv4 packet.
+///
+/// `src` is whatever the sender claims — spoofing is exactly the act of
+/// setting `src` to an address the sender does not own, and nothing in the
+/// simulated network prevents it (as nothing in the real Internet does).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Claimed source endpoint.
+    pub src: Endpoint,
+    /// Destination endpoint.
+    pub dst: Endpoint,
+    /// Transport protocol.
+    pub proto: Proto,
+    /// Application payload bytes.
+    pub payload: Vec<u8>,
+    /// Extra bytes of header overhead counted for size accounting (IP + UDP
+    /// or IP + TCP headers).
+    pub header_bytes: usize,
+}
+
+/// IPv4 + UDP header overhead used for amplification accounting.
+pub const UDP_HEADER_BYTES: usize = 28;
+
+/// IPv4 + TCP header overhead used for amplification accounting.
+pub const TCP_HEADER_BYTES: usize = 40;
+
+impl Packet {
+    /// Builds a UDP packet.
+    pub fn udp(src: Endpoint, dst: Endpoint, payload: Vec<u8>) -> Self {
+        Packet {
+            src,
+            dst,
+            proto: Proto::Udp,
+            payload,
+            header_bytes: UDP_HEADER_BYTES,
+        }
+    }
+
+    /// Builds a TCP segment packet (payload encodes the segment).
+    pub fn tcp(src: Endpoint, dst: Endpoint, payload: Vec<u8>) -> Self {
+        Packet {
+            src,
+            dst,
+            proto: Proto::Tcp,
+            payload,
+            header_bytes: TCP_HEADER_BYTES,
+        }
+    }
+
+    /// Total on-wire size in bytes (headers + payload), the quantity used
+    /// for traffic-amplification ratios.
+    pub fn wire_size(&self) -> usize {
+        self.header_bytes + self.payload.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_headers() {
+        let src = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 1234);
+        let dst = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), DNS_PORT);
+        let p = Packet::udp(src, dst, vec![0u8; 22]);
+        assert_eq!(p.wire_size(), 50, "paper: minimum DNS request is ~50 bytes");
+        let t = Packet::tcp(src, dst, vec![]);
+        assert_eq!(t.wire_size(), TCP_HEADER_BYTES);
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let e = Endpoint::new(Ipv4Addr::new(192, 0, 2, 1), 53);
+        assert_eq!(e.to_string(), "192.0.2.1:53");
+    }
+}

@@ -1,0 +1,151 @@
+//! A real-socket authoritative name server: answers UDP DNS queries from a
+//! [`server::authoritative::Authority`] on a loopback port.
+
+use dnswire::message::{Message, MAX_UDP_PAYLOAD};
+use parking_lot::Mutex;
+use server::authoritative::Authority;
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Counters shared with the server thread.
+#[derive(Debug, Default)]
+pub struct AnsCounters {
+    /// Queries answered.
+    pub served: AtomicU64,
+    /// Packets that failed to parse.
+    pub bad_packets: AtomicU64,
+}
+
+/// A toy authoritative server running on a background thread.
+///
+/// # Examples
+///
+/// ```no_run
+/// use runtime::ans::ToyAns;
+/// use server::authoritative::Authority;
+/// use server::zone::paper_hierarchy;
+///
+/// let (_, _, foo) = paper_hierarchy();
+/// let ans = ToyAns::spawn(Authority::new(vec![foo]))?;
+/// println!("serving on {}", ans.addr());
+/// ans.shutdown();
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct ToyAns {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<AnsCounters>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ToyAns {
+    /// Binds an ephemeral loopback UDP port and serves `authority` until
+    /// [`ToyAns::shutdown`].
+    pub fn spawn(authority: Authority) -> io::Result<ToyAns> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let addr = sock.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(AnsCounters::default());
+        let authority = Arc::new(Mutex::new(authority));
+
+        let t_stop = stop.clone();
+        let t_counters = counters.clone();
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            while !t_stop.load(Ordering::Relaxed) {
+                let (len, peer) = match sock.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                let Ok(query) = Message::decode(&buf[..len]) else {
+                    t_counters.bad_packets.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+                if query.header.response {
+                    continue;
+                }
+                let (response, _) = authority.lock().answer(&query);
+                if let Ok((wire, _)) = response.encode_with_limit(MAX_UDP_PAYLOAD) {
+                    // Count before sending so observers who already saw the
+                    // response also see the counter.
+                    t_counters.served.fetch_add(1, Ordering::Relaxed);
+                    let _ = sock.send_to(&wire, peer);
+                }
+            }
+        });
+
+        Ok(ToyAns {
+            addr,
+            stop,
+            counters,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries served so far.
+    pub fn served(&self) -> u64 {
+        self.counters.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops the server thread and waits for it.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ToyAns {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::rdata::RData;
+    use dnswire::types::RrType;
+    use server::zone::{paper_hierarchy, WWW_ADDR};
+
+    #[test]
+    fn answers_real_udp_queries() {
+        let (_, _, foo) = paper_hierarchy();
+        let ans = ToyAns::spawn(Authority::new(vec![foo])).unwrap();
+
+        let client = UdpSocket::bind("127.0.0.1:0").unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let q = Message::query(0xABCD, "www.foo.com".parse().unwrap(), RrType::A);
+        client.send_to(&q.encode(), ans.addr()).unwrap();
+
+        let mut buf = [0u8; 2048];
+        let (len, _) = client.recv_from(&mut buf).unwrap();
+        let resp = Message::decode(&buf[..len]).unwrap();
+        assert_eq!(resp.header.id, 0xABCD);
+        assert_eq!(resp.answers[0].rdata, RData::A(WWW_ADDR));
+        assert_eq!(ans.served(), 1);
+        ans.shutdown();
+    }
+}

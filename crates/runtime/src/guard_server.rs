@@ -1,0 +1,244 @@
+//! A real-socket remote DNS guard: the modified-DNS and NS-name schemes over
+//! `std::net` UDP on loopback.
+//!
+//! The guard listens on one UDP port (the "public" ANS address), verifies or
+//! grants cookies per source address, and forwards verified requests to the
+//! real ANS. This is the userspace equivalent of the paper's iptables
+//! module, sufficient for live demonstrations and latency measurements; the
+//! packet-level performance study runs in [`netsim`] (see the `bench`
+//! crate).
+
+use crate::ans::ToyAns;
+use dnsguard::ratelimit::SourceRateLimiter;
+use dnswire::cookie_ext;
+use dnswire::message::{Message, MAX_UDP_PAYLOAD};
+use guardhash::cookie::CookieFactory;
+use guardhash::Cookie;
+use netsim::time::SimTime;
+use parking_lot::Mutex;
+use std::io;
+use std::net::{IpAddr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Counters shared with the guard thread.
+#[derive(Debug, Default)]
+pub struct GuardCounters {
+    /// Requests forwarded to the ANS.
+    pub forwarded: AtomicU64,
+    /// Cookie grants issued.
+    pub grants: AtomicU64,
+    /// Requests dropped as spoofed (bad cookie).
+    pub dropped_spoofed: AtomicU64,
+    /// Requests dropped by the cookie-response rate limiter.
+    pub dropped_rl1: AtomicU64,
+}
+
+/// A live remote guard on a background thread.
+///
+/// Only the modified-DNS (cookie extension) scheme is exposed over real
+/// sockets: it is the scheme RFC 7873 standardised, and the only one that
+/// makes sense when every loopback client shares the address 127.0.0.1.
+pub struct GuardServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    counters: Arc<GuardCounters>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl GuardServer {
+    /// Spawns a guard forwarding verified queries to `ans`.
+    pub fn spawn(ans: SocketAddr, key_seed: u64) -> io::Result<GuardServer> {
+        let sock = UdpSocket::bind("127.0.0.1:0")?;
+        sock.set_read_timeout(Some(Duration::from_millis(50)))?;
+        let addr = sock.local_addr()?;
+        let upstream = UdpSocket::bind("127.0.0.1:0")?;
+        upstream.set_read_timeout(Some(Duration::from_millis(500)))?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(GuardCounters::default());
+        let factory = Arc::new(Mutex::new(CookieFactory::from_seed(key_seed)));
+        let rl1 = Arc::new(Mutex::new(SourceRateLimiter::new(10_000.0, 1_000.0)));
+
+        let t_stop = stop.clone();
+        let t_counters = counters.clone();
+        let started = Instant::now();
+        let handle = std::thread::spawn(move || {
+            let mut buf = [0u8; 2048];
+            while !t_stop.load(Ordering::Relaxed) {
+                let (len, peer) = match sock.recv_from(&mut buf) {
+                    Ok(x) => x,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                };
+                let Ok(mut msg) = Message::decode(&buf[..len]) else {
+                    continue;
+                };
+                if msg.header.response {
+                    continue;
+                }
+                let IpAddr::V4(peer_ip) = peer.ip() else {
+                    continue;
+                };
+                let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+
+                let Some(ext) = cookie_ext::find_cookie(&msg) else {
+                    // Cookie-less request: grant a cookie (rate limited).
+                    if !rl1.lock().admit(now, peer_ip) {
+                        t_counters.dropped_rl1.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let cookie = factory.lock().generate(peer_ip);
+                    let mut grant = msg.response();
+                    cookie_ext::attach_cookie(&mut grant, cookie.0, 604_800);
+                    let _ = sock.send_to(&grant.encode(), peer);
+                    t_counters.grants.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                };
+
+                if ext.is_request() {
+                    if !rl1.lock().admit(now, peer_ip) {
+                        t_counters.dropped_rl1.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let cookie = factory.lock().generate(peer_ip);
+                    let mut grant = msg.response();
+                    cookie_ext::strip_cookie(&mut grant);
+                    cookie_ext::attach_cookie(&mut grant, cookie.0, 604_800);
+                    let _ = sock.send_to(&grant.encode(), peer);
+                    t_counters.grants.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+
+                if !factory.lock().verify(peer_ip, &Cookie(ext.cookie)) {
+                    t_counters.dropped_spoofed.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                // Verified: strip the extension, proxy to the ANS.
+                cookie_ext::strip_cookie(&mut msg);
+                if upstream.send_to(&msg.encode(), ans).is_err() {
+                    continue;
+                }
+                t_counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                let mut rbuf = [0u8; 2048];
+                if let Ok((rlen, _)) = upstream.recv_from(&mut rbuf) {
+                    if let Ok(resp) = Message::decode(&rbuf[..rlen]) {
+                        if let Ok((wire, _)) = resp.encode_with_limit(MAX_UDP_PAYLOAD) {
+                            let _ = sock.send_to(&wire, peer);
+                        }
+                    }
+                }
+            }
+        });
+
+        Ok(GuardServer {
+            addr,
+            stop,
+            counters,
+            handle: Some(handle),
+        })
+    }
+
+    /// The guard's public address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot: `(forwarded, grants, dropped_spoofed, dropped_rl1)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64) {
+        (
+            self.counters.forwarded.load(Ordering::Relaxed),
+            self.counters.grants.load(Ordering::Relaxed),
+            self.counters.dropped_spoofed.load(Ordering::Relaxed),
+            self.counters.dropped_rl1.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Stops the guard thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for GuardServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Convenience: spawns a guarded toy deployment (ANS behind guard); returns
+/// both handles.
+pub fn spawn_guarded(
+    authority: server::authoritative::Authority,
+    key_seed: u64,
+) -> io::Result<(ToyAns, GuardServer)> {
+    let ans = ToyAns::spawn(authority)?;
+    let guard = GuardServer::spawn(ans.addr(), key_seed)?;
+    Ok((ans, guard))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::CookieClient;
+    use dnswire::rdata::RData;
+    use dnswire::types::RrType;
+    use server::authoritative::Authority;
+    use server::zone::{paper_hierarchy, WWW_ADDR};
+
+    #[test]
+    fn live_cookie_exchange_and_query() {
+        let (_, _, foo) = paper_hierarchy();
+        let (ans, guard) = spawn_guarded(Authority::new(vec![foo]), 42).unwrap();
+
+        let mut client = CookieClient::connect(guard.addr()).unwrap();
+        let resp = client.query("www.foo.com".parse().unwrap(), RrType::A).unwrap();
+        assert_eq!(resp.answers[0].rdata, RData::A(WWW_ADDR));
+
+        // Second query reuses the cached cookie: exactly one grant total.
+        let resp2 = client.query("www.foo.com".parse().unwrap(), RrType::A).unwrap();
+        assert_eq!(resp2.answers[0].rdata, RData::A(WWW_ADDR));
+        let (forwarded, grants, spoofed, _) = guard.counters();
+        assert_eq!(grants, 1);
+        assert_eq!(forwarded, 2);
+        assert_eq!(spoofed, 0);
+        assert_eq!(ans.served(), 2);
+
+        guard.shutdown();
+        ans.shutdown();
+    }
+
+    #[test]
+    fn forged_cookie_dropped_live() {
+        let (_, _, foo) = paper_hierarchy();
+        let (ans, guard) = spawn_guarded(Authority::new(vec![foo]), 43).unwrap();
+
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.set_read_timeout(Some(Duration::from_millis(300))).unwrap();
+        let mut q = Message::query(7, "www.foo.com".parse().unwrap(), RrType::A);
+        cookie_ext::attach_cookie(&mut q, [0x66; 16], 0);
+        sock.send_to(&q.encode(), guard.addr()).unwrap();
+
+        let mut buf = [0u8; 512];
+        assert!(sock.recv_from(&mut buf).is_err(), "no response to a forged cookie");
+        let (_, _, spoofed, _) = guard.counters();
+        assert_eq!(spoofed, 1);
+        assert_eq!(ans.served(), 0);
+
+        guard.shutdown();
+        ans.shutdown();
+    }
+}

@@ -1,0 +1,26 @@
+//! Real-socket deployment of DNS Guard over `std::net` (threads, no async
+//! runtime): a userspace equivalent of the paper's firewall module for live
+//! demonstrations on loopback.
+//!
+//! * [`ans`] — a toy authoritative server answering from a
+//!   [`server::authoritative::Authority`];
+//! * [`guard_server`] — the remote guard speaking the modified-DNS cookie
+//!   extension (the scheme RFC 7873 later standardised): grants cookies,
+//!   verifies them per source address, forwards verified queries;
+//! * [`client`] — a cookie-capable client that transparently performs the
+//!   cookie exchange and stamps cached cookies on queries.
+//!
+//! The packet-level performance evaluation lives in [`netsim`]-based
+//! experiments (`bench` crate); this crate demonstrates that the same
+//! protocol logic (`dnswire` + `guardhash` + the guard's checking rules)
+//! runs unchanged against real sockets.
+
+pub mod ans;
+pub mod client;
+pub mod guard_server;
+pub mod tcp_front;
+
+pub use ans::ToyAns;
+pub use client::{ClientError, CookieClient};
+pub use guard_server::{spawn_guarded, GuardServer};
+pub use tcp_front::{query_over_tcp, TcpFront};

@@ -1,0 +1,38 @@
+//! The DNS server substrate of the reproduction: zones, authoritative
+//! answering, a caching recursive resolver, workload clients, and BIND-like
+//! capacity models — everything the paper's testbed ran, rebuilt over
+//! [`netsim`].
+//!
+//! * [`zone`] — zone data with delegations and glue, plus the paper's
+//!   root → `com` → `foo.com` hierarchy;
+//! * [`authoritative`] — pure answering logic (referral / answer / NODATA /
+//!   NXDOMAIN classification);
+//! * [`cache`] — the resolver's TTL cache (TTL 0 disables caching, as the
+//!   Figure 5 experiment requires);
+//! * [`recursive`] — a stock local recursive server: iterative resolution,
+//!   NS chasing, retransmission timers, TC→TCP fallback;
+//! * [`nodes`] — authoritative server nodes with BIND 9.3.1 / ANS-simulator
+//!   cost models;
+//! * [`simclient`] — the paper's closed-loop "LRS simulator" workload
+//!   generator (scheme-aware through standard DNS behaviour only);
+//! * [`openloop`] — constant-rate clients with BIND's congestion backoff;
+//! * [`tcpclient`] — a one-query-per-connection DNS-over-TCP driver.
+
+pub mod authoritative;
+pub mod cache;
+pub mod nodes;
+pub mod openloop;
+pub mod recursive;
+pub mod simclient;
+pub mod tcpclient;
+pub mod zone;
+pub mod zonefile;
+
+pub use authoritative::{AnswerKind, Authority};
+pub use cache::Cache;
+pub use nodes::{AuthNode, ServerCosts};
+pub use openloop::{OpenLoopClient, OpenLoopConfig};
+pub use recursive::{RecursiveResolver, ResolverConfig};
+pub use simclient::{CookieMode, LrsSimConfig, LrsSimulator};
+pub use zone::{Zone, ZoneBuilder};
+pub use zonefile::parse_zone;

@@ -1,0 +1,268 @@
+//! An open-loop (constant-rate) DNS client with the congestion-backoff
+//! behaviour that makes unprotected BIND collapse in Figure 5: when a
+//! request times out, the client interprets the loss as congestion and
+//! pauses for its retry timer (2 s for BIND) before resuming.
+
+use crate::tcpclient::TcpQueryClient;
+use dnswire::message::Message;
+use dnswire::name::Name;
+use dnswire::types::RrType;
+use netsim::engine::{Context, Node};
+use netsim::packet::{Endpoint, Packet, Proto, DNS_PORT};
+use netsim::time::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Configuration of the open-loop client.
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// The client's own address.
+    pub addr: Ipv4Addr,
+    /// Target server.
+    pub server: Ipv4Addr,
+    /// Queried name.
+    pub qname: Name,
+    /// Requests per second offered.
+    pub rate: f64,
+    /// How long to wait for each response.
+    pub timeout: SimTime,
+    /// When set, a timeout pauses all sending for this long (BIND-style
+    /// congestion backoff; the paper uses 2 s).
+    pub backoff: Option<SimTime>,
+    /// Follow TC responses over TCP (the TCP-based guard scheme).
+    pub use_tcp_on_tc: bool,
+}
+
+impl OpenLoopConfig {
+    /// A client offering `rate` req/s with a 2-second timeout and no
+    /// backoff.
+    pub fn new(addr: Ipv4Addr, server: Ipv4Addr, qname: Name, rate: f64) -> Self {
+        OpenLoopConfig {
+            addr,
+            server,
+            qname,
+            rate,
+            timeout: SimTime::from_secs(2),
+            backoff: None,
+            use_tcp_on_tc: true,
+        }
+    }
+}
+
+/// Counters of the open-loop client.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenLoopStats {
+    /// Requests sent (UDP).
+    pub sent: u64,
+    /// Responses received in time (completed requests).
+    pub completed: u64,
+    /// Requests that timed out.
+    pub timeouts: u64,
+    /// TC responses that triggered a TCP retry.
+    pub tcp_fallbacks: u64,
+    /// TCP retries completed.
+    pub tcp_completed: u64,
+}
+
+const TAG_SEND: u64 = u64::MAX;
+
+/// The open-loop client node.
+pub struct OpenLoopClient {
+    config: OpenLoopConfig,
+    pending: HashMap<u16, SimTime>, // txid → send time
+    next_txid: u16,
+    paused_until: SimTime,
+    tcp: TcpQueryClient,
+    /// Counters.
+    pub stats: OpenLoopStats,
+}
+
+impl OpenLoopClient {
+    /// Creates the client; sending starts at simulation start.
+    pub fn new(config: OpenLoopConfig) -> Self {
+        let tcp = TcpQueryClient::new(config.addr, u64::from(u32::from(config.addr)) ^ 0x0137);
+        OpenLoopClient {
+            config,
+            pending: HashMap::new(),
+            next_txid: 1,
+            paused_until: SimTime::ZERO,
+            tcp,
+            stats: OpenLoopStats::default(),
+        }
+    }
+
+    /// Completed requests per second over `elapsed`.
+    pub fn throughput(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            0.0
+        } else {
+            (self.stats.completed + self.stats.tcp_completed) as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    fn interval(&self) -> SimTime {
+        SimTime::from_secs_f64(1.0 / self.config.rate)
+    }
+
+    fn me(&self) -> Endpoint {
+        Endpoint::new(self.config.addr, 20_053)
+    }
+}
+
+impl Node for OpenLoopClient {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimTime::ZERO, TAG_SEND);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if tag == TAG_SEND {
+            ctx.set_timer(self.interval(), TAG_SEND);
+            if ctx.now() < self.paused_until {
+                return; // backing off
+            }
+            let txid = self.next_txid;
+            self.next_txid = self.next_txid.wrapping_add(1).max(1);
+            let q = Message::iterative_query(txid, self.config.qname.clone(), RrType::A);
+            ctx.send(Packet::udp(
+                self.me(),
+                Endpoint::new(self.config.server, DNS_PORT),
+                q.encode(),
+            ));
+            self.pending.insert(txid, ctx.now());
+            self.stats.sent += 1;
+            ctx.set_timer(self.config.timeout, txid as u64);
+        } else {
+            // Per-request timeout.
+            let txid = tag as u16;
+            if self.pending.remove(&txid).is_some() {
+                self.stats.timeouts += 1;
+                self.tcp.abandon(tag);
+                if let Some(backoff) = self.config.backoff {
+                    self.paused_until = ctx.now() + backoff;
+                }
+            }
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        match pkt.proto {
+            Proto::Udp => {
+                let Ok(msg) = Message::decode(&pkt.payload) else {
+                    return;
+                };
+                if !msg.header.response {
+                    return;
+                }
+                let txid = msg.header.id;
+                if !self.pending.contains_key(&txid) {
+                    return;
+                }
+                if msg.header.truncated && self.config.use_tcp_on_tc {
+                    self.stats.tcp_fallbacks += 1;
+                    let q = Message::iterative_query(txid, self.config.qname.clone(), RrType::A);
+                    let syn = self.tcp.start_query(pkt.src.ip, &q, txid as u64);
+                    ctx.send(syn);
+                    // Leave pending; the per-request timer still guards it.
+                    return;
+                }
+                self.pending.remove(&txid);
+                self.stats.completed += 1;
+            }
+            Proto::Tcp => {
+                let mut out = Vec::new();
+                let done = self.tcp.on_segment(&pkt, &mut out);
+                for p in out {
+                    ctx.send(p);
+                }
+                for (token, _msg) in done {
+                    let txid = token as u16;
+                    if self.pending.remove(&txid).is_some() {
+                        self.stats.tcp_completed += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authoritative::Authority;
+    use crate::nodes::{AuthNode, ServerCosts};
+    use crate::zone::{paper_hierarchy, FOO_SERVER};
+    use netsim::engine::{CpuConfig, Simulator};
+
+    fn world(seed: u64, costs: ServerCosts) -> (Simulator, netsim::NodeId) {
+        let (_, _, foo) = paper_hierarchy();
+        let mut sim = Simulator::new(seed);
+        let ans = sim.add_node(
+            FOO_SERVER,
+            CpuConfig::default(),
+            AuthNode::with_costs(FOO_SERVER, Authority::new(vec![foo]), costs),
+        );
+        (sim, ans)
+    }
+
+    #[test]
+    fn offered_rate_served_when_unloaded() {
+        let (mut sim, _ans) = world(1, ServerCosts::free());
+        let ip = Ipv4Addr::new(10, 0, 0, 21);
+        let client = sim.add_node(
+            ip,
+            CpuConfig::unbounded(),
+            OpenLoopClient::new(OpenLoopConfig::new(
+                ip,
+                FOO_SERVER,
+                "www.foo.com".parse().unwrap(),
+                1_000.0,
+            )),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let stats = sim.node_ref::<OpenLoopClient>(client).unwrap().stats;
+        assert!((990..=1_010).contains(&stats.sent), "sent {}", stats.sent);
+        assert!(stats.completed >= 985, "completed {}", stats.completed);
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn backoff_collapses_throughput_under_loss() {
+        // Server drops aggressively (tiny backlog, expensive requests);
+        // with 2 s backoff the client goes nearly silent.
+        let (_, _, foo) = paper_hierarchy();
+        let mut sim = Simulator::new(2);
+        sim.add_node(
+            FOO_SERVER,
+            CpuConfig {
+                max_backlog: SimTime::from_micros(100),
+            },
+            AuthNode::with_costs(FOO_SERVER, Authority::new(vec![foo]), ServerCosts::bind9()),
+        );
+        // An attacker-style second client saturates the server.
+        let hammer_ip = Ipv4Addr::new(10, 0, 0, 66);
+        sim.add_node(
+            hammer_ip,
+            CpuConfig::unbounded(),
+            OpenLoopClient::new(OpenLoopConfig {
+                timeout: SimTime::from_millis(100),
+                backoff: None,
+                ..OpenLoopConfig::new(hammer_ip, FOO_SERVER, "www.foo.com".parse().unwrap(), 50_000.0)
+            }),
+        );
+        let legit_ip = Ipv4Addr::new(10, 0, 0, 22);
+        let legit = sim.add_node(
+            legit_ip,
+            CpuConfig::unbounded(),
+            OpenLoopClient::new(OpenLoopConfig {
+                timeout: SimTime::from_millis(50),
+                backoff: Some(SimTime::from_secs(2)),
+                ..OpenLoopConfig::new(legit_ip, FOO_SERVER, "www.foo.com".parse().unwrap(), 1_000.0)
+            }),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let stats = sim.node_ref::<OpenLoopClient>(legit).unwrap().stats;
+        // Without backoff it would offer 2000; with collapse it sends a few
+        // then pauses 2 s.
+        assert!(stats.sent < 400, "sent {}", stats.sent);
+    }
+}

@@ -1,0 +1,1005 @@
+//! The local recursive server (LRS): accepts recursive queries from stubs,
+//! resolves them iteratively against authoritative servers, caches results,
+//! retries on timeout, and falls back to TCP when a response arrives with
+//! the TC (truncation) flag — exactly the behaviours the three guard
+//! schemes lean on.
+//!
+//! The resolver is deliberately *unmodified* with respect to the guard: it
+//! follows NS records wherever they point (including fabricated
+//! `PR<cookie>` names), honours TTLs, and speaks ordinary UDP/TCP DNS. The
+//! DNS-based and TCP-based schemes work against this stock resolver; only
+//! the modified-DNS scheme needs a local guard *in front of* it.
+
+use crate::cache::Cache;
+use dnswire::message::{Message, MAX_UDP_PAYLOAD};
+use dnswire::name::Name;
+use dnswire::question::Question;
+use dnswire::rdata::RData;
+use dnswire::types::{Rcode, RrType};
+use netsim::engine::{Context, Node};
+use netsim::packet::{Endpoint, Packet, Proto, DNS_PORT};
+use netsim::tcp::{ConnKey, TcpEvent, TcpHost};
+use netsim::time::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Configuration of a recursive resolver node.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// The resolver's own address (it listens on UDP/TCP port 53 and sends
+    /// iterative queries from this address).
+    pub addr: Ipv4Addr,
+    /// Root server addresses used when no deeper cut is cached.
+    pub root_hints: Vec<Ipv4Addr>,
+    /// How long to wait for an upstream response before retrying. BIND 9
+    /// uses 2 s (Figure 5); the paper's LRS simulator uses 10 ms.
+    pub timeout: SimTime,
+    /// Total upstream attempts per question before giving up.
+    pub max_retries: u32,
+    /// When set, only clients inside one of these `(base, prefix)` subnets
+    /// are served; others get REFUSED. (The paper notes most LRSs restrict
+    /// their clientele, which blunts LRS-recruitment attacks.)
+    pub allowed_clients: Option<Vec<(Ipv4Addr, u8)>>,
+    /// CPU cost charged per packet handled.
+    pub per_packet_cost: SimTime,
+}
+
+impl ResolverConfig {
+    /// A resolver at `addr` with the given root hints and simulator-style
+    /// 10 ms timeout.
+    pub fn new(addr: Ipv4Addr, root_hints: Vec<Ipv4Addr>) -> Self {
+        ResolverConfig {
+            addr,
+            root_hints,
+            timeout: SimTime::from_millis(10),
+            max_retries: 3,
+            allowed_clients: None,
+            per_packet_cost: SimTime::from_micros(2),
+        }
+    }
+
+    /// Switches to BIND's 2-second retry timer (used by Figure 5).
+    pub fn with_bind_timer(mut self) -> Self {
+        self.timeout = SimTime::from_secs(2);
+        self
+    }
+}
+
+/// Observable resolver counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Recursive queries accepted from clients.
+    pub client_queries: u64,
+    /// Responses returned to clients (any rcode).
+    pub responses_sent: u64,
+    /// Client queries refused by the ACL.
+    pub refused: u64,
+    /// Iterative queries sent upstream (UDP).
+    pub upstream_sent: u64,
+    /// Upstream timeouts (each triggers a retry or failure).
+    pub timeouts: u64,
+    /// Queries retried over TCP after a TC response.
+    pub tcp_fallbacks: u64,
+    /// Jobs that exhausted retries and answered SERVFAIL.
+    pub servfails: u64,
+}
+
+#[derive(Debug)]
+enum JobOrigin {
+    /// A client asked; answer back over UDP.
+    Client { id: u16, from: Endpoint },
+    /// Internal sub-resolution (NS address chase) for a parent job.
+    Sub { parent: usize },
+}
+
+#[derive(Debug)]
+struct Job {
+    /// Current resolution target (follows CNAMEs).
+    target: Name,
+    qtype: RrType,
+    /// The original question (for the client response).
+    original: Question,
+    origin: JobOrigin,
+    /// Remaining referral/CNAME/sub-query budget.
+    budget: u8,
+    attempts: u32,
+    /// Records accumulated for the final answer (CNAME chain).
+    answer_prefix: Vec<dnswire::record::Record>,
+    /// Set while a child sub-resolution is outstanding.
+    waiting: bool,
+    started: SimTime,
+}
+
+#[derive(Debug)]
+struct Pending {
+    job: usize,
+    server: Ipv4Addr,
+    txid: u16,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct TcpPending {
+    op: u64,
+    wire: Vec<u8>,
+    recv_buf: Vec<u8>,
+}
+
+/// The recursive resolver node.
+///
+/// Latencies of completed client queries are recorded in
+/// [`RecursiveResolver::latencies`].
+pub struct RecursiveResolver {
+    config: ResolverConfig,
+    cache: Cache,
+    jobs: Vec<Option<Job>>,
+    pending: HashMap<u64, Pending>,
+    txid_to_op: HashMap<u16, u64>,
+    next_op: u64,
+    next_txid: u16,
+    next_tcp_port: u16,
+    tcp: TcpHost,
+    tcp_pending: HashMap<ConnKey, TcpPending>,
+    /// Counters.
+    pub stats: ResolverStats,
+    /// Client-query completion latencies.
+    pub latencies: netsim::metrics::LatencyRecorder,
+}
+
+impl RecursiveResolver {
+    /// Creates a resolver from `config`.
+    pub fn new(config: ResolverConfig) -> Self {
+        RecursiveResolver {
+            tcp: TcpHost::new(u64::from(u32::from(config.addr))),
+            config,
+            cache: Cache::new(),
+            jobs: Vec::new(),
+            pending: HashMap::new(),
+            txid_to_op: HashMap::new(),
+            next_op: 1,
+            next_txid: 1,
+            next_tcp_port: 40_000,
+            tcp_pending: HashMap::new(),
+            stats: ResolverStats::default(),
+            latencies: netsim::metrics::LatencyRecorder::new(),
+        }
+    }
+
+    /// Read access to the cache (tests & experiments).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Drops all cached data.
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    fn acl_allows(&self, client: Ipv4Addr) -> bool {
+        match &self.config.allowed_clients {
+            None => true,
+            Some(subnets) => subnets.iter().any(|(base, prefix)| {
+                let mask = if *prefix == 0 { 0 } else { u32::MAX << (32 - prefix) };
+                u32::from(client) & mask == u32::from(*base) & mask
+            }),
+        }
+    }
+
+    fn my_udp(&self) -> Endpoint {
+        Endpoint::new(self.config.addr, DNS_PORT)
+    }
+
+    // ---- job lifecycle -------------------------------------------------
+
+    fn start_job(&mut self, ctx: &mut Context<'_>, question: Question, origin: JobOrigin) -> usize {
+        let job = Job {
+            target: question.name.clone(),
+            qtype: question.qtype,
+            original: question,
+            origin,
+            budget: 24,
+            attempts: 0,
+            answer_prefix: Vec::new(),
+            waiting: false,
+            started: ctx.now(),
+        };
+        let id = self
+            .jobs
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.jobs.push(None);
+                self.jobs.len() - 1
+            });
+        self.jobs[id] = Some(job);
+        id
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_>, job_id: usize) {
+        let now = ctx.now();
+        let Some(job) = self.jobs[job_id].as_mut() else {
+            return;
+        };
+        if job.waiting {
+            return;
+        }
+        if job.budget == 0 {
+            self.finish_err(ctx, job_id, Rcode::ServFail);
+            return;
+        }
+
+        // 1. Cached final answer?
+        let target = job.target.clone();
+        let qtype = job.qtype;
+        if let Some(records) = self.cache.get(now, &target, qtype) {
+            let Some(job) = self.jobs[job_id].as_mut() else { return };
+            let mut answers = std::mem::take(&mut job.answer_prefix);
+            answers.extend(records);
+            self.finish_ok(ctx, job_id, answers);
+            return;
+        }
+        // 2. Cached CNAME? Chase it.
+        if qtype != RrType::Cname {
+            if let Some(cnames) = self.cache.get(now, &target, RrType::Cname) {
+                if let Some(RData::Cname(next)) = cnames.first().map(|r| r.rdata.clone()) {
+                    let job = self.jobs[job_id].as_mut().expect("job alive");
+                    job.answer_prefix.extend(cnames);
+                    job.target = next;
+                    job.budget -= 1;
+                    self.step(ctx, job_id);
+                    return;
+                }
+            }
+        }
+        // 2b. Cached negative answer (RFC 2308)?
+        if let Some(neg) = self.cache.get_negative(now, &target, qtype) {
+            let rcode = if neg.nxdomain { Rcode::NxDomain } else { Rcode::NoError };
+            self.finish_negative(ctx, job_id, rcode, Some(neg.soa));
+            return;
+        }
+
+        // 3. Pick servers from the deepest cached cut, else root hints.
+        let servers = self.server_candidates(ctx, job_id, now, &target);
+        let Some(servers) = servers else {
+            return; // parked on a sub-resolution, or failed
+        };
+        if servers.is_empty() {
+            self.finish_err(ctx, job_id, Rcode::ServFail);
+            return;
+        }
+
+        // 4. Send the iterative query.
+        let job = self.jobs[job_id].as_mut().expect("job alive");
+        let server = servers[(job.attempts as usize) % servers.len()];
+        job.attempts += 1;
+        self.send_upstream(ctx, job_id, server);
+    }
+
+    /// Returns the candidate server addresses for `target`, or `None` if the
+    /// job was parked on a sub-resolution (or failed during parking).
+    fn server_candidates(
+        &mut self,
+        ctx: &mut Context<'_>,
+        job_id: usize,
+        now: SimTime,
+        target: &Name,
+    ) -> Option<Vec<Ipv4Addr>> {
+        match self.cache.best_zone_cut(now, target) {
+            None => Some(self.config.root_hints.clone()),
+            Some((_cut, ns_names)) => {
+                let mut addrs = Vec::new();
+                for ns in &ns_names {
+                    addrs.extend(self.cache.addresses(now, ns));
+                }
+                if !addrs.is_empty() {
+                    return Some(addrs);
+                }
+                // No addresses for any NS name: resolve the first NS name.
+                let ns = ns_names[0].clone();
+                let job = self.jobs[job_id].as_mut().expect("job alive");
+                if job.budget == 0 {
+                    self.finish_err(ctx, job_id, Rcode::ServFail);
+                    return None;
+                }
+                job.budget -= 1;
+                job.waiting = true;
+                let sub_q = Question::new(ns, RrType::A);
+                let sub = self.start_job(ctx, sub_q, JobOrigin::Sub { parent: job_id });
+                self.step(ctx, sub);
+                None
+            }
+        }
+    }
+
+    fn send_upstream(&mut self, ctx: &mut Context<'_>, job_id: usize, server: Ipv4Addr) {
+        let job = self.jobs[job_id].as_ref().expect("job alive");
+        let txid = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1).max(1);
+        let op = self.next_op;
+        self.next_op += 1;
+
+        let query = Message::iterative_query(txid, job.target.clone(), job.qtype);
+        let pkt = Packet::udp(
+            self.my_udp(),
+            Endpoint::new(server, DNS_PORT),
+            query.encode(),
+        );
+        ctx.charge(self.config.per_packet_cost);
+        ctx.send(pkt);
+        ctx.set_timer(self.config.timeout, op);
+        self.pending.insert(
+            op,
+            Pending {
+                job: job_id,
+                server,
+                txid,
+                done: false,
+            },
+        );
+        self.txid_to_op.insert(txid, op);
+        self.stats.upstream_sent += 1;
+    }
+
+    fn finish_ok(&mut self, ctx: &mut Context<'_>, job_id: usize, answers: Vec<dnswire::record::Record>) {
+        self.finish(ctx, job_id, Rcode::NoError, answers, Vec::new());
+    }
+
+    fn finish_err(&mut self, ctx: &mut Context<'_>, job_id: usize, rcode: Rcode) {
+        if rcode == Rcode::ServFail {
+            self.stats.servfails += 1;
+        }
+        self.finish(ctx, job_id, rcode, Vec::new(), Vec::new());
+    }
+
+    /// Finishes with a negative answer, carrying the authorising SOA.
+    fn finish_negative(
+        &mut self,
+        ctx: &mut Context<'_>,
+        job_id: usize,
+        rcode: Rcode,
+        soa: Option<dnswire::record::Record>,
+    ) {
+        self.finish(ctx, job_id, rcode, Vec::new(), soa.into_iter().collect());
+    }
+
+    fn finish(
+        &mut self,
+        ctx: &mut Context<'_>,
+        job_id: usize,
+        rcode: Rcode,
+        answers: Vec<dnswire::record::Record>,
+        authorities: Vec<dnswire::record::Record>,
+    ) {
+        let Some(job) = self.jobs[job_id].take() else {
+            return;
+        };
+        // Cancel any outstanding pendings for this job.
+        for p in self.pending.values_mut() {
+            if p.job == job_id {
+                p.done = true;
+            }
+        }
+        match job.origin {
+            JobOrigin::Client { id, from } => {
+                let response = Message {
+                    header: dnswire::header::Header {
+                        id,
+                        response: true,
+                        recursion_desired: true,
+                        recursion_available: true,
+                        rcode,
+                        ..dnswire::header::Header::default()
+                    },
+                    questions: vec![job.original.clone()],
+                    answers,
+                    authorities,
+                    ..Message::default()
+                };
+                let (wire, _) = response
+                    .encode_with_limit(MAX_UDP_PAYLOAD)
+                    .unwrap_or_else(|_| (response.error_response(Rcode::ServFail).encode(), false));
+                ctx.charge(self.config.per_packet_cost);
+                ctx.send(Packet::udp(self.my_udp(), from, wire));
+                self.stats.responses_sent += 1;
+                self.latencies.record(ctx.now() - job.started);
+            }
+            JobOrigin::Sub { parent } => {
+                if let Some(pjob) = self.jobs.get_mut(parent).and_then(Option::as_mut) {
+                    pjob.waiting = false;
+                    self.step(ctx, parent);
+                }
+            }
+        }
+    }
+
+    // ---- packet handling -----------------------------------------------
+
+    fn handle_client_query(&mut self, ctx: &mut Context<'_>, pkt: Packet, msg: Message) {
+        self.stats.client_queries += 1;
+        if !self.acl_allows(pkt.src.ip) {
+            self.stats.refused += 1;
+            let refused = msg.error_response(Rcode::Refused);
+            ctx.send(Packet::udp(pkt.dst, pkt.src, refused.encode()));
+            return;
+        }
+        let Some(question) = msg.question().cloned() else {
+            let formerr = msg.error_response(Rcode::FormErr);
+            ctx.send(Packet::udp(pkt.dst, pkt.src, formerr.encode()));
+            return;
+        };
+        let job = self.start_job(
+            ctx,
+            question,
+            JobOrigin::Client {
+                id: msg.header.id,
+                from: pkt.src,
+            },
+        );
+        self.step(ctx, job);
+    }
+
+    fn handle_upstream_response(&mut self, ctx: &mut Context<'_>, pkt: Packet, msg: Message) {
+        let Some(&op) = self.txid_to_op.get(&msg.header.id) else {
+            return; // unsolicited or stale
+        };
+        let Some(pending) = self.pending.get(&op) else {
+            return;
+        };
+        if pending.done || pending.server != pkt.src.ip {
+            return; // already answered, or off-path spoof
+        }
+        let job_id = pending.job;
+        self.retire_op(op);
+
+        if msg.header.truncated {
+            // TC flag: retry this query over TCP to the same server.
+            self.stats.tcp_fallbacks += 1;
+            self.query_over_tcp(ctx, job_id, pkt.src.ip);
+            return;
+        }
+        self.process_answer(ctx, job_id, msg);
+    }
+
+    fn process_answer(&mut self, ctx: &mut Context<'_>, job_id: usize, msg: Message) {
+        let now = ctx.now();
+        let Some(job) = self.jobs[job_id].as_mut() else {
+            return;
+        };
+        job.budget = job.budget.saturating_sub(1);
+        let target = job.target.clone();
+        let qtype = job.qtype;
+
+        // Cache everything the server told us.
+        self.cache.put(now, &msg.answers);
+        self.cache.put(now, &msg.authorities);
+        self.cache.put(now, &msg.additionals);
+
+        let soa_of = |m: &Message| {
+            m.authorities
+                .iter()
+                .find(|r| r.rtype == RrType::Soa)
+                .cloned()
+        };
+        match msg.header.rcode {
+            Rcode::NoError => {}
+            Rcode::NxDomain => {
+                let soa = soa_of(&msg);
+                if let Some(soa) = &soa {
+                    self.cache.put_negative(now, &target, qtype, true, soa);
+                }
+                self.finish_negative(ctx, job_id, Rcode::NxDomain, soa);
+                return;
+            }
+            rcode => {
+                self.finish_err(ctx, job_id, rcode);
+                return;
+            }
+        }
+
+        // Terminal answer for the current target?
+        let direct: Vec<_> = msg
+            .answers
+            .iter()
+            .filter(|r| r.name == target && r.rtype == qtype)
+            .cloned()
+            .collect();
+        if !direct.is_empty() {
+            let job = self.jobs[job_id].as_mut().expect("job alive");
+            let mut answers = std::mem::take(&mut job.answer_prefix);
+            answers.extend(direct);
+            self.finish_ok(ctx, job_id, answers);
+            return;
+        }
+
+        // CNAME for the target?
+        if let Some(cname) = msg
+            .answers
+            .iter()
+            .find(|r| r.name == target && r.rtype == RrType::Cname)
+        {
+            if let RData::Cname(next) = &cname.rdata {
+                let next = next.clone();
+                let cname = cname.clone();
+                let job = self.jobs[job_id].as_mut().expect("job alive");
+                job.answer_prefix.push(cname);
+                job.target = next;
+                self.step(ctx, job_id);
+                return;
+            }
+        }
+
+        // Referral: continue the iteration (the cache now knows the cut).
+        if msg.is_referral() {
+            self.step(ctx, job_id);
+            return;
+        }
+
+        // NODATA (NoError, no matching records): cache and report.
+        let soa = soa_of(&msg);
+        if let Some(soa) = &soa {
+            self.cache.put_negative(now, &target, qtype, false, soa);
+        }
+        let job = self.jobs[job_id].as_mut().expect("job alive");
+        let answers = std::mem::take(&mut job.answer_prefix);
+        if answers.is_empty() {
+            self.finish_negative(ctx, job_id, Rcode::NoError, soa);
+        } else {
+            self.finish_ok(ctx, job_id, answers);
+        }
+    }
+
+    fn retire_op(&mut self, op: u64) {
+        if let Some(p) = self.pending.remove(&op) {
+            self.txid_to_op.remove(&p.txid);
+        }
+    }
+
+    // ---- TCP fallback ----------------------------------------------------
+
+    fn query_over_tcp(&mut self, ctx: &mut Context<'_>, job_id: usize, server: Ipv4Addr) {
+        let Some(job) = self.jobs[job_id].as_ref() else {
+            return;
+        };
+        let txid = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1).max(1);
+        let op = self.next_op;
+        self.next_op += 1;
+        let query = Message::iterative_query(txid, job.target.clone(), job.qtype);
+        // RFC 1035 TCP framing: two-byte length prefix.
+        let dns = query.encode();
+        let mut wire = Vec::with_capacity(dns.len() + 2);
+        wire.extend_from_slice(&(dns.len() as u16).to_be_bytes());
+        wire.extend_from_slice(&dns);
+
+        let local = Endpoint::new(self.config.addr, self.next_tcp_port);
+        self.next_tcp_port = self.next_tcp_port.wrapping_add(1).max(40_000);
+        let (key, syn) = self.tcp.connect(local, Endpoint::new(server, DNS_PORT));
+        ctx.charge(self.config.per_packet_cost);
+        ctx.send(syn);
+        ctx.set_timer(self.config.timeout * 3, op);
+        self.pending.insert(
+            op,
+            Pending {
+                job: job_id,
+                server,
+                txid,
+                done: false,
+            },
+        );
+        self.txid_to_op.insert(txid, op);
+        self.tcp_pending.insert(
+            key,
+            TcpPending {
+                op,
+                wire,
+                recv_buf: Vec::new(),
+            },
+        );
+    }
+
+    fn handle_tcp_segment(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        let mut out = Vec::new();
+        let events = self.tcp.on_segment(&pkt, &mut out);
+        for p in out {
+            ctx.charge(self.config.per_packet_cost);
+            ctx.send(p);
+        }
+        for ev in events {
+            match ev {
+                TcpEvent::Connected(key) => {
+                    if let Some(tp) = self.tcp_pending.get(&key) {
+                        let wire = tp.wire.clone();
+                        if let Some(data_pkt) = self.tcp.send(key, wire) {
+                            ctx.charge(self.config.per_packet_cost);
+                            ctx.send(data_pkt);
+                        }
+                    }
+                }
+                TcpEvent::Data(key, bytes) => {
+                    let Some(tp) = self.tcp_pending.get_mut(&key) else {
+                        continue;
+                    };
+                    tp.recv_buf.extend_from_slice(&bytes);
+                    if tp.recv_buf.len() < 2 {
+                        continue;
+                    }
+                    let need = u16::from_be_bytes([tp.recv_buf[0], tp.recv_buf[1]]) as usize;
+                    if tp.recv_buf.len() < 2 + need {
+                        continue;
+                    }
+                    let frame = tp.recv_buf[2..2 + need].to_vec();
+                    let op = tp.op;
+                    if let Some(fin) = self.tcp.close(key) {
+                        ctx.charge(self.config.per_packet_cost);
+                        ctx.send(fin);
+                    }
+                    self.tcp_pending.remove(&key);
+                    if let Ok(msg) = Message::decode(&frame) {
+                        if let Some(p) = self.pending.get(&op) {
+                            if !p.done {
+                                let job_id = p.job;
+                                self.retire_op(op);
+                                self.process_answer(ctx, job_id, msg);
+                            }
+                        }
+                    }
+                }
+                TcpEvent::Closed(key) | TcpEvent::Reset(key) => {
+                    self.tcp_pending.remove(&key);
+                }
+                TcpEvent::Accepted(_) => {}
+            }
+        }
+    }
+}
+
+impl Node for RecursiveResolver {
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        ctx.charge(self.config.per_packet_cost);
+        match pkt.proto {
+            Proto::Tcp => self.handle_tcp_segment(ctx, pkt),
+            Proto::Udp => {
+                let Ok(msg) = Message::decode(&pkt.payload) else {
+                    return;
+                };
+                if msg.header.response {
+                    self.handle_upstream_response(ctx, pkt, msg);
+                } else {
+                    self.handle_client_query(ctx, pkt, msg);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, op: u64) {
+        let Some(pending) = self.pending.get(&op) else {
+            return;
+        };
+        if pending.done {
+            self.retire_op(op);
+            return;
+        }
+        let job_id = pending.job;
+        self.retire_op(op);
+        self.stats.timeouts += 1;
+        let give_up = match self.jobs[job_id].as_ref() {
+            Some(job) => job.attempts >= self.config.max_retries,
+            None => return,
+        };
+        if give_up {
+            self.finish_err(ctx, job_id, Rcode::ServFail);
+        } else {
+            self.step(ctx, job_id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authoritative::Authority;
+    use crate::zone::{paper_hierarchy, COM_SERVER, FOO_SERVER, ROOT_SERVER, WWW_ADDR};
+    use netsim::engine::{CpuConfig, Simulator};
+
+    /// Minimal authoritative node serving an [`Authority`] over UDP.
+    pub struct AuthNode {
+        addr: Ipv4Addr,
+        authority: Authority,
+        pub queries: u64,
+    }
+
+    impl AuthNode {
+        pub fn new(addr: Ipv4Addr, authority: Authority) -> Self {
+            AuthNode {
+                addr,
+                authority,
+                queries: 0,
+            }
+        }
+    }
+
+    impl Node for AuthNode {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+            if pkt.proto != Proto::Udp {
+                return;
+            }
+            let Ok(msg) = Message::decode(&pkt.payload) else {
+                return;
+            };
+            if msg.header.response {
+                return;
+            }
+            self.queries += 1;
+            let (resp, _) = self.authority.answer(&msg);
+            let (wire, _) = resp.encode_with_limit(MAX_UDP_PAYLOAD).expect("fits");
+            ctx.send(Packet::udp(
+                Endpoint::new(self.addr, DNS_PORT),
+                pkt.src,
+                wire,
+            ));
+        }
+    }
+
+    /// A stub client that sends one recursive query and remembers the reply.
+    struct OneShot {
+        me: Endpoint,
+        lrs: Endpoint,
+        qname: Name,
+        reply: Option<Message>,
+    }
+
+    impl Node for OneShot {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let q = Message::query(77, self.qname.clone(), RrType::A);
+            ctx.send(Packet::udp(self.me, self.lrs, q.encode()));
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+            self.reply = Message::decode(&pkt.payload).ok();
+        }
+    }
+
+    fn build_world(seed: u64) -> (Simulator, netsim::NodeId, netsim::NodeId) {
+        let (root, com, foo) = paper_hierarchy();
+        let mut sim = Simulator::new(seed);
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 53);
+        let stub_ip = Ipv4Addr::new(10, 0, 0, 1);
+
+        sim.add_node(
+            ROOT_SERVER,
+            CpuConfig::unbounded(),
+            AuthNode::new(ROOT_SERVER, Authority::new(vec![root])),
+        );
+        sim.add_node(
+            COM_SERVER,
+            CpuConfig::unbounded(),
+            AuthNode::new(COM_SERVER, Authority::new(vec![com])),
+        );
+        sim.add_node(
+            FOO_SERVER,
+            CpuConfig::unbounded(),
+            AuthNode::new(FOO_SERVER, Authority::new(vec![foo])),
+        );
+        let lrs = sim.add_node(
+            lrs_ip,
+            CpuConfig::unbounded(),
+            RecursiveResolver::new(ResolverConfig::new(
+                lrs_ip,
+                vec![ROOT_SERVER],
+            )),
+        );
+        let stub = sim.add_node(
+            stub_ip,
+            CpuConfig::unbounded(),
+            OneShot {
+                me: Endpoint::new(stub_ip, 5000),
+                lrs: Endpoint::new(lrs_ip, DNS_PORT),
+                qname: "www.foo.com".parse().unwrap(),
+                reply: None,
+            },
+        );
+        (sim, lrs, stub)
+    }
+
+    #[test]
+    fn full_iterative_resolution() {
+        let (mut sim, lrs, stub) = build_world(1);
+        sim.run();
+        let reply = sim
+            .node_ref::<OneShot>(stub)
+            .unwrap()
+            .reply
+            .clone()
+            .expect("stub got a reply");
+        assert_eq!(reply.header.rcode, Rcode::NoError);
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
+        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats;
+        assert_eq!(stats.client_queries, 1);
+        assert_eq!(stats.responses_sent, 1);
+        // root → com → foo.com: exactly three upstream queries on a cold cache.
+        assert_eq!(stats.upstream_sent, 3);
+    }
+
+    #[test]
+    fn second_query_answered_from_cache() {
+        let (mut sim, lrs, _stub) = build_world(2);
+        sim.run();
+        let first_upstream = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent;
+
+        // Second client asks the same question.
+        let stub2_ip = Ipv4Addr::new(10, 0, 0, 2);
+        sim.add_node(
+            stub2_ip,
+            CpuConfig::unbounded(),
+            OneShot {
+                me: Endpoint::new(stub2_ip, 5001),
+                lrs: Endpoint::new(Ipv4Addr::new(10, 0, 0, 53), DNS_PORT),
+                qname: "www.foo.com".parse().unwrap(),
+                reply: None,
+            },
+        );
+        sim.run();
+        let resolver = sim.node_ref::<RecursiveResolver>(lrs).unwrap();
+        assert_eq!(resolver.stats.upstream_sent, first_upstream, "no new upstream queries");
+        assert_eq!(resolver.stats.responses_sent, 2);
+    }
+
+    #[test]
+    fn nxdomain_propagates() {
+        let (mut sim, _lrs, _stub) = build_world(3);
+        let stub2_ip = Ipv4Addr::new(10, 0, 0, 3);
+        let stub2 = sim.add_node(
+            stub2_ip,
+            CpuConfig::unbounded(),
+            OneShot {
+                me: Endpoint::new(stub2_ip, 5002),
+                lrs: Endpoint::new(Ipv4Addr::new(10, 0, 0, 53), DNS_PORT),
+                qname: "missing.foo.com".parse().unwrap(),
+                reply: None,
+            },
+        );
+        sim.run();
+        let reply = sim.node_ref::<OneShot>(stub2).unwrap().reply.clone().unwrap();
+        assert_eq!(reply.header.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn negative_answers_cached() {
+        // First NXDOMAIN query walks the hierarchy; the second is answered
+        // from the negative cache with no new upstream traffic.
+        let (mut sim, lrs, _stub) = build_world(7);
+        sim.run();
+        let ask = |sim: &mut Simulator, port: u16, host: u8| -> Message {
+            let stub_ip = Ipv4Addr::new(10, 0, 0, host);
+            let stub = sim.add_node(
+                stub_ip,
+                CpuConfig::unbounded(),
+                OneShot {
+                    me: Endpoint::new(stub_ip, port),
+                    lrs: Endpoint::new(Ipv4Addr::new(10, 0, 0, 53), DNS_PORT),
+                    qname: "missing.foo.com".parse().unwrap(),
+                    reply: None,
+                },
+            );
+            sim.run();
+            sim.node_ref::<OneShot>(stub).unwrap().reply.clone().unwrap()
+        };
+        let first = ask(&mut sim, 6001, 31);
+        assert_eq!(first.header.rcode, Rcode::NxDomain);
+        assert!(
+            first.authorities.iter().any(|r| r.rtype == RrType::Soa),
+            "negative answer carries the SOA"
+        );
+        let upstream = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent;
+        let second = ask(&mut sim, 6002, 32);
+        assert_eq!(second.header.rcode, Rcode::NxDomain);
+        assert_eq!(
+            sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent,
+            upstream,
+            "second NXDOMAIN served from the negative cache"
+        );
+    }
+
+    #[test]
+    fn acl_refuses_outsiders() {
+        let (root, com, foo) = paper_hierarchy();
+        let mut sim = Simulator::new(4);
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 53);
+        for (ip, zone) in [(ROOT_SERVER, root), (COM_SERVER, com), (FOO_SERVER, foo)] {
+            sim.add_node(ip, CpuConfig::unbounded(), AuthNode::new(ip, Authority::new(vec![zone])));
+        }
+        let mut config = ResolverConfig::new(lrs_ip, vec![ROOT_SERVER]);
+        config.allowed_clients = Some(vec![(Ipv4Addr::new(10, 0, 0, 0), 24)]);
+        let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), RecursiveResolver::new(config));
+
+        let outsider_ip = Ipv4Addr::new(172, 16, 0, 1);
+        let outsider = sim.add_node(
+            outsider_ip,
+            CpuConfig::unbounded(),
+            OneShot {
+                me: Endpoint::new(outsider_ip, 6000),
+                lrs: Endpoint::new(lrs_ip, DNS_PORT),
+                qname: "www.foo.com".parse().unwrap(),
+                reply: None,
+            },
+        );
+        sim.run();
+        let reply = sim.node_ref::<OneShot>(outsider).unwrap().reply.clone().unwrap();
+        assert_eq!(reply.header.rcode, Rcode::Refused);
+        assert_eq!(sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.refused, 1);
+    }
+
+    #[test]
+    fn timeout_then_servfail_when_server_dead() {
+        // Root hint points at an address nobody owns → timeouts → SERVFAIL.
+        let mut sim = Simulator::new(5);
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 53);
+        let lrs = sim.add_node(
+            lrs_ip,
+            CpuConfig::unbounded(),
+            RecursiveResolver::new(ResolverConfig::new(lrs_ip, vec![Ipv4Addr::new(203, 0, 113, 99)])),
+        );
+        let stub_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let stub = sim.add_node(
+            stub_ip,
+            CpuConfig::unbounded(),
+            OneShot {
+                me: Endpoint::new(stub_ip, 5000),
+                lrs: Endpoint::new(lrs_ip, DNS_PORT),
+                qname: "www.foo.com".parse().unwrap(),
+                reply: None,
+            },
+        );
+        sim.run();
+        let reply = sim.node_ref::<OneShot>(stub).unwrap().reply.clone().unwrap();
+        assert_eq!(reply.header.rcode, Rcode::ServFail);
+        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats;
+        assert_eq!(stats.timeouts as u32, 3);
+        assert_eq!(stats.servfails, 1);
+    }
+
+    #[test]
+    fn spoofed_response_from_wrong_server_ignored() {
+        // A response with the right txid but wrong source address must not
+        // be accepted (classic cache-poisoning requirement).
+        let (root, com, foo) = paper_hierarchy();
+        let mut sim = Simulator::new(6);
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 53);
+        for (ip, zone) in [(ROOT_SERVER, root), (COM_SERVER, com), (FOO_SERVER, foo)] {
+            sim.add_node(ip, CpuConfig::unbounded(), AuthNode::new(ip, Authority::new(vec![zone])));
+        }
+        let lrs = sim.add_node(
+            lrs_ip,
+            CpuConfig::unbounded(),
+            RecursiveResolver::new(ResolverConfig::new(lrs_ip, vec![ROOT_SERVER])),
+        );
+        // Inject a forged response claiming www.foo.com = 6.6.6.6 with
+        // txid 1 (the resolver's first txid) from an off-path address.
+        let mut forged = Message::iterative_query(1, "www.foo.com".parse().unwrap(), RrType::A).response();
+        forged
+            .answers
+            .push(dnswire::record::Record::a("www.foo.com".parse().unwrap(), Ipv4Addr::new(6, 6, 6, 6), 600));
+        let stub_ip = Ipv4Addr::new(10, 0, 0, 1);
+        let stub = sim.add_node(
+            stub_ip,
+            CpuConfig::unbounded(),
+            OneShot {
+                me: Endpoint::new(stub_ip, 5000),
+                lrs: Endpoint::new(lrs_ip, DNS_PORT),
+                qname: "www.foo.com".parse().unwrap(),
+                reply: None,
+            },
+        );
+        sim.inject(
+            stub,
+            Packet::udp(
+                Endpoint::new(Ipv4Addr::new(66, 66, 66, 66), DNS_PORT),
+                Endpoint::new(lrs_ip, DNS_PORT),
+                forged.encode(),
+            ),
+        );
+        sim.run();
+        let reply = sim.node_ref::<OneShot>(stub).unwrap().reply.clone().unwrap();
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR), "forgery rejected");
+        let _ = lrs;
+    }
+}

@@ -1,0 +1,639 @@
+//! The paper's closed-loop workload generator (section IV.D: "The LRS
+//! simulator repeatedly submits requests to resolve the same domain name,
+//! and is able to handle DNS responses containing NS records, A records, and
+//! truncation flag").
+//!
+//! The simulator keeps `concurrency` logical requests in flight. Each
+//! request follows standard DNS behaviour, which is exactly what the guard
+//! schemes exploit:
+//!
+//! * an **NS referral without glue** makes it query the same server for the
+//!   name server's address (this is the NS-name cookie exchange);
+//! * if that NS record's owner is the query name itself (a fabricated ANS
+//!   for a non-referral answer), the returned address is used as the next
+//!   server for the original question (the `COOKIE2` hop);
+//! * a **TC response** makes it retry over TCP;
+//! * in [`CookieMode::Extension`] it behaves like a local DNS guard:
+//!   request a cookie with the all-zero extension, cache it, stamp it on
+//!   queries.
+//!
+//! With [`LrsSimConfig::cookie_cache`] disabled every request repeats the
+//! whole exchange — the paper's *cache miss* scenario; enabled, requests
+//! reuse cached cookies — *cache hit*.
+
+use crate::tcpclient::TcpQueryClient;
+use dnswire::cookie_ext::{self, ZERO_COOKIE};
+use dnswire::message::Message;
+use dnswire::name::Name;
+use dnswire::rdata::RData;
+use dnswire::types::{Rcode, RrType};
+use netsim::engine::{Context, Node};
+use netsim::metrics::LatencyRecorder;
+use netsim::packet::{Endpoint, Packet, Proto, DNS_PORT};
+use netsim::time::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Cookie behaviour of the simulated LRS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CookieMode {
+    /// Stock DNS only (works with the DNS-based and TCP-based schemes).
+    Plain,
+    /// Modified-DNS client: carries the cookie TXT extension, as if a local
+    /// DNS guard were deployed in front of this LRS.
+    Extension,
+}
+
+/// Configuration of the closed-loop LRS simulator.
+#[derive(Debug, Clone)]
+pub struct LrsSimConfig {
+    /// The client's own address.
+    pub addr: Ipv4Addr,
+    /// The (guarded) server it hammers.
+    pub server: Ipv4Addr,
+    /// The domain name requested, repeatedly.
+    pub qname: Name,
+    /// Query type (the paper uses A).
+    pub qtype: RrType,
+    /// Logical in-flight requests.
+    pub concurrency: u32,
+    /// Response wait time before the request is abandoned and restarted
+    /// (paper: 10 ms).
+    pub wait: SimTime,
+    /// Whether cookies (fabricated NS names, `COOKIE2` addresses, extension
+    /// cookies) learned on one request are reused by the next.
+    pub cookie_cache: bool,
+    /// Cookie transport mode.
+    pub mode: CookieMode,
+    /// CPU charged per packet sent/received (keeps the client from being
+    /// infinitely fast; the paper's clients ran on real machines).
+    pub per_packet_cost: SimTime,
+    /// Pause between finishing one request (complete or timed out) and
+    /// starting the next on the same slot. `ZERO` = pure closed loop;
+    /// non-zero paces the offered rate (Figure 5's constant-rate LRSs).
+    pub pace: SimTime,
+}
+
+impl LrsSimConfig {
+    /// A plain-DNS closed-loop client with paper defaults (10 ms wait,
+    /// concurrency 1, cookie caching on).
+    pub fn new(addr: Ipv4Addr, server: Ipv4Addr, qname: Name) -> Self {
+        LrsSimConfig {
+            addr,
+            server,
+            qname,
+            qtype: RrType::A,
+            concurrency: 1,
+            wait: SimTime::from_millis(10),
+            cookie_cache: true,
+            mode: CookieMode::Plain,
+            per_packet_cost: SimTime::from_micros(2),
+            pace: SimTime::ZERO,
+        }
+    }
+}
+
+/// What the client has learned and may reuse (the "cookie cache").
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Cached {
+    Nothing,
+    /// Fabricated NS name for a referral zone: cache hits query its A
+    /// record directly.
+    NsName(Name),
+    /// Fabricated ANS address (`COOKIE2`): cache hits send the original
+    /// question straight to it.
+    Cookie2(Ipv4Addr),
+    /// Extension cookie for the server.
+    Ext([u8; 16]),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SlotState {
+    /// Waiting for a UDP answer; `sent_name` is the QNAME in flight and
+    /// `chasing` the NS chase in progress, if any.
+    AwaitAnswer {
+        sent_name: Name,
+        chasing: Option<ChaseInfo>,
+    },
+    /// Waiting for a cookie grant (extension mode, message 2→3).
+    AwaitGrant,
+    /// Waiting for a DNS-over-TCP response.
+    AwaitTcp,
+    /// Pacing pause between requests.
+    Paused,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ChaseInfo {
+    /// The NS target being resolved.
+    ns: Name,
+    /// The owner of the NS record; equal to the query name for fabricated
+    /// non-referral delegations, an ancestor for true referrals.
+    owner: Name,
+}
+
+#[derive(Debug)]
+struct Slot {
+    state: SlotState,
+    generation: u64,
+    started: SimTime,
+}
+
+/// Counters exposed by the simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LrsSimStats {
+    /// Requests completed end-to-end.
+    pub completed: u64,
+    /// Requests abandoned after `wait` with no usable response.
+    pub timeouts: u64,
+    /// Requests that fell back to TCP after a TC response.
+    pub tcp_fallbacks: u64,
+    /// Responses that arrived with an error rcode.
+    pub errors: u64,
+}
+
+/// The closed-loop LRS simulator node.
+pub struct LrsSimulator {
+    config: LrsSimConfig,
+    slots: Vec<Slot>,
+    cached: Cached,
+    txid_map: HashMap<u16, (usize, u64)>,
+    next_txid: u16,
+    tcp: TcpQueryClient,
+    /// Consecutive timeouts across all slots; two in a row invalidate the
+    /// cookie cache (as a real resolver's record TTLs eventually would),
+    /// which is how clients recover from a guard key rotation that outlived
+    /// their cached cookies.
+    consecutive_timeouts: u32,
+    /// Counters.
+    pub stats: LrsSimStats,
+    /// Per-request completion latencies.
+    pub latencies: LatencyRecorder,
+}
+
+impl LrsSimulator {
+    /// Creates the simulator; slots start on `on_start`.
+    pub fn new(config: LrsSimConfig) -> Self {
+        let tcp = TcpQueryClient::new(config.addr, u64::from(u32::from(config.addr)) ^ 0x7C9);
+        LrsSimulator {
+            slots: Vec::new(),
+            cached: Cached::Nothing,
+            txid_map: HashMap::new(),
+            next_txid: 1,
+            tcp,
+            consecutive_timeouts: 0,
+            config,
+            stats: LrsSimStats::default(),
+            latencies: LatencyRecorder::new(),
+        }
+    }
+
+    /// Completed requests per second over `elapsed`.
+    pub fn throughput(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            0.0
+        } else {
+            self.stats.completed as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    fn me(&self) -> Endpoint {
+        Endpoint::new(self.config.addr, 10_053)
+    }
+
+    /// Bit marking a pacing (restart) timer rather than a wait timeout.
+    const PAUSE_BIT: u64 = 1 << 63;
+
+    fn timer_tag(slot: usize, generation: u64) -> u64 {
+        ((slot as u64) << 40) | (generation & 0xFF_FFFF_FFFF)
+    }
+
+    fn send_udp(&mut self, ctx: &mut Context<'_>, slot: usize, server: Ipv4Addr, mut msg: Message) {
+        let txid = self.next_txid;
+        self.next_txid = self.next_txid.wrapping_add(1).max(1);
+        msg.header.id = txid;
+        self.txid_map.insert(txid, (slot, self.slots[slot].generation));
+        ctx.charge(self.config.per_packet_cost);
+        ctx.send(Packet::udp(self.me(), Endpoint::new(server, DNS_PORT), msg.encode()));
+    }
+
+    fn start_slot(&mut self, ctx: &mut Context<'_>, slot: usize) {
+        let generation = self.slots[slot].generation + 1;
+        self.slots[slot].generation = generation;
+        self.slots[slot].started = ctx.now();
+        ctx.set_timer(self.config.wait, Self::timer_tag(slot, generation));
+
+        let qname = self.config.qname.clone();
+        let qtype = self.config.qtype;
+        let cached = if self.config.cookie_cache {
+            self.cached.clone()
+        } else {
+            Cached::Nothing
+        };
+        match (self.config.mode, cached) {
+            (CookieMode::Extension, Cached::Ext(cookie)) => {
+                let mut q = Message::iterative_query(0, qname.clone(), qtype);
+                cookie_ext::attach_cookie(&mut q, cookie, 0);
+                self.slots[slot].state = SlotState::AwaitAnswer {
+                    sent_name: qname,
+                    chasing: None,
+                };
+                self.send_udp(ctx, slot, self.config.server, q);
+            }
+            (CookieMode::Extension, _) => {
+                // Message 2: ask for a cookie with the all-zero extension.
+                let mut q = Message::iterative_query(0, qname, qtype);
+                cookie_ext::attach_cookie(&mut q, ZERO_COOKIE, 0);
+                self.slots[slot].state = SlotState::AwaitGrant;
+                self.send_udp(ctx, slot, self.config.server, q);
+            }
+            (CookieMode::Plain, Cached::NsName(ns)) => {
+                // Cache hit on the NS-name scheme: resolve the fabricated
+                // NS name directly.
+                let q = Message::iterative_query(0, ns.clone(), RrType::A);
+                self.slots[slot].state = SlotState::AwaitAnswer {
+                    sent_name: ns,
+                    chasing: None,
+                };
+                self.send_udp(ctx, slot, self.config.server, q);
+            }
+            (CookieMode::Plain, Cached::Cookie2(addr)) => {
+                // Cache hit on the fabricated NS/IP scheme: straight to the
+                // fabricated ANS address.
+                let q = Message::iterative_query(0, qname.clone(), qtype);
+                self.slots[slot].state = SlotState::AwaitAnswer {
+                    sent_name: qname,
+                    chasing: None,
+                };
+                self.send_udp(ctx, slot, addr, q);
+            }
+            (CookieMode::Plain, _) => {
+                let q = Message::iterative_query(0, qname.clone(), qtype);
+                self.slots[slot].state = SlotState::AwaitAnswer {
+                    sent_name: qname,
+                    chasing: None,
+                };
+                self.send_udp(ctx, slot, self.config.server, q);
+            }
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Context<'_>, slot: usize) {
+        self.stats.completed += 1;
+        self.consecutive_timeouts = 0;
+        let started = self.slots[slot].started;
+        self.latencies.record(ctx.now() - started);
+        self.pause_or_start(ctx, slot);
+    }
+
+    /// Starts the next request on `slot`, after the configured pace.
+    fn pause_or_start(&mut self, ctx: &mut Context<'_>, slot: usize) {
+        if self.config.pace == SimTime::ZERO {
+            self.start_slot(ctx, slot);
+        } else {
+            let generation = self.slots[slot].generation;
+            self.slots[slot].state = SlotState::Paused;
+            ctx.set_timer(self.config.pace, Self::PAUSE_BIT | Self::timer_tag(slot, generation));
+        }
+    }
+
+    fn handle_udp_response(&mut self, ctx: &mut Context<'_>, pkt: Packet, msg: Message) {
+        let Some(&(slot, generation)) = self.txid_map.get(&msg.header.id) else {
+            return;
+        };
+        self.txid_map.remove(&msg.header.id);
+        if self.slots[slot].generation != generation {
+            return; // stale response for a restarted slot
+        }
+
+        if msg.header.truncated {
+            // TCP fallback (the TCP-based scheme's redirect).
+            self.stats.tcp_fallbacks += 1;
+            let q = Message::iterative_query(0, self.config.qname.clone(), self.config.qtype);
+            let token = Self::timer_tag(slot, generation);
+            let syn = self.tcp.start_query(pkt.src.ip, &q, token);
+            ctx.charge(self.config.per_packet_cost);
+            ctx.send(syn);
+            self.slots[slot].state = SlotState::AwaitTcp;
+            return;
+        }
+
+        if msg.header.rcode != Rcode::NoError {
+            self.stats.errors += 1;
+            self.start_slot(ctx, slot);
+            return;
+        }
+
+        match self.slots[slot].state.clone() {
+            SlotState::AwaitGrant => {
+                // Message 3: the cookie grant.
+                if let Some(ext) = cookie_ext::find_cookie(&msg) {
+                    if !ext.is_request() {
+                        self.cached = Cached::Ext(ext.cookie);
+                        // Message 4: the real query, cookie attached.
+                        let mut q = Message::iterative_query(
+                            0,
+                            self.config.qname.clone(),
+                            self.config.qtype,
+                        );
+                        cookie_ext::attach_cookie(&mut q, ext.cookie, 0);
+                        self.slots[slot].state = SlotState::AwaitAnswer {
+                            sent_name: self.config.qname.clone(),
+                            chasing: None,
+                        };
+                        self.send_udp(ctx, slot, self.config.server, q);
+                        return;
+                    }
+                }
+                // No extension in the response: the server is not cookie
+                // capable (or the guard is disengaged) and answered the
+                // probed question directly — process it as a plain answer.
+                self.process_answer(
+                    ctx,
+                    slot,
+                    pkt.src.ip,
+                    msg,
+                    self.config.qname.clone(),
+                    None,
+                );
+            }
+            SlotState::AwaitAnswer { sent_name, chasing } => {
+                self.process_answer(ctx, slot, pkt.src.ip, msg, sent_name, chasing);
+            }
+            SlotState::AwaitTcp | SlotState::Paused => {}
+        }
+    }
+
+    fn process_answer(
+        &mut self,
+        ctx: &mut Context<'_>,
+        slot: usize,
+        from: Ipv4Addr,
+        msg: Message,
+        sent_name: Name,
+        chasing: Option<ChaseInfo>,
+    ) {
+        // A-answer for the in-flight name?
+        let direct_a: Vec<Ipv4Addr> = msg
+            .answers
+            .iter()
+            .filter(|r| r.name == sent_name)
+            .filter_map(|r| match r.rdata {
+                RData::A(ip) => Some(ip),
+                _ => None,
+            })
+            .collect();
+        if !direct_a.is_empty() {
+            if let Some(chase) = chasing {
+                if chase.owner == self.config.qname {
+                    // Fabricated ANS for a non-referral answer: the address
+                    // is COOKIE2 — requery the original name there (msg 7).
+                    let addr = direct_a[0];
+                    if self.config.cookie_cache {
+                        self.cached = Cached::Cookie2(addr);
+                    }
+                    let q = Message::iterative_query(0, self.config.qname.clone(), self.config.qtype);
+                    self.slots[slot].state = SlotState::AwaitAnswer {
+                        sent_name: self.config.qname.clone(),
+                        chasing: None,
+                    };
+                    self.send_udp(ctx, slot, addr, q);
+                    return;
+                }
+                // True referral: we now hold the next-level ANS name and
+                // address — the interaction with *this* server is complete.
+                if self.config.cookie_cache {
+                    self.cached = Cached::NsName(chase.ns);
+                }
+                self.complete(ctx, slot);
+                return;
+            }
+            // Plain answer (terminal, or cache-hit NS-name resolution).
+            self.complete(ctx, slot);
+            return;
+        }
+
+        // Referral? Find the first NS record in authorities (or answers).
+        let ns_record = msg
+            .authorities
+            .iter()
+            .chain(msg.answers.iter())
+            .find(|r| r.rtype == RrType::Ns);
+        if let Some(ns_record) = ns_record {
+            let RData::Ns(ns_name) = &ns_record.rdata else {
+                self.stats.errors += 1;
+                self.start_slot(ctx, slot);
+                return;
+            };
+            // Glue present → referral complete (a real LRS would descend).
+            let glued = msg
+                .additionals
+                .iter()
+                .any(|r| r.name == *ns_name && r.rtype == RrType::A);
+            if glued {
+                self.complete(ctx, slot);
+                return;
+            }
+            // No glue: chase the NS address at the same server.
+            let chase = ChaseInfo {
+                ns: ns_name.clone(),
+                owner: ns_record.name.clone(),
+            };
+            let q = Message::iterative_query(0, ns_name.clone(), RrType::A);
+            self.slots[slot].state = SlotState::AwaitAnswer {
+                sent_name: ns_name.clone(),
+                chasing: Some(chase),
+            };
+            self.send_udp(ctx, slot, from, q);
+            return;
+        }
+
+        // NODATA or unusable: count as error and restart.
+        self.stats.errors += 1;
+        self.start_slot(ctx, slot);
+    }
+}
+
+impl Node for LrsSimulator {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        for _ in 0..self.config.concurrency {
+            self.slots.push(Slot {
+                state: SlotState::AwaitAnswer {
+                    sent_name: self.config.qname.clone(),
+                    chasing: None,
+                },
+                generation: 0,
+                started: ctx.now(),
+            });
+        }
+        for slot in 0..self.slots.len() {
+            self.start_slot(ctx, slot);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        ctx.charge(self.config.per_packet_cost);
+        match pkt.proto {
+            Proto::Udp => {
+                let Ok(msg) = Message::decode(&pkt.payload) else {
+                    return;
+                };
+                if msg.header.response {
+                    self.handle_udp_response(ctx, pkt, msg);
+                }
+            }
+            Proto::Tcp => {
+                let mut out = Vec::new();
+                let done = self.tcp.on_segment(&pkt, &mut out);
+                for p in out {
+                    ctx.charge(self.config.per_packet_cost);
+                    ctx.send(p);
+                }
+                for (token, _msg) in done {
+                    let slot = (token >> 40) as usize;
+                    let generation = token & 0xFF_FFFF_FFFF;
+                    if slot < self.slots.len()
+                        && self.slots[slot].generation & 0xFF_FFFF_FFFF == generation
+                        && self.slots[slot].state == SlotState::AwaitTcp
+                    {
+                        self.complete(ctx, slot);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        let pause = tag & Self::PAUSE_BIT != 0;
+        let tag = tag & !Self::PAUSE_BIT;
+        let slot = (tag >> 40) as usize;
+        let generation = tag & 0xFF_FFFF_FFFF;
+        if slot >= self.slots.len() {
+            return;
+        }
+        if self.slots[slot].generation & 0xFF_FFFF_FFFF != generation {
+            return; // restarted meanwhile
+        }
+        if pause {
+            if self.slots[slot].state == SlotState::Paused {
+                self.start_slot(ctx, slot);
+            }
+            return;
+        }
+        if self.slots[slot].state == SlotState::Paused {
+            return; // stale wait timer from the request that just finished
+        }
+        self.stats.timeouts += 1;
+        self.consecutive_timeouts += 1;
+        if self.consecutive_timeouts >= 2 {
+            self.cached = Cached::Nothing;
+        }
+        self.tcp.abandon(tag);
+        self.pause_or_start(ctx, slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authoritative::Authority;
+    use crate::nodes::AuthNode;
+    use crate::zone::{paper_hierarchy, FOO_SERVER};
+    use netsim::engine::{CpuConfig, Simulator};
+
+    #[test]
+    fn plain_closed_loop_completes_requests() {
+        let (_, _, foo) = paper_hierarchy();
+        let mut sim = Simulator::new(1);
+        sim.add_node(
+            FOO_SERVER,
+            CpuConfig::unbounded(),
+            AuthNode::new(FOO_SERVER, Authority::new(vec![foo])),
+        );
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 11);
+        let config = LrsSimConfig::new(lrs_ip, FOO_SERVER, "www.foo.com".parse().unwrap());
+        let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(config));
+        sim.run_until(SimTime::from_millis(100));
+        let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
+        assert!(stats.completed > 50, "completed {}", stats.completed);
+        assert_eq!(stats.timeouts, 0);
+    }
+
+    #[test]
+    fn referral_with_glue_counts_as_complete() {
+        // Query the root for www.foo.com → referral with glue → complete.
+        let (root, _, _) = paper_hierarchy();
+        let mut sim = Simulator::new(2);
+        let root_ip = crate::zone::ROOT_SERVER;
+        sim.add_node(
+            root_ip,
+            CpuConfig::unbounded(),
+            AuthNode::new(root_ip, Authority::new(vec![root])),
+        );
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 12);
+        let config = LrsSimConfig::new(lrs_ip, root_ip, "www.foo.com".parse().unwrap());
+        let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(config));
+        sim.run_until(SimTime::from_millis(50));
+        let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
+        assert!(stats.completed > 20, "completed {}", stats.completed);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn dead_server_causes_timeouts_not_hangs() {
+        let mut sim = Simulator::new(3);
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 13);
+        let mut config = LrsSimConfig::new(lrs_ip, Ipv4Addr::new(203, 0, 113, 77), "x.y".parse().unwrap());
+        config.wait = SimTime::from_millis(5);
+        let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(config));
+        sim.run_until(SimTime::from_millis(52));
+        let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
+        assert_eq!(stats.completed, 0);
+        assert!((9..=11).contains(&stats.timeouts), "timeouts {}", stats.timeouts);
+    }
+
+    #[test]
+    fn pacing_caps_offered_rate() {
+        let (_, _, foo) = paper_hierarchy();
+        let mut sim = Simulator::new(9);
+        sim.add_node(
+            FOO_SERVER,
+            CpuConfig::unbounded(),
+            AuthNode::new(FOO_SERVER, Authority::new(vec![foo])),
+        );
+        let lrs_ip = Ipv4Addr::new(10, 0, 0, 15);
+        let mut config = LrsSimConfig::new(lrs_ip, FOO_SERVER, "www.foo.com".parse().unwrap());
+        config.concurrency = 10;
+        config.pace = SimTime::from_millis(10); // ≈ 1K req/s with 10 slots
+        let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(config));
+        sim.run_until(SimTime::from_secs(1));
+        let completed = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed;
+        assert!(
+            (850..=1_050).contains(&completed),
+            "paced to ~1K req/s, got {completed}"
+        );
+    }
+
+    #[test]
+    fn concurrency_multiplies_throughput() {
+        let (_, _, foo) = paper_hierarchy();
+        let run = |concurrency: u32| {
+            let mut sim = Simulator::new(4);
+            sim.add_node(
+                FOO_SERVER,
+                CpuConfig::unbounded(),
+                AuthNode::new(FOO_SERVER, Authority::new(vec![foo.clone()])),
+            );
+            let lrs_ip = Ipv4Addr::new(10, 0, 0, 14);
+            let mut config = LrsSimConfig::new(lrs_ip, FOO_SERVER, "www.foo.com".parse().unwrap());
+            config.concurrency = concurrency;
+            config.per_packet_cost = SimTime::ZERO;
+            let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(config));
+            sim.run_until(SimTime::from_millis(100));
+            sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(eight > one * 6, "1→{one}, 8→{eight}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Workspace umbrella crate for the DNS Guard reproduction.
+//!
+//! This crate re-exports the member crates so that the integration tests in
+//! `tests/` and the runnable binaries in `examples/` can reach the whole
+//! system through one dependency. See [`dnsguard`] for the paper's primary
+//! contribution and `DESIGN.md` at the repository root for the full system
+//! inventory.
+
+pub use attack;
+pub use dnsguard;
+pub use dnswire;
+pub use guardhash;
+pub use netsim;
+pub use runtime;
+pub use server;

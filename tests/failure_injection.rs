@@ -1,0 +1,182 @@
+//! Failure injection: packet loss on the requester–guard path. Cookie
+//! exchanges span multiple round trips, so every scheme must survive losing
+//! any message of the handshake and recover through its retry timers.
+
+use dnsguard::classify::AuthorityClassifier;
+use dnsguard::config::{GuardConfig, SchemeMode};
+use dnsguard::guard::RemoteGuard;
+use netsim::engine::{CpuConfig, LinkParams, Simulator};
+use netsim::time::SimTime;
+use server::authoritative::Authority;
+use server::nodes::AuthNode;
+use server::simclient::{CookieMode, LrsSimConfig, LrsSimulator};
+use server::zone::paper_hierarchy;
+use std::net::Ipv4Addr;
+
+const PUB: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+const PRIV: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
+
+fn lossy_world(
+    seed: u64,
+    referral: bool,
+    mode: SchemeMode,
+    lrs_mode: CookieMode,
+    loss: f64,
+) -> (Simulator, netsim::NodeId, netsim::NodeId) {
+    let (root, _, foo) = paper_hierarchy();
+    let zone = if referral { root } else { foo };
+    let authority = Authority::new(vec![zone]);
+    let mut sim = Simulator::new(seed);
+    let mut config = GuardConfig::new(PUB, PRIV).with_mode(mode);
+    config.rl1_global_rate = 1e12;
+    config.rl1_per_source_rate = 1e12;
+    config.rl2_per_source_rate = 1e12;
+    config.tcp_conn_rate = 1e12;
+    let guard = sim.add_node(
+        PUB,
+        CpuConfig::unbounded(),
+        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+    );
+    sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
+    sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
+
+    let lrs_ip = Ipv4Addr::new(10, 0, 0, 8);
+    let mut lrs_config = LrsSimConfig::new(lrs_ip, PUB, "www.foo.com".parse().unwrap());
+    lrs_config.mode = lrs_mode;
+    lrs_config.wait = SimTime::from_millis(5);
+    let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(lrs_config));
+    // Losses on the requester↔guard path, both directions.
+    sim.connect(
+        lrs,
+        guard,
+        LinkParams {
+            delay: SimTime::from_micros(200),
+            loss,
+        },
+    );
+    (sim, guard, lrs)
+}
+
+#[test]
+fn schemes_recover_from_10_percent_loss() {
+    for (seed, referral, mode, lrs_mode) in [
+        (1u64, true, SchemeMode::DnsBased, CookieMode::Plain),
+        (2, false, SchemeMode::DnsBased, CookieMode::Plain),
+        (3, false, SchemeMode::ModifiedOnly, CookieMode::Extension),
+    ] {
+        let (mut sim, guard, lrs) = lossy_world(seed, referral, mode, lrs_mode, 0.10);
+        sim.run_until(SimTime::from_secs(1));
+        let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
+        assert!(
+            stats.completed > 200,
+            "mode {mode:?}: completed {} under 10% loss",
+            stats.completed
+        );
+        assert!(stats.timeouts > 0, "mode {mode:?}: loss actually bit");
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert_eq!(
+            g.stats.spoofed_dropped(),
+            0,
+            "mode {mode:?}: retries must never look like spoofs"
+        );
+    }
+}
+
+#[test]
+fn heavy_loss_degrades_but_does_not_wedge() {
+    let (mut sim, _guard, lrs) = lossy_world(4, true, SchemeMode::DnsBased, CookieMode::Plain, 0.40);
+    sim.run_until(SimTime::from_secs(1));
+    let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
+    assert!(
+        stats.completed > 20,
+        "still making progress at 40% loss: {}",
+        stats.completed
+    );
+    assert!(stats.timeouts > 50, "timeouts observed: {}", stats.timeouts);
+}
+
+#[test]
+fn stock_resolver_survives_lossy_guarded_path() {
+    use dnswire::message::Message;
+    use dnswire::types::{Rcode, RrType};
+    use netsim::engine::{Context, Node};
+    use netsim::packet::{Endpoint, Packet, DNS_PORT};
+    use server::recursive::{RecursiveResolver, ResolverConfig};
+    use server::zone::{COM_SERVER, FOO_SERVER};
+
+    struct Stub {
+        me: Endpoint,
+        lrs: Endpoint,
+        reply: Option<Message>,
+        tries: u32,
+    }
+    impl Node for Stub {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimTime::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _t: u64) {
+            if self.reply.is_some() || self.tries >= 20 {
+                return;
+            }
+            self.tries += 1;
+            let q = Message::query(7, "www.foo.com".parse().unwrap(), RrType::A);
+            ctx.send(Packet::udp(self.me, self.lrs, q.encode()));
+            ctx.set_timer(SimTime::from_millis(200), 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+            if self.reply.is_none() {
+                self.reply = Message::decode(&pkt.payload).ok();
+            }
+        }
+    }
+
+    let (root, com, foo) = paper_hierarchy();
+    let mut sim = Simulator::new(5);
+    let config = GuardConfig::new(PUB, PRIV).with_mode(SchemeMode::DnsBased);
+    let guard = sim.add_node(
+        PUB,
+        CpuConfig::unbounded(),
+        RemoteGuard::new(
+            config,
+            AuthorityClassifier::new(Authority::new(vec![root.clone()])),
+        ),
+    );
+    sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
+    sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, Authority::new(vec![root])));
+    sim.add_node(COM_SERVER, CpuConfig::unbounded(), AuthNode::new(COM_SERVER, Authority::new(vec![com])));
+    sim.add_node(FOO_SERVER, CpuConfig::unbounded(), AuthNode::new(FOO_SERVER, Authority::new(vec![foo])));
+
+    let lrs_ip = Ipv4Addr::new(10, 0, 0, 53);
+    let lrs = sim.add_node(
+        lrs_ip,
+        CpuConfig::unbounded(),
+        RecursiveResolver::new(ResolverConfig::new(lrs_ip, vec![PUB])),
+    );
+    sim.connect(
+        lrs,
+        guard,
+        LinkParams {
+            delay: SimTime::from_micros(200),
+            loss: 0.25,
+        },
+    );
+    let stub_ip = Ipv4Addr::new(10, 0, 0, 1);
+    let stub = sim.add_node(
+        stub_ip,
+        CpuConfig::unbounded(),
+        Stub {
+            me: Endpoint::new(stub_ip, 9000),
+            lrs: Endpoint::new(lrs_ip, DNS_PORT),
+            reply: None,
+            tries: 0,
+        },
+    );
+    sim.run_until(SimTime::from_secs(5));
+    let reply = sim
+        .node_ref::<Stub>(stub)
+        .unwrap()
+        .reply
+        .clone()
+        .expect("resolution eventually completed despite 25% loss");
+    assert_eq!(reply.header.rcode, Rcode::NoError);
+}

@@ -1,0 +1,163 @@
+//! Integration: the full modified-DNS deployment of Figure 3(a) — an
+//! unmodified recursive resolver behind a transparent *local* guard,
+//! talking to an ANS behind a *remote* guard. Both guards are firewall
+//! modules; neither the LRS nor the ANS changes.
+
+use dnsguard::classify::AuthorityClassifier;
+use dnsguard::config::{GuardConfig, SchemeMode};
+use dnsguard::guard::RemoteGuard;
+use dnsguard::local_guard::LocalGuard;
+use dnswire::message::Message;
+use dnswire::rdata::RData;
+use dnswire::types::{Rcode, RrType};
+use netsim::engine::{Context, CpuConfig, Node, Simulator};
+use netsim::packet::{Endpoint, Packet, DNS_PORT};
+use server::authoritative::Authority;
+use server::nodes::AuthNode;
+use server::recursive::{RecursiveResolver, ResolverConfig};
+use server::zone::{paper_hierarchy, FOO_SERVER, WWW_ADDR};
+use std::net::Ipv4Addr;
+
+const ANS_PRIVATE: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 7);
+const LRS_ADDR: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+/// Private registration address for the resolver node (its *public*
+/// address is owned by the local guard, which intercepts inbound traffic).
+const LRS_INTERNAL: Ipv4Addr = Ipv4Addr::new(10, 255, 0, 53);
+
+struct Stub {
+    me: Endpoint,
+    lrs: Endpoint,
+    reply: Option<Message>,
+}
+
+impl Node for Stub {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let q = Message::query(4, "www.foo.com".parse().unwrap(), RrType::A);
+        ctx.send(Packet::udp(self.me, self.lrs, q.encode()));
+    }
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+        self.reply = Message::decode(&pkt.payload).ok();
+    }
+}
+
+#[test]
+fn unmodified_resolver_through_local_and_remote_guards() {
+    let (_, _, foo) = paper_hierarchy();
+    let authority = Authority::new(vec![foo]);
+    let mut sim = Simulator::new(42);
+
+    // Remote side: guard + ANS.
+    let config = GuardConfig::new(FOO_SERVER, ANS_PRIVATE).with_mode(SchemeMode::ModifiedOnly);
+    let remote = sim.add_node(
+        FOO_SERVER,
+        CpuConfig::unbounded(),
+        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+    );
+    sim.add_subnet(Ipv4Addr::new(192, 0, 2, 0), 24, remote);
+    let ans = sim.add_node(ANS_PRIVATE, CpuConfig::unbounded(), AuthNode::new(ANS_PRIVATE, authority));
+
+    // Local side: a stock resolver behind a transparent local guard. The
+    // guard owns the resolver's public address and taps its egress.
+    let lrs = sim.add_node(
+        LRS_INTERNAL,
+        CpuConfig::unbounded(),
+        RecursiveResolver::new(ResolverConfig::new(LRS_ADDR, vec![FOO_SERVER])),
+    );
+    let local = sim.add_node(LRS_ADDR, CpuConfig::unbounded(), LocalGuard::new(lrs, LRS_ADDR));
+    sim.set_gateway(lrs, local);
+
+    // A stub application behind the resolver. Its queries to the resolver
+    // also pass the local guard (it owns LRS_ADDR), which relays them in.
+    let stub_ip = Ipv4Addr::new(10, 0, 0, 2);
+    let stub = sim.add_node(
+        stub_ip,
+        CpuConfig::unbounded(),
+        Stub {
+            me: Endpoint::new(stub_ip, 3333),
+            lrs: Endpoint::new(LRS_ADDR, DNS_PORT),
+            reply: None,
+        },
+    );
+
+    sim.run();
+
+    let reply = sim
+        .node_ref::<Stub>(stub)
+        .unwrap()
+        .reply
+        .clone()
+        .expect("stub got an answer");
+    assert_eq!(reply.header.rcode, Rcode::NoError);
+    assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
+
+    let lg = sim.node_ref::<LocalGuard>(local).unwrap();
+    assert_eq!(lg.stats.cookies_cached, 1, "one cookie exchange with the remote guard");
+    assert!(lg.stats.stamped >= 1, "queries stamped with the cached cookie");
+
+    let rg = sim.node_ref::<RemoteGuard>(remote).unwrap();
+    assert!(rg.stats.ext_valid >= 1, "remote guard verified the cookie");
+    assert_eq!(rg.stats.ext_invalid, 0);
+    assert_eq!(rg.stats.grants_sent, 1);
+
+    // The ANS never saw the extension — AuthNode answered plain queries.
+    assert!(sim.node_ref::<AuthNode>(ans).unwrap().udp_queries >= 1);
+}
+
+#[test]
+fn second_query_reuses_cookie_without_new_grant() {
+    let (_, _, foo) = paper_hierarchy();
+    let authority = Authority::new(vec![foo]);
+    let mut sim = Simulator::new(43);
+    let config = GuardConfig::new(FOO_SERVER, ANS_PRIVATE).with_mode(SchemeMode::ModifiedOnly);
+    let remote = sim.add_node(
+        FOO_SERVER,
+        CpuConfig::unbounded(),
+        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+    );
+    sim.add_node(ANS_PRIVATE, CpuConfig::unbounded(), AuthNode::new(ANS_PRIVATE, authority));
+    let lrs = sim.add_node(
+        LRS_INTERNAL,
+        CpuConfig::unbounded(),
+        RecursiveResolver::new(ResolverConfig::new(LRS_ADDR, vec![FOO_SERVER])),
+    );
+    let local = sim.add_node(LRS_ADDR, CpuConfig::unbounded(), LocalGuard::new(lrs, LRS_ADDR));
+    sim.set_gateway(lrs, local);
+
+    for (i, qname) in ["www.foo.com", "foo.com"].iter().enumerate() {
+        let stub_ip = Ipv4Addr::new(10, 0, 0, 10 + i as u8);
+        struct OnceStub {
+            me: Endpoint,
+            lrs: Endpoint,
+            qname: String,
+            reply: Option<Message>,
+        }
+        impl Node for OnceStub {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let q = Message::query(9, self.qname.parse().unwrap(), RrType::A);
+                ctx.send(Packet::udp(self.me, self.lrs, q.encode()));
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                self.reply = Message::decode(&pkt.payload).ok();
+            }
+        }
+        let stub = sim.add_node(
+            stub_ip,
+            CpuConfig::unbounded(),
+            OnceStub {
+                me: Endpoint::new(stub_ip, 4444),
+                lrs: Endpoint::new(LRS_ADDR, DNS_PORT),
+                qname: qname.to_string(),
+                reply: None,
+            },
+        );
+        sim.run();
+        assert!(
+            sim.node_ref::<OnceStub>(stub).unwrap().reply.is_some(),
+            "query {qname} answered"
+        );
+    }
+    let lg = sim.node_ref::<LocalGuard>(local).unwrap();
+    assert_eq!(lg.stats.grants_requested, 1, "single cookie exchange across queries");
+    let rg = sim.node_ref::<RemoteGuard>(remote).unwrap();
+    assert_eq!(rg.stats.grants_sent, 1);
+}
