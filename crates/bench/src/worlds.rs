@@ -87,10 +87,10 @@ impl WorldParams {
 
 /// Builds the one-guard-one-ANS topology used by most experiments.
 pub fn guarded_world(p: WorldParams) -> GuardedWorld {
-    let (root, _, foo) = paper_hierarchy();
+    let (root, _, foo_com) = paper_hierarchy();
     let zone = match p.zone {
         ZoneSel::Root => root,
-        ZoneSel::Foo => foo,
+        ZoneSel::Foo => foo_com,
     };
     let authority = Authority::new(vec![zone]);
 
@@ -127,10 +127,10 @@ pub fn guarded_world(p: WorldParams) -> GuardedWorld {
 /// Builds the same topology *without* a guard: the public address routes
 /// straight to the ANS (the paper's "DNS guard completely turned off").
 pub fn unguarded_world(seed: u64, zone: ZoneSel, ans_costs: ServerCosts, ans_cpu: CpuConfig) -> (Simulator, NodeId) {
-    let (root, _, foo) = paper_hierarchy();
+    let (root, _, foo_com) = paper_hierarchy();
     let zone = match zone {
         ZoneSel::Root => root,
-        ZoneSel::Foo => foo,
+        ZoneSel::Foo => foo_com,
     };
     let authority = Authority::new(vec![zone]);
     let mut sim = Simulator::new(seed);

@@ -121,8 +121,10 @@ impl CookieServer {
         // BADCOOKIE = 23: header RCODE carries the low 4 bits (7), the OPT
         // record's ext-rcode byte the high bits (1).
         resp.header.rcode = Rcode::Other(7);
-        let mut e = dnswire::edns::Edns::default();
-        e.ext_rcode_hi = 1;
+        let mut e = dnswire::edns::Edns {
+            ext_rcode_hi: 1,
+            ..Default::default()
+        };
         e.options.push(dnswire::edns::EdnsOption {
             code: edns::OPTION_COOKIE,
             data: respond_with.encode(),

@@ -265,7 +265,7 @@ impl Compressor {
         let mut emit_until = labels.len(); // labels[..emit_until] written literally
         let mut pointer: Option<u16> = None;
         for start in 0..labels.len() {
-            if let Some(&off) = self.offsets.get(&labels[start..].to_vec()) {
+            if let Some(&off) = self.offsets.get(&labels[start..]) {
                 emit_until = start;
                 pointer = Some(off);
                 break;

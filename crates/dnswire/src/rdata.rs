@@ -270,7 +270,7 @@ mod tests {
             RData::Soa(Soa {
                 mname: "ns1.foo.com".parse().unwrap(),
                 rname: "hostmaster.foo.com".parse().unwrap(),
-                serial: 2006_01_01,
+                serial: 20_060_101,
                 refresh: 7200,
                 retry: 3600,
                 expire: 1_209_600,

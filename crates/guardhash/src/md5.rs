@@ -197,7 +197,7 @@ pub fn to_hex(bytes: &[u8]) -> String {
 /// Parses lowercase/uppercase hex into bytes. Returns `None` on odd length or
 /// non-hex characters.
 pub fn from_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits: Option<Vec<u8>> = s.bytes().map(|b| (b as char).to_digit(16).map(|d| d as u8)).collect();

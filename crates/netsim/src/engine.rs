@@ -334,7 +334,7 @@ impl Simulator {
         let mask = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix) };
         self.subnets.push((u32::from(base) & mask, mask, node));
         // Keep longest prefixes first so the first match wins.
-        self.subnets.sort_by(|a, b| b.1.cmp(&a.1));
+        self.subnets.sort_by_key(|s| std::cmp::Reverse(s.1));
     }
 
     /// Configures the (symmetric) link between two nodes.

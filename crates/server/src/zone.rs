@@ -263,12 +263,12 @@ pub fn paper_hierarchy() -> (Zone, Zone, Zone) {
         .ns(com_ns, COM_SERVER)
         .delegate("foo.com".parse().expect("static"), foo_ns.clone(), FOO_SERVER)
         .build();
-    let foo = ZoneBuilder::new("foo.com".parse().expect("static"))
+    let foo_com = ZoneBuilder::new("foo.com".parse().expect("static"))
         .ttl(3_600)
         .ns(foo_ns, FOO_SERVER)
         .a("www.foo.com".parse().expect("static"), WWW_ADDR)
         .build();
-    (root, com, foo)
+    (root, com, foo_com)
 }
 
 /// Address of the root server in [`paper_hierarchy`].
@@ -299,7 +299,7 @@ mod tests {
 
     #[test]
     fn delegation_found_for_descendants() {
-        let (root, com, foo) = paper_hierarchy();
+        let (root, com, foo_com) = paper_hierarchy();
         let (cut, ns) = root.delegation_for(&n("www.foo.com")).unwrap();
         assert_eq!(cut, &n("com"));
         assert_eq!(ns.len(), 1);
@@ -307,7 +307,7 @@ mod tests {
         let (cut, _) = com.delegation_for(&n("www.foo.com")).unwrap();
         assert_eq!(cut, &n("foo.com"));
 
-        assert!(foo.delegation_for(&n("www.foo.com")).is_none(), "terminal zone");
+        assert!(foo_com.delegation_for(&n("www.foo.com")).is_none(), "terminal zone");
         assert!(root.delegation_for(&n("org")).is_none(), "no delegation for org");
     }
 
@@ -325,18 +325,18 @@ mod tests {
 
     #[test]
     fn name_exists_covers_records_and_cuts() {
-        let (_, _, foo) = paper_hierarchy();
-        assert!(foo.name_exists(&n("www.foo.com")));
-        assert!(foo.name_exists(&n("foo.com")));
-        assert!(!foo.name_exists(&n("nope.foo.com")));
+        let (_, _, foo_com) = paper_hierarchy();
+        assert!(foo_com.name_exists(&n("www.foo.com")));
+        assert!(foo_com.name_exists(&n("foo.com")));
+        assert!(!foo_com.name_exists(&n("nope.foo.com")));
     }
 
     #[test]
     fn soa_synthesised_at_apex() {
-        let (root, _, foo) = paper_hierarchy();
+        let (root, _, foo_com) = paper_hierarchy();
         assert_eq!(root.soa().name, Name::root());
-        assert_eq!(foo.soa().name, n("foo.com"));
-        assert!(matches!(foo.soa().rdata, RData::Soa(_)));
+        assert_eq!(foo_com.soa().name, n("foo.com"));
+        assert!(matches!(foo_com.soa().rdata, RData::Soa(_)));
     }
 
     #[test]

@@ -74,7 +74,7 @@ fn tokenize(text: &str) -> Result<Vec<Entry>, ZoneParseError> {
 
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
-        let inherits_owner = raw.starts_with(|c: char| c == ' ' || c == '\t');
+        let inherits_owner = raw.starts_with([' ', '\t']);
         let mut tokens: Vec<String> = Vec::new();
         let mut chars = raw.chars().peekable();
         let mut current = String::new();

@@ -19,8 +19,8 @@ const PUB: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
 const PRIV: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
 
 fn run(protected: bool, attack_rate: f64) -> (f64, f64) {
-    let (_, _, foo) = paper_hierarchy();
-    let authority = Authority::new(vec![foo]);
+    let (_, _, foo_com) = paper_hierarchy();
+    let authority = Authority::new(vec![foo_com]);
     let mut sim = Simulator::new(99);
 
     let mut config = GuardConfig::new(PUB, PRIV).with_mode(SchemeMode::ModifiedOnly);

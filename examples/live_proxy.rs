@@ -15,8 +15,8 @@ use std::net::UdpSocket;
 use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let (_, _, foo) = paper_hierarchy();
-    let (ans, guard) = spawn_guarded(Authority::new(vec![foo]), 2006)?;
+    let (_, _, foo_com) = paper_hierarchy();
+    let (ans, guard) = spawn_guarded(Authority::new(vec![foo_com]), 2006)?;
     println!("== live DNS guard on loopback ==");
     println!("ANS   : {}", ans.addr());
     println!("guard : {}", guard.addr());

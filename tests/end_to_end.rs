@@ -42,7 +42,7 @@ impl Node for Stub {
 /// Builds: guarded root (DNS-based scheme) + real com & foo.com servers +
 /// a stock recursive resolver + one stub.
 fn guarded_hierarchy(seed: u64) -> (Simulator, netsim::NodeId, netsim::NodeId, netsim::NodeId) {
-    let (root, com, foo) = paper_hierarchy();
+    let (root, com, foo_com) = paper_hierarchy();
     let root_authority = Authority::new(vec![root]);
 
     let mut sim = Simulator::new(seed);
@@ -68,7 +68,7 @@ fn guarded_hierarchy(seed: u64) -> (Simulator, netsim::NodeId, netsim::NodeId, n
     sim.add_node(
         FOO_SERVER,
         CpuConfig::unbounded(),
-        AuthNode::new(FOO_SERVER, Authority::new(vec![foo])),
+        AuthNode::new(FOO_SERVER, Authority::new(vec![foo_com])),
     );
     // A stock recursive resolver with the guarded root as its hint.
     let lrs = sim.add_node(

@@ -23,8 +23,8 @@ fn lossy_world(
     lrs_mode: CookieMode,
     loss: f64,
 ) -> (Simulator, netsim::NodeId, netsim::NodeId) {
-    let (root, _, foo) = paper_hierarchy();
-    let zone = if referral { root } else { foo };
+    let (root, _, foo_com) = paper_hierarchy();
+    let zone = if referral { root } else { foo_com };
     let authority = Authority::new(vec![zone]);
     let mut sim = Simulator::new(seed);
     let mut config = GuardConfig::new(PUB, PRIV).with_mode(mode);
@@ -130,7 +130,7 @@ fn stock_resolver_survives_lossy_guarded_path() {
         }
     }
 
-    let (root, com, foo) = paper_hierarchy();
+    let (root, com, foo_com) = paper_hierarchy();
     let mut sim = Simulator::new(5);
     let config = GuardConfig::new(PUB, PRIV).with_mode(SchemeMode::DnsBased);
     let guard = sim.add_node(
@@ -144,7 +144,7 @@ fn stock_resolver_survives_lossy_guarded_path() {
     sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
     sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, Authority::new(vec![root])));
     sim.add_node(COM_SERVER, CpuConfig::unbounded(), AuthNode::new(COM_SERVER, Authority::new(vec![com])));
-    sim.add_node(FOO_SERVER, CpuConfig::unbounded(), AuthNode::new(FOO_SERVER, Authority::new(vec![foo])));
+    sim.add_node(FOO_SERVER, CpuConfig::unbounded(), AuthNode::new(FOO_SERVER, Authority::new(vec![foo_com])));
 
     let lrs_ip = Ipv4Addr::new(10, 0, 0, 53);
     let lrs = sim.add_node(

@@ -42,8 +42,8 @@ impl Node for Stub {
 
 #[test]
 fn unmodified_resolver_through_local_and_remote_guards() {
-    let (_, _, foo) = paper_hierarchy();
-    let authority = Authority::new(vec![foo]);
+    let (_, _, foo_com) = paper_hierarchy();
+    let authority = Authority::new(vec![foo_com]);
     let mut sim = Simulator::new(42);
 
     // Remote side: guard + ANS.
@@ -105,8 +105,8 @@ fn unmodified_resolver_through_local_and_remote_guards() {
 
 #[test]
 fn second_query_reuses_cookie_without_new_grant() {
-    let (_, _, foo) = paper_hierarchy();
-    let authority = Authority::new(vec![foo]);
+    let (_, _, foo_com) = paper_hierarchy();
+    let authority = Authority::new(vec![foo_com]);
     let mut sim = Simulator::new(43);
     let config = GuardConfig::new(FOO_SERVER, ANS_PRIVATE).with_mode(SchemeMode::ModifiedOnly);
     let remote = sim.add_node(

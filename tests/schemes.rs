@@ -23,8 +23,8 @@ struct World {
 }
 
 fn world(seed: u64, referral: bool, mode: SchemeMode, lrs_mode: CookieMode, cache: bool) -> World {
-    let (root, _, foo) = paper_hierarchy();
-    let zone = if referral { root } else { foo };
+    let (root, _, foo_com) = paper_hierarchy();
+    let zone = if referral { root } else { foo_com };
     let authority = Authority::new(vec![zone]);
     let mut sim = Simulator::new(seed);
     let mut config = GuardConfig::new(PUB, PRIV).with_mode(mode);

@@ -1,0 +1,13 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *derives* `Serialize` on report rows (no code path
+//! actually serialises them — reports are formatted by hand), so this
+//! stand-in provides the `Serialize` name in both the trait and derive-macro
+//! namespaces and nothing else.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+// The derive macro shares the `Serialize` name (macros live in their own
+// namespace, exactly like real serde's re-export).
+pub use serde_derive::Serialize;
