@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The repository's CI gate, runnable locally and from the GitHub Actions
+# workflow (.github/workflows/ci.yml): release build, the full workspace
+# test suite (unit, integration, chaos and property tests), and clippy
+# with warnings promoted to errors.
+#
+# All dependencies are vendored (vendor/*), so the build never touches a
+# registry; --offline makes that a hard guarantee rather than an accident.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace --offline
+
+echo "==> cargo test"
+cargo test -q --workspace --offline
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> CI green"

@@ -19,6 +19,21 @@ pub enum SchemeMode {
     ModifiedOnly,
 }
 
+/// What the guard does with queries needing the ANS while its health
+/// monitor judges the ANS dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnsHealthPolicy {
+    /// Keep forwarding. Requests queue behind the outage and clients see
+    /// their own timeouts — service degrades but nothing is refused, and
+    /// forwarded traffic doubles as a liveness signal.
+    FailOpen,
+    /// Answer immediately with `SERVFAIL` (UDP) or drop (TCP relays)
+    /// instead of forwarding, shedding load from the dead ANS and giving
+    /// resolvers a fast signal to try a sibling server. Dedicated probes
+    /// detect recovery.
+    FailClosed,
+}
+
 /// Configuration of a remote DNS guard deployed in front of one ANS.
 #[derive(Debug, Clone)]
 pub struct GuardConfig {
@@ -66,6 +81,24 @@ pub struct GuardConfig {
     /// generation bit gives departing cookies one period of grace).
     /// `None` disables scheduled rotation.
     pub key_rotation_interval: Option<SimTime>,
+    /// A forwarded request unanswered for this long counts as an ANS
+    /// timeout (and its forward-table entry is reclaimed).
+    pub ans_timeout: SimTime,
+    /// Consecutive timeouts without an intervening ANS response before the
+    /// health monitor declares the ANS down.
+    pub ans_failure_threshold: u32,
+    /// Initial interval between liveness probes while the ANS is down;
+    /// doubles after each unanswered probe (exponential backoff).
+    pub ans_probe_interval: SimTime,
+    /// Upper bound on the probe backoff.
+    pub ans_probe_max: SimTime,
+    /// Behaviour while the ANS is down.
+    pub health_policy: AnsHealthPolicy,
+    /// Byte bound on the forward (in-flight request) table; the oldest
+    /// entries are evicted beyond it.
+    pub fwd_bytes_max: usize,
+    /// Byte bound on the one-shot answer stash; oldest entries evicted.
+    pub stash_bytes_max: usize,
 }
 
 impl GuardConfig {
@@ -95,6 +128,13 @@ impl GuardConfig {
             tcp_conn_rate: 2_000.0,
             tcp_redirect_sources: Vec::new(),
             key_rotation_interval: None,
+            ans_timeout: SimTime::from_secs(1),
+            ans_failure_threshold: 3,
+            ans_probe_interval: SimTime::from_millis(200),
+            ans_probe_max: SimTime::from_secs(5),
+            health_policy: AnsHealthPolicy::FailOpen,
+            fwd_bytes_max: 1 << 20,   // 1 MiB of in-flight request state
+            stash_bytes_max: 1 << 20, // 1 MiB of stashed one-shot answers
         }
     }
 
@@ -107,6 +147,19 @@ impl GuardConfig {
     /// Sets the activation threshold (requests/second).
     pub fn with_activation_threshold(mut self, rate: f64) -> Self {
         self.activation_threshold = rate;
+        self
+    }
+
+    /// Selects the degradation behaviour while the ANS is unreachable.
+    pub fn with_health_policy(mut self, policy: AnsHealthPolicy) -> Self {
+        self.health_policy = policy;
+        self
+    }
+
+    /// Bounds the forward table and answer stash to the given byte sizes.
+    pub fn with_table_bounds(mut self, fwd_bytes: usize, stash_bytes: usize) -> Self {
+        self.fwd_bytes_max = fwd_bytes;
+        self.stash_bytes_max = stash_bytes;
         self
     }
 }

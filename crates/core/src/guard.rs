@@ -21,7 +21,7 @@
 //! plus the packet counts of each scheme.
 
 use crate::classify::{AuthorityClassifier, Classification, Classifier};
-use crate::config::{GuardConfig, SchemeMode};
+use crate::config::{AnsHealthPolicy, GuardConfig, SchemeMode};
 use crate::ratelimit::SourceRateLimiter;
 use crate::tcp_proxy::{ProxyAction, TcpProxy};
 use dnswire::cookie_ext;
@@ -34,7 +34,7 @@ use netsim::engine::{Context, Node};
 use netsim::metrics::TrafficMeter;
 use netsim::packet::{Endpoint, Packet, Proto, DNS_PORT};
 use netsim::time::SimTime;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 /// Timer tag for the guard's housekeeping window (rate estimation, proxy
@@ -80,6 +80,21 @@ pub struct GuardStats {
     pub stash_hits: u64,
     /// Packets that were not parseable DNS and were dropped.
     pub unparseable: u64,
+    /// Forwarded requests the ANS never answered within the timeout.
+    pub ans_timeouts: u64,
+    /// Times the health monitor declared the ANS down.
+    pub ans_down_events: u64,
+    /// Liveness probes sent while the ANS was down.
+    pub ans_probes: u64,
+    /// Times the ANS came back after being declared down.
+    pub ans_recoveries: u64,
+    /// Queries refused (SERVFAIL or dropped) by the fail-closed policy
+    /// while the ANS was down.
+    pub failed_closed: u64,
+    /// Forward-table entries evicted by the byte bound (oldest first).
+    pub fwd_evicted: u64,
+    /// Stash entries evicted by the byte bound (oldest first).
+    pub stash_evicted: u64,
 }
 
 impl GuardStats {
@@ -93,6 +108,9 @@ impl GuardStats {
 enum Rewrite {
     /// Relay the ANS response as-is (txid restored).
     Passthrough,
+    /// A health probe: the response only proves liveness, nothing is
+    /// relayed.
+    Probe,
     /// DNS-based referral: answer the cookie-name question with the glue
     /// addresses from the ANS's referral.
     ReferralCookie { cookie_question: Question },
@@ -114,10 +132,55 @@ struct Forwarded {
     created: SimTime,
 }
 
+impl Forwarded {
+    /// Approximate heap footprint, for the forward-table byte bound.
+    fn approx_bytes(&self) -> usize {
+        let heap = match &self.rewrite {
+            Rewrite::Passthrough | Rewrite::Probe | Rewrite::TcpRelay { .. } => 0,
+            Rewrite::ReferralCookie { cookie_question } => cookie_question.name.wire_len(),
+            Rewrite::Fabricated {
+                cookie_question,
+                original,
+            } => cookie_question.name.wire_len() + original.wire_len(),
+        };
+        std::mem::size_of::<Self>() + heap
+    }
+}
+
 #[derive(Debug)]
 struct StashEntry {
     answers: Vec<Record>,
     created: SimTime,
+}
+
+impl StashEntry {
+    /// Approximate heap footprint, for the stash byte bound.
+    fn approx_bytes(&self, key_name: &Name) -> usize {
+        std::mem::size_of::<Self>()
+            + key_name.wire_len()
+            + self
+                .answers
+                .iter()
+                .map(|r| std::mem::size_of::<Record>() + r.name.wire_len() + 16)
+                .sum::<usize>()
+    }
+}
+
+/// Timeout-based liveness tracking for the protected ANS.
+#[derive(Debug)]
+struct AnsHealth {
+    /// Forwarded requests expired without a response since the last ANS
+    /// response of any kind.
+    consecutive_timeouts: u32,
+    down: bool,
+    /// Current probe backoff interval (while down).
+    probe_interval: SimTime,
+    next_probe: SimTime,
+    /// When the ANS last responded. Expired forwards issued *before* this
+    /// are not counted as timeouts — the ANS proved alive after they were
+    /// sent, so their loss says nothing new (and requests black-holed
+    /// during an outage must not re-trip the monitor after recovery).
+    last_response: SimTime,
 }
 
 /// The remote DNS guard node.
@@ -138,8 +201,16 @@ pub struct RemoteGuard {
     rl2: SourceRateLimiter,
     proxy: TcpProxy,
     fwd: HashMap<u16, Forwarded>,
+    /// Insertion order of live `fwd` entries (oldest first) with their
+    /// creation stamps; stale fronts (already answered or re-used txids)
+    /// are skipped lazily during eviction.
+    fwd_order: VecDeque<(u16, SimTime)>,
+    fwd_bytes: usize,
     next_txid: u16,
     stash: HashMap<(Ipv4Addr, Name), StashEntry>,
+    stash_order: VecDeque<((Ipv4Addr, Name), SimTime)>,
+    stash_bytes: usize,
+    health: AnsHealth,
     window_count: u64,
     active: bool,
     last_rotation: SimTime,
@@ -167,8 +238,19 @@ impl RemoteGuard {
             rl2: SourceRateLimiter::per_source_only(config.rl2_per_source_rate),
             proxy,
             fwd: HashMap::new(),
+            fwd_order: VecDeque::new(),
+            fwd_bytes: 0,
             next_txid: 1,
             stash: HashMap::new(),
+            stash_order: VecDeque::new(),
+            stash_bytes: 0,
+            health: AnsHealth {
+                consecutive_timeouts: 0,
+                down: false,
+                probe_interval: config.ans_probe_interval,
+                next_probe: SimTime::ZERO,
+                last_response: SimTime::ZERO,
+            },
             window_count: 0,
             active: config.activation_threshold == 0.0,
             last_rotation: SimTime::ZERO,
@@ -183,6 +265,18 @@ impl RemoteGuard {
     /// Whether spoof detection is currently engaged.
     pub fn is_active(&self) -> bool {
         self.active
+    }
+
+    /// Whether the health monitor currently judges the ANS down.
+    pub fn ans_is_down(&self) -> bool {
+        self.health.down
+    }
+
+    /// Approximate bytes held by the forward table and answer stash
+    /// combined — the quantity bounded by
+    /// [`GuardConfig::fwd_bytes_max`]/[`GuardConfig::stash_bytes_max`].
+    pub fn table_bytes(&self) -> usize {
+        self.fwd_bytes + self.stash_bytes
     }
 
     /// Mutable access to the configuration. Note that the rate limiters and
@@ -230,6 +324,16 @@ impl RemoteGuard {
         ctx.charge(netsim::cost::cookie_cost());
     }
 
+    /// Sends a minimal liveness probe toward the ANS. Any response —
+    /// whatever its rcode — marks the ANS alive again.
+    fn send_probe(&mut self, ctx: &mut Context<'_>) {
+        self.stats.ans_probes += 1;
+        let probe =
+            Message::iterative_query(0, Name::root(), dnswire::types::RrType::Ns);
+        let me = Endpoint::new(self.config.public_addr, DNS_PORT);
+        self.forward_to_ans(ctx, probe, me, me, Rewrite::Probe);
+    }
+
     /// Allocates the next upstream transaction id in O(1). If the id is
     /// still occupied (possible only when >65 K requests are in flight,
     /// i.e. the ANS is hopelessly behind), the old entry is overwritten —
@@ -238,8 +342,63 @@ impl RemoteGuard {
     fn alloc_txid(&mut self) -> u16 {
         let id = self.next_txid;
         self.next_txid = self.next_txid.wrapping_add(1).max(1);
-        self.fwd.remove(&id);
+        self.remove_fwd(id);
         id
+    }
+
+    /// Inserts a forward-table entry, evicting oldest entries past the
+    /// byte bound.
+    fn insert_fwd(&mut self, txid: u16, entry: Forwarded) {
+        self.fwd_bytes += entry.approx_bytes();
+        self.fwd_order.push_back((txid, entry.created));
+        if let Some(old) = self.fwd.insert(txid, entry) {
+            self.fwd_bytes -= old.approx_bytes();
+        }
+        while self.fwd_bytes > self.config.fwd_bytes_max {
+            let Some((old_txid, created)) = self.fwd_order.pop_front() else {
+                break;
+            };
+            // Skip stale queue fronts: answered entries, or txids re-used
+            // since (their live entry has a newer creation stamp).
+            if self.fwd.get(&old_txid).is_some_and(|f| f.created == created) {
+                self.remove_fwd(old_txid);
+                self.stats.fwd_evicted += 1;
+            }
+        }
+    }
+
+    fn remove_fwd(&mut self, txid: u16) -> Option<Forwarded> {
+        let entry = self.fwd.remove(&txid)?;
+        self.fwd_bytes -= entry.approx_bytes();
+        Some(entry)
+    }
+
+    /// Inserts a stash entry, evicting oldest entries past the byte bound.
+    fn insert_stash(&mut self, key: (Ipv4Addr, Name), entry: StashEntry) {
+        self.stash_bytes += entry.approx_bytes(&key.1);
+        self.stash_order.push_back((key.clone(), entry.created));
+        if let Some(old) = self.stash.insert(key.clone(), entry) {
+            self.stash_bytes -= old.approx_bytes(&key.1);
+        }
+        while self.stash_bytes > self.config.stash_bytes_max {
+            let Some((old_key, created)) = self.stash_order.pop_front() else {
+                break;
+            };
+            if self
+                .stash
+                .get(&old_key)
+                .is_some_and(|s| s.created == created)
+            {
+                self.remove_stash(&old_key);
+                self.stats.stash_evicted += 1;
+            }
+        }
+    }
+
+    fn remove_stash(&mut self, key: &(Ipv4Addr, Name)) -> Option<StashEntry> {
+        let entry = self.stash.remove(key)?;
+        self.stash_bytes -= entry.approx_bytes(&key.1);
+        Some(entry)
     }
 
     fn forward_to_ans(
@@ -250,10 +409,26 @@ impl RemoteGuard {
         reply_from: Endpoint,
         rewrite: Rewrite,
     ) {
+        if self.health.down
+            && self.config.health_policy == AnsHealthPolicy::FailClosed
+            && !matches!(rewrite, Rewrite::Probe)
+        {
+            self.stats.failed_closed += 1;
+            // UDP requesters get an immediate SERVFAIL so resolvers move on
+            // to a sibling server; TCP relays are simply not forwarded (the
+            // proxy connection is reaped by the lifetime cap).
+            if !matches!(rewrite, Rewrite::TcpRelay { .. }) {
+                let mut resp = query.response();
+                resp.header.rcode = dnswire::types::Rcode::ServFail;
+                let pkt = Packet::udp(reply_from, requester, resp.encode());
+                self.tx(ctx, pkt);
+            }
+            return;
+        }
         let orig_txid = query.header.id;
         let txid = self.alloc_txid();
         query.header.id = txid;
-        self.fwd.insert(
+        self.insert_fwd(
             txid,
             Forwarded {
                 requester,
@@ -416,7 +591,7 @@ impl RemoteGuard {
                 return;
             };
             // One-shot stash from the first exchange (messages 4/5).
-            if let Some(entry) = self.stash.remove(&(pkt.src.ip, question.name.clone())) {
+            if let Some(entry) = self.remove_stash(&(pkt.src.ip, question.name.clone())) {
                 self.stats.stash_hits += 1;
                 let mut resp = msg.response();
                 resp.header.authoritative = true;
@@ -565,11 +740,20 @@ impl RemoteGuard {
     }
 
     fn handle_ans_response(&mut self, ctx: &mut Context<'_>, mut msg: Message) {
-        let Some(fwd) = self.fwd.remove(&msg.header.id) else {
+        // Any response from the ANS proves it alive, matched or not.
+        self.health.consecutive_timeouts = 0;
+        self.health.last_response = ctx.now();
+        if self.health.down {
+            self.health.down = false;
+            self.health.probe_interval = self.config.ans_probe_interval;
+            self.stats.ans_recoveries += 1;
+        }
+        let Some(fwd) = self.remove_fwd(msg.header.id) else {
             return;
         };
         self.stats.relayed_responses += 1;
         match fwd.rewrite {
+            Rewrite::Probe => {}
             Rewrite::Passthrough => {
                 msg.header.id = fwd.orig_txid;
                 let (wire, _) = msg
@@ -618,7 +802,7 @@ impl RemoteGuard {
                 // computed when the cookie label was verified, so no extra
                 // cookie charge is taken here — but the third computation of
                 // the paper's count happens when message 7 is verified.
-                self.stash.insert(
+                self.insert_stash(
                     (fwd.requester.ip, original),
                     StashEntry {
                         answers: msg.answers.clone(),
@@ -721,10 +905,53 @@ impl Node for RemoteGuard {
         // Housekeeping.
         self.proxy.reap(ctx.now());
         let now = ctx.now();
-        let horizon = SimTime::from_secs(1);
-        self.fwd.retain(|_, f| now.saturating_sub(f.created) < horizon);
-        self.stash
-            .retain(|_, s| now.saturating_sub(s.created) < SimTime::from_secs(2));
+        // Expire unanswered forwards: each one is an ANS timeout feeding
+        // the health monitor.
+        let horizon = self.config.ans_timeout;
+        let expired: Vec<u16> = self
+            .fwd
+            .iter()
+            .filter(|(_, f)| now.saturating_sub(f.created) >= horizon)
+            .map(|(&txid, _)| txid)
+            .collect();
+        for txid in expired {
+            let entry = self.remove_fwd(txid);
+            if entry.is_some_and(|f| f.created >= self.health.last_response) {
+                self.stats.ans_timeouts += 1;
+                self.health.consecutive_timeouts += 1;
+            }
+        }
+        if !self.health.down
+            && self.health.consecutive_timeouts >= self.config.ans_failure_threshold
+        {
+            self.health.down = true;
+            self.health.probe_interval = self.config.ans_probe_interval;
+            self.health.next_probe = now; // first probe fires immediately
+            self.stats.ans_down_events += 1;
+        }
+        if self.health.down && now >= self.health.next_probe {
+            self.send_probe(ctx);
+            self.health.next_probe = now + self.health.probe_interval;
+            self.health.probe_interval =
+                (self.health.probe_interval * 2).min(self.config.ans_probe_max);
+        }
+        let stale: Vec<(Ipv4Addr, Name)> = self
+            .stash
+            .iter()
+            .filter(|(_, s)| now.saturating_sub(s.created) >= SimTime::from_secs(2))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in stale {
+            self.remove_stash(&key);
+        }
+        // Drop queue entries whose table entry is gone (lazy compaction,
+        // so the order queues cannot outgrow the tables they mirror).
+        let fwd = &self.fwd;
+        self.fwd_order
+            .retain(|(txid, created)| fwd.get(txid).is_some_and(|f| f.created == *created));
+        let stash = &self.stash;
+        self.stash_order
+            .retain(|(key, created)| stash.get(key).is_some_and(|s| s.created == *created));
     }
 }
 
@@ -940,6 +1167,120 @@ mod tests {
         let after = sim.node_ref::<LrsSimulator>(lrs).unwrap();
         assert!(after.stats.completed > before, "cached cookies still verify after one rotation");
         assert_eq!(sim.node_ref::<RemoteGuard>(guard).unwrap().stats.ns_cookie_invalid, 0);
+    }
+
+    #[test]
+    fn ans_down_detected_probed_and_recovered() {
+        let (mut sim, guard, ans) = guarded_world(20, 0, SchemeMode::DnsBased);
+        {
+            let cfg = sim.node_mut::<RemoteGuard>(guard).unwrap().config_mut();
+            cfg.ans_timeout = SimTime::from_millis(50);
+            cfg.ans_failure_threshold = 2;
+            cfg.ans_probe_interval = SimTime::from_millis(100);
+        }
+        let lrs = add_lrs(&mut sim, 11, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(100));
+        assert!(!sim.node_ref::<RemoteGuard>(guard).unwrap().ans_is_down());
+        assert!(sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed > 0);
+
+        sim.crash(ans);
+        sim.run_until(SimTime::from_millis(700));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(g.ans_is_down(), "health monitor noticed the crash");
+        assert_eq!(g.stats.ans_down_events, 1);
+        assert!(g.stats.ans_timeouts >= 2);
+        assert!(g.stats.ans_probes >= 2, "probing while down");
+
+        sim.restart(ans);
+        sim.run_until(SimTime::from_millis(1_500));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(!g.ans_is_down(), "probe response cleared the down state");
+        assert_eq!(g.stats.ans_recoveries, 1);
+        let completed_after = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed;
+        sim.run_until(SimTime::from_millis(1_700));
+        assert!(
+            sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed > completed_after,
+            "service resumed after recovery"
+        );
+    }
+
+    #[test]
+    fn fail_closed_sheds_load_while_ans_down() {
+        let (mut sim, guard, ans) = guarded_world(21, 0, SchemeMode::DnsBased);
+        {
+            let cfg = sim.node_mut::<RemoteGuard>(guard).unwrap().config_mut();
+            cfg.ans_timeout = SimTime::from_millis(50);
+            cfg.ans_failure_threshold = 2;
+            cfg.ans_probe_interval = SimTime::from_millis(100);
+            cfg.health_policy = crate::config::AnsHealthPolicy::FailClosed;
+        }
+        let _lrs = add_lrs(&mut sim, 12, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(100));
+        sim.crash(ans);
+        sim.run_until(SimTime::from_millis(800));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(g.ans_is_down());
+        assert!(g.stats.failed_closed > 0, "verified queries refused fast");
+        // Probes still go out despite the fail-closed gate.
+        assert!(g.stats.ans_probes >= 2);
+        sim.restart(ans);
+        sim.run_until(SimTime::from_millis(1_500));
+        assert!(!sim.node_ref::<RemoteGuard>(guard).unwrap().ans_is_down());
+    }
+
+    #[test]
+    fn forward_table_stays_within_byte_bound() {
+        // A spoofed flood of out-of-bailiwick names all get forwarded
+        // (passthrough) to an ANS that never answers; the forward table
+        // must hold its configured byte bound and evict oldest-first.
+        let (root, com, foo) = paper_hierarchy();
+        let _ = (root, com);
+        let authority = Authority::new(vec![foo]);
+        let mut sim = Simulator::new(22);
+        let mut config = GuardConfig {
+            subnet_base: GUARD_SUBNET,
+            ..GuardConfig::new(ROOT_SERVER, ANS_PRIVATE)
+        };
+        config.rl1_global_rate = 1e12;
+        config.rl1_per_source_rate = 1e12;
+        config.fwd_bytes_max = 8_192;
+        let guard = sim.add_node(
+            ROOT_SERVER,
+            CpuConfig::unbounded(),
+            RemoteGuard::new(config, AuthorityClassifier::new(authority)),
+        );
+        sim.add_subnet(GUARD_SUBNET, 24, guard);
+        // No ANS node at all: every forward is a black hole.
+        struct Flood;
+        impl Node for Flood {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimTime::ZERO, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+                if tag >= 2_000 {
+                    return;
+                }
+                let name: Name = format!("h{tag}.elsewhere.example").parse().unwrap();
+                let q = Message::iterative_query(tag as u16, name, RrType::A);
+                ctx.send(Packet::udp(
+                    Endpoint::new(Ipv4Addr::from(0x2000_0000 + tag as u32), 999),
+                    Endpoint::new(ROOT_SERVER, DNS_PORT),
+                    q.encode(),
+                ));
+                ctx.set_timer(SimTime::from_micros(4), tag + 1); // 250K req/s
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        sim.add_node(Ipv4Addr::new(32, 0, 0, 1), CpuConfig::unbounded(), Flood);
+        sim.run_until(SimTime::from_millis(20));
+        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(g.stats.forwarded >= 2_000);
+        assert!(
+            g.table_bytes() <= 8_192,
+            "table {} bytes exceeds bound",
+            g.table_bytes()
+        );
+        assert!(g.stats.fwd_evicted > 0, "bound enforced by eviction");
     }
 
     #[test]

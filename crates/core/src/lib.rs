@@ -57,7 +57,7 @@ pub mod rfc7873;
 pub mod tcp_proxy;
 
 pub use classify::{AuthorityClassifier, Classification, Classifier};
-pub use config::{GuardConfig, SchemeMode};
+pub use config::{AnsHealthPolicy, GuardConfig, SchemeMode};
 pub use guard::{GuardStats, RemoteGuard};
 pub use local_guard::LocalGuard;
 pub use ratelimit::SourceRateLimiter;

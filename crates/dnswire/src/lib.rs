@@ -144,6 +144,24 @@ mod proptests {
             let _ = Message::decode(&bytes);
         }
 
+        /// The decoder never panics on *corrupted* encodings of valid
+        /// messages: random bit flips in real wire images reach structured
+        /// paths (compression pointers, section counts, rdata lengths) that
+        /// purely random bytes rarely hit. Decode may succeed or fail — it
+        /// must only be total.
+        #[test]
+        fn decoder_total_under_bit_flips(
+            msg in arb_message(),
+            flips in proptest::collection::vec((any::<u16>(), 0u32..8), 1..8),
+        ) {
+            let mut wire = msg.encode();
+            for (pos, bit) in flips {
+                let i = pos as usize % wire.len();
+                wire[i] ^= 1 << bit;
+            }
+            let _ = Message::decode(&wire);
+        }
+
         /// Truncated encodes stay within the limit, keep the question intact
         /// and set TC when records were dropped.
         #[test]

@@ -17,6 +17,15 @@
 //!   the charged work completes, so downstream timing reflects queueing.
 //! * **Links** between node pairs have a one-way delay and an optional loss
 //!   probability; unknown pairs use the default delay.
+//! * **Faults**: a [`FaultPlan`] installed on a directed link injects
+//!   deterministic, seed-driven duplication, reordering jitter, payload
+//!   corruption and extra loss; timed partitions ([`Simulator::partition`],
+//!   [`Simulator::isolate`]) cut traffic for a window; and
+//!   [`Simulator::crash`]/[`Simulator::restart`] model node failure — a
+//!   crash discards in-flight packets, pending timers and unserved CPU
+//!   backlog, and a restart re-runs `on_start` so the node can re-register
+//!   its protocol state. Links without plans draw no randomness, so
+//!   fault-free runs are unchanged.
 
 use crate::packet::Packet;
 use crate::time::SimTime;
@@ -114,10 +123,137 @@ impl LinkParams {
     }
 }
 
+/// A fault-injection plan for one *directed* link, installed with
+/// [`Simulator::fault_link`]. All faults are sampled from the simulator's
+/// seeded RNG, so runs stay deterministic; a link with no plan draws no
+/// randomness and behaves exactly as before.
+///
+/// Because plans are directional, asymmetric behaviour (e.g. responses lost
+/// but requests delivered) is expressed by installing different plans for
+/// `(a, b)` and `(b, a)`.
+///
+/// ```
+/// use netsim::engine::FaultPlan;
+/// use netsim::time::SimTime;
+///
+/// let plan = FaultPlan::new()
+///     .duplicate(0.1)
+///     .reorder(0.2, SimTime::from_millis(5))
+///     .corrupt(0.05)
+///     .loss(0.01);
+/// assert_eq!(plan.duplicate, 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability that a packet is duplicated (one extra copy trails the
+    /// original by a microsecond, then takes its own jitter draw).
+    pub duplicate: f64,
+    /// Probability that a packet's delivery is delayed by a uniform random
+    /// amount in `[0, jitter]`, letting later packets overtake it.
+    pub reorder: f64,
+    /// Upper bound of the reordering jitter window.
+    pub jitter: SimTime,
+    /// Probability that one random payload byte is XOR-flipped in transit.
+    pub corrupt: f64,
+    /// Extra loss probability, applied after [`LinkParams::loss`].
+    pub loss: f64,
+}
+
+fn assert_probability(p: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{what} probability {p} outside [0, 1]"
+    );
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all probabilities zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the duplication probability.
+    pub fn duplicate(mut self, p: f64) -> Self {
+        assert_probability(p, "duplicate");
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the reordering probability and jitter window.
+    pub fn reorder(mut self, p: f64, jitter: SimTime) -> Self {
+        assert_probability(p, "reorder");
+        self.reorder = p;
+        self.jitter = jitter;
+        self
+    }
+
+    /// Sets the payload-corruption probability.
+    pub fn corrupt(mut self, p: f64) -> Self {
+        assert_probability(p, "corrupt");
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the injected loss probability (on top of any link loss).
+    pub fn loss(mut self, p: f64) -> Self {
+        assert_probability(p, "loss");
+        self.loss = p;
+        self
+    }
+}
+
+/// Counters for every fault the simulator injected, from
+/// [`Simulator::fault_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Packets duplicated (each counts once however many copies resulted).
+    pub duplicated: u64,
+    /// Packet copies delayed by reorder jitter.
+    pub reordered: u64,
+    /// Packet copies with a corrupted payload byte.
+    pub corrupted: u64,
+    /// Packets dropped by a [`FaultPlan::loss`] draw.
+    pub injected_loss: u64,
+    /// Packets dropped because an active partition separated the endpoints.
+    pub partition_dropped: u64,
+    /// Events (deliveries, timers, starts) discarded because their target
+    /// node had crashed, or had crashed and restarted since they were
+    /// scheduled.
+    pub crash_dropped: u64,
+}
+
+/// What a timed partition cuts off.
+#[derive(Debug, Clone, Copy)]
+enum PartitionScope {
+    /// Traffic between one specific pair (both directions).
+    Pair(NodeId, NodeId),
+    /// All traffic to or from one node.
+    Node(NodeId),
+}
+
+/// A scheduled network partition, active for `from <= t < until`.
+#[derive(Debug, Clone, Copy)]
+struct Partition {
+    scope: PartitionScope,
+    from: SimTime,
+    until: SimTime,
+}
+
 enum EventKind {
     Start(NodeId),
     Deliver(NodeId, Packet),
     Timer(NodeId, u64),
+}
+
+impl EventKind {
+    /// The node this event targets.
+    fn target(&self) -> NodeId {
+        match *self {
+            EventKind::Start(id) => id,
+            EventKind::Deliver(id, _) => id,
+            EventKind::Timer(id, _) => id,
+        }
+    }
 }
 
 struct Scheduled {
@@ -126,6 +262,10 @@ struct Scheduled {
     kind: EventKind,
     /// Daemon events do not keep [`Simulator::run`] alive.
     daemon: bool,
+    /// The target node's crash epoch when the event was scheduled; a
+    /// mismatch at pop time means the node crashed in between, so the
+    /// event (in-flight packet, pending timer) is discarded.
+    epoch: u64,
 }
 
 impl PartialEq for Scheduled {
@@ -150,6 +290,11 @@ struct NodeSlot {
     cpu_config: CpuConfig,
     next_free: SimTime,
     stats: CpuStats,
+    /// Incremented on every crash; events carry the epoch they were
+    /// scheduled under and are discarded on mismatch.
+    epoch: u64,
+    /// While crashed a node receives no events at all.
+    crashed: bool,
 }
 
 /// Deferred actions a handler produced, applied when it returns.
@@ -271,6 +416,11 @@ pub struct Simulator {
     gateways: HashMap<NodeId, NodeId>,
     /// Non-daemon events currently queued; [`Simulator::run`] stops at 0.
     live_events: usize,
+    /// Directed per-link fault plans; absent entries inject nothing.
+    faults: HashMap<(NodeId, NodeId), FaultPlan>,
+    /// Timed partitions, checked at packet departure time.
+    partitions: Vec<Partition>,
+    fault_stats: FaultStats,
 }
 
 impl Simulator {
@@ -289,6 +439,9 @@ impl Simulator {
             unrouted: 0,
             gateways: HashMap::new(),
             live_events: 0,
+            faults: HashMap::new(),
+            partitions: Vec::new(),
+            fault_stats: FaultStats::default(),
         }
     }
 
@@ -316,6 +469,8 @@ impl Simulator {
             cpu_config: cpu,
             next_free: SimTime::ZERO,
             stats: CpuStats::default(),
+            epoch: 0,
+            crashed: false,
         });
         self.routes.insert(addr, id);
         self.push(self.now, EventKind::Start(id));
@@ -346,6 +501,92 @@ impl Simulator {
     /// Convenience: lossless link with the given RTT.
     pub fn connect_rtt(&mut self, a: NodeId, b: NodeId, rtt: SimTime) {
         self.connect(a, b, LinkParams::with_rtt(rtt));
+    }
+
+    /// Installs a fault plan on the *directed* link `from -> to` (replacing
+    /// any previous plan for that direction). Install different plans per
+    /// direction for asymmetric faults; use [`Simulator::fault_link_both`]
+    /// for symmetric ones. Faults apply to routed packets; gateway taps and
+    /// [`Context::send_direct`] hops model an internal bus and bypass them.
+    pub fn fault_link(&mut self, from: NodeId, to: NodeId, plan: FaultPlan) {
+        self.faults.insert((from, to), plan);
+    }
+
+    /// Installs the same fault plan in both directions between `a` and `b`.
+    pub fn fault_link_both(&mut self, a: NodeId, b: NodeId, plan: FaultPlan) {
+        self.fault_link(a, b, plan);
+        self.fault_link(b, a, plan);
+    }
+
+    /// Removes the fault plans between `a` and `b` in both directions.
+    pub fn clear_fault(&mut self, a: NodeId, b: NodeId) {
+        self.faults.remove(&(a, b));
+        self.faults.remove(&(b, a));
+    }
+
+    /// Cuts all traffic between `a` and `b` (both directions) for packets
+    /// departing in `[from, until)`. The partition heals by itself.
+    pub fn partition(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
+        assert!(from < until, "empty partition window");
+        self.partitions.push(Partition {
+            scope: PartitionScope::Pair(a, b),
+            from,
+            until,
+        });
+    }
+
+    /// Cuts all traffic to and from `node` for packets departing in
+    /// `[from, until)`.
+    pub fn isolate(&mut self, node: NodeId, from: SimTime, until: SimTime) {
+        assert!(from < until, "empty partition window");
+        self.partitions.push(Partition {
+            scope: PartitionScope::Node(node),
+            from,
+            until,
+        });
+    }
+
+    /// Crashes a node immediately: every queued event targeting it —
+    /// in-flight packets, pending timers, unserved CPU backlog — is
+    /// discarded, and nothing reaches it until [`Simulator::restart`].
+    /// The node object itself is kept; crash a node and swap its state
+    /// with [`Simulator::restart_with`] to model volatile-state loss.
+    pub fn crash(&mut self, node: NodeId) {
+        let slot = &mut self.nodes[node];
+        assert!(!slot.crashed, "node {node} is already crashed");
+        slot.crashed = true;
+        slot.epoch += 1;
+        slot.next_free = SimTime::ZERO; // in-flight CPU work is abandoned
+    }
+
+    /// Restarts a crashed node: its `on_start` handler runs again (at the
+    /// current time) so it can re-register protocol state and timers.
+    /// Packets sent towards the node while it was down arrive only if
+    /// still in flight at restart.
+    pub fn restart(&mut self, node: NodeId) {
+        let slot = &mut self.nodes[node];
+        assert!(slot.crashed, "node {node} is not crashed");
+        slot.crashed = false;
+        slot.next_free = self.now;
+        self.push(self.now, EventKind::Start(node));
+    }
+
+    /// Like [`Simulator::restart`], but replaces the node object first —
+    /// the restarted node comes back with `fresh`'s state, modelling a
+    /// process that lost everything volatile.
+    pub fn restart_with<N: Node>(&mut self, node: NodeId, fresh: N) {
+        self.nodes[node].node = Box::new(fresh);
+        self.restart(node);
+    }
+
+    /// Whether `node` is currently crashed.
+    pub fn is_crashed(&self, node: NodeId) -> bool {
+        self.nodes[node].crashed
+    }
+
+    /// Counters of all injected faults so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
     }
 
     /// Current simulated time.
@@ -427,11 +668,13 @@ impl Simulator {
         if !daemon {
             self.live_events += 1;
         }
+        let epoch = self.nodes[kind.target()].epoch;
         self.queue.push(Reverse(Scheduled {
             time,
             seq,
             kind,
             daemon,
+            epoch,
         }));
     }
 
@@ -444,6 +687,13 @@ impl Simulator {
         }
         debug_assert!(ev.time >= self.now, "event time went backwards");
         self.now = ev.time;
+        {
+            let slot = &self.nodes[ev.kind.target()];
+            if slot.crashed || slot.epoch != ev.epoch {
+                self.fault_stats.crash_dropped += 1;
+                return true;
+            }
+        }
         match ev.kind {
             EventKind::Start(id) => self.dispatch(id, ev.time, |node, ctx| node.on_start(ctx)),
             EventKind::Timer(id, tag) => {
@@ -531,6 +781,10 @@ impl Simulator {
             self.unrouted += 1;
             return;
         };
+        if self.is_partitioned(from, dst_node, depart) {
+            self.fault_stats.partition_dropped += 1;
+            return;
+        }
         let params = self
             .links
             .get(&(from, dst_node))
@@ -542,12 +796,63 @@ impl Simulator {
         if params.loss > 0.0 && self.rng.gen::<f64>() < params.loss {
             return; // lost on the wire
         }
-        let delay = if from == dst_node {
+        let base_delay = if from == dst_node {
             SimTime::from_micros(1) // loopback
         } else {
             params.delay
         };
-        self.push(depart + delay, EventKind::Deliver(dst_node, pkt));
+        // A link with no fault plan takes no RNG draws here, so fault-free
+        // simulations replay identically to pre-fault-injection builds.
+        let fault = self
+            .faults
+            .get(&(from, dst_node))
+            .copied()
+            .unwrap_or_default();
+        if fault.loss > 0.0 && self.rng.gen::<f64>() < fault.loss {
+            self.fault_stats.injected_loss += 1;
+            return;
+        }
+        let copies = if fault.duplicate > 0.0 && self.rng.gen::<f64>() < fault.duplicate {
+            self.fault_stats.duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for copy in 0..copies {
+            let mut pkt = pkt.clone();
+            let mut delay = base_delay;
+            if copy > 0 {
+                delay += SimTime::from_micros(1); // duplicate trails slightly
+            }
+            if fault.corrupt > 0.0
+                && !pkt.payload.is_empty()
+                && self.rng.gen::<f64>() < fault.corrupt
+            {
+                let idx = self.rng.gen_range(0..pkt.payload.len());
+                let mask = self.rng.gen_range(1..=255u8); // non-zero: always changes the byte
+                pkt.payload[idx] ^= mask;
+                self.fault_stats.corrupted += 1;
+            }
+            if fault.reorder > 0.0
+                && fault.jitter > SimTime::ZERO
+                && self.rng.gen::<f64>() < fault.reorder
+            {
+                delay += SimTime::from_nanos(self.rng.gen_range(0..=fault.jitter.as_nanos()));
+                self.fault_stats.reordered += 1;
+            }
+            self.push(depart + delay, EventKind::Deliver(dst_node, pkt));
+        }
+    }
+
+    fn is_partitioned(&self, a: NodeId, b: NodeId, t: SimTime) -> bool {
+        self.partitions.iter().any(|p| {
+            t >= p.from
+                && t < p.until
+                && match p.scope {
+                    PartitionScope::Pair(x, y) => (x == a && y == b) || (x == b && y == a),
+                    PartitionScope::Node(n) => n == a || n == b,
+                }
+        })
     }
 }
 
@@ -791,6 +1096,299 @@ mod tests {
         assert_eq!(sim.now(), SimTime::from_millis(10));
         sim.run();
         assert_eq!(sim.node_ref::<Sink>(s).unwrap().received, 100);
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let mut sim = Simulator::new(11);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_micros(10),
+            remaining: 1_000,
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.connect_rtt(b, s, SimTime::from_micros(10));
+        sim.fault_link(b, s, FaultPlan::new().duplicate(0.5));
+        sim.run();
+        let received = sim.node_ref::<Sink>(s).unwrap().received;
+        let stats = sim.fault_stats();
+        assert_eq!(received, 1_000 + stats.duplicated);
+        assert!((300..700).contains(&stats.duplicated), "{stats:?}");
+    }
+
+    #[test]
+    fn corruption_flips_payload_bytes() {
+        struct Collect {
+            clean: u64,
+            dirty: u64,
+        }
+        impl Node for Collect {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                if pkt.payload.iter().all(|&b| b == 0xAB) {
+                    self.clean += 1;
+                } else {
+                    self.dirty += 1;
+                }
+            }
+        }
+        struct Pusher;
+        impl Node for Pusher {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for _ in 0..500 {
+                    ctx.send(Packet::udp(ep(1, 4000), ep(2, 53), vec![0xAB; 32]));
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        let mut sim = Simulator::new(12);
+        let p = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), Pusher);
+        let c = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 2),
+            CpuConfig::unbounded(),
+            Collect { clean: 0, dirty: 0 },
+        );
+        sim.fault_link(p, c, FaultPlan::new().corrupt(0.3));
+        sim.run();
+        let got = sim.node_ref::<Collect>(c).unwrap();
+        assert_eq!(got.clean + got.dirty, 500);
+        assert_eq!(got.dirty, sim.fault_stats().corrupted);
+        assert!((100..200).contains(&got.dirty), "corrupted {}", got.dirty);
+    }
+
+    #[test]
+    fn reordering_overtakes_within_jitter_window() {
+        struct Order {
+            seen: Vec<u8>,
+        }
+        impl Node for Order {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+                self.seen.push(pkt.payload[0]);
+            }
+        }
+        struct Seq;
+        impl Node for Seq {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                for i in 0..200u8 {
+                    ctx.send(Packet::udp(ep(1, 4000), ep(2, 53), vec![i]));
+                    ctx.charge(SimTime::from_micros(5)); // space sends apart
+                }
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        let mut sim = Simulator::new(13);
+        let tx = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), Seq);
+        let rx = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 2),
+            CpuConfig::unbounded(),
+            Order { seen: vec![] },
+        );
+        sim.fault_link(tx, rx, FaultPlan::new().reorder(0.5, SimTime::from_micros(50)));
+        sim.run();
+        let seen = &sim.node_ref::<Order>(rx).unwrap().seen;
+        assert_eq!(seen.len(), 200, "nothing lost, only shuffled");
+        let inversions = seen.windows(2).filter(|w| w[0] > w[1]).count();
+        assert!(inversions > 10, "expected reordering, got {inversions} inversions");
+        assert!(sim.fault_stats().reordered > 50);
+    }
+
+    #[test]
+    fn asymmetric_loss_only_hits_configured_direction() {
+        // Echo replies back; forward direction lossy, reverse clean.
+        struct EchoBack;
+        impl Node for EchoBack {
+            fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+                ctx.send(Packet::udp(pkt.dst, pkt.src, pkt.payload));
+            }
+        }
+        struct Counter {
+            sent: u64,
+            replies: u64,
+        }
+        impl Node for Counter {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimTime::ZERO, 0);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                if self.sent == 1_000 {
+                    return;
+                }
+                self.sent += 1;
+                ctx.send(Packet::udp(ep(1, 4000), ep(2, 7), vec![0]));
+                ctx.set_timer(SimTime::from_micros(10), 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {
+                self.replies += 1;
+            }
+        }
+        let mut sim = Simulator::new(14);
+        let c = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 1),
+            CpuConfig::unbounded(),
+            Counter { sent: 0, replies: 0 },
+        );
+        let e = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), EchoBack);
+        sim.fault_link(c, e, FaultPlan::new().loss(0.4));
+        sim.run();
+        let counter = sim.node_ref::<Counter>(c).unwrap();
+        let stats = sim.fault_stats();
+        // Every request that survived the forward direction came back.
+        assert_eq!(counter.replies, 1_000 - stats.injected_loss);
+        assert!((300..500).contains(&stats.injected_loss), "{stats:?}");
+    }
+
+    #[test]
+    fn partition_drops_then_heals() {
+        let mut sim = Simulator::new(15);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 100, // one packet per ms for 100 ms
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.partition(b, s, SimTime::from_millis(20), SimTime::from_millis(50));
+        sim.run();
+        let received = sim.node_ref::<Sink>(s).unwrap().received;
+        assert_eq!(sim.fault_stats().partition_dropped, 30);
+        assert_eq!(received, 70);
+    }
+
+    #[test]
+    fn isolate_cuts_all_traffic_for_node() {
+        let mut sim = Simulator::new(16);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 10,
+        };
+        sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.isolate(s, SimTime::ZERO, SimTime::from_secs(1));
+        sim.run();
+        assert_eq!(sim.node_ref::<Sink>(s).unwrap().received, 0);
+        assert_eq!(sim.fault_stats().partition_dropped, 10);
+    }
+
+    #[test]
+    fn crash_discards_inflight_and_restart_rejoins() {
+        let mut sim = Simulator::new(17);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 100,
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.connect_rtt(b, s, SimTime::from_micros(100));
+        sim.run_until(SimTime::from_millis(30));
+        let before = sim.node_ref::<Sink>(s).unwrap().received;
+        sim.crash(s);
+        assert!(sim.is_crashed(s));
+        sim.run_until(SimTime::from_millis(60));
+        // Nothing delivered while down.
+        assert_eq!(sim.node_ref::<Sink>(s).unwrap().received, before);
+        sim.restart(s);
+        assert!(!sim.is_crashed(s));
+        sim.run();
+        let after = sim.node_ref::<Sink>(s).unwrap().received;
+        assert!(after > before, "deliveries resume after restart");
+        assert!(sim.fault_stats().crash_dropped > 20, "{:?}", sim.fault_stats());
+        assert_eq!(after + sim.fault_stats().crash_dropped, 100);
+    }
+
+    #[test]
+    fn restart_with_loses_volatile_state() {
+        let mut sim = Simulator::new(18);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 40,
+        };
+        sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.run_until(SimTime::from_millis(20));
+        assert!(sim.node_ref::<Sink>(s).unwrap().received > 10);
+        sim.crash(s);
+        sim.restart_with(s, sink(SimTime::ZERO));
+        sim.run();
+        let fresh = sim.node_ref::<Sink>(s).unwrap().received;
+        assert!(fresh < 25, "counter reset by restart_with, got {fresh}");
+    }
+
+    #[test]
+    fn crashed_node_timers_do_not_survive_restart() {
+        // A node that re-arms a timer forever; crash should cancel it and
+        // restart should arm a fresh one via on_start.
+        struct Ticker {
+            ticks: u64,
+            starts: u64,
+        }
+        impl Node for Ticker {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                self.starts += 1;
+                ctx.set_daemon_timer(SimTime::from_millis(1), 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                self.ticks += 1;
+                ctx.set_daemon_timer(SimTime::from_millis(1), 0);
+            }
+        }
+        let mut sim = Simulator::new(19);
+        let t = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 1),
+            CpuConfig::default(),
+            Ticker { ticks: 0, starts: 0 },
+        );
+        sim.run_until(SimTime::from_millis(10));
+        sim.crash(t);
+        sim.run_until(SimTime::from_millis(30));
+        let ticks_down = sim.node_ref::<Ticker>(t).unwrap().ticks;
+        sim.restart(t);
+        sim.run_until(SimTime::from_millis(40));
+        let state = sim.node_ref::<Ticker>(t).unwrap();
+        assert_eq!(state.starts, 2, "on_start re-ran at restart");
+        assert!(state.ticks > ticks_down, "ticking resumed");
+        // While down (20 ms) no timer fired: ticks advanced by ~10 for the
+        // 10 ms after restart, not ~30.
+        assert!(state.ticks <= ticks_down + 12, "{} vs {}", state.ticks, ticks_down);
+    }
+
+    #[test]
+    fn faultless_runs_unchanged_by_subsystem() {
+        // Same seed with and without a no-op fault plan installed: the
+        // plan's zero probabilities must not consume RNG draws.
+        let run = |with_noop_plan: bool| {
+            let mut sim = Simulator::new(42);
+            let blaster = Blaster {
+                target: ep(2, 53),
+                me: ep(1, 4000),
+                interval: SimTime::from_micros(3),
+                remaining: 500,
+            };
+            let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+            let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::default(), sink(SimTime::from_micros(5)));
+            sim.connect(
+                b,
+                s,
+                LinkParams {
+                    delay: SimTime::from_micros(10),
+                    loss: 0.3,
+                },
+            );
+            if with_noop_plan {
+                sim.fault_link_both(b, s, FaultPlan::new());
+            }
+            sim.run();
+            (sim.node_ref::<Sink>(s).unwrap().received, sim.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

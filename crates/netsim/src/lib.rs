@@ -28,15 +28,18 @@ pub mod tcp;
 pub mod time;
 pub mod tokenbucket;
 
-pub use engine::{Context, CpuConfig, CpuStats, LinkParams, Node, NodeId, Simulator};
+pub use engine::{
+    Context, CpuConfig, CpuStats, FaultPlan, FaultStats, LinkParams, Node, NodeId, Simulator,
+};
 pub use packet::{Endpoint, Packet, Proto, DNS_PORT};
 pub use time::SimTime;
 pub use tokenbucket::TokenBucket;
 
 #[cfg(test)]
 mod proptests {
-    use crate::engine::{Context, CpuConfig, Node, Simulator};
+    use crate::engine::{Context, CpuConfig, FaultPlan, Node, Simulator};
     use crate::packet::{Endpoint, Packet};
+    use crate::tcp::{ConnKey, TcpEvent, TcpHost};
     use crate::time::SimTime;
     use proptest::prelude::*;
     use std::net::Ipv4Addr;
@@ -65,6 +68,62 @@ mod proptests {
         fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
             ctx.charge(self.cost);
             ctx.send(Packet::udp(pkt.dst, pkt.src, pkt.payload));
+        }
+    }
+
+    /// Connects, sends every message, then closes.
+    struct TcpSender {
+        me: Endpoint,
+        peer: Endpoint,
+        msgs: Vec<Vec<u8>>,
+        host: TcpHost,
+        key: Option<ConnKey>,
+    }
+    impl Node for TcpSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let (key, syn) = self.host.connect(self.me, self.peer);
+            self.key = Some(key);
+            ctx.send(syn);
+        }
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+            let mut out = Vec::new();
+            for ev in self.host.on_segment(&pkt, &mut out) {
+                if let TcpEvent::Connected(key) = ev {
+                    for msg in self.msgs.drain(..) {
+                        if let Some(p) = self.host.send(key, msg) {
+                            out.push(p);
+                        }
+                    }
+                    if let Some(fin) = self.host.close(key) {
+                        out.push(fin);
+                    }
+                }
+            }
+            for p in out {
+                ctx.send(p);
+            }
+        }
+    }
+
+    /// Accepts one connection and records the byte stream it observes.
+    struct TcpReceiver {
+        host: TcpHost,
+        received: Vec<u8>,
+        closed: bool,
+    }
+    impl Node for TcpReceiver {
+        fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+            let mut out = Vec::new();
+            for ev in self.host.on_segment(&pkt, &mut out) {
+                match ev {
+                    TcpEvent::Data(_, d) => self.received.extend_from_slice(&d),
+                    TcpEvent::Closed(_) => self.closed = true,
+                    _ => {}
+                }
+            }
+            for p in out {
+                ctx.send(p);
+            }
         }
     }
 
@@ -98,6 +157,47 @@ mod proptests {
             prop_assert!(stats.busy <= sim.now());
             prop_assert!(stats.utilization(sim.now()) <= 1.0);
             prop_assert_eq!(stats.delivered + stats.dropped, n as u64);
+        }
+
+        /// TCP delivery semantics under duplication + reordering (no loss):
+        /// the receiver sees each byte stream in order, exactly once, and
+        /// observes the close.
+        #[test]
+        fn tcp_exactly_once_under_duplication_and_reordering(
+            seed in any::<u64>(),
+            msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..50), 1..20),
+            dup_pct in 0u32..50,
+            jitter_us in 1u64..500,
+        ) {
+            let dup = f64::from(dup_pct) / 100.0;
+            let a = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 40_000);
+            let b = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), 53);
+            let expected: Vec<u8> = msgs.concat();
+
+            let mut sim = Simulator::new(seed);
+            let sender = sim.add_node(a.ip, CpuConfig::unbounded(), TcpSender {
+                me: a,
+                peer: b,
+                msgs,
+                host: TcpHost::new(1),
+                key: None,
+            });
+            let receiver = sim.add_node(b.ip, CpuConfig::unbounded(), {
+                let mut host = TcpHost::new(2);
+                host.listen(53);
+                host.enable_syn_cookies();
+                TcpReceiver { host, received: Vec::new(), closed: false }
+            });
+            sim.fault_link_both(
+                sender,
+                receiver,
+                FaultPlan::new().duplicate(dup).reorder(0.5, SimTime::from_micros(jitter_us)),
+            );
+            sim.run();
+
+            let rx = sim.node_ref::<TcpReceiver>(receiver).unwrap();
+            prop_assert_eq!(&rx.received, &expected, "in order, exactly once");
+            prop_assert!(rx.closed, "FIN delivered and ordered");
         }
 
         /// Determinism: identical seeds and workloads give identical

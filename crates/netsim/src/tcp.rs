@@ -12,11 +12,14 @@
 //!   paper's TCP throughput is so much lower than UDP.
 //!
 //! Segments are carried as [`Packet`] payloads (see [`Segment::encode`]).
-//! Delivery is assumed in-order and lossless (the evaluation runs TCP on
-//! LAN links); out-of-order or duplicate segments are dropped with a stat.
+//! Established connections reassemble out-of-order arrivals through a
+//! bounded per-connection buffer, so duplicated and reordered segments are
+//! delivered to the application in order, exactly once; old duplicates are
+//! dropped with a stat. There is no retransmission — a *lost* segment is
+//! lost (the applications above retry whole exchanges).
 
 use crate::packet::{Endpoint, Packet};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 /// TCP flag bits used by the model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -134,6 +137,16 @@ enum ConnState {
     FinSent,
 }
 
+/// Sequence distance still considered "ahead" (vs. an old duplicate whose
+/// wrapped offset is huge).
+const REASSEMBLY_WINDOW: u32 = 1 << 20;
+/// Out-of-order segments held per connection; beyond this they are dropped
+/// (a corrupted seq field must not grow the buffer without bound).
+const MAX_OOO_SEGMENTS: usize = 64;
+/// Recently-closed connections remembered to absorb late duplicates
+/// (TIME_WAIT); oldest entries are evicted beyond this count.
+const TIME_WAIT_CAP: usize = 1024;
+
 #[derive(Debug)]
 struct Conn {
     state: ConnState,
@@ -141,6 +154,27 @@ struct Conn {
     snd_next: u32,
     /// Next sequence number we expect from the peer.
     rcv_next: u32,
+    /// Segments that arrived ahead of `rcv_next`, keyed by sequence number,
+    /// waiting for the gap to fill.
+    ooo: BTreeMap<u32, Segment>,
+    /// Whether `rcv_next` is known to be the true stream start. A SYN-cookie
+    /// accept completed by a reordered *data* segment cannot know the
+    /// initiator's starting sequence number, so it buffers everything until
+    /// the handshake's pure ACK (whose `seq` is exactly the stream start)
+    /// arrives and anchors the stream.
+    anchored: bool,
+}
+
+impl Conn {
+    fn new(state: ConnState, snd_next: u32, rcv_next: u32) -> Self {
+        Conn {
+            state,
+            snd_next,
+            rcv_next,
+            ooo: BTreeMap::new(),
+            anchored: true,
+        }
+    }
 }
 
 /// Counters exposed for the evaluation.
@@ -154,8 +188,11 @@ pub struct TcpStats {
     pub connected: u64,
     /// ACKs that failed SYN-cookie validation.
     pub bad_cookies: u64,
-    /// Segments dropped (unknown connection, bad sequence, parse error).
+    /// Segments dropped (unknown connection, old duplicate, parse error).
     pub dropped_segments: u64,
+    /// Segments that arrived ahead of sequence and were buffered for
+    /// reassembly.
+    pub buffered_segments: u64,
     /// Connections reset.
     pub resets: u64,
 }
@@ -172,6 +209,10 @@ pub struct TcpStats {
 pub struct TcpHost {
     listen_ports: Vec<u16>,
     conns: HashMap<ConnKey, Conn>,
+    /// Recently-closed connections (TIME_WAIT): late duplicates of their
+    /// segments are absorbed instead of being mistaken for new handshakes.
+    time_wait: HashSet<ConnKey>,
+    time_wait_order: VecDeque<ConnKey>,
     syn_cookies: bool,
     cookie_secret: u64,
     isn_counter: u32,
@@ -185,6 +226,8 @@ impl TcpHost {
         TcpHost {
             listen_ports: Vec::new(),
             conns: HashMap::new(),
+            time_wait: HashSet::new(),
+            time_wait_order: VecDeque::new(),
             syn_cookies: false,
             cookie_secret,
             isn_counter: 0x1000,
@@ -224,14 +267,8 @@ impl TcpHost {
     pub fn connect(&mut self, local: Endpoint, remote: Endpoint) -> (ConnKey, Packet) {
         let key = ConnKey { local, remote };
         let isn = self.next_isn();
-        self.conns.insert(
-            key,
-            Conn {
-                state: ConnState::SynSent,
-                snd_next: isn.wrapping_add(1),
-                rcv_next: 0,
-            },
-        );
+        self.conns
+            .insert(key, Conn::new(ConnState::SynSent, isn.wrapping_add(1), 0));
         let syn = Segment {
             flags: Flags::SYN,
             seq: isn,
@@ -276,7 +313,35 @@ impl TcpHost {
     /// Forcibly removes connection state (the proxy's 5×RTT reaper uses
     /// this). No packet is sent.
     pub fn abort(&mut self, key: &ConnKey) -> bool {
-        self.conns.remove(key).is_some()
+        let removed = self.conns.remove(key).is_some();
+        if removed {
+            self.enter_time_wait(*key);
+        }
+        removed
+    }
+
+    /// Remembers a just-closed connection so late duplicates of its segments
+    /// are absorbed rather than re-validating as fresh SYN-cookie ACKs (the
+    /// cookie is stateless, so without this a duplicated data segment after
+    /// close would re-establish a ghost connection and re-deliver old data).
+    /// A new SYN from the same peer clears the entry. Uses lazy deletion:
+    /// the set is authoritative, the queue only orders eviction.
+    fn enter_time_wait(&mut self, key: ConnKey) {
+        if self.time_wait.insert(key) {
+            self.time_wait_order.push_back(key);
+        }
+        // Evict oldest while over cap; also bound the queue itself, which
+        // can accumulate entries already cleared from the set by new SYNs.
+        while self.time_wait.len() > TIME_WAIT_CAP
+            || self.time_wait_order.len() > 2 * TIME_WAIT_CAP
+        {
+            match self.time_wait_order.pop_front() {
+                Some(old) => {
+                    self.time_wait.remove(&old);
+                }
+                None => break,
+            }
+        }
     }
 
     /// Processes one inbound TCP packet. Returns application events, and
@@ -295,6 +360,7 @@ impl TcpHost {
         if seg.flags.rst {
             if self.conns.remove(&key).is_some() {
                 self.stats.resets += 1;
+                self.enter_time_wait(key);
                 events.push(TcpEvent::Reset(key));
             }
             return events;
@@ -313,43 +379,31 @@ impl TcpHost {
         // Plain ACK (possibly with data or FIN).
         match self.conns.get_mut(&key) {
             Some(conn) => match conn.state {
-                ConnState::Established => {
-                    if seg.flags.fin {
-                        // Peer closes: acknowledge with our own FIN+ACK and
-                        // drop state.
-                        let reply = Segment {
-                            flags: Flags::FIN_ACK,
-                            seq: conn.snd_next,
-                            ack: seg.seq.wrapping_add(1),
-                            data: Vec::new(),
-                        };
-                        out.push(Packet::tcp(key.local, key.remote, reply.encode()));
-                        self.conns.remove(&key);
-                        events.push(TcpEvent::Closed(key));
-                    } else if !seg.data.is_empty() {
-                        if seg.seq == conn.rcv_next {
-                            conn.rcv_next = conn.rcv_next.wrapping_add(seg.data.len() as u32);
-                            // Pure ACK back, as real stacks do.
-                            let ack = Segment {
-                                flags: Flags::ACK,
-                                seq: conn.snd_next,
-                                ack: conn.rcv_next,
-                                data: Vec::new(),
-                            };
-                            out.push(Packet::tcp(key.local, key.remote, ack.encode()));
-                            events.push(TcpEvent::Data(key, seg.data));
+                ConnState::Established | ConnState::FinSent => {
+                    if !conn.anchored {
+                        let pure = seg.data.is_empty() && !seg.flags.fin;
+                        if pure {
+                            // The handshake ACK: its seq is the stream
+                            // start. Anchor and drain whatever was buffered.
+                            conn.anchored = true;
+                            conn.rcv_next = seg.seq;
+                        } else if conn.ooo.len() < MAX_OOO_SEGMENTS {
+                            if conn.ooo.insert(seg.seq, seg).is_none() {
+                                self.stats.buffered_segments += 1;
+                            }
+                            return events;
                         } else {
                             self.stats.dropped_segments += 1;
+                            return events;
                         }
                     }
-                    // Pure ACKs carry no event.
-                }
-                ConnState::FinSent => {
-                    if seg.flags.fin {
+                    let closed =
+                        Self::receive_in_order(conn, &mut self.stats, key, seg, out, &mut events);
+                    if closed {
                         self.conns.remove(&key);
+                        self.enter_time_wait(key);
                         events.push(TcpEvent::Closed(key));
                     }
-                    // Pure ACK of our FIN: wait for peer FIN.
                 }
                 ConnState::SynReceived => {
                     // Final ACK of a stateful accept.
@@ -377,25 +431,34 @@ impl TcpHost {
                 }
             },
             None => {
-                // ACK completing a SYN-cookie handshake?
+                // A late duplicate from a connection that already closed:
+                // absorb it. Without this, the stateless cookie would
+                // validate again and resurrect the connection.
+                if self.time_wait.contains(&key) {
+                    self.stats.dropped_segments += 1;
+                    return events;
+                }
+                // ACK completing a SYN-cookie handshake? The first ACK may
+                // already carry data (or arrive after a reordered data
+                // segment overtook it — either one establishes).
                 if self.syn_cookies
                     && seg.flags.ack
-                    && !seg.flags.fin
-                    && seg.data.is_empty()
                     && self.listen_ports.contains(&key.local.port)
                 {
                     let expected = self.syn_cookie(&key).wrapping_add(1);
                     if seg.ack == expected {
-                        self.conns.insert(
-                            key,
-                            Conn {
-                                state: ConnState::Established,
-                                snd_next: expected,
-                                rcv_next: seg.seq,
-                            },
-                        );
+                        let mut conn = Conn::new(ConnState::Established, expected, seg.seq);
                         self.stats.accepted += 1;
                         events.push(TcpEvent::Accepted(key));
+                        if !seg.data.is_empty() || seg.flags.fin {
+                            // A reordered data/FIN segment completed the
+                            // handshake: the true stream start is unknown
+                            // until the pure ACK arrives, so buffer.
+                            conn.anchored = false;
+                            conn.ooo.insert(seg.seq, seg);
+                            self.stats.buffered_segments += 1;
+                        }
+                        self.conns.insert(key, conn);
                         return events;
                     }
                     self.stats.bad_cookies += 1;
@@ -404,6 +467,78 @@ impl TcpHost {
             }
         }
         events
+    }
+
+    /// Sequence-ordered receive for an established (or half-closed)
+    /// connection: delivers in-order data, buffers ahead-of-sequence
+    /// segments for reassembly, drops old duplicates. Returns whether the
+    /// connection finished (peer FIN consumed in order) and must be removed.
+    fn receive_in_order(
+        conn: &mut Conn,
+        stats: &mut TcpStats,
+        key: ConnKey,
+        seg: Segment,
+        out: &mut Vec<Packet>,
+        events: &mut Vec<TcpEvent>,
+    ) -> bool {
+        let offset = seg.seq.wrapping_sub(conn.rcv_next);
+        if offset != 0 {
+            if offset < REASSEMBLY_WINDOW
+                && (seg.flags.fin || !seg.data.is_empty())
+                && conn.ooo.len() < MAX_OOO_SEGMENTS
+            {
+                // Ahead of sequence: hold until the gap fills (duplicate
+                // copies just overwrite their slot).
+                if conn.ooo.insert(seg.seq, seg).is_none() {
+                    stats.buffered_segments += 1;
+                }
+            } else {
+                // Old duplicate (or hopelessly far ahead): already
+                // delivered once, or unfillable — never deliver again.
+                stats.dropped_segments += 1;
+            }
+            return false;
+        }
+
+        let mut delivered = false;
+        let mut closed = false;
+        let mut cur = Some(seg);
+        while let Some(s) = cur {
+            if !s.data.is_empty() {
+                conn.rcv_next = conn.rcv_next.wrapping_add(s.data.len() as u32);
+                delivered = true;
+                events.push(TcpEvent::Data(key, s.data));
+            }
+            if s.flags.fin {
+                conn.rcv_next = conn.rcv_next.wrapping_add(1);
+                closed = true;
+                break;
+            }
+            cur = conn.ooo.remove(&conn.rcv_next);
+        }
+        if closed {
+            if conn.state == ConnState::Established {
+                // Peer closes first: acknowledge with our own FIN+ACK.
+                let reply = Segment {
+                    flags: Flags::FIN_ACK,
+                    seq: conn.snd_next,
+                    ack: conn.rcv_next,
+                    data: Vec::new(),
+                };
+                out.push(Packet::tcp(key.local, key.remote, reply.encode()));
+            }
+            // In FinSent the peer's FIN+ACK completes the exchange silently.
+        } else if delivered {
+            // Cumulative ACK for everything now contiguous.
+            let ack = Segment {
+                flags: Flags::ACK,
+                seq: conn.snd_next,
+                ack: conn.rcv_next,
+                data: Vec::new(),
+            };
+            out.push(Packet::tcp(key.local, key.remote, ack.encode()));
+        }
+        closed
     }
 
     fn handle_syn(&mut self, key: ConnKey, seg: &Segment, out: &mut Vec<Packet>) {
@@ -418,6 +553,8 @@ impl TcpHost {
             return;
         }
         self.stats.syns_received += 1;
+        // A fresh SYN supersedes TIME_WAIT: the peer is starting over.
+        self.time_wait.remove(&key);
         let isn = if self.syn_cookies {
             // Stateless: the ISN *is* the cookie; no state created.
             self.syn_cookie(&key)
@@ -425,11 +562,11 @@ impl TcpHost {
             let isn = self.next_isn();
             self.conns.insert(
                 key,
-                Conn {
-                    state: ConnState::SynReceived,
-                    snd_next: isn.wrapping_add(1),
-                    rcv_next: seg.seq.wrapping_add(1),
-                },
+                Conn::new(
+                    ConnState::SynReceived,
+                    isn.wrapping_add(1),
+                    seg.seq.wrapping_add(1),
+                ),
             );
             isn
         };

@@ -7,6 +7,14 @@ use crate::time::SimTime;
 /// Tokens accrue continuously at `rate` per second up to `burst`; each
 /// admitted event consumes one token.
 ///
+/// Degenerate parameters have explicit meanings rather than being rejected
+/// (rate limits often arrive from config arithmetic, where `0`, `NaN` and
+/// `∞` are all reachable):
+///
+/// * an **infinite** rate or burst admits everything ("unlimited");
+/// * otherwise a rate or burst that is zero, negative or `NaN` admits
+///   nothing ("deny all").
+///
 /// # Examples
 ///
 /// ```
@@ -29,21 +37,19 @@ pub struct TokenBucket {
 }
 
 impl TokenBucket {
-    /// Creates a full bucket.
-    ///
-    /// # Panics
-    ///
-    /// Panics when `rate_per_sec` or `burst` is not positive and finite.
+    /// Creates a full bucket. Degenerate `rate_per_sec`/`burst` values make
+    /// the bucket unlimited or deny-all (see the type-level docs); no
+    /// parameter combination panics.
     pub fn new(rate_per_sec: f64, burst: f64) -> Self {
-        assert!(
-            rate_per_sec.is_finite() && rate_per_sec > 0.0,
-            "rate must be positive"
-        );
-        assert!(burst.is_finite() && burst > 0.0, "burst must be positive");
+        let tokens = if burst.is_finite() && burst > 0.0 {
+            burst
+        } else {
+            0.0
+        };
         TokenBucket {
             rate_per_sec,
             burst,
-            tokens: burst,
+            tokens,
             last: SimTime::ZERO,
         }
     }
@@ -53,9 +59,26 @@ impl TokenBucket {
         self.rate_per_sec
     }
 
+    /// Whether the bucket admits everything (infinite rate or burst).
+    pub fn is_unlimited(&self) -> bool {
+        self.rate_per_sec == f64::INFINITY || self.burst == f64::INFINITY
+    }
+
+    /// Whether the bucket admits nothing (zero, negative or `NaN` rate or
+    /// burst, and not unlimited).
+    pub fn is_deny_all(&self) -> bool {
+        !(self.is_unlimited() || (self.rate_per_sec > 0.0 && self.burst > 0.0))
+    }
+
     /// Attempts to take one token at time `now`. Returns whether the event
     /// is admitted.
     pub fn try_take(&mut self, now: SimTime) -> bool {
+        if self.is_unlimited() {
+            return true;
+        }
+        if self.is_deny_all() {
+            return false;
+        }
         self.refill(now);
         if self.tokens >= 1.0 {
             self.tokens -= 1.0;
@@ -65,8 +88,15 @@ impl TokenBucket {
         }
     }
 
-    /// Current token count (after refilling to `now`).
+    /// Current token count (after refilling to `now`). Unlimited buckets
+    /// report `∞`; deny-all buckets report `0`.
     pub fn available(&mut self, now: SimTime) -> f64 {
+        if self.is_unlimited() {
+            return f64::INFINITY;
+        }
+        if self.is_deny_all() {
+            return 0.0;
+        }
         self.refill(now);
         self.tokens
     }
@@ -123,8 +153,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_rate_rejected() {
-        TokenBucket::new(0.0, 1.0);
+    fn zero_rate_denies_all() {
+        let mut tb = TokenBucket::new(0.0, 1.0);
+        assert!(tb.is_deny_all());
+        for s in 0..100 {
+            assert!(!tb.try_take(SimTime::from_secs(s)));
+        }
+        assert_eq!(tb.available(SimTime::from_secs(1_000)), 0.0);
+    }
+
+    #[test]
+    fn nan_and_negative_rates_deny_all() {
+        for rate in [f64::NAN, -1.0, f64::NEG_INFINITY] {
+            let mut tb = TokenBucket::new(rate, 5.0);
+            assert!(tb.is_deny_all(), "rate {rate} must deny");
+            assert!(!tb.try_take(SimTime::from_secs(10)));
+        }
+        let mut tb = TokenBucket::new(10.0, f64::NAN);
+        assert!(tb.is_deny_all(), "NaN burst must deny");
+        assert!(!tb.try_take(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn zero_burst_denies_all() {
+        let mut tb = TokenBucket::new(1_000.0, 0.0);
+        assert!(tb.is_deny_all());
+        assert!(!tb.try_take(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn infinite_rate_is_unlimited() {
+        let mut tb = TokenBucket::new(f64::INFINITY, 1.0);
+        assert!(tb.is_unlimited());
+        let t0 = SimTime::ZERO;
+        for _ in 0..10_000 {
+            assert!(tb.try_take(t0));
+        }
+        assert_eq!(tb.available(t0), f64::INFINITY);
+    }
+
+    #[test]
+    fn infinite_burst_is_unlimited() {
+        let mut tb = TokenBucket::new(1.0, f64::INFINITY);
+        assert!(tb.is_unlimited());
+        let t0 = SimTime::ZERO;
+        for _ in 0..10_000 {
+            assert!(tb.try_take(t0));
+        }
     }
 }

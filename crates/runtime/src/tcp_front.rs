@@ -82,10 +82,12 @@ impl TcpFront {
                     let Ok((len, _)) = upstream.recv_from(&mut buf) else {
                         break;
                     };
+                    // Count before replying: anyone who has seen the
+                    // response must also see the counter.
+                    t_relayed.fetch_add(1, Ordering::Release);
                     if write_frame(&mut stream, &buf[..len]).is_err() {
                         break;
                     }
-                    t_relayed.fetch_add(1, Ordering::Relaxed);
                 }
             }
         });
@@ -105,7 +107,7 @@ impl TcpFront {
 
     /// Queries relayed so far.
     pub fn relayed(&self) -> u64 {
-        self.relayed.load(Ordering::Relaxed)
+        self.relayed.load(Ordering::Acquire)
     }
 
     /// Stops the proxy thread.

@@ -1,0 +1,320 @@
+//! Chaos suite: every cookie scheme against every network fault the engine
+//! can inject — duplication, reordering, corruption, partitions and ANS
+//! crash/restart — asserting the recovery invariants:
+//!
+//! * **convergence** — legitimate clients keep completing requests once the
+//!   fault clears (and usually during it);
+//! * **no false positives** — byte-preserving faults (duplication,
+//!   reordering, partitions, crashes) never make a protocol-following
+//!   client look spoofed;
+//! * **bounded amplification** — Rate-Limiter1 caps cookie responses even
+//!   when the network duplicates every spoofed query;
+//! * **resource reclamation** — the TCP proxy reaps connections whose FINs
+//!   were lost, and the guard's tables stay within their byte bounds.
+
+mod common;
+
+use common::{World, WorldBuilder};
+use dnsguard::config::SchemeMode;
+use netsim::engine::FaultPlan;
+use netsim::time::SimTime;
+use server::simclient::CookieMode;
+
+/// The four schemes of the paper, as (seed, referral-zone?, guard mode,
+/// client capability, label).
+const SCHEMES: [(u64, bool, SchemeMode, CookieMode, &str); 4] = [
+    (21, true, SchemeMode::DnsBased, CookieMode::Plain, "ns-name"),
+    (22, false, SchemeMode::DnsBased, CookieMode::Plain, "fabricated"),
+    (23, false, SchemeMode::TcpBased, CookieMode::Plain, "tcp"),
+    (24, false, SchemeMode::ModifiedOnly, CookieMode::Extension, "modified"),
+];
+
+fn scheme_world(seed: u64, referral: bool, mode: SchemeMode, lrs_mode: CookieMode) -> World {
+    WorldBuilder::new(seed)
+        .referral(referral)
+        .mode(mode)
+        .lrs_mode(lrs_mode)
+        .wait(SimTime::from_millis(5))
+        .build()
+}
+
+#[test]
+fn schemes_converge_under_duplication() {
+    for (seed, referral, mode, lrs_mode, label) in SCHEMES {
+        let mut w = scheme_world(seed, referral, mode, lrs_mode);
+        w.sim
+            .fault_link_both(w.lrs, w.guard, FaultPlan::new().duplicate(0.3));
+        w.sim.run_until(SimTime::from_secs(1));
+        assert!(w.sim.fault_stats().duplicated > 0, "{label}: fault engaged");
+        assert!(
+            w.completed() > 100,
+            "{label}: completed {} under 30% duplication",
+            w.completed()
+        );
+        assert_eq!(
+            w.guard_stats().spoofed_dropped(),
+            0,
+            "{label}: duplicates of honest traffic must not look spoofed"
+        );
+    }
+}
+
+#[test]
+fn schemes_converge_under_reordering() {
+    for (seed, referral, mode, lrs_mode, label) in SCHEMES {
+        let mut w = scheme_world(seed, referral, mode, lrs_mode);
+        w.sim.fault_link_both(
+            w.lrs,
+            w.guard,
+            FaultPlan::new().reorder(0.5, SimTime::from_micros(400)),
+        );
+        w.sim.run_until(SimTime::from_secs(1));
+        assert!(w.sim.fault_stats().reordered > 0, "{label}: fault engaged");
+        assert!(
+            w.completed() > 100,
+            "{label}: completed {} under heavy reordering",
+            w.completed()
+        );
+        assert_eq!(
+            w.guard_stats().spoofed_dropped(),
+            0,
+            "{label}: reordered honest traffic must not look spoofed"
+        );
+    }
+}
+
+#[test]
+fn schemes_converge_under_corruption() {
+    for (seed, referral, mode, lrs_mode, label) in SCHEMES {
+        let mut w = scheme_world(seed, referral, mode, lrs_mode);
+        w.sim
+            .fault_link_both(w.lrs, w.guard, FaultPlan::new().corrupt(0.2));
+        w.sim.run_until(SimTime::from_secs(1));
+        // Corrupted bytes may legitimately fail cookie checks, so no
+        // false-positive assertion here — the invariants are "no panic
+        // anywhere" (implicit) and continued progress via retries.
+        assert!(w.sim.fault_stats().corrupted > 0, "{label}: fault engaged");
+        assert!(
+            w.completed() > 50,
+            "{label}: completed {} under 20% corruption",
+            w.completed()
+        );
+    }
+}
+
+#[test]
+fn schemes_converge_across_partition() {
+    for (seed, referral, mode, lrs_mode, label) in SCHEMES {
+        let mut w = scheme_world(seed, referral, mode, lrs_mode);
+        w.sim.partition(
+            w.lrs,
+            w.guard,
+            SimTime::from_millis(200),
+            SimTime::from_millis(400),
+        );
+        w.sim.run_until(SimTime::from_millis(400));
+        let at_heal = w.completed();
+        assert!(w.timeouts() > 0, "{label}: the partition was felt");
+        w.sim.run_until(SimTime::from_secs(1));
+        assert!(
+            w.sim.fault_stats().partition_dropped > 0,
+            "{label}: fault engaged"
+        );
+        assert!(
+            w.completed() > at_heal + 100,
+            "{label}: service resumed after the partition healed ({} → {})",
+            at_heal,
+            w.completed()
+        );
+        assert_eq!(
+            w.guard_stats().spoofed_dropped(),
+            0,
+            "{label}: post-partition retries must not look spoofed"
+        );
+    }
+}
+
+#[test]
+fn schemes_survive_ans_crash_and_restart() {
+    for (seed, referral, mode, lrs_mode, label) in SCHEMES {
+        let mut w = WorldBuilder::new(seed)
+            .referral(referral)
+            .mode(mode)
+            .lrs_mode(lrs_mode)
+            .wait(SimTime::from_millis(5))
+            .tweak(|c| {
+                // Tighten the health monitor so a 300 ms outage is detected
+                // and recovery-probed within the run.
+                c.ans_timeout = SimTime::from_millis(50);
+                c.ans_failure_threshold = 2;
+                c.ans_probe_interval = SimTime::from_millis(100);
+            })
+            .build();
+        w.sim.run_until(SimTime::from_millis(200));
+        let before_crash = w.completed();
+        assert!(before_crash > 0, "{label}: warm-up completed requests");
+
+        w.sim.crash(w.ans);
+        w.sim.run_until(SimTime::from_millis(500));
+        let during = w.guard_stats();
+        assert!(
+            during.ans_timeouts > 0,
+            "{label}: forwarded requests timed out during the outage"
+        );
+        assert!(
+            during.ans_down_events >= 1,
+            "{label}: health monitor declared the ANS down"
+        );
+        assert!(during.ans_probes >= 1, "{label}: probes sent while down");
+
+        w.sim.restart(w.ans);
+        w.sim.run_until(SimTime::from_millis(1_200));
+        let after = w.guard_stats();
+        assert!(
+            after.ans_recoveries >= 1,
+            "{label}: health monitor saw the ANS come back"
+        );
+        let at_restart = before_crash;
+        assert!(
+            w.completed() > at_restart + 50,
+            "{label}: completions resumed after restart ({} → {})",
+            at_restart,
+            w.completed()
+        );
+        assert_eq!(
+            w.guard_stats().spoofed_dropped(),
+            0,
+            "{label}: an ANS outage must not make clients look spoofed"
+        );
+    }
+}
+
+/// Rate-Limiter1 bounds the guard's cookie-response output even when the
+/// network duplicates every inbound spoofed query: the guard cannot be
+/// turned into an amplifier by duplication.
+#[test]
+fn amplification_bounded_under_duplicated_spoofed_flood() {
+    use dnsguard::classify::AuthorityClassifier;
+    use dnsguard::guard::RemoteGuard;
+    use dnswire::message::Message;
+    use dnswire::types::RrType;
+    use netsim::engine::{Context, CpuConfig, Node, Simulator};
+    use netsim::packet::{Endpoint, Packet, DNS_PORT};
+    use server::authoritative::Authority;
+    use server::nodes::AuthNode;
+    use server::zone::paper_hierarchy;
+    use std::net::Ipv4Addr;
+
+    /// Sends spoofed plain queries (rotating source addresses) in timed
+    /// bursts — each one solicits a cookie response from the guard.
+    struct Flood {
+        target: Endpoint,
+        sent: u32,
+    }
+    impl Node for Flood {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimTime::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+            for _ in 0..10 {
+                let src = Ipv4Addr::from(0x0a00_0000 + self.sent);
+                let q = Message::iterative_query(
+                    (self.sent % u32::from(u16::MAX)) as u16,
+                    "www.foo.com".parse().unwrap(),
+                    RrType::A,
+                );
+                ctx.send(Packet::udp(
+                    Endpoint::new(src, 1234),
+                    self.target,
+                    q.encode(),
+                ));
+                self.sent += 1;
+            }
+            if self.sent < 4_000 {
+                ctx.set_timer(SimTime::from_micros(50), 0);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+    }
+
+    let (root, _, _) = paper_hierarchy();
+    let authority = Authority::new(vec![root]);
+    let mut sim = Simulator::new(31);
+    let mut config = common::open_config(SchemeMode::DnsBased);
+    config.rl1_global_rate = 1_000.0; // the reflection bound under test
+    config.rl1_per_source_rate = 1_000.0;
+    let guard = sim.add_node(
+        common::PUB,
+        CpuConfig::unbounded(),
+        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+    );
+    sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
+    sim.add_node(
+        common::PRIV,
+        CpuConfig::unbounded(),
+        AuthNode::new(common::PRIV, authority),
+    );
+    let attacker = sim.add_node(
+        Ipv4Addr::new(66, 6, 6, 6),
+        CpuConfig::unbounded(),
+        Flood {
+            target: Endpoint::new(common::PUB, DNS_PORT),
+            sent: 0,
+        },
+    );
+    // The network duplicates every attacker packet: 8 000 queries arrive.
+    sim.fault_link(attacker, guard, FaultPlan::new().duplicate(1.0));
+    sim.run_until(SimTime::from_millis(200));
+
+    assert!(sim.fault_stats().duplicated >= 4_000, "every query duplicated");
+    let delivered = sim.cpu_stats(guard).delivered;
+    assert!(delivered >= 7_000, "flood actually arrived: {delivered}");
+    let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+    let responses = g.stats.fabricated_ns_sent + g.stats.grants_sent + g.stats.tc_sent;
+    // 200 ms at 1 000/s plus the burst allowance (rate/10 = 100).
+    assert!(
+        responses <= 350,
+        "cookie responses bounded by RL1 despite duplication: {responses}"
+    );
+    assert!(
+        g.stats.rl1_dropped > 5_000,
+        "the overflow was rate-limited, not answered: {}",
+        g.stats.rl1_dropped
+    );
+}
+
+/// When the network eats FIN segments, proxied TCP connections are orphaned
+/// — the proxy's lifetime reaper must reclaim them instead of leaking.
+#[test]
+fn tcp_proxy_reaps_connections_when_fins_are_lost() {
+    use dnsguard::guard::RemoteGuard;
+
+    let mut w = WorldBuilder::new(41)
+        .referral(false)
+        .mode(SchemeMode::TcpBased)
+        .wait(SimTime::from_millis(5))
+        .build();
+    // Lossy client↔guard path: some of every segment type, FINs included,
+    // disappears mid-connection.
+    w.sim
+        .fault_link_both(w.lrs, w.guard, FaultPlan::new().loss(0.25));
+    w.sim.run_until(SimTime::from_secs(1));
+
+    assert!(w.sim.fault_stats().injected_loss > 0, "loss engaged");
+    assert!(
+        w.completed() > 20,
+        "client still completes through retries: {}",
+        w.completed()
+    );
+    let g = w.sim.node_ref::<RemoteGuard>(w.guard).unwrap();
+    let proxy = g.proxy_stats();
+    assert!(
+        proxy.reaped > 0,
+        "orphaned connections were reaped: {proxy:?}"
+    );
+    assert!(
+        g.proxy_connections() <= 64,
+        "no connection leak at end of run: {} live",
+        g.proxy_connections()
+    );
+}

@@ -1,0 +1,172 @@
+//! Shared world-building helpers for the integration suites.
+//!
+//! Every end-to-end test assembles the same core topology — a guard at the
+//! ANS's advertised address, the real ANS behind it, and one (or more)
+//! local recursive servers talking through the guard — varying only the
+//! scheme, the zone shape (referral vs. leaf), the client's cookie support
+//! and the link conditions. [`WorldBuilder`] captures that once.
+
+#![allow(dead_code)] // each test binary uses a different subset
+
+use dnsguard::classify::AuthorityClassifier;
+use dnsguard::config::{GuardConfig, SchemeMode};
+use dnsguard::guard::RemoteGuard;
+use netsim::engine::{CpuConfig, LinkParams, Simulator};
+use netsim::time::SimTime;
+use netsim::NodeId;
+use server::authoritative::Authority;
+use server::nodes::AuthNode;
+use server::simclient::{CookieMode, LrsSimConfig, LrsSimulator};
+use server::zone::paper_hierarchy;
+use std::net::Ipv4Addr;
+
+/// The guard's public (advertised ANS) address.
+pub const PUB: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+/// The real ANS address behind the guard.
+pub const PRIV: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
+/// Default LRS address.
+pub const LRS_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 7);
+
+/// A built test world: simulator plus the node ids the assertions need.
+pub struct World {
+    pub sim: Simulator,
+    pub guard: NodeId,
+    pub ans: NodeId,
+    pub lrs: NodeId,
+}
+
+/// A [`GuardConfig`] for the standard PUB→PRIV deployment with all rate
+/// limiters opened wide (packet-economics and recovery tests measure the
+/// schemes, not the limiters).
+pub fn open_config(mode: SchemeMode) -> GuardConfig {
+    let mut config = GuardConfig::new(PUB, PRIV).with_mode(mode);
+    config.rl1_global_rate = 1e12;
+    config.rl1_per_source_rate = 1e12;
+    config.rl2_per_source_rate = 1e12;
+    config.tcp_conn_rate = 1e12;
+    config
+}
+
+/// A deferred last-minute [`GuardConfig`] adjustment.
+type ConfigTweak = Box<dyn FnOnce(&mut GuardConfig)>;
+
+/// Builds the standard guard-in-front-of-ANS world.
+pub struct WorldBuilder {
+    seed: u64,
+    referral: bool,
+    mode: SchemeMode,
+    lrs_mode: CookieMode,
+    cache: bool,
+    wait: Option<SimTime>,
+    lrs_link: Option<LinkParams>,
+    tweak: Option<ConfigTweak>,
+}
+
+impl WorldBuilder {
+    /// A referral-zone, DNS-based, plain-client world.
+    pub fn new(seed: u64) -> Self {
+        WorldBuilder {
+            seed,
+            referral: true,
+            mode: SchemeMode::DnsBased,
+            lrs_mode: CookieMode::Plain,
+            cache: true,
+            wait: None,
+            lrs_link: None,
+            tweak: None,
+        }
+    }
+
+    /// Serve the root (referral answers) or the leaf zone (non-referral).
+    pub fn referral(mut self, referral: bool) -> Self {
+        self.referral = referral;
+        self
+    }
+
+    /// Guard scheme for cookie-less requesters.
+    pub fn mode(mut self, mode: SchemeMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Client cookie capability.
+    pub fn lrs_mode(mut self, lrs_mode: CookieMode) -> Self {
+        self.lrs_mode = lrs_mode;
+        self
+    }
+
+    /// Whether the client caches cookies between requests.
+    pub fn cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Client retry-timeout override.
+    pub fn wait(mut self, wait: SimTime) -> Self {
+        self.wait = Some(wait);
+        self
+    }
+
+    /// Installs an explicit LRS↔guard link (delay and/or loss).
+    pub fn lrs_link(mut self, link: LinkParams) -> Self {
+        self.lrs_link = Some(link);
+        self
+    }
+
+    /// Arbitrary last-minute config adjustment.
+    pub fn tweak(mut self, f: impl FnOnce(&mut GuardConfig) + 'static) -> Self {
+        self.tweak = Some(Box::new(f));
+        self
+    }
+
+    pub fn build(self) -> World {
+        let (root, _, foo_com) = paper_hierarchy();
+        let zone = if self.referral { root } else { foo_com };
+        let authority = Authority::new(vec![zone]);
+        let mut sim = Simulator::new(self.seed);
+        let mut config = open_config(self.mode);
+        if let Some(f) = self.tweak {
+            f(&mut config);
+        }
+        let guard = sim.add_node(
+            PUB,
+            CpuConfig::unbounded(),
+            RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
+        );
+        sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
+        let ans = sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
+        let mut lrs_config = LrsSimConfig::new(LRS_IP, PUB, "www.foo.com".parse().unwrap());
+        lrs_config.mode = self.lrs_mode;
+        lrs_config.cookie_cache = self.cache;
+        if let Some(wait) = self.wait {
+            lrs_config.wait = wait;
+        }
+        let lrs = sim.add_node(LRS_IP, CpuConfig::unbounded(), LrsSimulator::new(lrs_config));
+        if let Some(link) = self.lrs_link {
+            sim.connect(lrs, guard, link);
+        }
+        World { sim, guard, ans, lrs }
+    }
+}
+
+impl World {
+    /// Completed requests at the LRS so far.
+    pub fn completed(&self) -> u64 {
+        self.sim.node_ref::<LrsSimulator>(self.lrs).unwrap().stats.completed
+    }
+
+    /// Client-observed timeouts so far.
+    pub fn timeouts(&self) -> u64 {
+        self.sim.node_ref::<LrsSimulator>(self.lrs).unwrap().stats.timeouts
+    }
+
+    /// The guard's stats snapshot.
+    pub fn guard_stats(&self) -> dnsguard::guard::GuardStats {
+        self.sim.node_ref::<RemoteGuard>(self.guard).unwrap().stats
+    }
+
+    /// Queries the real ANS has served so far.
+    pub fn ans_queries(&self) -> u64 {
+        self.sim.node_ref::<AuthNode>(self.ans).unwrap().total_queries()
+    }
+}

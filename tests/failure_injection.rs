@@ -2,6 +2,9 @@
 //! exchanges span multiple round trips, so every scheme must survive losing
 //! any message of the handshake and recover through its retry timers.
 
+mod common;
+
+use common::{World, WorldBuilder, PRIV, PUB};
 use dnsguard::classify::AuthorityClassifier;
 use dnsguard::config::{GuardConfig, SchemeMode};
 use dnsguard::guard::RemoteGuard;
@@ -9,52 +12,21 @@ use netsim::engine::{CpuConfig, LinkParams, Simulator};
 use netsim::time::SimTime;
 use server::authoritative::Authority;
 use server::nodes::AuthNode;
-use server::simclient::{CookieMode, LrsSimConfig, LrsSimulator};
+use server::simclient::CookieMode;
 use server::zone::paper_hierarchy;
 use std::net::Ipv4Addr;
 
-const PUB: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
-const PRIV: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
-
-fn lossy_world(
-    seed: u64,
-    referral: bool,
-    mode: SchemeMode,
-    lrs_mode: CookieMode,
-    loss: f64,
-) -> (Simulator, netsim::NodeId, netsim::NodeId) {
-    let (root, _, foo_com) = paper_hierarchy();
-    let zone = if referral { root } else { foo_com };
-    let authority = Authority::new(vec![zone]);
-    let mut sim = Simulator::new(seed);
-    let mut config = GuardConfig::new(PUB, PRIV).with_mode(mode);
-    config.rl1_global_rate = 1e12;
-    config.rl1_per_source_rate = 1e12;
-    config.rl2_per_source_rate = 1e12;
-    config.tcp_conn_rate = 1e12;
-    let guard = sim.add_node(
-        PUB,
-        CpuConfig::unbounded(),
-        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
-    );
-    sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
-    sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
-
-    let lrs_ip = Ipv4Addr::new(10, 0, 0, 8);
-    let mut lrs_config = LrsSimConfig::new(lrs_ip, PUB, "www.foo.com".parse().unwrap());
-    lrs_config.mode = lrs_mode;
-    lrs_config.wait = SimTime::from_millis(5);
-    let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(lrs_config));
-    // Losses on the requester↔guard path, both directions.
-    sim.connect(
-        lrs,
-        guard,
-        LinkParams {
+fn lossy_world(seed: u64, referral: bool, mode: SchemeMode, lrs_mode: CookieMode, loss: f64) -> World {
+    WorldBuilder::new(seed)
+        .referral(referral)
+        .mode(mode)
+        .lrs_mode(lrs_mode)
+        .wait(SimTime::from_millis(5))
+        .lrs_link(LinkParams {
             delay: SimTime::from_micros(200),
             loss,
-        },
-    );
-    (sim, guard, lrs)
+        })
+        .build()
 }
 
 #[test]
@@ -64,18 +36,16 @@ fn schemes_recover_from_10_percent_loss() {
         (2, false, SchemeMode::DnsBased, CookieMode::Plain),
         (3, false, SchemeMode::ModifiedOnly, CookieMode::Extension),
     ] {
-        let (mut sim, guard, lrs) = lossy_world(seed, referral, mode, lrs_mode, 0.10);
-        sim.run_until(SimTime::from_secs(1));
-        let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
+        let mut w = lossy_world(seed, referral, mode, lrs_mode, 0.10);
+        w.sim.run_until(SimTime::from_secs(1));
         assert!(
-            stats.completed > 200,
+            w.completed() > 200,
             "mode {mode:?}: completed {} under 10% loss",
-            stats.completed
+            w.completed()
         );
-        assert!(stats.timeouts > 0, "mode {mode:?}: loss actually bit");
-        let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+        assert!(w.timeouts() > 0, "mode {mode:?}: loss actually bit");
         assert_eq!(
-            g.stats.spoofed_dropped(),
+            w.guard_stats().spoofed_dropped(),
             0,
             "mode {mode:?}: retries must never look like spoofs"
         );
@@ -84,15 +54,14 @@ fn schemes_recover_from_10_percent_loss() {
 
 #[test]
 fn heavy_loss_degrades_but_does_not_wedge() {
-    let (mut sim, _guard, lrs) = lossy_world(4, true, SchemeMode::DnsBased, CookieMode::Plain, 0.40);
-    sim.run_until(SimTime::from_secs(1));
-    let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
+    let mut w = lossy_world(4, true, SchemeMode::DnsBased, CookieMode::Plain, 0.40);
+    w.sim.run_until(SimTime::from_secs(1));
     assert!(
-        stats.completed > 20,
+        w.completed() > 20,
         "still making progress at 40% loss: {}",
-        stats.completed
+        w.completed()
     );
-    assert!(stats.timeouts > 50, "timeouts observed: {}", stats.timeouts);
+    assert!(w.timeouts() > 50, "timeouts observed: {}", w.timeouts());
 }
 
 #[test]

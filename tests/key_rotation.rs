@@ -3,113 +3,65 @@
 //! generation-bit grace window), and clients whose cookies expire recover
 //! by re-running the exchange.
 
-use dnsguard::classify::AuthorityClassifier;
-use dnsguard::config::{GuardConfig, SchemeMode};
-use dnsguard::guard::RemoteGuard;
-use netsim::engine::{CpuConfig, Simulator};
-use netsim::time::SimTime;
-use server::authoritative::Authority;
-use server::nodes::AuthNode;
-use server::simclient::{CookieMode, LrsSimConfig, LrsSimulator};
-use server::zone::paper_hierarchy;
-use std::net::Ipv4Addr;
+mod common;
 
-const PUB: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
-const PRIV: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
+use common::WorldBuilder;
+use dnsguard::guard::RemoteGuard;
+use netsim::time::SimTime;
 
 #[test]
 fn service_continues_across_scheduled_rotations() {
-    let (root, _, _) = paper_hierarchy();
-    let authority = Authority::new(vec![root]);
-    let mut sim = Simulator::new(77);
-    let mut config = GuardConfig::new(PUB, PRIV).with_mode(SchemeMode::DnsBased);
     // Rotate every 300 ms of simulated time — several rotations in the run.
-    config.key_rotation_interval = Some(SimTime::from_millis(300));
-    config.rl1_global_rate = 1e12;
-    config.rl1_per_source_rate = 1e12;
-    config.rl2_per_source_rate = 1e12;
-    let guard = sim.add_node(
-        PUB,
-        CpuConfig::unbounded(),
-        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
-    );
-    sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
-    sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
-
-    let lrs_ip = Ipv4Addr::new(10, 0, 0, 9);
-    let mut lrs_config = LrsSimConfig::new(lrs_ip, PUB, "www.foo.com".parse().unwrap());
-    lrs_config.mode = CookieMode::Plain;
-    lrs_config.cookie_cache = true;
-    let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(lrs_config));
+    let mut w = WorldBuilder::new(77)
+        .tweak(|c| c.key_rotation_interval = Some(SimTime::from_millis(300)))
+        .build();
 
     // Run through ~6 rotation periods.
-    sim.run_until(SimTime::from_secs(2));
+    w.sim.run_until(SimTime::from_secs(2));
 
-    let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+    let g = w.sim.node_ref::<RemoteGuard>(w.guard).unwrap();
     assert!(
         g.cookie_factory().generation() >= 5,
         "several rotations happened: generation {}",
         g.cookie_factory().generation()
     );
-    let l = sim.node_ref::<LrsSimulator>(lrs).unwrap();
     // The client keeps completing; thanks to the one-generation grace
     // window, most rotations are invisible. The client may hit a brief
     // outage (cookie straddling two rotations) but recovers by refreshing.
     assert!(
-        l.stats.completed > 2_000,
+        w.completed() > 2_000,
         "sustained service across rotations: {} completed",
-        l.stats.completed
+        w.completed()
     );
     // Check the last 500 ms specifically: still alive at the end.
-    let before = l.stats.completed;
-    sim.run_for(SimTime::from_millis(500));
-    let after = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed;
+    let before = w.completed();
+    w.sim.run_for(SimTime::from_millis(500));
+    let after = w.completed();
     assert!(after > before + 200, "still completing at the end: {}", after - before);
 }
 
 #[test]
 fn stale_cookie_rejected_then_client_recovers() {
-    let (root, _, _) = paper_hierarchy();
-    let authority = Authority::new(vec![root]);
-    let mut sim = Simulator::new(78);
-    let mut config = GuardConfig::new(PUB, PRIV).with_mode(SchemeMode::DnsBased);
-    config.rl1_global_rate = 1e12;
-    config.rl1_per_source_rate = 1e12;
-    config.rl2_per_source_rate = 1e12;
-    let guard = sim.add_node(
-        PUB,
-        CpuConfig::unbounded(),
-        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
-    );
-    sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
-    sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
-    let lrs_ip = Ipv4Addr::new(10, 0, 0, 10);
-    let lrs = sim.add_node(
-        lrs_ip,
-        CpuConfig::unbounded(),
-        LrsSimulator::new(LrsSimConfig::new(lrs_ip, PUB, "www.foo.com".parse().unwrap())),
-    );
-    sim.run_until(SimTime::from_millis(100));
-    let completed_before = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed;
+    let mut w = WorldBuilder::new(78).build();
+    w.sim.run_until(SimTime::from_millis(100));
+    let completed_before = w.completed();
     assert!(completed_before > 0);
 
     // Two manual rotations: every cookie issued so far is now invalid.
     for _ in 0..2 {
-        sim.node_mut::<RemoteGuard>(guard).unwrap().rotate_key();
+        w.sim.node_mut::<RemoteGuard>(w.guard).unwrap().rotate_key();
     }
-    sim.run_until(SimTime::from_millis(400));
+    w.sim.run_until(SimTime::from_millis(400));
 
-    let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
     assert!(
-        g.stats.ns_cookie_invalid > 0,
+        w.guard_stats().ns_cookie_invalid > 0,
         "the stale cached cookie was rejected at least once"
     );
-    let l = sim.node_ref::<LrsSimulator>(lrs).unwrap();
-    assert!(l.stats.timeouts >= 2, "client noticed the outage");
+    assert!(w.timeouts() >= 2, "client noticed the outage");
     assert!(
-        l.stats.completed > completed_before + 100,
+        w.completed() > completed_before + 100,
         "client re-ran the exchange and resumed: {} → {}",
         completed_before,
-        l.stats.completed
+        w.completed()
     );
 }

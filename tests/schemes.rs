@@ -1,51 +1,22 @@
 //! Integration tests for the packet economics of each scheme: the packet
 //! and cookie counts that Table I/III are built on, measured end to end.
 
-use dnsguard::classify::AuthorityClassifier;
-use dnsguard::config::{GuardConfig, SchemeMode};
+mod common;
+
+use common::{World, WorldBuilder};
+use dnsguard::config::SchemeMode;
 use dnsguard::guard::RemoteGuard;
-use netsim::engine::{CpuConfig, Simulator};
 use netsim::time::SimTime;
-use server::authoritative::Authority;
-use server::nodes::AuthNode;
-use server::simclient::{CookieMode, LrsSimConfig, LrsSimulator};
-use server::zone::paper_hierarchy;
-use std::net::Ipv4Addr;
-
-const PUB: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
-const PRIV: Ipv4Addr = Ipv4Addr::new(10, 99, 0, 1);
-
-struct World {
-    sim: Simulator,
-    guard: netsim::NodeId,
-    ans: netsim::NodeId,
-    lrs: netsim::NodeId,
-}
+use server::simclient::CookieMode;
 
 fn world(seed: u64, referral: bool, mode: SchemeMode, lrs_mode: CookieMode, cache: bool) -> World {
-    let (root, _, foo_com) = paper_hierarchy();
-    let zone = if referral { root } else { foo_com };
-    let authority = Authority::new(vec![zone]);
-    let mut sim = Simulator::new(seed);
-    let mut config = GuardConfig::new(PUB, PRIV).with_mode(mode);
-    config.rl1_global_rate = 1e12;
-    config.rl1_per_source_rate = 1e12;
-    config.rl2_per_source_rate = 1e12;
-    config.tcp_conn_rate = 1e12;
-    config.tcp_conn_lifetime = SimTime::from_secs(10);
-    let guard = sim.add_node(
-        PUB,
-        CpuConfig::unbounded(),
-        RemoteGuard::new(config, AuthorityClassifier::new(authority.clone())),
-    );
-    sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
-    let ans = sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
-    let lrs_ip = Ipv4Addr::new(10, 0, 0, 7);
-    let mut lrs_config = LrsSimConfig::new(lrs_ip, PUB, "www.foo.com".parse().unwrap());
-    lrs_config.mode = lrs_mode;
-    lrs_config.cookie_cache = cache;
-    let lrs = sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(lrs_config));
-    World { sim, guard, ans, lrs }
+    WorldBuilder::new(seed)
+        .referral(referral)
+        .mode(mode)
+        .lrs_mode(lrs_mode)
+        .cache(cache)
+        .tweak(|c| c.tcp_conn_lifetime = SimTime::from_secs(10))
+        .build()
 }
 
 /// Counts the delivered packets at the guard per completed request over a
@@ -54,14 +25,12 @@ fn packets_per_request(w: &mut World, window: SimTime) -> (f64, f64) {
     // Warm-up (first exchange + caches).
     w.sim.run_until(SimTime::from_millis(20));
     let pkts_before = w.sim.cpu_stats(w.guard).delivered;
-    let completed_before = w.sim.node_ref::<LrsSimulator>(w.lrs).unwrap().stats.completed;
-    let ans_before = w.sim.node_ref::<AuthNode>(w.ans).unwrap().total_queries();
+    let completed_before = w.completed();
+    let ans_before = w.ans_queries();
     w.sim.run_for(window);
     let pkts = (w.sim.cpu_stats(w.guard).delivered - pkts_before) as f64;
-    let completed =
-        (w.sim.node_ref::<LrsSimulator>(w.lrs).unwrap().stats.completed - completed_before) as f64;
-    let ans_queries =
-        (w.sim.node_ref::<AuthNode>(w.ans).unwrap().total_queries() - ans_before) as f64;
+    let completed = (w.completed() - completed_before) as f64;
+    let ans_queries = (w.ans_queries() - ans_before) as f64;
     assert!(completed > 10.0, "completed only {completed}");
     (pkts / completed, ans_queries / completed)
 }
@@ -145,7 +114,7 @@ fn every_scheme_works_after_key_rotation_with_regrant() {
     ] {
         let mut w = world(seed, referral, mode, lrs_mode, true);
         w.sim.run_until(SimTime::from_millis(50));
-        let before = w.sim.node_ref::<LrsSimulator>(w.lrs).unwrap().stats.completed;
+        let before = w.completed();
         assert!(before > 0);
         // Two rotations: cached cookies are now invalid.
         let guard = w.guard;
@@ -155,17 +124,13 @@ fn every_scheme_works_after_key_rotation_with_regrant() {
         // paper aligns cookie TTL and key-change interval so this happens
         // naturally.
         w.sim.run_until(SimTime::from_millis(60));
-        let lrs = w.lrs;
-        // Force a cold restart of the client's cookie state by rebuilding
-        // the LRS? Simpler: requests with stale cookies are dropped, the
-        // client times out and (with caching still on) retries the *cached*
-        // path forever. Verify the guard is indeed rejecting them — the
-        // documented failure mode the TTL alignment exists to prevent.
+        // Requests with stale cookies are dropped, the client times out and
+        // (with caching still on) retries the *cached* path forever. Verify
+        // the guard is indeed rejecting them — the documented failure mode
+        // the TTL alignment exists to prevent.
         w.sim.run_until(SimTime::from_millis(200));
-        let g = w.sim.node_ref::<RemoteGuard>(guard).unwrap();
-        let l = w.sim.node_ref::<LrsSimulator>(lrs).unwrap();
         assert!(
-            g.stats.spoofed_dropped() > 0 || l.stats.completed > before,
+            w.guard_stats().spoofed_dropped() > 0 || w.completed() > before,
             "mode {mode:?}: either stale cookies are rejected or service continued"
         );
     }
