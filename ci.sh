@@ -1,21 +1,48 @@
 #!/usr/bin/env bash
 # The repository's CI gate, runnable locally and from the GitHub Actions
 # workflow (.github/workflows/ci.yml): release build, the full workspace
-# test suite (unit, integration, chaos and property tests), and clippy
-# with warnings promoted to errors.
+# test suite (unit, integration, chaos and property tests), clippy with
+# warnings promoted to errors, a telemetry-export smoke check, and rustdoc
+# with warnings denied.
 #
 # All dependencies are vendored (vendor/*), so the build never touches a
 # registry; --offline makes that a hard guarantee rather than an accident.
+#
+# Usage: ./ci.sh [stage]
+#   stage ∈ {build, test, clippy, telemetry, docs}; no argument runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release --workspace --offline
+stage="${1:-all}"
+want() { [ "$stage" = all ] || [ "$stage" = "$1" ]; }
 
-echo "==> cargo test"
-cargo test -q --workspace --offline
+if want build; then
+  echo "==> cargo build --release"
+  cargo build --release --workspace --offline
+fi
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+if want test; then
+  echo "==> cargo test"
+  cargo test -q --workspace --offline
+fi
 
-echo "==> CI green"
+if want clippy; then
+  echo "==> cargo clippy -D warnings"
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
+
+if want telemetry; then
+  echo "==> telemetry smoke (BENCH_obs export + validation)"
+  mkdir -p target/obs-smoke
+  cargo run --release --offline -p bench --bin all_experiments -- \
+    --obs-only --obs-out target/obs-smoke
+  cargo run --release --offline -p bench --bin telemetry_check -- \
+    target/obs-smoke/BENCH_obs.json target/obs-smoke/BENCH_obs_trace.jsonl
+fi
+
+if want docs; then
+  echo "==> cargo doc -D warnings"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+fi
+
+echo "==> CI green ($stage)"

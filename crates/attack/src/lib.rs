@@ -76,8 +76,8 @@ mod guard_attack_tests {
         );
         sim.run_until(SimTime::from_millis(300));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(g.stats.ns_cookie_invalid > 15_000);
-        assert_eq!(g.stats.ns_cookie_valid, 0, "2^32 space: ~0 of 20K guesses pass");
+        assert!(g.stats().ns_cookie_invalid > 15_000);
+        assert_eq!(g.stats().ns_cookie_valid, 0, "2^32 space: ~0 of 20K guesses pass");
         assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
     }
 
@@ -97,8 +97,8 @@ mod guard_attack_tests {
         );
         sim.run_until(SimTime::from_millis(300));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(g.stats.ext_invalid > 15_000);
-        assert_eq!(g.stats.ext_valid, 0);
+        assert!(g.stats().ext_invalid > 15_000);
+        assert_eq!(g.stats().ext_valid, 0);
         assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
     }
 
@@ -124,9 +124,9 @@ mod guard_attack_tests {
         );
         sim.run_until(SimTime::from_millis(300));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        let seen = g.stats.cookie2_valid + g.stats.cookie2_invalid;
+        let seen = g.stats().cookie2_valid + g.stats().cookie2_invalid;
         assert!(seen > 25_000, "spray arrived: {seen}");
-        let hit_rate = g.stats.cookie2_valid as f64 / seen as f64;
+        let hit_rate = g.stats().cookie2_valid as f64 / seen as f64;
         let expected = 1.0 / 254.0;
         assert!(
             (hit_rate - expected).abs() < expected, // within ±100% of 1/254
@@ -202,7 +202,7 @@ mod guard_attack_tests {
         );
         sim.run_until(SimTime::from_secs(1));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(g.stats.rl2_dropped > 30_000, "rl2 dropped {}", g.stats.rl2_dropped);
+        assert!(g.stats().rl2_dropped > 30_000, "rl2 dropped {}", g.stats().rl2_dropped);
         let served = sim.node_ref::<AuthNode>(ans).unwrap().total_queries();
         assert!(served < 300, "ANS saw only the nominal rate: {served}");
     }
@@ -227,11 +227,11 @@ mod guard_attack_tests {
         sim.run_until(SimTime::from_secs(1));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
         // Default global budget: 10K/s. Responses sent ≈ fabricated NS count.
-        assert!(g.stats.rl1_dropped > 150_000, "rl1 dropped {}", g.stats.rl1_dropped);
+        assert!(g.stats().rl1_dropped > 150_000, "rl1 dropped {}", g.stats().rl1_dropped);
         assert!(
-            g.stats.fabricated_ns_sent < 15_000,
+            g.stats().fabricated_ns_sent < 15_000,
             "responses bounded: {}",
-            g.stats.fabricated_ns_sent
+            g.stats().fabricated_ns_sent
         );
         // And what *is* reflected amplifies < 1.5× per the DNS-based bound.
         assert!(g.traffic_unverified.amplification() < 1.5);

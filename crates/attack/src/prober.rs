@@ -359,6 +359,6 @@ mod tests {
             worst_wrong
         );
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(g.stats.rl2_dropped > 1_000, "the correct-y flood was throttled");
+        assert!(g.stats().rl2_dropped > 1_000, "the correct-y flood was throttled");
     }
 }

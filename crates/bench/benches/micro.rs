@@ -1,6 +1,7 @@
 //! Criterion micro-benchmarks for the guard's hot paths: cookie
 //! computation/verification (the paper's "cookie checker... sustains large
-//! attack rates"), wire encode/decode, and the rate limiters.
+//! attack rates"), wire encode/decode, the rate limiters, and the
+//! observability recording overhead (disabled vs enabled).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use dnswire::message::Message;
@@ -89,5 +90,87 @@ fn bench_ratelimit(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_md5, bench_cookie, bench_wire, bench_ratelimit);
+/// The observability recording overhead on the guard's per-datagram path:
+/// the same plain-query packet driven through a full `RemoteGuard` node
+/// with telemetry detached (counters only, tracer off) vs attached
+/// (registry-adopted counters plus Info-level trace events into the ring).
+/// The disabled/enabled delta is the cost the obs layer adds per datagram.
+fn bench_obs_overhead(c: &mut Criterion) {
+    use dnsguard::classify::AuthorityClassifier;
+    use dnsguard::config::GuardConfig;
+    use dnsguard::guard::RemoteGuard;
+    use netsim::engine::{Context, CpuConfig, Node, NodeId, Simulator};
+    use netsim::packet::{Endpoint, Packet, DNS_PORT};
+    use obs::trace::{Level, Value};
+    use obs::Obs;
+    use server::authoritative::Authority;
+    use server::zone::paper_hierarchy;
+
+    /// Swallows the guard's replies.
+    struct Blackhole;
+    impl Node for Blackhole {
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+    }
+
+    let pub_addr = Ipv4Addr::new(198, 41, 0, 4);
+    let attacker = Ipv4Addr::new(66, 0, 0, 9);
+    let build = |attach: bool| -> (Simulator, NodeId, Obs) {
+        let (root, _, _) = paper_hierarchy();
+        let mut config = GuardConfig::new(pub_addr, Ipv4Addr::new(10, 99, 0, 1));
+        // Open limiters: a closed bucket would flip the bench onto the
+        // drop path after its budget drains.
+        config.rl1_global_rate = 1e12;
+        config.rl1_per_source_rate = 1e12;
+        config.rl2_per_source_rate = 1e12;
+        let mut sim = Simulator::new(7);
+        let guard = sim.add_node(
+            pub_addr,
+            CpuConfig::unbounded(),
+            RemoteGuard::new(config, AuthorityClassifier::new(Authority::new(vec![root]))),
+        );
+        let atk = sim.add_node(attacker, CpuConfig::unbounded(), Blackhole);
+        let obs = Obs::new();
+        if attach {
+            obs.tracer.set_default_level(Level::Info);
+            sim.attach_obs(&obs);
+            sim.node_mut::<RemoteGuard>(guard).unwrap().attach_obs(&obs);
+        }
+        (sim, atk, obs)
+    };
+    let query = Message::iterative_query(9, "www.foo.com".parse().unwrap(), RrType::A);
+    let pkt = Packet::udp(
+        Endpoint::new(attacker, 1024),
+        Endpoint::new(pub_addr, DNS_PORT),
+        query.encode(),
+    );
+
+    let mut g = c.benchmark_group("obs_overhead");
+    for (label, attach) in [("guard_datagram_disabled", false), ("guard_datagram_enabled", true)] {
+        let (mut sim, atk, _obs) = build(attach);
+        let pkt = pkt.clone();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                sim.inject(atk, black_box(pkt.clone()));
+                sim.run();
+            })
+        });
+    }
+
+    // The raw recording primitives, for attribution of the delta above.
+    let obs = Obs::new();
+    let counter = obs.registry.counter("bench", "hits", &[("scheme", "dns_based")]);
+    g.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+    let t_off = obs.tracer.component("bench");
+    g.bench_function("trace_event_off", |b| {
+        b.iter(|| t_off.event(1, "grant", &[("src", Value::Ip(attacker))]))
+    });
+    obs.tracer.set_default_level(Level::Info);
+    let t_on = obs.tracer.component("bench2");
+    g.bench_function("trace_event_on", |b| {
+        b.iter(|| t_on.event(1, "grant", &[("src", Value::Ip(attacker))]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_md5, bench_cookie, bench_wire, bench_ratelimit, bench_obs_overhead);
 criterion_main!(benches);

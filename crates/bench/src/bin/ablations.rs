@@ -50,8 +50,8 @@ fn ablate_cookie2_range() {
         );
         world.sim.run_until(SimTime::from_millis(600));
         let g = world.sim.node_ref::<RemoteGuard>(world.guard).unwrap();
-        let seen = g.stats.cookie2_valid + g.stats.cookie2_invalid;
-        let rate = g.stats.cookie2_valid as f64 / seen.max(1) as f64;
+        let seen = g.stats().cookie2_valid + g.stats().cookie2_invalid;
+        let rate = g.stats().cookie2_valid as f64 / seen.max(1) as f64;
         rows.push(vec![
             range.to_string(),
             format!("{:.5}", rate),
@@ -99,7 +99,7 @@ fn ablate_rl1() {
         let g = world.sim.node_ref::<RemoteGuard>(world.guard).unwrap();
         rows.push(vec![
             label.to_string(),
-            g.stats.fabricated_ns_sent.to_string(),
+            g.stats().fabricated_ns_sent.to_string(),
             format!("{}", g.traffic_unverified.bytes_out),
             format!("{:.2}x", g.traffic_unverified.amplification()),
         ]);

@@ -1,10 +1,58 @@
 //! Runs every table and figure of the paper's evaluation in sequence.
 //! This is the command behind `EXPERIMENTS.md`.
+//!
+//! Flags:
+//!
+//! * `--obs` — additionally run the instrumented telemetry scenario and
+//!   write `BENCH_obs.json` + `BENCH_obs_trace.jsonl`;
+//! * `--obs-only` — run only the telemetry scenario;
+//! * `--obs-out <dir>` — output directory for the two files (default `.`).
 
 use bench::experiments::*;
 use bench::report::{kreq, ms, pct, render_table};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn run_obs_export(out_dir: &std::path::Path) {
+    println!("== Telemetry export (obs) ==");
+    let (run, snapshot, trace) = match bench::obs_export::export_to(out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("obs export failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "wrote {} ({} bytes) and {} ({} events, {} dropped)",
+        snapshot.display(),
+        run.snapshot_json.len(),
+        trace.display(),
+        run.events,
+        run.dropped,
+    );
+    println!("event kinds: {:?}", run.kind_counts);
+    let missing = run.missing_kinds();
+    if !missing.is_empty() {
+        eprintln!("missing required event kinds: {missing:?}");
+        exit(1);
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let obs_only = args.iter().any(|a| a == "--obs-only");
+    let obs = obs_only || args.iter().any(|a| a == "--obs");
+    let out_dir: PathBuf = args
+        .iter()
+        .position(|a| a == "--obs-out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    if obs_only {
+        run_obs_export(&out_dir);
+        return;
+    }
     println!("== DNS Guard reproduction: full evaluation ==\n");
 
     // Table I.
@@ -142,4 +190,8 @@ fn main() {
             &rows,
         )
     );
+
+    if obs {
+        run_obs_export(&out_dir);
+    }
 }

@@ -1,0 +1,74 @@
+//! CI telemetry smoke checker: validates that an exported `BENCH_obs.json`
+//! snapshot and its JSONL event trace parse as JSON and contain the metric
+//! keys and decision-event kinds the observability layer promises.
+//!
+//! Run: `telemetry_check <BENCH_obs.json> <trace.jsonl>`; exits non-zero
+//! with a diagnostic on the first problem found.
+
+use bench::obs_export::REQUIRED_KINDS;
+use obs::export::{validate_json, validate_jsonl};
+use std::process::exit;
+
+/// Substrings the snapshot document must contain: the experiment header,
+/// one metric per instrumented component, the labelled guard families,
+/// and the time-series block.
+const SNAPSHOT_KEYS: &[&str] = &[
+    "\"experiment\":\"obs_export\"",
+    "\"component\":\"guard\"",
+    "\"component\":\"netsim\"",
+    "\"component\":\"authoritative\"",
+    "\"name\":\"verify\"",
+    "\"name\":\"rl_dropped\"",
+    "\"name\":\"evicted\"",
+    "\"name\":\"queries\"",
+    "\"kind\":\"histogram\"",
+    "\"timeseries\"",
+];
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("telemetry_check: read {path}: {e}");
+        exit(1);
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(snapshot_path), Some(trace_path)) = (args.next(), args.next()) else {
+        eprintln!("usage: telemetry_check <BENCH_obs.json> <trace.jsonl>");
+        exit(2);
+    };
+
+    let snapshot = read(&snapshot_path);
+    if let Err(off) = validate_json(&snapshot) {
+        eprintln!("telemetry_check: {snapshot_path} is not valid JSON (byte {off})");
+        exit(1);
+    }
+    for key in SNAPSHOT_KEYS {
+        if !snapshot.contains(key) {
+            eprintln!("telemetry_check: {snapshot_path} missing expected key {key}");
+            exit(1);
+        }
+    }
+
+    let trace = read(&trace_path);
+    if let Err((ln, off)) = validate_jsonl(&trace) {
+        eprintln!("telemetry_check: {trace_path} line {ln} is not valid JSON (byte {off})");
+        exit(1);
+    }
+    for kind in REQUIRED_KINDS {
+        let needle = format!("\"kind\":\"{kind}\"");
+        if !trace.contains(&needle) {
+            eprintln!("telemetry_check: {trace_path} has no \"{kind}\" event");
+            exit(1);
+        }
+    }
+
+    println!(
+        "telemetry OK: {} ({} bytes), {} ({} lines)",
+        snapshot_path,
+        snapshot.len(),
+        trace_path,
+        trace.lines().count(),
+    );
+}

@@ -4,6 +4,8 @@
 //! * [`worlds`] — the guard + ANS + LRS + attacker topologies;
 //! * [`experiments`] — one function per paper artefact (Table I–III,
 //!   Figures 5–7), each returning the rows/series the paper reports;
+//! * [`obs_export`] — the instrumented telemetry run behind
+//!   `BENCH_obs.json` (`all_experiments -- --obs`);
 //! * [`report`] — plain-text table rendering.
 //!
 //! Run everything: `cargo run --release -p bench --bin all_experiments`.
@@ -15,6 +17,7 @@
 //! limiters): `cargo bench -p bench`.
 
 pub mod experiments;
+pub mod obs_export;
 pub mod report;
 pub mod worlds;
 

@@ -34,6 +34,8 @@ use netsim::engine::{Context, Node};
 use netsim::metrics::TrafficMeter;
 use netsim::packet::{Endpoint, Packet, Proto, DNS_PORT};
 use netsim::time::SimTime;
+use obs::metrics::{Counter, Gauge, Histogram};
+use obs::trace::{ComponentTracer, Value};
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
@@ -44,7 +46,8 @@ const TAG_WINDOW: u64 = u64::MAX;
 /// Housekeeping period.
 const WINDOW: SimTime = SimTime::from_millis(100);
 
-/// Observable guard counters, by pipeline decision.
+/// Observable guard counters, by pipeline decision — a snapshot of the
+/// live registry-backed counters, from [`RemoteGuard::stats`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GuardStats {
     /// Queries forwarded to the ANS (verified or pass-through).
@@ -95,12 +98,202 @@ pub struct GuardStats {
     pub fwd_evicted: u64,
     /// Stash entries evicted by the byte bound (oldest first).
     pub stash_evicted: u64,
+    /// Every UDP datagram that entered the pipeline (the conservation
+    /// total: equals [`GuardStats::disposition_total`]).
+    pub udp_datagrams: u64,
+    /// ANS responses whose transaction id matched no forward-table entry
+    /// (late responses to evicted/expired forwards).
+    pub resp_unmatched: u64,
+    /// Response-flagged datagrams from sources other than the ANS
+    /// (spoofed or misrouted; dropped).
+    pub resp_foreign: u64,
+    /// Plain queries forwarded unprotected (out-of-bailiwick names, root
+    /// queries, or names too deep to fabricate a cookie label for).
+    pub plain_forwarded: u64,
 }
 
 impl GuardStats {
     /// Total requests classified as spoofed and dropped.
     pub fn spoofed_dropped(&self) -> u64 {
         self.ext_invalid + self.ns_cookie_invalid + self.cookie2_invalid
+    }
+
+    /// Sum of the mutually-exclusive terminal disposition buckets: every
+    /// UDP datagram entering the pipeline lands in exactly one, so this
+    /// always equals [`GuardStats::udp_datagrams`]. (Counters like
+    /// `forwarded`, `rl2_dropped`, `failed_closed`, `stash_hits`,
+    /// `fwd_evicted` describe *later* stages of an already-dispositioned
+    /// datagram and are deliberately excluded.)
+    pub fn disposition_total(&self) -> u64 {
+        self.unparseable
+            + self.resp_foreign
+            + self.resp_unmatched
+            + self.relayed_responses
+            + self.passthrough
+            + self.rl1_dropped
+            + self.grants_sent
+            + self.ext_valid
+            + self.ext_invalid
+            + self.cookie2_valid
+            + self.cookie2_invalid
+            + self.ns_cookie_valid
+            + self.ns_cookie_invalid
+            + self.tc_sent
+            + self.fabricated_ns_sent
+            + self.plain_forwarded
+    }
+}
+
+/// Live guard counters: detached registry handles created at construction
+/// (recording always works) and adopted into a registry when
+/// [`RemoteGuard::attach_obs`] runs.
+#[derive(Debug)]
+struct GuardMetrics {
+    forwarded: Counter,
+    passthrough: Counter,
+    fabricated_ns_sent: Counter,
+    tc_sent: Counter,
+    grants_sent: Counter,
+    ext_valid: Counter,
+    ext_invalid: Counter,
+    ns_cookie_valid: Counter,
+    ns_cookie_invalid: Counter,
+    cookie2_valid: Counter,
+    cookie2_invalid: Counter,
+    rl1_dropped: Counter,
+    rl2_dropped: Counter,
+    relayed_responses: Counter,
+    stash_hits: Counter,
+    unparseable: Counter,
+    ans_timeouts: Counter,
+    ans_down_events: Counter,
+    ans_probes: Counter,
+    ans_recoveries: Counter,
+    failed_closed: Counter,
+    fwd_evicted: Counter,
+    stash_evicted: Counter,
+    udp_datagrams: Counter,
+    resp_unmatched: Counter,
+    resp_foreign: Counter,
+    plain_forwarded: Counter,
+    /// Current `fwd_bytes + stash_bytes` (refreshed each housekeeping
+    /// window).
+    table_bytes: Gauge,
+    /// Forward→response round-trip to the ANS, in nanoseconds.
+    ans_rtt_ns: Histogram,
+    trace: ComponentTracer,
+}
+
+impl Default for GuardMetrics {
+    fn default() -> Self {
+        GuardMetrics {
+            forwarded: Counter::new(),
+            passthrough: Counter::new(),
+            fabricated_ns_sent: Counter::new(),
+            tc_sent: Counter::new(),
+            grants_sent: Counter::new(),
+            ext_valid: Counter::new(),
+            ext_invalid: Counter::new(),
+            ns_cookie_valid: Counter::new(),
+            ns_cookie_invalid: Counter::new(),
+            cookie2_valid: Counter::new(),
+            cookie2_invalid: Counter::new(),
+            rl1_dropped: Counter::new(),
+            rl2_dropped: Counter::new(),
+            relayed_responses: Counter::new(),
+            stash_hits: Counter::new(),
+            unparseable: Counter::new(),
+            ans_timeouts: Counter::new(),
+            ans_down_events: Counter::new(),
+            ans_probes: Counter::new(),
+            ans_recoveries: Counter::new(),
+            failed_closed: Counter::new(),
+            fwd_evicted: Counter::new(),
+            stash_evicted: Counter::new(),
+            udp_datagrams: Counter::new(),
+            resp_unmatched: Counter::new(),
+            resp_foreign: Counter::new(),
+            plain_forwarded: Counter::new(),
+            table_bytes: Gauge::new(),
+            ans_rtt_ns: Histogram::new(),
+            trace: ComponentTracer::disabled(),
+        }
+    }
+}
+
+impl GuardMetrics {
+    fn snapshot(&self) -> GuardStats {
+        GuardStats {
+            forwarded: self.forwarded.get(),
+            passthrough: self.passthrough.get(),
+            fabricated_ns_sent: self.fabricated_ns_sent.get(),
+            tc_sent: self.tc_sent.get(),
+            grants_sent: self.grants_sent.get(),
+            ext_valid: self.ext_valid.get(),
+            ext_invalid: self.ext_invalid.get(),
+            ns_cookie_valid: self.ns_cookie_valid.get(),
+            ns_cookie_invalid: self.ns_cookie_invalid.get(),
+            cookie2_valid: self.cookie2_valid.get(),
+            cookie2_invalid: self.cookie2_invalid.get(),
+            rl1_dropped: self.rl1_dropped.get(),
+            rl2_dropped: self.rl2_dropped.get(),
+            relayed_responses: self.relayed_responses.get(),
+            stash_hits: self.stash_hits.get(),
+            unparseable: self.unparseable.get(),
+            ans_timeouts: self.ans_timeouts.get(),
+            ans_down_events: self.ans_down_events.get(),
+            ans_probes: self.ans_probes.get(),
+            ans_recoveries: self.ans_recoveries.get(),
+            failed_closed: self.failed_closed.get(),
+            fwd_evicted: self.fwd_evicted.get(),
+            stash_evicted: self.stash_evicted.get(),
+            udp_datagrams: self.udp_datagrams.get(),
+            resp_unmatched: self.resp_unmatched.get(),
+            resp_foreign: self.resp_foreign.get(),
+            plain_forwarded: self.plain_forwarded.get(),
+        }
+    }
+
+    fn adopt_into(&self, r: &obs::metrics::Registry) {
+        r.adopt_counter("guard", "forwarded", &[], &self.forwarded);
+        r.adopt_counter("guard", "passthrough", &[], &self.passthrough);
+        r.adopt_counter("guard", "fabricated_ns_sent", &[], &self.fabricated_ns_sent);
+        r.adopt_counter("guard", "tc_sent", &[], &self.tc_sent);
+        r.adopt_counter("guard", "grants_sent", &[], &self.grants_sent);
+        let verify = [
+            ("ext", "valid", &self.ext_valid),
+            ("ext", "invalid", &self.ext_invalid),
+            ("ns_label", "valid", &self.ns_cookie_valid),
+            ("ns_label", "invalid", &self.ns_cookie_invalid),
+            ("cookie2", "valid", &self.cookie2_valid),
+            ("cookie2", "invalid", &self.cookie2_invalid),
+        ];
+        for (scheme, verdict, counter) in verify {
+            r.adopt_counter(
+                "guard",
+                "verify",
+                &[("scheme", scheme), ("verdict", verdict)],
+                counter,
+            );
+        }
+        r.adopt_counter("guard", "rl_dropped", &[("limiter", "rl1")], &self.rl1_dropped);
+        r.adopt_counter("guard", "rl_dropped", &[("limiter", "rl2")], &self.rl2_dropped);
+        r.adopt_counter("guard", "relayed_responses", &[], &self.relayed_responses);
+        r.adopt_counter("guard", "stash_hits", &[], &self.stash_hits);
+        r.adopt_counter("guard", "unparseable", &[], &self.unparseable);
+        r.adopt_counter("guard", "ans_timeouts", &[], &self.ans_timeouts);
+        r.adopt_counter("guard", "ans_down_events", &[], &self.ans_down_events);
+        r.adopt_counter("guard", "ans_probes", &[], &self.ans_probes);
+        r.adopt_counter("guard", "ans_recoveries", &[], &self.ans_recoveries);
+        r.adopt_counter("guard", "failed_closed", &[], &self.failed_closed);
+        r.adopt_counter("guard", "evicted", &[("table", "fwd")], &self.fwd_evicted);
+        r.adopt_counter("guard", "evicted", &[("table", "stash")], &self.stash_evicted);
+        r.adopt_counter("guard", "udp_datagrams", &[], &self.udp_datagrams);
+        r.adopt_counter("guard", "resp_unmatched", &[], &self.resp_unmatched);
+        r.adopt_counter("guard", "resp_foreign", &[], &self.resp_foreign);
+        r.adopt_counter("guard", "plain_forwarded", &[], &self.plain_forwarded);
+        r.adopt_gauge("guard", "table_bytes", &[], &self.table_bytes);
+        r.adopt_histogram("guard", "ans_rtt_ns", &[], &self.ans_rtt_ns);
     }
 }
 
@@ -214,8 +407,8 @@ pub struct RemoteGuard {
     window_count: u64,
     active: bool,
     last_rotation: SimTime,
-    /// Counters.
-    pub stats: GuardStats,
+    /// Live counters (snapshot through [`RemoteGuard::stats`]).
+    metrics: GuardMetrics,
     /// All bytes through the guard.
     pub traffic: TrafficMeter,
     /// Bytes exchanged with *unverified* sources (requests in, cookie/TC
@@ -254,12 +447,29 @@ impl RemoteGuard {
             window_count: 0,
             active: config.activation_threshold == 0.0,
             last_rotation: SimTime::ZERO,
-            stats: GuardStats::default(),
+            metrics: GuardMetrics::default(),
             traffic: TrafficMeter::default(),
             traffic_unverified: TrafficMeter::default(),
             config,
             classifier,
         }
+    }
+
+    /// A snapshot of the guard counters.
+    pub fn stats(&self) -> GuardStats {
+        self.metrics.snapshot()
+    }
+
+    /// Attaches an observability bundle: the guard's counters (plus its
+    /// rate limiters and TCP proxy) are adopted into `obs.registry` under
+    /// components `guard` and `proxy`, and pipeline decisions start
+    /// emitting trace events under component `guard`.
+    pub fn attach_obs(&mut self, obs: &obs::Obs) {
+        self.metrics.adopt_into(&obs.registry);
+        self.rl1.adopt_into(&obs.registry, "guard", "rl1");
+        self.rl2.adopt_into(&obs.registry, "guard", "rl2");
+        self.proxy.adopt_into(&obs.registry);
+        self.metrics.trace = obs.tracer.component("guard");
     }
 
     /// Whether spoof detection is currently engaged.
@@ -304,7 +514,7 @@ impl RemoteGuard {
 
     /// TCP proxy counters.
     pub fn proxy_stats(&self) -> crate::tcp_proxy::ProxyStats {
-        self.proxy.stats
+        self.proxy.stats()
     }
 
     // ---- helpers ---------------------------------------------------------
@@ -327,7 +537,8 @@ impl RemoteGuard {
     /// Sends a minimal liveness probe toward the ANS. Any response —
     /// whatever its rcode — marks the ANS alive again.
     fn send_probe(&mut self, ctx: &mut Context<'_>) {
-        self.stats.ans_probes += 1;
+        self.metrics.ans_probes.inc();
+        self.metrics.trace.debug(ctx.now().as_nanos(), "ans_probe", &[]);
         let probe =
             Message::iterative_query(0, Name::root(), dnswire::types::RrType::Ns);
         let me = Endpoint::new(self.config.public_addr, DNS_PORT);
@@ -349,6 +560,7 @@ impl RemoteGuard {
     /// Inserts a forward-table entry, evicting oldest entries past the
     /// byte bound.
     fn insert_fwd(&mut self, txid: u16, entry: Forwarded) {
+        let now = entry.created;
         self.fwd_bytes += entry.approx_bytes();
         self.fwd_order.push_back((txid, entry.created));
         if let Some(old) = self.fwd.insert(txid, entry) {
@@ -362,7 +574,12 @@ impl RemoteGuard {
             // since (their live entry has a newer creation stamp).
             if self.fwd.get(&old_txid).is_some_and(|f| f.created == created) {
                 self.remove_fwd(old_txid);
-                self.stats.fwd_evicted += 1;
+                self.metrics.fwd_evicted.inc();
+                self.metrics.trace.event(
+                    now.as_nanos(),
+                    "evict",
+                    &[("table", Value::Str("fwd")), ("txid", Value::U64(old_txid as u64))],
+                );
             }
         }
     }
@@ -375,6 +592,7 @@ impl RemoteGuard {
 
     /// Inserts a stash entry, evicting oldest entries past the byte bound.
     fn insert_stash(&mut self, key: (Ipv4Addr, Name), entry: StashEntry) {
+        let now = entry.created;
         self.stash_bytes += entry.approx_bytes(&key.1);
         self.stash_order.push_back((key.clone(), entry.created));
         if let Some(old) = self.stash.insert(key.clone(), entry) {
@@ -390,7 +608,12 @@ impl RemoteGuard {
                 .is_some_and(|s| s.created == created)
             {
                 self.remove_stash(&old_key);
-                self.stats.stash_evicted += 1;
+                self.metrics.stash_evicted.inc();
+                self.metrics.trace.event(
+                    now.as_nanos(),
+                    "evict",
+                    &[("table", Value::Str("stash")), ("src", Value::Ip(old_key.0))],
+                );
             }
         }
     }
@@ -413,7 +636,12 @@ impl RemoteGuard {
             && self.config.health_policy == AnsHealthPolicy::FailClosed
             && !matches!(rewrite, Rewrite::Probe)
         {
-            self.stats.failed_closed += 1;
+            self.metrics.failed_closed.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "fail_closed",
+                &[("src", Value::Ip(requester.ip))],
+            );
             // UDP requesters get an immediate SERVFAIL so resolvers move on
             // to a sibling server; TCP relays are simply not forwarded (the
             // proxy connection is reaped by the lifetime cap).
@@ -438,7 +666,12 @@ impl RemoteGuard {
                 created: ctx.now(),
             },
         );
-        self.stats.forwarded += 1;
+        self.metrics.forwarded.inc();
+        self.metrics.trace.debug(
+            ctx.now().as_nanos(),
+            "forward",
+            &[("src", Value::Ip(requester.ip))],
+        );
         let pkt = Packet::udp(
             Endpoint::new(self.config.public_addr, DNS_PORT),
             Endpoint::new(self.config.ans_addr, DNS_PORT),
@@ -522,13 +755,18 @@ impl RemoteGuard {
     // ---- pipeline --------------------------------------------------------
 
     fn handle_udp(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        self.metrics.udp_datagrams.inc();
         let Ok(msg) = Message::decode(&pkt.payload) else {
-            self.stats.unparseable += 1;
+            self.metrics.unparseable.inc();
             return;
         };
         if msg.header.response {
             if pkt.src.ip == self.config.ans_addr {
                 self.handle_ans_response(ctx, msg);
+            } else {
+                // A response-flagged datagram not from the ANS: spoofed or
+                // misrouted; dropped without further processing.
+                self.metrics.resp_foreign.inc();
             }
             return;
         }
@@ -536,7 +774,12 @@ impl RemoteGuard {
 
         if !self.active {
             // Protection disengaged: transparent forwarding.
-            self.stats.passthrough += 1;
+            self.metrics.passthrough.inc();
+            self.metrics.trace.debug(
+                ctx.now().as_nanos(),
+                "passthrough",
+                &[("src", Value::Ip(pkt.src.ip))],
+            );
             self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
             return;
         }
@@ -546,14 +789,24 @@ impl RemoteGuard {
             if ext.is_request() {
                 // Grant a cookie — through Rate-Limiter1 (reflection bound).
                 if !self.rl1.admit(ctx.now(), pkt.src.ip) {
-                    self.stats.rl1_dropped += 1;
+                    self.metrics.rl1_dropped.inc();
+                    self.metrics.trace.event(
+                        ctx.now().as_nanos(),
+                        "rl_drop",
+                        &[("limiter", Value::Str("rl1")), ("src", Value::Ip(pkt.src.ip))],
+                    );
                     return;
                 }
                 self.charge_cookie(ctx);
                 let cookie = self.cookies.generate(pkt.src.ip);
                 let mut grant = msg.response();
                 cookie_ext::attach_cookie(&mut grant, cookie.0, self.config.cookie_ttl);
-                self.stats.grants_sent += 1;
+                self.metrics.grants_sent.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "grant",
+                    &[("src", Value::Ip(pkt.src.ip))],
+                );
                 self.traffic_unverified.rx(pkt.wire_size());
                 let reply = Packet::udp(pkt.dst, pkt.src, grant.encode());
                 self.tx_unverified(ctx, reply);
@@ -561,16 +814,39 @@ impl RemoteGuard {
             }
             self.charge_cookie(ctx);
             if self.cookies.verify(pkt.src.ip, &guardhash::Cookie(ext.cookie)) {
-                self.stats.ext_valid += 1;
+                self.metrics.ext_valid.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "verify",
+                    &[
+                        ("scheme", Value::Str("ext")),
+                        ("verdict", Value::Str("valid")),
+                        ("src", Value::Ip(pkt.src.ip)),
+                    ],
+                );
                 if !self.rl2.admit(ctx.now(), pkt.src.ip) {
-                    self.stats.rl2_dropped += 1;
+                    self.metrics.rl2_dropped.inc();
+                    self.metrics.trace.event(
+                        ctx.now().as_nanos(),
+                        "rl_drop",
+                        &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+                    );
                     return;
                 }
                 let mut inner = msg;
                 cookie_ext::strip_cookie(&mut inner);
                 self.forward_to_ans(ctx, inner, pkt.src, pkt.dst, Rewrite::Passthrough);
             } else {
-                self.stats.ext_invalid += 1;
+                self.metrics.ext_invalid.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "verify",
+                    &[
+                        ("scheme", Value::Str("ext")),
+                        ("verdict", Value::Str("invalid")),
+                        ("src", Value::Ip(pkt.src.ip)),
+                    ],
+                );
             }
             return;
         }
@@ -579,12 +855,35 @@ impl RemoteGuard {
         if pkt.dst.ip != self.config.public_addr {
             self.charge_cookie(ctx);
             if !self.cookie2_matches(pkt.src.ip, pkt.dst.ip) {
-                self.stats.cookie2_invalid += 1;
+                self.metrics.cookie2_invalid.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "verify",
+                    &[
+                        ("scheme", Value::Str("cookie2")),
+                        ("verdict", Value::Str("invalid")),
+                        ("src", Value::Ip(pkt.src.ip)),
+                    ],
+                );
                 return;
             }
-            self.stats.cookie2_valid += 1;
+            self.metrics.cookie2_valid.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "verify",
+                &[
+                    ("scheme", Value::Str("cookie2")),
+                    ("verdict", Value::Str("valid")),
+                    ("src", Value::Ip(pkt.src.ip)),
+                ],
+            );
             if !self.rl2.admit(ctx.now(), pkt.src.ip) {
-                self.stats.rl2_dropped += 1;
+                self.metrics.rl2_dropped.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "rl_drop",
+                    &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+                );
                 return;
             }
             let Some(question) = msg.question().cloned() else {
@@ -592,7 +891,12 @@ impl RemoteGuard {
             };
             // One-shot stash from the first exchange (messages 4/5).
             if let Some(entry) = self.remove_stash(&(pkt.src.ip, question.name.clone())) {
-                self.stats.stash_hits += 1;
+                self.metrics.stash_hits.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "stash_hit",
+                    &[("src", Value::Ip(pkt.src.ip))],
+                );
                 let mut resp = msg.response();
                 resp.header.authoritative = true;
                 resp.answers = entry.answers;
@@ -631,21 +935,54 @@ impl RemoteGuard {
     ) {
         self.charge_cookie(ctx);
         if !self.cookies.verify_ns_suffix(pkt.src.ip, &hex) {
-            self.stats.ns_cookie_invalid += 1;
-            return;
-        }
-        self.stats.ns_cookie_valid += 1;
-        if !self.rl2.admit(ctx.now(), pkt.src.ip) {
-            self.stats.rl2_dropped += 1;
+            self.metrics.ns_cookie_invalid.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "verify",
+                &[
+                    ("scheme", Value::Str("ns_label")),
+                    ("verdict", Value::Str("invalid")),
+                    ("src", Value::Ip(pkt.src.ip)),
+                ],
+            );
             return;
         }
         let cookie_question = msg.question().cloned().expect("first_label implies question");
-        // Restore the original name: swap the fabricated label for the
-        // original first label it encodes.
+        // Restore the original name BEFORE declaring the query valid: a
+        // cookie that verifies but encodes an unrestorable name is still a
+        // drop, and must land in exactly one disposition bucket.
         let Ok(original) = cookie_question.name.with_first_label(&original_first) else {
-            self.stats.ns_cookie_invalid += 1;
+            self.metrics.ns_cookie_invalid.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "verify",
+                &[
+                    ("scheme", Value::Str("ns_label")),
+                    ("verdict", Value::Str("invalid")),
+                    ("src", Value::Ip(pkt.src.ip)),
+                ],
+            );
             return;
         };
+        self.metrics.ns_cookie_valid.inc();
+        self.metrics.trace.event(
+            ctx.now().as_nanos(),
+            "verify",
+            &[
+                ("scheme", Value::Str("ns_label")),
+                ("verdict", Value::Str("valid")),
+                ("src", Value::Ip(pkt.src.ip)),
+            ],
+        );
+        if !self.rl2.admit(ctx.now(), pkt.src.ip) {
+            self.metrics.rl2_dropped.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "rl_drop",
+                &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+            );
+            return;
+        }
         let restored = Message::iterative_query(msg.header.id, original.clone(), dnswire::types::RrType::A);
         match self.classifier.classify(&original) {
             Classification::Referral { .. } | Classification::Unknown => {
@@ -674,12 +1011,17 @@ impl RemoteGuard {
 
     fn handle_plain_query(&mut self, ctx: &mut Context<'_>, pkt: Packet, msg: Message) {
         let Some(question) = msg.question().cloned() else {
-            self.stats.unparseable += 1;
+            self.metrics.unparseable.inc();
             return;
         };
         // Every response to an unverified source passes Rate-Limiter1.
         if !self.rl1.admit(ctx.now(), pkt.src.ip) {
-            self.stats.rl1_dropped += 1;
+            self.metrics.rl1_dropped.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "rl_drop",
+                &[("limiter", Value::Str("rl1")), ("src", Value::Ip(pkt.src.ip))],
+            );
             return;
         }
         self.traffic_unverified.rx(pkt.wire_size());
@@ -691,7 +1033,12 @@ impl RemoteGuard {
         match mode {
             SchemeMode::TcpBased => {
                 let tc = msg.truncated_response();
-                self.stats.tc_sent += 1;
+                self.metrics.tc_sent.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "tc_sent",
+                    &[("src", Value::Ip(pkt.src.ip))],
+                );
                 let reply = Packet::udp(pkt.dst, pkt.src, tc.encode());
                 self.tx_unverified(ctx, reply);
             }
@@ -702,7 +1049,12 @@ impl RemoteGuard {
                 let cookie = self.cookies.generate(pkt.src.ip);
                 let mut grant = msg.response();
                 cookie_ext::attach_cookie(&mut grant, cookie.0, self.config.cookie_ttl);
-                self.stats.grants_sent += 1;
+                self.metrics.grants_sent.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "grant",
+                    &[("src", Value::Ip(pkt.src.ip))],
+                );
                 let reply = Packet::udp(pkt.dst, pkt.src, grant.encode());
                 self.tx_unverified(ctx, reply);
             }
@@ -712,12 +1064,14 @@ impl RemoteGuard {
                     Classification::NonReferral => question.name.clone(),
                     Classification::Unknown => {
                         // Not ours: let the ANS answer (it will refuse).
+                        self.metrics.plain_forwarded.inc();
                         self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
                         return;
                     }
                 };
                 let Some(first) = target.first_label().map(|l| l.to_vec()) else {
                     // Query for the root itself: fall back to forwarding.
+                    self.metrics.plain_forwarded.inc();
                     self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
                     return;
                 };
@@ -725,6 +1079,7 @@ impl RemoteGuard {
                 let label = self.fabricate_label(pkt.src.ip, &first);
                 let Ok(fab_name) = target.with_first_label(&label) else {
                     // Label too long (very deep name): forward unprotected.
+                    self.metrics.plain_forwarded.inc();
                     self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
                     return;
                 };
@@ -732,7 +1087,12 @@ impl RemoteGuard {
                 reply
                     .authorities
                     .push(Record::ns(target, fab_name, self.config.fabricated_ns_ttl));
-                self.stats.fabricated_ns_sent += 1;
+                self.metrics.fabricated_ns_sent.inc();
+                self.metrics.trace.event(
+                    ctx.now().as_nanos(),
+                    "fabricated_ns",
+                    &[("src", Value::Ip(pkt.src.ip))],
+                );
                 let out = Packet::udp(pkt.dst, pkt.src, reply.encode());
                 self.tx_unverified(ctx, out);
             }
@@ -746,12 +1106,19 @@ impl RemoteGuard {
         if self.health.down {
             self.health.down = false;
             self.health.probe_interval = self.config.ans_probe_interval;
-            self.stats.ans_recoveries += 1;
+            self.metrics.ans_recoveries.inc();
+            self.metrics.trace.event(ctx.now().as_nanos(), "ans_recovered", &[]);
         }
         let Some(fwd) = self.remove_fwd(msg.header.id) else {
+            // A late response to an evicted/expired forward (or a txid the
+            // guard never issued).
+            self.metrics.resp_unmatched.inc();
             return;
         };
-        self.stats.relayed_responses += 1;
+        self.metrics.relayed_responses.inc();
+        self.metrics
+            .ans_rtt_ns
+            .record(ctx.now().saturating_sub(fwd.created).as_nanos());
         match fwd.rewrite {
             Rewrite::Probe => {}
             Rewrite::Passthrough => {
@@ -839,11 +1206,16 @@ impl RemoteGuard {
     fn handle_tcp(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         // Charge the connection cost when a handshake completes; detect via
         // accepted-count delta.
-        let accepted_before = self.proxy.stats.accepted;
+        let accepted_before = self.proxy.stats().accepted;
         let actions = self.proxy.on_segment(ctx.now(), &pkt);
-        if self.proxy.stats.accepted > accepted_before {
+        if self.proxy.stats().accepted > accepted_before {
             ctx.charge(netsim::cost::tcp_conn_cost());
             self.charge_cookie(ctx); // SYN-cookie computation
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "proxy_accept",
+                &[("src", Value::Ip(pkt.src.ip))],
+            );
         }
         for action in actions {
             match action {
@@ -853,8 +1225,18 @@ impl RemoteGuard {
                     // open proxied connections (Figure 7(a)); charged once
                     // per relayed request.
                     ctx.charge(netsim::cost::tcp_conn_table_cost(self.proxy.open_connections()));
+                    self.metrics.trace.debug(
+                        ctx.now().as_nanos(),
+                        "proxy_relay",
+                        &[("src", Value::Ip(pkt.src.ip))],
+                    );
                     if !self.rl2.admit(ctx.now(), pkt.src.ip) {
-                        self.stats.rl2_dropped += 1;
+                        self.metrics.rl2_dropped.inc();
+                        self.metrics.trace.event(
+                            ctx.now().as_nanos(),
+                            "rl_drop",
+                            &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+                        );
                         continue;
                     }
                     self.forward_to_ans(
@@ -917,7 +1299,7 @@ impl Node for RemoteGuard {
         for txid in expired {
             let entry = self.remove_fwd(txid);
             if entry.is_some_and(|f| f.created >= self.health.last_response) {
-                self.stats.ans_timeouts += 1;
+                self.metrics.ans_timeouts.inc();
                 self.health.consecutive_timeouts += 1;
             }
         }
@@ -927,7 +1309,12 @@ impl Node for RemoteGuard {
             self.health.down = true;
             self.health.probe_interval = self.config.ans_probe_interval;
             self.health.next_probe = now; // first probe fires immediately
-            self.stats.ans_down_events += 1;
+            self.metrics.ans_down_events.inc();
+            self.metrics.trace.event(
+                now.as_nanos(),
+                "ans_down",
+                &[("timeouts", Value::U64(self.health.consecutive_timeouts as u64))],
+            );
         }
         if self.health.down && now >= self.health.next_probe {
             self.send_probe(ctx);
@@ -952,6 +1339,9 @@ impl Node for RemoteGuard {
         let stash = &self.stash;
         self.stash_order
             .retain(|(key, created)| stash.get(key).is_some_and(|s| s.created == *created));
+        self.metrics
+            .table_bytes
+            .set((self.fwd_bytes + self.stash_bytes) as u64);
     }
 }
 
@@ -1014,9 +1404,9 @@ mod tests {
         assert!(lrs_state.stats.completed > 10, "completed {}", lrs_state.stats.completed);
         assert_eq!(lrs_state.stats.timeouts, 0);
         let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(guard_state.stats.fabricated_ns_sent >= 1);
-        assert!(guard_state.stats.ns_cookie_valid > 10);
-        assert_eq!(guard_state.stats.ns_cookie_invalid, 0, "no false positives");
+        assert!(guard_state.stats().fabricated_ns_sent >= 1);
+        assert!(guard_state.stats().ns_cookie_valid > 10);
+        assert_eq!(guard_state.stats().ns_cookie_invalid, 0, "no false positives");
     }
 
     #[test]
@@ -1027,9 +1417,9 @@ mod tests {
         let lrs_state = sim.node_ref::<LrsSimulator>(lrs).unwrap();
         assert!(lrs_state.stats.completed > 10, "completed {}", lrs_state.stats.completed);
         let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(guard_state.stats.cookie2_valid > 10, "COOKIE2 path exercised");
-        assert_eq!(guard_state.stats.cookie2_invalid, 0);
-        assert!(guard_state.stats.stash_hits >= 1, "first exchange uses the stash");
+        assert!(guard_state.stats().cookie2_valid > 10, "COOKIE2 path exercised");
+        assert_eq!(guard_state.stats().cookie2_invalid, 0);
+        assert!(guard_state.stats().stash_hits >= 1, "first exchange uses the stash");
     }
 
     #[test]
@@ -1040,9 +1430,9 @@ mod tests {
         let lrs_state = sim.node_ref::<LrsSimulator>(lrs).unwrap();
         assert!(lrs_state.stats.completed > 10, "completed {}", lrs_state.stats.completed);
         let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert_eq!(guard_state.stats.grants_sent, 1, "one grant, then cached cookie");
-        assert!(guard_state.stats.ext_valid > 10);
-        assert_eq!(guard_state.stats.ext_invalid, 0);
+        assert_eq!(guard_state.stats().grants_sent, 1, "one grant, then cached cookie");
+        assert!(guard_state.stats().ext_valid > 10);
+        assert_eq!(guard_state.stats().ext_invalid, 0);
     }
 
     #[test]
@@ -1054,7 +1444,7 @@ mod tests {
         assert!(lrs_state.stats.completed > 5, "completed {}", lrs_state.stats.completed);
         assert!(lrs_state.stats.tcp_fallbacks > 5);
         let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(guard_state.stats.tc_sent > 5);
+        assert!(guard_state.stats().tc_sent > 5);
         assert!(guard_state.proxy_stats().accepted > 5);
         assert!(guard_state.proxy_stats().requests_relayed > 5);
     }
@@ -1082,8 +1472,8 @@ mod tests {
         sim.add_node(Ipv4Addr::new(66, 1, 0, 0), CpuConfig::unbounded(), Forger);
         sim.run_until(SimTime::from_millis(50));
         let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert_eq!(guard_state.stats.ns_cookie_invalid, 100);
-        assert_eq!(guard_state.stats.forwarded, 0, "nothing reached the ANS");
+        assert_eq!(guard_state.stats().ns_cookie_invalid, 100);
+        assert_eq!(guard_state.stats().forwarded, 0, "nothing reached the ANS");
         assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
     }
 
@@ -1108,7 +1498,7 @@ mod tests {
         sim.add_node(Ipv4Addr::new(77, 1, 1, 1), CpuConfig::unbounded(), ExtForger);
         sim.run_until(SimTime::from_millis(50));
         let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert_eq!(guard_state.stats.ext_invalid, 50);
+        assert_eq!(guard_state.stats().ext_invalid, 50);
         assert_eq!(sim.node_ref::<AuthNode>(ans).unwrap().total_queries(), 0);
     }
 
@@ -1149,9 +1539,9 @@ mod tests {
         // takes ~0.4ms → ~2.5K/s) ... the client rate is above 1K/s so the
         // guard should engage; before engagement requests pass through.
         let guard_state = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(guard_state.stats.passthrough > 0, "initial window passed through");
+        assert!(guard_state.stats().passthrough > 0, "initial window passed through");
         assert!(guard_state.is_active(), "guard engaged once rate exceeded threshold");
-        assert!(guard_state.stats.fabricated_ns_sent > 0);
+        assert!(guard_state.stats().fabricated_ns_sent > 0);
         let _ = lrs;
     }
 
@@ -1166,7 +1556,7 @@ mod tests {
         sim.run_until(SimTime::from_millis(200));
         let after = sim.node_ref::<LrsSimulator>(lrs).unwrap();
         assert!(after.stats.completed > before, "cached cookies still verify after one rotation");
-        assert_eq!(sim.node_ref::<RemoteGuard>(guard).unwrap().stats.ns_cookie_invalid, 0);
+        assert_eq!(sim.node_ref::<RemoteGuard>(guard).unwrap().stats().ns_cookie_invalid, 0);
     }
 
     #[test]
@@ -1187,15 +1577,15 @@ mod tests {
         sim.run_until(SimTime::from_millis(700));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
         assert!(g.ans_is_down(), "health monitor noticed the crash");
-        assert_eq!(g.stats.ans_down_events, 1);
-        assert!(g.stats.ans_timeouts >= 2);
-        assert!(g.stats.ans_probes >= 2, "probing while down");
+        assert_eq!(g.stats().ans_down_events, 1);
+        assert!(g.stats().ans_timeouts >= 2);
+        assert!(g.stats().ans_probes >= 2, "probing while down");
 
         sim.restart(ans);
         sim.run_until(SimTime::from_millis(1_500));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
         assert!(!g.ans_is_down(), "probe response cleared the down state");
-        assert_eq!(g.stats.ans_recoveries, 1);
+        assert_eq!(g.stats().ans_recoveries, 1);
         let completed_after = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed;
         sim.run_until(SimTime::from_millis(1_700));
         assert!(
@@ -1220,9 +1610,9 @@ mod tests {
         sim.run_until(SimTime::from_millis(800));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
         assert!(g.ans_is_down());
-        assert!(g.stats.failed_closed > 0, "verified queries refused fast");
+        assert!(g.stats().failed_closed > 0, "verified queries refused fast");
         // Probes still go out despite the fail-closed gate.
-        assert!(g.stats.ans_probes >= 2);
+        assert!(g.stats().ans_probes >= 2);
         sim.restart(ans);
         sim.run_until(SimTime::from_millis(1_500));
         assert!(!sim.node_ref::<RemoteGuard>(guard).unwrap().ans_is_down());
@@ -1274,13 +1664,13 @@ mod tests {
         sim.add_node(Ipv4Addr::new(32, 0, 0, 1), CpuConfig::unbounded(), Flood);
         sim.run_until(SimTime::from_millis(20));
         let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-        assert!(g.stats.forwarded >= 2_000);
+        assert!(g.stats().forwarded >= 2_000);
         assert!(
             g.table_bytes() <= 8_192,
             "table {} bytes exceeds bound",
             g.table_bytes()
         );
-        assert!(g.stats.fwd_evicted > 0, "bound enforced by eviction");
+        assert!(g.stats().fwd_evicted > 0, "bound enforced by eviction");
     }
 
     #[test]
@@ -1310,6 +1700,55 @@ mod tests {
         let reply = sim.node_ref::<Asker>(asker).unwrap().reply.clone();
         let reply = reply.expect("got a response");
         assert_eq!(reply.header.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn attach_obs_exports_counters_and_decision_trace() {
+        let obs = obs::Obs::new();
+        obs.tracer.set_default_level(obs::trace::Level::Info);
+        let (mut sim, guard, _ans) = guarded_world(30, 0, SchemeMode::DnsBased);
+        sim.node_mut::<RemoteGuard>(guard).unwrap().attach_obs(&obs);
+        let lrs = add_lrs(&mut sim, 13, CookieMode::Plain, true);
+        sim.run_until(SimTime::from_millis(100));
+        let completed = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats.completed;
+        assert!(completed > 10);
+
+        // Registry view matches the snapshot view.
+        let stats = sim.node_ref::<RemoteGuard>(guard).unwrap().stats();
+        let snap = obs.registry.snapshot();
+        let find = |name: &str, labels: &[(&str, &str)]| {
+            snap.iter()
+                .find(|m| {
+                    m.component == "guard"
+                        && m.name == name
+                        && labels.iter().all(|(k, v)| {
+                            m.labels.iter().any(|(lk, lv)| lk == k && lv == v)
+                        })
+                })
+                .map(|m| match m.value {
+                    obs::metrics::SampleValue::Counter(v) => v,
+                    _ => panic!("expected counter"),
+                })
+        };
+        assert_eq!(
+            find("verify", &[("scheme", "ns_label"), ("verdict", "valid")]),
+            Some(stats.ns_cookie_valid)
+        );
+        assert_eq!(find("forwarded", &[]), Some(stats.forwarded));
+        assert_eq!(find("udp_datagrams", &[]), Some(stats.udp_datagrams));
+        assert!(
+            snap.iter().any(|m| m.component == "guard"
+                && m.name == "ans_rtt_ns"
+                && matches!(m.value, obs::metrics::SampleValue::Histogram { count, .. } if count > 0)),
+            "ANS round-trips recorded"
+        );
+
+        // Decision events arrived in sim-time order.
+        let (events, dropped) = obs.tracer.drain();
+        assert_eq!(dropped, 0);
+        assert!(events.iter().any(|e| e.kind == "verify"));
+        assert!(events.iter().any(|e| e.kind == "fabricated_ns"));
+        assert!(events.windows(2).all(|w| w[0].t_nanos <= w[1].t_nanos));
     }
 
     #[test]

@@ -100,6 +100,76 @@ mod proptests {
         fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
     }
 
+    /// Fires pre-built packets (arbitrary spoofed src/dst) at the guard.
+    struct PacketSpammer {
+        pkts: Vec<Packet>,
+    }
+    impl Node for PacketSpammer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            for p in self.pkts.drain(..) {
+                ctx.send(p);
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+    }
+
+    /// One adversarial datagram per kind selector, aimed at a different
+    /// pipeline disposition.
+    fn craft(kind: u8, i: usize) -> Packet {
+        use dnswire::cookie_ext;
+        let src = Endpoint::new(Ipv4Addr::from(0x0900_0000 + i as u32), 1234);
+        let dst = Endpoint::new(PUB, DNS_PORT);
+        let q = |name: &str| Message::iterative_query(i as u16, name.parse().unwrap(), RrType::A);
+        match kind {
+            // Undecodable bytes.
+            0 => Packet::udp(src, dst, vec![0xFF; 3 + i % 40]),
+            // In-bailiwick plain query.
+            1 => Packet::udp(src, dst, q("www.foo.com").encode()),
+            // Out-of-bailiwick plain query.
+            2 => Packet::udp(src, dst, q("h.elsewhere.example").encode()),
+            // Root query.
+            3 => Packet::udp(
+                src,
+                dst,
+                Message::iterative_query(i as u16, dnswire::Name::root(), RrType::Ns).encode(),
+            ),
+            // Cookie grant request (zero cookie).
+            4 => {
+                let mut m = q("www.foo.com");
+                cookie_ext::attach_cookie(&mut m, [0u8; 16], 0);
+                Packet::udp(src, dst, m.encode())
+            }
+            // Forged non-zero extension cookie.
+            5 => {
+                let mut m = q("www.foo.com");
+                cookie_ext::attach_cookie(&mut m, [0xAB; 16], 0);
+                Packet::udp(src, dst, m.encode())
+            }
+            // Forged cookie-embedded NS label.
+            6 => Packet::udp(src, dst, q(&format!("PR{i:08x}com")).encode()),
+            // Query to a guessed COOKIE2 subnet address.
+            7 => Packet::udp(
+                src,
+                Endpoint::new(Ipv4Addr::new(198, 41, 0, 1 + (i % 250) as u8), DNS_PORT),
+                q("www.foo.com").encode(),
+            ),
+            // Response-flagged datagram from a foreign source.
+            8 => {
+                let mut m = q("www.foo.com");
+                m.header.response = true;
+                Packet::udp(src, dst, m.encode())
+            }
+            // Response-flagged datagram spoofing the ANS address (matches
+            // no forward-table entry, or steals a live txid — either way
+            // exactly one bucket).
+            _ => {
+                let mut m = q("www.foo.com");
+                m.header.response = true;
+                Packet::udp(Endpoint::new(PRIV, DNS_PORT), dst, m.encode())
+            }
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -153,7 +223,7 @@ mod proptests {
             let stats = sim.node_ref::<LrsSimulator>(lrs).unwrap().stats;
             prop_assert!(stats.completed > 0, "no completions for {}", lrs_ip);
             let gs = sim.node_ref::<RemoteGuard>(guard).unwrap();
-            prop_assert_eq!(gs.stats.spoofed_dropped(), 0, "false positive for {}", lrs_ip);
+            prop_assert_eq!(gs.stats().spoofed_dropped(), 0, "false positive for {}", lrs_ip);
         }
 
         /// Spoofed guessers win at most at the cookie-range rate: 200
@@ -184,8 +254,52 @@ mod proptests {
             sim.add_node(Ipv4Addr::new(8, 0, 0, 1), CpuConfig::unbounded(), Spammer { payloads });
             sim.run_until(SimTime::from_millis(20));
             let gs = sim.node_ref::<RemoteGuard>(guard).unwrap();
-            prop_assert!(gs.stats.ns_cookie_valid <= 1, "guesses passed: {}", gs.stats.ns_cookie_valid);
-            prop_assert!(gs.stats.ns_cookie_invalid >= 199);
+            prop_assert!(gs.stats().ns_cookie_valid <= 1, "guesses passed: {}", gs.stats().ns_cookie_valid);
+            prop_assert!(gs.stats().ns_cookie_invalid >= 199);
+        }
+
+        /// Conservation: every UDP datagram entering the guard pipeline is
+        /// counted in exactly one terminal disposition bucket, whatever mix
+        /// of legitimate, malformed, spoofed and misdirected traffic
+        /// arrives, in every scheme.
+        #[test]
+        fn every_datagram_lands_in_one_bucket(
+            kinds in proptest::collection::vec(0u8..10, 1..100),
+            mode_sel in 0usize..3,
+        ) {
+            let (root, _, foo) = paper_hierarchy();
+            let (zone, lrs_mode, guard_mode) = match mode_sel {
+                0 => (root, CookieMode::Plain, SchemeMode::DnsBased),
+                1 => (foo, CookieMode::Plain, SchemeMode::TcpBased),
+                _ => (foo, CookieMode::Extension, SchemeMode::ModifiedOnly),
+            };
+            let authority = Authority::new(vec![zone]);
+            let mut sim = Simulator::new(kinds.len() as u64);
+            let gconfig = GuardConfig::new(PUB, PRIV).with_mode(guard_mode);
+            let guard = sim.add_node(
+                PUB,
+                CpuConfig::unbounded(),
+                RemoteGuard::new(gconfig, AuthorityClassifier::new(authority.clone())),
+            );
+            sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
+            sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority));
+            // A protocol-following requester alongside the junk, so valid
+            // verify/forward/relay paths are also in the mix.
+            let lrs_ip = Ipv4Addr::new(172, 16, 0, 1);
+            let mut lconfig = LrsSimConfig::new(lrs_ip, PUB, "www.foo.com".parse().unwrap());
+            lconfig.mode = lrs_mode;
+            sim.add_node(lrs_ip, CpuConfig::unbounded(), LrsSimulator::new(lconfig));
+            let pkts: Vec<Packet> = kinds.iter().enumerate().map(|(i, &k)| craft(k, i)).collect();
+            sim.add_node(Ipv4Addr::new(9, 0, 0, 1), CpuConfig::unbounded(), PacketSpammer { pkts });
+            sim.run_until(SimTime::from_millis(40));
+            let gs = sim.node_ref::<RemoteGuard>(guard).unwrap().stats();
+            prop_assert_eq!(
+                gs.udp_datagrams,
+                gs.disposition_total(),
+                "disposition buckets must partition the datagram count: {:?}",
+                gs
+            );
+            prop_assert!(gs.udp_datagrams >= kinds.len() as u64, "all crafted datagrams arrived");
         }
     }
 }

@@ -14,6 +14,7 @@
 
 use netsim::time::SimTime;
 use netsim::tokenbucket::TokenBucket;
+use obs::metrics::{Counter, Registry};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -28,10 +29,11 @@ pub struct SourceRateLimiter {
     per_source: HashMap<Ipv4Addr, TokenBucket>,
     per_source_rate: f64,
     per_source_burst: f64,
-    /// Admitted events.
-    pub admitted: u64,
+    /// Admitted events (detached registry counter; see
+    /// [`SourceRateLimiter::adopt_into`]).
+    admitted: Counter,
     /// Rejected events.
-    pub rejected: u64,
+    rejected: Counter,
 }
 
 impl SourceRateLimiter {
@@ -42,8 +44,8 @@ impl SourceRateLimiter {
             per_source: HashMap::new(),
             per_source_rate,
             per_source_burst: (per_source_rate / 10.0).max(8.0),
-            admitted: 0,
-            rejected: 0,
+            admitted: Counter::new(),
+            rejected: Counter::new(),
         }
     }
 
@@ -54,9 +56,27 @@ impl SourceRateLimiter {
             per_source: HashMap::new(),
             per_source_rate,
             per_source_burst: (per_source_rate / 10.0).max(8.0),
-            admitted: 0,
-            rejected: 0,
+            admitted: Counter::new(),
+            rejected: Counter::new(),
         }
+    }
+
+    /// Registers this limiter's counters in `registry` as
+    /// `<component>.rl_admitted{limiter=<limiter>}` /
+    /// `<component>.rl_rejected{limiter=<limiter>}`.
+    pub fn adopt_into(&self, registry: &Registry, component: &'static str, limiter: &'static str) {
+        registry.adopt_counter(component, "rl_admitted", &[("limiter", limiter)], &self.admitted);
+        registry.adopt_counter(component, "rl_rejected", &[("limiter", limiter)], &self.rejected);
+    }
+
+    /// Total admitted events.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.get()
+    }
+
+    /// Total rejected events.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.get()
     }
 
     /// Admits or rejects one event from `src` at time `now`.
@@ -67,7 +87,7 @@ impl SourceRateLimiter {
     pub fn admit(&mut self, now: SimTime, src: Ipv4Addr) -> bool {
         if let Some(global) = &mut self.global {
             if !global.try_take(now) {
-                self.rejected += 1;
+                self.rejected.inc();
                 return false;
             }
         }
@@ -83,10 +103,10 @@ impl SourceRateLimiter {
             .entry(src)
             .or_insert_with(|| TokenBucket::new(rate, burst));
         if bucket.try_take(now) {
-            self.admitted += 1;
+            self.admitted.inc();
             true
         } else {
-            self.rejected += 1;
+            self.rejected.inc();
             false
         }
     }
@@ -163,8 +183,28 @@ mod tests {
         for _ in 0..20 {
             let _ = rl.admit(t, ip(9));
         }
-        assert_eq!(rl.admitted + rl.rejected, 20);
-        assert!(rl.admitted >= 1);
-        assert!(rl.rejected >= 1);
+        assert_eq!(rl.admitted() + rl.rejected(), 20);
+        assert!(rl.admitted() >= 1);
+        assert!(rl.rejected() >= 1);
+    }
+
+    #[test]
+    fn adoption_exports_decisions() {
+        let reg = Registry::new();
+        let mut rl = SourceRateLimiter::per_source_only(1.0);
+        rl.adopt_into(&reg, "guard", "rl2");
+        let t = SimTime::from_secs(10);
+        for _ in 0..20 {
+            let _ = rl.admit(t, ip(3));
+        }
+        let total: u64 = reg
+            .snapshot()
+            .iter()
+            .map(|m| match m.value {
+                obs::metrics::SampleValue::Counter(v) => v,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(total, 20, "registry sees every decision");
     }
 }

@@ -21,9 +21,10 @@ use dnswire::message::Message;
 use netsim::packet::Packet;
 use netsim::tcp::{ConnKey, Segment, TcpEvent, TcpHost};
 use netsim::time::SimTime;
+use obs::metrics::{Counter, Registry};
 use std::collections::HashMap;
 
-/// Counters for the proxy.
+/// Counters for the proxy (a snapshot; see [`TcpProxy::stats`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ProxyStats {
     /// Connections accepted (handshake completed).
@@ -36,6 +37,17 @@ pub struct ProxyStats {
     pub responses_returned: u64,
     /// Connections reaped by the lifetime cap.
     pub reaped: u64,
+}
+
+/// Live proxy counters: detached registry handles, adopted by
+/// [`TcpProxy::adopt_into`].
+#[derive(Debug, Default)]
+struct ProxyMetrics {
+    accepted: Counter,
+    syn_rejected: Counter,
+    requests_relayed: Counter,
+    responses_returned: Counter,
+    reaped: Counter,
 }
 
 /// What the proxy wants its host (the guard node) to do.
@@ -68,8 +80,7 @@ pub struct TcpProxy {
     next_token: u64,
     conn_limiter: SourceRateLimiter,
     lifetime: SimTime,
-    /// Counters.
-    pub stats: ProxyStats,
+    metrics: ProxyMetrics,
 }
 
 impl TcpProxy {
@@ -88,7 +99,7 @@ impl TcpProxy {
             next_token: 1,
             conn_limiter: SourceRateLimiter::per_source_only(conn_rate),
             lifetime,
-            stats: ProxyStats::default(),
+            metrics: ProxyMetrics::default(),
         }
     }
 
@@ -97,13 +108,36 @@ impl TcpProxy {
         self.conns.len()
     }
 
+    /// A snapshot of the proxy counters.
+    pub fn stats(&self) -> ProxyStats {
+        ProxyStats {
+            accepted: self.metrics.accepted.get(),
+            syn_rejected: self.metrics.syn_rejected.get(),
+            requests_relayed: self.metrics.requests_relayed.get(),
+            responses_returned: self.metrics.responses_returned.get(),
+            reaped: self.metrics.reaped.get(),
+        }
+    }
+
+    /// Registers the proxy's counters (and its connection limiter) in
+    /// `registry` under component `proxy`.
+    pub fn adopt_into(&self, registry: &Registry) {
+        let m = &self.metrics;
+        registry.adopt_counter("proxy", "accepted", &[], &m.accepted);
+        registry.adopt_counter("proxy", "syn_rejected", &[], &m.syn_rejected);
+        registry.adopt_counter("proxy", "requests_relayed", &[], &m.requests_relayed);
+        registry.adopt_counter("proxy", "responses_returned", &[], &m.responses_returned);
+        registry.adopt_counter("proxy", "reaped", &[], &m.reaped);
+        self.conn_limiter.adopt_into(registry, "proxy", "conn");
+    }
+
     /// Handles an inbound TCP packet addressed to the guarded server.
     pub fn on_segment(&mut self, now: SimTime, pkt: &Packet) -> Vec<ProxyAction> {
         // Connection-rate limiting happens on the SYN, before any TCP
         // processing, so a flood from one source is cheap to shed.
         if let Some(seg) = Segment::decode(&pkt.payload) {
             if seg.flags.syn && !seg.flags.ack && !self.conn_limiter.admit(now, pkt.src.ip) {
-                self.stats.syn_rejected += 1;
+                self.metrics.syn_rejected.inc();
                 return Vec::new();
             }
         }
@@ -115,7 +149,7 @@ impl TcpProxy {
         for ev in events {
             match ev {
                 TcpEvent::Accepted(key) => {
-                    self.stats.accepted += 1;
+                    self.metrics.accepted.inc();
                     self.conns.insert(
                         key,
                         ConnState {
@@ -146,7 +180,7 @@ impl TcpProxy {
                         let token = self.next_token;
                         self.next_token += 1;
                         self.tokens.insert(token, key);
-                        self.stats.requests_relayed += 1;
+                        self.metrics.requests_relayed.inc();
                         actions.push(ProxyAction::ForwardQuery { token, query });
                     }
                 }
@@ -170,7 +204,7 @@ impl TcpProxy {
         framed.extend_from_slice(&(wire.len() as u16).to_be_bytes());
         framed.extend_from_slice(&wire);
         let pkt = self.tcp.send(key, framed)?;
-        self.stats.responses_returned += 1;
+        self.metrics.responses_returned.inc();
         Some(pkt)
     }
 
@@ -186,7 +220,7 @@ impl TcpProxy {
         for key in stale {
             self.conns.remove(&key);
             self.tcp.abort(&key);
-            self.stats.reaped += 1;
+            self.metrics.reaped.inc();
         }
         // Also drop orphaned tokens whose connection is gone.
         self.tokens.retain(|_, k| self.conns.contains_key(k));
@@ -264,8 +298,8 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, TcpEvent::Data(_, d) if d.len() > 2)));
-        assert_eq!(proxy.stats.requests_relayed, 1);
-        assert_eq!(proxy.stats.responses_returned, 1);
+        assert_eq!(proxy.stats().requests_relayed, 1);
+        assert_eq!(proxy.stats().responses_returned, 1);
     }
 
     #[test]
@@ -286,9 +320,9 @@ mod tests {
         let mut rejected = 0;
         for i in 0..100 {
             let pkt = Packet::tcp(ep(9, 6000 + i), guard_ep(), syn.encode());
-            let before = proxy.stats.syn_rejected;
+            let before = proxy.stats().syn_rejected;
             let _ = proxy.on_segment(now, &pkt);
-            if proxy.stats.syn_rejected > before {
+            if proxy.stats().syn_rejected > before {
                 rejected += 1;
             }
         }
@@ -305,7 +339,7 @@ mod tests {
         assert_eq!(proxy.reap(SimTime::from_millis(1)), 0, "young connection kept");
         assert_eq!(proxy.reap(SimTime::from_millis(3)), 1, "stale connection reaped");
         assert_eq!(proxy.open_connections(), 0);
-        assert_eq!(proxy.stats.reaped, 1);
+        assert_eq!(proxy.stats().reaped, 1);
     }
 
     #[test]

@@ -29,6 +29,8 @@
 
 use crate::packet::Packet;
 use crate::time::SimTime;
+use obs::metrics::Counter;
+use obs::trace::{ComponentTracer, Value};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::any::Any;
@@ -220,6 +222,34 @@ pub struct FaultStats {
     /// node had crashed, or had crashed and restarted since they were
     /// scheduled.
     pub crash_dropped: u64,
+}
+
+/// Live fault accounting: detached [`Counter`] handles (adopted into a
+/// registry by [`Simulator::attach_obs`]) plus the trace handle fault
+/// injections are reported through.
+#[derive(Debug)]
+struct FaultMetrics {
+    duplicated: Counter,
+    reordered: Counter,
+    corrupted: Counter,
+    injected_loss: Counter,
+    partition_dropped: Counter,
+    crash_dropped: Counter,
+    trace: ComponentTracer,
+}
+
+impl Default for FaultMetrics {
+    fn default() -> Self {
+        FaultMetrics {
+            duplicated: Counter::new(),
+            reordered: Counter::new(),
+            corrupted: Counter::new(),
+            injected_loss: Counter::new(),
+            partition_dropped: Counter::new(),
+            crash_dropped: Counter::new(),
+            trace: ComponentTracer::disabled(),
+        }
+    }
 }
 
 /// What a timed partition cuts off.
@@ -420,7 +450,7 @@ pub struct Simulator {
     faults: HashMap<(NodeId, NodeId), FaultPlan>,
     /// Timed partitions, checked at packet departure time.
     partitions: Vec<Partition>,
-    fault_stats: FaultStats,
+    fault_metrics: FaultMetrics,
 }
 
 impl Simulator {
@@ -441,8 +471,23 @@ impl Simulator {
             live_events: 0,
             faults: HashMap::new(),
             partitions: Vec::new(),
-            fault_stats: FaultStats::default(),
+            fault_metrics: FaultMetrics::default(),
         }
+    }
+
+    /// Attaches an observability bundle: the fault counters are adopted
+    /// into `obs.registry` under component `netsim`, and fault injections
+    /// start emitting trace events (component `netsim`, sim-time stamped).
+    pub fn attach_obs(&mut self, obs: &obs::Obs) {
+        let m = &self.fault_metrics;
+        let r = &obs.registry;
+        r.adopt_counter("netsim", "fault_duplicated", &[], &m.duplicated);
+        r.adopt_counter("netsim", "fault_reordered", &[], &m.reordered);
+        r.adopt_counter("netsim", "fault_corrupted", &[], &m.corrupted);
+        r.adopt_counter("netsim", "fault_injected_loss", &[], &m.injected_loss);
+        r.adopt_counter("netsim", "fault_partition_dropped", &[], &m.partition_dropped);
+        r.adopt_counter("netsim", "fault_crash_dropped", &[], &m.crash_dropped);
+        self.fault_metrics.trace = obs.tracer.component("netsim");
     }
 
     /// Registers `gateway` as the egress tap for `node`: every packet
@@ -584,9 +629,18 @@ impl Simulator {
         self.nodes[node].crashed
     }
 
-    /// Counters of all injected faults so far.
+    /// Counters of all injected faults so far (snapshot of the live
+    /// registry-backed counters).
     pub fn fault_stats(&self) -> FaultStats {
-        self.fault_stats
+        let m = &self.fault_metrics;
+        FaultStats {
+            duplicated: m.duplicated.get(),
+            reordered: m.reordered.get(),
+            corrupted: m.corrupted.get(),
+            injected_loss: m.injected_loss.get(),
+            partition_dropped: m.partition_dropped.get(),
+            crash_dropped: m.crash_dropped.get(),
+        }
     }
 
     /// Current simulated time.
@@ -690,7 +744,12 @@ impl Simulator {
         {
             let slot = &self.nodes[ev.kind.target()];
             if slot.crashed || slot.epoch != ev.epoch {
-                self.fault_stats.crash_dropped += 1;
+                self.fault_metrics.crash_dropped.inc();
+                self.fault_metrics.trace.event(
+                    ev.time.as_nanos(),
+                    "crash_dropped",
+                    &[("node", Value::U64(ev.kind.target() as u64))],
+                );
                 return true;
             }
         }
@@ -782,7 +841,15 @@ impl Simulator {
             return;
         };
         if self.is_partitioned(from, dst_node, depart) {
-            self.fault_stats.partition_dropped += 1;
+            self.fault_metrics.partition_dropped.inc();
+            self.fault_metrics.trace.event(
+                depart.as_nanos(),
+                "partition_dropped",
+                &[
+                    ("from", Value::U64(from as u64)),
+                    ("to", Value::U64(dst_node as u64)),
+                ],
+            );
             return;
         }
         let params = self
@@ -809,11 +876,27 @@ impl Simulator {
             .copied()
             .unwrap_or_default();
         if fault.loss > 0.0 && self.rng.gen::<f64>() < fault.loss {
-            self.fault_stats.injected_loss += 1;
+            self.fault_metrics.injected_loss.inc();
+            self.fault_metrics.trace.event(
+                depart.as_nanos(),
+                "injected_loss",
+                &[
+                    ("from", Value::U64(from as u64)),
+                    ("to", Value::U64(dst_node as u64)),
+                ],
+            );
             return;
         }
         let copies = if fault.duplicate > 0.0 && self.rng.gen::<f64>() < fault.duplicate {
-            self.fault_stats.duplicated += 1;
+            self.fault_metrics.duplicated.inc();
+            self.fault_metrics.trace.event(
+                depart.as_nanos(),
+                "duplicated",
+                &[
+                    ("from", Value::U64(from as u64)),
+                    ("to", Value::U64(dst_node as u64)),
+                ],
+            );
             2
         } else {
             1
@@ -831,14 +914,30 @@ impl Simulator {
                 let idx = self.rng.gen_range(0..pkt.payload.len());
                 let mask = self.rng.gen_range(1..=255u8); // non-zero: always changes the byte
                 pkt.payload[idx] ^= mask;
-                self.fault_stats.corrupted += 1;
+                self.fault_metrics.corrupted.inc();
+                self.fault_metrics.trace.event(
+                    depart.as_nanos(),
+                    "corrupted",
+                    &[
+                        ("from", Value::U64(from as u64)),
+                        ("to", Value::U64(dst_node as u64)),
+                    ],
+                );
             }
             if fault.reorder > 0.0
                 && fault.jitter > SimTime::ZERO
                 && self.rng.gen::<f64>() < fault.reorder
             {
                 delay += SimTime::from_nanos(self.rng.gen_range(0..=fault.jitter.as_nanos()));
-                self.fault_stats.reordered += 1;
+                self.fault_metrics.reordered.inc();
+                self.fault_metrics.trace.event(
+                    depart.as_nanos(),
+                    "reordered",
+                    &[
+                        ("from", Value::U64(from as u64)),
+                        ("to", Value::U64(dst_node as u64)),
+                    ],
+                );
             }
             self.push(depart + delay, EventKind::Deliver(dst_node, pkt));
         }
@@ -1254,6 +1353,48 @@ mod tests {
         let received = sim.node_ref::<Sink>(s).unwrap().received;
         assert_eq!(sim.fault_stats().partition_dropped, 30);
         assert_eq!(received, 70);
+    }
+
+    #[test]
+    fn attach_obs_exports_fault_counters_and_trace() {
+        let obs = obs::Obs::new();
+        obs.tracer.set_default_level(obs::trace::Level::Info);
+        let mut sim = Simulator::new(15);
+        sim.attach_obs(&obs);
+        let blaster = Blaster {
+            target: ep(2, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 100,
+        };
+        let b = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let s = sim.add_node(Ipv4Addr::new(10, 0, 0, 2), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.partition(b, s, SimTime::from_millis(20), SimTime::from_millis(50));
+        sim.run();
+        assert_eq!(sim.fault_stats().partition_dropped, 30);
+        let dropped = obs
+            .registry
+            .snapshot()
+            .into_iter()
+            .find(|m| m.name == "fault_partition_dropped")
+            .expect("registered");
+        assert!(
+            matches!(dropped.value, obs::metrics::SampleValue::Counter(30)),
+            "registry sees the same count: {dropped:?}"
+        );
+        let (events, lost) = obs.tracer.drain();
+        assert_eq!(lost, 0);
+        let drops: Vec<_> = events
+            .iter()
+            .filter(|e| e.component == "netsim" && e.kind == "partition_dropped")
+            .collect();
+        assert_eq!(drops.len(), 30);
+        // Sim-time stamped within the partition window, in order.
+        assert!(drops
+            .windows(2)
+            .all(|w| w[0].t_nanos <= w[1].t_nanos));
+        assert!(drops[0].t_nanos >= SimTime::from_millis(20).as_nanos());
+        assert!(drops[29].t_nanos < SimTime::from_millis(50).as_nanos());
     }
 
     #[test]

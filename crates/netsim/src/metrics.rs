@@ -2,6 +2,7 @@
 //! meters and latency recorders.
 
 use crate::time::SimTime;
+use std::cell::RefCell;
 
 /// Counts events and reports a rate over an explicit window.
 ///
@@ -55,9 +56,14 @@ impl RateMeter {
 }
 
 /// Records latency samples and reports summary statistics.
+///
+/// Quantile reads sort lazily: the first [`LatencyRecorder::quantile`]
+/// after a mutation sorts once and caches; further reads are O(1) until
+/// the next [`LatencyRecorder::record`] or [`LatencyRecorder::clear`].
 #[derive(Debug, Clone, Default)]
 pub struct LatencyRecorder {
     samples: Vec<SimTime>,
+    sorted: RefCell<Option<Vec<SimTime>>>,
 }
 
 impl LatencyRecorder {
@@ -69,6 +75,7 @@ impl LatencyRecorder {
     /// Adds one sample.
     pub fn record(&mut self, sample: SimTime) {
         self.samples.push(sample);
+        self.sorted.get_mut().take();
     }
 
     /// Number of samples.
@@ -95,8 +102,12 @@ impl LatencyRecorder {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
+        let mut cache = self.sorted.borrow_mut();
+        let sorted = cache.get_or_insert_with(|| {
+            let mut v = self.samples.clone();
+            v.sort_unstable();
+            v
+        });
         let rank = ((sorted.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
         Some(sorted[rank])
     }
@@ -109,6 +120,7 @@ impl LatencyRecorder {
     /// Drops all samples.
     pub fn clear(&mut self) {
         self.samples.clear();
+        self.sorted.get_mut().take();
     }
 }
 
@@ -132,10 +144,16 @@ impl TrafficMeter {
         self.bytes_out += wire_bytes as u64;
     }
 
-    /// Amplification ratio `out/in`; 1.0 when nothing was received.
+    /// Amplification ratio `out/in`. With nothing received, output is
+    /// unsolicited: `f64::INFINITY` when any bytes went out, 1.0 (neutral)
+    /// only when the meter is completely idle.
     pub fn amplification(&self) -> f64 {
         if self.bytes_in == 0 {
-            1.0
+            if self.bytes_out > 0 {
+                f64::INFINITY
+            } else {
+                1.0
+            }
         } else {
             self.bytes_out as f64 / self.bytes_in as f64
         }
@@ -187,9 +205,32 @@ mod tests {
     #[test]
     fn amplification_ratio() {
         let mut t = TrafficMeter::default();
-        assert_eq!(t.amplification(), 1.0);
+        assert_eq!(t.amplification(), 1.0, "idle meter is neutral");
         t.rx(50);
         t.tx(74);
         assert!((t.amplification() - 1.48).abs() < 1e-9, "paper: DNS-based ≤ 1.5×");
+    }
+
+    #[test]
+    fn amplification_unsolicited_output_is_infinite() {
+        let mut t = TrafficMeter::default();
+        t.tx(100);
+        assert_eq!(t.amplification(), f64::INFINITY);
+    }
+
+    #[test]
+    fn quantile_cache_invalidates_on_mutation() {
+        let mut r = LatencyRecorder::new();
+        r.record(SimTime::from_millis(10));
+        assert_eq!(r.quantile(1.0), Some(SimTime::from_millis(10)));
+        // A second read hits the cache; a record invalidates it.
+        assert_eq!(r.quantile(0.5), Some(SimTime::from_millis(10)));
+        r.record(SimTime::from_millis(5));
+        assert_eq!(r.quantile(0.0), Some(SimTime::from_millis(5)));
+        assert_eq!(r.quantile(1.0), Some(SimTime::from_millis(10)));
+        r.clear();
+        assert!(r.quantile(0.5).is_none());
+        r.record(SimTime::from_millis(7));
+        assert_eq!(r.quantile(0.5), Some(SimTime::from_millis(7)));
     }
 }

@@ -1,0 +1,478 @@
+//! Telemetry export: JSON snapshots, JSONL event traces, a sim-time-cadence
+//! time-series [`Sampler`], and a dependency-free JSON validator for CI.
+//!
+//! All serialisation is hand-written (the workspace vendors only a marker
+//! `serde`, no `serde_json`), so the formats are deliberately simple:
+//!
+//! * **Metrics snapshot** ([`metrics_json`]) — one JSON object with a
+//!   `metrics` array of `{component, name, labels, kind, ...}` objects.
+//! * **Event trace** ([`events_jsonl`]) — one JSON object per line:
+//!   `{"t": <nanos>, "component": "...", "kind": "...", "fields": {...}}`,
+//!   lines ordered oldest-first (sim-time order for simulator runs).
+//! * **Time series** ([`Sampler::series_json`]) — per flat metric key, the
+//!   `[t_nanos, value]` pairs collected at each [`Sampler::sample`] call.
+
+use crate::metrics::{Cell, MetricSample, Registry, SampleValue};
+use crate::trace::{Event, Value};
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn escape_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(v: f64, out: &mut String) {
+    // JSON has no Infinity/NaN literals; encode them as strings.
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+        // `{}` on a whole f64 prints no decimal point; keep it a JSON
+        // number either way (integers are valid JSON numbers).
+    } else {
+        escape_json_str(&format!("{v}"), out);
+    }
+}
+
+fn push_value(v: &Value, out: &mut String) {
+    match v {
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => push_f64(*f, out),
+        Value::Str(s) => escape_json_str(s, out),
+        Value::Ip(ip) => escape_json_str(&ip.to_string(), out),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn push_sample(s: &MetricSample, out: &mut String) {
+    out.push_str("{\"component\":");
+    escape_json_str(s.component, out);
+    out.push_str(",\"name\":");
+    escape_json_str(s.name, out);
+    out.push_str(",\"labels\":{");
+    for (i, (k, v)) in s.labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json_str(k, out);
+        out.push(':');
+        escape_json_str(v, out);
+    }
+    out.push('}');
+    match &s.value {
+        SampleValue::Counter(v) => {
+            out.push_str(&format!(",\"kind\":\"counter\",\"value\":{v}"));
+        }
+        SampleValue::Gauge(v) => {
+            out.push_str(&format!(",\"kind\":\"gauge\",\"value\":{v}"));
+        }
+        SampleValue::Histogram { count, sum, buckets } => {
+            out.push_str(&format!(
+                ",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":["
+            ));
+            for (i, (bound, n)) in buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bound},{n}]"));
+            }
+            out.push(']');
+        }
+    }
+    out.push('}');
+}
+
+/// Serialises a metrics snapshot as one JSON object:
+/// `{"metrics": [ ... ]}`.
+pub fn metrics_json(samples: &[MetricSample]) -> String {
+    let mut out = String::with_capacity(64 + samples.len() * 96);
+    out.push_str("{\"metrics\":[");
+    for (i, s) in samples.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_sample(s, &mut out);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Serialises one event as a single-line JSON object (no trailing newline).
+pub fn event_json(e: &Event) -> String {
+    let mut out = String::with_capacity(96);
+    out.push_str("{\"t\":");
+    out.push_str(&e.t_nanos.to_string());
+    out.push_str(",\"component\":");
+    escape_json_str(e.component, &mut out);
+    out.push_str(",\"kind\":");
+    escape_json_str(e.kind, &mut out);
+    out.push_str(",\"fields\":{");
+    for (i, (k, v)) in e.fields().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_json_str(k, &mut out);
+        out.push(':');
+        push_value(v, &mut out);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Serialises events as JSONL: one object per line, oldest first, trailing
+/// newline after the last line (empty string for no events).
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        out.push_str(&event_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+/// Collects a scalar time series for every metric registered at
+/// construction time, on whatever cadence the caller drives
+/// [`Sampler::sample`] (sim-time ticks in the simulator).
+///
+/// Counters and gauges sample their value; histograms sample their count.
+#[derive(Debug)]
+pub struct Sampler {
+    cells: Vec<(String, Cell)>,
+    /// `points[i]` parallels `cells[i]`.
+    points: Vec<Vec<(u64, u64)>>,
+}
+
+impl Sampler {
+    /// Snapshots the registry's current metric set. Metrics registered
+    /// after construction are not sampled — build the sampler after the
+    /// world is wired up.
+    pub fn new(registry: &Registry) -> Sampler {
+        let cells = registry.cells();
+        let points = cells.iter().map(|_| Vec::new()).collect();
+        Sampler { cells, points }
+    }
+
+    /// Records one `[t_nanos, value]` point per tracked metric.
+    pub fn sample(&mut self, t_nanos: u64) {
+        for (i, (_, cell)) in self.cells.iter().enumerate() {
+            self.points[i].push((t_nanos, cell.scalar()));
+        }
+    }
+
+    /// Number of tracked metrics.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no metrics are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Serialises the collected series as one JSON object:
+    /// `{"series": {"<flat key>": [[t, v], ...], ...}}`.
+    pub fn series_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.cells.len() * 128);
+        out.push_str("{\"series\":{");
+        for (i, (key, _)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            escape_json_str(key, &mut out);
+            out.push_str(":[");
+            for (j, (t, v)) in self.points[i].iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{t},{v}]"));
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON value (surrounded by
+/// optional whitespace). Returns the byte offset of the first error.
+///
+/// This is a structural check for CI smoke tests — it accepts everything
+/// [RFC 8259](https://www.rfc-editor.org/rfc/rfc8259) accepts except it
+/// does not enforce unique object keys.
+pub fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut i = 0;
+    skip_ws(b, &mut i);
+    parse_value(b, &mut i)?;
+    skip_ws(b, &mut i);
+    if i == b.len() {
+        Ok(())
+    } else {
+        Err(i)
+    }
+}
+
+/// Validates JSONL: every non-empty line must be one well-formed JSON
+/// value. Returns `(line_index, byte_offset_in_line)` of the first error.
+pub fn validate_jsonl(s: &str) -> Result<(), (usize, usize)> {
+    for (ln, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|off| (ln, off))?;
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], i: &mut usize) {
+    while *i < b.len() && matches!(b[*i], b' ' | b'\t' | b'\n' | b'\r') {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    match b.get(*i) {
+        Some(b'{') => parse_object(b, i),
+        Some(b'[') => parse_array(b, i),
+        Some(b'"') => parse_string(b, i),
+        Some(b't') => parse_lit(b, i, b"true"),
+        Some(b'f') => parse_lit(b, i, b"false"),
+        Some(b'n') => parse_lit(b, i, b"null"),
+        Some(b'-') | Some(b'0'..=b'9') => parse_number(b, i),
+        _ => Err(*i),
+    }
+}
+
+fn parse_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), usize> {
+    if b.len() - *i >= lit.len() && &b[*i..*i + lit.len()] == lit {
+        *i += lit.len();
+        Ok(())
+    } else {
+        Err(*i)
+    }
+}
+
+fn parse_object(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // '{'
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b'}') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b'"') {
+            return Err(*i);
+        }
+        parse_string(b, i)?;
+        skip_ws(b, i);
+        if b.get(*i) != Some(&b':') {
+            return Err(*i);
+        }
+        *i += 1;
+        skip_ws(b, i);
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b'}') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // '['
+    skip_ws(b, i);
+    if b.get(*i) == Some(&b']') {
+        *i += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, i);
+        parse_value(b, i)?;
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b',') => *i += 1,
+            Some(b']') => {
+                *i += 1;
+                return Ok(());
+            }
+            _ => return Err(*i),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    *i += 1; // '"'
+    while let Some(&c) = b.get(*i) {
+        match c {
+            b'"' => {
+                *i += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') | Some(b'\\') | Some(b'/') | Some(b'b') | Some(b'f')
+                    | Some(b'n') | Some(b'r') | Some(b't') => *i += 1,
+                    Some(b'u') => {
+                        *i += 1;
+                        for _ in 0..4 {
+                            if !b.get(*i).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(*i);
+                            }
+                            *i += 1;
+                        }
+                    }
+                    _ => return Err(*i),
+                }
+            }
+            0x00..=0x1f => return Err(*i),
+            _ => *i += 1,
+        }
+    }
+    Err(*i)
+}
+
+fn parse_number(b: &[u8], i: &mut usize) -> Result<(), usize> {
+    if b.get(*i) == Some(&b'-') {
+        *i += 1;
+    }
+    match b.get(*i) {
+        Some(b'0') => *i += 1,
+        Some(b'1'..=b'9') => {
+            while b.get(*i).is_some_and(u8::is_ascii_digit) {
+                *i += 1;
+            }
+        }
+        _ => return Err(*i),
+    }
+    if b.get(*i) == Some(&b'.') {
+        *i += 1;
+        if !b.get(*i).is_some_and(u8::is_ascii_digit) {
+            return Err(*i);
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    if matches!(b.get(*i), Some(b'e') | Some(b'E')) {
+        *i += 1;
+        if matches!(b.get(*i), Some(b'+') | Some(b'-')) {
+            *i += 1;
+        }
+        if !b.get(*i).is_some_and(u8::is_ascii_digit) {
+            return Err(*i);
+        }
+        while b.get(*i).is_some_and(u8::is_ascii_digit) {
+            *i += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Level, Tracer};
+    use std::net::Ipv4Addr;
+
+    #[test]
+    fn metrics_snapshot_is_valid_json() {
+        let reg = Registry::new();
+        reg.counter("guard", "forwarded", &[("scheme", "dns_based")]).add(3);
+        reg.gauge("guard", "fwd_bytes", &[]).set(512);
+        let h = reg.histogram("guard", "latency_ns", &[]);
+        h.record(100);
+        h.record(100_000);
+        let json = metrics_json(&reg.snapshot());
+        validate_json(&json).unwrap_or_else(|off| panic!("invalid at {off}: {json}"));
+        assert!(json.contains("\"guard\""));
+        assert!(json.contains("\"kind\":\"histogram\""));
+        assert!(json.contains("\"scheme\":\"dns_based\""));
+    }
+
+    #[test]
+    fn events_jsonl_is_valid_and_ordered() {
+        let tracer = Tracer::new(16);
+        tracer.set_default_level(Level::Info);
+        let t = tracer.component("guard");
+        t.event(5, "grant", &[("src", Value::Ip(Ipv4Addr::new(10, 0, 0, 2)))]);
+        t.event(9, "rl_drop", &[("limiter", Value::Str("rl1")), ("ok", Value::Bool(false))]);
+        let (events, _) = tracer.drain();
+        let jsonl = events_jsonl(&events);
+        validate_jsonl(&jsonl).unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"t\":5,"));
+        assert!(lines[1].contains("\"kind\":\"rl_drop\""));
+        assert!(lines[1].contains("\"ok\":false"));
+        assert!(lines[0].contains("\"src\":\"10.0.0.2\""));
+    }
+
+    #[test]
+    fn sampler_collects_series() {
+        let reg = Registry::new();
+        let c = reg.counter("guard", "forwarded", &[]);
+        let mut sampler = Sampler::new(&reg);
+        sampler.sample(0);
+        c.add(10);
+        sampler.sample(1_000_000);
+        c.add(5);
+        sampler.sample(2_000_000);
+        let json = sampler.series_json();
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"guard.forwarded\":[[0,0],[1000000,10],[2000000,15]]"));
+    }
+
+    #[test]
+    fn sampler_ignores_late_registrations() {
+        let reg = Registry::new();
+        reg.counter("a", "x", &[]);
+        let mut sampler = Sampler::new(&reg);
+        reg.counter("b", "y", &[]);
+        sampler.sample(0);
+        assert_eq!(sampler.len(), 1);
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_strings() {
+        let tracer = Tracer::new(4);
+        tracer.set_default_level(Level::Info);
+        let t = tracer.component("m");
+        t.event(0, "amp", &[("ratio", Value::F64(f64::INFINITY))]);
+        let (events, _) = tracer.drain();
+        let line = event_json(&events[0]);
+        validate_json(&line).unwrap();
+        assert!(line.contains("\"ratio\":\"inf\""));
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        validate_json("{\"a\": [1, -2.5e3, null, true, \"x\\n\"]}").unwrap();
+        validate_json("  42 ").unwrap();
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("01").is_err());
+        assert!(validate_json("{} {}").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_jsonl("{\"a\":1}\n\n{\"b\":2}\n").is_ok());
+        assert_eq!(validate_jsonl("{}\nnope\n"), Err((1, 0)));
+    }
+}

@@ -15,25 +15,28 @@ use dnswire::message::{Message, MAX_UDP_PAYLOAD};
 use guardhash::cookie::CookieFactory;
 use guardhash::Cookie;
 use netsim::time::SimTime;
+use obs::metrics::Counter;
+use obs::trace::{ComponentTracer, Value};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{IpAddr, SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Counters shared with the guard thread.
+/// Counters shared with the guard thread (detached registry handles;
+/// adopted into a registry by [`GuardServer::spawn_with_obs`]).
 #[derive(Debug, Default)]
 pub struct GuardCounters {
     /// Requests forwarded to the ANS.
-    pub forwarded: AtomicU64,
+    pub forwarded: Counter,
     /// Cookie grants issued.
-    pub grants: AtomicU64,
+    pub grants: Counter,
     /// Requests dropped as spoofed (bad cookie).
-    pub dropped_spoofed: AtomicU64,
+    pub dropped_spoofed: Counter,
     /// Requests dropped by the cookie-response rate limiter.
-    pub dropped_rl1: AtomicU64,
+    pub dropped_rl1: Counter,
 }
 
 /// A live remote guard on a background thread.
@@ -51,6 +54,29 @@ pub struct GuardServer {
 impl GuardServer {
     /// Spawns a guard forwarding verified queries to `ans`.
     pub fn spawn(ans: SocketAddr, key_seed: u64) -> io::Result<GuardServer> {
+        Self::spawn_inner(ans, key_seed, ComponentTracer::disabled())
+    }
+
+    /// Like [`GuardServer::spawn`], with the guard's counters adopted into
+    /// `obs.registry` (component `guard_server`) and decisions traced under
+    /// the same component. Event timestamps are nanoseconds since spawn —
+    /// the live guard's equivalent of sim-time.
+    pub fn spawn_with_obs(ans: SocketAddr, key_seed: u64, obs: &obs::Obs) -> io::Result<GuardServer> {
+        let server = Self::spawn_inner(ans, key_seed, obs.tracer.component("guard_server"))?;
+        let c = &server.counters;
+        let r = &obs.registry;
+        r.adopt_counter("guard_server", "forwarded", &[], &c.forwarded);
+        r.adopt_counter("guard_server", "grants", &[], &c.grants);
+        r.adopt_counter("guard_server", "dropped_spoofed", &[], &c.dropped_spoofed);
+        r.adopt_counter("guard_server", "dropped_rl1", &[], &c.dropped_rl1);
+        Ok(server)
+    }
+
+    fn spawn_inner(
+        ans: SocketAddr,
+        key_seed: u64,
+        trace: ComponentTracer,
+    ) -> io::Result<GuardServer> {
         let sock = UdpSocket::bind("127.0.0.1:0")?;
         sock.set_read_timeout(Some(Duration::from_millis(50)))?;
         let addr = sock.local_addr()?;
@@ -92,20 +118,31 @@ impl GuardServer {
                 let Some(ext) = cookie_ext::find_cookie(&msg) else {
                     // Cookie-less request: grant a cookie (rate limited).
                     if !rl1.lock().admit(now, peer_ip) {
-                        t_counters.dropped_rl1.fetch_add(1, Ordering::Relaxed);
+                        t_counters.dropped_rl1.inc();
+                        trace.event(
+                            now.as_nanos(),
+                            "rl_drop",
+                            &[("limiter", Value::Str("rl1")), ("src", Value::Ip(peer_ip))],
+                        );
                         continue;
                     }
                     let cookie = factory.lock().generate(peer_ip);
                     let mut grant = msg.response();
                     cookie_ext::attach_cookie(&mut grant, cookie.0, 604_800);
                     let _ = sock.send_to(&grant.encode(), peer);
-                    t_counters.grants.fetch_add(1, Ordering::Relaxed);
+                    t_counters.grants.inc();
+                    trace.event(now.as_nanos(), "grant", &[("src", Value::Ip(peer_ip))]);
                     continue;
                 };
 
                 if ext.is_request() {
                     if !rl1.lock().admit(now, peer_ip) {
-                        t_counters.dropped_rl1.fetch_add(1, Ordering::Relaxed);
+                        t_counters.dropped_rl1.inc();
+                        trace.event(
+                            now.as_nanos(),
+                            "rl_drop",
+                            &[("limiter", Value::Str("rl1")), ("src", Value::Ip(peer_ip))],
+                        );
                         continue;
                     }
                     let cookie = factory.lock().generate(peer_ip);
@@ -113,20 +150,39 @@ impl GuardServer {
                     cookie_ext::strip_cookie(&mut grant);
                     cookie_ext::attach_cookie(&mut grant, cookie.0, 604_800);
                     let _ = sock.send_to(&grant.encode(), peer);
-                    t_counters.grants.fetch_add(1, Ordering::Relaxed);
+                    t_counters.grants.inc();
+                    trace.event(now.as_nanos(), "grant", &[("src", Value::Ip(peer_ip))]);
                     continue;
                 }
 
                 if !factory.lock().verify(peer_ip, &Cookie(ext.cookie)) {
-                    t_counters.dropped_spoofed.fetch_add(1, Ordering::Relaxed);
+                    t_counters.dropped_spoofed.inc();
+                    trace.event(
+                        now.as_nanos(),
+                        "verify",
+                        &[
+                            ("scheme", Value::Str("ext")),
+                            ("verdict", Value::Str("invalid")),
+                            ("src", Value::Ip(peer_ip)),
+                        ],
+                    );
                     continue;
                 }
+                trace.event(
+                    now.as_nanos(),
+                    "verify",
+                    &[
+                        ("scheme", Value::Str("ext")),
+                        ("verdict", Value::Str("valid")),
+                        ("src", Value::Ip(peer_ip)),
+                    ],
+                );
                 // Verified: strip the extension, proxy to the ANS.
                 cookie_ext::strip_cookie(&mut msg);
                 if upstream.send_to(&msg.encode(), ans).is_err() {
                     continue;
                 }
-                t_counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                t_counters.forwarded.inc();
                 let mut rbuf = [0u8; 2048];
                 if let Ok((rlen, _)) = upstream.recv_from(&mut rbuf) {
                     if let Ok(resp) = Message::decode(&rbuf[..rlen]) {
@@ -154,10 +210,10 @@ impl GuardServer {
     /// Counter snapshot: `(forwarded, grants, dropped_spoofed, dropped_rl1)`.
     pub fn counters(&self) -> (u64, u64, u64, u64) {
         (
-            self.counters.forwarded.load(Ordering::Relaxed),
-            self.counters.grants.load(Ordering::Relaxed),
-            self.counters.dropped_spoofed.load(Ordering::Relaxed),
-            self.counters.dropped_rl1.load(Ordering::Relaxed),
+            self.counters.forwarded.get(),
+            self.counters.grants.get(),
+            self.counters.dropped_spoofed.get(),
+            self.counters.dropped_rl1.get(),
         )
     }
 
@@ -216,6 +272,39 @@ mod tests {
         assert_eq!(forwarded, 2);
         assert_eq!(spoofed, 0);
         assert_eq!(ans.served(), 2);
+
+        guard.shutdown();
+        ans.shutdown();
+    }
+
+    #[test]
+    fn obs_attached_guard_exports_counters_and_trace() {
+        let obs = obs::Obs::new();
+        obs.tracer.set_default_level(obs::trace::Level::Info);
+        let (_, _, foo) = paper_hierarchy();
+        let ans = ToyAns::spawn(Authority::new(vec![foo])).unwrap();
+        let guard = GuardServer::spawn_with_obs(ans.addr(), 44, &obs).unwrap();
+
+        let mut client = CookieClient::connect(guard.addr()).unwrap();
+        let resp = client.query("www.foo.com".parse().unwrap(), RrType::A).unwrap();
+        assert_eq!(resp.answers[0].rdata, RData::A(WWW_ADDR));
+
+        let snap = obs.registry.snapshot();
+        let get = |name: &str| {
+            snap.iter()
+                .find(|m| m.component == "guard_server" && m.name == name)
+                .map(|m| match m.value {
+                    obs::metrics::SampleValue::Counter(v) => v,
+                    _ => 0,
+                })
+        };
+        assert_eq!(get("grants"), Some(1));
+        assert_eq!(get("forwarded"), Some(1));
+        let (events, _) = obs.tracer.drain();
+        assert!(events.iter().any(|e| e.kind == "grant"));
+        assert!(events
+            .iter()
+            .any(|e| e.kind == "verify" && e.field("verdict") == Some(Value::Str("valid"))));
 
         guard.shutdown();
         ans.shutdown();

@@ -9,9 +9,10 @@
 //! clients, this is the complete TCP-based scheme on loopback.
 
 use dnswire::message::Message;
+use obs::metrics::Counter;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -38,7 +39,7 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
 pub struct TcpFront {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    relayed: Arc<AtomicU64>,
+    relayed: Counter,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -50,7 +51,7 @@ impl TcpFront {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let relayed = Arc::new(AtomicU64::new(0));
+        let relayed = Counter::new();
 
         let t_stop = stop.clone();
         let t_relayed = relayed.clone();
@@ -84,7 +85,7 @@ impl TcpFront {
                     };
                     // Count before replying: anyone who has seen the
                     // response must also see the counter.
-                    t_relayed.fetch_add(1, Ordering::Release);
+                    t_relayed.inc_release();
                     if write_frame(&mut stream, &buf[..len]).is_err() {
                         break;
                     }
@@ -107,7 +108,13 @@ impl TcpFront {
 
     /// Queries relayed so far.
     pub fn relayed(&self) -> u64 {
-        self.relayed.load(Ordering::Acquire)
+        self.relayed.get_acquire()
+    }
+
+    /// Registers the relay counter in `obs.registry` as
+    /// `tcp_front.relayed`.
+    pub fn attach_obs(&self, obs: &obs::Obs) {
+        obs.registry.adopt_counter("tcp_front", "relayed", &[], &self.relayed);
     }
 
     /// Stops the proxy thread.

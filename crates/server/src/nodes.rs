@@ -60,10 +60,11 @@ pub struct AuthNode {
     costs: ServerCosts,
     tcp: TcpHost,
     tcp_bufs: HashMap<netsim::tcp::ConnKey, Vec<u8>>,
-    /// UDP queries served.
-    pub udp_queries: u64,
+    /// UDP queries served (detached registry counter; see
+    /// [`AuthNode::attach_obs`]).
+    udp_queries: obs::metrics::Counter,
     /// TCP queries served.
-    pub tcp_queries: u64,
+    tcp_queries: obs::metrics::Counter,
 }
 
 impl AuthNode {
@@ -82,14 +83,43 @@ impl AuthNode {
             costs,
             tcp,
             tcp_bufs: HashMap::new(),
-            udp_queries: 0,
-            tcp_queries: 0,
+            udp_queries: obs::metrics::Counter::new(),
+            tcp_queries: obs::metrics::Counter::new(),
         }
+    }
+
+    /// UDP queries served so far.
+    pub fn udp_queries(&self) -> u64 {
+        self.udp_queries.get()
+    }
+
+    /// TCP queries served so far.
+    pub fn tcp_queries(&self) -> u64 {
+        self.tcp_queries.get()
     }
 
     /// Total queries served over both transports.
     pub fn total_queries(&self) -> u64 {
-        self.udp_queries + self.tcp_queries
+        self.udp_queries.get() + self.tcp_queries.get()
+    }
+
+    /// Adopts this server's per-transport query counters into
+    /// `obs.registry` as `authoritative.queries{transport=...,node=...}`.
+    pub fn attach_obs(&self, obs: &obs::Obs) {
+        let node = self.addr.to_string();
+        let r = &obs.registry;
+        r.adopt_counter(
+            "authoritative",
+            "queries",
+            &[("transport", "udp"), ("node", node.as_str())],
+            &self.udp_queries,
+        );
+        r.adopt_counter(
+            "authoritative",
+            "queries",
+            &[("transport", "tcp"), ("node", node.as_str())],
+            &self.tcp_queries,
+        );
     }
 
     fn answer_wire(&mut self, query: &Message, udp: bool) -> Option<Vec<u8>> {
@@ -113,7 +143,7 @@ impl Node for AuthNode {
                     return;
                 }
                 ctx.charge(self.costs.udp_request);
-                self.udp_queries += 1;
+                self.udp_queries.inc();
                 if let Some(wire) = self.answer_wire(&msg, true) {
                     ctx.send(Packet::udp(Endpoint::new(self.addr, DNS_PORT), pkt.src, wire));
                 }
@@ -142,7 +172,7 @@ impl Node for AuthNode {
                                 continue;
                             };
                             ctx.charge(self.costs.tcp_request);
-                            self.tcp_queries += 1;
+                            self.tcp_queries.inc();
                             if let Some(wire) = self.answer_wire(&msg, false) {
                                 let mut framed = Vec::with_capacity(wire.len() + 2);
                                 framed.extend_from_slice(&(wire.len() as u16).to_be_bytes());
@@ -256,7 +286,7 @@ mod tests {
             },
         );
         sim.run_until(SimTime::from_secs(1));
-        let served = sim.node_ref::<AuthNode>(ans).unwrap().udp_queries;
+        let served = sim.node_ref::<AuthNode>(ans).unwrap().udp_queries();
         assert!(
             (13_000..=15_000).contains(&served),
             "BIND model should serve ~14K req/s, served {served}"

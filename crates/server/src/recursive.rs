@@ -65,7 +65,8 @@ impl ResolverConfig {
     }
 }
 
-/// Observable resolver counters.
+/// Observable resolver counters — a snapshot of the live registry-backed
+/// counters, from [`RecursiveResolver::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ResolverStats {
     /// Recursive queries accepted from clients.
@@ -82,6 +83,49 @@ pub struct ResolverStats {
     pub tcp_fallbacks: u64,
     /// Jobs that exhausted retries and answered SERVFAIL.
     pub servfails: u64,
+}
+
+/// Live resolver counters: detached registry handles, adopted by
+/// [`RecursiveResolver::attach_obs`].
+#[derive(Debug)]
+struct ResolverMetrics {
+    client_queries: obs::metrics::Counter,
+    responses_sent: obs::metrics::Counter,
+    refused: obs::metrics::Counter,
+    upstream_sent: obs::metrics::Counter,
+    timeouts: obs::metrics::Counter,
+    tcp_fallbacks: obs::metrics::Counter,
+    servfails: obs::metrics::Counter,
+    trace: obs::trace::ComponentTracer,
+}
+
+impl Default for ResolverMetrics {
+    fn default() -> Self {
+        ResolverMetrics {
+            client_queries: obs::metrics::Counter::new(),
+            responses_sent: obs::metrics::Counter::new(),
+            refused: obs::metrics::Counter::new(),
+            upstream_sent: obs::metrics::Counter::new(),
+            timeouts: obs::metrics::Counter::new(),
+            tcp_fallbacks: obs::metrics::Counter::new(),
+            servfails: obs::metrics::Counter::new(),
+            trace: obs::trace::ComponentTracer::disabled(),
+        }
+    }
+}
+
+impl ResolverMetrics {
+    fn snapshot(&self) -> ResolverStats {
+        ResolverStats {
+            client_queries: self.client_queries.get(),
+            responses_sent: self.responses_sent.get(),
+            refused: self.refused.get(),
+            upstream_sent: self.upstream_sent.get(),
+            timeouts: self.timeouts.get(),
+            tcp_fallbacks: self.tcp_fallbacks.get(),
+            servfails: self.servfails.get(),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -140,8 +184,8 @@ pub struct RecursiveResolver {
     next_tcp_port: u16,
     tcp: TcpHost,
     tcp_pending: HashMap<ConnKey, TcpPending>,
-    /// Counters.
-    pub stats: ResolverStats,
+    /// Live counters (snapshot through [`RecursiveResolver::stats`]).
+    metrics: ResolverMetrics,
     /// Client-query completion latencies.
     pub latencies: netsim::metrics::LatencyRecorder,
 }
@@ -160,9 +204,33 @@ impl RecursiveResolver {
             next_txid: 1,
             next_tcp_port: 40_000,
             tcp_pending: HashMap::new(),
-            stats: ResolverStats::default(),
+            metrics: ResolverMetrics::default(),
             latencies: netsim::metrics::LatencyRecorder::new(),
         }
+    }
+
+    /// A snapshot of the resolver counters.
+    pub fn stats(&self) -> ResolverStats {
+        self.metrics.snapshot()
+    }
+
+    /// Adopts this resolver's counters into `obs.registry` under component
+    /// `resolver`, labelled by node address, and starts emitting trace
+    /// events (timeouts, TCP fallbacks, SERVFAILs) under the same
+    /// component.
+    pub fn attach_obs(&mut self, obs: &obs::Obs) {
+        let node = self.config.addr.to_string();
+        let labels: &[(&'static str, &str)] = &[("node", node.as_str())];
+        let m = &self.metrics;
+        let r = &obs.registry;
+        r.adopt_counter("resolver", "client_queries", labels, &m.client_queries);
+        r.adopt_counter("resolver", "responses_sent", labels, &m.responses_sent);
+        r.adopt_counter("resolver", "refused", labels, &m.refused);
+        r.adopt_counter("resolver", "upstream_sent", labels, &m.upstream_sent);
+        r.adopt_counter("resolver", "timeouts", labels, &m.timeouts);
+        r.adopt_counter("resolver", "tcp_fallbacks", labels, &m.tcp_fallbacks);
+        r.adopt_counter("resolver", "servfails", labels, &m.servfails);
+        self.metrics.trace = obs.tracer.component("resolver");
     }
 
     /// Read access to the cache (tests & experiments).
@@ -337,7 +405,7 @@ impl RecursiveResolver {
             },
         );
         self.txid_to_op.insert(txid, op);
-        self.stats.upstream_sent += 1;
+        self.metrics.upstream_sent.inc();
     }
 
     fn finish_ok(&mut self, ctx: &mut Context<'_>, job_id: usize, answers: Vec<dnswire::record::Record>) {
@@ -346,7 +414,8 @@ impl RecursiveResolver {
 
     fn finish_err(&mut self, ctx: &mut Context<'_>, job_id: usize, rcode: Rcode) {
         if rcode == Rcode::ServFail {
-            self.stats.servfails += 1;
+            self.metrics.servfails.inc();
+            self.metrics.trace.event(ctx.now().as_nanos(), "servfail", &[]);
         }
         self.finish(ctx, job_id, rcode, Vec::new(), Vec::new());
     }
@@ -400,7 +469,7 @@ impl RecursiveResolver {
                     .unwrap_or_else(|_| (response.error_response(Rcode::ServFail).encode(), false));
                 ctx.charge(self.config.per_packet_cost);
                 ctx.send(Packet::udp(self.my_udp(), from, wire));
-                self.stats.responses_sent += 1;
+                self.metrics.responses_sent.inc();
                 self.latencies.record(ctx.now() - job.started);
             }
             JobOrigin::Sub { parent } => {
@@ -415,9 +484,14 @@ impl RecursiveResolver {
     // ---- packet handling -----------------------------------------------
 
     fn handle_client_query(&mut self, ctx: &mut Context<'_>, pkt: Packet, msg: Message) {
-        self.stats.client_queries += 1;
+        self.metrics.client_queries.inc();
         if !self.acl_allows(pkt.src.ip) {
-            self.stats.refused += 1;
+            self.metrics.refused.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "refused",
+                &[("src", obs::trace::Value::Ip(pkt.src.ip))],
+            );
             let refused = msg.error_response(Rcode::Refused);
             ctx.send(Packet::udp(pkt.dst, pkt.src, refused.encode()));
             return;
@@ -453,7 +527,12 @@ impl RecursiveResolver {
 
         if msg.header.truncated {
             // TC flag: retry this query over TCP to the same server.
-            self.stats.tcp_fallbacks += 1;
+            self.metrics.tcp_fallbacks.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "tcp_fallback",
+                &[("server", obs::trace::Value::Ip(pkt.src.ip))],
+            );
             self.query_over_tcp(ctx, job_id, pkt.src.ip);
             return;
         }
@@ -681,7 +760,8 @@ impl Node for RecursiveResolver {
         }
         let job_id = pending.job;
         self.retire_op(op);
-        self.stats.timeouts += 1;
+        self.metrics.timeouts.inc();
+        self.metrics.trace.event(ctx.now().as_nanos(), "timeout", &[]);
         let give_up = match self.jobs[job_id].as_ref() {
             Some(job) => job.attempts >= self.config.max_retries,
             None => return,
@@ -812,7 +892,7 @@ mod tests {
             .expect("stub got a reply");
         assert_eq!(reply.header.rcode, Rcode::NoError);
         assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
-        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats;
+        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats();
         assert_eq!(stats.client_queries, 1);
         assert_eq!(stats.responses_sent, 1);
         // root → com → foo.com: exactly three upstream queries on a cold cache.
@@ -823,7 +903,7 @@ mod tests {
     fn second_query_answered_from_cache() {
         let (mut sim, lrs, _stub) = build_world(2);
         sim.run();
-        let first_upstream = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent;
+        let first_upstream = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats().upstream_sent;
 
         // Second client asks the same question.
         let stub2_ip = Ipv4Addr::new(10, 0, 0, 2);
@@ -839,8 +919,8 @@ mod tests {
         );
         sim.run();
         let resolver = sim.node_ref::<RecursiveResolver>(lrs).unwrap();
-        assert_eq!(resolver.stats.upstream_sent, first_upstream, "no new upstream queries");
-        assert_eq!(resolver.stats.responses_sent, 2);
+        assert_eq!(resolver.stats().upstream_sent, first_upstream, "no new upstream queries");
+        assert_eq!(resolver.stats().responses_sent, 2);
     }
 
     #[test]
@@ -889,11 +969,11 @@ mod tests {
             first.authorities.iter().any(|r| r.rtype == RrType::Soa),
             "negative answer carries the SOA"
         );
-        let upstream = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent;
+        let upstream = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats().upstream_sent;
         let second = ask(&mut sim, 6002, 32);
         assert_eq!(second.header.rcode, Rcode::NxDomain);
         assert_eq!(
-            sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent,
+            sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats().upstream_sent,
             upstream,
             "second NXDOMAIN served from the negative cache"
         );
@@ -925,7 +1005,7 @@ mod tests {
         sim.run();
         let reply = sim.node_ref::<OneShot>(outsider).unwrap().reply.clone().unwrap();
         assert_eq!(reply.header.rcode, Rcode::Refused);
-        assert_eq!(sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.refused, 1);
+        assert_eq!(sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats().refused, 1);
     }
 
     #[test]
@@ -952,7 +1032,7 @@ mod tests {
         sim.run();
         let reply = sim.node_ref::<OneShot>(stub).unwrap().reply.clone().unwrap();
         assert_eq!(reply.header.rcode, Rcode::ServFail);
-        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats;
+        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats();
         assert_eq!(stats.timeouts as u32, 3);
         assert_eq!(stats.servfails, 1);
     }

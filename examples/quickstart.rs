@@ -71,11 +71,11 @@ fn main() {
     println!("  timeouts           : {}", lrs_stats.timeouts);
     println!();
     println!("Guard:");
-    println!("  fabricated NS sent : {}", g.stats.fabricated_ns_sent);
-    println!("  valid cookies      : {}", g.stats.ns_cookie_valid);
-    println!("  spoofed dropped    : {}", g.stats.spoofed_dropped());
-    println!("  rate-limiter drops : {}", g.stats.rl1_dropped);
-    println!("  forwarded to ANS   : {}", g.stats.forwarded);
+    println!("  fabricated NS sent : {}", g.stats().fabricated_ns_sent);
+    println!("  valid cookies      : {}", g.stats().ns_cookie_valid);
+    println!("  spoofed dropped    : {}", g.stats().spoofed_dropped());
+    println!("  rate-limiter drops : {}", g.stats().rl1_dropped);
+    println!("  forwarded to ANS   : {}", g.stats().forwarded);
     println!(
         "  amplification      : {:.2}x (paper bound: <1.5x)",
         g.traffic_unverified.amplification()
@@ -83,6 +83,6 @@ fn main() {
     println!();
     println!(
         "The legitimate requester kept resolving while {} spoofed packets were shed.",
-        g.stats.rl1_dropped + g.stats.spoofed_dropped()
+        g.stats().rl1_dropped + g.stats().spoofed_dropped()
     );
 }

@@ -45,7 +45,7 @@ fn main() {
     println!();
     println!("message sequence per request:");
     println!("  1. LRS --UDP query--------> guard");
-    println!("  2. LRS <--TC (truncated)--- guard        [{} sent]", g.stats.tc_sent);
+    println!("  2. LRS <--TC (truncated)--- guard        [{} sent]", g.stats().tc_sent);
     println!("  3. LRS --SYN--------------> guard        [SYN cookies, no state]");
     println!("  4. LRS <--SYN-ACK---------- guard");
     println!("  5. LRS --ACK + DNS/TCP----> guard        [{} accepted]", g.proxy_stats().accepted);
@@ -56,6 +56,6 @@ fn main() {
     println!("completed requests : {} (every one over TCP)", l.stats.completed);
     println!("tcp fallbacks      : {}", l.stats.tcp_fallbacks);
     println!("ANS TCP queries    : 0 (the proxy converts; ANS saw {} UDP queries)",
-        sim.node_ref::<AuthNode>(ans).unwrap().udp_queries);
+        sim.node_ref::<AuthNode>(ans).unwrap().udp_queries());
     println!("open proxy conns   : {}", g.proxy_connections());
 }

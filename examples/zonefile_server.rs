@@ -62,9 +62,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("resolved www.foo.com {} times through the guard", stats.completed);
     println!(
         "guard: {} cookie checks, {} forwarded, {} spoofed dropped",
-        g.stats.ns_cookie_valid + g.stats.cookie2_valid,
-        g.stats.forwarded,
-        g.stats.spoofed_dropped()
+        g.stats().ns_cookie_valid + g.stats().cookie2_valid,
+        g.stats().forwarded,
+        g.stats().spoofed_dropped()
     );
     Ok(())
 }

@@ -270,16 +270,16 @@ fn amplification_bounded_under_duplicated_spoofed_flood() {
     let delivered = sim.cpu_stats(guard).delivered;
     assert!(delivered >= 7_000, "flood actually arrived: {delivered}");
     let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-    let responses = g.stats.fabricated_ns_sent + g.stats.grants_sent + g.stats.tc_sent;
+    let responses = g.stats().fabricated_ns_sent + g.stats().grants_sent + g.stats().tc_sent;
     // 200 ms at 1 000/s plus the burst allowance (rate/10 = 100).
     assert!(
         responses <= 350,
         "cookie responses bounded by RL1 despite duplication: {responses}"
     );
     assert!(
-        g.stats.rl1_dropped > 5_000,
+        g.stats().rl1_dropped > 5_000,
         "the overflow was rate-limited, not answered: {}",
-        g.stats.rl1_dropped
+        g.stats().rl1_dropped
     );
 }
 

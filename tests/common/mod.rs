@@ -162,7 +162,7 @@ impl World {
 
     /// The guard's stats snapshot.
     pub fn guard_stats(&self) -> dnsguard::guard::GuardStats {
-        self.sim.node_ref::<RemoteGuard>(self.guard).unwrap().stats
+        self.sim.node_ref::<RemoteGuard>(self.guard).unwrap().stats()
     }
 
     /// Queries the real ANS has served so far.

@@ -105,20 +105,20 @@ fn stock_resolver_resolves_through_guarded_root() {
     assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR), "correct final answer");
 
     let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-    assert!(g.stats.fabricated_ns_sent >= 1, "guard fabricated the com NS name");
-    assert!(g.stats.ns_cookie_valid >= 1, "resolver round-tripped the cookie");
-    assert_eq!(g.stats.spoofed_dropped(), 0, "no false positives");
+    assert!(g.stats().fabricated_ns_sent >= 1, "guard fabricated the com NS name");
+    assert!(g.stats().ns_cookie_valid >= 1, "resolver round-tripped the cookie");
+    assert_eq!(g.stats().spoofed_dropped(), 0, "no false positives");
 
     let resolver = sim.node_ref::<RecursiveResolver>(lrs).unwrap();
-    assert_eq!(resolver.stats.servfails, 0);
-    assert_eq!(resolver.stats.timeouts, 0);
+    assert_eq!(resolver.stats().servfails, 0);
+    assert_eq!(resolver.stats().timeouts, 0);
 }
 
 #[test]
 fn resolver_cache_skips_guard_on_repeat() {
     let (mut sim, _guard, lrs, _stub) = guarded_hierarchy(2);
     sim.run();
-    let upstream_before = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent;
+    let upstream_before = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats().upstream_sent;
 
     // Second stub asks the same question: answered from the resolver cache.
     let stub2_ip = Ipv4Addr::new(10, 0, 0, 2);
@@ -136,7 +136,7 @@ fn resolver_cache_skips_guard_on_repeat() {
     let reply = sim.node_ref::<Stub>(stub2).unwrap().reply.clone().unwrap();
     assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
     assert_eq!(
-        sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats.upstream_sent,
+        sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats().upstream_sent,
         upstream_before,
         "no new upstream traffic"
     );
@@ -152,7 +152,7 @@ fn resolver_reuses_fabricated_ns_for_sibling_names() {
     let fabricated_before = sim
         .node_ref::<RemoteGuard>(guard)
         .unwrap()
-        .stats
+        .stats()
         .fabricated_ns_sent;
 
     let stub3_ip = Ipv4Addr::new(10, 0, 0, 3);
@@ -171,7 +171,7 @@ fn resolver_reuses_fabricated_ns_for_sibling_names() {
     assert_eq!(reply.header.rcode, Rcode::NoError, "sibling name resolved");
     let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
     assert_eq!(
-        g.stats.fabricated_ns_sent, fabricated_before,
+        g.stats().fabricated_ns_sent, fabricated_before,
         "cached cookie NS reused; guard not consulted for a new cookie"
     );
 }
@@ -198,6 +198,6 @@ fn spoofed_flood_cannot_reach_root_ans_while_resolver_works() {
     let reply = sim.node_ref::<Stub>(stub).unwrap().reply.clone();
     assert!(reply.is_some(), "legitimate resolution completed under attack");
     let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
-    assert!(g.stats.ns_cookie_invalid > 3_000, "guesses dropped");
-    assert_eq!(g.stats.ns_cookie_valid as i64 - 1, 0, "only the resolver's real cookie passed");
+    assert!(g.stats().ns_cookie_invalid > 3_000, "guesses dropped");
+    assert_eq!(g.stats().ns_cookie_valid as i64 - 1, 0, "only the resolver's real cookie passed");
 }

@@ -95,12 +95,12 @@ fn unmodified_resolver_through_local_and_remote_guards() {
     assert!(lg.stats.stamped >= 1, "queries stamped with the cached cookie");
 
     let rg = sim.node_ref::<RemoteGuard>(remote).unwrap();
-    assert!(rg.stats.ext_valid >= 1, "remote guard verified the cookie");
-    assert_eq!(rg.stats.ext_invalid, 0);
-    assert_eq!(rg.stats.grants_sent, 1);
+    assert!(rg.stats().ext_valid >= 1, "remote guard verified the cookie");
+    assert_eq!(rg.stats().ext_invalid, 0);
+    assert_eq!(rg.stats().grants_sent, 1);
 
     // The ANS never saw the extension — AuthNode answered plain queries.
-    assert!(sim.node_ref::<AuthNode>(ans).unwrap().udp_queries >= 1);
+    assert!(sim.node_ref::<AuthNode>(ans).unwrap().udp_queries() >= 1);
 }
 
 #[test]
@@ -159,5 +159,5 @@ fn second_query_reuses_cookie_without_new_grant() {
     let lg = sim.node_ref::<LocalGuard>(local).unwrap();
     assert_eq!(lg.stats.grants_requested, 1, "single cookie exchange across queries");
     let rg = sim.node_ref::<RemoteGuard>(remote).unwrap();
-    assert_eq!(rg.stats.grants_sent, 1);
+    assert_eq!(rg.stats().grants_sent, 1);
 }

@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`].
+//! Collection strategies: [`vec()`](fn@vec).
 
 use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
@@ -39,7 +39,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// See [`vec`].
+/// See [`vec()`](fn@vec).
 pub struct VecStrategy<S> {
     element: S,
     size: SizeRange,
