@@ -9,7 +9,8 @@
 # registry; --offline makes that a hard guarantee rather than an accident.
 #
 # Usage: ./ci.sh [stage]
-#   stage ∈ {build, test, clippy, telemetry, docs}; no argument runs all.
+#   stage ∈ {build, test, clippy, telemetry, journeys, docs}; no argument
+#   runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -38,6 +39,16 @@ if want telemetry; then
     --obs-only --obs-out target/obs-smoke
   cargo run --release --offline -p bench --bin telemetry_check -- \
     target/obs-smoke/BENCH_obs.json target/obs-smoke/BENCH_obs_trace.jsonl
+fi
+
+if want journeys; then
+  echo "==> journey smoke (BENCH_journeys export + validation)"
+  mkdir -p target/journeys-smoke
+  cargo run --release --offline -p bench --bin all_experiments -- \
+    --journeys-only --obs-out target/journeys-smoke
+  cargo run --release --offline -p bench --bin telemetry_check -- \
+    --journeys target/journeys-smoke/BENCH_journeys.json \
+    target/journeys-smoke/BENCH_journeys_trace.json
 fi
 
 if want docs; then

@@ -169,8 +169,63 @@ fn bench_obs_overhead(c: &mut Criterion) {
     g.bench_function("trace_event_on", |b| {
         b.iter(|| t_on.event(1, "grant", &[("src", Value::Ip(attacker))]))
     });
+    // The same event carrying the journey correlation id: the per-event
+    // cost of making a decision point stitchable into a causal timeline.
+    g.bench_function("trace_event_on_with_qid", |b| {
+        b.iter(|| {
+            t_on.event(1, "grant", &[("src", Value::Ip(attacker)), ("qid", Value::U64(42))])
+        })
+    });
     g.finish();
 }
 
-criterion_group!(benches, bench_md5, bench_cookie, bench_wire, bench_ratelimit, bench_obs_overhead);
+/// Journey reassembly throughput: stitching one cold-start world's drained
+/// trace (fabricated-NS handshakes, forwards, relays) back into causal
+/// timelines. This is the offline half of the tracing cost — it runs at
+/// export time, never on the datagram path.
+fn bench_journey_assembly(c: &mut Criterion) {
+    use netsim::time::SimTime;
+    use obs::journey::JourneyReport;
+    use obs::trace::Level;
+    use obs::Obs;
+
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    let mut world = bench::worlds::guarded_world(bench::worlds::WorldParams::new(41));
+    world
+        .sim
+        .node_mut::<dnsguard::guard::RemoteGuard>(world.guard)
+        .unwrap()
+        .attach_obs(&obs);
+    bench::worlds::attach_lrs(
+        &mut world.sim,
+        bench::worlds::LrsParams {
+            ip: Ipv4Addr::new(10, 0, 1, 1),
+            mode: server::simclient::CookieMode::Plain,
+            cookie_cache: false,
+            concurrency: 4,
+            wait: SimTime::from_millis(50),
+            pace: SimTime::from_millis(1),
+            per_packet_cost: SimTime::ZERO,
+        },
+    );
+    world.sim.run_until(SimTime::from_millis(400));
+    let (events, _) = obs.tracer.drain();
+
+    let mut g = c.benchmark_group("journey_assembly");
+    g.bench_function("assemble_cold_start_trace", |b| {
+        b.iter(|| JourneyReport::assemble(black_box(&events)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_md5,
+    bench_cookie,
+    bench_wire,
+    bench_ratelimit,
+    bench_obs_overhead,
+    bench_journey_assembly
+);
 criterion_main!(benches);

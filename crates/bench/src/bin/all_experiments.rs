@@ -6,7 +6,11 @@
 //! * `--obs` — additionally run the instrumented telemetry scenario and
 //!   write `BENCH_obs.json` + `BENCH_obs_trace.jsonl`;
 //! * `--obs-only` — run only the telemetry scenario;
-//! * `--obs-out <dir>` — output directory for the two files (default `.`).
+//! * `--journeys` — additionally run the query-journey experiment and
+//!   write `BENCH_journeys.json` + `BENCH_journeys_trace.json`;
+//! * `--journeys-only` — run only the journey experiment;
+//! * `--obs-out <dir>` — output directory for the exported files
+//!   (default `.`).
 
 use bench::experiments::*;
 use bench::report::{kreq, ms, pct, render_table};
@@ -38,10 +42,74 @@ fn run_obs_export(out_dir: &std::path::Path) {
     }
 }
 
+fn run_journeys_export(out_dir: &std::path::Path) {
+    println!("== Query journeys & alerting ==");
+    let (run, summary, trace) = match bench::journeys::export_to(out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("journeys export failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "wrote {} ({} bytes) and {} ({} bytes)",
+        summary.display(),
+        run.summary_json.len(),
+        trace.display(),
+        run.chrome_trace_json.len(),
+    );
+    let mut failed = false;
+    for s in &run.schemes {
+        let (total, hs, guard, ans) = s.mean_attribution_ns();
+        println!(
+            "{:>8}: {} journeys / {} client tx (coverage {:.3}), extra RTT {}, \
+             mean total {:.1}us (handshake {:.1}us, guard {:.1}us, ans {:.1}us)",
+            s.scheme,
+            s.report.complete.len(),
+            s.client_completed,
+            s.reconstruction(),
+            s.extra_rtt_mode(),
+            total as f64 / 1e3,
+            hs as f64 / 1e3,
+            guard as f64 / 1e3,
+            ans as f64 / 1e3,
+        );
+        if s.reconstruction() < 0.99 || s.report.orphan_stages > 0 {
+            eprintln!("{}: reconstruction below the acceptance bar", s.scheme);
+            failed = true;
+        }
+    }
+    println!(
+        "   chaos: {} journeys / {} client tx (coverage {:.3}), alerts fired: {:?}, \
+         clean baseline silent: {}",
+        run.chaos.report.complete.len(),
+        run.chaos.client_completed,
+        run.chaos.reconstruction(),
+        run.chaos.fired_rules,
+        run.baseline_silent,
+    );
+    if run.chaos.reconstruction() < 0.99 || run.chaos.report.orphan_stages > 0 {
+        eprintln!("chaos: reconstruction below the acceptance bar");
+        failed = true;
+    }
+    if !run.chaos.fired_rules.contains(&"spoof_surge")
+        || !run.chaos.fired_rules.contains(&"ans_down")
+        || !run.baseline_silent
+    {
+        eprintln!("alerting acceptance failed: {:?}", run.chaos.fired_rules);
+        failed = true;
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let obs_only = args.iter().any(|a| a == "--obs-only");
     let obs = obs_only || args.iter().any(|a| a == "--obs");
+    let journeys_only = args.iter().any(|a| a == "--journeys-only");
+    let journeys = journeys_only || args.iter().any(|a| a == "--journeys");
     let out_dir: PathBuf = args
         .iter()
         .position(|a| a == "--obs-out")
@@ -49,8 +117,13 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
 
-    if obs_only {
-        run_obs_export(&out_dir);
+    if obs_only || journeys_only {
+        if obs_only {
+            run_obs_export(&out_dir);
+        }
+        if journeys_only {
+            run_journeys_export(&out_dir);
+        }
         return;
     }
     println!("== DNS Guard reproduction: full evaluation ==\n");
@@ -193,5 +266,8 @@ fn main() {
 
     if obs {
         run_obs_export(&out_dir);
+    }
+    if journeys {
+        run_journeys_export(&out_dir);
     }
 }

@@ -4,7 +4,13 @@
 //!
 //! Run: `telemetry_check <BENCH_obs.json> <trace.jsonl>`; exits non-zero
 //! with a diagnostic on the first problem found.
+//!
+//! With `--journeys <BENCH_journeys.json> <chrome_trace.json>` it instead
+//! validates the query-journey export: the per-scheme summary (every scheme
+//! present, histogram quantiles, the alert schema) and the chrome
+//! `trace_event` document.
 
+use bench::journeys::SCHEMES;
 use bench::obs_export::REQUIRED_KINDS;
 use obs::export::{validate_json, validate_jsonl};
 use std::process::exit;
@@ -25,6 +31,35 @@ const SNAPSHOT_KEYS: &[&str] = &[
     "\"timeseries\"",
 ];
 
+/// Substrings the journey summary must contain: per-journey attribution
+/// fields, histogram quantiles, and the alert schema (rule + since in the
+/// active set, fired-rule list, silent clean baseline).
+const JOURNEY_KEYS: &[&str] = &[
+    "\"experiment\":\"journeys\"",
+    "\"reconstruction\":",
+    "\"extra_rtt\":",
+    "\"mean_handshake_ns\":",
+    "\"mean_guard_ns\":",
+    "\"mean_ans_ns\":",
+    "\"p50\":",
+    "\"p95\":",
+    "\"p99\":",
+    "\"chaos\":",
+    "\"fired_rules\":",
+    "\"alerts\":",
+    "\"history\":",
+    "\"baseline_silent\":true",
+];
+
+/// Substrings a chrome `trace_event` document must contain.
+const CHROME_KEYS: &[&str] = &[
+    "\"traceEvents\":",
+    "\"ph\":\"X\"",
+    "\"pid\":",
+    "\"tid\":",
+    "\"displayTimeUnit\"",
+];
+
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("telemetry_check: read {path}: {e}");
@@ -32,26 +67,70 @@ fn read(path: &str) -> String {
     })
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let (Some(snapshot_path), Some(trace_path)) = (args.next(), args.next()) else {
-        eprintln!("usage: telemetry_check <BENCH_obs.json> <trace.jsonl>");
-        exit(2);
-    };
-
-    let snapshot = read(&snapshot_path);
-    if let Err(off) = validate_json(&snapshot) {
-        eprintln!("telemetry_check: {snapshot_path} is not valid JSON (byte {off})");
+fn require_json(path: &str, doc: &str) {
+    if let Err(off) = validate_json(doc) {
+        eprintln!("telemetry_check: {path} is not valid JSON (byte {off})");
         exit(1);
     }
-    for key in SNAPSHOT_KEYS {
-        if !snapshot.contains(key) {
-            eprintln!("telemetry_check: {snapshot_path} missing expected key {key}");
+}
+
+fn require_keys(path: &str, doc: &str, keys: &[&str]) {
+    for key in keys {
+        if !doc.contains(key) {
+            eprintln!("telemetry_check: {path} missing expected key {key}");
+            exit(1);
+        }
+    }
+}
+
+fn check_journeys(summary_path: &str, chrome_path: &str) {
+    let summary = read(summary_path);
+    require_json(summary_path, &summary);
+    require_keys(summary_path, &summary, JOURNEY_KEYS);
+    for scheme in SCHEMES {
+        let needle = format!("\"{scheme}\":{{");
+        if !summary.contains(&needle) {
+            eprintln!("telemetry_check: {summary_path} missing scheme {scheme}");
             exit(1);
         }
     }
 
-    let trace = read(&trace_path);
+    let chrome = read(chrome_path);
+    require_json(chrome_path, &chrome);
+    require_keys(chrome_path, &chrome, CHROME_KEYS);
+
+    println!(
+        "journeys OK: {} ({} bytes), {} ({} bytes)",
+        summary_path,
+        summary.len(),
+        chrome_path,
+        chrome.len(),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--journeys") {
+        let (Some(summary), Some(chrome)) = (args.get(1), args.get(2)) else {
+            eprintln!("usage: telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>");
+            exit(2);
+        };
+        check_journeys(summary, chrome);
+        return;
+    }
+    let (Some(snapshot_path), Some(trace_path)) = (args.first(), args.get(1)) else {
+        eprintln!(
+            "usage: telemetry_check <BENCH_obs.json> <trace.jsonl>\n\
+             \x20      telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>"
+        );
+        exit(2);
+    };
+
+    let snapshot = read(snapshot_path);
+    require_json(snapshot_path, &snapshot);
+    require_keys(snapshot_path, &snapshot, SNAPSHOT_KEYS);
+
+    let trace = read(trace_path);
     if let Err((ln, off)) = validate_jsonl(&trace) {
         eprintln!("telemetry_check: {trace_path} line {ln} is not valid JSON (byte {off})");
         exit(1);

@@ -1,0 +1,502 @@
+//! The query-journey experiment behind `BENCH_journeys.json`: per-scheme
+//! cold-start worlds whose drained traces are reassembled into causal
+//! timelines ([`obs::journey`]), plus one chaos world exercising the
+//! alerting engine ([`obs::alert`]) from the simulator tick.
+//!
+//! Run via `cargo run --release -p bench --bin all_experiments -- --journeys`
+//! (or `--journeys-only`). Two files are written:
+//!
+//! * `BENCH_journeys.json` — per-scheme reconstruction coverage, extra-RTT
+//!   attribution (the paper's handshake-cost expectation: ≈1 extra round
+//!   trip for the DNS-based and modified-DNS schemes, ≈2 for the COOKIE2
+//!   redirect and the TC→TCP fallback), stage-latency attribution, the
+//!   journey metric histograms (with p50/p95/p99), and the chaos run's
+//!   alert transcript;
+//! * `BENCH_journeys_trace.json` — a chrome `trace_event` document of the
+//!   COOKIE2 run's journeys, loadable in Perfetto.
+
+use crate::worlds::{attach_lrs, guarded_world, LrsParams, WorldParams, ZoneSel, PUB};
+use attack::flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
+use dnsguard::config::SchemeMode;
+use dnsguard::guard::RemoteGuard;
+use netsim::engine::{CpuConfig, FaultPlan};
+use netsim::time::SimTime;
+use obs::alert::{AlertConfig, AlertEngine};
+use obs::export::metrics_json;
+use obs::journey::JourneyReport;
+use obs::trace::Level;
+use obs::Obs;
+use server::nodes::AuthNode;
+use server::simclient::{CookieMode, LrsSimulator};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// The four guard schemes, as journey-scheme label → world shape.
+pub const SCHEMES: [&str; 4] = ["ns_label", "cookie2", "tcp", "ext"];
+
+/// One scheme's assembled journeys plus the client's ground truth.
+pub struct SchemeJourneys {
+    /// The journey-scheme label (matches [`obs::journey::Journey::scheme`]).
+    pub scheme: &'static str,
+    /// Transactions the client completed (ground truth for coverage).
+    pub client_completed: u64,
+    /// The assembled report.
+    pub report: JourneyReport,
+    /// The journey-metric snapshot JSON (histograms with quantiles).
+    pub metrics_json: String,
+}
+
+impl SchemeJourneys {
+    /// Complete journeys per client-completed transaction.
+    pub fn reconstruction(&self) -> f64 {
+        self.report.reconstruction_ratio(self.client_completed)
+    }
+
+    /// The dominant extra-round-trip count among complete journeys — the
+    /// number the paper's handshake-cost analysis predicts per scheme.
+    pub fn extra_rtt_mode(&self) -> u32 {
+        let mut counts = std::collections::BTreeMap::new();
+        for j in &self.report.complete {
+            *counts.entry(j.extra_round_trips()).or_insert(0u64) += 1;
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, n)| n)
+            .map(|(rtt, _)| rtt)
+            .unwrap_or(0)
+    }
+
+    /// Mean `(total, handshake, guard, ans)` nanoseconds over complete
+    /// journeys.
+    pub fn mean_attribution_ns(&self) -> (u64, u64, u64, u64) {
+        let n = self.report.complete.len() as u64;
+        if n == 0 {
+            return (0, 0, 0, 0);
+        }
+        let mut total = 0u64;
+        let mut hs = 0u64;
+        let mut guard = 0u64;
+        let mut ans = 0u64;
+        for j in &self.report.complete {
+            let a = j.attribution();
+            total += j.total_ns();
+            hs += a.handshake_ns;
+            guard += a.guard_ns;
+            ans += a.ans_ns;
+        }
+        (total / n, hs / n, guard / n, ans / n)
+    }
+}
+
+/// Builds and runs one scheme's cold-start world: a single client with the
+/// cookie cache off, so every transaction pays the full handshake.
+pub fn run_scheme(scheme: &'static str, seed: u64, duration: SimTime) -> SchemeJourneys {
+    let (zone, mode, lrs_mode) = match scheme {
+        "ns_label" => (ZoneSel::Root, SchemeMode::DnsBased, CookieMode::Plain),
+        "cookie2" => (ZoneSel::Foo, SchemeMode::DnsBased, CookieMode::Plain),
+        "tcp" => (ZoneSel::Foo, SchemeMode::TcpBased, CookieMode::Plain),
+        "ext" => (ZoneSel::Foo, SchemeMode::ModifiedOnly, CookieMode::Extension),
+        other => panic!("unknown scheme {other}"),
+    };
+    let mut p = WorldParams::new(seed);
+    p.zone = zone;
+    p.mode = mode;
+    let mut world = guarded_world(p);
+
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    obs.tracer.adopt_into(&obs.registry);
+    world
+        .sim
+        .node_mut::<RemoteGuard>(world.guard)
+        .unwrap()
+        .attach_obs(&obs);
+
+    let client = attach_lrs(
+        &mut world.sim,
+        LrsParams {
+            ip: Ipv4Addr::new(10, 0, 1, 1),
+            mode: lrs_mode,
+            cookie_cache: false, // cold start: every transaction handshakes
+            concurrency: 4,
+            wait: SimTime::from_millis(50),
+            pace: SimTime::from_millis(1),
+            per_packet_cost: SimTime::ZERO,
+        },
+    );
+    world.sim.run_until(duration);
+
+    let client_completed = world
+        .sim
+        .node_ref::<LrsSimulator>(client)
+        .unwrap()
+        .stats
+        .completed;
+    let (events, _) = obs.tracer.drain();
+    let report = JourneyReport::assemble(&events);
+    report.record_into(&obs.registry);
+    let journey_samples: Vec<_> = obs
+        .registry
+        .snapshot()
+        .into_iter()
+        .filter(|s| s.component == "journey")
+        .collect();
+    SchemeJourneys {
+        scheme,
+        client_completed,
+        report,
+        metrics_json: metrics_json(&journey_samples),
+    }
+}
+
+/// The chaos run's outcome: reconstruction coverage under faults plus the
+/// alert engine's transcript.
+pub struct ChaosJourneys {
+    /// Transactions the clients completed.
+    pub client_completed: u64,
+    /// The assembled report.
+    pub report: JourneyReport,
+    /// Rules that fired at least once, in first-fire order.
+    pub fired_rules: Vec<&'static str>,
+    /// The engine's `{"active":...,"history":...}` document at the end.
+    pub alerts_json: String,
+}
+
+impl ChaosJourneys {
+    /// Complete journeys per client-completed transaction.
+    pub fn reconstruction(&self) -> f64 {
+        self.report.reconstruction_ratio(self.client_completed)
+    }
+}
+
+/// Drives the chaos world: a guarded DNS-based deployment under a
+/// cookie-guessing flood (the 2⁻³² label-guess attack — invalid verifies,
+/// never journeys), duplication + reordering on the client links, and a
+/// guard–ANS partition, with the alert engine evaluated every 10 ms of sim
+/// time from the engine tick.
+pub fn run_chaos(seed: u64, duration: SimTime) -> ChaosJourneys {
+    let mut p = WorldParams::new(seed);
+    p.zone = ZoneSel::Root;
+    p.open_limiters = false;
+    let mut world = guarded_world(p);
+    {
+        let g = world.sim.node_mut::<RemoteGuard>(world.guard).unwrap();
+        let c = g.config_mut();
+        // Fast health detection so the partition produces a down/recovered
+        // cycle inside the run.
+        c.ans_timeout = SimTime::from_millis(20);
+        c.ans_failure_threshold = 2;
+        c.ans_probe_interval = SimTime::from_millis(50);
+    }
+
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    obs.tracer.adopt_into(&obs.registry);
+    world.sim.attach_obs(&obs);
+    world
+        .sim
+        .node_mut::<RemoteGuard>(world.guard)
+        .unwrap()
+        .attach_obs(&obs);
+    world
+        .sim
+        .node_ref::<AuthNode>(world.ans)
+        .unwrap()
+        .attach_obs(&obs);
+
+    let mut engine = AlertEngine::new(AlertConfig::default());
+    engine.attach_obs(&obs);
+    let engine = obs::alert::shared(engine);
+    world.sim.attach_alert_engine(
+        engine.clone(),
+        obs.registry.clone(),
+        SimTime::from_millis(10),
+    );
+
+    let mut clients = Vec::new();
+    for ip in [Ipv4Addr::new(10, 0, 1, 1), Ipv4Addr::new(10, 0, 2, 1)] {
+        let node = attach_lrs(
+            &mut world.sim,
+            LrsParams {
+                ip,
+                mode: CookieMode::Plain,
+                cookie_cache: true,
+                concurrency: 4,
+                wait: SimTime::from_millis(50),
+                pace: SimTime::from_millis(2),
+                per_packet_cost: SimTime::ZERO,
+            },
+        );
+        world.sim.fault_link_both(
+            node,
+            world.guard,
+            FaultPlan::new()
+                .duplicate(0.05)
+                .reorder(0.2, SimTime::from_micros(100)),
+        );
+        clients.push(node);
+    }
+    // The cookie-guessing flood: every guess is an invalid ns_label verify.
+    world.sim.add_node(
+        Ipv4Addr::new(66, 0, 0, 66),
+        CpuConfig::unbounded(),
+        SpoofedFlood::new(FloodConfig {
+            target: PUB,
+            rate: 5_000.0,
+            sources: SourceStrategy::Random,
+            payload: AttackPayload::CookieLabelGuess {
+                zone_suffix: "com".to_string(),
+                parent: ".".parse().expect("root name"),
+            },
+            duration: Some(SimTime::from_millis(300)),
+        }),
+    );
+    world.sim.partition(
+        world.guard,
+        world.ans,
+        SimTime::from_millis(400),
+        SimTime::from_millis(700),
+    );
+
+    world.sim.run_until(duration);
+
+    let client_completed: u64 = clients
+        .iter()
+        .map(|&c| world.sim.node_ref::<LrsSimulator>(c).unwrap().stats.completed)
+        .sum();
+    let (events, _) = obs.tracer.drain();
+    let report = JourneyReport::assemble(&events);
+    let guard = engine.lock();
+    ChaosJourneys {
+        client_completed,
+        report,
+        fired_rules: guard.fired_rules(),
+        alerts_json: guard.alerts_json(),
+    }
+}
+
+/// Runs the clean baseline (same world, no flood, no faults, no partition)
+/// and returns whether the alert engine stayed silent — the false-positive
+/// check.
+pub fn clean_baseline_is_silent(seed: u64, duration: SimTime) -> bool {
+    let mut p = WorldParams::new(seed);
+    p.zone = ZoneSel::Root;
+    p.open_limiters = false;
+    let mut world = guarded_world(p);
+
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    obs.tracer.adopt_into(&obs.registry);
+    world
+        .sim
+        .node_mut::<RemoteGuard>(world.guard)
+        .unwrap()
+        .attach_obs(&obs);
+    let engine = obs::alert::shared(AlertEngine::new(AlertConfig::default()));
+    world.sim.attach_alert_engine(
+        engine.clone(),
+        obs.registry.clone(),
+        SimTime::from_millis(10),
+    );
+    attach_lrs(
+        &mut world.sim,
+        LrsParams {
+            ip: Ipv4Addr::new(10, 0, 1, 1),
+            mode: CookieMode::Plain,
+            cookie_cache: true,
+            concurrency: 4,
+            wait: SimTime::from_millis(50),
+            pace: SimTime::from_millis(2),
+            per_packet_cost: SimTime::ZERO,
+        },
+    );
+    world.sim.run_until(duration);
+    let silent = engine.lock().is_silent();
+    silent
+}
+
+/// The full experiment: every scheme plus chaos plus the clean baseline.
+pub struct JourneysRun {
+    /// The composed `BENCH_journeys.json` document.
+    pub summary_json: String,
+    /// The chrome trace document (`BENCH_journeys_trace.json`).
+    pub chrome_trace_json: String,
+    /// Per-scheme results, in [`SCHEMES`] order.
+    pub schemes: Vec<SchemeJourneys>,
+    /// The chaos run.
+    pub chaos: ChaosJourneys,
+    /// Whether the clean baseline stayed alert-free.
+    pub baseline_silent: bool,
+}
+
+/// Runs everything and composes the export documents.
+pub fn run_all(seed: u64) -> JourneysRun {
+    let scheme_duration = SimTime::from_millis(400);
+    let schemes: Vec<SchemeJourneys> = SCHEMES
+        .iter()
+        .enumerate()
+        .map(|(i, s)| run_scheme(s, seed + i as u64, scheme_duration))
+        .collect();
+    let chaos = run_chaos(seed + 100, SimTime::from_millis(1_000));
+    let baseline_silent = clean_baseline_is_silent(seed + 200, SimTime::from_millis(600));
+
+    let mut out = format!(
+        "{{\"experiment\":\"journeys\",\"seed\":{seed},\
+         \"scheme_duration_nanos\":{},\"schemes\":{{",
+        scheme_duration.as_nanos()
+    );
+    for (i, s) in schemes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (total, hs, guard, ans) = s.mean_attribution_ns();
+        out.push_str(&format!(
+            "\"{}\":{{\"client_completed\":{},\"assembled\":{},\
+             \"incomplete\":{},\"orphan_stages\":{},\"rejected_verifies\":{},\
+             \"reconstruction\":{:.4},\"extra_rtt\":{},\
+             \"mean_total_ns\":{total},\"mean_handshake_ns\":{hs},\
+             \"mean_guard_ns\":{guard},\"mean_ans_ns\":{ans},\
+             \"metrics\":{}}}",
+            s.scheme,
+            s.client_completed,
+            s.report.complete.len(),
+            s.report.incomplete.len(),
+            s.report.orphan_stages,
+            s.report.rejected_verifies,
+            s.reconstruction(),
+            s.extra_rtt_mode(),
+            s.metrics_json,
+        ));
+    }
+    out.push_str(&format!(
+        "}},\"chaos\":{{\"client_completed\":{},\"assembled\":{},\
+         \"incomplete\":{},\"orphan_stages\":{},\"rejected_verifies\":{},\
+         \"reconstruction\":{:.4},\"fired_rules\":[",
+        chaos.client_completed,
+        chaos.report.complete.len(),
+        chaos.report.incomplete.len(),
+        chaos.report.orphan_stages,
+        chaos.report.rejected_verifies,
+        chaos.reconstruction(),
+    ));
+    for (i, r) in chaos.fired_rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{r}\""));
+    }
+    out.push_str(&format!(
+        "],\"alerts\":{}}},\"baseline_silent\":{}}}",
+        chaos.alerts_json, baseline_silent
+    ));
+
+    // The COOKIE2 run has the richest stage structure (six stages across
+    // three correlation ids) — the representative chrome trace.
+    let chrome_trace_json = schemes
+        .iter()
+        .find(|s| s.scheme == "cookie2")
+        .map(|s| s.report.chrome_trace_json())
+        .unwrap_or_else(|| "{\"traceEvents\":[]}".to_string());
+
+    JourneysRun {
+        summary_json: out,
+        chrome_trace_json,
+        schemes,
+        chaos,
+        baseline_silent,
+    }
+}
+
+/// Runs the experiment with the default seed and writes
+/// `BENCH_journeys.json` and `BENCH_journeys_trace.json` under `dir`.
+pub fn export_to(dir: &Path) -> std::io::Result<(JourneysRun, PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let run = run_all(2006);
+    let summary = dir.join("BENCH_journeys.json");
+    let trace = dir.join("BENCH_journeys_trace.json");
+    std::fs::write(&summary, &run.summary_json)?;
+    std::fs::write(&trace, &run.chrome_trace_json)?;
+    Ok((run, summary, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::export::validate_json;
+
+    #[test]
+    fn scheme_runs_reconstruct_with_paper_extra_rtt() {
+        for (scheme, expect_rtt) in [("ns_label", 1), ("cookie2", 2), ("tcp", 2), ("ext", 1)] {
+            let r = run_scheme(scheme, 31, SimTime::from_millis(400));
+            assert!(
+                r.client_completed > 20,
+                "{scheme}: only {} completed",
+                r.client_completed
+            );
+            assert!(
+                r.reconstruction() >= 0.99,
+                "{scheme}: reconstruction {:.3}",
+                r.reconstruction()
+            );
+            assert_eq!(r.report.orphan_stages, 0, "{scheme}: orphan stages");
+            assert_eq!(
+                r.extra_rtt_mode(),
+                expect_rtt,
+                "{scheme}: extra RTTs should match the paper"
+            );
+            for j in &r.report.complete {
+                assert_eq!(
+                    j.attribution().total(),
+                    j.total_ns(),
+                    "{scheme}: attribution classes sum to end-to-end"
+                );
+            }
+            assert!(
+                r.metrics_json.contains("\"p50\""),
+                "{scheme}: histograms carry quantiles"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_reconstructs_and_fires_expected_alerts() {
+        let c = run_chaos(57, SimTime::from_millis(1_000));
+        assert!(c.client_completed > 50, "only {} completed", c.client_completed);
+        assert!(
+            c.reconstruction() >= 0.99,
+            "reconstruction {:.3} of {} transactions",
+            c.reconstruction(),
+            c.client_completed
+        );
+        assert_eq!(c.report.orphan_stages, 0, "no orphan stages");
+        assert!(
+            c.fired_rules.contains(&"spoof_surge"),
+            "cookie guessing must trip spoof_surge: {:?}",
+            c.fired_rules
+        );
+        assert!(
+            c.fired_rules.contains(&"ans_down"),
+            "the partition must trip ans_down: {:?}",
+            c.fired_rules
+        );
+        validate_json(&c.alerts_json).unwrap();
+    }
+
+    #[test]
+    fn clean_baseline_fires_nothing() {
+        assert!(clean_baseline_is_silent(77, SimTime::from_millis(600)));
+    }
+
+    #[test]
+    fn exports_are_valid_json() {
+        let run = run_all(11);
+        validate_json(&run.summary_json)
+            .unwrap_or_else(|off| panic!("BENCH_journeys.json invalid at byte {off}"));
+        validate_json(&run.chrome_trace_json)
+            .unwrap_or_else(|off| panic!("chrome trace invalid at byte {off}"));
+        assert!(run.chrome_trace_json.contains("\"traceEvents\""));
+        assert!(run.chrome_trace_json.contains("\"ph\":\"X\""));
+        assert!(run.summary_json.contains("\"fired_rules\""));
+        assert!(run.baseline_silent);
+    }
+}

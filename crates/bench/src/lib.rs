@@ -6,6 +6,9 @@
 //!   Figures 5–7), each returning the rows/series the paper reports;
 //! * [`obs_export`] — the instrumented telemetry run behind
 //!   `BENCH_obs.json` (`all_experiments -- --obs`);
+//! * [`journeys`] — per-scheme query-journey reconstruction and the chaos
+//!   alerting run behind `BENCH_journeys.json`
+//!   (`all_experiments -- --journeys`);
 //! * [`report`] — plain-text table rendering.
 //!
 //! Run everything: `cargo run --release -p bench --bin all_experiments`.
@@ -17,6 +20,7 @@
 //! limiters): `cargo bench -p bench`.
 
 pub mod experiments;
+pub mod journeys;
 pub mod obs_export;
 pub mod report;
 pub mod worlds;

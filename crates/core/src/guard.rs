@@ -179,6 +179,10 @@ struct GuardMetrics {
     /// Current `fwd_bytes + stash_bytes` (refreshed each housekeeping
     /// window).
     table_bytes: Gauge,
+    /// Unverified-traffic amplification ratio × 1000 (refreshed each
+    /// housekeeping window) — the paper's ≤ 1.5× reflector bound, as a
+    /// gauge the alerting engine can threshold.
+    amplification_milli: Gauge,
     /// Forward→response round-trip to the ANS, in nanoseconds.
     ans_rtt_ns: Histogram,
     trace: ComponentTracer,
@@ -215,6 +219,7 @@ impl Default for GuardMetrics {
             resp_foreign: Counter::new(),
             plain_forwarded: Counter::new(),
             table_bytes: Gauge::new(),
+            amplification_milli: Gauge::new(),
             ans_rtt_ns: Histogram::new(),
             trace: ComponentTracer::disabled(),
         }
@@ -293,6 +298,7 @@ impl GuardMetrics {
         r.adopt_counter("guard", "resp_foreign", &[], &self.resp_foreign);
         r.adopt_counter("guard", "plain_forwarded", &[], &self.plain_forwarded);
         r.adopt_gauge("guard", "table_bytes", &[], &self.table_bytes);
+        r.adopt_gauge("guard", "amplification_milli", &[], &self.amplification_milli);
         r.adopt_histogram("guard", "ans_rtt_ns", &[], &self.ans_rtt_ns);
     }
 }
@@ -323,6 +329,10 @@ struct Forwarded {
     orig_txid: u16,
     rewrite: Rewrite,
     created: SimTime,
+    /// Journey correlation id: the relay of the ANS reply inherits the
+    /// qid of the verify/forward that caused it, which is what lets the
+    /// assembler stitch across the txid rewrite.
+    qid: u64,
 }
 
 impl Forwarded {
@@ -400,6 +410,9 @@ pub struct RemoteGuard {
     fwd_order: VecDeque<(u16, SimTime)>,
     fwd_bytes: usize,
     next_txid: u16,
+    /// Monotonic journey correlation id, stamped on every decision-point
+    /// trace event; never reused (unlike the 16-bit txid space).
+    next_qid: u64,
     stash: HashMap<(Ipv4Addr, Name), StashEntry>,
     stash_order: VecDeque<((Ipv4Addr, Name), SimTime)>,
     stash_bytes: usize,
@@ -434,6 +447,7 @@ impl RemoteGuard {
             fwd_order: VecDeque::new(),
             fwd_bytes: 0,
             next_txid: 1,
+            next_qid: 1,
             stash: HashMap::new(),
             stash_order: VecDeque::new(),
             stash_bytes: 0,
@@ -542,7 +556,8 @@ impl RemoteGuard {
         let probe =
             Message::iterative_query(0, Name::root(), dnswire::types::RrType::Ns);
         let me = Endpoint::new(self.config.public_addr, DNS_PORT);
-        self.forward_to_ans(ctx, probe, me, me, Rewrite::Probe);
+        let qid = self.alloc_qid();
+        self.forward_to_ans(ctx, probe, me, me, Rewrite::Probe, qid);
     }
 
     /// Allocates the next upstream transaction id in O(1). If the id is
@@ -554,6 +569,13 @@ impl RemoteGuard {
         let id = self.next_txid;
         self.next_txid = self.next_txid.wrapping_add(1).max(1);
         self.remove_fwd(id);
+        id
+    }
+
+    /// Allocates a journey correlation id.
+    fn alloc_qid(&mut self) -> u64 {
+        let id = self.next_qid;
+        self.next_qid += 1;
         id
     }
 
@@ -631,6 +653,7 @@ impl RemoteGuard {
         requester: Endpoint,
         reply_from: Endpoint,
         rewrite: Rewrite,
+        qid: u64,
     ) {
         if self.health.down
             && self.config.health_policy == AnsHealthPolicy::FailClosed
@@ -656,6 +679,7 @@ impl RemoteGuard {
         let orig_txid = query.header.id;
         let txid = self.alloc_txid();
         query.header.id = txid;
+        let probe = matches!(rewrite, Rewrite::Probe);
         self.insert_fwd(
             txid,
             Forwarded {
@@ -664,14 +688,31 @@ impl RemoteGuard {
                 orig_txid,
                 rewrite,
                 created: ctx.now(),
+                qid,
             },
         );
         self.metrics.forwarded.inc();
-        self.metrics.trace.debug(
-            ctx.now().as_nanos(),
-            "forward",
-            &[("src", Value::Ip(requester.ip))],
-        );
+        // Info-level with both sides of the txid rewrite: the journey
+        // assembler's bridge from client-facing to ANS-facing identity.
+        // Probes stay at debug — they are not client transactions.
+        if probe {
+            self.metrics.trace.debug(
+                ctx.now().as_nanos(),
+                "forward",
+                &[("src", Value::Ip(requester.ip)), ("qid", Value::U64(qid))],
+            );
+        } else {
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "forward",
+                &[
+                    ("src", Value::Ip(requester.ip)),
+                    ("qid", Value::U64(qid)),
+                    ("txid", Value::U64(txid as u64)),
+                    ("orig_txid", Value::U64(orig_txid as u64)),
+                ],
+            );
+        }
         let pkt = Packet::udp(
             Endpoint::new(self.config.public_addr, DNS_PORT),
             Endpoint::new(self.config.ans_addr, DNS_PORT),
@@ -775,12 +816,13 @@ impl RemoteGuard {
         if !self.active {
             // Protection disengaged: transparent forwarding.
             self.metrics.passthrough.inc();
+            let qid = self.alloc_qid();
             self.metrics.trace.debug(
                 ctx.now().as_nanos(),
                 "passthrough",
-                &[("src", Value::Ip(pkt.src.ip))],
+                &[("src", Value::Ip(pkt.src.ip)), ("qid", Value::U64(qid))],
             );
-            self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+            self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough, qid);
             return;
         }
 
@@ -802,10 +844,11 @@ impl RemoteGuard {
                 let mut grant = msg.response();
                 cookie_ext::attach_cookie(&mut grant, cookie.0, self.config.cookie_ttl);
                 self.metrics.grants_sent.inc();
+                let qid = self.alloc_qid();
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
                     "grant",
-                    &[("src", Value::Ip(pkt.src.ip))],
+                    &[("src", Value::Ip(pkt.src.ip)), ("qid", Value::U64(qid))],
                 );
                 self.traffic_unverified.rx(pkt.wire_size());
                 let reply = Packet::udp(pkt.dst, pkt.src, grant.encode());
@@ -813,6 +856,7 @@ impl RemoteGuard {
                 return;
             }
             self.charge_cookie(ctx);
+            let qid = self.alloc_qid();
             if self.cookies.verify(pkt.src.ip, &guardhash::Cookie(ext.cookie)) {
                 self.metrics.ext_valid.inc();
                 self.metrics.trace.event(
@@ -822,6 +866,7 @@ impl RemoteGuard {
                         ("scheme", Value::Str("ext")),
                         ("verdict", Value::Str("valid")),
                         ("src", Value::Ip(pkt.src.ip)),
+                        ("qid", Value::U64(qid)),
                     ],
                 );
                 if !self.rl2.admit(ctx.now(), pkt.src.ip) {
@@ -829,13 +874,17 @@ impl RemoteGuard {
                     self.metrics.trace.event(
                         ctx.now().as_nanos(),
                         "rl_drop",
-                        &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+                        &[
+                            ("limiter", Value::Str("rl2")),
+                            ("src", Value::Ip(pkt.src.ip)),
+                            ("qid", Value::U64(qid)),
+                        ],
                     );
                     return;
                 }
                 let mut inner = msg;
                 cookie_ext::strip_cookie(&mut inner);
-                self.forward_to_ans(ctx, inner, pkt.src, pkt.dst, Rewrite::Passthrough);
+                self.forward_to_ans(ctx, inner, pkt.src, pkt.dst, Rewrite::Passthrough, qid);
             } else {
                 self.metrics.ext_invalid.inc();
                 self.metrics.trace.event(
@@ -845,6 +894,7 @@ impl RemoteGuard {
                         ("scheme", Value::Str("ext")),
                         ("verdict", Value::Str("invalid")),
                         ("src", Value::Ip(pkt.src.ip)),
+                        ("qid", Value::U64(qid)),
                     ],
                 );
             }
@@ -854,6 +904,7 @@ impl RemoteGuard {
         // 2. COOKIE2 destination (message 7 of the fabricated NS/IP flow)?
         if pkt.dst.ip != self.config.public_addr {
             self.charge_cookie(ctx);
+            let qid = self.alloc_qid();
             if !self.cookie2_matches(pkt.src.ip, pkt.dst.ip) {
                 self.metrics.cookie2_invalid.inc();
                 self.metrics.trace.event(
@@ -863,6 +914,7 @@ impl RemoteGuard {
                         ("scheme", Value::Str("cookie2")),
                         ("verdict", Value::Str("invalid")),
                         ("src", Value::Ip(pkt.src.ip)),
+                        ("qid", Value::U64(qid)),
                     ],
                 );
                 return;
@@ -875,6 +927,7 @@ impl RemoteGuard {
                     ("scheme", Value::Str("cookie2")),
                     ("verdict", Value::Str("valid")),
                     ("src", Value::Ip(pkt.src.ip)),
+                    ("qid", Value::U64(qid)),
                 ],
             );
             if !self.rl2.admit(ctx.now(), pkt.src.ip) {
@@ -882,7 +935,11 @@ impl RemoteGuard {
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
                     "rl_drop",
-                    &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+                    &[
+                        ("limiter", Value::Str("rl2")),
+                        ("src", Value::Ip(pkt.src.ip)),
+                        ("qid", Value::U64(qid)),
+                    ],
                 );
                 return;
             }
@@ -895,7 +952,7 @@ impl RemoteGuard {
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
                     "stash_hit",
-                    &[("src", Value::Ip(pkt.src.ip))],
+                    &[("src", Value::Ip(pkt.src.ip)), ("qid", Value::U64(qid))],
                 );
                 let mut resp = msg.response();
                 resp.header.authoritative = true;
@@ -907,7 +964,7 @@ impl RemoteGuard {
                 self.tx(ctx, reply);
                 return;
             }
-            self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+            self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough, qid);
             return;
         }
 
@@ -934,6 +991,7 @@ impl RemoteGuard {
         original_first: Vec<u8>,
     ) {
         self.charge_cookie(ctx);
+        let qid = self.alloc_qid();
         if !self.cookies.verify_ns_suffix(pkt.src.ip, &hex) {
             self.metrics.ns_cookie_invalid.inc();
             self.metrics.trace.event(
@@ -943,6 +1001,7 @@ impl RemoteGuard {
                     ("scheme", Value::Str("ns_label")),
                     ("verdict", Value::Str("invalid")),
                     ("src", Value::Ip(pkt.src.ip)),
+                    ("qid", Value::U64(qid)),
                 ],
             );
             return;
@@ -960,6 +1019,7 @@ impl RemoteGuard {
                     ("scheme", Value::Str("ns_label")),
                     ("verdict", Value::Str("invalid")),
                     ("src", Value::Ip(pkt.src.ip)),
+                    ("qid", Value::U64(qid)),
                 ],
             );
             return;
@@ -972,6 +1032,7 @@ impl RemoteGuard {
                 ("scheme", Value::Str("ns_label")),
                 ("verdict", Value::Str("valid")),
                 ("src", Value::Ip(pkt.src.ip)),
+                ("qid", Value::U64(qid)),
             ],
         );
         if !self.rl2.admit(ctx.now(), pkt.src.ip) {
@@ -979,7 +1040,11 @@ impl RemoteGuard {
             self.metrics.trace.event(
                 ctx.now().as_nanos(),
                 "rl_drop",
-                &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+                &[
+                    ("limiter", Value::Str("rl2")),
+                    ("src", Value::Ip(pkt.src.ip)),
+                    ("qid", Value::U64(qid)),
+                ],
             );
             return;
         }
@@ -992,6 +1057,7 @@ impl RemoteGuard {
                     pkt.src,
                     pkt.dst,
                     Rewrite::ReferralCookie { cookie_question },
+                    qid,
                 );
             }
             Classification::NonReferral => {
@@ -1004,6 +1070,7 @@ impl RemoteGuard {
                         cookie_question,
                         original,
                     },
+                    qid,
                 );
             }
         }
@@ -1034,10 +1101,11 @@ impl RemoteGuard {
             SchemeMode::TcpBased => {
                 let tc = msg.truncated_response();
                 self.metrics.tc_sent.inc();
+                let qid = self.alloc_qid();
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
                     "tc_sent",
-                    &[("src", Value::Ip(pkt.src.ip))],
+                    &[("src", Value::Ip(pkt.src.ip)), ("qid", Value::U64(qid))],
                 );
                 let reply = Packet::udp(pkt.dst, pkt.src, tc.encode());
                 self.tx_unverified(ctx, reply);
@@ -1050,10 +1118,11 @@ impl RemoteGuard {
                 let mut grant = msg.response();
                 cookie_ext::attach_cookie(&mut grant, cookie.0, self.config.cookie_ttl);
                 self.metrics.grants_sent.inc();
+                let qid = self.alloc_qid();
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
                     "grant",
-                    &[("src", Value::Ip(pkt.src.ip))],
+                    &[("src", Value::Ip(pkt.src.ip)), ("qid", Value::U64(qid))],
                 );
                 let reply = Packet::udp(pkt.dst, pkt.src, grant.encode());
                 self.tx_unverified(ctx, reply);
@@ -1065,14 +1134,16 @@ impl RemoteGuard {
                     Classification::Unknown => {
                         // Not ours: let the ANS answer (it will refuse).
                         self.metrics.plain_forwarded.inc();
-                        self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+                        let qid = self.alloc_qid();
+                        self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough, qid);
                         return;
                     }
                 };
                 let Some(first) = target.first_label().map(|l| l.to_vec()) else {
                     // Query for the root itself: fall back to forwarding.
                     self.metrics.plain_forwarded.inc();
-                    self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+                    let qid = self.alloc_qid();
+                    self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough, qid);
                     return;
                 };
                 self.charge_cookie(ctx);
@@ -1080,7 +1151,8 @@ impl RemoteGuard {
                 let Ok(fab_name) = target.with_first_label(&label) else {
                     // Label too long (very deep name): forward unprotected.
                     self.metrics.plain_forwarded.inc();
-                    self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough);
+                    let qid = self.alloc_qid();
+                    self.forward_to_ans(ctx, msg, pkt.src, pkt.dst, Rewrite::Passthrough, qid);
                     return;
                 };
                 let mut reply = msg.response();
@@ -1088,10 +1160,11 @@ impl RemoteGuard {
                     .authorities
                     .push(Record::ns(target, fab_name, self.config.fabricated_ns_ttl));
                 self.metrics.fabricated_ns_sent.inc();
+                let qid = self.alloc_qid();
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
                     "fabricated_ns",
-                    &[("src", Value::Ip(pkt.src.ip))],
+                    &[("src", Value::Ip(pkt.src.ip)), ("qid", Value::U64(qid))],
                 );
                 let out = Packet::udp(pkt.dst, pkt.src, reply.encode());
                 self.tx_unverified(ctx, out);
@@ -1116,9 +1189,29 @@ impl RemoteGuard {
             return;
         };
         self.metrics.relayed_responses.inc();
-        self.metrics
-            .ans_rtt_ns
-            .record(ctx.now().saturating_sub(fwd.created).as_nanos());
+        let rtt_ns = ctx.now().saturating_sub(fwd.created).as_nanos();
+        self.metrics.ans_rtt_ns.record(rtt_ns);
+        // The relay event closes the journey stage opened by "forward": via
+        // names the rewrite applied on the way back to the requester.
+        let via = match &fwd.rewrite {
+            Rewrite::Probe => None,
+            Rewrite::Passthrough => Some("passthrough"),
+            Rewrite::ReferralCookie { .. } => Some("referral"),
+            Rewrite::Fabricated { .. } => Some("cookie2_redirect"),
+            Rewrite::TcpRelay { .. } => Some("tcp"),
+        };
+        if let Some(via) = via {
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "relay",
+                &[
+                    ("src", Value::Ip(fwd.requester.ip)),
+                    ("qid", Value::U64(fwd.qid)),
+                    ("via", Value::Str(via)),
+                    ("rtt_ns", Value::U64(rtt_ns)),
+                ],
+            );
+        }
         match fwd.rewrite {
             Rewrite::Probe => {}
             Rewrite::Passthrough => {
@@ -1211,10 +1304,11 @@ impl RemoteGuard {
         if self.proxy.stats().accepted > accepted_before {
             ctx.charge(netsim::cost::tcp_conn_cost());
             self.charge_cookie(ctx); // SYN-cookie computation
+            let qid = self.alloc_qid();
             self.metrics.trace.event(
                 ctx.now().as_nanos(),
                 "proxy_accept",
-                &[("src", Value::Ip(pkt.src.ip))],
+                &[("src", Value::Ip(pkt.src.ip)), ("qid", Value::U64(qid))],
             );
         }
         for action in actions {
@@ -1225,17 +1319,26 @@ impl RemoteGuard {
                     // open proxied connections (Figure 7(a)); charged once
                     // per relayed request.
                     ctx.charge(netsim::cost::tcp_conn_table_cost(self.proxy.open_connections()));
+                    let qid = self.alloc_qid();
                     self.metrics.trace.debug(
                         ctx.now().as_nanos(),
                         "proxy_relay",
-                        &[("src", Value::Ip(pkt.src.ip))],
+                        &[
+                            ("src", Value::Ip(pkt.src.ip)),
+                            ("qid", Value::U64(qid)),
+                            ("token", Value::U64(token)),
+                        ],
                     );
                     if !self.rl2.admit(ctx.now(), pkt.src.ip) {
                         self.metrics.rl2_dropped.inc();
                         self.metrics.trace.event(
                             ctx.now().as_nanos(),
                             "rl_drop",
-                            &[("limiter", Value::Str("rl2")), ("src", Value::Ip(pkt.src.ip))],
+                            &[
+                                ("limiter", Value::Str("rl2")),
+                                ("src", Value::Ip(pkt.src.ip)),
+                                ("qid", Value::U64(qid)),
+                            ],
                         );
                         continue;
                     }
@@ -1245,6 +1348,7 @@ impl RemoteGuard {
                         pkt.src,
                         Endpoint::new(self.config.public_addr, DNS_PORT),
                         Rewrite::TcpRelay { token },
+                        qid,
                     );
                 }
             }
@@ -1342,6 +1446,15 @@ impl Node for RemoteGuard {
         self.metrics
             .table_bytes
             .set((self.fwd_bytes + self.stash_bytes) as u64);
+        // Export the unverified-traffic amplification ratio (paper bound:
+        // ≤1.5×) in milli-units so the alert engine can threshold it.
+        let amp = self.traffic_unverified.amplification();
+        let amp_milli = if amp.is_finite() && amp > 0.0 {
+            (amp * 1000.0) as u64
+        } else {
+            0
+        };
+        self.metrics.amplification_milli.set(amp_milli);
     }
 }
 

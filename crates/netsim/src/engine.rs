@@ -451,6 +451,17 @@ pub struct Simulator {
     /// Timed partitions, checked at packet departure time.
     partitions: Vec<Partition>,
     fault_metrics: FaultMetrics,
+    /// Optional alert-engine tick: evaluated on a sim-time cadence from the
+    /// run loops, so alerts fire at deterministic simulated instants.
+    alert: Option<AlertHook>,
+}
+
+/// A periodic alert evaluation driven by simulated time.
+struct AlertHook {
+    engine: obs::alert::SharedAlertEngine,
+    registry: std::sync::Arc<obs::metrics::Registry>,
+    cadence: SimTime,
+    next: SimTime,
 }
 
 impl Simulator {
@@ -472,6 +483,7 @@ impl Simulator {
             faults: HashMap::new(),
             partitions: Vec::new(),
             fault_metrics: FaultMetrics::default(),
+            alert: None,
         }
     }
 
@@ -488,6 +500,39 @@ impl Simulator {
         r.adopt_counter("netsim", "fault_partition_dropped", &[], &m.partition_dropped);
         r.adopt_counter("netsim", "fault_crash_dropped", &[], &m.crash_dropped);
         self.fault_metrics.trace = obs.tracer.component("netsim");
+    }
+
+    /// Installs an alert engine evaluated every `cadence` of simulated time
+    /// against a snapshot of `registry`. The first evaluation happens at the
+    /// first cadence boundary after the current sim time, interleaved with
+    /// event processing by [`Simulator::run`]/[`Simulator::run_until`], so a
+    /// rule crossing its threshold fires at a deterministic simulated
+    /// instant rather than at drain time.
+    pub fn attach_alert_engine(
+        &mut self,
+        engine: obs::alert::SharedAlertEngine,
+        registry: std::sync::Arc<obs::metrics::Registry>,
+        cadence: SimTime,
+    ) {
+        assert!(cadence > SimTime::ZERO, "alert cadence must be positive");
+        self.alert = Some(AlertHook {
+            engine,
+            registry,
+            cadence,
+            next: self.now + cadence,
+        });
+    }
+
+    /// Runs every due alert evaluation with boundary `<= t`.
+    fn eval_alerts_until(&mut self, t: SimTime) {
+        let Some(hook) = self.alert.as_mut() else {
+            return;
+        };
+        while hook.next <= t {
+            let samples = hook.registry.snapshot();
+            hook.engine.lock().evaluate(hook.next.as_nanos(), &samples);
+            hook.next += hook.cadence;
+        }
     }
 
     /// Registers `gateway` as the egress tap for `node`: every packet
@@ -692,7 +737,16 @@ impl Simulator {
     /// Runs until no non-daemon events remain. Periodic housekeeping timers
     /// armed with [`Context::set_daemon_timer`] do not keep the run alive.
     pub fn run(&mut self) {
-        while self.live_events > 0 && self.step() {}
+        while self.live_events > 0 {
+            let Some(Reverse(head)) = self.queue.peek() else {
+                break;
+            };
+            let t = head.time;
+            self.eval_alerts_until(t);
+            if !self.step() {
+                break;
+            }
+        }
     }
 
     /// Runs events with `time <= until`, then advances the clock to `until`.
@@ -701,8 +755,11 @@ impl Simulator {
             if head.time > until {
                 break;
             }
+            let t = head.time;
+            self.eval_alerts_until(t);
             self.step();
         }
+        self.eval_alerts_until(until);
         self.now = self.now.max(until);
     }
 

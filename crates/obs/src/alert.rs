@@ -1,0 +1,461 @@
+//! Rule-based telemetry alerting over sampled registry snapshots.
+//!
+//! The paper's threat model gives the rules: a spoofing flood shows up as
+//! an **invalid-verify surge** (section III: cookie guessing is a 2⁻³²
+//! shot, so invalid verdicts at rate means an active spoofing source),
+//! sustained **RL1/RL2 saturation** means the rate limiters — the paper's
+//! backstop when cookies alone cannot shed load — are the binding
+//! constraint, an **amplification-bound breach** means the guard is
+//! replying with more bytes than unverified sources send (the ≤1.5×
+//! reflector bound of section III.F), and **ANS down/flap** is the outage
+//! the whole guard exists to prevent from spreading. **Trace-ring drops**
+//! round out the set: they mean the observability layer itself is lossy.
+//!
+//! [`AlertEngine::evaluate`] consumes `(t_nanos, snapshot)` pairs — from
+//! the netsim engine tick ([`Simulator::attach_alert_engine`]) or the
+//! runtime telemetry endpoint — computes counter deltas against the
+//! previous evaluation, and tracks an active-alert set. Every transition
+//! emits a structured `alert` trace event and bumps an
+//! `alert.fired{rule}` counter.
+//!
+//! [`Simulator::attach_alert_engine`]: ../../netsim/engine/struct.Simulator.html
+
+use crate::metrics::{Counter, MetricSample, SampleValue};
+use crate::trace::{ComponentTracer, Value};
+use crate::Obs;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Every rule the engine knows, by name.
+pub const RULES: &[&str] = &[
+    "spoof_surge",
+    "rl1_saturation",
+    "rl2_saturation",
+    "amplification_breach",
+    "ans_down",
+    "ans_flap",
+    "trace_drops",
+];
+
+/// Thresholds and windows for the rule set.
+#[derive(Debug, Clone)]
+pub struct AlertConfig {
+    /// Invalid-verify rate (events/s) above which `spoof_surge` fires.
+    pub spoof_invalid_per_sec: f64,
+    /// RL1/RL2 drop rate (events/s) above which the saturation rules fire.
+    pub rl_drop_per_sec: f64,
+    /// `amplification_breach` fires when the guard's unverified-traffic
+    /// amplification gauge (ratio × 1000) exceeds this. The paper bounds
+    /// the schemes at 1.5×; 1600 leaves headroom for rounding.
+    pub amplification_max_milli: u64,
+    /// `ans_flap` fires when this many down transitions land within
+    /// [`AlertConfig::flap_window_nanos`].
+    pub flap_transitions: usize,
+    /// Window for flap detection.
+    pub flap_window_nanos: u64,
+}
+
+impl Default for AlertConfig {
+    fn default() -> Self {
+        AlertConfig {
+            spoof_invalid_per_sec: 200.0,
+            rl_drop_per_sec: 2_000.0,
+            amplification_max_milli: 1_600,
+            flap_transitions: 2,
+            flap_window_nanos: 2_000_000_000,
+        }
+    }
+}
+
+/// One currently-firing alert.
+#[derive(Debug, Clone)]
+pub struct ActiveAlert {
+    /// The rule name (one of [`RULES`]).
+    pub rule: &'static str,
+    /// When the alert started firing (evaluation time).
+    pub since_nanos: u64,
+    /// The measured value that tripped the rule (rate, ratio, or count).
+    pub value: f64,
+    /// The configured threshold it crossed.
+    pub threshold: f64,
+}
+
+/// One fire/clear transition, kept for post-run inspection.
+#[derive(Debug, Clone)]
+pub struct AlertTransition {
+    /// The rule name.
+    pub rule: &'static str,
+    /// Evaluation time of the transition.
+    pub t_nanos: u64,
+    /// `true` on fire, `false` on clear.
+    pub firing: bool,
+    /// The measured value at the transition.
+    pub value: f64,
+}
+
+/// The rule engine. Feed it snapshots; read back active alerts, the
+/// transition history, and `alert` trace events/counters.
+pub struct AlertEngine {
+    config: AlertConfig,
+    prev: HashMap<String, u64>,
+    prev_t: Option<u64>,
+    active: BTreeMap<&'static str, ActiveAlert>,
+    history: Vec<AlertTransition>,
+    down_times: VecDeque<u64>,
+    trace: ComponentTracer,
+    fired: HashMap<&'static str, Counter>,
+}
+
+impl std::fmt::Debug for AlertEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlertEngine")
+            .field("active", &self.active.keys().collect::<Vec<_>>())
+            .field("history", &self.history.len())
+            .finish()
+    }
+}
+
+/// A shareable engine handle: the netsim tick and a telemetry endpoint can
+/// evaluate/read the same engine.
+pub type SharedAlertEngine = Arc<parking_lot::Mutex<AlertEngine>>;
+
+/// Wraps an engine for sharing.
+pub fn shared(engine: AlertEngine) -> SharedAlertEngine {
+    Arc::new(parking_lot::Mutex::new(engine))
+}
+
+fn label_is(labels: &[(&'static str, String)], key: &str, value: &str) -> bool {
+    labels.iter().any(|(k, v)| *k == key && v == value)
+}
+
+fn counter_of(s: &MetricSample) -> u64 {
+    match s.value {
+        SampleValue::Counter(v) => v,
+        _ => 0,
+    }
+}
+
+impl AlertEngine {
+    /// An engine with the given thresholds, not yet attached to an
+    /// observer (transitions are tracked but not traced/counted).
+    pub fn new(config: AlertConfig) -> AlertEngine {
+        AlertEngine {
+            config,
+            prev: HashMap::new(),
+            prev_t: None,
+            active: BTreeMap::new(),
+            history: Vec::new(),
+            down_times: VecDeque::new(),
+            trace: ComponentTracer::disabled(),
+            fired: HashMap::new(),
+        }
+    }
+
+    /// Wires transition events into `obs`: trace component `alert`, and an
+    /// `alert.fired{rule}` counter per rule.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.trace = obs.tracer.component("alert");
+        for rule in RULES {
+            self.fired
+                .insert(rule, obs.registry.counter("alert", "fired", &[("rule", rule)]));
+        }
+    }
+
+    /// Evaluates every rule against `samples` (a `Registry::snapshot`).
+    /// The first call only records baselines; subsequent calls compute
+    /// rates over the elapsed interval.
+    pub fn evaluate(&mut self, t_nanos: u64, samples: &[MetricSample]) {
+        // Totals this engine rates on, summed across guard + runtime guard.
+        let mut invalid = 0u64;
+        let mut rl1 = 0u64;
+        let mut rl2 = 0u64;
+        let mut downs = 0u64;
+        let mut recoveries = 0u64;
+        let mut ring_dropped = 0u64;
+        let mut amp_milli = 0u64;
+        for s in samples {
+            match (s.component, s.name) {
+                (_, "verify") if label_is(&s.labels, "verdict", "invalid") => {
+                    invalid += counter_of(s);
+                }
+                ("guard_server", "dropped_spoofed") => invalid += counter_of(s),
+                (_, "rl_dropped") if label_is(&s.labels, "limiter", "rl1") => {
+                    rl1 += counter_of(s);
+                }
+                ("guard_server", "dropped_rl1") => rl1 += counter_of(s),
+                (_, "rl_dropped") if label_is(&s.labels, "limiter", "rl2") => {
+                    rl2 += counter_of(s);
+                }
+                (_, "ans_down_events") => downs += counter_of(s),
+                (_, "ans_recoveries") => recoveries += counter_of(s),
+                ("trace", "ring_dropped") => ring_dropped += counter_of(s),
+                (_, "amplification_milli") => {
+                    if let SampleValue::Gauge(v) = s.value {
+                        amp_milli = amp_milli.max(v);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut delta = |key: &str, now: u64| -> u64 {
+            let prev = self.prev.insert(key.to_string(), now).unwrap_or(now);
+            now.saturating_sub(prev)
+        };
+        let d_invalid = delta("invalid", invalid);
+        let d_rl1 = delta("rl1", rl1);
+        let d_rl2 = delta("rl2", rl2);
+        let d_downs = delta("downs", downs);
+        let d_recov = delta("recoveries", recoveries);
+        let d_ring = delta("ring_dropped", ring_dropped);
+
+        let Some(prev_t) = self.prev_t.replace(t_nanos) else {
+            return; // Baseline only: deltas against nothing are meaningless.
+        };
+        let dt = t_nanos.saturating_sub(prev_t);
+        if dt == 0 {
+            return;
+        }
+        let rate = |d: u64| d as f64 * 1e9 / dt as f64;
+
+        let spoof_rate = rate(d_invalid);
+        self.set_state(
+            t_nanos,
+            "spoof_surge",
+            spoof_rate > self.config.spoof_invalid_per_sec,
+            spoof_rate,
+            self.config.spoof_invalid_per_sec,
+        );
+        let rl1_rate = rate(d_rl1);
+        self.set_state(
+            t_nanos,
+            "rl1_saturation",
+            rl1_rate > self.config.rl_drop_per_sec,
+            rl1_rate,
+            self.config.rl_drop_per_sec,
+        );
+        let rl2_rate = rate(d_rl2);
+        self.set_state(
+            t_nanos,
+            "rl2_saturation",
+            rl2_rate > self.config.rl_drop_per_sec,
+            rl2_rate,
+            self.config.rl_drop_per_sec,
+        );
+        self.set_state(
+            t_nanos,
+            "amplification_breach",
+            amp_milli > self.config.amplification_max_milli,
+            amp_milli as f64 / 1_000.0,
+            self.config.amplification_max_milli as f64 / 1_000.0,
+        );
+
+        // ANS health is edge-triggered: a down transition fires the alert,
+        // a recovery with no concurrent down clears it.
+        if d_downs > 0 {
+            self.set_state(t_nanos, "ans_down", true, d_downs as f64, 1.0);
+            for _ in 0..d_downs {
+                self.down_times.push_back(t_nanos);
+            }
+        } else if d_recov > 0 {
+            self.set_state(t_nanos, "ans_down", false, 0.0, 1.0);
+        }
+        let horizon = t_nanos.saturating_sub(self.config.flap_window_nanos);
+        while self.down_times.front().is_some_and(|&t| t < horizon) {
+            self.down_times.pop_front();
+        }
+        self.set_state(
+            t_nanos,
+            "ans_flap",
+            self.down_times.len() >= self.config.flap_transitions,
+            self.down_times.len() as f64,
+            self.config.flap_transitions as f64,
+        );
+
+        self.set_state(t_nanos, "trace_drops", d_ring > 0, d_ring as f64, 1.0);
+    }
+
+    fn set_state(
+        &mut self,
+        t_nanos: u64,
+        rule: &'static str,
+        firing: bool,
+        value: f64,
+        threshold: f64,
+    ) {
+        let was = self.active.contains_key(rule);
+        if firing == was {
+            return;
+        }
+        if firing {
+            self.active.insert(
+                rule,
+                ActiveAlert { rule, since_nanos: t_nanos, value, threshold },
+            );
+            if let Some(c) = self.fired.get(rule) {
+                c.inc();
+            }
+        } else {
+            self.active.remove(rule);
+        }
+        self.history.push(AlertTransition { rule, t_nanos, firing, value });
+        self.trace.event(
+            t_nanos,
+            "alert",
+            &[
+                ("rule", Value::Str(rule)),
+                ("state", Value::Str(if firing { "firing" } else { "cleared" })),
+                ("value", Value::F64(value)),
+                ("threshold", Value::F64(threshold)),
+            ],
+        );
+    }
+
+    /// Currently-firing alerts, in rule-name order.
+    pub fn active(&self) -> Vec<ActiveAlert> {
+        self.active.values().cloned().collect()
+    }
+
+    /// Every fire/clear transition so far, oldest first.
+    pub fn history(&self) -> &[AlertTransition] {
+        &self.history
+    }
+
+    /// True when no rule ever fired — the clean-baseline expectation.
+    pub fn is_silent(&self) -> bool {
+        self.history.is_empty()
+    }
+
+    /// Rules that fired at least once, deduplicated, in first-fire order.
+    pub fn fired_rules(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for t in &self.history {
+            if t.firing && !seen.contains(&t.rule) {
+                seen.push(t.rule);
+            }
+        }
+        seen
+    }
+
+    /// Serialises the active set and transition history as one JSON
+    /// object: `{"active":[...],"history":[...]}`.
+    pub fn alerts_json(&self) -> String {
+        let mut out = String::from("{\"active\":[");
+        for (i, a) in self.active.values().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"since\":{},\"value\":{:.3},\"threshold\":{:.3}}}",
+                a.rule, a.since_nanos, a.value, a.threshold
+            ));
+        }
+        out.push_str("],\"history\":[");
+        for (i, t) in self.history.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"t\":{},\"state\":\"{}\",\"value\":{:.3}}}",
+                t.rule,
+                t.t_nanos,
+                if t.firing { "firing" } else { "cleared" },
+                t.value
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::validate_json;
+    use crate::metrics::Registry;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn snapshot_with(reg: &Registry) -> Vec<MetricSample> {
+        reg.snapshot()
+    }
+
+    #[test]
+    fn spoof_surge_fires_and_clears_on_rate() {
+        let obs = Obs::new();
+        obs.tracer.set_default_level(crate::trace::Level::Info);
+        let reg = Registry::new();
+        let invalid = reg.counter("guard", "verify", &[("scheme", "ns_label"), ("verdict", "invalid")]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.attach_obs(&obs);
+
+        engine.evaluate(0, &snapshot_with(&reg));
+        assert!(engine.is_silent(), "baseline never fires");
+        invalid.add(1_000); // 1000/s over the next second ≫ 200/s.
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        assert_eq!(engine.active().len(), 1);
+        assert_eq!(engine.active()[0].rule, "spoof_surge");
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        assert!(engine.active().is_empty(), "rate back to zero clears");
+        assert_eq!(engine.fired_rules(), vec!["spoof_surge"]);
+        assert_eq!(engine.history().len(), 2, "one fire, one clear");
+        // The transitions were traced and counted.
+        let (events, _) = obs.tracer.drain();
+        assert_eq!(events.iter().filter(|e| e.component == "alert").count(), 2);
+        let fired = obs.registry.counter("alert", "fired", &[("rule", "spoof_surge")]);
+        assert_eq!(fired.get(), 1);
+    }
+
+    #[test]
+    fn ans_down_is_edge_triggered_and_flap_detected() {
+        let reg = Registry::new();
+        let downs = reg.counter("guard", "ans_down_events", &[]);
+        let recov = reg.counter("guard", "ans_recoveries", &[]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+
+        downs.inc();
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        assert!(engine.active().iter().any(|a| a.rule == "ans_down"));
+        recov.inc();
+        engine.evaluate(SEC + SEC / 2, &snapshot_with(&reg));
+        assert!(!engine.active().iter().any(|a| a.rule == "ans_down"), "recovery clears");
+        // A second down inside the 2 s window: flap.
+        downs.inc();
+        engine.evaluate(SEC + SEC, &snapshot_with(&reg));
+        assert!(engine.active().iter().any(|a| a.rule == "ans_flap"), "two downs in window");
+        assert!(engine.fired_rules().contains(&"ans_down"));
+    }
+
+    #[test]
+    fn amplification_and_trace_drop_rules() {
+        let reg = Registry::new();
+        let amp = reg.gauge("guard", "amplification_milli", &[]);
+        let ring = reg.counter("trace", "ring_dropped", &[]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+        amp.set(1_900);
+        ring.add(5);
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        let rules: Vec<_> = engine.active().iter().map(|a| a.rule).collect();
+        assert!(rules.contains(&"amplification_breach"));
+        assert!(rules.contains(&"trace_drops"));
+        amp.set(1_200);
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        assert!(engine.active().is_empty(), "both clear when back in bounds");
+    }
+
+    #[test]
+    fn clean_baseline_stays_silent_and_json_is_valid() {
+        let reg = Registry::new();
+        let ok = reg.counter("guard", "verify", &[("scheme", "ext"), ("verdict", "valid")]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        for i in 0..10 {
+            ok.add(50); // Healthy verified traffic only.
+            engine.evaluate(i * SEC, &snapshot_with(&reg));
+        }
+        assert!(engine.is_silent());
+        validate_json(&engine.alerts_json()).unwrap();
+        assert_eq!(engine.alerts_json(), "{\"active\":[],\"history\":[]}");
+    }
+}

@@ -12,7 +12,7 @@
 //! * **Time series** ([`Sampler::series_json`]) — per flat metric key, the
 //!   `[t_nanos, value]` pairs collected at each [`Sampler::sample`] call.
 
-use crate::metrics::{Cell, MetricSample, Registry, SampleValue};
+use crate::metrics::{quantile_from_buckets, Cell, MetricSample, Registry, SampleValue};
 use crate::trace::{Event, Value};
 
 /// Appends `s` to `out` as a JSON string literal (quoted, escaped).
@@ -79,8 +79,12 @@ fn push_sample(s: &MetricSample, out: &mut String) {
             out.push_str(&format!(",\"kind\":\"gauge\",\"value\":{v}"));
         }
         SampleValue::Histogram { count, sum, buckets } => {
+            let p50 = quantile_from_buckets(buckets, *count, 0.50);
+            let p95 = quantile_from_buckets(buckets, *count, 0.95);
+            let p99 = quantile_from_buckets(buckets, *count, 0.99);
             out.push_str(&format!(
-                ",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\"buckets\":["
+                ",\"kind\":\"histogram\",\"count\":{count},\"sum\":{sum},\
+                 \"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"buckets\":["
             ));
             for (i, (bound, n)) in buckets.iter().enumerate() {
                 if i > 0 {
@@ -406,6 +410,9 @@ mod tests {
         assert!(json.contains("\"guard\""));
         assert!(json.contains("\"kind\":\"histogram\""));
         assert!(json.contains("\"scheme\":\"dns_based\""));
+        assert!(json.contains("\"p50\":"), "histogram exports estimated quantiles");
+        assert!(json.contains("\"p95\":"));
+        assert!(json.contains("\"p99\":"));
     }
 
     #[test]

@@ -20,6 +20,14 @@
 //! * [`export`] — JSONL/JSON serialisation for both (snapshot plus a
 //!   sim-time-cadence [`export::Sampler`] time series), and a small JSON
 //!   validator so CI can check emitted telemetry without external tools.
+//! * [`journey`] — query-journey reconstruction: stitches the event ring
+//!   back into per-transaction causal timelines across the guard's txid
+//!   rewrite, the COOKIE2 redirect and the TC→TCP hop, with latency
+//!   attribution (handshake vs guard vs ANS) and chrome-trace export.
+//! * [`alert`] — a rule engine over sampled snapshots: spoof surge, rate-
+//!   limiter saturation, amplification-bound breach, ANS down/flap and
+//!   trace-ring drops, with an active set, transition history and alert
+//!   events/counters.
 //!
 //! The crate has no simulator dependency: time is plain nanoseconds
 //! (`u64`), so both `netsim` sim-time and the runtime's wall-clock offsets
@@ -46,7 +54,9 @@
 //! assert_eq!(obs.tracer.drain().0.len(), 1);
 //! ```
 
+pub mod alert;
 pub mod export;
+pub mod journey;
 pub mod metrics;
 pub mod trace;
 
@@ -70,11 +80,13 @@ pub struct Obs {
 
 impl Obs {
     /// A live bundle: empty registry, tracer with the default ring capacity
-    /// (65 536 events) and tracing off until a level is set.
+    /// (131 072 events — sized so an instrumented ~1.5 s guarded run with
+    /// journey-correlated forward/relay events keeps its full trace) and
+    /// tracing off until a level is set.
     pub fn new() -> Obs {
         Obs {
             registry: Arc::new(Registry::new()),
-            tracer: Tracer::new(65_536),
+            tracer: Tracer::new(131_072),
         }
     }
 

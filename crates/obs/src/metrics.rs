@@ -156,6 +156,46 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Estimated value of quantile `q` (`0.0..=1.0`), interpolated within
+    /// the containing log₂ bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        quantile_from_buckets(&self.buckets(), self.count(), q)
+    }
+}
+
+/// Estimates quantile `q` from `(exclusive_upper_bound, count)` bucket
+/// pairs as produced by [`Histogram::buckets`] / exported snapshots.
+///
+/// The rank `⌈q·count⌉` is located by a cumulative walk; within the bucket
+/// the value is linearly interpolated between the bucket's bounds (bucket
+/// bound 1 holds exactly 0; the unbounded last bucket reports its lower
+/// bound). Returns 0 when `count` is 0.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], count: u64, q: f64) -> u64 {
+    if count == 0 || buckets.is_empty() {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for &(bound, n) in buckets {
+        if cum + n >= rank {
+            // Log₂ buckets: [bound/2, bound), except bound 1 (exactly 0)
+            // and the unbounded tail (lower bound 2^63).
+            let (lo, hi) = if bound == 1 {
+                (0, 0)
+            } else if bound == u64::MAX {
+                (1u64 << 63, 1u64 << 63)
+            } else {
+                (bound / 2, bound)
+            };
+            let into = (rank - cum) as f64 / n as f64;
+            return lo + ((hi - lo) as f64 * into) as u64;
+        }
+        cum += n;
+    }
+    // Unreachable when count matches the bucket sums; fall back to the
+    // last bucket's bound.
+    buckets.last().map(|&(b, _)| b).unwrap_or(0)
 }
 
 impl Default for Histogram {
@@ -526,5 +566,35 @@ mod tests {
         assert_eq!(h.sum(), 1006);
         let buckets = h.buckets();
         assert_eq!(buckets, vec![(1, 1), (2, 1), (4, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn quantile_estimates_from_log_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 100 samples at ~1000 ns, 10 at ~16_000 ns.
+        for _ in 0..100 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(16_000);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((512..1024).contains(&p50), "p50 in the 1000-sample bucket: {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((8_192..16_384).contains(&p99), "p99 in the tail bucket: {p99}");
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.95) >= p50);
+        assert!(p99 >= h.quantile(0.95));
+    }
+
+    #[test]
+    fn quantile_edge_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0, "bucket bound 1 holds exactly 0");
+        let tail = Histogram::new();
+        tail.record(u64::MAX);
+        assert_eq!(tail.quantile(0.5), 1u64 << 63, "unbounded tail reports its floor");
     }
 }

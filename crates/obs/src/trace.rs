@@ -11,6 +11,7 @@
 //! and returns immediately when the event's level is not enabled — the
 //! disabled cost is a branch, not an allocation or a lock.
 
+use crate::metrics::{Counter, Gauge, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -112,6 +113,12 @@ struct TracerShared {
     default_level: AtomicU8,
     components: Mutex<HashMap<&'static str, Arc<AtomicU8>>>,
     ring: Mutex<Ring>,
+    /// Buffered-event count, mirrored into a gauge so snapshots can see
+    /// ring pressure without draining.
+    occupancy: Gauge,
+    /// Total events discarded by the ring bound (never reset; `drain`
+    /// separately reports the count since the previous drain).
+    dropped_total: Counter,
 }
 
 /// The shared event trace. Cloning is cheap; all clones feed one ring.
@@ -131,6 +138,8 @@ impl Tracer {
                 default_level: AtomicU8::new(Level::Off as u8),
                 components: Mutex::new(HashMap::new()),
                 ring: Mutex::new(Ring::default()),
+                occupancy: Gauge::new(),
+                dropped_total: Counter::new(),
             }),
         }
     }
@@ -175,7 +184,30 @@ impl Tracer {
     pub fn drain(&self) -> (Vec<Event>, u64) {
         let mut ring = self.shared.ring.lock();
         let events = std::mem::take(&mut ring.buf).into();
+        self.shared.occupancy.set(0);
         (events, std::mem::take(&mut ring.dropped))
+    }
+
+    /// Clones the most recent `n` buffered events (oldest of those first)
+    /// without consuming them — the live telemetry endpoint's peek, which
+    /// must not steal events from a draining exporter.
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let ring = self.shared.ring.lock();
+        let skip = ring.buf.len().saturating_sub(n);
+        ring.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Registers the ring's health metrics — `trace.ring_occupancy`
+    /// (gauge, buffered events) and `trace.ring_dropped` (counter, total
+    /// events lost to the bound) — into `registry`.
+    pub fn adopt_into(&self, registry: &Registry) {
+        registry.adopt_gauge("trace", "ring_occupancy", &[], &self.shared.occupancy);
+        registry.adopt_counter("trace", "ring_dropped", &[], &self.shared.dropped_total);
+    }
+
+    /// Total events discarded by the ring bound over the tracer's lifetime.
+    pub fn dropped_total(&self) -> u64 {
+        self.shared.dropped_total.get()
     }
 
     /// Number of currently buffered events.
@@ -250,13 +282,16 @@ impl ComponentTracer {
         let mut ring = self.shared.ring.lock();
         if self.shared.capacity == 0 {
             ring.dropped += 1;
+            self.shared.dropped_total.inc();
             return;
         }
         if ring.buf.len() >= self.shared.capacity {
             ring.buf.pop_front();
             ring.dropped += 1;
+            self.shared.dropped_total.inc();
         }
         ring.buf.push_back(event);
+        self.shared.occupancy.set(ring.buf.len() as u64);
     }
 }
 
@@ -301,6 +336,65 @@ mod tests {
         assert_eq!(dropped, 2);
         assert_eq!(events[0].field("i"), Some(Value::U64(2)), "oldest dropped first");
         assert_eq!(events[2].t_nanos, 4);
+    }
+
+    #[test]
+    fn drain_reports_drops_exactly_when_capacity_exceeded() {
+        let tracer = Tracer::new(4);
+        tracer.set_default_level(Level::Info);
+        let t = tracer.component("c");
+        // Exactly at capacity: zero drops.
+        for i in 0..4u64 {
+            t.event(i, "e", &[]);
+        }
+        let (events, dropped) = tracer.drain();
+        assert_eq!((events.len(), dropped), (4, 0), "at capacity nothing drops");
+        // k over capacity: exactly k drops, k=3.
+        for i in 0..7u64 {
+            t.event(i, "e", &[]);
+        }
+        let (events, dropped) = tracer.drain();
+        assert_eq!((events.len(), dropped), (4, 3), "exactly the overflow drops");
+        assert_eq!(events[0].t_nanos, 3, "oldest three were the ones lost");
+    }
+
+    #[test]
+    fn occupancy_gauge_and_dropped_counter_track_ring() {
+        let reg = Registry::new();
+        let tracer = Tracer::new(3);
+        tracer.adopt_into(&reg);
+        tracer.set_default_level(Level::Info);
+        let t = tracer.component("c");
+        t.event(0, "e", &[]);
+        t.event(1, "e", &[]);
+        let occupancy = reg.gauge("trace", "ring_occupancy", &[]);
+        let dropped = reg.counter("trace", "ring_dropped", &[]);
+        assert_eq!(occupancy.get(), 2);
+        assert_eq!(dropped.get(), 0);
+        for i in 2..6u64 {
+            t.event(i, "e", &[]);
+        }
+        assert_eq!(occupancy.get(), 3, "gauge capped at capacity");
+        assert_eq!(dropped.get(), 3, "counter saw every discard");
+        tracer.drain();
+        assert_eq!(occupancy.get(), 0, "drain empties the ring");
+        assert_eq!(dropped.get(), 3, "lifetime counter is never reset");
+        assert_eq!(tracer.dropped_total(), 3);
+    }
+
+    #[test]
+    fn recent_peeks_without_consuming() {
+        let tracer = Tracer::new(8);
+        tracer.set_default_level(Level::Info);
+        let t = tracer.component("c");
+        for i in 0..5u64 {
+            t.event(i, "e", &[]);
+        }
+        let recent = tracer.recent(3);
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].t_nanos, 2, "last three, oldest first");
+        assert_eq!(tracer.len(), 5, "ring untouched");
+        assert_eq!(tracer.recent(100).len(), 5, "n past len returns all");
     }
 
     #[test]

@@ -93,6 +93,10 @@ impl GuardServer {
         let started = Instant::now();
         let handle = std::thread::spawn(move || {
             let mut buf = [0u8; 2048];
+            // Journey correlation: one qid per accepted datagram, stamped on
+            // every decision event so offline assembly can stitch the
+            // grant → verify → forward → relay chain.
+            let mut next_qid: u64 = 1;
             while !t_stop.load(Ordering::Relaxed) {
                 let (len, peer) = match sock.recv_from(&mut buf) {
                     Ok(x) => x,
@@ -114,6 +118,8 @@ impl GuardServer {
                     continue;
                 };
                 let now = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+                let qid = next_qid;
+                next_qid += 1;
 
                 let Some(ext) = cookie_ext::find_cookie(&msg) else {
                     // Cookie-less request: grant a cookie (rate limited).
@@ -122,7 +128,11 @@ impl GuardServer {
                         trace.event(
                             now.as_nanos(),
                             "rl_drop",
-                            &[("limiter", Value::Str("rl1")), ("src", Value::Ip(peer_ip))],
+                            &[
+                                ("limiter", Value::Str("rl1")),
+                                ("src", Value::Ip(peer_ip)),
+                                ("qid", Value::U64(qid)),
+                            ],
                         );
                         continue;
                     }
@@ -131,7 +141,11 @@ impl GuardServer {
                     cookie_ext::attach_cookie(&mut grant, cookie.0, 604_800);
                     let _ = sock.send_to(&grant.encode(), peer);
                     t_counters.grants.inc();
-                    trace.event(now.as_nanos(), "grant", &[("src", Value::Ip(peer_ip))]);
+                    trace.event(
+                        now.as_nanos(),
+                        "grant",
+                        &[("src", Value::Ip(peer_ip)), ("qid", Value::U64(qid))],
+                    );
                     continue;
                 };
 
@@ -141,7 +155,11 @@ impl GuardServer {
                         trace.event(
                             now.as_nanos(),
                             "rl_drop",
-                            &[("limiter", Value::Str("rl1")), ("src", Value::Ip(peer_ip))],
+                            &[
+                                ("limiter", Value::Str("rl1")),
+                                ("src", Value::Ip(peer_ip)),
+                                ("qid", Value::U64(qid)),
+                            ],
                         );
                         continue;
                     }
@@ -151,7 +169,11 @@ impl GuardServer {
                     cookie_ext::attach_cookie(&mut grant, cookie.0, 604_800);
                     let _ = sock.send_to(&grant.encode(), peer);
                     t_counters.grants.inc();
-                    trace.event(now.as_nanos(), "grant", &[("src", Value::Ip(peer_ip))]);
+                    trace.event(
+                        now.as_nanos(),
+                        "grant",
+                        &[("src", Value::Ip(peer_ip)), ("qid", Value::U64(qid))],
+                    );
                     continue;
                 }
 
@@ -164,6 +186,7 @@ impl GuardServer {
                             ("scheme", Value::Str("ext")),
                             ("verdict", Value::Str("invalid")),
                             ("src", Value::Ip(peer_ip)),
+                            ("qid", Value::U64(qid)),
                         ],
                     );
                     continue;
@@ -175,19 +198,45 @@ impl GuardServer {
                         ("scheme", Value::Str("ext")),
                         ("verdict", Value::Str("valid")),
                         ("src", Value::Ip(peer_ip)),
+                        ("qid", Value::U64(qid)),
                     ],
                 );
                 // Verified: strip the extension, proxy to the ANS.
+                let orig_txid = msg.header.id;
                 cookie_ext::strip_cookie(&mut msg);
                 if upstream.send_to(&msg.encode(), ans).is_err() {
                     continue;
                 }
                 t_counters.forwarded.inc();
+                trace.event(
+                    now.as_nanos(),
+                    "forward",
+                    &[
+                        ("src", Value::Ip(peer_ip)),
+                        ("qid", Value::U64(qid)),
+                        ("txid", Value::U64(msg.header.id as u64)),
+                        ("orig_txid", Value::U64(orig_txid as u64)),
+                    ],
+                );
                 let mut rbuf = [0u8; 2048];
                 if let Ok((rlen, _)) = upstream.recv_from(&mut rbuf) {
                     if let Ok(resp) = Message::decode(&rbuf[..rlen]) {
                         if let Ok((wire, _)) = resp.encode_with_limit(MAX_UDP_PAYLOAD) {
                             let _ = sock.send_to(&wire, peer);
+                            let done = SimTime::from_nanos(started.elapsed().as_nanos() as u64);
+                            trace.event(
+                                done.as_nanos(),
+                                "relay",
+                                &[
+                                    ("src", Value::Ip(peer_ip)),
+                                    ("qid", Value::U64(qid)),
+                                    ("via", Value::Str("passthrough")),
+                                    (
+                                        "rtt_ns",
+                                        Value::U64(done.saturating_sub(now).as_nanos()),
+                                    ),
+                                ],
+                            );
                         }
                     }
                 }

@@ -8,7 +8,10 @@
 //!   extension (the scheme RFC 7873 later standardised): grants cookies,
 //!   verifies them per source address, forwards verified queries;
 //! * [`client`] — a cookie-capable client that transparently performs the
-//!   cookie exchange and stamps cached cookies on queries.
+//!   cookie exchange and stamps cached cookies on queries;
+//! * [`telemetry`] — a live telemetry endpoint (newline-JSON over TCP):
+//!   metrics snapshots, recent trace events and active alerts on demand,
+//!   with periodic alert-rule evaluation.
 //!
 //! The packet-level performance evaluation lives in [`netsim`]-based
 //! experiments (`bench` crate); this crate demonstrates that the same
@@ -19,8 +22,10 @@ pub mod ans;
 pub mod client;
 pub mod guard_server;
 pub mod tcp_front;
+pub mod telemetry;
 
 pub use ans::ToyAns;
 pub use client::{ClientError, CookieClient};
 pub use guard_server::{spawn_guarded, GuardServer};
 pub use tcp_front::{query_over_tcp, TcpFront};
+pub use telemetry::TelemetryServer;

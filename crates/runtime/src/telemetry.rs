@@ -1,0 +1,216 @@
+//! A live telemetry endpoint: newline-JSON over TCP on loopback.
+//!
+//! The netsim experiments export telemetry *after* a run; a real deployment
+//! needs it *during* one. [`TelemetryServer`] serves the session's
+//! observability bundle over a trivially scriptable wire protocol — one
+//! command per line, one JSON document per reply line:
+//!
+//! | command    | reply                                                     |
+//! |------------|-----------------------------------------------------------|
+//! | `ping`     | `{"ok":true}`                                             |
+//! | `snapshot` | the full metrics snapshot (same shape as `BENCH_obs.json`'s snapshot array) |
+//! | `events`   | the most recent trace events (non-consuming peek)         |
+//! | `alerts`   | the alert engine's active set and transition history      |
+//!
+//! Unknown commands get `{"error":"unknown command"}`. The server also
+//! drives the alert engine: every `eval_every`, it evaluates the rules
+//! against a fresh registry snapshot, so alerts fire while the deployment
+//! runs rather than at export time.
+
+use obs::alert::SharedAlertEngine;
+use obs::export::{event_json, metrics_json};
+use obs::Obs;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How many trace events an `events` reply carries at most.
+const RECENT_EVENTS: usize = 256;
+
+/// A live telemetry endpoint on a background thread.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Spawns the endpoint on an ephemeral loopback port, serving `obs` and
+    /// `engine`. The engine is evaluated every `eval_every` of wall time
+    /// (timestamps are nanoseconds since spawn, matching the live guard's
+    /// trace clock).
+    pub fn spawn(
+        obs: &Obs,
+        engine: SharedAlertEngine,
+        eval_every: Duration,
+    ) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let t_stop = stop.clone();
+        let t_obs = obs.clone();
+        let started = Instant::now();
+        let handle = std::thread::spawn(move || {
+            let mut next_eval = started + eval_every;
+            while !t_stop.load(Ordering::Relaxed) {
+                if Instant::now() >= next_eval {
+                    let t = started.elapsed().as_nanos() as u64;
+                    let samples = t_obs.registry.snapshot();
+                    engine.lock().evaluate(t, &samples);
+                    next_eval += eval_every;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Serve this client to completion; telemetry clients
+                        // are short-lived scripts, not long-poll consumers.
+                        let _ = serve_client(stream, &t_obs, &engine);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(TelemetryServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The endpoint's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the endpoint thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_client(stream: TcpStream, obs: &Obs, engine: &SharedAlertEngine) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // timeout or disconnect
+        };
+        let reply = match line.trim() {
+            "" => continue,
+            "ping" => "{\"ok\":true}".to_string(),
+            "snapshot" => metrics_json(&obs.registry.snapshot()),
+            "events" => {
+                let events = obs.tracer.recent(RECENT_EVENTS);
+                let mut out = String::from("[");
+                for (i, e) in events.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&event_json(e));
+                }
+                out.push(']');
+                out
+            }
+            "alerts" => engine.lock().alerts_json(),
+            _ => "{\"error\":\"unknown command\"}".to_string(),
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::alert::{AlertConfig, AlertEngine};
+    use obs::export::validate_json;
+    use obs::trace::{Level, Value};
+
+    fn query(addr: SocketAddr, cmds: &[&str]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        for cmd in cmds {
+            writer.write_all(cmd.as_bytes()).unwrap();
+            writer.write_all(b"\n").unwrap();
+            writer.flush().unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            replies.push(line.trim().to_string());
+        }
+        replies
+    }
+
+    #[test]
+    fn endpoint_serves_snapshot_events_and_alerts() {
+        let obs = Obs::new();
+        obs.tracer.set_default_level(Level::Info);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.attach_obs(&obs);
+        let engine = obs::alert::shared(engine);
+        let server =
+            TelemetryServer::spawn(&obs, engine, Duration::from_millis(20)).unwrap();
+
+        let c = obs.registry.counter("demo", "hits", &[]);
+        c.inc();
+        obs.tracer
+            .component("demo")
+            .event(7, "hit", &[("n", Value::U64(1))]);
+
+        let replies = query(server.addr(), &["ping", "snapshot", "events", "alerts", "bogus"]);
+        assert_eq!(replies[0], "{\"ok\":true}");
+        for r in &replies[1..4] {
+            validate_json(r).unwrap_or_else(|p| panic!("invalid JSON at {p}: {r}"));
+        }
+        assert!(replies[1].contains("\"demo\"") && replies[1].contains("\"hits\""));
+        assert!(replies[2].contains("\"kind\":\"hit\""), "events: {}", replies[2]);
+        assert!(replies[3].contains("\"active\""), "alerts: {}", replies[3]);
+        assert!(replies[4].contains("unknown command"));
+
+        // The events command peeks; the ring still holds the event.
+        let (drained, _) = obs.tracer.drain();
+        assert_eq!(drained.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn endpoint_evaluates_alerts_periodically() {
+        let obs = Obs::new();
+        let engine = obs::alert::shared(AlertEngine::new(AlertConfig::default()));
+        let server =
+            TelemetryServer::spawn(&obs, engine.clone(), Duration::from_millis(5)).unwrap();
+        // Ask over the wire (not just the shared handle) so the check
+        // exercises the full path; baseline evaluation happens quickly.
+        std::thread::sleep(Duration::from_millis(60));
+        let replies = query(server.addr(), &["alerts"]);
+        assert!(replies[0].contains("\"active\":[]"), "clean start is silent: {}", replies[0]);
+        assert!(engine.lock().is_silent());
+        server.shutdown();
+    }
+}

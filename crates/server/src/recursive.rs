@@ -415,7 +415,11 @@ impl RecursiveResolver {
     fn finish_err(&mut self, ctx: &mut Context<'_>, job_id: usize, rcode: Rcode) {
         if rcode == Rcode::ServFail {
             self.metrics.servfails.inc();
-            self.metrics.trace.event(ctx.now().as_nanos(), "servfail", &[]);
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "servfail",
+                &[("job", obs::trace::Value::U64(job_id as u64))],
+            );
         }
         self.finish(ctx, job_id, rcode, Vec::new(), Vec::new());
     }
@@ -531,7 +535,10 @@ impl RecursiveResolver {
             self.metrics.trace.event(
                 ctx.now().as_nanos(),
                 "tcp_fallback",
-                &[("server", obs::trace::Value::Ip(pkt.src.ip))],
+                &[
+                    ("server", obs::trace::Value::Ip(pkt.src.ip)),
+                    ("job", obs::trace::Value::U64(job_id as u64)),
+                ],
             );
             self.query_over_tcp(ctx, job_id, pkt.src.ip);
             return;
@@ -761,7 +768,14 @@ impl Node for RecursiveResolver {
         let job_id = pending.job;
         self.retire_op(op);
         self.metrics.timeouts.inc();
-        self.metrics.trace.event(ctx.now().as_nanos(), "timeout", &[]);
+        self.metrics.trace.event(
+            ctx.now().as_nanos(),
+            "timeout",
+            &[
+                ("job", obs::trace::Value::U64(job_id as u64)),
+                ("op", obs::trace::Value::U64(op)),
+            ],
+        );
         let give_up = match self.jobs[job_id].as_ref() {
             Some(job) => job.attempts >= self.config.max_retries,
             None => return,

@@ -1,5 +1,7 @@
 //! Quickstart: deploy a DNS guard in front of an authoritative server,
 //! resolve a name through it, and watch a spoofed flood bounce off.
+//! Finishes by tracing one cold-start query through each scheme and
+//! rendering its causal timeline (stage-by-stage latency attribution).
 //!
 //! Run: `cargo run --example quickstart`
 
@@ -85,4 +87,21 @@ fn main() {
         "The legitimate requester kept resolving while {} spoofed packets were shed.",
         g.stats().rl1_dropped + g.stats().spoofed_dropped()
     );
+
+    // 5. One cold-start query through each scheme, rendered as a causal
+    //    timeline: where every nanosecond went (handshake vs guard vs ANS).
+    println!();
+    println!("== Query journeys: one cold-start transaction per scheme ==");
+    for scheme in bench::journeys::SCHEMES {
+        let run = bench::journeys::run_scheme(scheme, 7, SimTime::from_millis(120));
+        let Some(journey) = run.report.complete.first() else {
+            println!("\n[{scheme}] no completed journey");
+            continue;
+        };
+        println!(
+            "\n[{scheme}] {} extra round trip(s) vs an unguarded query",
+            journey.extra_round_trips()
+        );
+        print!("{}", obs::journey::render_timeline(journey));
+    }
 }
