@@ -9,8 +9,8 @@
 # registry; --offline makes that a hard guarantee rather than an accident.
 #
 # Usage: ./ci.sh [stage]
-#   stage ∈ {build, test, clippy, telemetry, journeys, docs}; no argument
-#   runs all.
+#   stage ∈ {build, test, clippy, telemetry, journeys, ha, docs}; no
+#   argument runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -49,6 +49,15 @@ if want journeys; then
   cargo run --release --offline -p bench --bin telemetry_check -- \
     --journeys target/journeys-smoke/BENCH_journeys.json \
     target/journeys-smoke/BENCH_journeys_trace.json
+fi
+
+if want ha; then
+  echo "==> high-availability smoke (BENCH_failover export + validation)"
+  mkdir -p target/ha-smoke
+  cargo run --release --offline -p bench --bin all_experiments -- \
+    --ha-only --obs-out target/ha-smoke
+  cargo run --release --offline -p bench --bin telemetry_check -- \
+    --ha target/ha-smoke/BENCH_failover.json
 fi
 
 if want docs; then

@@ -9,6 +9,10 @@
 //! * `--journeys` — additionally run the query-journey experiment and
 //!   write `BENCH_journeys.json` + `BENCH_journeys_trace.json`;
 //! * `--journeys-only` — run only the journey experiment;
+//! * `--ha` — additionally run the high-availability experiment
+//!   (crash failover, checkpoint-age sweep, shed-tier sweep) and write
+//!   `BENCH_failover.json`;
+//! * `--ha-only` — run only the high-availability experiment;
 //! * `--obs-out <dir>` — output directory for the exported files
 //!   (default `.`).
 
@@ -104,12 +108,101 @@ fn run_journeys_export(out_dir: &std::path::Path) {
     }
 }
 
+fn run_ha_export(out_dir: &std::path::Path) {
+    println!("== High availability: failover, checkpoints, admission ==");
+    let (run, summary) = match bench::failover::export_to(out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("failover export failed: {e}");
+            exit(1);
+        }
+    };
+    println!("wrote {} ({} bytes)", summary.display(), run.summary_json.len());
+    println!(
+        "   crash: took_over={}, {}/{} clients continued, takeover after {} us, \
+         spoofed_to_ans={}, shed={}, alerts fired: {:?}",
+        run.crash.took_over,
+        run.crash.continued,
+        run.crash.clients,
+        run.crash
+            .takeover_after_crash_nanos
+            .map(|n| (n / 1_000).to_string())
+            .unwrap_or_else(|| "?".to_string()),
+        run.crash.spoofed_to_ans,
+        run.crash.standby_shed,
+        run.crash.fired_rules,
+    );
+    for p in &run.sweep {
+        println!(
+            "   checkpoint interval {:>9}: age at restore {:>9}, restores {}, \
+             stale fwd/stash {}/{}, post-restore completed {}",
+            p.interval_nanos
+                .map(|n| format!("{} ms", n / 1_000_000))
+                .unwrap_or_else(|| "none".to_string()),
+            p.age_at_restore_nanos
+                .map(|n| format!("{} ms", n / 1_000_000))
+                .unwrap_or_else(|| "cold".to_string()),
+            p.restores,
+            p.stale_fwd,
+            p.stale_stash,
+            p.post_restore_completed,
+        );
+    }
+    for p in &run.shed {
+        println!(
+            "   flood {:>7.0} req/s: peak tier {:>6}, shed {:>6}, verified completed {:>4}, \
+             amplification {:.3}",
+            p.attack_rate,
+            p.peak_tier,
+            p.shed,
+            p.verified_completed,
+            p.amplification_milli as f64 / 1000.0,
+        );
+    }
+    println!("   clean HA baseline silent: {}", run.baseline_silent);
+
+    let mut failed = false;
+    if !run.crash.took_over {
+        eprintln!("failover acceptance failed: standby never took over");
+        failed = true;
+    }
+    if (run.crash.continued as f64) < run.crash.clients as f64 * 0.99 {
+        eprintln!(
+            "failover acceptance failed: only {}/{} verified clients continued",
+            run.crash.continued, run.crash.clients
+        );
+        failed = true;
+    }
+    if run.crash.spoofed_to_ans != 0 {
+        eprintln!(
+            "failover acceptance failed: {} spoofed queries reached the ANS",
+            run.crash.spoofed_to_ans
+        );
+        failed = true;
+    }
+    for rule in ["failover_triggered", "checkpoint_lag", "admission_shedding"] {
+        if !run.crash.fired_rules.contains(&rule) {
+            eprintln!("failover acceptance failed: {rule} never fired");
+            failed = true;
+        }
+    }
+    if !run.baseline_silent {
+        eprintln!("failover acceptance failed: clean HA baseline raised alerts");
+        failed = true;
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let obs_only = args.iter().any(|a| a == "--obs-only");
     let obs = obs_only || args.iter().any(|a| a == "--obs");
     let journeys_only = args.iter().any(|a| a == "--journeys-only");
     let journeys = journeys_only || args.iter().any(|a| a == "--journeys");
+    let ha_only = args.iter().any(|a| a == "--ha-only");
+    let ha = ha_only || args.iter().any(|a| a == "--ha");
     let out_dir: PathBuf = args
         .iter()
         .position(|a| a == "--obs-out")
@@ -117,12 +210,15 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
 
-    if obs_only || journeys_only {
+    if obs_only || journeys_only || ha_only {
         if obs_only {
             run_obs_export(&out_dir);
         }
         if journeys_only {
             run_journeys_export(&out_dir);
+        }
+        if ha_only {
+            run_ha_export(&out_dir);
         }
         return;
     }
@@ -269,5 +365,8 @@ fn main() {
     }
     if journeys {
         run_journeys_export(&out_dir);
+    }
+    if ha {
+        run_ha_export(&out_dir);
     }
 }

@@ -9,6 +9,10 @@
 //! validates the query-journey export: the per-scheme summary (every scheme
 //! present, histogram quantiles, the alert schema) and the chrome
 //! `trace_event` document.
+//!
+//! With `--ha <BENCH_failover.json>` it validates the high-availability
+//! export: the crash-failover outcome (takeover, client continuity, the
+//! HA alert rules), the checkpoint-age sweep, and the shed-tier sweep.
 
 use bench::journeys::SCHEMES;
 use bench::obs_export::REQUIRED_KINDS;
@@ -48,6 +52,24 @@ const JOURNEY_KEYS: &[&str] = &[
     "\"fired_rules\":",
     "\"alerts\":",
     "\"history\":",
+    "\"baseline_silent\":true",
+];
+
+/// Substrings the failover summary must contain: the crash outcome, the
+/// three HA alert rules, both sweeps, and the silent clean baseline.
+const HA_KEYS: &[&str] = &[
+    "\"experiment\":\"failover\"",
+    "\"crash\":",
+    "\"took_over\":true",
+    "\"spoofed_to_ans\":0",
+    "\"failover_triggered\"",
+    "\"checkpoint_lag\"",
+    "\"admission_shedding\"",
+    "\"checkpoint_sweep\":",
+    "\"age_at_restore_nanos\":",
+    "\"shed_sweep\":",
+    "\"peak_tier\":",
+    "\"amplification_milli\":",
     "\"baseline_silent\":true",
 ];
 
@@ -108,8 +130,23 @@ fn check_journeys(summary_path: &str, chrome_path: &str) {
     );
 }
 
+fn check_ha(summary_path: &str) {
+    let summary = read(summary_path);
+    require_json(summary_path, &summary);
+    require_keys(summary_path, &summary, HA_KEYS);
+    println!("failover OK: {} ({} bytes)", summary_path, summary.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--ha") {
+        let Some(summary) = args.get(1) else {
+            eprintln!("usage: telemetry_check --ha <BENCH_failover.json>");
+            exit(2);
+        };
+        check_ha(summary);
+        return;
+    }
     if args.first().map(String::as_str) == Some("--journeys") {
         let (Some(summary), Some(chrome)) = (args.get(1), args.get(2)) else {
             eprintln!("usage: telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>");
@@ -121,7 +158,8 @@ fn main() {
     let (Some(snapshot_path), Some(trace_path)) = (args.first(), args.get(1)) else {
         eprintln!(
             "usage: telemetry_check <BENCH_obs.json> <trace.jsonl>\n\
-             \x20      telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>"
+             \x20      telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>\n\
+             \x20      telemetry_check --ha <BENCH_failover.json>"
         );
         exit(2);
     };

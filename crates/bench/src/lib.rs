@@ -9,6 +9,9 @@
 //! * [`journeys`] — per-scheme query-journey reconstruction and the chaos
 //!   alerting run behind `BENCH_journeys.json`
 //!   (`all_experiments -- --journeys`);
+//! * [`failover`] — the high-availability experiment behind
+//!   `BENCH_failover.json`: primary–standby crash failover, checkpoint-age
+//!   sweep, and admission shed-tier sweep (`all_experiments -- --ha`);
 //! * [`report`] — plain-text table rendering.
 //!
 //! Run everything: `cargo run --release -p bench --bin all_experiments`.
@@ -20,6 +23,7 @@
 //! limiters): `cargo bench -p bench`.
 
 pub mod experiments;
+pub mod failover;
 pub mod journeys;
 pub mod obs_export;
 pub mod report;

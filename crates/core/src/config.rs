@@ -1,5 +1,7 @@
 //! Guard configuration.
 
+use crate::admission::AdmissionConfig;
+use crate::ha::HaConfig;
 use netsim::time::SimTime;
 use std::net::Ipv4Addr;
 
@@ -99,6 +101,15 @@ pub struct GuardConfig {
     pub fwd_bytes_max: usize,
     /// Byte bound on the one-shot answer stash; oldest entries evicted.
     pub stash_bytes_max: usize,
+    /// Cadence of guard state checkpoints written to the attached
+    /// [`crate::checkpoint::CheckpointStore`]. `None` disables
+    /// checkpointing.
+    pub checkpoint_interval: Option<SimTime>,
+    /// Overload-adaptive admission control. `None` disables shedding
+    /// entirely (every request takes the plain Figure 4 pipeline).
+    pub admission: Option<AdmissionConfig>,
+    /// Primary–standby pairing. `None` runs the guard standalone.
+    pub ha: Option<HaConfig>,
 }
 
 impl GuardConfig {
@@ -135,6 +146,9 @@ impl GuardConfig {
             health_policy: AnsHealthPolicy::FailOpen,
             fwd_bytes_max: 1 << 20,   // 1 MiB of in-flight request state
             stash_bytes_max: 1 << 20, // 1 MiB of stashed one-shot answers
+            checkpoint_interval: None,
+            admission: None,
+            ha: None,
         }
     }
 
@@ -160,6 +174,24 @@ impl GuardConfig {
     pub fn with_table_bounds(mut self, fwd_bytes: usize, stash_bytes: usize) -> Self {
         self.fwd_bytes_max = fwd_bytes;
         self.stash_bytes_max = stash_bytes;
+        self
+    }
+
+    /// Enables periodic state checkpoints at the given cadence.
+    pub fn with_checkpoint_interval(mut self, interval: SimTime) -> Self {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Enables overload-adaptive admission control.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Pairs this guard with a peer for primary–standby failover.
+    pub fn with_ha(mut self, ha: HaConfig) -> Self {
+        self.ha = Some(ha);
         self
     }
 }

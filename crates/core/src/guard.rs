@@ -20,8 +20,16 @@
 //! throughput and utilisation figures of the paper emerge from these charges
 //! plus the packet counts of each scheme.
 
+use crate::admission::{AdmissionController, PressureTier};
+use crate::checkpoint::{
+    FwdState, GuardCheckpoint, KeyState, RewriteState, SharedCheckpointStore, StashState,
+    CHECKPOINT_VERSION, STASH_TTL,
+};
 use crate::classify::{AuthorityClassifier, Classification, Classifier};
 use crate::config::{AnsHealthPolicy, GuardConfig, SchemeMode};
+use crate::ha::{
+    decode_repl, encode_repl, repl_secret, HaConfig, HaRole, ReplDelta, ReplPayload, REPL_PORT,
+};
 use crate::ratelimit::SourceRateLimiter;
 use crate::tcp_proxy::{ProxyAction, TcpProxy};
 use dnswire::cookie_ext;
@@ -29,7 +37,7 @@ use dnswire::message::{Message, MAX_UDP_PAYLOAD};
 use dnswire::name::Name;
 use dnswire::question::Question;
 use dnswire::record::Record;
-use guardhash::cookie::CookieFactory;
+use guardhash::cookie::{CookieFactory, SecretKey};
 use netsim::engine::{Context, Node};
 use netsim::metrics::TrafficMeter;
 use netsim::packet::{Endpoint, Packet, Proto, DNS_PORT};
@@ -42,6 +50,10 @@ use std::net::Ipv4Addr;
 /// Timer tag for the guard's housekeeping window (rate estimation, proxy
 /// reaping, forward-table sweeping).
 const TAG_WINDOW: u64 = u64::MAX;
+
+/// Timer tag for the high-availability tick (replication deltas on the
+/// primary, heartbeat watching on the standby).
+const TAG_HA: u64 = u64::MAX - 1;
 
 /// Housekeeping period.
 const WINDOW: SimTime = SimTime::from_millis(100);
@@ -110,6 +122,36 @@ pub struct GuardStats {
     /// Plain queries forwarded unprotected (out-of-bailiwick names, root
     /// queries, or names too deep to fabricate a cookie label for).
     pub plain_forwarded: u64,
+    /// Unverified requests shed by the admission controller before any
+    /// rate-limiter decision (Surge/Shed pressure tiers).
+    pub admission_shed: u64,
+    /// State checkpoints written to the attached store.
+    pub checkpoints_taken: u64,
+    /// Times guard state was rebuilt from a checkpoint or replication
+    /// snapshot.
+    pub restores: u64,
+    /// Checkpointed forward-table entries dropped on restore because they
+    /// were already past the ANS-timeout deadline.
+    pub restore_stale_fwd: u64,
+    /// Checkpointed stash entries dropped on restore as expired.
+    pub restore_stale_stash: u64,
+    /// Replication deltas (including heartbeats and full snapshots) sent
+    /// to the standby.
+    pub repl_deltas_sent: u64,
+    /// Replication deltas/snapshots applied by the standby.
+    pub repl_deltas_applied: u64,
+    /// Sequence gaps that forced a full-resync request.
+    pub repl_resyncs: u64,
+    /// Replication-port packets rejected (wrong peer, failed
+    /// authentication, or malformed).
+    pub repl_rejected: u64,
+    /// Authenticated peer messages seen (every one refreshes the
+    /// heartbeat).
+    pub heartbeats_seen: u64,
+    /// Times the standby declared the primary dead.
+    pub peer_down_events: u64,
+    /// Times this guard took over the guarded address from a dead peer.
+    pub failover_takeovers: u64,
 }
 
 impl GuardStats {
@@ -141,6 +183,7 @@ impl GuardStats {
             + self.tc_sent
             + self.fabricated_ns_sent
             + self.plain_forwarded
+            + self.admission_shed
     }
 }
 
@@ -176,6 +219,28 @@ struct GuardMetrics {
     resp_unmatched: Counter,
     resp_foreign: Counter,
     plain_forwarded: Counter,
+    admission_shed: Counter,
+    checkpoints_taken: Counter,
+    restores: Counter,
+    restore_stale_fwd: Counter,
+    restore_stale_stash: Counter,
+    repl_deltas_sent: Counter,
+    repl_deltas_applied: Counter,
+    repl_resyncs: Counter,
+    repl_rejected: Counter,
+    heartbeats_seen: Counter,
+    peer_down_events: Counter,
+    failover_takeovers: Counter,
+    /// Current pressure tier (0 normal / 1 surge / 2 shed), refreshed each
+    /// housekeeping window.
+    admission_tier: Gauge,
+    /// Staleness of this guard's recoverable state, in nanoseconds: time
+    /// since the last checkpoint (acting primary) or since the last
+    /// applied replication message (standby). The `checkpoint_lag` alert
+    /// thresholds this.
+    checkpoint_age_nanos: Gauge,
+    /// Encoded size of the most recent checkpoint.
+    checkpoint_bytes: Gauge,
     /// Current `fwd_bytes + stash_bytes` (refreshed each housekeeping
     /// window).
     table_bytes: Gauge,
@@ -218,6 +283,21 @@ impl Default for GuardMetrics {
             resp_unmatched: Counter::new(),
             resp_foreign: Counter::new(),
             plain_forwarded: Counter::new(),
+            admission_shed: Counter::new(),
+            checkpoints_taken: Counter::new(),
+            restores: Counter::new(),
+            restore_stale_fwd: Counter::new(),
+            restore_stale_stash: Counter::new(),
+            repl_deltas_sent: Counter::new(),
+            repl_deltas_applied: Counter::new(),
+            repl_resyncs: Counter::new(),
+            repl_rejected: Counter::new(),
+            heartbeats_seen: Counter::new(),
+            peer_down_events: Counter::new(),
+            failover_takeovers: Counter::new(),
+            admission_tier: Gauge::new(),
+            checkpoint_age_nanos: Gauge::new(),
+            checkpoint_bytes: Gauge::new(),
             table_bytes: Gauge::new(),
             amplification_milli: Gauge::new(),
             ans_rtt_ns: Histogram::new(),
@@ -256,6 +336,18 @@ impl GuardMetrics {
             resp_unmatched: self.resp_unmatched.get(),
             resp_foreign: self.resp_foreign.get(),
             plain_forwarded: self.plain_forwarded.get(),
+            admission_shed: self.admission_shed.get(),
+            checkpoints_taken: self.checkpoints_taken.get(),
+            restores: self.restores.get(),
+            restore_stale_fwd: self.restore_stale_fwd.get(),
+            restore_stale_stash: self.restore_stale_stash.get(),
+            repl_deltas_sent: self.repl_deltas_sent.get(),
+            repl_deltas_applied: self.repl_deltas_applied.get(),
+            repl_resyncs: self.repl_resyncs.get(),
+            repl_rejected: self.repl_rejected.get(),
+            heartbeats_seen: self.heartbeats_seen.get(),
+            peer_down_events: self.peer_down_events.get(),
+            failover_takeovers: self.failover_takeovers.get(),
         }
     }
 
@@ -297,6 +389,21 @@ impl GuardMetrics {
         r.adopt_counter("guard", "resp_unmatched", &[], &self.resp_unmatched);
         r.adopt_counter("guard", "resp_foreign", &[], &self.resp_foreign);
         r.adopt_counter("guard", "plain_forwarded", &[], &self.plain_forwarded);
+        r.adopt_counter("guard", "admission_shed", &[], &self.admission_shed);
+        r.adopt_counter("guard", "checkpoints_taken", &[], &self.checkpoints_taken);
+        r.adopt_counter("guard", "restores", &[], &self.restores);
+        r.adopt_counter("guard", "restore_stale", &[("table", "fwd")], &self.restore_stale_fwd);
+        r.adopt_counter("guard", "restore_stale", &[("table", "stash")], &self.restore_stale_stash);
+        r.adopt_counter("guard", "repl_deltas", &[("dir", "sent")], &self.repl_deltas_sent);
+        r.adopt_counter("guard", "repl_deltas", &[("dir", "applied")], &self.repl_deltas_applied);
+        r.adopt_counter("guard", "repl_resyncs", &[], &self.repl_resyncs);
+        r.adopt_counter("guard", "repl_rejected", &[], &self.repl_rejected);
+        r.adopt_counter("guard", "heartbeats_seen", &[], &self.heartbeats_seen);
+        r.adopt_counter("guard", "peer_down_events", &[], &self.peer_down_events);
+        r.adopt_counter("guard", "failover_takeovers", &[], &self.failover_takeovers);
+        r.adopt_gauge("guard", "admission_tier", &[], &self.admission_tier);
+        r.adopt_gauge("guard", "checkpoint_age_nanos", &[], &self.checkpoint_age_nanos);
+        r.adopt_gauge("guard", "checkpoint_bytes", &[], &self.checkpoint_bytes);
         r.adopt_gauge("guard", "table_bytes", &[], &self.table_bytes);
         r.adopt_gauge("guard", "amplification_milli", &[], &self.amplification_milli);
         r.adopt_histogram("guard", "ans_rtt_ns", &[], &self.ans_rtt_ns);
@@ -369,6 +476,34 @@ impl StashEntry {
     }
 }
 
+/// The serializable image of a forward-table entry, or `None` for probes
+/// and TCP relays (those must not survive a restart or be replicated).
+fn fwd_state_of(txid: u16, f: &Forwarded) -> Option<FwdState> {
+    let rewrite = match &f.rewrite {
+        Rewrite::Passthrough => RewriteState::Passthrough,
+        Rewrite::ReferralCookie { cookie_question } => RewriteState::ReferralCookie {
+            cookie_question: cookie_question.clone(),
+        },
+        Rewrite::Fabricated {
+            cookie_question,
+            original,
+        } => RewriteState::Fabricated {
+            cookie_question: cookie_question.clone(),
+            original: original.clone(),
+        },
+        Rewrite::Probe | Rewrite::TcpRelay { .. } => return None,
+    };
+    Some(FwdState {
+        txid,
+        requester: (f.requester.ip, f.requester.port),
+        reply_from: (f.reply_from.ip, f.reply_from.port),
+        orig_txid: f.orig_txid,
+        rewrite,
+        created_nanos: f.created.as_nanos(),
+        qid: f.qid,
+    })
+}
+
 /// Timeout-based liveness tracking for the protected ANS.
 #[derive(Debug)]
 struct AnsHealth {
@@ -384,6 +519,77 @@ struct AnsHealth {
     /// sent, so their loss says nothing new (and requests black-holed
     /// during an outage must not re-trip the monitor after recovery).
     last_response: SimTime,
+}
+
+/// Runtime state of the primary–standby pairing. One struct serves both
+/// roles: the primary uses the replication-sequence and pending-change
+/// fields, the standby the heartbeat/peer-health fields (which mirror the
+/// [`AnsHealth`] machinery: miss counting, then probes with exponential
+/// backoff).
+#[derive(Debug)]
+struct HaRuntime {
+    cfg: HaConfig,
+    role: HaRole,
+    /// Shared channel-authentication secret (derived from `key_seed`).
+    secret: SecretKey,
+    // -- primary side --
+    /// Last sequence number sent on the channel.
+    repl_seq: u64,
+    /// Key generation included in the last shipped state (`u64::MAX`
+    /// until anything is sent), so rotations ride the next delta.
+    sent_generation: u64,
+    /// Ship a full snapshot on the next tick (startup, or peer resync).
+    need_full: bool,
+    /// Forward-table keys inserted since the last delta.
+    pending_fwd_add: Vec<u16>,
+    /// Forward-table keys removed since the last delta.
+    pending_fwd_del: Vec<u16>,
+    /// Stash keys inserted since the last delta.
+    pending_stash_add: Vec<(Ipv4Addr, Name)>,
+    /// Stash keys removed since the last delta.
+    pending_stash_del: Vec<(Ipv4Addr, Name)>,
+    // -- standby side --
+    /// Highest sequence number applied.
+    applied_seq: u64,
+    /// Whether the standby holds a consistent snapshot (false until the
+    /// first `Full` arrives, and again after a sequence gap).
+    synced: bool,
+    /// When the peer last sent an authenticated message.
+    last_heartbeat: SimTime,
+    /// Consecutive HA ticks without a fresh heartbeat.
+    missed: u32,
+    /// Whether the peer is currently considered dead.
+    peer_down: bool,
+    /// Probe backoff while the peer is down and takeover is disabled.
+    probe_interval: SimTime,
+    next_probe: SimTime,
+    /// Whether this guard has claimed the guarded address.
+    took_over: bool,
+}
+
+impl HaRuntime {
+    fn new(cfg: HaConfig, key_seed: u64) -> Self {
+        HaRuntime {
+            role: cfg.role,
+            secret: repl_secret(key_seed),
+            repl_seq: 0,
+            sent_generation: u64::MAX,
+            need_full: true,
+            pending_fwd_add: Vec::new(),
+            pending_fwd_del: Vec::new(),
+            pending_stash_add: Vec::new(),
+            pending_stash_del: Vec::new(),
+            applied_seq: 0,
+            synced: false,
+            last_heartbeat: SimTime::ZERO,
+            missed: 0,
+            peer_down: false,
+            probe_interval: cfg.replication_interval,
+            next_probe: SimTime::ZERO,
+            took_over: false,
+            cfg,
+        }
+    }
 }
 
 /// The remote DNS guard node.
@@ -427,6 +633,17 @@ pub struct RemoteGuard {
     /// Bytes exchanged with *unverified* sources (requests in, cookie/TC
     /// responses out) — the amplification-relevant meter.
     pub traffic_unverified: TrafficMeter,
+    /// Overload-adaptive admission controller (None ⇒ feature off).
+    admission: Option<AdmissionController>,
+    /// Where periodic checkpoints are published (None ⇒ no checkpointing).
+    checkpoint_store: Option<SharedCheckpointStore>,
+    /// Sequence number of the last checkpoint taken or applied.
+    checkpoint_seq: u64,
+    /// When the last checkpoint was taken (drives the cadence and the
+    /// `checkpoint_age_nanos` staleness gauge).
+    last_checkpoint: SimTime,
+    /// Primary–standby pairing state (None ⇒ standalone guard).
+    ha: Option<HaRuntime>,
 }
 
 impl RemoteGuard {
@@ -464,9 +681,28 @@ impl RemoteGuard {
             metrics: GuardMetrics::default(),
             traffic: TrafficMeter::default(),
             traffic_unverified: TrafficMeter::default(),
+            admission: config.admission.clone().map(AdmissionController::new),
+            checkpoint_store: None,
+            checkpoint_seq: 0,
+            last_checkpoint: SimTime::ZERO,
+            ha: config.ha.clone().map(|cfg| HaRuntime::new(cfg, config.key_seed)),
             config,
             classifier,
         }
+    }
+
+    /// Creates a guard and immediately applies a previously taken
+    /// checkpoint — the crash-restart path. Entries whose deadlines passed
+    /// while the guard was down are dropped, never replayed.
+    pub fn restore_from_checkpoint(
+        config: GuardConfig,
+        classifier: AuthorityClassifier,
+        cp: &GuardCheckpoint,
+        now: SimTime,
+    ) -> Self {
+        let mut guard = RemoteGuard::new(config, classifier);
+        guard.apply_checkpoint(cp, now);
+        guard
     }
 
     /// A snapshot of the guard counters.
@@ -531,6 +767,515 @@ impl RemoteGuard {
         self.proxy.stats()
     }
 
+    // ---- checkpoint / restore --------------------------------------------
+
+    /// Attaches the store that periodic checkpoints are published to
+    /// (enables the cadence configured by
+    /// [`GuardConfig::checkpoint_interval`]).
+    pub fn attach_checkpoint_store(&mut self, store: SharedCheckpointStore) {
+        self.checkpoint_store = Some(store);
+    }
+
+    /// Current admission-control tier (`Normal` when the controller is
+    /// disabled).
+    pub fn admission_tier(&self) -> PressureTier {
+        self.admission
+            .as_ref()
+            .map_or(PressureTier::Normal, |a| a.tier())
+    }
+
+    /// The guard's HA role, if paired.
+    pub fn ha_role(&self) -> Option<HaRole> {
+        self.ha.as_ref().map(|h| h.role)
+    }
+
+    /// Whether this guard (a standby) has promoted itself and claimed the
+    /// guarded address.
+    pub fn has_taken_over(&self) -> bool {
+        self.ha.as_ref().is_some_and(|h| h.took_over)
+    }
+
+    /// Builds a consistent snapshot of restorable guard state. Pure — the
+    /// guard is unchanged; probes and TCP relays are excluded by
+    /// construction. Entries are emitted in a deterministic order so equal
+    /// states encode to equal bytes.
+    pub fn checkpoint(&self, now: SimTime) -> GuardCheckpoint {
+        let mut fwd: Vec<FwdState> = self
+            .fwd
+            .iter()
+            .filter_map(|(&txid, f)| fwd_state_of(txid, f))
+            .collect();
+        fwd.sort_by_key(|f| f.txid);
+        let mut stash: Vec<StashState> = self
+            .stash
+            .iter()
+            .map(|((src, name), e)| StashState {
+                src: *src,
+                name: name.clone(),
+                answers: e.answers.clone(),
+                created_nanos: e.created.as_nanos(),
+            })
+            .collect();
+        stash.sort_by_key(|s| (u32::from(s.src), format!("{:?}", s.name)));
+        GuardCheckpoint {
+            version: CHECKPOINT_VERSION,
+            seq: self.checkpoint_seq + 1,
+            taken_at_nanos: now.as_nanos(),
+            key: KeyState::capture(&self.cookies),
+            rl1: self.rl1.checkpoint(),
+            rl2: self.rl2.checkpoint(),
+            next_txid: self.next_txid,
+            next_qid: self.next_qid,
+            active: self.active,
+            last_rotation_nanos: self.last_rotation.as_nanos(),
+            fwd,
+            stash,
+        }
+    }
+
+    /// Takes a checkpoint and publishes it to the attached store.
+    pub fn take_checkpoint(&mut self, now: SimTime) {
+        let Some(store) = self.checkpoint_store.clone() else {
+            return;
+        };
+        let cp = self.checkpoint(now);
+        self.checkpoint_seq = cp.seq;
+        self.last_checkpoint = now;
+        let bytes = cp.encode().len() as u64;
+        self.metrics.checkpoints_taken.inc();
+        self.metrics.checkpoint_bytes.set(bytes);
+        self.metrics.checkpoint_age_nanos.set(0);
+        self.metrics.trace.event(
+            now.as_nanos(),
+            "checkpoint",
+            &[("seq", Value::U64(cp.seq)), ("bytes", Value::U64(bytes))],
+        );
+        store.lock().put(cp);
+    }
+
+    /// Replaces restorable state with a checkpoint's. Staleness rules:
+    /// forwarding entries past the ANS deadline and stash entries past
+    /// [`STASH_TTL`] are dropped — a restart never replays an expired
+    /// deadline. Pre-rotation cookies keep verifying because the key state
+    /// restores both generations and the generation bit.
+    pub fn apply_checkpoint(&mut self, cp: &GuardCheckpoint, now: SimTime) {
+        self.cookies = cp.key.to_factory();
+        self.rl1.restore_state(&cp.rl1);
+        self.rl2.restore_state(&cp.rl2);
+        self.next_txid = cp.next_txid.max(1);
+        self.next_qid = cp.next_qid.max(1);
+        self.active = if self.config.activation_threshold == 0.0 {
+            true
+        } else {
+            cp.active
+        };
+        self.last_rotation = SimTime::from_nanos(cp.last_rotation_nanos);
+        self.fwd.clear();
+        self.fwd_order.clear();
+        self.fwd_bytes = 0;
+        self.stash.clear();
+        self.stash_order.clear();
+        self.stash_bytes = 0;
+        for f in &cp.fwd {
+            self.install_fwd_state(f, now);
+        }
+        for s in &cp.stash {
+            self.install_stash_state(s, now);
+        }
+        self.checkpoint_seq = cp.seq;
+        self.last_checkpoint = SimTime::from_nanos(cp.taken_at_nanos);
+        self.metrics.restores.inc();
+        self.metrics.trace.event(
+            now.as_nanos(),
+            "restore",
+            &[
+                ("seq", Value::U64(cp.seq)),
+                ("age_nanos", Value::U64(cp.age(now).as_nanos())),
+            ],
+        );
+    }
+
+    /// Installs one serialized forward entry unless its deadline already
+    /// passed (then it is counted stale and dropped, never replayed).
+    fn install_fwd_state(&mut self, f: &FwdState, now: SimTime) {
+        let created = SimTime::from_nanos(f.created_nanos);
+        if now.saturating_sub(created) >= self.config.ans_timeout {
+            self.metrics.restore_stale_fwd.inc();
+            return;
+        }
+        let rewrite = match &f.rewrite {
+            RewriteState::Passthrough => Rewrite::Passthrough,
+            RewriteState::ReferralCookie { cookie_question } => Rewrite::ReferralCookie {
+                cookie_question: cookie_question.clone(),
+            },
+            RewriteState::Fabricated {
+                cookie_question,
+                original,
+            } => Rewrite::Fabricated {
+                cookie_question: cookie_question.clone(),
+                original: original.clone(),
+            },
+        };
+        self.insert_fwd(
+            f.txid,
+            Forwarded {
+                requester: Endpoint::new(f.requester.0, f.requester.1),
+                reply_from: Endpoint::new(f.reply_from.0, f.reply_from.1),
+                orig_txid: f.orig_txid,
+                rewrite,
+                created,
+                qid: f.qid,
+            },
+        );
+    }
+
+    /// Installs one serialized stash entry unless it already expired.
+    fn install_stash_state(&mut self, s: &StashState, now: SimTime) {
+        let created = SimTime::from_nanos(s.created_nanos);
+        if now.saturating_sub(created) >= STASH_TTL {
+            self.metrics.restore_stale_stash.inc();
+            return;
+        }
+        self.insert_stash(
+            (s.src, s.name.clone()),
+            StashEntry {
+                answers: s.answers.clone(),
+                created,
+            },
+        );
+    }
+
+    // ---- primary–standby replication -------------------------------------
+
+    /// Records a replicable forward-table insertion for the next delta.
+    fn ha_note_fwd_add(&mut self, txid: u16, rewrite: &Rewrite) {
+        if matches!(rewrite, Rewrite::Probe | Rewrite::TcpRelay { .. }) {
+            return;
+        }
+        if let Some(ha) = self.ha.as_mut() {
+            if ha.role == HaRole::Primary && !ha.took_over {
+                ha.pending_fwd_add.push(txid);
+            }
+        }
+    }
+
+    fn ha_note_fwd_del(&mut self, txid: u16) {
+        if let Some(ha) = self.ha.as_mut() {
+            if ha.role == HaRole::Primary && !ha.took_over {
+                ha.pending_fwd_del.push(txid);
+            }
+        }
+    }
+
+    fn ha_note_stash_add(&mut self, key: &(Ipv4Addr, Name)) {
+        if let Some(ha) = self.ha.as_mut() {
+            if ha.role == HaRole::Primary && !ha.took_over {
+                ha.pending_stash_add.push(key.clone());
+            }
+        }
+    }
+
+    fn ha_note_stash_del(&mut self, key: &(Ipv4Addr, Name)) {
+        if let Some(ha) = self.ha.as_mut() {
+            if ha.role == HaRole::Primary && !ha.took_over {
+                ha.pending_stash_del.push(key.clone());
+            }
+        }
+    }
+
+    /// Sends one authenticated replication message to the peer.
+    fn send_repl(&mut self, ctx: &mut Context<'_>, payload: ReplPayload) {
+        let Some(ha) = self.ha.as_ref() else {
+            return;
+        };
+        let wire = encode_repl(&payload, &ha.secret);
+        let pkt = Packet::udp(
+            Endpoint::new(ha.cfg.local_addr, REPL_PORT),
+            Endpoint::new(ha.cfg.peer_addr, REPL_PORT),
+            wire,
+        );
+        self.tx(ctx, pkt);
+    }
+
+    /// Handles an inbound replication-channel datagram. Every
+    /// authenticated message from the peer doubles as a heartbeat.
+    fn handle_repl(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        let now = ctx.now();
+        let Some(ha) = self.ha.as_ref() else {
+            return;
+        };
+        if pkt.src.ip != ha.cfg.peer_addr {
+            self.metrics.repl_rejected.inc();
+            return;
+        }
+        let payload = match decode_repl(&pkt.payload, &ha.secret) {
+            Ok(p) => p,
+            Err(_) => {
+                self.metrics.repl_rejected.inc();
+                return;
+            }
+        };
+        self.metrics.heartbeats_seen.inc();
+        {
+            let ha = self.ha.as_mut().expect("checked above");
+            ha.last_heartbeat = now;
+            ha.missed = 0;
+            if ha.peer_down {
+                ha.peer_down = false;
+                ha.probe_interval = ha.cfg.replication_interval;
+            }
+        }
+        let role = self.ha.as_ref().expect("checked above").role;
+        match payload {
+            ReplPayload::Full(cp) => {
+                if role != HaRole::Standby {
+                    return;
+                }
+                self.apply_checkpoint(&cp, now);
+                let ha = self.ha.as_mut().expect("checked above");
+                ha.applied_seq = cp.seq;
+                ha.synced = true;
+                self.metrics.repl_deltas_applied.inc();
+                self.metrics.checkpoint_age_nanos.set(0);
+            }
+            ReplPayload::Delta(d) => {
+                if role != HaRole::Standby {
+                    return;
+                }
+                let (synced, applied_seq) = {
+                    let ha = self.ha.as_ref().expect("checked above");
+                    (ha.synced, ha.applied_seq)
+                };
+                if !synced || d.seq != applied_seq + 1 {
+                    // Sequence gap (or never synced): ask for a full
+                    // snapshot rather than applying a delta out of order.
+                    self.metrics.repl_resyncs.inc();
+                    self.ha.as_mut().expect("checked above").synced = false;
+                    self.send_repl(ctx, ReplPayload::ResyncReq { have_seq: applied_seq });
+                    return;
+                }
+                self.apply_delta(ctx, d);
+            }
+            ReplPayload::ResyncReq { .. } => {
+                let ha = self.ha.as_mut().expect("checked above");
+                if ha.role == HaRole::Primary {
+                    ha.need_full = true;
+                }
+            }
+        }
+    }
+
+    /// Applies one in-sequence replication delta (standby side).
+    fn apply_delta(&mut self, ctx: &mut Context<'_>, d: ReplDelta) {
+        let now = ctx.now();
+        if let Some(k) = &d.key {
+            self.cookies = k.to_factory();
+        }
+        for f in &d.fwd_add {
+            self.install_fwd_state(f, now);
+        }
+        for txid in &d.fwd_del {
+            self.remove_fwd(*txid);
+        }
+        for s in &d.stash_add {
+            self.install_stash_state(s, now);
+        }
+        for key in &d.stash_del {
+            self.remove_stash(key);
+        }
+        self.next_txid = self.next_txid.max(d.next_txid.max(1));
+        self.next_qid = self.next_qid.max(d.next_qid);
+        if self.config.activation_threshold > 0.0 {
+            self.active = d.active;
+        }
+        let ha = self.ha.as_mut().expect("delta implies pairing");
+        ha.applied_seq = d.seq;
+        self.metrics.repl_deltas_applied.inc();
+        self.metrics.checkpoint_age_nanos.set(0);
+    }
+
+    /// One replication-interval tick: the primary ships state, the standby
+    /// watches heartbeats and takes over past the miss threshold.
+    fn on_ha_tick(&mut self, ctx: &mut Context<'_>) {
+        let Some(ha) = self.ha.as_ref() else {
+            return;
+        };
+        ctx.set_daemon_timer(ha.cfg.replication_interval, TAG_HA);
+        match ha.role {
+            HaRole::Primary => self.ha_primary_tick(ctx),
+            HaRole::Standby => self.ha_standby_tick(ctx),
+        }
+    }
+
+    fn ha_primary_tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        if self.ha.as_ref().is_none_or(|ha| ha.took_over) {
+            // A promoted standby serves traffic but has no peer to feed.
+            return;
+        }
+        let need_full = self.ha.as_ref().expect("checked above").need_full;
+        let generation = self.cookies.generation();
+        let payload = if need_full {
+            let mut cp = self.checkpoint(now);
+            let ha = self.ha.as_mut().expect("checked above");
+            ha.repl_seq += 1;
+            cp.seq = ha.repl_seq;
+            ha.need_full = false;
+            ha.sent_generation = generation;
+            ha.pending_fwd_add.clear();
+            ha.pending_fwd_del.clear();
+            ha.pending_stash_add.clear();
+            ha.pending_stash_del.clear();
+            ReplPayload::Full(cp)
+        } else {
+            let key = if self.ha.as_ref().expect("checked above").sent_generation != generation
+            {
+                Some(KeyState::capture(&self.cookies))
+            } else {
+                None
+            };
+            let (mut add_txids, fwd_del, stash_add_keys, stash_del) = {
+                let ha = self.ha.as_mut().expect("checked above");
+                ha.sent_generation = generation;
+                (
+                    std::mem::take(&mut ha.pending_fwd_add),
+                    std::mem::take(&mut ha.pending_fwd_del),
+                    std::mem::take(&mut ha.pending_stash_add),
+                    std::mem::take(&mut ha.pending_stash_del),
+                )
+            };
+            add_txids.sort_unstable();
+            add_txids.dedup();
+            let fwd_add: Vec<FwdState> = add_txids
+                .iter()
+                .filter_map(|txid| self.fwd.get(txid).and_then(|f| fwd_state_of(*txid, f)))
+                .collect();
+            let stash_add: Vec<StashState> = stash_add_keys
+                .iter()
+                .filter_map(|key| {
+                    self.stash.get(key).map(|e| StashState {
+                        src: key.0,
+                        name: key.1.clone(),
+                        answers: e.answers.clone(),
+                        created_nanos: e.created.as_nanos(),
+                    })
+                })
+                .collect();
+            let ha = self.ha.as_mut().expect("checked above");
+            ha.repl_seq += 1;
+            ReplPayload::Delta(ReplDelta {
+                seq: ha.repl_seq,
+                key,
+                fwd_add,
+                fwd_del,
+                stash_add,
+                stash_del,
+                next_txid: self.next_txid,
+                next_qid: self.next_qid,
+                active: self.active,
+            })
+        };
+        self.metrics.repl_deltas_sent.inc();
+        self.send_repl(ctx, payload);
+    }
+
+    fn ha_standby_tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let (age, became_down, do_takeover, probe_seq) = {
+            let ha = self.ha.as_mut().expect("ticked implies pairing");
+            if ha.took_over {
+                return;
+            }
+            let age = now.saturating_sub(ha.last_heartbeat);
+            if age > ha.cfg.replication_interval {
+                ha.missed += 1;
+            } else {
+                ha.missed = 0;
+            }
+            let mut became_down = false;
+            if !ha.peer_down && ha.missed >= ha.cfg.heartbeat_miss_threshold {
+                ha.peer_down = true;
+                ha.next_probe = now;
+                ha.probe_interval = ha.cfg.replication_interval;
+                became_down = true;
+            }
+            let mut do_takeover = false;
+            let mut probe_seq = None;
+            if ha.peer_down {
+                if ha.cfg.takeover {
+                    do_takeover = true;
+                } else if now >= ha.next_probe {
+                    // Takeover disabled: keep probing the peer with
+                    // exponential backoff (the ANS-probe discipline).
+                    probe_seq = Some(ha.applied_seq);
+                    ha.next_probe = now + ha.probe_interval;
+                    ha.probe_interval = (ha.probe_interval * 2).min(ha.cfg.probe_max);
+                }
+            }
+            (age, became_down, do_takeover, probe_seq)
+        };
+        // The standby's recoverable state ages from its last applied
+        // replication message — that is what `checkpoint_lag` alerts on.
+        self.metrics.checkpoint_age_nanos.set(age.as_nanos());
+        if became_down {
+            self.metrics.peer_down_events.inc();
+            self.metrics
+                .trace
+                .event(now.as_nanos(), "peer_down", &[]);
+        }
+        if do_takeover {
+            self.ha_take_over(ctx);
+        } else if let Some(have_seq) = probe_seq {
+            self.send_repl(ctx, ReplPayload::ResyncReq { have_seq });
+        }
+    }
+
+    /// Promotes this standby: claim the guarded public address and the
+    /// COOKIE2 subnet so in-flight verified sources keep working without a
+    /// fresh cookie round-trip (their cookies verify against the
+    /// replicated key, COOKIE2 destinations hash identically).
+    fn ha_take_over(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        {
+            let ha = self.ha.as_mut().expect("takeover implies pairing");
+            ha.took_over = true;
+            ha.role = HaRole::Primary;
+            ha.need_full = true;
+        }
+        ctx.claim_address(self.config.public_addr);
+        let host_bits = 32 - (self.config.subnet_range + 1).leading_zeros();
+        ctx.claim_subnet(self.config.subnet_base, (32 - host_bits) as u8);
+        self.last_checkpoint = now;
+        self.metrics.failover_takeovers.inc();
+        self.metrics.checkpoint_age_nanos.set(0);
+        self.metrics.trace.event(
+            now.as_nanos(),
+            "takeover",
+            &[("addr", Value::Ip(self.config.public_addr))],
+        );
+    }
+
+    /// Sheds the current unverified request if the admission controller
+    /// says so. Must be called at most once per request (the Surge tier
+    /// alternates).
+    fn shed_unverified_now(&mut self, now: SimTime, src: Ipv4Addr) -> bool {
+        let Some(adm) = self.admission.as_mut() else {
+            return false;
+        };
+        if adm.shed_unverified() {
+            let tier = adm.tier();
+            self.metrics.admission_shed.inc();
+            self.metrics.trace.event(
+                now.as_nanos(),
+                "admission_shed",
+                &[("src", Value::Ip(src)), ("tier", Value::Str(tier.name()))],
+            );
+            true
+        } else {
+            false
+        }
+    }
+
     // ---- helpers ---------------------------------------------------------
 
     fn tx(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
@@ -583,6 +1328,7 @@ impl RemoteGuard {
     /// byte bound.
     fn insert_fwd(&mut self, txid: u16, entry: Forwarded) {
         let now = entry.created;
+        self.ha_note_fwd_add(txid, &entry.rewrite);
         self.fwd_bytes += entry.approx_bytes();
         self.fwd_order.push_back((txid, entry.created));
         if let Some(old) = self.fwd.insert(txid, entry) {
@@ -609,12 +1355,16 @@ impl RemoteGuard {
     fn remove_fwd(&mut self, txid: u16) -> Option<Forwarded> {
         let entry = self.fwd.remove(&txid)?;
         self.fwd_bytes -= entry.approx_bytes();
+        if !matches!(entry.rewrite, Rewrite::Probe | Rewrite::TcpRelay { .. }) {
+            self.ha_note_fwd_del(txid);
+        }
         Some(entry)
     }
 
     /// Inserts a stash entry, evicting oldest entries past the byte bound.
     fn insert_stash(&mut self, key: (Ipv4Addr, Name), entry: StashEntry) {
         let now = entry.created;
+        self.ha_note_stash_add(&key);
         self.stash_bytes += entry.approx_bytes(&key.1);
         self.stash_order.push_back((key.clone(), entry.created));
         if let Some(old) = self.stash.insert(key.clone(), entry) {
@@ -643,6 +1393,7 @@ impl RemoteGuard {
     fn remove_stash(&mut self, key: &(Ipv4Addr, Name)) -> Option<StashEntry> {
         let entry = self.stash.remove(key)?;
         self.stash_bytes -= entry.approx_bytes(&key.1);
+        self.ha_note_stash_del(key);
         Some(entry)
     }
 
@@ -796,6 +1547,13 @@ impl RemoteGuard {
     // ---- pipeline --------------------------------------------------------
 
     fn handle_udp(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
+        // Replication traffic is control-plane, not DNS: it is dispatched
+        // before the datagram counter so the pipeline conservation
+        // invariant keeps covering exactly the DNS data path.
+        if self.ha.is_some() && pkt.dst.port == REPL_PORT {
+            self.handle_repl(ctx, pkt);
+            return;
+        }
         self.metrics.udp_datagrams.inc();
         let Ok(msg) = Message::decode(&pkt.payload) else {
             self.metrics.unparseable.inc();
@@ -829,6 +1587,11 @@ impl RemoteGuard {
         // 1. Cookie extension (modified-DNS scheme) takes precedence.
         if let Some(ext) = cookie_ext::find_cookie(&msg) {
             if ext.is_request() {
+                // Unverified work: sheddable under overload, before it can
+                // cost an RL1 decision or a cookie computation.
+                if self.shed_unverified_now(ctx.now(), pkt.src.ip) {
+                    return;
+                }
                 // Grant a cookie — through Rate-Limiter1 (reflection bound).
                 if !self.rl1.admit(ctx.now(), pkt.src.ip) {
                     self.metrics.rl1_dropped.inc();
@@ -1081,6 +1844,11 @@ impl RemoteGuard {
             self.metrics.unparseable.inc();
             return;
         };
+        // Plain queries are unverified by definition: sheddable under
+        // overload before they reach Rate-Limiter1.
+        if self.shed_unverified_now(ctx.now(), pkt.src.ip) {
+            return;
+        }
         // Every response to an unverified source passes Rate-Limiter1.
         if !self.rl1.admit(ctx.now(), pkt.src.ip) {
             self.metrics.rl1_dropped.inc();
@@ -1359,6 +2127,9 @@ impl RemoteGuard {
 impl Node for RemoteGuard {
     fn on_start(&mut self, ctx: &mut Context<'_>) {
         ctx.set_daemon_timer(WINDOW, TAG_WINDOW);
+        if let Some(ha) = &self.ha {
+            ctx.set_daemon_timer(ha.cfg.replication_interval, TAG_HA);
+        }
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
@@ -1371,9 +2142,18 @@ impl Node for RemoteGuard {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
-        if tag != TAG_WINDOW {
-            return;
+        match tag {
+            TAG_WINDOW => self.on_window(ctx),
+            TAG_HA => self.on_ha_tick(ctx),
+            _ => {}
         }
+    }
+}
+
+impl RemoteGuard {
+    /// The periodic housekeeping window (activation, rotation, expiries,
+    /// checkpoint cadence, admission-pressure sampling).
+    fn on_window(&mut self, ctx: &mut Context<'_>) {
         ctx.set_daemon_timer(WINDOW, TAG_WINDOW);
         // Activation decision from the inbound request rate.
         if self.config.activation_threshold > 0.0 {
@@ -1429,7 +2209,7 @@ impl Node for RemoteGuard {
         let stale: Vec<(Ipv4Addr, Name)> = self
             .stash
             .iter()
-            .filter(|(_, s)| now.saturating_sub(s.created) >= SimTime::from_secs(2))
+            .filter(|(_, s)| now.saturating_sub(s.created) >= STASH_TTL)
             .map(|(k, _)| k.clone())
             .collect();
         for key in stale {
@@ -1455,6 +2235,47 @@ impl Node for RemoteGuard {
             0
         };
         self.metrics.amplification_milli.set(amp_milli);
+        // Checkpoint cadence + staleness gauge (acting primary only — a
+        // not-yet-promoted standby tracks staleness off its heartbeats).
+        let standby_waiting = self
+            .ha
+            .as_ref()
+            .is_some_and(|ha| ha.role == HaRole::Standby);
+        if self.checkpoint_store.is_some() && !standby_waiting {
+            match self.config.checkpoint_interval {
+                Some(interval) if now.saturating_sub(self.last_checkpoint) >= interval => {
+                    self.take_checkpoint(now);
+                }
+                _ => {
+                    self.metrics
+                        .checkpoint_age_nanos
+                        .set(now.saturating_sub(self.last_checkpoint).as_nanos());
+                }
+            }
+        }
+        // Admission-pressure sample: RL saturation + forward-table fill.
+        if let Some(adm) = self.admission.as_mut() {
+            let before = adm.tier();
+            let fill = self.fwd_bytes as f64 / self.config.fwd_bytes_max.max(1) as f64;
+            let tier = adm.observe(
+                self.rl1.admitted(),
+                self.rl1.rejected(),
+                self.rl2.admitted(),
+                self.rl2.rejected(),
+                fill,
+            );
+            self.metrics.admission_tier.set(tier.as_gauge());
+            if tier != before {
+                self.metrics.trace.event(
+                    now.as_nanos(),
+                    "tier_change",
+                    &[
+                        ("from", Value::Str(before.name())),
+                        ("to", Value::Str(tier.name())),
+                    ],
+                );
+            }
+        }
     }
 }
 

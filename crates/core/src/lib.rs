@@ -48,17 +48,23 @@
 //! sim.run_until(netsim::SimTime::from_millis(10));
 //! ```
 
+pub mod admission;
+pub mod checkpoint;
 pub mod classify;
 pub mod config;
 pub mod guard;
+pub mod ha;
 pub mod local_guard;
 pub mod ratelimit;
 pub mod rfc7873;
 pub mod tcp_proxy;
 
+pub use admission::{AdmissionConfig, AdmissionController, PressureTier};
+pub use checkpoint::{CheckpointStore, GuardCheckpoint, SharedCheckpointStore};
 pub use classify::{AuthorityClassifier, Classification, Classifier};
 pub use config::{AnsHealthPolicy, GuardConfig, SchemeMode};
 pub use guard::{GuardStats, RemoteGuard};
+pub use ha::{HaConfig, HaRole};
 pub use local_guard::LocalGuard;
 pub use ratelimit::SourceRateLimiter;
 pub use tcp_proxy::TcpProxy;
@@ -300,6 +306,99 @@ mod proptests {
                 gs
             );
             prop_assert!(gs.udp_datagrams >= kinds.len() as u64, "all crafted datagrams arrived");
+        }
+
+        /// Checkpoint round-trip: `restore(checkpoint(g))` survives the
+        /// wire encoding, preserves cookie-verification outcomes across any
+        /// number of key rotations (generation bit and previous key
+        /// included), and never resurrects a forwarding entry that is past
+        /// its ANS-timeout deadline at restore time.
+        #[test]
+        fn checkpoint_restore_preserves_verification_and_drops_expired(
+            kinds in proptest::collection::vec(0u8..10, 1..60),
+            rotations in 0u8..3,
+            delay_ms in 0u64..2_500,
+        ) {
+            use crate::checkpoint::GuardCheckpoint;
+
+            let (root, _, _) = paper_hierarchy();
+            let authority = Authority::new(vec![root]);
+            let mut sim = Simulator::new(kinds.len() as u64 ^ delay_ms);
+            let config = GuardConfig::new(PUB, PRIV).with_mode(SchemeMode::DnsBased);
+            let guard = sim.add_node(
+                PUB,
+                CpuConfig::unbounded(),
+                RemoteGuard::new(config.clone(), AuthorityClassifier::new(authority.clone())),
+            );
+            sim.add_subnet(Ipv4Addr::new(198, 41, 0, 0), 24, guard);
+            sim.add_node(PRIV, CpuConfig::unbounded(), AuthNode::new(PRIV, authority.clone()));
+            let lrs_ip = Ipv4Addr::new(172, 16, 0, 1);
+            sim.add_node(
+                lrs_ip,
+                CpuConfig::unbounded(),
+                LrsSimulator::new(LrsSimConfig::new(lrs_ip, PUB, "www.foo.com".parse().unwrap())),
+            );
+            let pkts: Vec<Packet> = kinds.iter().enumerate().map(|(i, &k)| craft(k, i)).collect();
+            sim.add_node(Ipv4Addr::new(9, 0, 0, 1), CpuConfig::unbounded(), PacketSpammer { pkts });
+            sim.run_until(SimTime::from_millis(40));
+            for _ in 0..rotations {
+                sim.node_mut::<RemoteGuard>(guard).unwrap().rotate_key();
+            }
+            sim.run_until(SimTime::from_millis(50));
+
+            let now = sim.now();
+            let g = sim.node_ref::<RemoteGuard>(guard).unwrap();
+            let cp = g.checkpoint(now);
+            let decoded = GuardCheckpoint::decode(&cp.encode()).expect("wire round-trip");
+            prop_assert_eq!(decoded.seq, cp.seq);
+            prop_assert_eq!(decoded.taken_at_nanos, cp.taken_at_nanos);
+            prop_assert_eq!(decoded.fwd.len(), cp.fwd.len());
+            prop_assert_eq!(decoded.stash.len(), cp.stash.len());
+
+            let later = now + SimTime::from_millis(delay_ms);
+            let restored = RemoteGuard::restore_from_checkpoint(
+                config.clone(),
+                AuthorityClassifier::new(authority),
+                &decoded,
+                later,
+            );
+            // Key state round-trips exactly: same generation, same current
+            // and previous keys, so every cookie — including one granted
+            // before a rotation — verifies identically.
+            prop_assert_eq!(
+                restored.cookie_factory().generation(),
+                g.cookie_factory().generation()
+            );
+            prop_assert_eq!(
+                restored.cookie_factory().previous_key().map(|k| *k.as_bytes()),
+                g.cookie_factory().previous_key().map(|k| *k.as_bytes())
+            );
+            for oct in [1u8, 77, 201] {
+                let ip = Ipv4Addr::new(172, 16, 9, oct);
+                let cookie = g.cookie_factory().generate(ip);
+                prop_assert!(
+                    restored.cookie_factory().verify(ip, &cookie),
+                    "cookie for {} must survive restore",
+                    ip
+                );
+            }
+            // Staleness: exactly the entries past the ANS-timeout deadline
+            // at restore time are dropped, never replayed.
+            let deadline = config.ans_timeout.as_nanos();
+            let expected_stale = decoded
+                .fwd
+                .iter()
+                .filter(|f| later.as_nanos().saturating_sub(f.created_nanos) >= deadline)
+                .count() as u64;
+            prop_assert_eq!(restored.stats().restores, 1);
+            prop_assert_eq!(restored.stats().restore_stale_fwd, expected_stale);
+            if delay_ms as u128 * 1_000_000 >= deadline as u128 {
+                prop_assert_eq!(
+                    restored.stats().restore_stale_fwd,
+                    decoded.fwd.len() as u64,
+                    "past the deadline, every forwarding entry is stale"
+                );
+            }
         }
     }
 }

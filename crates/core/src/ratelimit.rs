@@ -12,6 +12,7 @@
 //! what blunts DoS from real (non-spoofed) addresses and from attackers who
 //! somehow obtained one host's cookie.
 
+use crate::checkpoint::LimiterState;
 use netsim::time::SimTime;
 use netsim::tokenbucket::TokenBucket;
 use obs::metrics::{Counter, Registry};
@@ -115,6 +116,39 @@ impl SourceRateLimiter {
     pub fn tracked_sources(&self) -> usize {
         self.per_source.len()
     }
+
+    /// Serializable bucket state for guard checkpointing. Per-source
+    /// entries are sorted by address so the encoding is deterministic.
+    /// The admitted/rejected *counters* are process-local metrics and are
+    /// deliberately not part of the state.
+    pub fn checkpoint(&self) -> LimiterState {
+        let mut per_source: Vec<_> = self
+            .per_source
+            .iter()
+            .map(|(ip, b)| (*ip, b.checkpoint()))
+            .collect();
+        per_source.sort_by_key(|(ip, _)| u32::from(*ip));
+        LimiterState {
+            global: self.global.as_ref().map(|b| b.checkpoint()),
+            per_source,
+        }
+    }
+
+    /// Replaces this limiter's bucket fill levels with a checkpointed
+    /// snapshot. Configured rates stay as constructed (config is the
+    /// authority on limits; the snapshot only carries fill levels), and the
+    /// per-source table is capped at the same bound `admit` enforces.
+    pub fn restore_state(&mut self, state: &LimiterState) {
+        if let (Some(global), Some(snap)) = (self.global.as_mut(), state.global.as_ref()) {
+            *global = TokenBucket::restore(snap);
+        }
+        self.per_source = state
+            .per_source
+            .iter()
+            .take(MAX_TRACKED_SOURCES)
+            .map(|(ip, b)| (*ip, TokenBucket::restore(b)))
+            .collect();
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +220,22 @@ mod tests {
         assert_eq!(rl.admitted() + rl.rejected(), 20);
         assert!(rl.admitted() >= 1);
         assert!(rl.rejected() >= 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_preserves_throttle_state() {
+        let mut rl = SourceRateLimiter::new(1_000.0, 10.0);
+        let t = SimTime::from_secs(1);
+        // Drain source 1's bucket completely.
+        while rl.admit(t, ip(1)) {}
+        let snap = rl.checkpoint();
+        let mut restored = SourceRateLimiter::new(1_000.0, 10.0);
+        restored.restore_state(&snap);
+        // The restored limiter remembers the drained bucket: source 1 is
+        // still throttled while a fresh source gets its full burst.
+        assert!(!restored.admit(t, ip(1)), "drained bucket resurrected");
+        assert!(restored.admit(t, ip(2)));
+        assert_eq!(restored.tracked_sources(), 2);
     }
 
     #[test]

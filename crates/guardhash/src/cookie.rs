@@ -237,9 +237,42 @@ impl CookieFactory {
         }
     }
 
+    /// Rebuilds a factory from checkpointed parts, preserving the rotation
+    /// state exactly: the generation counter keeps the generation-bit
+    /// dispatch consistent, and the previous key (when present) keeps
+    /// pre-rotation cookies verifying through their grace window.
+    pub fn from_parts(
+        current: SecretKey,
+        previous: Option<SecretKey>,
+        generation: u64,
+        rotation_seed: u64,
+    ) -> Self {
+        CookieFactory {
+            current,
+            previous,
+            generation,
+            seed: rotation_seed,
+        }
+    }
+
     /// Current key generation (increments on [`CookieFactory::rotate`]).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The current secret key (checkpointing only — handle with care).
+    pub fn current_key(&self) -> &SecretKey {
+        &self.current
+    }
+
+    /// The previous secret key, if a rotation grace window is live.
+    pub fn previous_key(&self) -> Option<&SecretKey> {
+        self.previous.as_ref()
+    }
+
+    /// The seed future rotations derive from.
+    pub fn rotation_seed(&self) -> u64 {
+        self.seed
     }
 
     /// Issues the cookie for `ip` under the current key, generation bit set.
@@ -527,6 +560,33 @@ mod tests {
         let range = 254;
         let y = f.generate_subnet_offset(addr, range);
         assert!(!f.verify_subnet_offset(addr, (y + 1) % range, range));
+    }
+
+    #[test]
+    fn from_parts_round_trip_preserves_rotation_state() {
+        let mut f = CookieFactory::from_seed(44);
+        let addr = ip(192, 0, 2, 99);
+        let week0 = f.generate(addr);
+        f.rotate();
+        let week1 = f.generate(addr);
+
+        let g = CookieFactory::from_parts(
+            f.current_key().clone(),
+            f.previous_key().cloned(),
+            f.generation(),
+            f.rotation_seed(),
+        );
+        assert_eq!(g.generation(), f.generation());
+        assert!(g.verify(addr, &week0), "pre-rotation cookie survives restore");
+        assert!(g.verify(addr, &week1));
+        assert_eq!(g.generate(addr), f.generate(addr));
+
+        // Future rotations derive identically from the restored seed.
+        let mut f2 = f.clone();
+        let mut g2 = g.clone();
+        f2.rotate();
+        g2.rotate();
+        assert_eq!(f2.generate(addr), g2.generate(addr));
     }
 
     #[test]

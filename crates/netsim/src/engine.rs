@@ -332,6 +332,8 @@ enum Action {
     Send(Packet),
     SendDirect(NodeId, Packet),
     Timer(SimTime, u64, /* daemon */ bool),
+    ClaimAddress(Ipv4Addr),
+    ClaimSubnet(Ipv4Addr, u8),
 }
 
 /// The handler-side view of the simulator.
@@ -389,6 +391,24 @@ impl Context<'_> {
     /// re-arms itself forever.
     pub fn set_daemon_timer(&mut self, delay: SimTime, tag: u64) {
         self.actions.push(Action::Timer(delay, tag, true));
+    }
+
+    /// Re-binds an exact address to *this* node when the handler completes,
+    /// replacing any previous owner. This is the failover takeover
+    /// primitive: a standby that declares its peer dead claims the guarded
+    /// address so subsequent packets route to it. In-flight packets already
+    /// addressed to the old owner are unaffected (routing happens at send
+    /// time).
+    pub fn claim_address(&mut self, addr: Ipv4Addr) {
+        self.actions.push(Action::ClaimAddress(addr));
+    }
+
+    /// Re-binds a whole `base/prefix` subnet to this node when the handler
+    /// completes. An existing route for the same `base/prefix` is replaced
+    /// rather than shadowed, so repeated claims cannot grow the routing
+    /// table.
+    pub fn claim_subnet(&mut self, base: Ipv4Addr, prefix: u8) {
+        self.actions.push(Action::ClaimSubnet(base, prefix));
     }
 
     /// Deterministic per-simulation random source.
@@ -877,8 +897,26 @@ impl Simulator {
                 Action::Timer(delay, tag, daemon) => {
                     self.push_with(completion + delay, EventKind::Timer(id, tag), daemon)
                 }
+                Action::ClaimAddress(addr) => {
+                    self.routes.insert(addr, id);
+                }
+                Action::ClaimSubnet(base, prefix) => {
+                    self.rebind_subnet(base, prefix, id);
+                }
             }
         }
+    }
+
+    /// Points `base/prefix` at `node`, replacing an existing entry for the
+    /// identical base/prefix (used by failover takeover; see
+    /// [`Context::claim_subnet`]).
+    fn rebind_subnet(&mut self, base: Ipv4Addr, prefix: u8, node: NodeId) {
+        assert!(prefix <= 32, "invalid prefix {prefix}");
+        let mask = if prefix == 0 { 0 } else { u32::MAX << (32 - prefix) };
+        let base = u32::from(base) & mask;
+        self.subnets.retain(|&(b, m, _)| !(b == base && m == mask));
+        self.subnets.push((base, mask, node));
+        self.subnets.sort_by_key(|s| std::cmp::Reverse(s.1));
     }
 
     fn lookup(&self, ip: Ipv4Addr) -> Option<NodeId> {
@@ -1119,6 +1157,49 @@ mod tests {
         assert!(stats.dropped > 8_000, "most packets dropped, got {}", stats.dropped);
         // Delivered ≈ elapsed / cost: 10k µs window / 10 µs ≈ 1000 (±queue).
         assert!((900..=1_200).contains(&received), "received {received}");
+    }
+
+    #[test]
+    fn claim_address_and_subnet_rebind_routing() {
+        // A standby claims the service address (and its subnet) mid-run;
+        // packets sent before the claim land on the old owner, packets sent
+        // after land on the new one.
+        const SERVICE: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 4);
+        struct Claimer {
+            received: u64,
+        }
+        impl Node for Claimer {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                ctx.set_timer(SimTime::from_millis(5), 1);
+            }
+            fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+                ctx.claim_address(SERVICE);
+                ctx.claim_subnet(Ipv4Addr::new(198, 51, 100, 0), 24);
+            }
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {
+                self.received += 1;
+            }
+        }
+        let mut sim = Simulator::new(3);
+        let blaster = Blaster {
+            target: Endpoint::new(SERVICE, 53),
+            me: ep(1, 4000),
+            interval: SimTime::from_millis(1),
+            remaining: 10,
+        };
+        sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::unbounded(), blaster);
+        let old = sim.add_node(SERVICE, CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.add_subnet(Ipv4Addr::new(198, 51, 100, 0), 24, old);
+        let standby =
+            sim.add_node(Ipv4Addr::new(10, 0, 0, 9), CpuConfig::unbounded(), Claimer { received: 0 });
+        sim.run();
+        let old_got = sim.node_ref::<Sink>(old).unwrap().received;
+        let new_got = sim.node_ref::<Claimer>(standby).unwrap().received;
+        assert_eq!(old_got + new_got, 10, "every packet routed somewhere");
+        assert!(old_got >= 1, "pre-claim traffic hit the old owner");
+        assert!(new_got >= 1, "post-claim traffic hit the claimer");
+        // A subnet address (COOKIE2-style) also routes to the claimer now.
+        assert_eq!(sim.lookup(Ipv4Addr::new(198, 51, 100, 77)), Some(standby));
     }
 
     #[test]

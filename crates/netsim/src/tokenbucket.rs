@@ -104,10 +104,60 @@ impl TokenBucket {
     fn refill(&mut self, now: SimTime) {
         if now > self.last {
             let dt = (now - self.last).as_secs_f64();
-            self.tokens = (self.tokens + dt * self.rate_per_sec).min(self.burst);
+            // Saturate instead of propagating a non-finite product: a bucket
+            // resumed after an arbitrarily long pause (crash-restart can
+            // replay any sim-time gap) must land on a full bucket, never on
+            // `inf`/`NaN` tokens that would poison every later comparison.
+            let refilled = self.tokens + dt * self.rate_per_sec;
+            self.tokens = if refilled.is_finite() {
+                refilled.min(self.burst)
+            } else {
+                self.burst
+            };
             self.last = now;
         }
     }
+
+    /// Serializable state snapshot, for guard checkpointing.
+    pub fn checkpoint(&self) -> TokenBucketState {
+        TokenBucketState {
+            rate_per_sec: self.rate_per_sec,
+            burst: self.burst,
+            tokens: self.tokens,
+            last_nanos: self.last.as_nanos(),
+        }
+    }
+
+    /// Rebuilds a bucket from a checkpointed state. Token counts are clamped
+    /// into `[0, burst]` (a corrupted or hand-edited snapshot cannot mint an
+    /// unbounded burst), and non-finite token counts fall back to a full
+    /// bucket.
+    pub fn restore(state: &TokenBucketState) -> Self {
+        let mut tb = TokenBucket::new(state.rate_per_sec, state.burst);
+        if !tb.is_unlimited() && !tb.is_deny_all() {
+            tb.tokens = if state.tokens.is_finite() {
+                state.tokens.clamp(0.0, tb.burst)
+            } else {
+                tb.burst
+            };
+        }
+        tb.last = SimTime::from_nanos(state.last_nanos);
+        tb
+    }
+}
+
+/// The serializable face of a [`TokenBucket`], as captured by
+/// [`TokenBucket::checkpoint`] and replayed by [`TokenBucket::restore`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucketState {
+    /// Configured fill rate, tokens per second.
+    pub rate_per_sec: f64,
+    /// Configured burst capacity.
+    pub burst: f64,
+    /// Tokens available at `last_nanos`.
+    pub tokens: f64,
+    /// Sim time of the last refill, in nanoseconds.
+    pub last_nanos: u64,
 }
 
 #[cfg(test)]
@@ -179,6 +229,54 @@ mod tests {
         let mut tb = TokenBucket::new(1_000.0, 0.0);
         assert!(tb.is_deny_all());
         assert!(!tb.try_take(SimTime::from_secs(60)));
+    }
+
+    #[test]
+    fn huge_time_gap_saturates_to_full_bucket() {
+        // A bucket resumed after an enormous pause (e.g. crash-restart far in
+        // the sim future) must refill to exactly `burst` and stay finite,
+        // even when `dt * rate` overflows f64.
+        let mut tb = TokenBucket::new(1e300, 5.0);
+        assert!(tb.try_take(SimTime::ZERO));
+        let far = SimTime::MAX;
+        let avail = tb.available(far);
+        assert!(avail.is_finite(), "tokens went non-finite: {avail}");
+        assert!((avail - 5.0).abs() < 1e-9, "refilled to burst, got {avail}");
+        assert!(tb.try_take(far));
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip_preserves_admission() {
+        let mut a = TokenBucket::new(10.0, 4.0);
+        let t = SimTime::from_millis(1_234);
+        assert!(a.try_take(t));
+        assert!(a.try_take(t));
+        let mut b = TokenBucket::restore(&a.checkpoint());
+        // Identical admission decisions from the restored twin.
+        for i in 0..50u64 {
+            let now = t + SimTime::from_millis(i * 37);
+            assert_eq!(a.try_take(now), b.try_take(now), "diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn restore_clamps_corrupt_token_counts() {
+        let base = TokenBucket::new(10.0, 4.0).checkpoint();
+        for bad in [f64::INFINITY, f64::NAN, 1e9, -7.0] {
+            let state = TokenBucketState { tokens: bad, ..base };
+            let mut tb = TokenBucket::restore(&state);
+            let avail = tb.available(SimTime::from_nanos(state.last_nanos));
+            assert!(avail.is_finite(), "tokens {bad} produced {avail}");
+            assert!((0.0..=4.0).contains(&avail), "tokens {bad} produced {avail}");
+        }
+    }
+
+    #[test]
+    fn restore_preserves_degenerate_semantics() {
+        let deny = TokenBucket::restore(&TokenBucket::new(0.0, 1.0).checkpoint());
+        assert!(deny.is_deny_all());
+        let open = TokenBucket::restore(&TokenBucket::new(f64::INFINITY, 1.0).checkpoint());
+        assert!(open.is_unlimited());
     }
 
     #[test]

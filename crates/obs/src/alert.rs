@@ -35,6 +35,9 @@ pub const RULES: &[&str] = &[
     "ans_down",
     "ans_flap",
     "trace_drops",
+    "checkpoint_lag",
+    "failover_triggered",
+    "admission_shedding",
 ];
 
 /// Thresholds and windows for the rule set.
@@ -53,6 +56,13 @@ pub struct AlertConfig {
     pub flap_transitions: usize,
     /// Window for flap detection.
     pub flap_window_nanos: u64,
+    /// `checkpoint_lag` fires when the guard's recoverable-state staleness
+    /// gauge (`checkpoint_age_nanos`) exceeds this. Zero age — checkpoints
+    /// disabled or just taken — never fires.
+    pub checkpoint_lag_max_nanos: u64,
+    /// `admission_shedding` fires when the admission controller sheds
+    /// unverified requests above this rate (events/s).
+    pub shed_per_sec: f64,
 }
 
 impl Default for AlertConfig {
@@ -63,6 +73,8 @@ impl Default for AlertConfig {
             amplification_max_milli: 1_600,
             flap_transitions: 2,
             flap_window_nanos: 2_000_000_000,
+            checkpoint_lag_max_nanos: 50_000_000,
+            shed_per_sec: 100.0,
         }
     }
 }
@@ -173,6 +185,9 @@ impl AlertEngine {
         let mut recoveries = 0u64;
         let mut ring_dropped = 0u64;
         let mut amp_milli = 0u64;
+        let mut checkpoint_age = 0u64;
+        let mut takeovers = 0u64;
+        let mut shed = 0u64;
         for s in samples {
             match (s.component, s.name) {
                 (_, "verify") if label_is(&s.labels, "verdict", "invalid") => {
@@ -194,6 +209,13 @@ impl AlertEngine {
                         amp_milli = amp_milli.max(v);
                     }
                 }
+                (_, "checkpoint_age_nanos") => {
+                    if let SampleValue::Gauge(v) = s.value {
+                        checkpoint_age = checkpoint_age.max(v);
+                    }
+                }
+                (_, "failover_takeovers") => takeovers += counter_of(s),
+                (_, "admission_shed") => shed += counter_of(s),
                 _ => {}
             }
         }
@@ -208,6 +230,8 @@ impl AlertEngine {
         let d_downs = delta("downs", downs);
         let d_recov = delta("recoveries", recoveries);
         let d_ring = delta("ring_dropped", ring_dropped);
+        let d_takeovers = delta("takeovers", takeovers);
+        let d_shed = delta("shed", shed);
 
         let Some(prev_t) = self.prev_t.replace(t_nanos) else {
             return; // Baseline only: deltas against nothing are meaningless.
@@ -273,6 +297,30 @@ impl AlertEngine {
         );
 
         self.set_state(t_nanos, "trace_drops", d_ring > 0, d_ring as f64, 1.0);
+
+        // Recoverable state too stale: a crash now would lose more than
+        // the configured window. Age zero means checkpointing is off or a
+        // snapshot/replication message just landed — never a lag.
+        self.set_state(
+            t_nanos,
+            "checkpoint_lag",
+            checkpoint_age > self.config.checkpoint_lag_max_nanos,
+            checkpoint_age as f64 / 1e9,
+            self.config.checkpoint_lag_max_nanos as f64 / 1e9,
+        );
+        // A standby promoted itself. Edge-triggered like ans_down: the
+        // takeover counter only ever moves on a real transition.
+        if d_takeovers > 0 {
+            self.set_state(t_nanos, "failover_triggered", true, d_takeovers as f64, 1.0);
+        }
+        let shed_rate = rate(d_shed);
+        self.set_state(
+            t_nanos,
+            "admission_shedding",
+            shed_rate > self.config.shed_per_sec,
+            shed_rate,
+            self.config.shed_per_sec,
+        );
     }
 
     fn set_state(
@@ -443,6 +491,36 @@ mod tests {
         amp.set(1_200);
         engine.evaluate(2 * SEC, &snapshot_with(&reg));
         assert!(engine.active().is_empty(), "both clear when back in bounds");
+    }
+
+    #[test]
+    fn ha_rules_fire_on_lag_takeover_and_shedding() {
+        let reg = Registry::new();
+        let age = reg.gauge("guard", "checkpoint_age_nanos", &[]);
+        let takeovers = reg.counter("guard", "failover_takeovers", &[]);
+        let shed = reg.counter("guard", "admission_shed", &[]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+        assert!(engine.is_silent(), "all-zero HA metrics stay silent");
+
+        age.set(80_000_000); // 80 ms > 50 ms default lag budget.
+        takeovers.inc();
+        shed.add(1_000); // 1000/s ≫ 100/s.
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        let rules: Vec<_> = engine.active().iter().map(|a| a.rule).collect();
+        assert!(rules.contains(&"checkpoint_lag"));
+        assert!(rules.contains(&"failover_triggered"));
+        assert!(rules.contains(&"admission_shedding"));
+
+        age.set(0); // Snapshot landed; shedding stopped.
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        let rules: Vec<_> = engine.active().iter().map(|a| a.rule).collect();
+        assert!(!rules.contains(&"checkpoint_lag"), "fresh snapshot clears lag");
+        assert!(!rules.contains(&"admission_shedding"), "calm rate clears shed");
+        assert_eq!(
+            engine.fired_rules(),
+            vec!["checkpoint_lag", "failover_triggered", "admission_shedding"]
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use obs::alert::SharedAlertEngine;
 use obs::export::{event_json, metrics_json};
 use obs::Obs;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -112,34 +112,46 @@ fn serve_client(stream: TcpStream, obs: &Obs, engine: &SharedAlertEngine) -> io:
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
+    let mut reader = stream;
+    // TCP gives no line framing: a command may arrive one byte per
+    // segment, or several commands per segment. Accumulate bytes across
+    // reads and dispatch only on a complete newline-terminated line; an
+    // unterminated tail survives in the buffer until its newline arrives.
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 1024];
+    loop {
+        let n = match reader.read(&mut chunk) {
+            Ok(0) => break, // client closed
+            Ok(n) => n,
             Err(_) => break, // timeout or disconnect
         };
-        let reply = match line.trim() {
-            "" => continue,
-            "ping" => "{\"ok\":true}".to_string(),
-            "snapshot" => metrics_json(&obs.registry.snapshot()),
-            "events" => {
-                let events = obs.tracer.recent(RECENT_EVENTS);
-                let mut out = String::from("[");
-                for (i, e) in events.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
+        buf.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line_bytes[..pos]);
+            let reply = match line.trim() {
+                "" => continue,
+                "ping" => "{\"ok\":true}".to_string(),
+                "snapshot" => metrics_json(&obs.registry.snapshot()),
+                "events" => {
+                    let events = obs.tracer.recent(RECENT_EVENTS);
+                    let mut out = String::from("[");
+                    for (i, e) in events.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&event_json(e));
                     }
-                    out.push_str(&event_json(e));
+                    out.push(']');
+                    out
                 }
-                out.push(']');
-                out
-            }
-            "alerts" => engine.lock().alerts_json(),
-            _ => "{\"error\":\"unknown command\"}".to_string(),
-        };
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+                "alerts" => engine.lock().alerts_json(),
+                _ => "{\"error\":\"unknown command\"}".to_string(),
+            };
+            writer.write_all(reply.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+        }
     }
     Ok(())
 }
@@ -150,6 +162,7 @@ mod tests {
     use obs::alert::{AlertConfig, AlertEngine};
     use obs::export::validate_json;
     use obs::trace::{Level, Value};
+    use std::io::{BufRead, BufReader};
 
     fn query(addr: SocketAddr, cmds: &[&str]) -> Vec<String> {
         let stream = TcpStream::connect(addr).unwrap();
@@ -196,6 +209,42 @@ mod tests {
         // The events command peeks; the ring still holds the event.
         let (drained, _) = obs.tracer.drain();
         assert_eq!(drained.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn partial_reads_are_buffered_until_newline() {
+        let obs = Obs::new();
+        let engine = obs::alert::shared(AlertEngine::new(AlertConfig::default()));
+        let server =
+            TelemetryServer::spawn(&obs, engine, Duration::from_millis(50)).unwrap();
+
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+
+        // One byte per segment (nodelay flushes each write): the server
+        // must hold the partial line until its newline arrives.
+        for b in b"snapshot\n" {
+            writer.write_all(&[*b]).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        validate_json(line.trim()).unwrap_or_else(|p| panic!("invalid JSON at {p}: {line}"));
+
+        // The opposite framing: two commands coalesced into one segment
+        // both get answered, in order.
+        writer.write_all(b"ping\nbogus\n").unwrap();
+        writer.flush().unwrap();
+        let mut l1 = String::new();
+        reader.read_line(&mut l1).unwrap();
+        let mut l2 = String::new();
+        reader.read_line(&mut l2).unwrap();
+        assert_eq!(l1.trim(), "{\"ok\":true}");
+        assert!(l2.contains("unknown command"));
         server.shutdown();
     }
 

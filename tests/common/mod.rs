@@ -58,6 +58,7 @@ pub struct WorldBuilder {
     lrs_mode: CookieMode,
     cache: bool,
     wait: Option<SimTime>,
+    concurrency: Option<u32>,
     lrs_link: Option<LinkParams>,
     tweak: Option<ConfigTweak>,
 }
@@ -72,6 +73,7 @@ impl WorldBuilder {
             lrs_mode: CookieMode::Plain,
             cache: true,
             wait: None,
+            concurrency: None,
             lrs_link: None,
             tweak: None,
         }
@@ -104,6 +106,13 @@ impl WorldBuilder {
     /// Client retry-timeout override.
     pub fn wait(mut self, wait: SimTime) -> Self {
         self.wait = Some(wait);
+        self
+    }
+
+    /// Client in-flight request slots (1 = strictly sequential, so a brief
+    /// guard outage costs at most one consecutive timeout).
+    pub fn concurrency(mut self, concurrency: u32) -> Self {
+        self.concurrency = Some(concurrency);
         self
     }
 
@@ -140,6 +149,9 @@ impl WorldBuilder {
         lrs_config.cookie_cache = self.cache;
         if let Some(wait) = self.wait {
             lrs_config.wait = wait;
+        }
+        if let Some(concurrency) = self.concurrency {
+            lrs_config.concurrency = concurrency;
         }
         let lrs = sim.add_node(LRS_IP, CpuConfig::unbounded(), LrsSimulator::new(lrs_config));
         if let Some(link) = self.lrs_link {
