@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # The repository's CI gate, runnable locally and from the GitHub Actions
 # workflow (.github/workflows/ci.yml): release build, the full workspace
-# test suite (unit, integration, chaos and property tests), clippy with
-# warnings promoted to errors, a telemetry-export smoke check, and rustdoc
-# with warnings denied.
+# test suite (unit, integration, chaos and property tests), the guardlint
+# static-analysis pass (repo-specific safety/determinism/telemetry
+# invariants; exemptions live in Lint.toml), clippy with warnings promoted
+# to errors, a telemetry-export smoke check, and rustdoc with warnings
+# denied.
 #
 # All dependencies are vendored (vendor/*), so the build never touches a
 # registry; --offline makes that a hard guarantee rather than an accident.
 #
 # Usage: ./ci.sh [stage]
-#   stage ∈ {build, test, clippy, telemetry, journeys, ha, docs}; no
-#   argument runs all.
+#   stage ∈ {build, test, lint, clippy, telemetry, journeys, ha, docs};
+#   no argument runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -25,6 +27,11 @@ fi
 if want test; then
   echo "==> cargo test"
   cargo test -q --workspace --offline
+fi
+
+if want lint; then
+  echo "==> guardlint --deny (L1–L5 workspace invariants)"
+  cargo run -q --offline -p guardlint -- --deny
 fi
 
 if want clippy; then

@@ -10,6 +10,8 @@
 //! real addresses at high rates, which is exactly what Rate-Limiter2
 //! throttles.
 
+#![forbid(unsafe_code)]
+
 pub mod amplification;
 pub mod flood;
 pub mod prober;

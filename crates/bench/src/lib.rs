@@ -22,6 +22,8 @@
 //! Criterion micro-benchmarks (cookie computation, wire codec, rate
 //! limiters): `cargo bench -p bench`.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod failover;
 pub mod journeys;

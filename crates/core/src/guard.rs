@@ -1016,25 +1016,27 @@ impl RemoteGuard {
             }
         };
         self.metrics.heartbeats_seen.inc();
-        {
-            let ha = self.ha.as_mut().expect("checked above");
+        let Some(role) = self.ha.as_mut().map(|ha| {
             ha.last_heartbeat = now;
             ha.missed = 0;
             if ha.peer_down {
                 ha.peer_down = false;
                 ha.probe_interval = ha.cfg.replication_interval;
             }
-        }
-        let role = self.ha.as_ref().expect("checked above").role;
+            ha.role
+        }) else {
+            return;
+        };
         match payload {
             ReplPayload::Full(cp) => {
                 if role != HaRole::Standby {
                     return;
                 }
                 self.apply_checkpoint(&cp, now);
-                let ha = self.ha.as_mut().expect("checked above");
-                ha.applied_seq = cp.seq;
-                ha.synced = true;
+                if let Some(ha) = self.ha.as_mut() {
+                    ha.applied_seq = cp.seq;
+                    ha.synced = true;
+                }
                 self.metrics.repl_deltas_applied.inc();
                 self.metrics.checkpoint_age_nanos.set(0);
             }
@@ -1042,24 +1044,28 @@ impl RemoteGuard {
                 if role != HaRole::Standby {
                     return;
                 }
-                let (synced, applied_seq) = {
-                    let ha = self.ha.as_ref().expect("checked above");
-                    (ha.synced, ha.applied_seq)
+                let Some((synced, applied_seq)) =
+                    self.ha.as_ref().map(|ha| (ha.synced, ha.applied_seq))
+                else {
+                    return;
                 };
                 if !synced || d.seq != applied_seq + 1 {
                     // Sequence gap (or never synced): ask for a full
                     // snapshot rather than applying a delta out of order.
                     self.metrics.repl_resyncs.inc();
-                    self.ha.as_mut().expect("checked above").synced = false;
+                    if let Some(ha) = self.ha.as_mut() {
+                        ha.synced = false;
+                    }
                     self.send_repl(ctx, ReplPayload::ResyncReq { have_seq: applied_seq });
                     return;
                 }
                 self.apply_delta(ctx, d);
             }
             ReplPayload::ResyncReq { .. } => {
-                let ha = self.ha.as_mut().expect("checked above");
-                if ha.role == HaRole::Primary {
-                    ha.need_full = true;
+                if let Some(ha) = self.ha.as_mut() {
+                    if ha.role == HaRole::Primary {
+                        ha.need_full = true;
+                    }
                 }
             }
         }
@@ -1088,8 +1094,9 @@ impl RemoteGuard {
         if self.config.activation_threshold > 0.0 {
             self.active = d.active;
         }
-        let ha = self.ha.as_mut().expect("delta implies pairing");
-        ha.applied_seq = d.seq;
+        if let Some(ha) = self.ha.as_mut() {
+            ha.applied_seq = d.seq;
+        }
         self.metrics.repl_deltas_applied.inc();
         self.metrics.checkpoint_age_nanos.set(0);
     }
@@ -1113,11 +1120,15 @@ impl RemoteGuard {
             // A promoted standby serves traffic but has no peer to feed.
             return;
         }
-        let need_full = self.ha.as_ref().expect("checked above").need_full;
+        let Some(need_full) = self.ha.as_ref().map(|ha| ha.need_full) else {
+            return;
+        };
         let generation = self.cookies.generation();
         let payload = if need_full {
             let mut cp = self.checkpoint(now);
-            let ha = self.ha.as_mut().expect("checked above");
+            let Some(ha) = self.ha.as_mut() else {
+                return;
+            };
             ha.repl_seq += 1;
             cp.seq = ha.repl_seq;
             ha.need_full = false;
@@ -1128,14 +1139,15 @@ impl RemoteGuard {
             ha.pending_stash_del.clear();
             ReplPayload::Full(cp)
         } else {
-            let key = if self.ha.as_ref().expect("checked above").sent_generation != generation
-            {
+            let key = if self.ha.as_ref().is_some_and(|ha| ha.sent_generation != generation) {
                 Some(KeyState::capture(&self.cookies))
             } else {
                 None
             };
             let (mut add_txids, fwd_del, stash_add_keys, stash_del) = {
-                let ha = self.ha.as_mut().expect("checked above");
+                let Some(ha) = self.ha.as_mut() else {
+                    return;
+                };
                 ha.sent_generation = generation;
                 (
                     std::mem::take(&mut ha.pending_fwd_add),
@@ -1161,7 +1173,9 @@ impl RemoteGuard {
                     })
                 })
                 .collect();
-            let ha = self.ha.as_mut().expect("checked above");
+            let Some(ha) = self.ha.as_mut() else {
+                return;
+            };
             ha.repl_seq += 1;
             ReplPayload::Delta(ReplDelta {
                 seq: ha.repl_seq,
@@ -1182,7 +1196,9 @@ impl RemoteGuard {
     fn ha_standby_tick(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
         let (age, became_down, do_takeover, probe_seq) = {
-            let ha = self.ha.as_mut().expect("ticked implies pairing");
+            let Some(ha) = self.ha.as_mut() else {
+                return;
+            };
             if ha.took_over {
                 return;
             }
@@ -1237,7 +1253,9 @@ impl RemoteGuard {
     fn ha_take_over(&mut self, ctx: &mut Context<'_>) {
         let now = ctx.now();
         {
-            let ha = self.ha.as_mut().expect("takeover implies pairing");
+            let Some(ha) = self.ha.as_mut() else {
+                return;
+            };
             ha.took_over = true;
             ha.role = HaRole::Primary;
             ha.need_full = true;
@@ -1769,7 +1787,23 @@ impl RemoteGuard {
             );
             return;
         }
-        let cookie_question = msg.question().cloned().expect("first_label implies question");
+        // The caller only routes here after reading the question's first
+        // label, but stay panic-free on this wire-input path: a questionless
+        // message lands in the invalid-cookie bucket like any other drop.
+        let Some(cookie_question) = msg.question().cloned() else {
+            self.metrics.ns_cookie_invalid.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "verify",
+                &[
+                    ("scheme", Value::Str("ns_label")),
+                    ("verdict", Value::Str("invalid")),
+                    ("src", Value::Ip(pkt.src.ip)),
+                    ("qid", Value::U64(qid)),
+                ],
+            );
+            return;
+        };
         // Restore the original name BEFORE declaring the query valid: a
         // cookie that verifies but encodes an unrestorable name is still a
         // drop, and must land in exactly one disposition bucket.

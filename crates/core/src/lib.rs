@@ -48,6 +48,8 @@
 //! sim.run_until(netsim::SimTime::from_millis(10));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod admission;
 pub mod checkpoint;
 pub mod classify;

@@ -165,11 +165,8 @@ impl TcpProxy {
                     state.buf.extend_from_slice(&bytes);
                     // Drain every complete frame (pipelined requests are
                     // legal on DNS TCP connections).
-                    loop {
-                        if state.buf.len() < 2 {
-                            break;
-                        }
-                        let need = u16::from_be_bytes([state.buf[0], state.buf[1]]) as usize;
+                    while let Some(&[hi, lo]) = state.buf.get(..2) {
+                        let need = u16::from_be_bytes([hi, lo]) as usize;
                         if state.buf.len() < 2 + need {
                             break;
                         }

@@ -98,18 +98,16 @@ impl Edns {
         let mut options = Vec::new();
         let mut pos = 0usize;
         while pos < rdata.len() {
-            if pos + 4 > rdata.len() {
+            let Some(&[c0, c1, l0, l1]) = rdata.get(pos..pos + 4) else {
                 return None;
-            }
-            let code = u16::from_be_bytes([rdata[pos], rdata[pos + 1]]);
-            let len = u16::from_be_bytes([rdata[pos + 2], rdata[pos + 3]]) as usize;
+            };
+            let code = u16::from_be_bytes([c0, c1]);
+            let len = u16::from_be_bytes([l0, l1]) as usize;
             pos += 4;
-            if pos + len > rdata.len() {
-                return None;
-            }
+            let data = rdata.get(pos..pos + len)?;
             options.push(EdnsOption {
                 code,
-                data: rdata[pos..pos + len].to_vec(),
+                data: data.to_vec(),
             });
             pos += len;
         }
@@ -158,10 +156,13 @@ impl DnsCookie {
                 client: data.try_into().ok()?,
                 server: None,
             }),
-            16..=40 => Some(DnsCookie {
-                client: data[..8].try_into().ok()?,
-                server: Some(data[8..].to_vec()),
-            }),
+            16..=40 => {
+                let (client, server) = data.split_at(8);
+                Some(DnsCookie {
+                    client: client.try_into().ok()?,
+                    server: Some(server.to_vec()),
+                })
+            }
             _ => None,
         }
     }

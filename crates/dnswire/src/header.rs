@@ -1,6 +1,7 @@
 //! The 12-byte DNS message header.
 
 use crate::error::{WireError, WireResult};
+use crate::question::read_u16;
 use crate::types::{Opcode, Rcode};
 
 /// Wire length of a DNS header.
@@ -115,8 +116,8 @@ impl Header {
         if msg.len() < HEADER_LEN {
             return Err(WireError::UnexpectedEnd { offset: msg.len() });
         }
-        let id = u16::from_be_bytes([msg[0], msg[1]]);
-        let flags = u16::from_be_bytes([msg[2], msg[3]]);
+        let id = read_u16(msg, 0)?;
+        let flags = read_u16(msg, 2)?;
         let header = Header {
             id,
             response: flags & 0x8000 != 0,
@@ -128,10 +129,10 @@ impl Header {
             rcode: Rcode::from((flags & 0x0F) as u8),
         };
         let counts = SectionCounts {
-            questions: u16::from_be_bytes([msg[4], msg[5]]),
-            answers: u16::from_be_bytes([msg[6], msg[7]]),
-            authorities: u16::from_be_bytes([msg[8], msg[9]]),
-            additionals: u16::from_be_bytes([msg[10], msg[11]]),
+            questions: read_u16(msg, 4)?,
+            answers: read_u16(msg, 6)?,
+            authorities: read_u16(msg, 8)?,
+            additionals: read_u16(msg, 10)?,
         };
         Ok((header, counts))
     }

@@ -32,6 +32,8 @@
 //! # Ok::<(), dnswire::error::WireError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cookie_ext;
 pub mod edns;
 pub mod error;

@@ -179,6 +179,8 @@ impl Message {
             buf.extend_from_slice(&[0, 0]);
             r.rdata.encode(&mut buf);
             let rdlen = (buf.len() - rdlen_at - 2) as u16;
+            // lint: index-ok — encode path patching a placeholder we pushed
+            // into our own buffer two statements above; rdlen_at+2 <= buf.len().
             buf[rdlen_at..rdlen_at + 2].copy_from_slice(&rdlen.to_be_bytes());
         }
         buf
@@ -265,6 +267,8 @@ impl Compressor {
         let mut emit_until = labels.len(); // labels[..emit_until] written literally
         let mut pointer: Option<u16> = None;
         for start in 0..labels.len() {
+            // lint: index-ok — encode path over our own label vector;
+            // `start` ranges over 0..labels.len() so the slice is in bounds.
             if let Some(&off) = self.offsets.get(&labels[start..]) {
                 emit_until = start;
                 pointer = Some(off);
@@ -273,11 +277,14 @@ impl Compressor {
         }
         // Register the new suffixes that will be written literally.
         for start in 0..emit_until {
+            // lint: index-ok — same owned vector; emit_until <= labels.len().
             let here = buf.len() + labels[..start].iter().map(|l| l.len() + 1).sum::<usize>();
             if here < 0x4000 {
+                // lint: index-ok — same owned vector, start < emit_until.
                 self.offsets.entry(labels[start..].to_vec()).or_insert(here as u16);
             }
         }
+        // lint: index-ok — emit_until <= labels.len() by construction above.
         for label in &labels[..emit_until] {
             buf.push(label.len() as u8);
             buf.extend_from_slice(label);

@@ -110,11 +110,8 @@ impl Name {
     /// The parent name (this name minus its leftmost label). The parent of
     /// the root is the root.
     pub fn parent(&self) -> Name {
-        if self.labels.is_empty() {
-            return Name::root();
-        }
         Name {
-            labels: self.labels[1..].to_vec(),
+            labels: self.labels.get(1..).unwrap_or_default().to_vec(),
         }
     }
 
@@ -124,18 +121,14 @@ impl Name {
     pub fn suffix(&self, count: usize) -> Name {
         let skip = self.labels.len().saturating_sub(count);
         Name {
-            labels: self.labels[skip..].to_vec(),
+            labels: self.labels.iter().skip(skip).cloned().collect(),
         }
     }
 
     /// True when `self` is `other` or a descendant of `other`.
     /// Every name is a subdomain of the root.
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        if other.labels.len() > self.labels.len() {
-            return false;
-        }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..] == other.labels[..]
+        self.labels.ends_with(&other.labels)
     }
 
     /// Creates a child name by prepending `label`.
@@ -171,7 +164,9 @@ impl Name {
             return self.child(label);
         }
         let mut labels = self.labels.clone();
-        labels[0] = label.as_ref().to_vec();
+        if let Some(first) = labels.first_mut() {
+            *first = label.as_ref().to_vec();
+        }
         Name::from_labels(labels)
     }
 

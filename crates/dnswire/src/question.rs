@@ -70,17 +70,17 @@ impl fmt::Display for Question {
 }
 
 pub(crate) fn read_u16(msg: &[u8], offset: usize) -> WireResult<u16> {
-    let bytes = msg
-        .get(offset..offset + 2)
-        .ok_or(crate::error::WireError::UnexpectedEnd { offset })?;
-    Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+    match msg.get(offset..offset + 2) {
+        Some(&[hi, lo]) => Ok(u16::from_be_bytes([hi, lo])),
+        _ => Err(crate::error::WireError::UnexpectedEnd { offset }),
+    }
 }
 
 pub(crate) fn read_u32(msg: &[u8], offset: usize) -> WireResult<u32> {
-    let bytes = msg
-        .get(offset..offset + 4)
-        .ok_or(crate::error::WireError::UnexpectedEnd { offset })?;
-    Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    match msg.get(offset..offset + 4) {
+        Some(&[b0, b1, b2, b3]) => Ok(u32::from_be_bytes([b0, b1, b2, b3])),
+        _ => Err(crate::error::WireError::UnexpectedEnd { offset }),
+    }
 }
 
 #[cfg(test)]

@@ -101,6 +101,8 @@ impl RData {
                 for s in strings {
                     debug_assert!(s.len() <= 255, "character-string too long");
                     buf.push(s.len().min(255) as u8);
+                    // lint: index-ok — encode path over our own data, and the
+                    // range end is clamped to s.len() on the previous line.
                     buf.extend_from_slice(&s[..s.len().min(255)]);
                 }
             }
@@ -137,12 +139,10 @@ impl RData {
                         consumed: 4,
                     });
                 }
-                Ok(RData::A(Ipv4Addr::new(
-                    msg[offset],
-                    msg[offset + 1],
-                    msg[offset + 2],
-                    msg[offset + 3],
-                )))
+                match msg.get(offset..end) {
+                    Some(&[a, b, c, d]) => Ok(RData::A(Ipv4Addr::new(a, b, c, d))),
+                    _ => Err(WireError::UnexpectedEnd { offset }),
+                }
             }
             RrType::Aaaa => {
                 if rdlen != 16 {
@@ -151,8 +151,11 @@ impl RData {
                         consumed: 16,
                     });
                 }
-                let mut octets = [0u8; 16];
-                octets.copy_from_slice(&msg[offset..end]);
+                let bytes = msg
+                    .get(offset..end)
+                    .ok_or(WireError::UnexpectedEnd { offset })?;
+                let octets: [u8; 16] =
+                    bytes.try_into().map_err(|_| WireError::UnexpectedEnd { offset })?;
                 Ok(RData::Aaaa(Ipv6Addr::from(octets)))
             }
             RrType::Ns | RrType::Cname | RrType::Ptr => {
@@ -193,17 +196,26 @@ impl RData {
                 let mut strings = Vec::new();
                 let mut pos = offset;
                 while pos < end {
-                    let len = msg[pos] as usize;
+                    let len = *msg.get(pos).ok_or(WireError::UnexpectedEnd { offset: pos })?
+                        as usize;
                     pos += 1;
                     if pos + len > end {
                         return Err(WireError::BadCharacterString);
                     }
-                    strings.push(msg[pos..pos + len].to_vec());
+                    let s = msg
+                        .get(pos..pos + len)
+                        .ok_or(WireError::UnexpectedEnd { offset: pos })?;
+                    strings.push(s.to_vec());
                     pos += len;
                 }
                 Ok(RData::Txt(strings))
             }
-            RrType::Opt | RrType::Other(_) => Ok(RData::Unknown(msg[offset..end].to_vec())),
+            RrType::Opt | RrType::Other(_) => {
+                let bytes = msg
+                    .get(offset..end)
+                    .ok_or(WireError::UnexpectedEnd { offset })?;
+                Ok(RData::Unknown(bytes.to_vec()))
+            }
         }
     }
 }

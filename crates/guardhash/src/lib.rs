@@ -22,6 +22,8 @@
 //! assert!(!factory.verify(Ipv4Addr::new(192, 0, 2, 54), &cookie));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cookie;
 pub mod md5;
 

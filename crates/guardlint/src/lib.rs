@@ -1,0 +1,152 @@
+#![forbid(unsafe_code)]
+//! guardlint — workspace-native static analysis for the DNS-guard repo.
+//!
+//! The guard's value proposition is surviving adversarial wire input in
+//! front of the ANS, and the chaos/failover suites depend on simulated
+//! time being the only clock. Those invariants were previously enforced
+//! by review convention; guardlint machine-checks them on every run:
+//!
+//! * **L1** — no panic on wire input (`unwrap`/`expect`/`panic!`-family /
+//!   slice indexing) in `dnswire` and the guard rx modules;
+//! * **L2** — determinism: no wall clock or ambient RNG in the sim-domain
+//!   crates (`core`, `netsim`, `server`, `attack`, `obs`);
+//! * **L3** — `Ordering::Relaxed` outside the obs record path requires an
+//!   inline `// lint: relaxed-ok — <why>` justification;
+//! * **L4** — metric/alert names referenced by `telemetry_check` and the
+//!   alert rules must exist at a registry definition site;
+//! * **L5** — trace coverage: the export contract's kinds have emit
+//!   sites, and guard-emitted kinds are observed somewhere.
+//!
+//! Findings print as `file:line [lint-id] severity: message`; `Lint.toml`
+//! holds justified exemptions (see [`allowlist`]); `--deny` turns errors
+//! into a non-zero exit for CI. Zero dependencies by design: the crate
+//! carries its own comment/string-aware lexer ([`lexer`]) instead of a
+//! Rust parser, because every invariant here is token- or
+//! string-cross-reference-shaped.
+
+pub mod allowlist;
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+
+use findings::{Finding, Severity};
+use lints::SourceFile;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of one full lint run.
+pub struct RunResult {
+    /// Surviving findings (allowlist applied), canonical order.
+    pub findings: Vec<Finding>,
+    /// Number of files in the lint set.
+    pub files_scanned: usize,
+}
+
+impl RunResult {
+    /// Count of error-severity findings (what `--deny` gates on).
+    pub fn errors(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Error).count()
+    }
+
+    /// Count of warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.findings.iter().filter(|f| f.severity == Severity::Warning).count()
+    }
+}
+
+/// Collects `.rs` files under `dir` recursively, sorted for determinism.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name == "vendor" || name == "target" || name.starts_with('.') {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+fn load(root: &Path, paths: &[PathBuf]) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::with_capacity(paths.len());
+    for p in paths {
+        let src = std::fs::read_to_string(p)?;
+        files.push(SourceFile { rel: rel_of(root, p), scrub: lexer::scrub(&src) });
+    }
+    Ok(files)
+}
+
+/// The lint set: every non-vendor workspace source (`crates/*/src`, the
+/// umbrella `src/`).
+fn lint_set_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> =
+            std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("src"), &mut out)?;
+        }
+    }
+    collect_rs(&root.join("src"), &mut out)?;
+    Ok(out)
+}
+
+/// The L5 reference corpus: the lint set plus integration tests, benches
+/// and examples — anywhere a trace kind may legitimately be observed.
+fn corpus_extra_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    collect_rs(&root.join("tests"), &mut out)?;
+    collect_rs(&root.join("examples"), &mut out)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> =
+            std::fs::read_dir(&crates)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+        members.sort();
+        for m in members {
+            collect_rs(&m.join("tests"), &mut out)?;
+            collect_rs(&m.join("benches"), &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the full lint pass over the workspace at `root`, applying the
+/// allowlist at `allowlist_path` (skipped when the file does not exist).
+pub fn run(root: &Path, allowlist_path: &Path) -> io::Result<RunResult> {
+    let lint_paths = lint_set_paths(root)?;
+    let files = load(root, &lint_paths)?;
+    let mut corpus = load(root, &corpus_extra_paths(root)?)?;
+    // The corpus also contains the lint set itself (re-lexed views are
+    // cheap relative to one workspace build).
+    corpus.extend(load(root, &lint_paths)?);
+
+    let mut findings = lints::run_all(&files, &corpus);
+
+    let toml_rel = rel_of(root, allowlist_path);
+    if allowlist_path.is_file() {
+        let content = std::fs::read_to_string(allowlist_path)?;
+        let list = allowlist::parse(&content, &toml_rel);
+        findings = list.apply(findings, &toml_rel);
+        findings.extend(list.problems);
+    }
+    findings::sort(&mut findings);
+    Ok(RunResult { findings, files_scanned: files.len() })
+}

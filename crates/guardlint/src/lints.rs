@@ -1,0 +1,793 @@
+//! The five guardlint families.
+//!
+//! | id | invariant |
+//! |----|-----------|
+//! | L1 | no panic on wire input: `unwrap`/`expect`/`panic!`-family macros and slice indexing are forbidden in `dnswire` and the guard rx modules |
+//! | L2 | determinism: wall clocks and ambient RNG are forbidden in the sim-domain crates (`core`, `netsim`, `server`, `attack`, `obs`) |
+//! | L3 | atomic-ordering discipline: `Ordering::Relaxed` outside the obs record path needs a `// lint: relaxed-ok — ...` justification |
+//! | L4 | metric/alert names referenced by `telemetry_check` and the alert rules must exist at a registry definition site |
+//! | L5 | trace coverage: contract kinds must have emit sites, and guard-emitted kinds must be observed somewhere |
+//!
+//! L1–L3 are per-line token lints over scrubbed code (see [`crate::lexer`]);
+//! L4/L5 are cross-file consistency checks over extracted call arguments.
+
+use crate::findings::{Finding, Severity};
+use crate::lexer::{str_refs, Scrubbed, STR_OPEN};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lexed source file, addressed by workspace-relative path.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// Scrubbed view (see [`crate::lexer::scrub`]).
+    pub scrub: Scrubbed,
+}
+
+// ---------------------------------------------------------------- scopes
+
+/// L1 scope: the modules that parse adversarial wire input.
+fn in_l1_scope(rel: &str) -> bool {
+    rel.starts_with("crates/dnswire/src/")
+        || rel == "crates/core/src/guard.rs"
+        || rel == "crates/core/src/tcp_proxy.rs"
+}
+
+/// L2 scope: sim-domain crates where all time/randomness must come from
+/// the simulator (wall clock is allowed only in `runtime` and tooling).
+fn in_l2_scope(rel: &str) -> bool {
+    ["core", "netsim", "server", "attack", "obs"]
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// L3 exemption: the lock-free metrics/trace record path is the one place
+/// plain relaxed counters are the design (single monotonic cells, no
+/// cross-cell ordering contract).
+fn l3_exempt(rel: &str) -> bool {
+    rel == "crates/obs/src/metrics.rs" || rel == "crates/obs/src/trace.rs"
+}
+
+// ------------------------------------------------------------- utilities
+
+/// Finds `token` in `code` at an identifier boundary; returns the byte
+/// offset of the first hit.
+fn find_token(code: &str, token: &str) -> Option<usize> {
+    let ident = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let first_ident = token.chars().next().is_some_and(ident);
+    let last_ident = token.chars().next_back().is_some_and(ident);
+    let mut from = 0;
+    while let Some(p) = code[from..].find(token) {
+        let at = from + p;
+        let pre_ok = !first_ident
+            || !code[..at].chars().next_back().is_some_and(ident);
+        let post_ok = !last_ident
+            || !code[at + token.len()..].chars().next().is_some_and(ident);
+        if pre_ok && post_ok {
+            return Some(at);
+        }
+        from = at + token.len();
+    }
+    None
+}
+
+/// Whether the line comment carries `lint: <tag> — <justification>` with a
+/// non-trivial justification.
+fn has_justification(comment: &str, tag: &str) -> bool {
+    let needle = format!("lint: {tag}");
+    let Some(p) = comment.find(&needle) else {
+        return false;
+    };
+    let rest = comment[p + needle.len()..]
+        .trim_start_matches([' ', '—', '–', '-', ':']);
+    rest.trim().len() >= 3
+}
+
+/// Whether line `i` carries a `lint: <tag>` justification, either in its
+/// trailing comment or in the comment-only lines directly above it (a
+/// justification usually wants more room than the end of the line).
+fn justified(lines: &[crate::lexer::ScrubbedLine], i: usize, tag: &str) -> bool {
+    if has_justification(&lines[i].comment, tag) {
+        return true;
+    }
+    lines[..i]
+        .iter()
+        .rev()
+        .take_while(|l| l.code.trim().is_empty() && !l.comment.trim().is_empty())
+        .any(|l| has_justification(&l.comment, tag))
+}
+
+/// Byte positions of index-expression brackets: `[` directly preceded by
+/// an identifier char, `)` or `]` (i.e. `buf[…]`, `f(x)[…]`, `a[0][1]`),
+/// which excludes array literals/types, slice patterns and attributes.
+fn index_brackets(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    (1..bytes.len())
+        .filter(|&i| {
+            bytes[i] == b'['
+                && (bytes[i - 1].is_ascii_alphanumeric()
+                    || bytes[i - 1] == b'_'
+                    || bytes[i - 1] == b')'
+                    || bytes[i - 1] == b']')
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- L1 – L3
+
+/// L1: no panic on wire input.
+pub fn l1(file: &SourceFile) -> Vec<Finding> {
+    if !in_l1_scope(&file.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    const PANICS: &[(&str, &str)] = &[
+        (".unwrap()", "`unwrap()` can panic on adversarial wire input; propagate a typed error"),
+        (".expect(", "`expect()` can panic on adversarial wire input; propagate a typed error"),
+        ("panic!(", "`panic!` on a wire-input path; return a typed error instead"),
+        ("unreachable!(", "`unreachable!` on a wire-input path; make the state unrepresentable or return a typed error"),
+        ("todo!(", "`todo!` placeholder on a wire-input path"),
+        ("unimplemented!(", "`unimplemented!` placeholder on a wire-input path"),
+    ];
+    for (i, line) in file.scrub.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (tok, msg) in PANICS {
+            if find_token(&line.code, tok).is_some() {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    lint: "L1",
+                    severity: Severity::Error,
+                    message: (*msg).to_string(),
+                });
+            }
+        }
+        if !index_brackets(&line.code).is_empty()
+            && !justified(&file.scrub.lines, i, "index-ok")
+        {
+            out.push(Finding {
+                file: file.rel.clone(),
+                line: i + 1,
+                lint: "L1",
+                severity: Severity::Error,
+                message: "slice/array index can panic on wire input; use `get()`-style \
+                          access with a typed error, or justify with `// lint: index-ok — <why>`"
+                    .to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// L2: determinism — no wall clock or ambient RNG in sim-domain crates.
+pub fn l2(file: &SourceFile) -> Vec<Finding> {
+    if !in_l2_scope(&file.rel) {
+        return Vec::new();
+    }
+    const CLOCKS: &[(&str, &str)] = &[
+        ("Instant::now", "wall-clock `Instant::now()` in a sim-domain crate; take time from the simulator context"),
+        ("SystemTime", "`SystemTime` in a sim-domain crate; sim time is the only clock here"),
+        ("UNIX_EPOCH", "`UNIX_EPOCH` in a sim-domain crate; sim time is the only clock here"),
+        ("thread_rng", "ambient `thread_rng()` breaks run reproducibility; use a seeded RNG threaded from the scenario"),
+        ("from_entropy", "entropy-seeded RNG breaks run reproducibility; use a seeded RNG threaded from the scenario"),
+        ("rand::random", "ambient `rand::random` breaks run reproducibility; use a seeded RNG threaded from the scenario"),
+    ];
+    let mut out = Vec::new();
+    for (i, line) in file.scrub.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for (tok, msg) in CLOCKS {
+            if find_token(&line.code, tok).is_some() {
+                out.push(Finding {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    lint: "L2",
+                    severity: Severity::Error,
+                    message: (*msg).to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// L3: every `Ordering::Relaxed` outside the obs record path needs an
+/// inline justification; boolean flags published with `Relaxed` get a
+/// pairing-specific message.
+pub fn l3(file: &SourceFile) -> Vec<Finding> {
+    if l3_exempt(&file.rel) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, line) in file.scrub.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if find_token(&line.code, "Ordering::Relaxed").is_none() {
+            continue;
+        }
+        if justified(&file.scrub.lines, i, "relaxed-ok") {
+            continue;
+        }
+        let flag_store = line.code.contains(".store(")
+            && (line.code.contains("true") || line.code.contains("false"));
+        let message = if flag_store {
+            "cross-thread flag stored with `Ordering::Relaxed`; pair Release (store) with \
+             Acquire (load), or justify with `// lint: relaxed-ok — <why>`"
+        } else {
+            "`Ordering::Relaxed` outside the obs record path; justify with \
+             `// lint: relaxed-ok — <why>` or use an Acquire/Release pair"
+        };
+        out.push(Finding {
+            file: file.rel.clone(),
+            line: i + 1,
+            lint: "L3",
+            severity: Severity::Error,
+            message: message.to_string(),
+        });
+    }
+    out
+}
+
+// ------------------------------------------------ flat-stream extraction
+
+/// A string argument extracted from the flat stream.
+#[derive(Debug, Clone)]
+struct ArgStr {
+    line: usize,
+    content: String,
+}
+
+/// Extracts, for every non-test call of `.method(`, up to `max` string
+/// literals appearing among its arguments (balanced-paren scan).
+fn call_string_args(file: &SourceFile, method: &str, max: usize) -> Vec<(usize, Vec<ArgStr>)> {
+    let flat = &file.scrub.flat;
+    let needle = format!(".{method}(");
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = flat[from..].find(&needle) {
+        let at = from + p;
+        from = at + needle.len();
+        // Reject `.method_longer(` lookalikes: char before the dot-name
+        // match is irrelevant (the dot anchors it), but the name must end
+        // exactly at `(` which the needle guarantees.
+        let call_line = file.scrub.line_of(at);
+        if file.scrub.is_test_line(call_line) {
+            continue;
+        }
+        let mut args = Vec::new();
+        let mut depth = 1i32;
+        let bytes = flat.as_bytes();
+        let mut i = at + needle.len();
+        while i < bytes.len() && depth > 0 {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                1 => {
+                    let tail = &flat[i..];
+                    if let Some((_, idx)) = str_refs(tail).next() {
+                        if args.len() < max {
+                            let lit = &file.scrub.strings[idx];
+                            args.push(ArgStr { line: lit.line, content: lit.content.clone() });
+                        }
+                    }
+                    while i < bytes.len() && bytes[i] != 2 {
+                        i += 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push((call_line, args));
+    }
+    out
+}
+
+/// Extracts the string literals of an array declaration `NAME… = &[ … ]`.
+fn array_literals(file: &SourceFile, name: &str) -> Option<(usize, Vec<ArgStr>)> {
+    let flat = &file.scrub.flat;
+    let at = find_token(flat, name)?;
+    // Skip past the `=` so the `&[&str]` type annotation's bracket is not
+    // mistaken for the literal's.
+    let eq = at + flat[at..].find('=')?;
+    let open = eq + flat[eq..].find('[')?;
+    let decl_line = file.scrub.line_of(at);
+    let bytes = flat.as_bytes();
+    let mut depth = 0i32;
+    let mut i = open;
+    let mut lits = Vec::new();
+    while i < bytes.len() {
+        match bytes[i] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            1 => {
+                if let Some((_, idx)) = str_refs(&flat[i..]).next() {
+                    let lit = &file.scrub.strings[idx];
+                    lits.push(ArgStr { line: lit.line, content: lit.content.clone() });
+                }
+                while i < bytes.len() && bytes[i] != 2 {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some((decl_line, lits))
+}
+
+/// All non-test string literals of a file.
+fn nontest_strings(file: &SourceFile) -> Vec<ArgStr> {
+    file.scrub
+        .strings
+        .iter()
+        .filter(|s| !file.scrub.is_test_line(s.line))
+        .map(|s| ArgStr { line: s.line, content: s.content.clone() })
+        .collect()
+}
+
+// -------------------------------------------------------------------- L4
+
+const TELEMETRY_CHECK: &str = "crates/bench/src/bin/telemetry_check.rs";
+const ALERT_RS: &str = "crates/obs/src/alert.rs";
+
+/// Registry definition sites: `(component, name)` pairs registered by any
+/// non-test `.counter( / .gauge( / .histogram( / .adopt_*(` call.
+fn metric_definitions(files: &[SourceFile]) -> BTreeMap<String, BTreeSet<String>> {
+    let mut defs: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    const METHODS: &[&str] = &[
+        "counter",
+        "gauge",
+        "histogram",
+        "adopt_counter",
+        "adopt_gauge",
+        "adopt_histogram",
+    ];
+    for f in files {
+        for m in METHODS {
+            for (_, args) in call_string_args(f, m, 2) {
+                if let [comp, name] = args.as_slice() {
+                    defs.entry(name.content.clone())
+                        .or_default()
+                        .insert(comp.content.clone());
+                }
+            }
+        }
+    }
+    defs
+}
+
+/// Match-arm tuple references `("comp", "name") =>` / `(_, "name") if` in
+/// the alert rules. Returns `(line, Option<component>, name)`.
+fn alert_metric_refs(file: &SourceFile) -> Vec<(usize, Option<String>, String)> {
+    let flat = &file.scrub.flat;
+    let bytes = flat.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'(' {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let skip_ws = |j: &mut usize| {
+            while *j < bytes.len() && (bytes[*j] as char).is_whitespace() {
+                *j += 1;
+            }
+        };
+        let read_str = |j: &mut usize| -> Option<usize> {
+            if bytes.get(*j) != Some(&1) {
+                return None;
+            }
+            let (_, idx) = str_refs(&flat[*j..]).next()?;
+            while *j < bytes.len() && bytes[*j] != 2 {
+                *j += 1;
+            }
+            *j += 1;
+            Some(idx)
+        };
+        skip_ws(&mut j);
+        let comp = if bytes.get(j) == Some(&b'_') {
+            j += 1;
+            None
+        } else if let Some(idx) = read_str(&mut j) {
+            Some(idx)
+        } else {
+            i += 1;
+            continue;
+        };
+        skip_ws(&mut j);
+        if bytes.get(j) != Some(&b',') {
+            i += 1;
+            continue;
+        }
+        j += 1;
+        skip_ws(&mut j);
+        let Some(name_idx) = read_str(&mut j) else {
+            i += 1;
+            continue;
+        };
+        skip_ws(&mut j);
+        if bytes.get(j) != Some(&b')') {
+            i += 1;
+            continue;
+        }
+        j += 1;
+        skip_ws(&mut j);
+        let arm = flat[j..].starts_with("=>") || flat[j..].starts_with("if ");
+        if arm {
+            let name = &file.scrub.strings[name_idx];
+            if !file.scrub.is_test_line(name.line) {
+                out.push((
+                    name.line,
+                    comp.map(|c| file.scrub.strings[c].content.clone()),
+                    name.content.clone(),
+                ));
+            }
+        }
+        i = j;
+    }
+    out
+}
+
+/// L4: metric/alert-name cross-check.
+pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let defs = metric_definitions(files);
+    let components: BTreeSet<&String> = defs.values().flatten().collect();
+
+    // Leg A — telemetry_check's snapshot keys name real metrics.
+    if let Some(tc) = files.iter().find(|f| f.rel == TELEMETRY_CHECK) {
+        for s in nontest_strings(tc) {
+            for (key, is_name) in [("\"name\":\"", true), ("\"component\":\"", false)] {
+                let mut from = 0usize;
+                while let Some(p) = s.content[from..].find(key) {
+                    let start = from + p + key.len();
+                    let Some(end) = s.content[start..].find('"') else { break };
+                    let token = &s.content[start..start + end];
+                    let ok = if is_name {
+                        defs.contains_key(token)
+                    } else {
+                        components.iter().any(|c| c.as_str() == token)
+                    };
+                    if !ok {
+                        out.push(Finding {
+                            file: tc.rel.clone(),
+                            line: s.line,
+                            lint: "L4",
+                            severity: Severity::Error,
+                            message: format!(
+                                "telemetry_check expects {} {token:?}, but no registry \
+                                 definition site registers it",
+                                if is_name { "metric" } else { "component" }
+                            ),
+                        });
+                    }
+                    from = start + end;
+                }
+            }
+        }
+    }
+
+    // Legs B/C — the alert rules read real metrics and evaluate every
+    // declared rule.
+    if let Some(alert) = files.iter().find(|f| f.rel == ALERT_RS) {
+        for (line, comp, name) in alert_metric_refs(alert) {
+            match (&comp, defs.get(&name)) {
+                (_, None) => out.push(Finding {
+                    file: alert.rel.clone(),
+                    line,
+                    lint: "L4",
+                    severity: Severity::Error,
+                    message: format!(
+                        "alert rule reads metric {name:?}, but no registry definition \
+                         site registers it"
+                    ),
+                }),
+                (Some(c), Some(comps)) if !comps.contains(c) => out.push(Finding {
+                    file: alert.rel.clone(),
+                    line,
+                    lint: "L4",
+                    severity: Severity::Error,
+                    message: format!(
+                        "alert rule reads metric {name:?} of component {c:?}, but it is \
+                         only registered under {comps:?}"
+                    ),
+                }),
+                _ => {}
+            }
+        }
+        if let Some((decl_line, rules)) = array_literals(alert, "RULES") {
+            let evaluated: BTreeSet<String> = call_string_args(alert, "set_state", 1)
+                .into_iter()
+                .filter_map(|(_, args)| args.first().map(|a| a.content.clone()))
+                .collect();
+            for r in &rules {
+                if !evaluated.contains(&r.content) {
+                    out.push(Finding {
+                        file: alert.rel.clone(),
+                        line: decl_line,
+                        lint: "L4",
+                        severity: Severity::Error,
+                        message: format!(
+                            "alert rule {:?} is declared in RULES but never evaluated \
+                             (no set_state site)",
+                            r.content
+                        ),
+                    });
+                }
+            }
+            let declared: BTreeSet<&str> = rules.iter().map(|r| r.content.as_str()).collect();
+            for (line, args) in call_string_args(alert, "set_state", 1) {
+                if let Some(rule) = args.first() {
+                    if !declared.contains(rule.content.as_str()) {
+                        out.push(Finding {
+                            file: alert.rel.clone(),
+                            line,
+                            lint: "L4",
+                            severity: Severity::Error,
+                            message: format!(
+                                "set_state fires rule {:?} which is not declared in RULES",
+                                rule.content
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// -------------------------------------------------------------------- L5
+
+const OBS_EXPORT: &str = "crates/bench/src/obs_export.rs";
+const GUARD_RS: &str = "crates/core/src/guard.rs";
+
+/// Trace emit sites: `(kind, file, line)` for every non-test
+/// `.event( / .debug(` call (the kind is the first string argument).
+fn emit_sites(files: &[SourceFile]) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    for f in files {
+        for m in ["event", "debug"] {
+            for (line, args) in call_string_args(f, m, 1) {
+                if let Some(kind) = args.first() {
+                    out.push((kind.content.clone(), f.rel.clone(), line));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// L5: trace coverage.
+///
+/// * every kind in the `REQUIRED_KINDS` export contract has an emit site;
+/// * every kind emitted by `core::guard` is referenced (as a string
+///   literal) somewhere else in the workspace — journey assembly, alert
+///   rules, benches or tests — so no decision event is unobserved.
+///
+/// `corpus` is the wider reference set (lint files plus tests/examples),
+/// searched including test code.
+pub fn l5(files: &[SourceFile], corpus: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let emits = emit_sites(files);
+    let emitted: BTreeSet<&str> = emits.iter().map(|(k, _, _)| k.as_str()).collect();
+
+    if let Some(exp) = files.iter().find(|f| f.rel == OBS_EXPORT) {
+        if let Some((_, kinds)) = array_literals(exp, "REQUIRED_KINDS") {
+            for k in &kinds {
+                if !emitted.contains(k.content.as_str()) {
+                    out.push(Finding {
+                        file: exp.rel.clone(),
+                        line: k.line,
+                        lint: "L5",
+                        severity: Severity::Error,
+                        message: format!(
+                            "required trace kind {:?} has no `.event()`/`.debug()` emit \
+                             site in the workspace",
+                            k.content
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    // Guard-emitted kinds must be observed somewhere outside guard.rs.
+    let mut guard_kinds: BTreeMap<&str, usize> = BTreeMap::new();
+    for (k, file, line) in &emits {
+        if file == GUARD_RS {
+            guard_kinds.entry(k).or_insert(*line);
+        }
+    }
+    for (kind, line) in guard_kinds {
+        let observed = corpus.iter().any(|f| {
+            f.rel != GUARD_RS && f.scrub.strings.iter().any(|s| s.content == kind)
+        });
+        if !observed {
+            out.push(Finding {
+                file: GUARD_RS.to_string(),
+                line,
+                lint: "L5",
+                severity: Severity::Error,
+                message: format!(
+                    "guard decision kind {kind:?} is emitted here but referenced nowhere \
+                     else (journeys, alerts, benches or tests) — unobserved telemetry"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Runs every family over the lint set, with `corpus` as the L5 reference
+/// universe.
+pub fn run_all(files: &[SourceFile], corpus: &[SourceFile]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in files {
+        out.extend(l1(f));
+        out.extend(l2(f));
+        out.extend(l3(f));
+    }
+    out.extend(l4(files));
+    out.extend(l5(files, corpus));
+    out
+}
+
+// Keep the placeholder byte referenced so the lexer contract is explicit.
+const _: () = assert!(STR_OPEN as u32 == 1);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile { rel: rel.to_string(), scrub: scrub(src) }
+    }
+
+    #[test]
+    fn l1_flags_unwrap_in_scope_only() {
+        let bad = file("crates/dnswire/src/name.rs", "fn f(v: Option<u8>) { v.unwrap(); }\n");
+        assert_eq!(l1(&bad).len(), 1);
+        let out_of_scope = file("crates/bench/src/report.rs", "fn f(v: Option<u8>) { v.unwrap(); }\n");
+        assert!(l1(&out_of_scope).is_empty());
+    }
+
+    #[test]
+    fn l1_ignores_strings_comments_and_tests() {
+        let src = "const S: &str = \"x.unwrap()\"; // unwrap() in comment\n#[cfg(test)]\nmod t { fn f(v: Option<u8>) { v.unwrap(); } }\n";
+        let f = file("crates/dnswire/src/name.rs", src);
+        assert!(l1(&f).is_empty(), "{:?}", l1(&f));
+    }
+
+    #[test]
+    fn l1_indexing_needs_justification() {
+        let f = file("crates/dnswire/src/header.rs", "fn f(b: &[u8]) -> u8 { b[0] }\n");
+        assert_eq!(l1(&f).len(), 1);
+        let ok = file(
+            "crates/dnswire/src/header.rs",
+            "fn f(b: &[u8]) -> u8 { b[0] } // lint: index-ok — length checked by caller\n",
+        );
+        assert!(l1(&ok).is_empty());
+    }
+
+    #[test]
+    fn l1_unwrap_or_is_fine() {
+        let f = file("crates/dnswire/src/name.rs", "fn f(v: Option<u8>) -> u8 { v.unwrap_or(0) }\n");
+        assert!(l1(&f).is_empty());
+    }
+
+    #[test]
+    fn l2_flags_wall_clock_in_sim_domain() {
+        let f = file("crates/core/src/guard.rs", "fn f() { let t = std::time::Instant::now(); }\n");
+        let findings = l2(&f);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].lint, "L2");
+        let rt = file("crates/runtime/src/telemetry.rs", "fn f() { let t = std::time::Instant::now(); }\n");
+        assert!(l2(&rt).is_empty(), "wall clock is allowed in runtime");
+    }
+
+    #[test]
+    fn l3_requires_justification_outside_record_path() {
+        let bare = file("crates/runtime/src/ans.rs", "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n");
+        assert_eq!(l3(&bare).len(), 1);
+        let just = file(
+            "crates/runtime/src/ans.rs",
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); } // lint: relaxed-ok — monotonic counter\n",
+        );
+        assert!(l3(&just).is_empty());
+        let exempt = file("crates/obs/src/metrics.rs", "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n");
+        assert!(l3(&exempt).is_empty());
+    }
+
+    #[test]
+    fn l3_flag_store_gets_pairing_message() {
+        let f = file("crates/runtime/src/ans.rs", "fn f(s: &AtomicBool) { s.store(true, Ordering::Relaxed); }\n");
+        let findings = l3(&f);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("Release"));
+    }
+
+    #[test]
+    fn l4_detects_phantom_metric() {
+        let defs = file(
+            "crates/core/src/guard.rs",
+            "fn a(r: &Registry) { r.adopt_counter(\"guard\", \"verify\", &[], &c); }\n",
+        );
+        let tc = file(
+            TELEMETRY_CHECK,
+            "const K: &[&str] = &[\"\\\"name\\\":\\\"verify\\\"\", \"\\\"name\\\":\\\"no_such\\\"\"];\n",
+        );
+        let findings = l4(&[defs, tc]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("no_such"));
+    }
+
+    #[test]
+    fn l4_alert_match_arm_checked() {
+        let defs = file(
+            "crates/core/src/guard.rs",
+            "fn a(r: &Registry) { r.adopt_counter(\"guard\", \"verify\", &[], &c); }\n",
+        );
+        let alert = file(
+            ALERT_RS,
+            "fn e(s: &S) { match (s.component, s.name) { (_, \"verify\") => {}, (\"guard\", \"ghost\") => {}, _ => {} } }\n",
+        );
+        let findings = l4(&[defs, alert]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("ghost"));
+    }
+
+    #[test]
+    fn l4_unevaluated_rule_flagged() {
+        let alert = file(
+            ALERT_RS,
+            "pub const RULES: &[&str] = &[\"live_rule\", \"dead_rule\"];\nfn e(&mut self, t: u64) { self.set_state(t, \"live_rule\", true, 0.0, 0.0); }\n",
+        );
+        let findings = l4(&[alert]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("dead_rule"));
+    }
+
+    #[test]
+    fn l5_required_kind_without_emitter() {
+        let exp = file(
+            OBS_EXPORT,
+            "pub const REQUIRED_KINDS: &[&str] = &[\"grant\", \"ghost_kind\"];\n",
+        );
+        let guard = file(
+            GUARD_RS,
+            "fn f(&self, t: u64) { self.metrics.trace.event(t, \"grant\", &[]); }\n",
+        );
+        let refs = file("tests/journeys.rs", "const K: &str = \"grant\";\n");
+        let all = [exp, guard];
+        let corpus = [refs];
+        let findings = l5(&all, &corpus);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("ghost_kind"));
+    }
+
+    #[test]
+    fn l5_unobserved_guard_kind() {
+        let guard = file(
+            GUARD_RS,
+            "fn f(&self, t: u64) { self.metrics.trace.event(t, \"lonely_kind\", &[]); }\n",
+        );
+        let findings = l5(std::slice::from_ref(&guard), &[]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("lonely_kind"));
+        let witness = file("tests/x.rs", "const K: &str = \"lonely_kind\";\n");
+        let findings = l5(std::slice::from_ref(&guard), &[witness]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,78 @@
+#![forbid(unsafe_code)]
+//! The `guardlint` CLI: walks the workspace, prints findings, and (with
+//! `--deny`) fails on any error-severity finding.
+
+use guardlint::findings::to_json;
+use std::path::PathBuf;
+use std::process::exit;
+
+const USAGE: &str = "\
+guardlint — workspace-native static analysis for the DNS-guard repo
+
+USAGE: guardlint [--root <dir>] [--allowlist <Lint.toml>] [--json] [--deny]
+
+  --root <dir>        workspace root (default: current directory)
+  --allowlist <file>  allowlist path (default: <root>/Lint.toml)
+  --json              emit findings as a JSON array on stdout
+  --deny              exit non-zero when any error-severity finding remains
+
+Lint families: L1 no-panic-on-wire-input, L2 determinism, L3 relaxed-
+ordering justification, L4 metric-name cross-check, L5 trace coverage.";
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut json = false;
+    let mut deny = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => usage_error("--root needs a value"),
+            },
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist = Some(PathBuf::from(v)),
+                None => usage_error("--allowlist needs a value"),
+            },
+            "--json" => json = true,
+            "--deny" => deny = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let allowlist = allowlist.unwrap_or_else(|| root.join("Lint.toml"));
+    let result = match guardlint::run(&root, &allowlist) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("guardlint: {}: {e}", root.display());
+            exit(2);
+        }
+    };
+
+    if json {
+        print!("{}", to_json(&result.findings));
+    } else {
+        for f in &result.findings {
+            println!("{}", f.render());
+        }
+    }
+    let (errors, warnings) = (result.errors(), result.warnings());
+    eprintln!(
+        "guardlint: {} file(s), {errors} error(s), {warnings} warning(s)",
+        result.files_scanned
+    );
+    if deny && errors > 0 {
+        exit(1);
+    }
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("guardlint: {msg}\n\n{USAGE}");
+    exit(2)
+}

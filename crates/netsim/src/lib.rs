@@ -20,6 +20,8 @@
 //!   packets whose `src` is whatever the sender claims (spoofing is just
 //!   lying in that field, exactly as on the real Internet).
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod engine;
 pub mod metrics;

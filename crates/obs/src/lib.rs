@@ -54,6 +54,8 @@
 //! assert_eq!(obs.tracer.drain().0.len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alert;
 pub mod export;
 pub mod journey;

@@ -57,7 +57,7 @@ impl ToyAns {
         let t_counters = counters.clone();
         let handle = std::thread::spawn(move || {
             let mut buf = [0u8; 2048];
-            while !t_stop.load(Ordering::Relaxed) {
+            while !t_stop.load(Ordering::Acquire) {
                 let (len, peer) = match sock.recv_from(&mut buf) {
                     Ok(x) => x,
                     Err(e)
@@ -69,6 +69,8 @@ impl ToyAns {
                     Err(_) => break,
                 };
                 let Ok(query) = Message::decode(&buf[..len]) else {
+                    // lint: relaxed-ok — monotonic statistic; readers sync
+                    // via the shutdown join, not via this counter.
                     t_counters.bad_packets.fetch_add(1, Ordering::Relaxed);
                     continue;
                 };
@@ -79,6 +81,8 @@ impl ToyAns {
                 if let Ok((wire, _)) = response.encode_with_limit(MAX_UDP_PAYLOAD) {
                     // Count before sending so observers who already saw the
                     // response also see the counter.
+                    // lint: relaxed-ok — monotonic statistic; exactness only
+                    // matters after shutdown(), which joins the thread.
                     t_counters.served.fetch_add(1, Ordering::Relaxed);
                     let _ = sock.send_to(&wire, peer);
                 }
@@ -100,12 +104,13 @@ impl ToyAns {
 
     /// Queries served so far.
     pub fn served(&self) -> u64 {
+        // lint: relaxed-ok — statistic read; exact only after shutdown join.
         self.counters.served.load(Ordering::Relaxed)
     }
 
     /// Stops the server thread and waits for it.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -114,7 +119,7 @@ impl ToyAns {
 
 impl Drop for ToyAns {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

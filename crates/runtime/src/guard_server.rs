@@ -97,7 +97,7 @@ impl GuardServer {
             // every decision event so offline assembly can stitch the
             // grant → verify → forward → relay chain.
             let mut next_qid: u64 = 1;
-            while !t_stop.load(Ordering::Relaxed) {
+            while !t_stop.load(Ordering::Acquire) {
                 let (len, peer) = match sock.recv_from(&mut buf) {
                     Ok(x) => x,
                     Err(e)
@@ -268,7 +268,7 @@ impl GuardServer {
 
     /// Stops the guard thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -277,7 +277,7 @@ impl GuardServer {
 
 impl Drop for GuardServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

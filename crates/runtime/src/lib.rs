@@ -18,6 +18,8 @@
 //! protocol logic (`dnswire` + `guardhash` + the guard's checking rules)
 //! runs unchanged against real sockets.
 
+#![forbid(unsafe_code)]
+
 pub mod ans;
 pub mod client;
 pub mod guard_server;

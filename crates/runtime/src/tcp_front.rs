@@ -56,7 +56,7 @@ impl TcpFront {
         let t_stop = stop.clone();
         let t_relayed = relayed.clone();
         let handle = std::thread::spawn(move || {
-            while !t_stop.load(Ordering::Relaxed) {
+            while !t_stop.load(Ordering::Acquire) {
                 let (mut stream, _peer) = match listener.accept() {
                     Ok(x) => x,
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -119,7 +119,7 @@ impl TcpFront {
 
     /// Stops the proxy thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -128,7 +128,7 @@ impl TcpFront {
 
 impl Drop for TcpFront {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

@@ -57,7 +57,7 @@ impl TelemetryServer {
         let started = Instant::now();
         let handle = std::thread::spawn(move || {
             let mut next_eval = started + eval_every;
-            while !t_stop.load(Ordering::Relaxed) {
+            while !t_stop.load(Ordering::Acquire) {
                 if Instant::now() >= next_eval {
                     let t = started.elapsed().as_nanos() as u64;
                     let samples = t_obs.registry.snapshot();
@@ -92,7 +92,7 @@ impl TelemetryServer {
 
     /// Stops the endpoint thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -101,7 +101,7 @@ impl TelemetryServer {
 
 impl Drop for TelemetryServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop.store(true, Ordering::Release);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

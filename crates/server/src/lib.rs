@@ -18,6 +18,8 @@
 //! * [`openloop`] — constant-rate clients with BIND's congestion backoff;
 //! * [`tcpclient`] — a one-query-per-connection DNS-over-TCP driver.
 
+#![forbid(unsafe_code)]
+
 pub mod authoritative;
 pub mod cache;
 pub mod nodes;

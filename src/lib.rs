@@ -6,6 +6,8 @@
 //! contribution and `DESIGN.md` at the repository root for the full system
 //! inventory.
 
+#![forbid(unsafe_code)]
+
 pub use attack;
 pub use dnsguard;
 pub use dnswire;

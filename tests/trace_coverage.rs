@@ -1,0 +1,182 @@
+//! Trace-coverage suite: every guard decision kind that the scenarios
+//! below can reach is asserted to actually appear in a drained trace.
+//!
+//! This is the executable half of guardlint's L5 family — the lint proves
+//! each emitted kind is *referenced* somewhere; these tests prove the
+//! reference is a real observation, not a dead string.
+
+mod common;
+
+use common::WorldBuilder;
+use dnsguard::checkpoint::shared_store;
+use dnsguard::config::AnsHealthPolicy;
+use dnsguard::config::SchemeMode;
+use dnsguard::guard::RemoteGuard;
+use netsim::engine::CpuConfig;
+use netsim::time::SimTime;
+use obs::trace::Level;
+use obs::Obs;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+fn drained_kinds(obs: &Obs) -> BTreeSet<&'static str> {
+    let (events, dropped) = obs.tracer.drain();
+    assert_eq!(dropped, 0, "trace ring dropped events; raise the capacity");
+    events.iter().map(|e| e.kind).collect()
+}
+
+/// A primary crash must be *visible*: the standby's tracer carries
+/// `peer_down` when the heartbeat-miss threshold trips and `takeover`
+/// when it claims the guarded address.
+#[test]
+fn failover_emits_peer_down_and_takeover_events() {
+    let mut w = bench::failover::ha_world(41);
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    w.sim
+        .node_mut::<RemoteGuard>(w.standby)
+        .unwrap()
+        .attach_obs(&obs);
+
+    // Warm the replication channel, then kill the primary.
+    w.sim.run_until(SimTime::from_millis(200));
+    w.sim.crash(w.primary);
+    w.sim.run_until(SimTime::from_millis(600));
+
+    let kinds = drained_kinds(&obs);
+    assert!(
+        kinds.contains("peer_down"),
+        "missed heartbeats must emit peer_down: {kinds:?}"
+    );
+    assert!(
+        kinds.contains("takeover"),
+        "claiming the address must emit takeover: {kinds:?}"
+    );
+}
+
+/// Checkpoint/restore round-trip: the periodic `checkpoint` event carries
+/// the store write, and applying a snapshot emits `restore`.
+#[test]
+fn checkpoint_and_restore_emit_paired_events() {
+    let mut w = WorldBuilder::new(42)
+        .tweak(|c| c.checkpoint_interval = Some(SimTime::from_millis(50)))
+        .build();
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    let store = shared_store();
+    {
+        let g = w.sim.node_mut::<RemoteGuard>(w.guard).unwrap();
+        g.attach_obs(&obs);
+        g.attach_checkpoint_store(store.clone());
+    }
+    w.sim.run_until(SimTime::from_millis(300));
+    let cp = store.lock().latest_cloned().expect("checkpoint taken");
+
+    // Feed the snapshot straight back: same guard, same tracer.
+    w.sim
+        .node_mut::<RemoteGuard>(w.guard)
+        .unwrap()
+        .apply_checkpoint(&cp, SimTime::from_millis(300));
+
+    let kinds = drained_kinds(&obs);
+    assert!(
+        kinds.contains("checkpoint"),
+        "periodic snapshots must emit checkpoint: {kinds:?}"
+    );
+    assert!(
+        kinds.contains("restore"),
+        "applying a snapshot must emit restore: {kinds:?}"
+    );
+}
+
+/// An ANS outage under the fail-closed policy emits `fail_closed` for
+/// each refused verified query and debug-level `ans_probe` for the
+/// backoff probes that eventually detect recovery.
+#[test]
+fn ans_outage_emits_fail_closed_and_probe_events() {
+    let mut w = WorldBuilder::new(43)
+        .wait(SimTime::from_millis(60))
+        .tweak(|c| {
+            c.ans_timeout = SimTime::from_millis(50);
+            c.ans_failure_threshold = 2;
+            c.ans_probe_interval = SimTime::from_millis(100);
+            c.health_policy = AnsHealthPolicy::FailClosed;
+        })
+        .build();
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Debug);
+    w.sim.node_mut::<RemoteGuard>(w.guard).unwrap().attach_obs(&obs);
+
+    w.sim.run_until(SimTime::from_millis(100));
+    w.sim.crash(w.ans);
+    w.sim.run_until(SimTime::from_millis(900));
+
+    let kinds = drained_kinds(&obs);
+    assert!(
+        kinds.contains("fail_closed"),
+        "refused verified queries must emit fail_closed: {kinds:?}"
+    );
+    assert!(
+        kinds.contains("ans_probe"),
+        "health probes must emit ans_probe: {kinds:?}"
+    );
+}
+
+/// The TCP scheme's proxied requests emit debug-level `proxy_relay` with
+/// the relay token alongside the info-level accept event.
+#[test]
+fn tcp_scheme_emits_proxy_relay_events() {
+    let mut w = WorldBuilder::new(44).mode(SchemeMode::TcpBased).build();
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Debug);
+    w.sim.node_mut::<RemoteGuard>(w.guard).unwrap().attach_obs(&obs);
+    w.sim.run_until(SimTime::from_millis(200));
+    assert!(w.completed() > 0, "TCP clients must complete");
+
+    let kinds = drained_kinds(&obs);
+    assert!(
+        kinds.contains("proxy_relay"),
+        "relayed TCP requests must emit proxy_relay: {kinds:?}"
+    );
+}
+
+/// A flood that saturates RL1 moves the admission controller off the
+/// Normal tier, and the transition itself is traced as `tier_change`.
+#[test]
+fn admission_surge_emits_tier_change_event() {
+    let mut w = WorldBuilder::new(45)
+        .tweak(|c| {
+            // The builder opens the limiters wide; restore the deployment
+            // defaults so the flood genuinely saturates RL1 and builds
+            // admission pressure.
+            c.rl1_global_rate = 10_000.0;
+            c.rl1_per_source_rate = 100.0;
+            c.admission = Some(dnsguard::AdmissionConfig::default());
+        })
+        .build();
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    w.sim.node_mut::<RemoteGuard>(w.guard).unwrap().attach_obs(&obs);
+    w.sim.run_until(SimTime::from_millis(200));
+    {
+        use attack::flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
+        w.sim.add_node(
+            Ipv4Addr::new(66, 0, 0, 66),
+            CpuConfig::unbounded(),
+            SpoofedFlood::new(FloodConfig {
+                target: common::PUB,
+                rate: 60_000.0,
+                sources: SourceStrategy::Random,
+                payload: AttackPayload::PlainQuery("www.foo.com".parse().unwrap()),
+                duration: None,
+            }),
+        );
+    }
+    w.sim.run_until(SimTime::from_millis(800));
+
+    let kinds = drained_kinds(&obs);
+    assert!(
+        kinds.contains("tier_change"),
+        "the surge must move the admission tier and trace it: {kinds:?}"
+    );
+}
