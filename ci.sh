@@ -11,8 +11,8 @@
 # registry; --offline makes that a hard guarantee rather than an accident.
 #
 # Usage: ./ci.sh [stage]
-#   stage ∈ {build, test, lint, clippy, telemetry, journeys, ha, docs};
-#   no argument runs all.
+#   stage ∈ {build, test, lint, clippy, telemetry, journeys, ha, fleet,
+#   docs}; no argument runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -65,6 +65,15 @@ if want ha; then
     --ha-only --obs-out target/ha-smoke
   cargo run --release --offline -p bench --bin telemetry_check -- \
     --ha target/ha-smoke/BENCH_failover.json
+fi
+
+if want fleet; then
+  echo "==> anycast-fleet smoke (BENCH_fleet export + validation)"
+  mkdir -p target/fleet-smoke
+  cargo run --release --offline -p bench --bin all_experiments -- \
+    --fleet-only --obs-out target/fleet-smoke
+  cargo run --release --offline -p bench --bin telemetry_check -- \
+    --fleet target/fleet-smoke/BENCH_fleet.json
 fi
 
 if want docs; then

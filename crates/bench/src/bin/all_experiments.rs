@@ -13,6 +13,10 @@
 //!   (crash failover, checkpoint-age sweep, shed-tier sweep) and write
 //!   `BENCH_failover.json`;
 //! * `--ha-only` — run only the high-availability experiment;
+//! * `--fleet` — additionally run the anycast-fleet experiment
+//!   (catchment shift under per-site MD5 vs shared SipHash cookies,
+//!   rotation mid-shift) and write `BENCH_fleet.json`;
+//! * `--fleet-only` — run only the anycast-fleet experiment;
 //! * `--obs-out <dir>` — output directory for the exported files
 //!   (default `.`).
 
@@ -195,6 +199,87 @@ fn run_ha_export(out_dir: &std::path::Path) {
     }
 }
 
+fn run_fleet_export(out_dir: &std::path::Path) {
+    println!("== Anycast fleet: catchment shift, cookie interop ==");
+    let (run, summary) = match bench::fleet::export_to(out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet export failed: {e}");
+            exit(1);
+        }
+    };
+    println!("wrote {} ({} bytes)", summary.display(), run.summary_json.len());
+    for (label, o) in [
+        ("md5 per site", &run.md5_per_site),
+        ("shared siphash", &run.shared_siphash),
+        ("rotation mid-shift", &run.rotation_mid_shift),
+    ] {
+        println!(
+            "   {label:>18}: {}/{} shifted clients continued, re-handshakes {}, \
+             cookie2 invalid {}, rl1 dropped {}, spoofed_to_ans {}, alerts fired: {:?}",
+            o.continued,
+            o.shifted,
+            o.re_handshakes,
+            o.cookie2_invalid,
+            o.rl1_dropped,
+            o.spoofed_to_ans,
+            o.fired_rules,
+        );
+    }
+    println!("   clean fleet baseline silent: {}", run.baseline_silent);
+
+    let mut failed = false;
+    let shared = &run.shared_siphash;
+    if (shared.continued as f64) < shared.shifted as f64 * 0.95 {
+        eprintln!(
+            "fleet acceptance failed: only {}/{} shifted clients continued under shared cookies",
+            shared.continued, shared.shifted
+        );
+        failed = true;
+    }
+    if shared.re_handshakes != 0 {
+        eprintln!(
+            "fleet acceptance failed: {} re-handshakes despite interoperable cookies",
+            shared.re_handshakes
+        );
+        failed = true;
+    }
+    if shared.amplification_milli > 1_600 {
+        eprintln!(
+            "fleet acceptance failed: amplification {} breaks the paper bound",
+            shared.amplification_milli
+        );
+        failed = true;
+    }
+    if run.md5_per_site.re_handshakes == 0
+        || !run.md5_per_site.fired_rules.contains(&"handshake_storm")
+    {
+        eprintln!("fleet acceptance failed: the MD5 baseline must show the storm");
+        failed = true;
+    }
+    let rot = &run.rotation_mid_shift;
+    if rot.re_handshakes != 0 || (rot.continued as f64) < rot.shifted as f64 * 0.95 {
+        eprintln!("fleet acceptance failed: rotation mid-shift dropped verified clients");
+        failed = true;
+    }
+    for o in [&run.md5_per_site, shared, rot] {
+        if o.spoofed_to_ans != 0 {
+            eprintln!(
+                "fleet acceptance failed: {} spoofed queries reached an ANS",
+                o.spoofed_to_ans
+            );
+            failed = true;
+        }
+    }
+    if !run.baseline_silent {
+        eprintln!("fleet acceptance failed: clean fleet baseline raised alerts");
+        failed = true;
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let obs_only = args.iter().any(|a| a == "--obs-only");
@@ -203,6 +288,8 @@ fn main() {
     let journeys = journeys_only || args.iter().any(|a| a == "--journeys");
     let ha_only = args.iter().any(|a| a == "--ha-only");
     let ha = ha_only || args.iter().any(|a| a == "--ha");
+    let fleet_only = args.iter().any(|a| a == "--fleet-only");
+    let fleet = fleet_only || args.iter().any(|a| a == "--fleet");
     let out_dir: PathBuf = args
         .iter()
         .position(|a| a == "--obs-out")
@@ -210,7 +297,7 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
 
-    if obs_only || journeys_only || ha_only {
+    if obs_only || journeys_only || ha_only || fleet_only {
         if obs_only {
             run_obs_export(&out_dir);
         }
@@ -219,6 +306,9 @@ fn main() {
         }
         if ha_only {
             run_ha_export(&out_dir);
+        }
+        if fleet_only {
+            run_fleet_export(&out_dir);
         }
         return;
     }
@@ -368,5 +458,8 @@ fn main() {
     }
     if ha {
         run_ha_export(&out_dir);
+    }
+    if fleet {
+        run_fleet_export(&out_dir);
     }
 }

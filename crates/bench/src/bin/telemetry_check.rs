@@ -13,6 +13,10 @@
 //! With `--ha <BENCH_failover.json>` it validates the high-availability
 //! export: the crash-failover outcome (takeover, client continuity, the
 //! HA alert rules), the checkpoint-age sweep, and the shed-tier sweep.
+//!
+//! With `--fleet <BENCH_fleet.json>` it validates the anycast-fleet
+//! export: both cookie regimes under the catchment shift, the
+//! rotation-mid-shift run, and the fleet alert rules.
 
 use bench::journeys::SCHEMES;
 use bench::obs_export::REQUIRED_KINDS;
@@ -70,6 +74,25 @@ const HA_KEYS: &[&str] = &[
     "\"shed_sweep\":",
     "\"peak_tier\":",
     "\"amplification_milli\":",
+    "\"baseline_silent\":true",
+];
+
+/// Substrings the fleet summary must contain: both cookie regimes, the
+/// shift/storm outcome fields, the two fleet alert rules, and the silent
+/// clean baseline.
+const FLEET_KEYS: &[&str] = &[
+    "\"experiment\":\"fleet\"",
+    "\"md5_per_site\":",
+    "\"shared_siphash\":",
+    "\"rotation_mid_shift\":",
+    "\"re_handshakes\":",
+    "\"cookie2_invalid\":",
+    "\"rl1_dropped\":",
+    "\"amplification_milli\":",
+    "\"spoofed_to_ans\":0",
+    "\"fleet_keys_applied\":",
+    "\"catchment_shift\"",
+    "\"handshake_storm\"",
     "\"baseline_silent\":true",
 ];
 
@@ -137,6 +160,13 @@ fn check_ha(summary_path: &str) {
     println!("failover OK: {} ({} bytes)", summary_path, summary.len());
 }
 
+fn check_fleet(summary_path: &str) {
+    let summary = read(summary_path);
+    require_json(summary_path, &summary);
+    require_keys(summary_path, &summary, FLEET_KEYS);
+    println!("fleet OK: {} ({} bytes)", summary_path, summary.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--ha") {
@@ -145,6 +175,14 @@ fn main() {
             exit(2);
         };
         check_ha(summary);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("--fleet") {
+        let Some(summary) = args.get(1) else {
+            eprintln!("usage: telemetry_check --fleet <BENCH_fleet.json>");
+            exit(2);
+        };
+        check_fleet(summary);
         return;
     }
     if args.first().map(String::as_str) == Some("--journeys") {
@@ -159,7 +197,8 @@ fn main() {
         eprintln!(
             "usage: telemetry_check <BENCH_obs.json> <trace.jsonl>\n\
              \x20      telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>\n\
-             \x20      telemetry_check --ha <BENCH_failover.json>"
+             \x20      telemetry_check --ha <BENCH_failover.json>\n\
+             \x20      telemetry_check --fleet <BENCH_fleet.json>"
         );
         exit(2);
     };

@@ -12,6 +12,10 @@
 //! * [`failover`] — the high-availability experiment behind
 //!   `BENCH_failover.json`: primary–standby crash failover, checkpoint-age
 //!   sweep, and admission shed-tier sweep (`all_experiments -- --ha`);
+//! * [`fleet`] — the anycast-fleet experiment behind `BENCH_fleet.json`:
+//!   a mid-flood catchment shift between two guard sites, measured with
+//!   per-site MD5 cookies vs a shared SipHash-2-4 secret
+//!   (`all_experiments -- --fleet`);
 //! * [`report`] — plain-text table rendering.
 //!
 //! Run everything: `cargo run --release -p bench --bin all_experiments`.
@@ -26,6 +30,7 @@
 
 pub mod experiments;
 pub mod failover;
+pub mod fleet;
 pub mod journeys;
 pub mod obs_export;
 pub mod report;

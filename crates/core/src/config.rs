@@ -1,7 +1,8 @@
 //! Guard configuration.
 
 use crate::admission::AdmissionConfig;
-use crate::ha::HaConfig;
+use crate::ha::{FleetConfig, HaConfig};
+use guardhash::cookie::CookieAlg;
 use netsim::time::SimTime;
 use std::net::Ipv4Addr;
 
@@ -51,6 +52,11 @@ pub struct GuardConfig {
     pub subnet_range: u32,
     /// Seed for the guard's 76-byte secret key.
     pub key_seed: u64,
+    /// Keyed hash deriving cookies from source addresses: the paper's
+    /// vendor-specific MD5, or the interoperable SipHash-2-4 per
+    /// draft-sury-toorop so anycast fleet sites sharing a key validate
+    /// each other's cookies.
+    pub cookie_alg: CookieAlg,
     /// Scheme used for cookie-less requesters.
     pub mode: SchemeMode,
     /// TTL (seconds) of fabricated NS records — long, so that LRS caches
@@ -110,6 +116,10 @@ pub struct GuardConfig {
     pub admission: Option<AdmissionConfig>,
     /// Primary–standby pairing. `None` runs the guard standalone.
     pub ha: Option<HaConfig>,
+    /// Anycast fleet membership: shared-secret distribution and rotation
+    /// over the authenticated replication channel. `None` keeps this
+    /// guard's key local (the paper's single-site model).
+    pub fleet: Option<FleetConfig>,
 }
 
 impl GuardConfig {
@@ -128,6 +138,7 @@ impl GuardConfig {
             ),
             subnet_range: 254,
             key_seed: 2006,
+            cookie_alg: CookieAlg::Md5,
             mode: SchemeMode::DnsBased,
             fabricated_ns_ttl: 604_800, // one week
             cookie_ttl: 604_800,
@@ -149,7 +160,20 @@ impl GuardConfig {
             checkpoint_interval: None,
             admission: None,
             ha: None,
+            fleet: None,
         }
+    }
+
+    /// Selects the cookie-derivation algorithm.
+    pub fn with_cookie_alg(mut self, alg: CookieAlg) -> Self {
+        self.cookie_alg = alg;
+        self
+    }
+
+    /// Joins this guard to an anycast fleet sharing one cookie secret.
+    pub fn with_fleet(mut self, fleet: FleetConfig) -> Self {
+        self.fleet = Some(fleet);
+        self
     }
 
     /// Selects the scheme mode.

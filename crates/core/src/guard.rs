@@ -28,7 +28,8 @@ use crate::checkpoint::{
 use crate::classify::{AuthorityClassifier, Classification, Classifier};
 use crate::config::{AnsHealthPolicy, GuardConfig, SchemeMode};
 use crate::ha::{
-    decode_repl, encode_repl, repl_secret, HaConfig, HaRole, ReplDelta, ReplPayload, REPL_PORT,
+    decode_repl, encode_repl, repl_secret, FleetConfig, HaConfig, HaRole, ReplDelta, ReplPayload,
+    REPL_PORT,
 };
 use crate::ratelimit::SourceRateLimiter;
 use crate::tcp_proxy::{ProxyAction, TcpProxy};
@@ -54,6 +55,10 @@ const TAG_WINDOW: u64 = u64::MAX;
 /// Timer tag for the high-availability tick (replication deltas on the
 /// primary, heartbeat watching on the standby).
 const TAG_HA: u64 = u64::MAX - 1;
+
+/// Timer tag for the fleet key-sync tick (epoch pushes on the master,
+/// catch-up requests on an unsynced member).
+const TAG_FLEET: u64 = u64::MAX - 2;
 
 /// Housekeeping period.
 const WINDOW: SimTime = SimTime::from_millis(100);
@@ -152,6 +157,12 @@ pub struct GuardStats {
     pub peer_down_events: u64,
     /// Times this guard took over the guarded address from a dead peer.
     pub failover_takeovers: u64,
+    /// Fleet key epochs pushed to member sites (master only).
+    pub fleet_keys_sent: u64,
+    /// Fleet key epochs applied from the master (members only).
+    pub fleet_keys_applied: u64,
+    /// Catch-up key requests sent while unsynced (members only).
+    pub fleet_key_reqs: u64,
 }
 
 impl GuardStats {
@@ -231,6 +242,9 @@ struct GuardMetrics {
     heartbeats_seen: Counter,
     peer_down_events: Counter,
     failover_takeovers: Counter,
+    fleet_keys_sent: Counter,
+    fleet_keys_applied: Counter,
+    fleet_key_reqs: Counter,
     /// Current pressure tier (0 normal / 1 surge / 2 shed), refreshed each
     /// housekeeping window.
     admission_tier: Gauge,
@@ -295,6 +309,9 @@ impl Default for GuardMetrics {
             heartbeats_seen: Counter::new(),
             peer_down_events: Counter::new(),
             failover_takeovers: Counter::new(),
+            fleet_keys_sent: Counter::new(),
+            fleet_keys_applied: Counter::new(),
+            fleet_key_reqs: Counter::new(),
             admission_tier: Gauge::new(),
             checkpoint_age_nanos: Gauge::new(),
             checkpoint_bytes: Gauge::new(),
@@ -348,6 +365,9 @@ impl GuardMetrics {
             heartbeats_seen: self.heartbeats_seen.get(),
             peer_down_events: self.peer_down_events.get(),
             failover_takeovers: self.failover_takeovers.get(),
+            fleet_keys_sent: self.fleet_keys_sent.get(),
+            fleet_keys_applied: self.fleet_keys_applied.get(),
+            fleet_key_reqs: self.fleet_key_reqs.get(),
         }
     }
 
@@ -401,6 +421,9 @@ impl GuardMetrics {
         r.adopt_counter("guard", "heartbeats_seen", &[], &self.heartbeats_seen);
         r.adopt_counter("guard", "peer_down_events", &[], &self.peer_down_events);
         r.adopt_counter("guard", "failover_takeovers", &[], &self.failover_takeovers);
+        r.adopt_counter("guard", "fleet_keys", &[("dir", "sent")], &self.fleet_keys_sent);
+        r.adopt_counter("guard", "fleet_keys", &[("dir", "applied")], &self.fleet_keys_applied);
+        r.adopt_counter("guard", "fleet_key_reqs", &[], &self.fleet_key_reqs);
         r.adopt_gauge("guard", "admission_tier", &[], &self.admission_tier);
         r.adopt_gauge("guard", "checkpoint_age_nanos", &[], &self.checkpoint_age_nanos);
         r.adopt_gauge("guard", "checkpoint_bytes", &[], &self.checkpoint_bytes);
@@ -554,6 +577,14 @@ struct HaRuntime {
     /// Whether the standby holds a consistent snapshot (false until the
     /// first `Full` arrives, and again after a sequence gap).
     synced: bool,
+    /// Earliest time the standby may send another `ResyncReq`. A lossy
+    /// channel delivers many out-of-sequence deltas per heartbeat
+    /// interval; answering each with a resync request made the primary
+    /// ship one full snapshot per miss — a self-amplifying storm.
+    next_resync: SimTime,
+    /// Current resync-request backoff (doubles per request, capped at
+    /// `cfg.probe_max`, reset when a full snapshot lands).
+    resync_interval: SimTime,
     /// When the peer last sent an authenticated message.
     last_heartbeat: SimTime,
     /// Consecutive HA ticks without a fresh heartbeat.
@@ -581,12 +612,48 @@ impl HaRuntime {
             pending_stash_del: Vec::new(),
             applied_seq: 0,
             synced: false,
+            next_resync: SimTime::ZERO,
+            resync_interval: cfg.replication_interval,
             last_heartbeat: SimTime::ZERO,
             missed: 0,
             peer_down: false,
             probe_interval: cfg.replication_interval,
             next_probe: SimTime::ZERO,
             took_over: false,
+            cfg,
+        }
+    }
+}
+
+/// Runtime state of a fleet site (master or member). The master pushes
+/// [`ReplPayload::FleetKey`] epochs; members apply them and request a
+/// catch-up (with backoff) while unsynced.
+#[derive(Debug)]
+struct FleetRuntime {
+    cfg: FleetConfig,
+    /// Channel-authentication secret — the same derivation HA uses, so a
+    /// site can serve both roles over one port.
+    secret: SecretKey,
+    /// Member: whether a key epoch has been applied yet.
+    synced: bool,
+    /// Master: the key generation last pushed (`u64::MAX` until the first
+    /// push, so startup always announces epoch 0).
+    sent_generation: u64,
+    /// Member: earliest time the next catch-up request may go out.
+    next_req: SimTime,
+    /// Member: current catch-up backoff (doubles per request, capped at
+    /// `cfg.req_backoff_max`).
+    req_interval: SimTime,
+}
+
+impl FleetRuntime {
+    fn new(cfg: FleetConfig, key_seed: u64) -> Self {
+        FleetRuntime {
+            secret: repl_secret(key_seed),
+            synced: false,
+            sent_generation: u64::MAX,
+            next_req: SimTime::ZERO,
+            req_interval: cfg.sync_interval,
             cfg,
         }
     }
@@ -644,6 +711,8 @@ pub struct RemoteGuard {
     last_checkpoint: SimTime,
     /// Primary–standby pairing state (None ⇒ standalone guard).
     ha: Option<HaRuntime>,
+    /// Anycast-fleet key-sync state (None ⇒ single-site key).
+    fleet: Option<FleetRuntime>,
 }
 
 impl RemoteGuard {
@@ -656,7 +725,7 @@ impl RemoteGuard {
             config.tcp_conn_lifetime,
         );
         RemoteGuard {
-            cookies: CookieFactory::from_seed(config.key_seed),
+            cookies: CookieFactory::from_seed(config.key_seed).with_alg(config.cookie_alg),
             rl1: SourceRateLimiter::new(config.rl1_global_rate, config.rl1_per_source_rate),
             rl2: SourceRateLimiter::per_source_only(config.rl2_per_source_rate),
             proxy,
@@ -686,6 +755,10 @@ impl RemoteGuard {
             checkpoint_seq: 0,
             last_checkpoint: SimTime::ZERO,
             ha: config.ha.clone().map(|cfg| HaRuntime::new(cfg, config.key_seed)),
+            fleet: config
+                .fleet
+                .clone()
+                .map(|cfg| FleetRuntime::new(cfg, config.key_seed)),
             config,
             classifier,
         }
@@ -859,7 +932,7 @@ impl RemoteGuard {
     /// deadline. Pre-rotation cookies keep verifying because the key state
     /// restores both generations and the generation bit.
     pub fn apply_checkpoint(&mut self, cp: &GuardCheckpoint, now: SimTime) {
-        self.cookies = cp.key.to_factory();
+        self.cookies = cp.key.to_factory().with_alg(self.config.cookie_alg);
         self.rl1.restore_state(&cp.rl1);
         self.rl2.restore_state(&cp.rl2);
         self.next_txid = cp.next_txid.max(1);
@@ -997,51 +1070,76 @@ impl RemoteGuard {
         self.tx(ctx, pkt);
     }
 
-    /// Handles an inbound replication-channel datagram. Every
-    /// authenticated message from the peer doubles as a heartbeat.
+    /// Handles an inbound replication-channel datagram — HA pair traffic
+    /// and fleet key-sync share the port and the authenticated framing.
+    /// Every authenticated message from the HA peer doubles as a
+    /// heartbeat; fleet messages carry no liveness meaning.
     fn handle_repl(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         let now = ctx.now();
-        let Some(ha) = self.ha.as_ref() else {
-            return;
-        };
-        if pkt.src.ip != ha.cfg.peer_addr {
+        let from_ha_peer = self
+            .ha
+            .as_ref()
+            .is_some_and(|ha| pkt.src.ip == ha.cfg.peer_addr);
+        let from_fleet_master = self
+            .fleet
+            .as_ref()
+            .is_some_and(|f| !f.cfg.master && pkt.src.ip == f.cfg.master_addr);
+        let from_fleet_member = self
+            .fleet
+            .as_ref()
+            .is_some_and(|f| f.cfg.master && f.cfg.peers.contains(&pkt.src.ip));
+        if !from_ha_peer && !from_fleet_master && !from_fleet_member {
             self.metrics.repl_rejected.inc();
             return;
         }
-        let payload = match decode_repl(&pkt.payload, &ha.secret) {
+        // HA and fleet derive the identical channel secret from the shared
+        // key seed, so either runtime's copy authenticates the message.
+        let Some(secret) = self
+            .ha
+            .as_ref()
+            .map(|ha| ha.secret.clone())
+            .or_else(|| self.fleet.as_ref().map(|f| f.secret.clone()))
+        else {
+            return;
+        };
+        let payload = match decode_repl(&pkt.payload, &secret) {
             Ok(p) => p,
             Err(_) => {
                 self.metrics.repl_rejected.inc();
                 return;
             }
         };
-        self.metrics.heartbeats_seen.inc();
-        let Some(role) = self.ha.as_mut().map(|ha| {
-            ha.last_heartbeat = now;
-            ha.missed = 0;
-            if ha.peer_down {
-                ha.peer_down = false;
-                ha.probe_interval = ha.cfg.replication_interval;
+        if from_ha_peer {
+            self.metrics.heartbeats_seen.inc();
+            if let Some(ha) = self.ha.as_mut() {
+                ha.last_heartbeat = now;
+                ha.missed = 0;
+                if ha.peer_down {
+                    ha.peer_down = false;
+                    ha.probe_interval = ha.cfg.replication_interval;
+                }
             }
-            ha.role
-        }) else {
-            return;
-        };
+        }
         match payload {
             ReplPayload::Full(cp) => {
-                if role != HaRole::Standby {
+                if !from_ha_peer || self.ha.as_ref().is_none_or(|ha| ha.role != HaRole::Standby)
+                {
                     return;
                 }
                 self.apply_checkpoint(&cp, now);
                 if let Some(ha) = self.ha.as_mut() {
                     ha.applied_seq = cp.seq;
                     ha.synced = true;
+                    // A consistent snapshot ends any resync conversation.
+                    ha.resync_interval = ha.cfg.replication_interval;
+                    ha.next_resync = SimTime::ZERO;
                 }
                 self.metrics.repl_deltas_applied.inc();
                 self.metrics.checkpoint_age_nanos.set(0);
             }
             ReplPayload::Delta(d) => {
-                if role != HaRole::Standby {
+                if !from_ha_peer || self.ha.as_ref().is_none_or(|ha| ha.role != HaRole::Standby)
+                {
                     return;
                 }
                 let Some((synced, applied_seq)) =
@@ -1051,23 +1149,147 @@ impl RemoteGuard {
                 };
                 if !synced || d.seq != applied_seq + 1 {
                     // Sequence gap (or never synced): ask for a full
-                    // snapshot rather than applying a delta out of order.
-                    self.metrics.repl_resyncs.inc();
-                    if let Some(ha) = self.ha.as_mut() {
+                    // snapshot rather than applying a delta out of order —
+                    // but back the requests off. On a lossy channel every
+                    // surviving delta is out of sequence; answering each
+                    // with a ResyncReq made the primary ship a full
+                    // snapshot per miss, a self-amplifying storm.
+                    let send = self.ha.as_mut().is_some_and(|ha| {
                         ha.synced = false;
+                        if now >= ha.next_resync {
+                            ha.next_resync = now + ha.resync_interval;
+                            ha.resync_interval =
+                                (ha.resync_interval * 2).min(ha.cfg.probe_max);
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    if send {
+                        self.metrics.repl_resyncs.inc();
+                        self.send_repl(ctx, ReplPayload::ResyncReq { have_seq: applied_seq });
                     }
-                    self.send_repl(ctx, ReplPayload::ResyncReq { have_seq: applied_seq });
                     return;
                 }
                 self.apply_delta(ctx, d);
             }
             ReplPayload::ResyncReq { .. } => {
+                if !from_ha_peer {
+                    return;
+                }
                 if let Some(ha) = self.ha.as_mut() {
                     if ha.role == HaRole::Primary {
                         ha.need_full = true;
                     }
                 }
             }
+            ReplPayload::FleetKey { epoch, key } => {
+                if !from_fleet_master {
+                    return;
+                }
+                self.apply_fleet_key(now, epoch, &key);
+            }
+            ReplPayload::FleetKeyReq { have_epoch } => {
+                if !from_fleet_member {
+                    return;
+                }
+                if have_epoch != self.cookies.generation() {
+                    let key = KeyState::capture(&self.cookies);
+                    let epoch = self.cookies.generation();
+                    self.metrics.fleet_keys_sent.inc();
+                    self.send_fleet(ctx, pkt.src.ip, ReplPayload::FleetKey { epoch, key });
+                }
+            }
+        }
+    }
+
+    /// Applies a pushed fleet key epoch (member side). The carried state
+    /// includes the previous key, so cookies minted under the prior epoch
+    /// keep verifying here — the fleet-wide grace window.
+    fn apply_fleet_key(&mut self, now: SimTime, epoch: u64, key: &KeyState) {
+        let already = self
+            .fleet
+            .as_ref()
+            .is_some_and(|f| f.synced && self.cookies.generation() == epoch);
+        if already {
+            return;
+        }
+        self.cookies = key.to_factory().with_alg(self.config.cookie_alg);
+        self.last_rotation = now;
+        if let Some(f) = self.fleet.as_mut() {
+            f.synced = true;
+            f.req_interval = f.cfg.sync_interval;
+        }
+        self.metrics.fleet_keys_applied.inc();
+        self.metrics.trace.event(
+            now.as_nanos(),
+            "fleet_key_rotate",
+            &[("epoch", Value::U64(epoch)), ("role", Value::Str("member"))],
+        );
+    }
+
+    /// Sends one authenticated fleet message to a specific site.
+    fn send_fleet(&mut self, ctx: &mut Context<'_>, to: Ipv4Addr, payload: ReplPayload) {
+        let Some(f) = self.fleet.as_ref() else {
+            return;
+        };
+        let wire = encode_repl(&payload, &f.secret);
+        let pkt = Packet::udp(
+            Endpoint::new(f.cfg.local_addr, REPL_PORT),
+            Endpoint::new(to, REPL_PORT),
+            wire,
+        );
+        self.tx(ctx, pkt);
+    }
+
+    /// One fleet-sync tick: the master announces a new key epoch to every
+    /// member when its generation moved; an unsynced member requests a
+    /// catch-up with exponential backoff.
+    fn on_fleet_tick(&mut self, ctx: &mut Context<'_>) {
+        let now = ctx.now();
+        let Some(f) = self.fleet.as_ref() else {
+            return;
+        };
+        ctx.set_daemon_timer(f.cfg.sync_interval, TAG_FLEET);
+        if f.cfg.master {
+            let generation = self.cookies.generation();
+            if self.fleet.as_ref().is_some_and(|f| f.sent_generation == generation) {
+                return;
+            }
+            let key = KeyState::capture(&self.cookies);
+            let peers = f.cfg.peers.clone();
+            if let Some(f) = self.fleet.as_mut() {
+                f.sent_generation = generation;
+            }
+            for peer in peers {
+                self.metrics.fleet_keys_sent.inc();
+                self.send_fleet(
+                    ctx,
+                    peer,
+                    ReplPayload::FleetKey {
+                        epoch: generation,
+                        key: key.clone(),
+                    },
+                );
+            }
+            self.metrics.trace.event(
+                now.as_nanos(),
+                "fleet_key_rotate",
+                &[
+                    ("epoch", Value::U64(generation)),
+                    ("role", Value::Str("master")),
+                ],
+            );
+        } else if !f.synced && now >= f.next_req {
+            // `u64::MAX` = "never applied an epoch", so the master always
+            // answers — even when both sides still sit at generation 0.
+            let master = f.cfg.master_addr;
+            if let Some(f) = self.fleet.as_mut() {
+                f.next_req = now + f.req_interval;
+                f.req_interval = (f.req_interval * 2).min(f.cfg.req_backoff_max);
+            }
+            self.metrics.fleet_key_reqs.inc();
+            self.send_fleet(ctx, master, ReplPayload::FleetKeyReq { have_epoch: u64::MAX });
         }
     }
 
@@ -1075,7 +1297,7 @@ impl RemoteGuard {
     fn apply_delta(&mut self, ctx: &mut Context<'_>, d: ReplDelta) {
         let now = ctx.now();
         if let Some(k) = &d.key {
-            self.cookies = k.to_factory();
+            self.cookies = k.to_factory().with_alg(self.config.cookie_alg);
         }
         for f in &d.fwd_add {
             self.install_fwd_state(f, now);
@@ -1568,7 +1790,7 @@ impl RemoteGuard {
         // Replication traffic is control-plane, not DNS: it is dispatched
         // before the datagram counter so the pipeline conservation
         // invariant keeps covering exactly the DNS data path.
-        if self.ha.is_some() && pkt.dst.port == REPL_PORT {
+        if (self.ha.is_some() || self.fleet.is_some()) && pkt.dst.port == REPL_PORT {
             self.handle_repl(ctx, pkt);
             return;
         }
@@ -2164,6 +2386,9 @@ impl Node for RemoteGuard {
         if let Some(ha) = &self.ha {
             ctx.set_daemon_timer(ha.cfg.replication_interval, TAG_HA);
         }
+        if let Some(f) = &self.fleet {
+            ctx.set_daemon_timer(f.cfg.sync_interval, TAG_FLEET);
+        }
     }
 
     fn on_packet(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
@@ -2179,6 +2404,7 @@ impl Node for RemoteGuard {
         match tag {
             TAG_WINDOW => self.on_window(ctx),
             TAG_HA => self.on_ha_tick(ctx),
+            TAG_FLEET => self.on_fleet_tick(ctx),
             _ => {}
         }
     }
@@ -2195,9 +2421,11 @@ impl RemoteGuard {
             self.active = rate > self.config.activation_threshold;
         }
         self.window_count = 0;
-        // Scheduled key rotation.
+        // Scheduled key rotation. Fleet members never rotate locally —
+        // epochs only originate at the master, or the fleet keys diverge.
+        let fleet_member = self.fleet.as_ref().is_some_and(|f| !f.cfg.master);
         if let Some(interval) = self.config.key_rotation_interval {
-            if ctx.now().saturating_sub(self.last_rotation) >= interval {
+            if !fleet_member && ctx.now().saturating_sub(self.last_rotation) >= interval {
                 self.last_rotation = ctx.now();
                 self.cookies.rotate();
             }

@@ -98,6 +98,66 @@ impl HaConfig {
     }
 }
 
+/// Anycast fleet membership: N guard sites front the same public address
+/// from different catchments and share one cookie secret, so a client
+/// re-routed by a BGP catchment shift keeps verifying without a fresh
+/// handshake.
+///
+/// One site is the key master: it originates rotations and pushes
+/// [`ReplPayload::FleetKey`] epochs to every member over the same
+/// authenticated channel HA replication uses. Members never rotate
+/// locally; they apply pushed epochs, and the carried previous key keeps
+/// the paper's one-generation grace window intact fleet-wide — no site
+/// ever rejects a cookie minted under the prior epoch.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Whether this site originates key epochs.
+    pub master: bool,
+    /// This site's own replication address.
+    pub local_addr: Ipv4Addr,
+    /// Master: the member sites to push epochs to. Member: ignored.
+    pub peers: Vec<Ipv4Addr>,
+    /// Member: the master's replication address. Master: own address.
+    pub master_addr: Ipv4Addr,
+    /// Master: cadence of the key-sync tick. Member: cadence of the
+    /// catch-up check while unsynced.
+    pub sync_interval: SimTime,
+    /// Upper bound on a member's catch-up request backoff.
+    pub req_backoff_max: SimTime,
+}
+
+impl FleetConfig {
+    /// The key-master site at `local`, pushing epochs to `members`.
+    pub fn master(local: Ipv4Addr, members: Vec<Ipv4Addr>) -> Self {
+        FleetConfig {
+            master: true,
+            local_addr: local,
+            peers: members,
+            master_addr: local,
+            sync_interval: SimTime::from_millis(20),
+            req_backoff_max: SimTime::from_secs(1),
+        }
+    }
+
+    /// A member site at `local` applying epochs from `master`.
+    pub fn member(local: Ipv4Addr, master: Ipv4Addr) -> Self {
+        FleetConfig {
+            master: false,
+            local_addr: local,
+            peers: Vec::new(),
+            master_addr: master,
+            sync_interval: SimTime::from_millis(20),
+            req_backoff_max: SimTime::from_secs(1),
+        }
+    }
+
+    /// Overrides the sync cadence.
+    pub fn with_interval(mut self, interval: SimTime) -> Self {
+        self.sync_interval = interval;
+        self
+    }
+}
+
 /// One message on the replication channel.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReplPayload {
@@ -110,6 +170,21 @@ pub enum ReplPayload {
     ResyncReq {
         /// Highest sequence number the standby has applied.
         have_seq: u64,
+    },
+    /// Master→member: the fleet cookie key at `epoch`. Carries the full
+    /// rotation state (current + previous key), so applying it preserves
+    /// the one-generation grace window at every site.
+    FleetKey {
+        /// Key epoch — the master's rotation generation.
+        epoch: u64,
+        /// The shared key state, previous key included.
+        key: KeyState,
+    },
+    /// Member→master: "my key epoch is `have_epoch`, push the current
+    /// one". Sent on join and while catching up after a miss.
+    FleetKeyReq {
+        /// The member's applied epoch (`u64::MAX` before the first).
+        have_epoch: u64,
     },
 }
 
@@ -175,6 +250,8 @@ fn auth_tag(secret: &SecretKey, body: &[u8]) -> [u8; DIGEST_LEN] {
 const TAG_FULL: u8 = 1;
 const TAG_DELTA: u8 = 2;
 const TAG_RESYNC: u8 = 3;
+const TAG_FLEET: u8 = 4;
+const TAG_FLEET_REQ: u8 = 5;
 
 /// Serializes and authenticates one replication message:
 /// `tag(16) || magic || version || kind || fields`.
@@ -223,6 +300,15 @@ pub fn encode_repl(payload: &ReplPayload, secret: &SecretKey) -> Vec<u8> {
         ReplPayload::ResyncReq { have_seq } => {
             body.push(TAG_RESYNC);
             put_u64(&mut body, *have_seq);
+        }
+        ReplPayload::FleetKey { epoch, key } => {
+            body.push(TAG_FLEET);
+            put_u64(&mut body, *epoch);
+            put_key(&mut body, key);
+        }
+        ReplPayload::FleetKeyReq { have_epoch } => {
+            body.push(TAG_FLEET_REQ);
+            put_u64(&mut body, *have_epoch);
         }
     }
     let mut out = Vec::with_capacity(DIGEST_LEN + body.len());
@@ -299,6 +385,11 @@ fn decode_body(body: &[u8]) -> Result<ReplPayload, DecodeError> {
             }))
         }
         TAG_RESYNC => Ok(ReplPayload::ResyncReq { have_seq: r.u64()? }),
+        TAG_FLEET => Ok(ReplPayload::FleetKey {
+            epoch: r.u64()?,
+            key: get_key(&mut r)?,
+        }),
+        TAG_FLEET_REQ => Ok(ReplPayload::FleetKeyReq { have_epoch: r.u64()? }),
         _ => Err(DecodeError::Malformed("payload kind")),
     }
 }
@@ -389,6 +480,28 @@ mod tests {
             stash: Vec::new(),
         };
         let payload = ReplPayload::Full(cp);
+        let wire = encode_repl(&payload, &secret());
+        assert_eq!(decode_repl(&wire, &secret()), Ok(payload));
+    }
+
+    #[test]
+    fn fleet_key_round_trips_authenticated() {
+        let payload = ReplPayload::FleetKey {
+            epoch: 3,
+            key: KeyState {
+                current: SecretKey::from_seed(30),
+                previous: Some(SecretKey::from_seed(29)),
+                generation: 3,
+                seed: 2006,
+            },
+        };
+        let wire = encode_repl(&payload, &secret());
+        assert_eq!(decode_repl(&wire, &secret()), Ok(payload));
+    }
+
+    #[test]
+    fn fleet_key_req_round_trips() {
+        let payload = ReplPayload::FleetKeyReq { have_epoch: u64::MAX };
         let wire = encode_repl(&payload, &secret());
         assert_eq!(decode_repl(&wire, &secret()), Ok(payload));
     }

@@ -66,7 +66,7 @@ pub use checkpoint::{CheckpointStore, GuardCheckpoint, SharedCheckpointStore};
 pub use classify::{AuthorityClassifier, Classification, Classifier};
 pub use config::{AnsHealthPolicy, GuardConfig, SchemeMode};
 pub use guard::{GuardStats, RemoteGuard};
-pub use ha::{HaConfig, HaRole};
+pub use ha::{FleetConfig, HaConfig, HaRole};
 pub use local_guard::LocalGuard;
 pub use ratelimit::SourceRateLimiter;
 pub use tcp_proxy::TcpProxy;

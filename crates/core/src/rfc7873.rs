@@ -17,13 +17,18 @@
 use dnswire::edns::{self, DnsCookie};
 use dnswire::message::Message;
 use dnswire::types::Rcode;
-use guardhash::cookie::SecretKey;
+use guardhash::cookie::{CookieAlg, SecretKey};
 use guardhash::md5::Md5;
+use guardhash::siphash::siphash24;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Length of the server cookie we mint (RFC 7873 allows 8–32 bytes).
 pub const SERVER_COOKIE_LEN: usize = 16;
+
+/// Version byte of the interoperable (draft-sury-toorop / RFC 9018)
+/// server-cookie layout: `Version(1) | Reserved(3) | Epoch(4) | Hash(8)`.
+pub const INTEROP_COOKIE_VERSION: u8 = 1;
 
 /// Server-side DNS Cookie engine.
 ///
@@ -46,6 +51,18 @@ pub const SERVER_COOKIE_LEN: usize = 16;
 #[derive(Debug)]
 pub struct CookieServer {
     key: SecretKey,
+    /// The previous key, live while a rotation grace window is open
+    /// (SipHash mode only — the vendor MD5 cookie has no epoch field to
+    /// dispatch on).
+    previous: Option<SecretKey>,
+    /// Current key epoch, carried in interoperable server cookies so a
+    /// verifier knows which secret minted a presented cookie.
+    epoch: u32,
+    /// Seed future rotations derive from.
+    seed: u64,
+    /// Cookie construction: the legacy vendor MD5 layout, or the
+    /// interoperable SipHash-2-4 versioned layout of draft-sury-toorop.
+    alg: CookieAlg,
     /// When enforcing (e.g. under attack), queries without a valid server
     /// cookie get BADCOOKIE instead of service.
     pub enforcing: bool,
@@ -73,22 +90,96 @@ pub enum QueryVerdict {
 }
 
 impl CookieServer {
-    /// Creates a server engine keyed from `seed`.
+    /// Creates a server engine keyed from `seed` (vendor MD5 layout).
     pub fn new(seed: u64, enforcing: bool) -> Self {
         CookieServer {
             key: SecretKey::from_seed(seed),
+            previous: None,
+            epoch: 0,
+            seed,
+            alg: CookieAlg::Md5,
             enforcing,
         }
     }
 
-    /// Mints the server cookie for `(client_cookie, client_ip)`:
-    /// `MD5(client_cookie ‖ client_ip ‖ key)`.
+    /// Selects the cookie construction (builder style; default MD5).
+    pub fn with_alg(mut self, alg: CookieAlg) -> Self {
+        self.alg = alg;
+        self
+    }
+
+    /// The cookie construction in use.
+    pub fn alg(&self) -> CookieAlg {
+        self.alg
+    }
+
+    /// Current key epoch.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Rotates the cookie secret. The outgoing key stays live for one
+    /// epoch of grace: interoperable cookies carry their minting epoch, so
+    /// a verifier holding `epoch` and `epoch − 1` never rejects a cookie
+    /// issued just before the rotation.
+    pub fn rotate(&mut self) {
+        let next_epoch = self.epoch.wrapping_add(1);
+        let next = SecretKey::from_seed(
+            self.seed ^ u64::from(next_epoch).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        self.previous = Some(std::mem::replace(&mut self.key, next));
+        self.epoch = next_epoch;
+    }
+
+    /// Mints the server cookie for `(client_cookie, client_ip)` under the
+    /// current key.
+    ///
+    /// * MD5 (vendor): `MD5(client_cookie ‖ client_ip ‖ key)`, truncated
+    ///   to 16 bytes — opaque, valid only at the minting server.
+    /// * SipHash-2-4 (interoperable): the draft-sury-toorop layout
+    ///   `Version(1) ‖ Reserved(3) ‖ Epoch(4) ‖ Hash(8)` where `Hash =
+    ///   SipHash24(client_cookie ‖ version ‖ reserved ‖ epoch ‖
+    ///   client_ip)` keyed by the leading 16 secret bytes — any server
+    ///   holding the same key validates it.
     pub fn server_cookie(&self, client_cookie: [u8; 8], client_ip: Ipv4Addr) -> Vec<u8> {
-        let mut h = Md5::new();
-        h.update(&client_cookie);
-        h.update(&client_ip.octets());
-        h.update(self.key.as_bytes());
-        h.finalize()[..SERVER_COOKIE_LEN].to_vec()
+        match self.alg {
+            CookieAlg::Md5 => {
+                let mut h = Md5::new();
+                h.update(&client_cookie);
+                h.update(&client_ip.octets());
+                h.update(self.key.as_bytes());
+                h.finalize()[..SERVER_COOKIE_LEN].to_vec()
+            }
+            CookieAlg::SipHash24 => sip_server_cookie(&self.key, self.epoch, client_cookie, client_ip),
+        }
+    }
+
+    /// Whether a presented server cookie is acceptable: minted under the
+    /// current key, or (SipHash mode) under the previous key while its
+    /// grace epoch is still open.
+    pub fn server_cookie_valid(
+        &self,
+        presented: &[u8],
+        client_cookie: [u8; 8],
+        client_ip: Ipv4Addr,
+    ) -> bool {
+        if presented == self.server_cookie(client_cookie, client_ip).as_slice() {
+            return true;
+        }
+        if self.alg != CookieAlg::SipHash24 {
+            return false;
+        }
+        // Epoch dispatch: only a cookie claiming the previous epoch is
+        // checked against the previous key.
+        let Some(prev) = &self.previous else {
+            return false;
+        };
+        if presented.len() != SERVER_COOKIE_LEN || presented[0] != INTEROP_COOKIE_VERSION {
+            return false;
+        }
+        let claimed = u32::from_be_bytes([presented[4], presented[5], presented[6], presented[7]]);
+        claimed == self.epoch.wrapping_sub(1)
+            && presented == sip_server_cookie(prev, claimed, client_cookie, client_ip).as_slice()
     }
 
     /// Classifies a query per the RFC's server-side algorithm.
@@ -102,13 +193,16 @@ impl CookieServer {
         let Some(cookie) = DnsCookie::decode(&opt.data) else {
             return QueryVerdict::FormErr;
         };
-        let correct = self.server_cookie(cookie.client, client_ip);
         let respond_with = DnsCookie {
             client: cookie.client,
-            server: Some(correct.clone()),
+            server: Some(self.server_cookie(cookie.client, client_ip)),
         };
         match &cookie.server {
-            Some(presented) if *presented == correct => QueryVerdict::Accept { respond_with },
+            Some(presented)
+                if self.server_cookie_valid(presented, cookie.client, client_ip) =>
+            {
+                QueryVerdict::Accept { respond_with }
+            }
             _ if self.enforcing => QueryVerdict::BadCookie { respond_with },
             _ => QueryVerdict::Accept { respond_with },
         }
@@ -132,6 +226,31 @@ impl CookieServer {
         resp.additionals.push(e.to_record());
         resp
     }
+}
+
+/// The draft-sury-toorop / RFC 9018 interoperable server cookie:
+/// `Version(1)=1 ‖ Reserved(3)=0 ‖ Epoch(4, BE) ‖ Hash(8)` with
+/// `Hash = SipHash24(client_cookie ‖ version ‖ reserved ‖ epoch ‖
+/// client_ip)` keyed by the leading 16 bytes of the shared secret. (The
+/// RFC's timestamp field doubles here as the key epoch — both are "which
+/// secret minted this" discriminators with a bounded acceptance window.)
+fn sip_server_cookie(
+    key: &SecretKey,
+    epoch: u32,
+    client_cookie: [u8; 8],
+    client_ip: Ipv4Addr,
+) -> Vec<u8> {
+    let k: [u8; 16] = key.as_bytes()[..16].try_into().expect("16-byte sip key");
+    let mut out = Vec::with_capacity(SERVER_COOKIE_LEN);
+    out.push(INTEROP_COOKIE_VERSION);
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&epoch.to_be_bytes());
+    let mut msg = Vec::with_capacity(20);
+    msg.extend_from_slice(&client_cookie);
+    msg.extend_from_slice(&out); // version | reserved | epoch
+    msg.extend_from_slice(&client_ip.octets());
+    out.extend_from_slice(&siphash24(&k, &msg).to_le_bytes());
+    out
 }
 
 /// Client-side DNS Cookie state: one client cookie and one learned server
@@ -357,6 +476,82 @@ mod tests {
             e.extended_rcode(decoded.header.rcode.code()),
             edns::EXT_RCODE_BADCOOKIE
         );
+    }
+
+    #[test]
+    fn siphash_cookie_verifies_at_any_server_sharing_the_key() {
+        // The interoperability property MD5 cookies lack: two engines
+        // holding the same secret mint and accept identical cookies.
+        let minter = CookieServer::new(2006, true).with_alg(CookieAlg::SipHash24);
+        let peer = CookieServer::new(2006, true).with_alg(CookieAlg::SipHash24);
+        let c = minter.server_cookie([4; 8], ip(1));
+        assert_eq!(c.len(), SERVER_COOKIE_LEN);
+        assert_eq!(c[0], INTEROP_COOKIE_VERSION);
+        assert_eq!(&c[1..4], &[0, 0, 0], "reserved bytes zero");
+        assert_eq!(&c[4..8], &0u32.to_be_bytes(), "epoch 0");
+        assert!(peer.server_cookie_valid(&c, [4; 8], ip(1)));
+        assert!(!peer.server_cookie_valid(&c, [5; 8], ip(1)), "client cookie bound");
+        assert!(!peer.server_cookie_valid(&c, [4; 8], ip(2)), "address bound");
+
+        // A differently-keyed server rejects it.
+        let stranger = CookieServer::new(4242, true).with_alg(CookieAlg::SipHash24);
+        assert!(!stranger.server_cookie_valid(&c, [4; 8], ip(1)));
+    }
+
+    #[test]
+    fn siphash_rotation_keeps_one_epoch_of_grace() {
+        let mut server = CookieServer::new(12, true).with_alg(CookieAlg::SipHash24);
+        let old = server.server_cookie([6; 8], ip(1));
+        server.rotate();
+        assert_eq!(server.epoch(), 1);
+        // Minted under epoch 0, verified at epoch 1: still good.
+        assert!(server.server_cookie_valid(&old, [6; 8], ip(1)));
+        // Fresh mints carry the new epoch and also verify.
+        let fresh = server.server_cookie([6; 8], ip(1));
+        assert_ne!(old, fresh);
+        assert_eq!(&fresh[4..8], &1u32.to_be_bytes());
+        assert!(server.server_cookie_valid(&fresh, [6; 8], ip(1)));
+        // Two rotations close the grace window.
+        server.rotate();
+        assert!(!server.server_cookie_valid(&old, [6; 8], ip(1)));
+        assert!(server.server_cookie_valid(&fresh, [6; 8], ip(1)), "one epoch back");
+    }
+
+    #[test]
+    fn siphash_grace_rejects_forged_epoch_claims() {
+        let mut server = CookieServer::new(13, true).with_alg(CookieAlg::SipHash24);
+        let old = server.server_cookie([7; 8], ip(1));
+        server.rotate();
+        // An attacker relabelling an old cookie with the current epoch (or
+        // a bogus one) fails: the epoch is hashed, not just carried.
+        let mut relabelled = old.clone();
+        relabelled[4..8].copy_from_slice(&1u32.to_be_bytes());
+        assert!(!server.server_cookie_valid(&relabelled, [7; 8], ip(1)));
+        let mut future = old.clone();
+        future[4..8].copy_from_slice(&7u32.to_be_bytes());
+        assert!(!server.server_cookie_valid(&future, [7; 8], ip(1)));
+    }
+
+    #[test]
+    fn siphash_full_exchange_and_survives_rotation() {
+        let mut server = CookieServer::new(14, true).with_alg(CookieAlg::SipHash24);
+        let mut client = CookieClientState::new(15);
+        let server_ip = ip(53);
+        let mut q1 = query();
+        client.prepare(&mut q1, server_ip);
+        let QueryVerdict::BadCookie { respond_with } = server.verdict(&q1, ip(1)) else {
+            panic!("first contact while enforcing");
+        };
+        let bad = server.badcookie_response(&q1, &respond_with);
+        client.absorb(&bad, server_ip);
+        let mut q2 = query();
+        client.prepare(&mut q2, server_ip);
+        assert!(matches!(server.verdict(&q2, ip(1)), QueryVerdict::Accept { .. }));
+        // Key rotates under the client: its cached cookie stays in grace.
+        server.rotate();
+        let mut q3 = query();
+        client.prepare(&mut q3, server_ip);
+        assert!(matches!(server.verdict(&q3, ip(1)), QueryVerdict::Accept { .. }));
     }
 
     #[test]

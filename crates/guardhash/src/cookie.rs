@@ -17,6 +17,7 @@
 //! indicator so each verification needs exactly one MD5 (section III.E).
 
 use crate::md5::{to_hex, Digest, Md5};
+use crate::siphash::siphash24;
 use std::fmt;
 use std::net::Ipv4Addr;
 
@@ -32,6 +33,42 @@ pub const NS_PREFIX: &str = "PR";
 
 /// Number of cookie bytes hex-encoded into a fabricated NS name.
 pub const NS_COOKIE_BYTES: usize = 4;
+
+/// The keyed hash a guard derives its cookies with.
+///
+/// [`CookieAlg::Md5`] is the paper's vendor-specific construction
+/// (`MD5(ip || 76-byte key)`); [`CookieAlg::SipHash24`] is the
+/// interoperable keyed PRF selected by draft-sury-toorop / RFC 9018, so
+/// that any fleet site holding the same 128-bit key validates the same
+/// cookies. Both feed the same three encodings (NS-label, subnet-IP,
+/// full) and the same generation-bit rotation protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CookieAlg {
+    /// The paper's `MD5(source_ip || key)` cookie.
+    #[default]
+    Md5,
+    /// SipHash-2-4 over `source_ip` keyed by the leading 16 key bytes.
+    SipHash24,
+}
+
+impl CookieAlg {
+    /// Stable one-byte wire/checkpoint discriminant.
+    pub fn to_wire(self) -> u8 {
+        match self {
+            CookieAlg::Md5 => 0,
+            CookieAlg::SipHash24 => 1,
+        }
+    }
+
+    /// Inverse of [`CookieAlg::to_wire`].
+    pub fn from_wire(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(CookieAlg::Md5),
+            1 => Some(CookieAlg::SipHash24),
+            _ => None,
+        }
+    }
+}
 
 /// A 16-byte spoof-detection cookie.
 ///
@@ -67,6 +104,29 @@ impl Cookie {
         h.update(&ip.octets());
         h.update(key.as_bytes());
         Cookie(h.finalize())
+    }
+
+    /// Computes the raw cookie for `ip` under the selected algorithm.
+    ///
+    /// The SipHash variant keys SipHash-2-4 with the leading 16 bytes of
+    /// the guard secret and expands two domain-separated tags
+    /// (`ip || 0` and `ip || 1`) into the 16-byte cookie, so all three
+    /// paper encodings keep their full width.
+    pub fn compute_with(alg: CookieAlg, key: &SecretKey, ip: Ipv4Addr) -> Self {
+        match alg {
+            CookieAlg::Md5 => Cookie::compute(key, ip),
+            CookieAlg::SipHash24 => {
+                let k: [u8; 16] = key.as_bytes()[..16].try_into().expect("16-byte sip key");
+                let mut msg = [0u8; 5];
+                msg[..4].copy_from_slice(&ip.octets());
+                let mut out = [0u8; COOKIE_LEN];
+                msg[4] = 0;
+                out[..8].copy_from_slice(&siphash24(&k, &msg).to_le_bytes());
+                msg[4] = 1;
+                out[8..].copy_from_slice(&siphash24(&k, &msg).to_le_bytes());
+                Cookie(out)
+            }
+        }
     }
 
     /// The first 4 cookie bytes as a big-endian integer; the quantity the
@@ -213,6 +273,7 @@ pub struct CookieFactory {
     previous: Option<SecretKey>,
     generation: u64,
     seed: u64,
+    alg: CookieAlg,
 }
 
 impl CookieFactory {
@@ -223,7 +284,19 @@ impl CookieFactory {
             previous: None,
             generation: 0,
             seed,
+            alg: CookieAlg::Md5,
         }
+    }
+
+    /// Selects the cookie algorithm (builder style; default MD5).
+    pub fn with_alg(mut self, alg: CookieAlg) -> Self {
+        self.alg = alg;
+        self
+    }
+
+    /// The algorithm this factory derives cookies with.
+    pub fn alg(&self) -> CookieAlg {
+        self.alg
     }
 
     /// Creates a factory from an explicit initial key. Rotation keys derive
@@ -234,6 +307,7 @@ impl CookieFactory {
             previous: None,
             generation: 0,
             seed: rotation_seed,
+            alg: CookieAlg::Md5,
         }
     }
 
@@ -252,6 +326,7 @@ impl CookieFactory {
             previous,
             generation,
             seed: rotation_seed,
+            alg: CookieAlg::Md5,
         }
     }
 
@@ -277,17 +352,18 @@ impl CookieFactory {
 
     /// Issues the cookie for `ip` under the current key, generation bit set.
     pub fn generate(&self, ip: Ipv4Addr) -> Cookie {
-        Cookie::compute(&self.current, ip).with_generation_bit(self.generation)
+        Cookie::compute_with(self.alg, &self.current, ip).with_generation_bit(self.generation)
     }
 
     /// Verifies a presented 16-byte cookie for `ip`.
     ///
     /// The generation bit selects which key to check against, so exactly one
-    /// MD5 is computed per verification regardless of rotation state.
+    /// hash is computed per verification regardless of rotation state.
     pub fn verify(&self, ip: Ipv4Addr, presented: &Cookie) -> bool {
         match self.key_for_bit(presented.generation_bit()) {
             Some((key, generation)) => {
-                Cookie::compute(key, ip).with_generation_bit(generation) == *presented
+                Cookie::compute_with(self.alg, key, ip).with_generation_bit(generation)
+                    == *presented
             }
             None => false,
         }
@@ -305,7 +381,7 @@ impl CookieFactory {
         };
         let bit = (digit >> 3) as u8;
         match self.key_for_bit(bit) {
-            Some((key, generation)) => Cookie::compute(key, ip)
+            Some((key, generation)) => Cookie::compute_with(self.alg, key, ip)
                 .with_generation_bit(generation)
                 .matches_prefix(hex_suffix),
             None => false,
@@ -319,11 +395,14 @@ impl CookieFactory {
     /// modulo), so both live keys are tried — the paper accepts this because
     /// the fabricated-IP variant is already the weakest encoding.
     pub fn verify_subnet_offset(&self, ip: Ipv4Addr, presented_offset: u32, range: u32) -> bool {
-        if Cookie::compute(&self.current, ip).subnet_offset(range) == presented_offset {
+        if Cookie::compute_with(self.alg, &self.current, ip).subnet_offset(range)
+            == presented_offset
+        {
             return true;
         }
         if let Some(prev) = &self.previous {
-            return Cookie::compute(prev, ip).subnet_offset(range) == presented_offset;
+            return Cookie::compute_with(self.alg, prev, ip).subnet_offset(range)
+                == presented_offset;
         }
         false
     }
@@ -334,7 +413,7 @@ impl CookieFactory {
     /// modulo would fold it away anyway), matching what
     /// [`CookieFactory::verify_subnet_offset`] checks.
     pub fn generate_subnet_offset(&self, ip: Ipv4Addr, range: u32) -> u32 {
-        Cookie::compute(&self.current, ip).subnet_offset(range)
+        Cookie::compute_with(self.alg, &self.current, ip).subnet_offset(range)
     }
 
     /// Rotates to a fresh key, retaining the previous one for the grace
@@ -587,6 +666,59 @@ mod tests {
         f2.rotate();
         g2.rotate();
         assert_eq!(f2.generate(addr), g2.generate(addr));
+    }
+
+    #[test]
+    fn siphash_cookie_is_interoperable_across_factories() {
+        // Two fleet sites holding the same key validate each other's
+        // cookies; the MD5 construction with a different key does not.
+        let site_a = CookieFactory::from_seed(2006).with_alg(CookieAlg::SipHash24);
+        let site_b = CookieFactory::from_seed(2006).with_alg(CookieAlg::SipHash24);
+        let foreign = CookieFactory::from_seed(4242).with_alg(CookieAlg::SipHash24);
+        let addr = ip(10, 0, 3, 9);
+        let c = site_a.generate(addr);
+        assert!(site_b.verify(addr, &c), "same key, same alg → interoperable");
+        assert!(site_b.verify_ns_suffix(addr, &c.ns_label_suffix()));
+        assert!(!foreign.verify(addr, &c), "different key must reject");
+    }
+
+    #[test]
+    fn siphash_and_md5_cookies_differ() {
+        let md5 = CookieFactory::from_seed(16);
+        let sip = CookieFactory::from_seed(16).with_alg(CookieAlg::SipHash24);
+        let addr = ip(192, 0, 2, 8);
+        assert_ne!(md5.generate(addr).0, sip.generate(addr).0);
+        assert!(!md5.verify(addr, &sip.generate(addr)));
+    }
+
+    #[test]
+    fn siphash_rotation_grace_window() {
+        let mut f = CookieFactory::from_seed(17).with_alg(CookieAlg::SipHash24);
+        let addr = ip(10, 1, 2, 4);
+        let week0 = f.generate(addr);
+        f.rotate();
+        assert!(f.verify(addr, &week0), "grace window under SipHash");
+        assert!(f.verify_ns_suffix(addr, &week0.ns_label_suffix()));
+        f.rotate();
+        assert!(!f.verify(addr, &week0), "two rotations expire the cookie");
+    }
+
+    #[test]
+    fn siphash_subnet_offset_round_trip() {
+        let f = CookieFactory::from_seed(18).with_alg(CookieAlg::SipHash24);
+        let addr = ip(10, 7, 7, 7);
+        let y = f.generate_subnet_offset(addr, 254);
+        assert!(y < 254);
+        assert!(f.verify_subnet_offset(addr, y, 254));
+        assert!(!f.verify_subnet_offset(addr, (y + 1) % 254, 254));
+    }
+
+    #[test]
+    fn cookie_alg_wire_round_trip() {
+        for alg in [CookieAlg::Md5, CookieAlg::SipHash24] {
+            assert_eq!(CookieAlg::from_wire(alg.to_wire()), Some(alg));
+        }
+        assert_eq!(CookieAlg::from_wire(9), None);
     }
 
     #[test]

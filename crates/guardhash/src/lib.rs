@@ -1,13 +1,16 @@
 //! Hash primitives for the DNS Guard reproduction.
 //!
-//! Two modules:
+//! Three modules:
 //!
 //! * [`md5`](mod@md5) — the MD5 message digest (RFC 1321), implemented from scratch so
 //!   the reproduction carries no external crypto dependency;
+//! * [`siphash`] — SipHash-2-4, the keyed PRF behind the interoperable
+//!   (draft-sury-toorop / RFC 9018) server-cookie algorithm, so anycast
+//!   fleet sites sharing a 128-bit key validate each other's cookies;
 //! * [`cookie`] — the DNS Guard cookie construction from the paper's section
 //!   III.E: `c = MD5(source_ip || 76-byte key)`, with the NS-name (hex),
 //!   subnet-IP (modulo) and full (16-byte) encodings plus generation-bit key
-//!   rotation.
+//!   rotation; [`cookie::CookieAlg`] selects MD5 or SipHash-2-4 derivation.
 //!
 //! # Examples
 //!
@@ -26,13 +29,15 @@
 
 pub mod cookie;
 pub mod md5;
+pub mod siphash;
 
-pub use cookie::{Cookie, CookieFactory, SecretKey};
+pub use cookie::{Cookie, CookieAlg, CookieFactory, SecretKey};
 pub use md5::{md5, Md5};
+pub use siphash::siphash24;
 
 #[cfg(test)]
 mod proptests {
-    use crate::cookie::{parse_ns_label, CookieFactory};
+    use crate::cookie::{parse_ns_label, CookieAlg, CookieFactory};
     use crate::md5::{from_hex, md5, to_hex, Md5};
     use proptest::prelude::*;
     use std::net::Ipv4Addr;
@@ -104,6 +109,23 @@ mod proptests {
             let f = CookieFactory::from_seed(seed);
             let y = f.generate_subnet_offset(Ipv4Addr::from(ip_bits), range);
             prop_assert!(y < range);
+        }
+
+        /// The interoperability contract: under SipHash-2-4, any factory
+        /// built from the same seed verifies cookies minted elsewhere,
+        /// across every encoding and through one rotation.
+        #[test]
+        fn siphash_cookies_verify_at_any_same_key_site(ip_bits in any::<u32>(), seed in any::<u64>()) {
+            let minter = CookieFactory::from_seed(seed).with_alg(CookieAlg::SipHash24);
+            let mut peer = CookieFactory::from_seed(seed).with_alg(CookieAlg::SipHash24);
+            let ip = Ipv4Addr::from(ip_bits);
+            let c = minter.generate(ip);
+            prop_assert!(peer.verify(ip, &c));
+            prop_assert!(peer.verify_ns_suffix(ip, &c.ns_label_suffix()));
+            peer.rotate();
+            prop_assert!(peer.verify(ip, &c), "one rotation keeps the grace window");
+            peer.rotate();
+            prop_assert!(!peer.verify(ip, &c), "two rotations expire it");
         }
     }
 }

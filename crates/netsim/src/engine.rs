@@ -159,6 +159,15 @@ pub struct FaultPlan {
     pub corrupt: f64,
     /// Extra loss probability, applied after [`LinkParams::loss`].
     pub loss: f64,
+    /// Fraction of *source addresses* whose packets toward this link's
+    /// destination are re-routed to [`FaultPlan::shift_to`] instead — a
+    /// BGP catchment shift in an anycast deployment. The decision is a
+    /// deterministic hash of the source IP, not a per-packet draw: a real
+    /// route change moves every packet of an affected prefix, so a shifted
+    /// source stays shifted for the plan's lifetime.
+    pub shift: f64,
+    /// Where catchment-shifted packets land.
+    pub shift_to: Option<NodeId>,
 }
 
 fn assert_probability(p: f64, what: &str) {
@@ -202,6 +211,30 @@ impl FaultPlan {
         self.loss = p;
         self
     }
+
+    /// Re-routes a fraction `p` of source addresses to node `to` — an
+    /// anycast catchment shift. See [`FaultPlan::shift`].
+    pub fn catchment_shift(mut self, p: f64, to: NodeId) -> Self {
+        assert_probability(p, "catchment_shift");
+        self.shift = p;
+        self.shift_to = Some(to);
+        self
+    }
+
+    /// Whether this plan's catchment shift captures `src`. Deterministic
+    /// (splitmix64 of the source address against the shift fraction), so
+    /// experiments can predict exactly which sources move.
+    pub fn shifts_source(&self, src: Ipv4Addr) -> bool {
+        if self.shift <= 0.0 || self.shift_to.is_none() {
+            return false;
+        }
+        // splitmix64 finalizer: well-mixed bits from the raw address.
+        let mut z = u64::from(u32::from(src)).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 10_000) < (self.shift * 10_000.0) as u64
+    }
 }
 
 /// Counters for every fault the simulator injected, from
@@ -216,6 +249,8 @@ pub struct FaultStats {
     pub corrupted: u64,
     /// Packets dropped by a [`FaultPlan::loss`] draw.
     pub injected_loss: u64,
+    /// Packets re-routed to another node by a catchment shift.
+    pub shifted: u64,
     /// Packets dropped because an active partition separated the endpoints.
     pub partition_dropped: u64,
     /// Events (deliveries, timers, starts) discarded because their target
@@ -233,6 +268,7 @@ struct FaultMetrics {
     reordered: Counter,
     corrupted: Counter,
     injected_loss: Counter,
+    catchment_shifted: Counter,
     partition_dropped: Counter,
     crash_dropped: Counter,
     trace: ComponentTracer,
@@ -245,6 +281,7 @@ impl Default for FaultMetrics {
             reordered: Counter::new(),
             corrupted: Counter::new(),
             injected_loss: Counter::new(),
+            catchment_shifted: Counter::new(),
             partition_dropped: Counter::new(),
             crash_dropped: Counter::new(),
             trace: ComponentTracer::disabled(),
@@ -517,6 +554,7 @@ impl Simulator {
         r.adopt_counter("netsim", "fault_reordered", &[], &m.reordered);
         r.adopt_counter("netsim", "fault_corrupted", &[], &m.corrupted);
         r.adopt_counter("netsim", "fault_injected_loss", &[], &m.injected_loss);
+        r.adopt_counter("netsim", "catchment_shifted", &[], &m.catchment_shifted);
         r.adopt_counter("netsim", "fault_partition_dropped", &[], &m.partition_dropped);
         r.adopt_counter("netsim", "fault_crash_dropped", &[], &m.crash_dropped);
         self.fault_metrics.trace = obs.tracer.component("netsim");
@@ -703,6 +741,7 @@ impl Simulator {
             reordered: m.reordered.get(),
             corrupted: m.corrupted.get(),
             injected_loss: m.injected_loss.get(),
+            shifted: m.catchment_shifted.get(),
             partition_dropped: m.partition_dropped.get(),
             crash_dropped: m.crash_dropped.get(),
         }
@@ -931,10 +970,27 @@ impl Simulator {
     }
 
     fn route_packet(&mut self, from: NodeId, depart: SimTime, pkt: Packet) {
-        let Some(dst_node) = self.lookup(pkt.dst.ip) else {
+        let Some(mut dst_node) = self.lookup(pkt.dst.ip) else {
             self.unrouted += 1;
             return;
         };
+        // Catchment shift: re-route before any other fault is sampled, so
+        // loss/reorder/corruption apply to the link actually traversed.
+        if let Some(plan) = self.faults.get(&(from, dst_node)) {
+            if let (true, Some(to)) = (plan.shifts_source(pkt.src.ip), plan.shift_to) {
+                self.fault_metrics.catchment_shifted.inc();
+                self.fault_metrics.trace.event(
+                    depart.as_nanos(),
+                    "catchment_shift",
+                    &[
+                        ("from", Value::U64(dst_node as u64)),
+                        ("to", Value::U64(to as u64)),
+                        ("src", Value::Ip(pkt.src.ip)),
+                    ],
+                );
+                dst_node = to;
+            }
+        }
         if self.is_partitioned(from, dst_node, depart) {
             self.fault_metrics.partition_dropped.inc();
             self.fault_metrics.trace.event(
@@ -1473,6 +1529,42 @@ mod tests {
         // Every request that survived the forward direction came back.
         assert_eq!(counter.replies, 1_000 - stats.injected_loss);
         assert!((300..500).contains(&stats.injected_loss), "{stats:?}");
+    }
+
+    #[test]
+    fn catchment_shift_reroutes_deterministic_source_subset() {
+        // Many blasters aim at one sink; a shift plan moves ~half of the
+        // *sources* (not packets) to a second sink. Every packet of a
+        // shifted source must land at the new site — no per-packet coin.
+        let mut sim = Simulator::new(17);
+        let site_a = sim.add_node(Ipv4Addr::new(10, 0, 0, 200), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        let site_b = sim.add_node(Ipv4Addr::new(10, 0, 0, 201), CpuConfig::unbounded(), sink(SimTime::ZERO));
+        sim.add_address(Ipv4Addr::new(10, 0, 0, 2), site_a); // anycast addr at A
+        let plan = FaultPlan::new().catchment_shift(0.5, site_b);
+        let mut sources = Vec::new();
+        let mut expect_b = 0u64;
+        for i in 0..40u8 {
+            let src = Ipv4Addr::new(10, 0, 1, i + 1);
+            let blaster = Blaster {
+                target: ep(2, 53),
+                me: Endpoint::new(src, 4000),
+                interval: SimTime::from_millis(1),
+                remaining: 10,
+            };
+            let n = sim.add_node(src, CpuConfig::unbounded(), blaster);
+            sim.fault_link(n, site_a, plan);
+            if plan.shifts_source(src) {
+                expect_b += 10;
+            }
+            sources.push(n);
+        }
+        sim.run();
+        let at_a = sim.node_ref::<Sink>(site_a).unwrap().received;
+        let at_b = sim.node_ref::<Sink>(site_b).unwrap().received;
+        assert_eq!(at_a + at_b, 400, "shift moves packets, never drops them");
+        assert_eq!(at_b, expect_b, "shifts_source predicts membership exactly");
+        assert!((100..=300).contains(&at_b), "roughly half the sources move: {at_b}");
+        assert_eq!(sim.fault_stats().shifted, at_b);
     }
 
     #[test]

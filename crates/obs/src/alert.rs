@@ -38,6 +38,8 @@ pub const RULES: &[&str] = &[
     "checkpoint_lag",
     "failover_triggered",
     "admission_shedding",
+    "catchment_shift",
+    "handshake_storm",
 ];
 
 /// Thresholds and windows for the rule set.
@@ -63,6 +65,15 @@ pub struct AlertConfig {
     /// `admission_shedding` fires when the admission controller sheds
     /// unverified requests above this rate (events/s).
     pub shed_per_sec: f64,
+    /// `catchment_shift` fires when the network re-routes packets between
+    /// anycast sites above this rate (events/s) — the operator signal that
+    /// BGP moved a catchment mid-flood.
+    pub shift_per_sec: f64,
+    /// `handshake_storm` fires when the guard fleet hands out first-contact
+    /// cookies (fabricated NS + TC redirects + extension grants) above this
+    /// rate (events/s): previously-verified clients are re-handshaking en
+    /// masse, the failure mode shared cookies exist to prevent.
+    pub handshake_per_sec: f64,
 }
 
 impl Default for AlertConfig {
@@ -75,6 +86,8 @@ impl Default for AlertConfig {
             flap_window_nanos: 2_000_000_000,
             checkpoint_lag_max_nanos: 50_000_000,
             shed_per_sec: 100.0,
+            shift_per_sec: 100.0,
+            handshake_per_sec: 2_000.0,
         }
     }
 }
@@ -188,6 +201,8 @@ impl AlertEngine {
         let mut checkpoint_age = 0u64;
         let mut takeovers = 0u64;
         let mut shed = 0u64;
+        let mut shifted = 0u64;
+        let mut handshakes = 0u64;
         for s in samples {
             match (s.component, s.name) {
                 (_, "verify") if label_is(&s.labels, "verdict", "invalid") => {
@@ -216,6 +231,10 @@ impl AlertEngine {
                 }
                 (_, "failover_takeovers") => takeovers += counter_of(s),
                 (_, "admission_shed") => shed += counter_of(s),
+                (_, "catchment_shifted") => shifted += counter_of(s),
+                (_, "fabricated_ns_sent") | (_, "grants_sent") | (_, "tc_sent") => {
+                    handshakes += counter_of(s);
+                }
                 _ => {}
             }
         }
@@ -232,6 +251,8 @@ impl AlertEngine {
         let d_ring = delta("ring_dropped", ring_dropped);
         let d_takeovers = delta("takeovers", takeovers);
         let d_shed = delta("shed", shed);
+        let d_shifted = delta("shifted", shifted);
+        let d_handshakes = delta("handshakes", handshakes);
 
         let Some(prev_t) = self.prev_t.replace(t_nanos) else {
             return; // Baseline only: deltas against nothing are meaningless.
@@ -320,6 +341,22 @@ impl AlertEngine {
             shed_rate > self.config.shed_per_sec,
             shed_rate,
             self.config.shed_per_sec,
+        );
+        let shift_rate = rate(d_shifted);
+        self.set_state(
+            t_nanos,
+            "catchment_shift",
+            shift_rate > self.config.shift_per_sec,
+            shift_rate,
+            self.config.shift_per_sec,
+        );
+        let handshake_rate = rate(d_handshakes);
+        self.set_state(
+            t_nanos,
+            "handshake_storm",
+            handshake_rate > self.config.handshake_per_sec,
+            handshake_rate,
+            self.config.handshake_per_sec,
         );
     }
 
@@ -521,6 +558,45 @@ mod tests {
             engine.fired_rules(),
             vec!["checkpoint_lag", "failover_triggered", "admission_shedding"]
         );
+    }
+
+    #[test]
+    fn fleet_rules_fire_on_shift_and_handshake_storm() {
+        let reg = Registry::new();
+        let shifted = reg.counter("netsim", "catchment_shifted", &[]);
+        let fab = reg.counter("guard", "fabricated_ns_sent", &[]);
+        let tc = reg.counter("guard", "tc_sent", &[]);
+        let grants = reg.counter("guard", "grants_sent", &[]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+        assert!(engine.is_silent());
+
+        shifted.add(1_000); // 1000/s ≫ 100/s: BGP moved a catchment.
+        fab.add(1_500); // The three handshake channels sum: 3000/s > 2000/s.
+        tc.add(1_000);
+        grants.add(500);
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        let rules: Vec<_> = engine.active().iter().map(|a| a.rule).collect();
+        assert!(rules.contains(&"catchment_shift"), "{rules:?}");
+        assert!(rules.contains(&"handshake_storm"), "{rules:?}");
+
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        assert!(engine.active().is_empty(), "both clear once rates calm");
+        assert_eq!(engine.fired_rules(), vec!["catchment_shift", "handshake_storm"]);
+    }
+
+    #[test]
+    fn steady_handshake_rate_below_threshold_stays_silent() {
+        // A fleet doing ordinary first-contact handshakes (new clients
+        // arriving) must not trip the storm rule.
+        let reg = Registry::new();
+        let fab = reg.counter("guard", "fabricated_ns_sent", &[]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        for i in 0..10 {
+            fab.add(500); // 500/s < 2000/s.
+            engine.evaluate(i * SEC, &snapshot_with(&reg));
+        }
+        assert!(engine.is_silent());
     }
 
     #[test]

@@ -9,8 +9,8 @@ use dnsguard::checkpoint::shared_store;
 use dnsguard::classify::AuthorityClassifier;
 use dnsguard::config::SchemeMode;
 use dnsguard::guard::RemoteGuard;
-use dnsguard::{AdmissionConfig, GuardConfig};
-use netsim::engine::{CpuConfig, Simulator};
+use dnsguard::{AdmissionConfig, GuardConfig, HaConfig};
+use netsim::engine::{CpuConfig, FaultPlan, Simulator};
 use netsim::time::SimTime;
 use obs::alert::{AlertConfig, AlertEngine};
 use obs::trace::Level;
@@ -242,6 +242,92 @@ fn surge_sheds_unverified_before_any_verified_query() {
         engine.lock().fired_rules().contains(&"admission_shedding"),
         "admission_shedding must fire: {:?}",
         engine.lock().fired_rules()
+    );
+}
+
+/// Regression for the resync-request storm: on a badly lossy replication
+/// channel nearly every delta that survives is out of sequence. Answering
+/// each one with a `ResyncReq` made the primary ship a full snapshot per
+/// miss — a self-amplifying storm on exactly the link that is already
+/// struggling. The standby must instead pace its requests with exponential
+/// backoff, and recover promptly once the channel heals.
+#[test]
+fn lossy_replication_channel_backs_off_resync_requests() {
+    // A warm-spare pair (takeover disabled): on a long-degraded channel a
+    // takeover standby would claim the address and stop being a standby,
+    // so the mirror role is the one that exercises the resync pacing.
+    let (_, _, foo_com) = paper_hierarchy();
+    let authority = Authority::new(vec![foo_com]);
+    let mut sim = Simulator::new(97);
+    let repl_primary = Ipv4Addr::new(10, 99, 0, 2);
+    let repl_standby = Ipv4Addr::new(10, 99, 0, 3);
+    let interval = SimTime::from_millis(20);
+    let mut spare = HaConfig::standby(repl_standby, repl_primary).with_interval(interval);
+    spare.takeover = false;
+    let primary_cfg = GuardConfig::new(PUB, PRIV)
+        .with_mode(SchemeMode::DnsBased)
+        .with_ha(HaConfig::primary(repl_primary, repl_standby).with_interval(interval));
+    let standby_cfg = GuardConfig::new(PUB, PRIV)
+        .with_mode(SchemeMode::DnsBased)
+        .with_ha(spare);
+    let cpu = CpuConfig {
+        max_backlog: SimTime::from_millis(5),
+    };
+    let primary = sim.add_node(
+        PUB,
+        cpu,
+        RemoteGuard::new(primary_cfg, AuthorityClassifier::new(authority.clone())),
+    );
+    sim.add_address(repl_primary, primary);
+    let standby = sim.add_node(
+        repl_standby,
+        cpu,
+        RemoteGuard::new(standby_cfg, AuthorityClassifier::new(authority)),
+    );
+
+    // Warm: the standby syncs over a clean channel.
+    sim.run_until(SimTime::from_millis(200));
+
+    // Degrade the primary→standby direction to 90% loss for two seconds.
+    // Deltas still trickle through (each one a sequence gap), and most
+    // snapshot answers are lost too, so a per-miss requester would fire
+    // continuously while a backed-off one stays quiet.
+    sim.fault_link(primary, standby, FaultPlan::new().loss(0.9));
+    sim.run_until(SimTime::from_millis(2_200));
+
+    let s = sim.node_ref::<RemoteGuard>(standby).unwrap().stats();
+    assert!(
+        s.repl_resyncs >= 1,
+        "the loss must produce at least one sequence gap"
+    );
+    // Backoff pacing bound: one conversation is paced 20, 40, 80, … ms up
+    // to the 1 s cap, and each snapshot that survives the loss resets it.
+    // Even with every reset the two-second window cannot fit many
+    // requests; without backoff there would be one per surviving delta.
+    assert!(
+        s.repl_resyncs <= 15,
+        "resync requests must be paced by backoff, got {}",
+        s.repl_resyncs
+    );
+    assert!(
+        s.heartbeats_seen > s.repl_resyncs,
+        "plenty of out-of-sequence traffic arrived ({} packets) yet only {} \
+         resyncs were sent",
+        s.heartbeats_seen,
+        s.repl_resyncs
+    );
+
+    // Heal the channel: the next answered request resynchronises the
+    // standby and in-sequence deltas resume.
+    let applied_before = s.repl_deltas_applied;
+    sim.fault_link(primary, standby, FaultPlan::new());
+    sim.run_until(SimTime::from_millis(4_500));
+    let s = sim.node_ref::<RemoteGuard>(standby).unwrap().stats();
+    assert!(
+        s.repl_deltas_applied > applied_before + 5,
+        "the standby must resume applying replication after the heal: {} → {}",
+        applied_before,
+        s.repl_deltas_applied
     );
 }
 

@@ -7,7 +7,9 @@ mod common;
 
 use common::WorldBuilder;
 use dnsguard::guard::RemoteGuard;
+use guardhash::cookie::{CookieAlg, CookieFactory};
 use netsim::time::SimTime;
+use std::net::Ipv4Addr;
 
 #[test]
 fn service_continues_across_scheduled_rotations() {
@@ -62,6 +64,97 @@ fn stale_cookie_rejected_then_client_recovers() {
         w.completed() > completed_before + 100,
         "client re-ran the exchange and resumed: {} → {}",
         completed_before,
+        w.completed()
+    );
+}
+
+/// The fleet grace window at the factory level, in both cookie algorithms
+/// and every cookie encoding: a cookie minted under epoch `k` verifies at
+/// *any* site holding the shared key while the one-rotation overlap is
+/// open, and is rejected everywhere once a second rotation closes it. A
+/// site with a different secret never accepts it at any point.
+#[test]
+fn fleet_sites_sharing_a_key_honour_the_rotation_grace_window() {
+    for alg in [CookieAlg::Md5, CookieAlg::SipHash24] {
+        let ip = Ipv4Addr::new(192, 0, 2, 77);
+        let minting_site = CookieFactory::from_seed(2006).with_alg(alg);
+        let mut peer_site = CookieFactory::from_seed(2006).with_alg(alg);
+        let stranger = CookieFactory::from_seed(4242).with_alg(alg);
+
+        let cookie = minting_site.generate(ip);
+        let suffix = cookie.ns_label_suffix();
+        let offset = minting_site.generate_subnet_offset(ip, 256);
+
+        // Epoch k: the shared key verifies at the peer in every encoding.
+        assert!(peer_site.verify(ip, &cookie), "{alg:?}: raw cookie at peer");
+        assert!(
+            peer_site.verify_ns_suffix(ip, &suffix),
+            "{alg:?}: NS label at peer"
+        );
+        assert!(
+            peer_site.verify_subnet_offset(ip, offset, 256),
+            "{alg:?}: subnet offset at peer"
+        );
+        assert!(
+            !stranger.verify(ip, &cookie),
+            "{alg:?}: a site outside the fleet must reject"
+        );
+
+        // One rotation at the peer: the overlap window is open, the old
+        // cookie still lands on the previous key via its generation bit.
+        peer_site.rotate();
+        assert!(
+            peer_site.verify(ip, &cookie),
+            "{alg:?}: grace must cover one rotation"
+        );
+        assert!(
+            peer_site.verify_ns_suffix(ip, &suffix),
+            "{alg:?}: NS-label grace must cover one rotation"
+        );
+        assert!(
+            peer_site.verify_subnet_offset(ip, offset, 256),
+            "{alg:?}: subnet-offset grace must cover one rotation"
+        );
+
+        // A second rotation closes the window: rejected in every encoding.
+        peer_site.rotate();
+        assert!(
+            !peer_site.verify(ip, &cookie),
+            "{alg:?}: two rotations must expire the cookie"
+        );
+        assert!(
+            !peer_site.verify_ns_suffix(ip, &suffix),
+            "{alg:?}: two rotations must expire the NS label"
+        );
+        assert!(
+            !peer_site.verify_subnet_offset(ip, offset, 256),
+            "{alg:?}: two rotations must expire the subnet offset"
+        );
+    }
+}
+
+/// Scheduled rotations behave identically under the interoperable
+/// SipHash-2-4 algorithm: same generation cadence, same one-rotation grace
+/// window, sustained completions throughout.
+#[test]
+fn siphash_cookies_rotate_with_the_same_grace_as_md5() {
+    let mut w = WorldBuilder::new(79)
+        .tweak(|c| {
+            c.cookie_alg = CookieAlg::SipHash24;
+            c.key_rotation_interval = Some(SimTime::from_millis(300));
+        })
+        .build();
+    w.sim.run_until(SimTime::from_secs(2));
+
+    let g = w.sim.node_ref::<RemoteGuard>(w.guard).unwrap();
+    assert!(
+        g.cookie_factory().generation() >= 5,
+        "several rotations happened: generation {}",
+        g.cookie_factory().generation()
+    );
+    assert!(
+        w.completed() > 2_000,
+        "sustained service across SipHash rotations: {} completed",
         w.completed()
     );
 }

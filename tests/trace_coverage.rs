@@ -140,6 +140,68 @@ fn tcp_scheme_emits_proxy_relay_events() {
     );
 }
 
+/// A fleet member that applies a key epoch pushed over the replication
+/// channel traces the application as `fleet_key_rotate` — the event an
+/// operator correlates with a catchment shift to confirm the grace window
+/// was live when the routes moved.
+#[test]
+fn fleet_key_sync_emits_fleet_key_rotate_events() {
+    let mut w = bench::fleet::fleet_world(46, true);
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    w.sim
+        .node_mut::<RemoteGuard>(w.site_b)
+        .unwrap()
+        .attach_obs(&obs);
+
+    // A few sync intervals: the master announces epoch 0, the member
+    // applies it.
+    w.sim.run_until(SimTime::from_millis(200));
+
+    let kinds = drained_kinds(&obs);
+    assert!(
+        kinds.contains("fleet_key_rotate"),
+        "applying a pushed fleet key must emit fleet_key_rotate: {kinds:?}"
+    );
+}
+
+/// Re-routing a source to another site mid-simulation traces as
+/// `catchment_shift` on the netsim side, one event per re-routed
+/// datagram.
+#[test]
+fn catchment_shift_emits_routing_events() {
+    use bench::worlds::{attach_lrs, LrsParams};
+    use netsim::engine::FaultPlan;
+
+    let mut w = bench::fleet::fleet_world(47, true);
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    w.sim.attach_obs(&obs);
+    let client = attach_lrs(
+        &mut w.sim,
+        LrsParams {
+            ip: Ipv4Addr::new(10, 0, 7, 1),
+            mode: server::simclient::CookieMode::Plain,
+            cookie_cache: true,
+            concurrency: 1,
+            wait: SimTime::from_millis(150),
+            pace: SimTime::from_millis(5),
+            per_packet_cost: SimTime::ZERO,
+        },
+    );
+    // The whole catchment moves at once: every datagram from the client
+    // re-routes to site B.
+    w.sim
+        .fault_link(client, w.site_a, FaultPlan::new().catchment_shift(1.0, w.site_b));
+    w.sim.run_until(SimTime::from_millis(200));
+
+    let kinds = drained_kinds(&obs);
+    assert!(
+        kinds.contains("catchment_shift"),
+        "re-routed datagrams must emit catchment_shift: {kinds:?}"
+    );
+}
+
 /// A flood that saturates RL1 moves the admission controller off the
 /// Normal tier, and the transition itself is traced as `tier_change`.
 #[test]
