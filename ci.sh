@@ -12,7 +12,7 @@
 #
 # Usage: ./ci.sh [stage]
 #   stage ∈ {build, test, lint, clippy, telemetry, journeys, ha, fleet,
-#   docs}; no argument runs all.
+#   fleetobs, docs}; no argument runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -74,6 +74,16 @@ if want fleet; then
     --fleet-only --obs-out target/fleet-smoke
   cargo run --release --offline -p bench --bin telemetry_check -- \
     --fleet target/fleet-smoke/BENCH_fleet.json
+fi
+
+if want fleetobs; then
+  echo "==> fleet-observability smoke (BENCH_fleetobs export + validation)"
+  mkdir -p target/fleetobs-smoke
+  cargo run --release --offline -p bench --bin all_experiments -- \
+    --fleetobs-only --obs-out target/fleetobs-smoke
+  cargo run --release --offline -p bench --bin telemetry_check -- \
+    --fleetobs target/fleetobs-smoke/BENCH_fleetobs.json \
+    target/fleetobs-smoke/BENCH_fleetobs_trace.jsonl
 fi
 
 if want docs; then

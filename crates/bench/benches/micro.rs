@@ -179,6 +179,119 @@ fn bench_obs_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Stage-profiling overhead budget: the same per-datagram path as
+/// `bench_obs_overhead`, but compiled with the guard's `stage-profiling`
+/// feature — once with the profiler unarmed (no clock injected: one branch
+/// per datagram) and once armed with an `Instant`-based clock (1-in-8
+/// sampled stage laps). Beyond the criterion timings, this bench enforces
+/// the budget itself: best-of-N mean per-datagram cost when armed must
+/// stay within 5 % of unarmed, or the bench panics (ci runs it with
+/// `--features stage-profiling`).
+///
+/// Without the feature this is a no-op so `--all-targets` builds stay
+/// green in the default configuration.
+fn bench_stage_profiling(c: &mut Criterion) {
+    #[cfg(not(feature = "stage-profiling"))]
+    let _ = c;
+    #[cfg(feature = "stage-profiling")]
+    {
+        use dnsguard::classify::AuthorityClassifier;
+        use dnsguard::config::GuardConfig;
+        use dnsguard::guard::RemoteGuard;
+        use netsim::engine::{Context, CpuConfig, Node, NodeId, Simulator};
+        use netsim::packet::{Endpoint, Packet, DNS_PORT};
+        use std::sync::Arc;
+        use std::time::Instant;
+
+        struct Blackhole;
+        impl Node for Blackhole {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+
+        let pub_addr = Ipv4Addr::new(198, 41, 0, 4);
+        let client = Ipv4Addr::new(66, 0, 0, 9);
+        let build = |armed: bool| -> (Simulator, NodeId) {
+            let (root, _, _) = server::zone::paper_hierarchy();
+            let mut config = GuardConfig::new(pub_addr, Ipv4Addr::new(10, 99, 0, 1));
+            config.rl1_global_rate = 1e12;
+            config.rl1_per_source_rate = 1e12;
+            config.rl2_per_source_rate = 1e12;
+            let mut sim = Simulator::new(7);
+            let guard = sim.add_node(
+                pub_addr,
+                CpuConfig::unbounded(),
+                RemoteGuard::new(
+                    config,
+                    AuthorityClassifier::new(server::authoritative::Authority::new(vec![root])),
+                ),
+            );
+            let atk = sim.add_node(client, CpuConfig::unbounded(), Blackhole);
+            if armed {
+                let started = Instant::now();
+                sim.node_mut::<RemoteGuard>(guard)
+                    .unwrap()
+                    .set_stage_clock(Arc::new(move || started.elapsed().as_nanos() as u64));
+            }
+            (sim, atk)
+        };
+        let query = Message::iterative_query(9, "www.foo.com".parse().unwrap(), RrType::A);
+        let pkt = Packet::udp(
+            Endpoint::new(client, 1024),
+            Endpoint::new(pub_addr, DNS_PORT),
+            query.encode(),
+        );
+
+        let mut g = c.benchmark_group("stage_profiling");
+        for (label, armed) in [("guard_datagram_unarmed", false), ("guard_datagram_armed", true)] {
+            let (mut sim, atk) = build(armed);
+            let pkt = pkt.clone();
+            g.bench_function(label, |b| {
+                b.iter(|| {
+                    sim.inject(atk, black_box(pkt.clone()));
+                    sim.run();
+                })
+            });
+        }
+        g.finish();
+
+        // The budget gate: best-of-N mean per-datagram wall time, armed vs
+        // unarmed. Best-of-N discards scheduler noise; the 5 % bound is the
+        // acceptance criterion, the small absolute floor keeps sub-µs
+        // timer jitter from flaking the gate. Trials are interleaved
+        // (unarmed, armed, unarmed, ...) so a load spike on a shared box
+        // degrades both arms rather than biasing one, and kept short
+        // (~2 ms) so each arm gets many chances at a preemption-free
+        // minimum inside one scheduler quantum.
+        const TRIALS: usize = 32;
+        const DATAGRAMS: u32 = 1_000;
+        let trial = |sim: &mut Simulator, atk: NodeId| -> f64 {
+            let t0 = Instant::now();
+            for _ in 0..DATAGRAMS {
+                sim.inject(atk, pkt.clone());
+                sim.run();
+            }
+            t0.elapsed().as_nanos() as f64 / DATAGRAMS as f64
+        };
+        let (mut sim_u, atk_u) = build(false);
+        let (mut sim_a, atk_a) = build(true);
+        let (mut unarmed, mut armed) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..TRIALS {
+            unarmed = unarmed.min(trial(&mut sim_u, atk_u));
+            armed = armed.min(trial(&mut sim_a, atk_a));
+        }
+        let budget = unarmed * 1.05 + 50.0;
+        assert!(
+            armed <= budget,
+            "stage profiling overhead out of budget: armed {armed:.1} ns/datagram \
+             vs unarmed {unarmed:.1} ns/datagram (budget {budget:.1} ns)"
+        );
+        println!(
+            "stage-profiling budget OK: unarmed {unarmed:.1} ns/datagram, \
+             armed {armed:.1} ns/datagram (≤ {budget:.1})"
+        );
+    }
+}
+
 /// Journey reassembly throughput: stitching one cold-start world's drained
 /// trace (fabricated-NS handshakes, forwards, relays) back into causal
 /// timelines. This is the offline half of the tracing cost — it runs at
@@ -226,6 +339,7 @@ criterion_group!(
     bench_wire,
     bench_ratelimit,
     bench_obs_overhead,
+    bench_stage_profiling,
     bench_journey_assembly
 );
 criterion_main!(benches);

@@ -17,6 +17,11 @@
 //!   (catchment shift under per-site MD5 vs shared SipHash cookies,
 //!   rotation mid-shift) and write `BENCH_fleet.json`;
 //! * `--fleet-only` — run only the anycast-fleet experiment;
+//! * `--fleetobs` — additionally run the fleet-observability experiment
+//!   (cross-node journey stitching through a catchment shift with clock
+//!   skew, fleet alert rules through a site crash) and write
+//!   `BENCH_fleetobs.json` + `BENCH_fleetobs_trace.jsonl`;
+//! * `--fleetobs-only` — run only the fleet-observability experiment;
 //! * `--obs-out <dir>` — output directory for the exported files
 //!   (default `.`).
 
@@ -280,6 +285,74 @@ fn run_fleet_export(out_dir: &std::path::Path) {
     }
 }
 
+fn run_fleetobs_export(out_dir: &std::path::Path) {
+    println!("== Fleet observability: cross-node stitching, fleet rules ==");
+    let (run, summary, trace) = match bench::fleetobs::export_to(out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleetobs export failed: {e}");
+            exit(1);
+        }
+    };
+    println!("wrote {} ({} bytes)", summary.display(), run.summary_json.len());
+    println!("wrote {} ({} bytes)", trace.display(), run.trace_jsonl.len());
+    let o = &run.chaos;
+    println!(
+        "   {}/{} straddling joiners stitched across both sites, \
+         {} journeys complete, max inter-site hop {:.1} ms",
+        o.spanning_stitched,
+        o.spanning_expected,
+        o.journeys_complete,
+        o.max_inter_site_ns as f64 / 1e6,
+    );
+    println!(
+        "   attribution exact: {}, site B held silent after crash: {}, \
+         fleet rules fired: {:?}",
+        o.attribution_exact, o.node_b_silent, o.fired_rules,
+    );
+    println!("   clean two-site baseline silent: {}", run.baseline_silent);
+
+    let mut failed = false;
+    if o.spanning_expected < o.joiners {
+        eprintln!(
+            "fleetobs acceptance failed: only {}/{} joiners were challenged by site A",
+            o.spanning_expected, o.joiners
+        );
+        failed = true;
+    }
+    if o.spanning_stitched != o.spanning_expected {
+        eprintln!(
+            "fleetobs acceptance failed: {}/{} straddling joiners stitched",
+            o.spanning_stitched, o.spanning_expected
+        );
+        failed = true;
+    }
+    if !o.attribution_exact || !o.inter_site_positive {
+        eprintln!(
+            "fleetobs acceptance failed: stage attribution must sum exactly \
+             and cross-node hops must carry time"
+        );
+        failed = true;
+    }
+    for rule in ["fleet_spoof_surge", "site_rate_skew", "node_silent"] {
+        if !o.fired_rules.contains(&rule) {
+            eprintln!("fleetobs acceptance failed: rule {rule} never fired");
+            failed = true;
+        }
+    }
+    if !o.node_b_silent {
+        eprintln!("fleetobs acceptance failed: crashed site B not held silent");
+        failed = true;
+    }
+    if !run.baseline_silent {
+        eprintln!("fleetobs acceptance failed: clean two-site baseline raised alerts");
+        failed = true;
+    }
+    if failed {
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let obs_only = args.iter().any(|a| a == "--obs-only");
@@ -290,6 +363,8 @@ fn main() {
     let ha = ha_only || args.iter().any(|a| a == "--ha");
     let fleet_only = args.iter().any(|a| a == "--fleet-only");
     let fleet = fleet_only || args.iter().any(|a| a == "--fleet");
+    let fleetobs_only = args.iter().any(|a| a == "--fleetobs-only");
+    let fleetobs = fleetobs_only || args.iter().any(|a| a == "--fleetobs");
     let out_dir: PathBuf = args
         .iter()
         .position(|a| a == "--obs-out")
@@ -297,7 +372,7 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
 
-    if obs_only || journeys_only || ha_only || fleet_only {
+    if obs_only || journeys_only || ha_only || fleet_only || fleetobs_only {
         if obs_only {
             run_obs_export(&out_dir);
         }
@@ -309,6 +384,9 @@ fn main() {
         }
         if fleet_only {
             run_fleet_export(&out_dir);
+        }
+        if fleetobs_only {
+            run_fleetobs_export(&out_dir);
         }
         return;
     }
@@ -461,5 +539,8 @@ fn main() {
     }
     if fleet {
         run_fleet_export(&out_dir);
+    }
+    if fleetobs {
+        run_fleetobs_export(&out_dir);
     }
 }

@@ -17,10 +17,19 @@
 //! With `--fleet <BENCH_fleet.json>` it validates the anycast-fleet
 //! export: both cookie regimes under the catchment shift, the
 //! rotation-mid-shift run, and the fleet alert rules.
+//!
+//! With `--fleetobs <BENCH_fleetobs.json> <BENCH_fleetobs_trace.jsonl>`
+//! it validates the fleet-observability export: 100 % cross-node journey
+//! stitching with exact stage attribution, the three fleet rules, the
+//! collector's own telemetry, and the collector trace (every
+//! [`STITCH_KINDS`] kind present).
+//!
+//! [`STITCH_KINDS`]: obs::fleet::STITCH_KINDS
 
 use bench::journeys::SCHEMES;
 use bench::obs_export::REQUIRED_KINDS;
 use obs::export::{validate_json, validate_jsonl};
+use obs::fleet::STITCH_KINDS;
 use std::process::exit;
 
 /// Substrings the snapshot document must contain: the experiment header,
@@ -96,6 +105,30 @@ const FLEET_KEYS: &[&str] = &[
     "\"baseline_silent\":true",
 ];
 
+/// Substrings the fleet-observability summary must contain: the total
+/// stitching bar, exact attribution, the fleet rule names, the merged
+/// fleet snapshot, the collector's own metrics, and the silent clean
+/// baseline.
+const FLEETOBS_KEYS: &[&str] = &[
+    "\"experiment\":\"fleetobs\"",
+    "\"spanning_expected\":",
+    "\"spanning_stitched\":",
+    "\"stitch_ratio_pct\":100",
+    "\"attribution_exact\":true",
+    "\"inter_site_positive\":true",
+    "\"node_silent\":true",
+    "\"fleet_spoof_surge\"",
+    "\"site_rate_skew\"",
+    "\"merged\":",
+    "\"collector\":",
+    "\"component\":\"fleet\"",
+    "\"name\":\"stitched_journeys\"",
+    "\"name\":\"nodes_reporting\"",
+    "\"fired_rules\":",
+    "\"alerts\":",
+    "\"baseline_silent\":true",
+];
+
 /// Substrings a chrome `trace_event` document must contain.
 const CHROME_KEYS: &[&str] = &[
     "\"traceEvents\":",
@@ -167,6 +200,33 @@ fn check_fleet(summary_path: &str) {
     println!("fleet OK: {} ({} bytes)", summary_path, summary.len());
 }
 
+fn check_fleetobs(summary_path: &str, trace_path: &str) {
+    let summary = read(summary_path);
+    require_json(summary_path, &summary);
+    require_keys(summary_path, &summary, FLEETOBS_KEYS);
+
+    let trace = read(trace_path);
+    if let Err((ln, off)) = validate_jsonl(&trace) {
+        eprintln!("telemetry_check: {trace_path} line {ln} is not valid JSON (byte {off})");
+        exit(1);
+    }
+    for kind in STITCH_KINDS {
+        let needle = format!("\"kind\":\"{kind}\"");
+        if !trace.contains(&needle) {
+            eprintln!("telemetry_check: {trace_path} has no \"{kind}\" event");
+            exit(1);
+        }
+    }
+
+    println!(
+        "fleetobs OK: {} ({} bytes), {} ({} lines)",
+        summary_path,
+        summary.len(),
+        trace_path,
+        trace.lines().count(),
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--ha") {
@@ -185,6 +245,17 @@ fn main() {
         check_fleet(summary);
         return;
     }
+    if args.first().map(String::as_str) == Some("--fleetobs") {
+        let (Some(summary), Some(trace)) = (args.get(1), args.get(2)) else {
+            eprintln!(
+                "usage: telemetry_check --fleetobs <BENCH_fleetobs.json> \
+                 <BENCH_fleetobs_trace.jsonl>"
+            );
+            exit(2);
+        };
+        check_fleetobs(summary, trace);
+        return;
+    }
     if args.first().map(String::as_str) == Some("--journeys") {
         let (Some(summary), Some(chrome)) = (args.get(1), args.get(2)) else {
             eprintln!("usage: telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>");
@@ -198,7 +269,8 @@ fn main() {
             "usage: telemetry_check <BENCH_obs.json> <trace.jsonl>\n\
              \x20      telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>\n\
              \x20      telemetry_check --ha <BENCH_failover.json>\n\
-             \x20      telemetry_check --fleet <BENCH_fleet.json>"
+             \x20      telemetry_check --fleet <BENCH_fleet.json>\n\
+             \x20      telemetry_check --fleetobs <BENCH_fleetobs.json> <BENCH_fleetobs_trace.jsonl>"
         );
         exit(2);
     };

@@ -1,0 +1,537 @@
+//! The fleet-observability experiment behind `BENCH_fleetobs.json`: the
+//! two-site anycast world of [`crate::fleet`], observed not per node but
+//! through a [`FleetAggregator`] fed exactly what a production collector
+//! would pull from each site — metric snapshots and drained trace rings —
+//! while three overlapping failures unfold:
+//!
+//! 1. a cookie-guessing **flood** concentrates on site A (600 ms), driving
+//!    the fleet-wide invalid-verify rate over threshold
+//!    (`fleet_spoof_surge`) and dwarfing site B's datagram rate
+//!    (`site_rate_skew` — the asymmetric-catchment signature);
+//! 2. a **catchment shift** (700 ms) moves a deterministic 55 % of
+//!    sources — plus a cohort of "joiner" clients whose NS-label handshake
+//!    is *in flight* — to site B. Each joiner's challenge was issued by
+//!    site A and answered at site B, so only cross-node stitching with
+//!    clock-offset correction (site B's clock runs 7 ms ahead) can
+//!    reconstruct those journeys and attribute the hop as `inter_site`
+//!    time;
+//! 3. site B **crashes** (1400 ms): its poll feed stops, the node ages
+//!    into silence and the `node_silent` rule fires on the edge.
+//!
+//! The acceptance bar is total: *every* joiner whose handshake straddled
+//! the shift must come back as a complete cross-node journey
+//! (100 % stitched), every journey's stage attribution must sum exactly
+//! to its end-to-end time, and the clean two-site baseline must keep the
+//! fleet rules silent.
+//!
+//! Run via `cargo run --release -p bench --bin all_experiments --
+//! --fleetobs` (or `--fleetobs-only`); the documents land in
+//! `BENCH_fleetobs.json` and `BENCH_fleetobs_trace.jsonl`.
+
+use crate::fleet::{fleet_world, FleetWorld};
+use crate::worlds::{attach_lrs, LrsParams, PUB};
+use attack::flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
+use netsim::engine::{CpuConfig, FaultPlan, NodeId};
+use netsim::time::SimTime;
+use obs::export::event_json;
+use obs::fleet::{FleetAggregator, FleetAlertConfig};
+use obs::trace::{Event, Level, Value};
+use obs::Obs;
+use server::simclient::CookieMode;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Verified workload clients warmed up at site A before the chaos.
+const WARM_CLIENTS: u8 = 16;
+/// Clients attached mid-flood so their first handshake straddles the
+/// catchment shift: challenged by site A, answering at site B.
+const JOINERS: u8 = 8;
+/// Fraction of warm-client and attacker sources the shift moves.
+const SHIFT_FRACTION: f64 = 0.55;
+/// Site B's clock skew: its event timestamps read 7 ms ahead of fleet
+/// time. The aggregator corrects with the registered −7 ms offset.
+const SKEW_NANOS: i64 = 7_000_000;
+/// Collector poll cadence (snapshot + trace drain).
+const POLL_MS: u64 = 10;
+/// Rule-evaluation cadence: a multiple of the poll so rates are computed
+/// over a window wide enough to smooth client pacing bursts.
+const EVAL_MS: u64 = 50;
+
+/// Fleet thresholds for this world: the defaults, with node silence at
+/// 120 ms so the 1400 ms crash is detected well inside the run.
+fn fleetobs_alert_config() -> FleetAlertConfig {
+    FleetAlertConfig {
+        silent_after_nanos: 120_000_000,
+        ..FleetAlertConfig::default()
+    }
+}
+
+/// A per-site observability bundle, as each node would own in production.
+fn site_obs() -> Obs {
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    obs.tracer.adopt_into(&obs.registry);
+    obs
+}
+
+fn warm_ip(i: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 0, i, 1)
+}
+
+fn joiner_ip(i: u8) -> Ipv4Addr {
+    Ipv4Addr::new(10, 7, i, 1)
+}
+
+/// Warm cohort: cookie-cached, paced slowly enough that the clean
+/// two-site baseline stays under the `site_rate_skew` load floor.
+fn warm_clients(w: &mut FleetWorld, n: u8) -> Vec<NodeId> {
+    (1..=n)
+        .map(|c| {
+            attach_lrs(
+                &mut w.sim,
+                LrsParams {
+                    ip: warm_ip(c),
+                    mode: CookieMode::Plain,
+                    cookie_cache: true,
+                    concurrency: 1,
+                    wait: SimTime::from_millis(150),
+                    pace: SimTime::from_millis(50),
+                    per_packet_cost: SimTime::ZERO,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Joiners sit 20 ms (one way) from the sites, so a handshake started at
+/// 665 ms is challenged by site A before the 700 ms shift and answered by
+/// the client after it — the retry lands at site B.
+fn attach_joiners(w: &mut FleetWorld, n: u8) -> Vec<NodeId> {
+    let rtt = SimTime::from_millis(40);
+    (1..=n)
+        .map(|c| {
+            let id = attach_lrs(
+                &mut w.sim,
+                LrsParams {
+                    ip: joiner_ip(c),
+                    mode: CookieMode::Plain,
+                    cookie_cache: false,
+                    concurrency: 1,
+                    wait: SimTime::from_millis(150),
+                    pace: SimTime::from_millis(25),
+                    per_packet_cost: SimTime::ZERO,
+                },
+            );
+            w.sim.connect_rtt(id, w.site_a, rtt);
+            w.sim.connect_rtt(id, w.site_b, rtt);
+            id
+        })
+        .collect()
+}
+
+/// The collector's poll tick: drain both sites into the aggregator (site
+/// B's events skewed +7 ms to simulate its fast clock, corrected by the
+/// registered offset) and snapshot both registries; when `evaluate` is
+/// set, also run the fleet rules over the window since the last
+/// evaluation. A crashed site B is simply never polled — it ages into
+/// `node_silent` on its own.
+#[allow(clippy::too_many_arguments)]
+fn poll_fleet(
+    w: &FleetWorld,
+    agg: &mut FleetAggregator,
+    obs_a: &Obs,
+    obs_b: &Obs,
+    node_a: u32,
+    node_b: u32,
+    joiner_challenged: &mut BTreeSet<Ipv4Addr>,
+    evaluate: bool,
+) {
+    let t_ns = w.sim.now().as_nanos();
+    let (ev_a, _) = obs_a.tracer.drain();
+    // Ground truth for the acceptance bar: which joiners did site A
+    // challenge? Every one of them must later stitch across the shift.
+    for e in &ev_a {
+        if e.kind == "fabricated_ns" {
+            if let Some(Value::Ip(ip)) = e.field("src") {
+                if (1..=JOINERS).any(|c| joiner_ip(c) == ip) {
+                    joiner_challenged.insert(ip);
+                }
+            }
+        }
+    }
+    agg.observe_trace(node_a, &ev_a);
+    agg.observe_metric_snapshot(node_a, t_ns, &obs_a.registry.snapshot());
+    if !w.sim.is_crashed(w.site_b) {
+        let (ev_b, _) = obs_b.tracer.drain();
+        let skewed: Vec<Event> = ev_b.iter().map(|e| e.with_offset(SKEW_NANOS)).collect();
+        agg.observe_trace(node_b, &skewed);
+        agg.observe_metric_snapshot(node_b, t_ns, &obs_b.registry.snapshot());
+    }
+    if evaluate {
+        agg.evaluate(t_ns);
+    }
+}
+
+/// Advances the world to `to_ms`, polling the collector every
+/// [`POLL_MS`].
+#[allow(clippy::too_many_arguments)]
+fn run_polled(
+    w: &mut FleetWorld,
+    agg: &mut FleetAggregator,
+    obs_a: &Obs,
+    obs_b: &Obs,
+    node_a: u32,
+    node_b: u32,
+    joiner_challenged: &mut BTreeSet<Ipv4Addr>,
+    from_ms: u64,
+    to_ms: u64,
+) {
+    let mut ms = from_ms;
+    while ms < to_ms {
+        ms = (ms + POLL_MS).min(to_ms);
+        w.sim.run_until(SimTime::from_millis(ms));
+        poll_fleet(
+            w,
+            agg,
+            obs_a,
+            obs_b,
+            node_a,
+            node_b,
+            joiner_challenged,
+            ms.is_multiple_of(EVAL_MS),
+        );
+    }
+}
+
+/// Outcome of the chaos run.
+pub struct FleetObsOutcome {
+    /// Warm verified clients.
+    pub clients: usize,
+    /// Joiner clients whose handshake straddled the shift.
+    pub joiners: usize,
+    /// Joiners site A actually challenged before the shift (ground
+    /// truth; must equal `joiners`).
+    pub spanning_expected: usize,
+    /// Joiners reconstructed as complete cross-node journeys.
+    pub spanning_stitched: usize,
+    /// All complete journeys (both sites, warm and joiner).
+    pub journeys_complete: usize,
+    /// Whether every journey's stage attribution summed exactly to its
+    /// end-to-end time.
+    pub attribution_exact: bool,
+    /// Whether every cross-node journey carried positive `inter_site`
+    /// time.
+    pub inter_site_positive: bool,
+    /// Largest `inter_site` hop attributed (nanoseconds).
+    pub max_inter_site_ns: u64,
+    /// Invalid-verdict verifies the assembler set aside (the flood).
+    pub rejected_verifies: u64,
+    /// Terminal stages with no matching open journey.
+    pub orphan_stages: u64,
+    /// Trace events the aggregator ingested across both sites.
+    pub trace_events: usize,
+    /// Whether site B was held silent at the end of the run.
+    pub node_b_silent: bool,
+    /// Fleet rules that fired at least once, in first-fire order.
+    pub fired_rules: Vec<&'static str>,
+    /// The aggregator's alert transcript document.
+    pub alerts_json: String,
+    /// The order-independent fleet-wide merged snapshot document.
+    pub merged_json: String,
+    /// The collector's own telemetry (`fleet.*` metrics).
+    pub collector_json: String,
+    /// The collector trace (JSONL): `journey_stitch`, `node_silent` and
+    /// alert transitions.
+    pub trace_jsonl: String,
+}
+
+/// Runs the chaos scenario: flood at 600 ms, joiners at 665 ms, shift at
+/// 700 ms, site B crash at 1400 ms, end at 1600 ms.
+pub fn run_chaos(seed: u64) -> FleetObsOutcome {
+    let mut w = fleet_world(seed, true);
+    let obs_a = site_obs();
+    let obs_b = site_obs();
+    let obs_fleet = site_obs();
+    w.sim
+        .node_mut::<dnsguard::guard::RemoteGuard>(w.site_a)
+        .unwrap()
+        .attach_obs(&obs_a);
+    w.sim
+        .node_mut::<dnsguard::guard::RemoteGuard>(w.site_b)
+        .unwrap()
+        .attach_obs(&obs_b);
+
+    let mut agg = FleetAggregator::new(fleetobs_alert_config());
+    agg.attach_obs(&obs_fleet);
+    let node_a = agg.register_node("site-a", 0);
+    // Site B's clock runs 7 ms ahead, so its correction is −7 ms.
+    let node_b = agg.register_node("site-b", -SKEW_NANOS);
+
+    let warm = warm_clients(&mut w, WARM_CLIENTS);
+    let mut challenged = BTreeSet::new();
+
+    // Warm-up: the cohort handshakes and settles into cookie-cached
+    // steady state at site A.
+    run_polled(&mut w, &mut agg, &obs_a, &obs_b, node_a, node_b, &mut challenged, 0, 600);
+
+    // The cookie-guessing flood concentrates on site A's catchment.
+    let attacker = w.sim.add_node(
+        Ipv4Addr::new(66, 0, 0, 66),
+        CpuConfig::unbounded(),
+        SpoofedFlood::new(FloodConfig {
+            target: PUB,
+            rate: 6_000.0,
+            sources: SourceStrategy::Random,
+            payload: AttackPayload::CookieLabelGuess {
+                zone_suffix: "com".to_string(),
+                parent: ".".parse().expect("root name"),
+            },
+            duration: Some(SimTime::from_millis(1_000)),
+        }),
+    );
+    run_polled(&mut w, &mut agg, &obs_a, &obs_b, node_a, node_b, &mut challenged, 600, 665);
+
+    // Joiners: first query reaches site A ≈685 ms (challenge issued
+    // pre-shift), the challenge reaches the client ≈705 ms (retry sent
+    // post-shift).
+    let joiners = attach_joiners(&mut w, JOINERS);
+    run_polled(&mut w, &mut agg, &obs_a, &obs_b, node_a, node_b, &mut challenged, 665, 700);
+
+    // BGP reconverges: 55 % of warm/attack sources and every joiner now
+    // land at site B.
+    let plan = FaultPlan::new().catchment_shift(SHIFT_FRACTION, w.site_b);
+    for &c in &warm {
+        w.sim.fault_link(c, w.site_a, plan);
+    }
+    w.sim.fault_link(attacker, w.site_a, plan);
+    // Every joiner moves: their in-flight handshakes straddle the shift.
+    let joiner_plan = FaultPlan::new().catchment_shift(1.0, w.site_b);
+    for &j in &joiners {
+        w.sim.fault_link(j, w.site_a, joiner_plan);
+    }
+    run_polled(&mut w, &mut agg, &obs_a, &obs_b, node_a, node_b, &mut challenged, 700, 1_400);
+
+    // Site B crashes; the collector's polls stop reaching it and the
+    // node ages into silence.
+    w.sim.crash(w.site_b);
+    run_polled(&mut w, &mut agg, &obs_a, &obs_b, node_a, node_b, &mut challenged, 1_400, 1_600);
+
+    let report = agg.stitch();
+
+    let joiner_set: BTreeSet<Ipv4Addr> = (1..=JOINERS).map(joiner_ip).collect();
+    let mut spanning_src: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    let mut attribution_exact = true;
+    let mut inter_site_positive = true;
+    let mut max_inter_site_ns = 0u64;
+    for j in &report.complete {
+        let a = j.attribution();
+        if a.total() != j.total_ns() {
+            attribution_exact = false;
+        }
+        if j.spans_nodes() {
+            if a.inter_site_ns == 0 {
+                inter_site_positive = false;
+            }
+            max_inter_site_ns = max_inter_site_ns.max(a.inter_site_ns);
+            if joiner_set.contains(&j.src) {
+                spanning_src.insert(j.src);
+            }
+        }
+    }
+
+    let (fleet_events, _) = obs_fleet.tracer.drain();
+    let trace_jsonl: String = fleet_events
+        .iter()
+        .map(event_json)
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    FleetObsOutcome {
+        clients: warm.len(),
+        joiners: JOINERS as usize,
+        spanning_expected: challenged.len(),
+        spanning_stitched: spanning_src.len(),
+        journeys_complete: report.complete.len(),
+        attribution_exact,
+        inter_site_positive,
+        max_inter_site_ns,
+        rejected_verifies: report.rejected_verifies,
+        orphan_stages: report.orphan_stages,
+        trace_events: agg.event_count(),
+        node_b_silent: agg.is_node_silent(node_b),
+        fired_rules: agg.fired_rules(),
+        alerts_json: agg.alerts_json(),
+        merged_json: agg.merged_snapshot_json(),
+        collector_json: obs::export::metrics_json(&obs_fleet.registry.snapshot()),
+        trace_jsonl,
+    }
+}
+
+/// Runs the clean two-site baseline (warm clients, fleet sync, polls at
+/// the same cadence, no flood, no shift, no crash) and returns whether
+/// every fleet rule stayed silent.
+pub fn fleetobs_baseline_is_silent(seed: u64, duration: SimTime) -> bool {
+    let mut w = fleet_world(seed, true);
+    let obs_a = site_obs();
+    let obs_b = site_obs();
+    w.sim
+        .node_mut::<dnsguard::guard::RemoteGuard>(w.site_a)
+        .unwrap()
+        .attach_obs(&obs_a);
+    w.sim
+        .node_mut::<dnsguard::guard::RemoteGuard>(w.site_b)
+        .unwrap()
+        .attach_obs(&obs_b);
+    let mut agg = FleetAggregator::new(fleetobs_alert_config());
+    let node_a = agg.register_node("site-a", 0);
+    let node_b = agg.register_node("site-b", -SKEW_NANOS);
+    warm_clients(&mut w, WARM_CLIENTS);
+    let mut challenged = BTreeSet::new();
+    run_polled(
+        &mut w,
+        &mut agg,
+        &obs_a,
+        &obs_b,
+        node_a,
+        node_b,
+        &mut challenged,
+        0,
+        duration.as_nanos() / 1_000_000,
+    );
+    if !agg.is_silent() {
+        eprintln!("baseline fired: {:?}", agg.history());
+    }
+    agg.is_silent()
+}
+
+/// The full experiment: the chaos run plus the silent baseline.
+pub struct FleetObsRun {
+    /// The composed `BENCH_fleetobs.json` document.
+    pub summary_json: String,
+    /// The collector trace (`BENCH_fleetobs_trace.jsonl`).
+    pub trace_jsonl: String,
+    /// The chaos outcome.
+    pub chaos: FleetObsOutcome,
+    /// Whether the clean two-site baseline stayed alert-free.
+    pub baseline_silent: bool,
+}
+
+fn outcome_json(o: &FleetObsOutcome) -> String {
+    let stitch_ratio_pct =
+        (100 * o.spanning_stitched).checked_div(o.spanning_expected).unwrap_or(0);
+    let mut out = format!(
+        "{{\"nodes\":2,\"clients\":{},\"joiners\":{},\
+         \"spanning_expected\":{},\"spanning_stitched\":{},\
+         \"stitch_ratio_pct\":{stitch_ratio_pct},\
+         \"journeys_complete\":{},\"attribution_exact\":{},\
+         \"inter_site_positive\":{},\"max_inter_site_ns\":{},\
+         \"rejected_verifies\":{},\"orphan_stages\":{},\
+         \"trace_events\":{},\"node_silent\":{},\"fired_rules\":[",
+        o.clients,
+        o.joiners,
+        o.spanning_expected,
+        o.spanning_stitched,
+        o.journeys_complete,
+        o.attribution_exact,
+        o.inter_site_positive,
+        o.max_inter_site_ns,
+        o.rejected_verifies,
+        o.orphan_stages,
+        o.trace_events,
+        o.node_b_silent,
+    );
+    for (i, r) in o.fired_rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{r}\""));
+    }
+    out.push_str(&format!(
+        "],\"alerts\":{},\"merged\":{},\"collector\":{}}}",
+        o.alerts_json, o.merged_json, o.collector_json
+    ));
+    out
+}
+
+/// Runs everything and composes the export documents.
+pub fn run_all(seed: u64) -> FleetObsRun {
+    let chaos = run_chaos(seed);
+    let baseline_silent = fleetobs_baseline_is_silent(seed + 2, SimTime::from_millis(600));
+    let summary_json = format!(
+        "{{\"experiment\":\"fleetobs\",\"seed\":{seed},\
+         \"chaos\":{},\"baseline_silent\":{baseline_silent}}}",
+        outcome_json(&chaos),
+    );
+    let trace_jsonl = chaos.trace_jsonl.clone();
+    FleetObsRun {
+        summary_json,
+        trace_jsonl,
+        chaos,
+        baseline_silent,
+    }
+}
+
+/// Runs the experiment with the default seed and writes
+/// `BENCH_fleetobs.json` and `BENCH_fleetobs_trace.jsonl` under `dir`.
+pub fn export_to(dir: &Path) -> std::io::Result<(FleetObsRun, PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let run = run_all(2006);
+    let summary = dir.join("BENCH_fleetobs.json");
+    std::fs::write(&summary, &run.summary_json)?;
+    let trace = dir.join("BENCH_fleetobs_trace.jsonl");
+    std::fs::write(&trace, &run.trace_jsonl)?;
+    Ok((run, summary, trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::export::{validate_json, validate_jsonl};
+
+    #[test]
+    fn chaos_stitches_every_straddling_joiner() {
+        let o = run_chaos(2006);
+        assert_eq!(
+            o.spanning_expected, JOINERS as usize,
+            "every joiner must be challenged by site A before the shift"
+        );
+        assert_eq!(
+            o.spanning_stitched, o.spanning_expected,
+            "100% of straddling joiners must stitch across both sites"
+        );
+        assert!(o.attribution_exact, "stage attribution must sum exactly");
+        assert!(o.inter_site_positive, "cross-node hops must carry time");
+        assert!(o.max_inter_site_ns > 0);
+        assert!(o.node_b_silent, "crashed site B must be held silent");
+        for rule in ["fleet_spoof_surge", "site_rate_skew", "node_silent"] {
+            assert!(
+                o.fired_rules.contains(&rule),
+                "rule {rule} must fire: {:?}",
+                o.fired_rules
+            );
+        }
+        assert!(o.rejected_verifies > 1_000, "the flood must be visible");
+        validate_json(&o.alerts_json).unwrap();
+        validate_json(&o.merged_json).unwrap();
+        validate_json(&o.collector_json).unwrap();
+        validate_jsonl(&o.trace_jsonl).unwrap();
+        assert!(o.trace_jsonl.contains("\"kind\":\"journey_stitch\""));
+        assert!(o.trace_jsonl.contains("\"kind\":\"node_silent\""));
+    }
+
+    #[test]
+    fn baseline_fires_nothing() {
+        assert!(fleetobs_baseline_is_silent(2008, SimTime::from_millis(600)));
+    }
+
+    #[test]
+    fn export_is_valid_json() {
+        let run = run_all(2006);
+        validate_json(&run.summary_json)
+            .unwrap_or_else(|off| panic!("BENCH_fleetobs.json invalid at byte {off}"));
+        assert!(run.summary_json.contains("\"experiment\":\"fleetobs\""));
+        assert!(run.summary_json.contains("\"stitch_ratio_pct\":100"));
+        assert!(run.summary_json.contains("\"baseline_silent\":true"));
+    }
+}

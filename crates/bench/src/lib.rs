@@ -16,7 +16,14 @@
 //!   a mid-flood catchment shift between two guard sites, measured with
 //!   per-site MD5 cookies vs a shared SipHash-2-4 secret
 //!   (`all_experiments -- --fleet`);
+//! * [`fleetobs`] — the fleet-observability experiment behind
+//!   `BENCH_fleetobs.json`: both sites polled into a [`FleetAggregator`],
+//!   cross-node journey stitching through a mid-flood catchment shift
+//!   with clock skew, and the fleet alert rules through a site crash
+//!   (`all_experiments -- --fleetobs`);
 //! * [`report`] — plain-text table rendering.
+//!
+//! [`FleetAggregator`]: obs::fleet::FleetAggregator
 //!
 //! Run everything: `cargo run --release -p bench --bin all_experiments`.
 //! Individual binaries: `table1_comparison`, `table2_latency`,
@@ -31,6 +38,7 @@
 pub mod experiments;
 pub mod failover;
 pub mod fleet;
+pub mod fleetobs;
 pub mod journeys;
 pub mod obs_export;
 pub mod report;

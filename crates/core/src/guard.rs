@@ -713,6 +713,9 @@ pub struct RemoteGuard {
     ha: Option<HaRuntime>,
     /// Anycast-fleet key-sync state (None ⇒ single-site key).
     fleet: Option<FleetRuntime>,
+    /// Per-decision-stage latency profiler; a zero-sized no-op unless the
+    /// `stage-profiling` cargo feature is on *and* a clock is injected.
+    stageprof: crate::stageprof::StageProf,
 }
 
 impl RemoteGuard {
@@ -761,6 +764,7 @@ impl RemoteGuard {
                 .map(|cfg| FleetRuntime::new(cfg, config.key_seed)),
             config,
             classifier,
+            stageprof: crate::stageprof::StageProf::new(),
         }
     }
 
@@ -792,7 +796,23 @@ impl RemoteGuard {
         self.rl1.adopt_into(&obs.registry, "guard", "rl1");
         self.rl2.adopt_into(&obs.registry, "guard", "rl2");
         self.proxy.adopt_into(&obs.registry);
+        self.stageprof.adopt_into(&obs.registry);
         self.metrics.trace = obs.tracer.component("guard");
+    }
+
+    /// Arms the stage profiler with a monotonic nanosecond clock (e.g. a
+    /// captured `Instant`-based closure in a bench harness). A no-op
+    /// unless the crate was built with the `stage-profiling` feature; the
+    /// sim-domain guard never reads a wall clock itself.
+    pub fn set_stage_clock(&mut self, clock: crate::stageprof::StageClock) {
+        self.stageprof.set_clock(clock);
+    }
+
+    /// Samples recorded for profiling stage `stage` (see
+    /// [`crate::stageprof::STAGE_NAMES`]); always 0 without the
+    /// `stage-profiling` feature.
+    pub fn stage_sample_count(&self, stage: usize) -> u64 {
+        self.stageprof.stage_count(stage)
     }
 
     /// Whether spoof detection is currently engaged.
@@ -1789,16 +1809,24 @@ impl RemoteGuard {
     fn handle_udp(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         // Replication traffic is control-plane, not DNS: it is dispatched
         // before the datagram counter so the pipeline conservation
-        // invariant keeps covering exactly the DNS data path.
+        // invariant keeps covering exactly the DNS data path. It is also
+        // outside the profiled DNS pipeline.
         if (self.ha.is_some() || self.fleet.is_some()) && pkt.dst.port == REPL_PORT {
             self.handle_repl(ctx, pkt);
             return;
         }
+        self.stageprof.begin();
+        self.handle_udp_inner(ctx, pkt);
+        self.stageprof.finish();
+    }
+
+    fn handle_udp_inner(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         self.metrics.udp_datagrams.inc();
         let Ok(msg) = Message::decode(&pkt.payload) else {
             self.metrics.unparseable.inc();
             return;
         };
+        self.stageprof.lap(crate::stageprof::STAGE_DECODE);
         if msg.header.response {
             if pkt.src.ip == self.config.ans_addr {
                 self.handle_ans_response(ctx, msg);
@@ -1833,7 +1861,9 @@ impl RemoteGuard {
                     return;
                 }
                 // Grant a cookie — through Rate-Limiter1 (reflection bound).
-                if !self.rl1.admit(ctx.now(), pkt.src.ip) {
+                let admitted = self.rl1.admit(ctx.now(), pkt.src.ip);
+                self.stageprof.lap(crate::stageprof::STAGE_ADMIT);
+                if !admitted {
                     self.metrics.rl1_dropped.inc();
                     self.metrics.trace.event(
                         ctx.now().as_nanos(),
@@ -1860,7 +1890,9 @@ impl RemoteGuard {
             }
             self.charge_cookie(ctx);
             let qid = self.alloc_qid();
-            if self.cookies.verify(pkt.src.ip, &guardhash::Cookie(ext.cookie)) {
+            let valid = self.cookies.verify(pkt.src.ip, &guardhash::Cookie(ext.cookie));
+            self.stageprof.lap(crate::stageprof::STAGE_VERIFY);
+            if valid {
                 self.metrics.ext_valid.inc();
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
@@ -1872,7 +1904,9 @@ impl RemoteGuard {
                         ("qid", Value::U64(qid)),
                     ],
                 );
-                if !self.rl2.admit(ctx.now(), pkt.src.ip) {
+                let admitted = self.rl2.admit(ctx.now(), pkt.src.ip);
+                self.stageprof.lap(crate::stageprof::STAGE_ADMIT);
+                if !admitted {
                     self.metrics.rl2_dropped.inc();
                     self.metrics.trace.event(
                         ctx.now().as_nanos(),
@@ -1908,7 +1942,9 @@ impl RemoteGuard {
         if pkt.dst.ip != self.config.public_addr {
             self.charge_cookie(ctx);
             let qid = self.alloc_qid();
-            if !self.cookie2_matches(pkt.src.ip, pkt.dst.ip) {
+            let cookie2_ok = self.cookie2_matches(pkt.src.ip, pkt.dst.ip);
+            self.stageprof.lap(crate::stageprof::STAGE_VERIFY);
+            if !cookie2_ok {
                 self.metrics.cookie2_invalid.inc();
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
@@ -1933,7 +1969,9 @@ impl RemoteGuard {
                     ("qid", Value::U64(qid)),
                 ],
             );
-            if !self.rl2.admit(ctx.now(), pkt.src.ip) {
+            let admitted = self.rl2.admit(ctx.now(), pkt.src.ip);
+            self.stageprof.lap(crate::stageprof::STAGE_ADMIT);
+            if !admitted {
                 self.metrics.rl2_dropped.inc();
                 self.metrics.trace.event(
                     ctx.now().as_nanos(),
@@ -1995,7 +2033,9 @@ impl RemoteGuard {
     ) {
         self.charge_cookie(ctx);
         let qid = self.alloc_qid();
-        if !self.cookies.verify_ns_suffix(pkt.src.ip, &hex) {
+        let suffix_ok = self.cookies.verify_ns_suffix(pkt.src.ip, &hex);
+        self.stageprof.lap(crate::stageprof::STAGE_VERIFY);
+        if !suffix_ok {
             self.metrics.ns_cookie_invalid.inc();
             self.metrics.trace.event(
                 ctx.now().as_nanos(),
@@ -2106,7 +2146,9 @@ impl RemoteGuard {
             return;
         }
         // Every response to an unverified source passes Rate-Limiter1.
-        if !self.rl1.admit(ctx.now(), pkt.src.ip) {
+        let admitted = self.rl1.admit(ctx.now(), pkt.src.ip);
+        self.stageprof.lap(crate::stageprof::STAGE_ADMIT);
+        if !admitted {
             self.metrics.rl1_dropped.inc();
             self.metrics.trace.event(
                 ctx.now().as_nanos(),

@@ -5,8 +5,8 @@
 //! | L1 | no panic on wire input: `unwrap`/`expect`/`panic!`-family macros and slice indexing are forbidden in `dnswire` and the guard rx modules |
 //! | L2 | determinism: wall clocks and ambient RNG are forbidden in the sim-domain crates (`core`, `netsim`, `server`, `attack`, `obs`) |
 //! | L3 | atomic-ordering discipline: `Ordering::Relaxed` outside the obs record path needs a `// lint: relaxed-ok — ...` justification |
-//! | L4 | metric/alert names referenced by `telemetry_check` and the alert rules must exist at a registry definition site |
-//! | L5 | trace coverage: contract kinds must have emit sites, and guard-emitted kinds must be observed somewhere |
+//! | L4 | metric/alert names referenced by `telemetry_check` and the alert rules (per-node `RULES`, fleet `FLEET_RULES`) must exist at a registry definition site |
+//! | L5 | trace coverage: contract kinds (`REQUIRED_KINDS`, `STITCH_KINDS`) must have emit sites, and guard-emitted kinds must be observed somewhere |
 //!
 //! L1–L3 are per-line token lints over scrubbed code (see [`crate::lexer`]);
 //! L4/L5 are cross-file consistency checks over extracted call arguments.
@@ -338,6 +338,12 @@ fn nontest_strings(file: &SourceFile) -> Vec<ArgStr> {
 
 const TELEMETRY_CHECK: &str = "crates/bench/src/bin/telemetry_check.rs";
 const ALERT_RS: &str = "crates/obs/src/alert.rs";
+const FLEET_RS: &str = "crates/obs/src/fleet.rs";
+
+/// Rule engines checked by L4 legs B/C: `(file, rule-table const)`. The
+/// per-node engine declares `RULES`, the fleet aggregator `FLEET_RULES`;
+/// both read metrics through match arms and fire through `set_state`.
+const RULE_ENGINES: &[(&str, &str)] = &[(ALERT_RS, "RULES"), (FLEET_RS, "FLEET_RULES")];
 
 /// Registry definition sites: `(component, name)` pairs registered by any
 /// non-test `.counter( / .gauge( / .histogram( / .adopt_*(` call.
@@ -477,13 +483,14 @@ pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
         }
     }
 
-    // Legs B/C — the alert rules read real metrics and evaluate every
-    // declared rule.
-    if let Some(alert) = files.iter().find(|f| f.rel == ALERT_RS) {
-        for (line, comp, name) in alert_metric_refs(alert) {
+    // Legs B/C — every rule engine (per-node alert.rs, fleet aggregator)
+    // reads real metrics and evaluates every declared rule.
+    for &(engine_rel, table) in RULE_ENGINES {
+        let Some(engine) = files.iter().find(|f| f.rel == engine_rel) else { continue };
+        for (line, comp, name) in alert_metric_refs(engine) {
             match (&comp, defs.get(&name)) {
                 (_, None) => out.push(Finding {
-                    file: alert.rel.clone(),
+                    file: engine.rel.clone(),
                     line,
                     lint: "L4",
                     severity: Severity::Error,
@@ -493,7 +500,7 @@ pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
                     ),
                 }),
                 (Some(c), Some(comps)) if !comps.contains(c) => out.push(Finding {
-                    file: alert.rel.clone(),
+                    file: engine.rel.clone(),
                     line,
                     lint: "L4",
                     severity: Severity::Error,
@@ -505,20 +512,20 @@ pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
                 _ => {}
             }
         }
-        if let Some((decl_line, rules)) = array_literals(alert, "RULES") {
-            let evaluated: BTreeSet<String> = call_string_args(alert, "set_state", 1)
+        if let Some((decl_line, rules)) = array_literals(engine, table) {
+            let evaluated: BTreeSet<String> = call_string_args(engine, "set_state", 1)
                 .into_iter()
                 .filter_map(|(_, args)| args.first().map(|a| a.content.clone()))
                 .collect();
             for r in &rules {
                 if !evaluated.contains(&r.content) {
                     out.push(Finding {
-                        file: alert.rel.clone(),
+                        file: engine.rel.clone(),
                         line: decl_line,
                         lint: "L4",
                         severity: Severity::Error,
                         message: format!(
-                            "alert rule {:?} is declared in RULES but never evaluated \
+                            "alert rule {:?} is declared in {table} but never evaluated \
                              (no set_state site)",
                             r.content
                         ),
@@ -526,16 +533,16 @@ pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
                 }
             }
             let declared: BTreeSet<&str> = rules.iter().map(|r| r.content.as_str()).collect();
-            for (line, args) in call_string_args(alert, "set_state", 1) {
+            for (line, args) in call_string_args(engine, "set_state", 1) {
                 if let Some(rule) = args.first() {
                     if !declared.contains(rule.content.as_str()) {
                         out.push(Finding {
-                            file: alert.rel.clone(),
+                            file: engine.rel.clone(),
                             line,
                             lint: "L4",
                             severity: Severity::Error,
                             message: format!(
-                                "set_state fires rule {:?} which is not declared in RULES",
+                                "set_state fires rule {:?} which is not declared in {table}",
                                 rule.content
                             ),
                         });
@@ -551,6 +558,11 @@ pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
 
 const OBS_EXPORT: &str = "crates/bench/src/obs_export.rs";
 const GUARD_RS: &str = "crates/core/src/guard.rs";
+
+/// Trace-kind contracts checked by L5: `(file, kind-table const)`. The
+/// export contract promises `REQUIRED_KINDS`; the fleet aggregator
+/// promises the `STITCH_KINDS` it synthesises during stitching.
+const KIND_CONTRACTS: &[(&str, &str)] = &[(OBS_EXPORT, "REQUIRED_KINDS"), (FLEET_RS, "STITCH_KINDS")];
 
 /// Trace emit sites: `(kind, file, line)` for every non-test
 /// `.event( / .debug(` call (the kind is the first string argument).
@@ -570,7 +582,8 @@ fn emit_sites(files: &[SourceFile]) -> Vec<(String, String, usize)> {
 
 /// L5: trace coverage.
 ///
-/// * every kind in the `REQUIRED_KINDS` export contract has an emit site;
+/// * every kind in a declared contract table (`REQUIRED_KINDS` in the
+///   export, `STITCH_KINDS` in the fleet aggregator) has an emit site;
 /// * every kind emitted by `core::guard` is referenced (as a string
 ///   literal) somewhere else in the workspace — journey assembly, alert
 ///   rules, benches or tests — so no decision event is unobserved.
@@ -582,8 +595,9 @@ pub fn l5(files: &[SourceFile], corpus: &[SourceFile]) -> Vec<Finding> {
     let emits = emit_sites(files);
     let emitted: BTreeSet<&str> = emits.iter().map(|(k, _, _)| k.as_str()).collect();
 
-    if let Some(exp) = files.iter().find(|f| f.rel == OBS_EXPORT) {
-        if let Some((_, kinds)) = array_literals(exp, "REQUIRED_KINDS") {
+    for &(contract_rel, table) in KIND_CONTRACTS {
+        let Some(exp) = files.iter().find(|f| f.rel == contract_rel) else { continue };
+        if let Some((_, kinds)) = array_literals(exp, table) {
             for k in &kinds {
                 if !emitted.contains(k.content.as_str()) {
                     out.push(Finding {
@@ -592,8 +606,8 @@ pub fn l5(files: &[SourceFile], corpus: &[SourceFile]) -> Vec<Finding> {
                         lint: "L5",
                         severity: Severity::Error,
                         message: format!(
-                            "required trace kind {:?} has no `.event()`/`.debug()` emit \
-                             site in the workspace",
+                            "required trace kind {:?} ({table}) has no \
+                             `.event()`/`.debug()` emit site in the workspace",
                             k.content
                         ),
                     });
@@ -757,6 +771,46 @@ mod tests {
         let findings = l4(&[alert]);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("dead_rule"));
+    }
+
+    #[test]
+    fn l4_fleet_rule_table_checked() {
+        let fleet = file(
+            FLEET_RS,
+            "pub const FLEET_RULES: &[&str] = &[\"fleet_spoof_surge\", \"dead_fleet_rule\"];\nfn e(&mut self, t: u64) { self.set_state(t, \"fleet_spoof_surge\", true, 0.0, 0.0); }\n",
+        );
+        let findings = l4(&[fleet]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("dead_fleet_rule"));
+        assert!(findings[0].message.contains("FLEET_RULES"));
+    }
+
+    #[test]
+    fn l4_fleet_match_arm_checked() {
+        let defs = file(
+            "crates/core/src/guard.rs",
+            "fn a(r: &Registry) { r.adopt_counter(\"guard\", \"verify\", &[], &c); }\n",
+        );
+        let fleet = file(
+            FLEET_RS,
+            "fn e(s: &S) { match (s.component, s.name) { (_, \"verify\") => {}, (\"guard_server\", \"phantom\") => {}, _ => {} } }\n",
+        );
+        let findings = l4(&[defs, fleet]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("phantom"));
+        assert_eq!(findings[0].file, FLEET_RS);
+    }
+
+    #[test]
+    fn l5_stitch_kind_without_emitter() {
+        let fleet = file(
+            FLEET_RS,
+            "pub const STITCH_KINDS: &[&str] = &[\"journey_stitch\", \"ghost_stitch\"];\nfn s(&self, t: u64) { self.trace.event(t, \"journey_stitch\", &[]); }\n",
+        );
+        let findings = l5(std::slice::from_ref(&fleet), &[]);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("ghost_stitch"));
+        assert!(findings[0].message.contains("STITCH_KINDS"));
     }
 
     #[test]

@@ -189,36 +189,51 @@ impl AlertEngine {
     /// Evaluates every rule against `samples` (a `Registry::snapshot`).
     /// The first call only records baselines; subsequent calls compute
     /// rates over the elapsed interval.
+    ///
+    /// Deltas are computed **per cell** (keyed by component+name+labels)
+    /// and clamped to zero *before* summing into a rule's class: a single
+    /// cell jumping backwards — a checkpoint restore or failover re-attach
+    /// swaps in fresh zero-valued counters — contributes nothing instead
+    /// of dragging the summed total negative and masking other cells'
+    /// genuine growth. A cell seen for the first time likewise contributes
+    /// zero, so a guard attaching its metrics mid-run cannot fake a surge.
     pub fn evaluate(&mut self, t_nanos: u64, samples: &[MetricSample]) {
-        // Totals this engine rates on, summed across guard + runtime guard.
-        let mut invalid = 0u64;
-        let mut rl1 = 0u64;
-        let mut rl2 = 0u64;
-        let mut downs = 0u64;
-        let mut recoveries = 0u64;
-        let mut ring_dropped = 0u64;
+        // Per-class deltas, summed over per-cell clamped deltas across
+        // guard + runtime guard.
+        let mut d_invalid = 0u64;
+        let mut d_rl1 = 0u64;
+        let mut d_rl2 = 0u64;
+        let mut d_downs = 0u64;
+        let mut d_recov = 0u64;
+        let mut d_ring = 0u64;
         let mut amp_milli = 0u64;
         let mut checkpoint_age = 0u64;
-        let mut takeovers = 0u64;
-        let mut shed = 0u64;
-        let mut shifted = 0u64;
-        let mut handshakes = 0u64;
+        let mut d_takeovers = 0u64;
+        let mut d_shed = 0u64;
+        let mut d_shifted = 0u64;
+        let mut d_handshakes = 0u64;
+        let prev = &mut self.prev;
+        let mut cell_delta = |s: &MetricSample| -> u64 {
+            let now = counter_of(s);
+            let was = prev.insert(s.key(), now).unwrap_or(now);
+            now.saturating_sub(was)
+        };
         for s in samples {
             match (s.component, s.name) {
                 (_, "verify") if label_is(&s.labels, "verdict", "invalid") => {
-                    invalid += counter_of(s);
+                    d_invalid += cell_delta(s);
                 }
-                ("guard_server", "dropped_spoofed") => invalid += counter_of(s),
+                ("guard_server", "dropped_spoofed") => d_invalid += cell_delta(s),
                 (_, "rl_dropped") if label_is(&s.labels, "limiter", "rl1") => {
-                    rl1 += counter_of(s);
+                    d_rl1 += cell_delta(s);
                 }
-                ("guard_server", "dropped_rl1") => rl1 += counter_of(s),
+                ("guard_server", "dropped_rl1") => d_rl1 += cell_delta(s),
                 (_, "rl_dropped") if label_is(&s.labels, "limiter", "rl2") => {
-                    rl2 += counter_of(s);
+                    d_rl2 += cell_delta(s);
                 }
-                (_, "ans_down_events") => downs += counter_of(s),
-                (_, "ans_recoveries") => recoveries += counter_of(s),
-                ("trace", "ring_dropped") => ring_dropped += counter_of(s),
+                (_, "ans_down_events") => d_downs += cell_delta(s),
+                (_, "ans_recoveries") => d_recov += cell_delta(s),
+                ("trace", "ring_dropped") => d_ring += cell_delta(s),
                 (_, "amplification_milli") => {
                     if let SampleValue::Gauge(v) = s.value {
                         amp_milli = amp_milli.max(v);
@@ -229,30 +244,15 @@ impl AlertEngine {
                         checkpoint_age = checkpoint_age.max(v);
                     }
                 }
-                (_, "failover_takeovers") => takeovers += counter_of(s),
-                (_, "admission_shed") => shed += counter_of(s),
-                (_, "catchment_shifted") => shifted += counter_of(s),
+                (_, "failover_takeovers") => d_takeovers += cell_delta(s),
+                (_, "admission_shed") => d_shed += cell_delta(s),
+                (_, "catchment_shifted") => d_shifted += cell_delta(s),
                 (_, "fabricated_ns_sent") | (_, "grants_sent") | (_, "tc_sent") => {
-                    handshakes += counter_of(s);
+                    d_handshakes += cell_delta(s);
                 }
                 _ => {}
             }
         }
-
-        let mut delta = |key: &str, now: u64| -> u64 {
-            let prev = self.prev.insert(key.to_string(), now).unwrap_or(now);
-            now.saturating_sub(prev)
-        };
-        let d_invalid = delta("invalid", invalid);
-        let d_rl1 = delta("rl1", rl1);
-        let d_rl2 = delta("rl2", rl2);
-        let d_downs = delta("downs", downs);
-        let d_recov = delta("recoveries", recoveries);
-        let d_ring = delta("ring_dropped", ring_dropped);
-        let d_takeovers = delta("takeovers", takeovers);
-        let d_shed = delta("shed", shed);
-        let d_shifted = delta("shifted", shifted);
-        let d_handshakes = delta("handshakes", handshakes);
 
         let Some(prev_t) = self.prev_t.replace(t_nanos) else {
             return; // Baseline only: deltas against nothing are meaningless.
@@ -597,6 +597,71 @@ mod tests {
             engine.evaluate(i * SEC, &snapshot_with(&reg));
         }
         assert!(engine.is_silent());
+    }
+
+    #[test]
+    fn counter_reset_does_not_mask_other_cells_growth() {
+        // Two cells feed spoof_surge: the guard's invalid verifies and the
+        // runtime front's dropped_spoofed. Mid-flood, a checkpoint restore
+        // re-attaches the guard's metrics (adopt_replacing swaps in fresh
+        // zero cells) so its counter jumps backwards. The summed-total
+        // delta of the old implementation went negative and clamped the
+        // whole class to zero — falsely clearing the alert while the other
+        // cell's flood kept growing.
+        let reg = Registry::new();
+        let guard_invalid =
+            reg.counter("guard", "verify", &[("scheme", "ns_label"), ("verdict", "invalid")]);
+        let front_spoofed = reg.counter("guard_server", "dropped_spoofed", &[]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+
+        guard_invalid.add(5_000);
+        front_spoofed.add(1_000);
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        assert!(engine.active().iter().any(|a| a.rule == "spoof_surge"), "flood fires");
+
+        // Restore: the guard cell resets to zero, the front keeps flooding.
+        let fresh = crate::metrics::Counter::new();
+        reg.adopt_counter(
+            "guard",
+            "verify",
+            &[("scheme", "ns_label"), ("verdict", "invalid")],
+            &fresh,
+        );
+        front_spoofed.add(1_000); // Still 1000/s ≫ 200/s on its own.
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        assert!(
+            engine.active().iter().any(|a| a.rule == "spoof_surge"),
+            "reset cell must not mask the other cell's ongoing surge"
+        );
+
+        // The reset cell resumes counting from zero; the alert never
+        // flapped — one fire transition, no clear.
+        fresh.add(900);
+        front_spoofed.add(1_000);
+        engine.evaluate(3 * SEC, &snapshot_with(&reg));
+        assert!(engine.active().iter().any(|a| a.rule == "spoof_surge"));
+        let surge_transitions =
+            engine.history().iter().filter(|t| t.rule == "spoof_surge").count();
+        assert_eq!(surge_transitions, 1, "fired once, never falsely cleared");
+    }
+
+    #[test]
+    fn mid_run_metric_attach_does_not_fake_a_surge() {
+        // A cell appearing for the first time with a large absolute value
+        // (a node attaching mid-run) must contribute zero delta.
+        let reg = Registry::new();
+        let steady = reg.counter("guard", "verify", &[("scheme", "ext"), ("verdict", "invalid")]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+        steady.add(10);
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        assert!(engine.is_silent());
+        // Late-attaching cell carrying history: must not read as a burst.
+        let late = reg.counter("guard_server", "dropped_spoofed", &[]);
+        late.add(1_000_000);
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        assert!(engine.is_silent(), "first sight of a cell is a baseline, not a delta");
     }
 
     #[test]

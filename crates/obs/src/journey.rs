@@ -49,9 +49,12 @@ pub struct Stage {
     pub t_nanos: u64,
     /// `scheme` field for verifies, `via` for relays, `""` otherwise.
     pub detail: &'static str,
+    /// The fleet node index the stage was observed on (0 in single-node
+    /// assemblies).
+    pub node: u32,
 }
 
-/// Where one inter-stage gap is attributed.
+/// Where one inter-stage gap is attributed, from the gap's left stage.
 fn gap_class(from: &Stage) -> &'static str {
     match from.name {
         // After a challenge or redirect the guard is waiting on the
@@ -65,6 +68,17 @@ fn gap_class(from: &Stage) -> &'static str {
     }
 }
 
+/// Where the gap between two adjacent stages is attributed. A gap whose
+/// endpoints sit on different fleet nodes is the catchment-shift hop —
+/// time the query spent crossing sites, not in any one guard's pipeline.
+fn gap_class_pair(from: &Stage, to: &Stage) -> &'static str {
+    if from.node != to.node {
+        "inter_site"
+    } else {
+        gap_class(from)
+    }
+}
+
 /// End-to-end latency split by who the guard was waiting on.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Attribution {
@@ -75,12 +89,15 @@ pub struct Attribution {
     pub guard_ns: u64,
     /// ANS service time (forward → reply).
     pub ans_ns: u64,
+    /// Time spent crossing sites when a catchment shift moved the client
+    /// to another fleet node mid-journey (0 for single-node journeys).
+    pub inter_site_ns: u64,
 }
 
 impl Attribution {
-    /// Sum of the three classes — equals the journey's end-to-end time.
+    /// Sum of the classes — equals the journey's end-to-end time.
     pub fn total(&self) -> u64 {
-        self.handshake_ns + self.guard_ns + self.ans_ns
+        self.handshake_ns + self.guard_ns + self.ans_ns + self.inter_site_ns
     }
 }
 
@@ -130,13 +147,31 @@ impl Journey {
         let mut a = Attribution::default();
         for w in self.stages.windows(2) {
             let gap = w[1].t_nanos - w[0].t_nanos;
-            match gap_class(&w[0]) {
+            match gap_class_pair(&w[0], &w[1]) {
                 "handshake" => a.handshake_ns += gap,
                 "ans" => a.ans_ns += gap,
+                "inter_site" => a.inter_site_ns += gap,
                 _ => a.guard_ns += gap,
             }
         }
         a
+    }
+
+    /// Distinct fleet nodes the journey touched, in first-seen order.
+    pub fn nodes(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for s in &self.stages {
+            if !out.contains(&s.node) {
+                out.push(s.node);
+            }
+        }
+        out
+    }
+
+    /// Whether the journey crossed fleet nodes (a stitched catchment-shift
+    /// timeline).
+    pub fn spans_nodes(&self) -> bool {
+        self.stages.windows(2).any(|w| w[0].node != w[1].node)
     }
 
     /// The scheme that shaped this journey, inferred from its stages.
@@ -182,8 +217,10 @@ impl Journey {
 pub struct JourneyAssembler {
     /// Slot arena; completed slots are taken and never reused.
     slots: Vec<Option<Journey>>,
-    /// Correlation id → open slot.
-    by_qid: HashMap<u64, usize>,
+    /// (node, correlation id) → open slot. Keyed per node because every
+    /// fleet node allocates qids independently — the same qid on two sites
+    /// is two different transactions.
+    by_qid: HashMap<(u32, u64), usize>,
     /// Open journeys waiting on a client round trip, per client, oldest
     /// first.
     awaiting: HashMap<Ipv4Addr, VecDeque<usize>>,
@@ -198,7 +235,7 @@ impl JourneyAssembler {
         JourneyAssembler::default()
     }
 
-    fn open_slot(&mut self, qid: u64, src: Ipv4Addr, stage: Stage) -> usize {
+    fn open_slot(&mut self, node: u32, qid: u64, src: Ipv4Addr, stage: Stage) -> usize {
         let idx = self.slots.len();
         self.slots.push(Some(Journey {
             qid,
@@ -206,7 +243,7 @@ impl JourneyAssembler {
             stages: vec![stage],
             complete: false,
         }));
-        self.by_qid.insert(qid, idx);
+        self.by_qid.insert((node, qid), idx);
         idx
     }
 
@@ -248,9 +285,20 @@ impl JourneyAssembler {
         }
     }
 
-    /// Processes one trace event. Events without a `qid` field, and events
-    /// from components other than the guards, are ignored.
+    /// Processes one trace event from a single-node trace (node 0). Events
+    /// without a `qid` field, and events from components other than the
+    /// guards, are ignored.
     pub fn observe(&mut self, e: &Event) {
+        self.observe_on(0, e);
+    }
+
+    /// Processes one trace event observed on fleet node `node`. Traces
+    /// from several nodes must be merged into one time-ordered stream
+    /// (after per-node clock-offset correction) before feeding them here;
+    /// per-source challenge adoption then stitches a journey across a
+    /// catchment shift exactly as it stitches across a destination-IP
+    /// change — the pending challenge just lives on another node.
+    pub fn observe_on(&mut self, node: u32, e: &Event) {
         if e.component != "guard" && e.component != "guard_server" {
             return;
         }
@@ -268,34 +316,36 @@ impl JourneyAssembler {
         match e.kind {
             // Challenges: a new journey starts, waiting on the client.
             "fabricated_ns" | "tc_sent" | "grant" => {
-                let stage = Stage { name: e.kind, t_nanos: e.t_nanos, detail: "" };
-                let idx = self.open_slot(qid, src, stage);
+                let stage = Stage { name: e.kind, t_nanos: e.t_nanos, detail: "", node };
+                let idx = self.open_slot(node, qid, src, stage);
                 self.awaiting.entry(src).or_default().push_back(idx);
             }
             // TCP handshake completed: continues the client's pending TC
             // challenge, then waits for the proxied query.
             "proxy_accept" => {
-                let stage = Stage { name: "proxy_accept", t_nanos: e.t_nanos, detail: "" };
+                let stage = Stage { name: "proxy_accept", t_nanos: e.t_nanos, detail: "", node };
                 let idx = match self.take_awaiting(src, |s| s.name == "tc_sent") {
                     Some(idx) => {
                         self.push_stage(idx, stage);
-                        self.by_qid.insert(qid, idx);
+                        self.by_qid.insert((node, qid), idx);
                         idx
                     }
-                    None => self.open_slot(qid, src, stage),
+                    None => self.open_slot(node, qid, src, stage),
                 };
                 self.awaiting.entry(src).or_default().push_back(idx);
             }
             // A valid verify is the client's retry landing; link it to the
-            // pending challenge (or redirect) it answers. No pending
-            // challenge means a warm cookie cache: a fresh journey.
+            // pending challenge (or redirect) it answers — possibly issued
+            // by another node, when the client's catchment shifted between
+            // challenge and retry. No pending challenge means a warm
+            // cookie cache: a fresh journey.
             "verify" => {
                 if detail_of("verdict") != "valid" {
                     self.rejected_verifies += 1;
                     return;
                 }
                 let scheme = detail_of("scheme");
-                let stage = Stage { name: "verify", t_nanos: e.t_nanos, detail: scheme };
+                let stage = Stage { name: "verify", t_nanos: e.t_nanos, detail: scheme, node };
                 let linked = match scheme {
                     "ns_label" => self.take_awaiting(src, |s| s.name == "fabricated_ns"),
                     "ext" => self.take_awaiting(src, |s| s.name == "grant"),
@@ -307,10 +357,10 @@ impl JourneyAssembler {
                 match linked {
                     Some(idx) => {
                         self.push_stage(idx, stage);
-                        self.by_qid.insert(qid, idx);
+                        self.by_qid.insert((node, qid), idx);
                     }
                     None => {
-                        self.open_slot(qid, src, stage);
+                        self.open_slot(node, qid, src, stage);
                     }
                 }
             }
@@ -318,14 +368,14 @@ impl JourneyAssembler {
             // (the guard threads the qid through its forward table), or the
             // proxied connection's journey by client address.
             "forward" => {
-                let stage = Stage { name: "forward", t_nanos: e.t_nanos, detail: "" };
-                if let Some(&idx) = self.by_qid.get(&qid) {
+                let stage = Stage { name: "forward", t_nanos: e.t_nanos, detail: "", node };
+                if let Some(&idx) = self.by_qid.get(&(node, qid)) {
                     self.push_stage(idx, stage);
                 } else if let Some(idx) = self.take_awaiting(src, |s| s.name == "proxy_accept") {
                     self.push_stage(idx, stage);
-                    self.by_qid.insert(qid, idx);
+                    self.by_qid.insert((node, qid), idx);
                 } else {
-                    self.open_slot(qid, src, stage);
+                    self.open_slot(node, qid, src, stage);
                 }
             }
             // Relay of the ANS reply: terminal, unless it is the COOKIE2
@@ -333,9 +383,10 @@ impl JourneyAssembler {
             // requery the fabricated address.
             "relay" => {
                 let via = detail_of("via");
-                match self.by_qid.get(&qid).copied().filter(|&i| self.slots[i].is_some()) {
+                let found = self.by_qid.get(&(node, qid)).copied().filter(|&i| self.slots[i].is_some());
+                match found {
                     Some(idx) => {
-                        let stage = Stage { name: "relay", t_nanos: e.t_nanos, detail: via };
+                        let stage = Stage { name: "relay", t_nanos: e.t_nanos, detail: via, node };
                         self.push_stage(idx, stage);
                         if via == "cookie2_redirect" {
                             self.awaiting.entry(src).or_default().push_back(idx);
@@ -349,9 +400,10 @@ impl JourneyAssembler {
             // Stash hit: the COOKIE2 answer served from the guard's stash —
             // terminal.
             "stash_hit" => {
-                match self.by_qid.get(&qid).copied().filter(|&i| self.slots[i].is_some()) {
+                let found = self.by_qid.get(&(node, qid)).copied().filter(|&i| self.slots[i].is_some());
+                match found {
                     Some(idx) => {
-                        let stage = Stage { name: "stash_hit", t_nanos: e.t_nanos, detail: "" };
+                        let stage = Stage { name: "stash_hit", t_nanos: e.t_nanos, detail: "", node };
                         self.push_stage(idx, stage);
                         self.complete_slot(idx);
                     }
@@ -422,6 +474,7 @@ impl JourneyReport {
             registry.histogram("journey", "handshake_ns", &labels).record(a.handshake_ns);
             registry.histogram("journey", "guard_ns", &labels).record(a.guard_ns);
             registry.histogram("journey", "ans_ns", &labels).record(a.ans_ns);
+            registry.histogram("journey", "inter_site_ns", &labels).record(a.inter_site_ns);
             registry
                 .histogram("journey", "extra_rtt", &labels)
                 .record(u64::from(j.extra_round_trips()));
@@ -493,7 +546,7 @@ impl JourneyReport {
                 span(
                     &mut out,
                     &format!("{}\u{2192}{}", w[0].name, w[1].name),
-                    gap_class(&w[0]),
+                    gap_class_pair(&w[0], &w[1]),
                     w[0].t_nanos,
                     w[1].t_nanos - w[0].t_nanos,
                     j.qid,
@@ -511,7 +564,7 @@ fn push_journey_json(j: &Journey, out: &mut String) {
     out.push_str(&format!(
         "{{\"qid\":{},\"src\":\"{}\",\"scheme\":\"{}\",\"complete\":{},\
          \"t0\":{},\"total_ns\":{},\"handshake_ns\":{},\"guard_ns\":{},\
-         \"ans_ns\":{},\"extra_rtt\":{},\"stages\":[",
+         \"ans_ns\":{},\"inter_site_ns\":{},\"extra_rtt\":{},\"nodes\":[",
         j.qid,
         j.src,
         j.scheme(),
@@ -521,8 +574,16 @@ fn push_journey_json(j: &Journey, out: &mut String) {
         a.handshake_ns,
         a.guard_ns,
         a.ans_ns,
+        a.inter_site_ns,
         j.extra_round_trips(),
     ));
+    for (i, n) in j.nodes().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&n.to_string());
+    }
+    out.push_str("],\"stages\":[");
     for (i, s) in j.stages.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -531,9 +592,13 @@ fn push_journey_json(j: &Journey, out: &mut String) {
         escape_json_str(s.name, out);
         out.push(',');
         out.push_str(&s.t_nanos.to_string());
-        if !s.detail.is_empty() {
+        if !s.detail.is_empty() || s.node != 0 {
             out.push(',');
             escape_json_str(s.detail, out);
+        }
+        if s.node != 0 {
+            out.push(',');
+            out.push_str(&s.node.to_string());
         }
         out.push(']');
     }
@@ -545,9 +610,14 @@ fn push_journey_json(j: &Journey, out: &mut String) {
 pub fn render_timeline(j: &Journey) -> String {
     let a = j.attribution();
     let us = |ns: u64| ns as f64 / 1_000.0;
+    let inter = if a.inter_site_ns > 0 {
+        format!(", inter-site {:.1}us", us(a.inter_site_ns))
+    } else {
+        String::new()
+    };
     let mut out = format!(
         "journey qid={} scheme={} src={} {} total={:.1}us \
-         (handshake {:.1}us, guard {:.1}us, ans {:.1}us, {} extra RTT)\n",
+         (handshake {:.1}us, guard {:.1}us, ans {:.1}us{inter}, {} extra RTT)\n",
         j.qid,
         j.scheme(),
         j.src,
@@ -569,9 +639,10 @@ pub fn render_timeline(j: &Journey) -> String {
             String::new()
         } else {
             let prev = &j.stages[i - 1];
-            format!("  [+{:.1}us {}]", us(s.t_nanos - prev.t_nanos), gap_class(prev))
+            format!("  [+{:.1}us {}]", us(s.t_nanos - prev.t_nanos), gap_class_pair(prev, s))
         };
-        out.push_str(&format!("  {:>10.1}us  {label}{note}\n", us(s.t_nanos - t0)));
+        let node = if s.node != 0 { format!(" @node{}", s.node) } else { String::new() };
+        out.push_str(&format!("  {:>10.1}us  {label}{node}{note}\n", us(s.t_nanos - t0)));
     }
     out
 }
@@ -720,6 +791,77 @@ mod tests {
         assert_eq!(linked.stage_names(), vec!["fabricated_ns", "verify"]);
         let unlinked = report.incomplete.iter().find(|j| j.src == SRC).unwrap();
         assert_eq!(unlinked.stage_names(), vec!["fabricated_ns"], "stranger's retry not taken");
+    }
+
+    #[test]
+    fn cross_node_stitch_attributes_inter_site_gap() {
+        // Challenge on node 0, retry landing on node 1 after a catchment
+        // shift; same qid value on both nodes must not collide.
+        let (tracer_a, a) = tracer();
+        let (tracer_b, b) = tracer();
+        a.event(1_000, "fabricated_ns", &[src(), qid(7)]);
+        b.event(
+            501_000,
+            "verify",
+            &[("scheme", Value::Str("ns_label")), ("verdict", Value::Str("valid")), src(), qid(7)],
+        );
+        b.event(502_000, "forward", &[src(), qid(7)]);
+        b.event(902_000, "relay", &[("via", Value::Str("referral")), src(), qid(7)]);
+        let mut asm = JourneyAssembler::new();
+        let mut merged: Vec<(u32, Event)> = Vec::new();
+        merged.extend(tracer_a.drain().0.into_iter().map(|e| (0u32, e)));
+        merged.extend(tracer_b.drain().0.into_iter().map(|e| (1u32, e)));
+        merged.sort_by_key(|(_, e)| e.t_nanos);
+        for (node, e) in &merged {
+            asm.observe_on(*node, e);
+        }
+        let report = asm.finish();
+        assert_eq!(report.complete.len(), 1, "one journey across two nodes");
+        let j = &report.complete[0];
+        assert!(j.spans_nodes());
+        assert_eq!(j.nodes(), vec![0, 1]);
+        assert_eq!(j.stage_names(), vec!["fabricated_ns", "verify", "forward", "relay"]);
+        let attr = j.attribution();
+        assert_eq!(attr.inter_site_ns, 500_000, "challenge→shifted retry is the hop");
+        assert_eq!(attr.handshake_ns, 0, "cross-node gap reclassified off handshake");
+        assert_eq!(attr.guard_ns, 1_000);
+        assert_eq!(attr.ans_ns, 400_000);
+        assert_eq!(attr.total(), j.total_ns(), "attribution still sums exactly");
+    }
+
+    #[test]
+    fn same_qid_on_two_nodes_does_not_collide() {
+        let (tracer_a, a) = tracer();
+        let (tracer_b, b) = tracer();
+        let other = Ipv4Addr::new(10, 0, 0, 40);
+        // Two independent warm verifies, one per node, same qid value.
+        a.event(
+            10,
+            "verify",
+            &[("scheme", Value::Str("ns_label")), ("verdict", Value::Str("valid")), src(), qid(1)],
+        );
+        a.event(20, "forward", &[src(), qid(1)]);
+        b.event(
+            15,
+            "verify",
+            &[("scheme", Value::Str("ns_label")), ("verdict", Value::Str("valid")),
+              ("src", Value::Ip(other)), qid(1)],
+        );
+        b.event(25, "forward", &[("src", Value::Ip(other)), qid(1)]);
+        a.event(400, "relay", &[("via", Value::Str("referral")), src(), qid(1)]);
+        b.event(450, "relay", &[("via", Value::Str("referral")), ("src", Value::Ip(other)), qid(1)]);
+        let mut asm = JourneyAssembler::new();
+        let mut merged: Vec<(u32, Event)> = Vec::new();
+        merged.extend(tracer_a.drain().0.into_iter().map(|e| (0u32, e)));
+        merged.extend(tracer_b.drain().0.into_iter().map(|e| (1u32, e)));
+        merged.sort_by_key(|(_, e)| e.t_nanos);
+        for (node, e) in &merged {
+            asm.observe_on(*node, e);
+        }
+        let report = asm.finish();
+        assert_eq!(report.complete.len(), 2, "two distinct journeys");
+        assert_eq!(report.orphan_stages, 0);
+        assert!(report.complete.iter().all(|j| !j.spans_nodes()));
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //!   limiter saturation, amplification-bound breach, ANS down/flap and
 //!   trace-ring drops, with an active set, transition history and alert
 //!   events/counters.
+//! * [`fleet`] — the fleet observability plane: merges per-node snapshots
+//!   (counters sum, gauges max, histograms merge bucket-by-bucket),
+//!   stitches per-node traces into cross-node journeys after clock-offset
+//!   correction, and evaluates fleet-level rules (global spoof surge,
+//!   asymmetric-catchment rate skew, silent nodes) on counter-reset-safe
+//!   deltas.
 //!
 //! The crate has no simulator dependency: time is plain nanoseconds
 //! (`u64`), so both `netsim` sim-time and the runtime's wall-clock offsets
@@ -58,6 +64,7 @@
 
 pub mod alert;
 pub mod export;
+pub mod fleet;
 pub mod journey;
 pub mod metrics;
 pub mod trace;

@@ -281,7 +281,7 @@ impl MetricSample {
 }
 
 /// A snapshot value, by metric kind.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SampleValue {
     /// Counter total.
     Counter(u64),

@@ -90,6 +90,42 @@ pub struct Event {
 }
 
 impl Event {
+    /// Builds an event directly, outside any tracer — the entry point for
+    /// re-materialising events that crossed a process boundary (the fleet
+    /// collector parses node trace JSON back into [`Event`]s) and for test
+    /// fixtures. Fields beyond [`MAX_FIELDS`] are truncated, matching the
+    /// recording path.
+    pub fn new(
+        t_nanos: u64,
+        component: &'static str,
+        kind: &'static str,
+        fields: &[(&'static str, Value)],
+    ) -> Event {
+        let mut buf = [("", Value::U64(0)); MAX_FIELDS];
+        let n = fields.len().min(MAX_FIELDS);
+        buf[..n].copy_from_slice(&fields[..n]);
+        Event {
+            t_nanos,
+            component,
+            kind,
+            fields: buf,
+            n_fields: n as u8,
+        }
+    }
+
+    /// A copy of this event with its timestamp shifted by `offset_nanos`
+    /// (saturating at the u64 bounds) — per-node clock-offset correction
+    /// applied by the fleet aggregator before stitching.
+    pub fn with_offset(&self, offset_nanos: i64) -> Event {
+        let mut e = self.clone();
+        e.t_nanos = if offset_nanos >= 0 {
+            e.t_nanos.saturating_add(offset_nanos as u64)
+        } else {
+            e.t_nanos.saturating_sub(offset_nanos.unsigned_abs())
+        };
+        e
+    }
+
     /// The event's fields.
     pub fn fields(&self) -> &[(&'static str, Value)] {
         &self.fields[..self.n_fields as usize]

@@ -1,0 +1,672 @@
+//! Fleet telemetry collector: polls every node's [`TelemetryServer`]
+//! endpoint and feeds an [`obs::fleet::FleetAggregator`].
+//!
+//! Each poll issues two commands per node over one TCP connection —
+//! `snapshot` (non-consuming metrics read) and `drain_traces` (the
+//! consuming, atomic trace read) — and hand-parses the replies back into
+//! [`FleetSample`]s and [`Event`]s. The wire formats are this workspace's
+//! own ([`obs::export::metrics_json`] / [`obs::export::event_json`]), so
+//! the parser is a small recursive-descent JSON reader plus an interner
+//! over the closed vocabulary of component/kind/field strings the guard
+//! emits; no external JSON crate is involved.
+//!
+//! Failure handling is deliberately lossy-but-safe:
+//!
+//! * a node that refuses the connection, times out, or truncates a reply
+//!   simply contributes nothing this round — its `last_seen` age keeps
+//!   growing and [`FleetAggregator::evaluate`] edges it into `node_silent`;
+//! * replies are read through a buffered line reader, so a snapshot split
+//!   across many TCP segments (or coalesced with the trace reply) parses
+//!   identically;
+//! * an unparseable reply is dropped whole (counted, never partially
+//!   ingested), so a half-written line cannot corrupt the merged view.
+//!
+//! [`TelemetryServer`]: crate::telemetry::TelemetryServer
+
+use obs::fleet::{FleetAggregator, FleetAlertConfig, FleetSample};
+use obs::metrics::{Counter, SampleValue};
+use obs::trace::{Event, Value};
+use obs::Obs;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Per-connection budget: connect and per-read timeout. Nodes are on
+/// loopback (or a LAN hop) — anything slower than this is "silent".
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// The closed vocabulary of `&'static str` strings this workspace's trace
+/// and metric emitters use: components, event kinds, field names, string
+/// field values, and alert rule names. Parsing interns against this table
+/// so reconstructed [`Event`]s carry the same `'static` strings the
+/// original emitters used — which is what lets the journey assembler and
+/// alert rules match on them.
+const VOCAB: &[&str] = &[
+    // components
+    "alert", "ans", "bench", "client", "fleet", "guard", "guard_server", "netsim", "proxy",
+    "resolver", "sim", "trace",
+    // event kinds
+    "admission_shed", "amp", "ans_down", "ans_probe", "ans_recovered", "catchment_shift",
+    "checkpoint", "corrupted", "crash_dropped", "duplicated", "evict", "fabricated_ns",
+    "fail_closed", "fleet_key_rotate", "forward", "grant", "injected_loss", "journey_stitch",
+    "mix", "node_silent", "partition_dropped", "passthrough", "peer_down", "proxy_accept",
+    "proxy_relay", "refused", "relay", "reordered", "restore", "rl_drop", "servfail",
+    "stash_hit", "takeover", "tc_sent", "tcp_fallback", "tier_change", "timeout", "verify",
+    // field names
+    "addr", "age_nanos", "age_ns", "bytes", "epoch", "from", "inter_site_ns", "ip", "limiter",
+    "n", "node", "nodes", "ok", "orig_txid", "qid", "ratio", "role", "rtt_ns", "rule", "scheme",
+    "seq", "src", "state", "table", "threshold", "tier", "timeouts", "to", "token", "txid",
+    "value", "verdict", "via",
+    // string field values
+    "cookie", "cookie2", "cookie2_redirect", "dns_based", "ext", "fwd", "invalid", "master",
+    "member", "normal", "ns_label", "referral", "rl1", "rl2", "shed", "stash", "surge", "tcp",
+    "valid",
+    // per-node alert rule names (the `rule` field of `alert` events)
+    "spoof_surge", "rl1_saturation", "rl2_saturation", "amplification_breach", "ans_flap",
+    "trace_drops", "checkpoint_lag", "failover_triggered", "admission_shedding",
+    "handshake_storm", "fleet_spoof_surge", "site_rate_skew",
+];
+
+/// Interns `s` against [`VOCAB`]. `None` means the string is outside the
+/// workspace's emit vocabulary (a foreign or corrupted reply).
+fn intern(s: &str) -> Option<&'static str> {
+    VOCAB.iter().find(|v| **v == s).copied()
+}
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for the workspace's own export formats.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers keep their raw text so `u64` counters
+/// survive without a round-trip through `f64`.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Reader<'a> {
+        Reader { b: s.as_bytes(), i: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        self.skip_ws();
+        match self.b.get(self.i)? {
+            b'{' => {
+                self.i += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.eat(b':')?;
+                    pairs.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.b.get(self.i)? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Some(Json::Obj(pairs));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.b.get(self.i)? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Some(Json::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => self.string().map(Json::Str),
+            b't' => self.literal(b"true").map(|()| Json::Bool(true)),
+            b'f' => self.literal(b"false").map(|()| Json::Bool(false)),
+            b'n' => self.literal(b"null").map(|()| Json::Null),
+            b'-' | b'0'..=b'9' => self.number().map(Json::Num),
+            _ => None,
+        }
+    }
+
+    fn literal(&mut self, lit: &[u8]) -> Option<()> {
+        if self.b.len() - self.i >= lit.len() && &self.b[self.i..self.i + lit.len()] == lit {
+            self.i += lit.len();
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn string(&mut self) -> Option<String> {
+        if self.b.get(self.i) != Some(&b'"') {
+            return None;
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.b.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                &c => {
+                    // Multi-byte UTF-8 sequences pass through bytewise; the
+                    // input came from a &str so they are valid.
+                    let start = self.i;
+                    self.i += 1;
+                    if c >= 0x80 {
+                        while self.b.get(self.i).is_some_and(|&b| b & 0xc0 == 0x80) {
+                            self.i += 1;
+                        }
+                    }
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).ok()?);
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Option<String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        while self
+            .b
+            .get(self.i)
+            .is_some_and(|&c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        if self.i == start {
+            return None;
+        }
+        std::str::from_utf8(&self.b[start..self.i]).ok().map(String::from)
+    }
+}
+
+fn parse_json(s: &str) -> Option<Json> {
+    let mut r = Reader::new(s);
+    let v = r.value()?;
+    r.skip_ws();
+    if r.i == r.b.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reply decoding: snapshot and drain_traces.
+// ---------------------------------------------------------------------------
+
+/// Decodes one `snapshot` reply ([`obs::export::metrics_json`] shape) into
+/// fleet samples. Returns `None` if the document is structurally invalid;
+/// individual samples with unknown kinds are skipped, not fatal.
+pub fn parse_snapshot_reply(reply: &str) -> Option<Vec<FleetSample>> {
+    let doc = parse_json(reply)?;
+    let Json::Arr(metrics) = doc.get("metrics")? else {
+        return None;
+    };
+    let mut out = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let component = m.get("component")?.as_str()?.to_string();
+        let name = m.get("name")?.as_str()?.to_string();
+        let mut labels = Vec::new();
+        if let Some(Json::Obj(pairs)) = m.get("labels") {
+            for (k, v) in pairs {
+                labels.push((k.clone(), v.as_str()?.to_string()));
+            }
+        }
+        let value = match m.get("kind")?.as_str()? {
+            "counter" => SampleValue::Counter(m.get("value")?.as_u64()?),
+            "gauge" => SampleValue::Gauge(m.get("value")?.as_u64()?),
+            "histogram" => {
+                let Json::Arr(raw) = m.get("buckets")? else {
+                    return None;
+                };
+                let mut buckets = Vec::with_capacity(raw.len());
+                for b in raw {
+                    let Json::Arr(pair) = b else { return None };
+                    if pair.len() != 2 {
+                        return None;
+                    }
+                    buckets.push((pair[0].as_u64()?, pair[1].as_u64()?));
+                }
+                SampleValue::Histogram {
+                    count: m.get("count")?.as_u64()?,
+                    sum: m.get("sum")?.as_u64()?,
+                    buckets,
+                }
+            }
+            _ => continue,
+        };
+        out.push(FleetSample { component, name, labels, value });
+    }
+    Some(out)
+}
+
+/// Decodes one `drain_traces` reply (`{"events":[...],"dropped":N}`) into
+/// offset-uncorrected events plus the node's drop count. Events whose
+/// component or kind falls outside the workspace vocabulary are skipped
+/// (they cannot be represented as `&'static str` and would never match a
+/// journey or alert rule anyway); unknown field names or string values
+/// drop just that field.
+pub fn parse_drain_reply(reply: &str) -> Option<(Vec<Event>, u64)> {
+    let doc = parse_json(reply)?;
+    let dropped = doc.get("dropped")?.as_u64()?;
+    let Json::Arr(raw) = doc.get("events")? else {
+        return None;
+    };
+    let mut events = Vec::with_capacity(raw.len());
+    for e in raw {
+        let t = e.get("t")?.as_u64()?;
+        let (Some(component), Some(kind)) = (
+            e.get("component").and_then(|c| c.as_str()).and_then(intern),
+            e.get("kind").and_then(|k| k.as_str()).and_then(intern),
+        ) else {
+            continue;
+        };
+        let mut fields: Vec<(&'static str, Value)> = Vec::new();
+        if let Some(Json::Obj(pairs)) = e.get("fields") {
+            for (k, v) in pairs {
+                let Some(key) = intern(k) else { continue };
+                let Some(value) = decode_field_value(v) else { continue };
+                fields.push((key, value));
+            }
+        }
+        events.push(Event::new(t, component, kind, &fields));
+    }
+    Some((events, dropped))
+}
+
+/// Recovers a trace [`Value`] from its JSON encoding. The wire format is
+/// not self-describing, so this inverts [`obs::export::event_json`]'s
+/// conventions: quoted dotted-quads were IPs, other strings intern or
+/// drop, numbers map to the narrowest of `U64`/`I64`/`F64`.
+fn decode_field_value(v: &Json) -> Option<Value> {
+    match v {
+        Json::Bool(b) => Some(Value::Bool(*b)),
+        Json::Str(s) => {
+            if let Ok(ip) = s.parse::<Ipv4Addr>() {
+                Some(Value::Ip(ip))
+            } else {
+                intern(s).map(Value::Str)
+            }
+        }
+        Json::Num(raw) => {
+            if raw.contains(['.', 'e', 'E']) {
+                raw.parse::<f64>().ok().map(Value::F64)
+            } else if raw.starts_with('-') {
+                raw.parse::<i64>().ok().map(Value::I64)
+            } else {
+                raw.parse::<u64>().ok().map(Value::U64)
+            }
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The collector.
+// ---------------------------------------------------------------------------
+
+/// Polls a fleet of [`TelemetryServer`] endpoints and feeds a
+/// [`FleetAggregator`].
+///
+/// [`TelemetryServer`]: crate::telemetry::TelemetryServer
+pub struct FleetCollector {
+    agg: FleetAggregator,
+    endpoints: Vec<SocketAddr>,
+    polls: Counter,
+    poll_failures: Counter,
+    parse_failures: Counter,
+}
+
+impl FleetCollector {
+    /// A collector with no nodes; add them with [`FleetCollector::add_node`].
+    pub fn new(config: FleetAlertConfig) -> FleetCollector {
+        FleetCollector {
+            agg: FleetAggregator::new(config),
+            endpoints: Vec::new(),
+            polls: Counter::new(),
+            poll_failures: Counter::new(),
+            parse_failures: Counter::new(),
+        }
+    }
+
+    /// Adopts the aggregator's and the collector's own metrics/trace into
+    /// `obs`.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.agg.attach_obs(obs);
+        obs.registry.adopt_counter("fleet", "polls", &[], &self.polls);
+        obs.registry
+            .adopt_counter("fleet", "poll_failures", &[], &self.poll_failures);
+        obs.registry
+            .adopt_counter("fleet", "parse_failures", &[], &self.parse_failures);
+    }
+
+    /// Registers a node's telemetry endpoint. `offset_nanos` is the
+    /// correction *added* to the node's timestamps to express them on the
+    /// fleet clock (a node whose clock runs 7 ms ahead registers −7 ms).
+    pub fn add_node(&mut self, name: &str, addr: SocketAddr, offset_nanos: i64) -> u32 {
+        let id = self.agg.register_node(name, offset_nanos);
+        self.endpoints.push(addr);
+        id
+    }
+
+    /// Polls every node once (snapshot + atomic trace drain) and ingests
+    /// whatever arrived intact. `t_nanos` is the fleet-clock poll time
+    /// stamped on the snapshots. Returns how many nodes answered with a
+    /// parseable snapshot; nodes that failed contribute nothing and age
+    /// toward `node_silent`.
+    pub fn poll(&mut self, t_nanos: u64) -> usize {
+        let mut answered = 0;
+        for (idx, addr) in self.endpoints.iter().enumerate() {
+            self.polls.inc();
+            let (snap_line, drain_line) = match fetch(*addr) {
+                Ok(lines) => lines,
+                Err(_) => {
+                    self.poll_failures.inc();
+                    continue;
+                }
+            };
+            match parse_snapshot_reply(&snap_line) {
+                Some(samples) => {
+                    self.agg.observe_snapshot(idx as u32, t_nanos, samples);
+                    answered += 1;
+                }
+                None => self.parse_failures.inc(),
+            }
+            match parse_drain_reply(&drain_line) {
+                Some((events, _dropped)) => self.agg.observe_trace(idx as u32, &events),
+                None => self.parse_failures.inc(),
+            }
+        }
+        answered
+    }
+
+    /// [`FleetCollector::poll`] followed by a rule evaluation at the same
+    /// fleet time. Returns how many nodes answered.
+    pub fn poll_and_evaluate(&mut self, t_nanos: u64) -> usize {
+        let answered = self.poll(t_nanos);
+        self.agg.evaluate(t_nanos);
+        answered
+    }
+
+    /// The aggregator (merged snapshots, stitching, alert state).
+    pub fn aggregator(&self) -> &FleetAggregator {
+        &self.agg
+    }
+
+    /// Mutable aggregator access (e.g. to drive `evaluate` on a cadence
+    /// decoupled from polling).
+    pub fn aggregator_mut(&mut self) -> &mut FleetAggregator {
+        &mut self.agg
+    }
+}
+
+/// One polling round-trip: both commands on one connection, one reply line
+/// each. Any IO error (refused, timeout, early close) fails the whole
+/// round — partial data is never returned.
+fn fetch(addr: SocketAddr) -> std::io::Result<(String, String)> {
+    let stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    writer.write_all(b"snapshot\ndrain_traces\n")?;
+    writer.flush()?;
+    let mut snap = String::new();
+    reader.read_line(&mut snap)?;
+    let mut drain = String::new();
+    reader.read_line(&mut drain)?;
+    if snap.is_empty() || drain.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "telemetry reply truncated",
+        ));
+    }
+    Ok((snap, drain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::TelemetryServer;
+    use obs::alert::{shared, AlertConfig, AlertEngine};
+    use obs::export::{event_json, metrics_json};
+    use obs::trace::Level;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    #[test]
+    fn snapshot_reply_round_trips_all_metric_kinds() {
+        let obs = Obs::new();
+        obs.registry
+            .counter("guard", "verify", &[("verdict", "invalid")])
+            .add(41);
+        obs.registry.gauge("guard", "amp_milli", &[]).set(900);
+        let h = obs.registry.histogram("guard", "latency_ns", &[]);
+        h.record(0);
+        h.record(1_000);
+        h.record(1_000_000);
+        let json = metrics_json(&obs.registry.snapshot());
+        let parsed = parse_snapshot_reply(&json).expect("round trip");
+        assert_eq!(parsed.len(), 3);
+        let find = |name: &str| parsed.iter().find(|s| s.name == name).unwrap();
+        assert_eq!(find("verify").value, SampleValue::Counter(41));
+        assert_eq!(
+            find("verify").labels,
+            vec![("verdict".to_string(), "invalid".to_string())]
+        );
+        assert_eq!(find("amp_milli").value, SampleValue::Gauge(900));
+        match &find("latency_ns").value {
+            SampleValue::Histogram { count, sum, buckets } => {
+                assert_eq!(*count, 3);
+                assert_eq!(*sum, 1_001_000);
+                assert!(!buckets.is_empty());
+                let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+                assert_eq!(total, 3);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drain_reply_round_trips_events_and_drops_foreign_strings() {
+        let obs = Obs::new();
+        obs.tracer.set_default_level(Level::Info);
+        let t = obs.tracer.component("guard");
+        t.event(
+            5_000,
+            "verify",
+            &[
+                ("src", Value::Ip(Ipv4Addr::new(10, 0, 3, 1))),
+                ("qid", Value::U64(77)),
+                ("verdict", Value::Str("valid")),
+                ("ok", Value::Bool(true)),
+            ],
+        );
+        let (events, _) = obs.tracer.drain();
+        let reply = format!("{{\"events\":[{}],\"dropped\":2}}", event_json(&events[0]));
+        let (parsed, dropped) = parse_drain_reply(&reply).expect("round trip");
+        assert_eq!(dropped, 2);
+        assert_eq!(parsed.len(), 1);
+        let e = &parsed[0];
+        assert_eq!(e.t_nanos, 5_000);
+        assert_eq!(e.component, "guard");
+        assert_eq!(e.kind, "verify");
+        assert_eq!(e.field("src"), Some(Value::Ip(Ipv4Addr::new(10, 0, 3, 1))));
+        assert_eq!(e.field("qid"), Some(Value::U64(77)));
+        assert_eq!(e.field("verdict"), Some(Value::Str("valid")));
+        assert_eq!(e.field("ok"), Some(Value::Bool(true)));
+
+        // A reply from something that is not our guard: unknown kind means
+        // the event is skipped, not mangled into a lookalike.
+        let foreign =
+            "{\"events\":[{\"t\":1,\"component\":\"guard\",\"kind\":\"exfiltrate\",\"fields\":{}}],\"dropped\":0}";
+        let (parsed, _) = parse_drain_reply(foreign).unwrap();
+        assert!(parsed.is_empty());
+
+        // Structurally broken JSON rejects the whole reply.
+        assert!(parse_drain_reply("{\"events\":[{\"t\":1").is_none());
+        assert!(parse_snapshot_reply("{\"metrics\":[{]}").is_none());
+    }
+
+    #[test]
+    fn collector_merges_two_live_nodes_and_ages_a_dead_one_into_silence() {
+        // Two live nodes, each with its own Obs and telemetry endpoint.
+        let mk_node = |invalids: u64| {
+            let obs = Obs::new();
+            obs.tracer.set_default_level(Level::Info);
+            let engine = shared(AlertEngine::new(AlertConfig::default()));
+            let server =
+                TelemetryServer::spawn(&obs, engine, Duration::from_millis(250)).unwrap();
+            obs.registry
+                .counter("guard", "verify", &[("verdict", "invalid")])
+                .add(invalids);
+            obs.tracer.component("guard").event(
+                1_000,
+                "rl_drop",
+                &[("limiter", Value::Str("rl1"))],
+            );
+            (obs, server)
+        };
+        let (_obs_a, server_a) = mk_node(30);
+        let (_obs_b, server_b) = mk_node(12);
+
+        // A third endpoint that is already gone: bind, grab the addr, drop.
+        let dead_addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+
+        let fleet_obs = Obs::new();
+        fleet_obs.tracer.set_default_level(Level::Info);
+        let mut collector = FleetCollector::new(FleetAlertConfig {
+            silent_after_nanos: 50_000_000, // 50 ms
+            ..FleetAlertConfig::default()
+        });
+        collector.attach_obs(&fleet_obs);
+        collector.add_node("site_a", server_a.addr(), 0);
+        collector.add_node("site_b", server_b.addr(), 0);
+        collector.add_node("site_c", dead_addr, 0);
+
+        assert_eq!(collector.poll_and_evaluate(10_000_000), 2);
+        // Baseline pass: counters merged (sum), traces ingested.
+        let merged = collector.aggregator().merged_snapshot();
+        let verify = merged
+            .iter()
+            .find(|s| s.name == "verify")
+            .expect("merged verify cell");
+        assert_eq!(verify.value, SampleValue::Counter(42));
+        assert_eq!(collector.aggregator().event_count(), 2);
+
+        // The traces were *drained*: a second poll brings no duplicates.
+        assert_eq!(collector.poll_and_evaluate(80_000_000), 2);
+        assert_eq!(collector.aggregator().event_count(), 2);
+
+        // The dead node never reported and the silent window has elapsed.
+        assert!(collector.aggregator().is_node_silent(2));
+        assert!(collector
+            .aggregator()
+            .fired_rules()
+            .contains(&"node_silent"));
+        // Collector bookkeeping: 6 polls, 2 failed (the dead node).
+        assert_eq!(collector.polls.get(), 6);
+        assert_eq!(collector.poll_failures.get(), 2);
+        assert_eq!(collector.parse_failures.get(), 0);
+
+        server_a.shutdown();
+        server_b.shutdown();
+    }
+}

@@ -10,8 +10,12 @@
 //! * [`client`] — a cookie-capable client that transparently performs the
 //!   cookie exchange and stamps cached cookies on queries;
 //! * [`telemetry`] — a live telemetry endpoint (newline-JSON over TCP):
-//!   metrics snapshots, recent trace events and active alerts on demand,
-//!   with periodic alert-rule evaluation.
+//!   metrics snapshots, recent trace events, atomic trace drains and
+//!   active alerts on demand, with periodic alert-rule evaluation;
+//! * [`fleet_collector`] — the fleet side of that wire: polls every
+//!   node's endpoint, hand-parses the replies back into samples and
+//!   events, and feeds an [`obs::fleet::FleetAggregator`] for merged
+//!   snapshots, cross-node journey stitching and fleet alerting.
 //!
 //! The packet-level performance evaluation lives in [`netsim`]-based
 //! experiments (`bench` crate); this crate demonstrates that the same
@@ -22,12 +26,14 @@
 
 pub mod ans;
 pub mod client;
+pub mod fleet_collector;
 pub mod guard_server;
 pub mod tcp_front;
 pub mod telemetry;
 
 pub use ans::ToyAns;
 pub use client::{ClientError, CookieClient};
+pub use fleet_collector::FleetCollector;
 pub use guard_server::{spawn_guarded, GuardServer};
 pub use tcp_front::{query_over_tcp, TcpFront};
 pub use telemetry::TelemetryServer;

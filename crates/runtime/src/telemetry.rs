@@ -10,7 +10,14 @@
 //! | `ping`     | `{"ok":true}`                                             |
 //! | `snapshot` | the full metrics snapshot (same shape as `BENCH_obs.json`'s snapshot array) |
 //! | `events`   | the most recent trace events (non-consuming peek)         |
+//! | `drain_traces` | `{"events":[...],"dropped":N}` — consumes the ring atomically |
 //! | `alerts`   | the alert engine's active set and transition history      |
+//!
+//! `events` peeks and can be issued by any number of concurrent dashboard
+//! clients; `drain_traces` is the fleet collector's consuming read. The
+//! drain happens in one `Tracer::drain` call under the ring lock, so two
+//! collectors racing each other partition the events — every event is
+//! delivered to exactly one of them, never both, never neither.
 //!
 //! Unknown commands get `{"error":"unknown command"}`. The server also
 //! drives the alert engine: every `eval_every`, it evaluates the rules
@@ -145,6 +152,22 @@ fn serve_client(stream: TcpStream, obs: &Obs, engine: &SharedAlertEngine) -> io:
                     out.push(']');
                     out
                 }
+                "drain_traces" => {
+                    // One atomic drain per request: the ring is emptied and
+                    // the drop count read under a single ring lock, so
+                    // concurrent snapshot/events readers can't double-drain
+                    // and two drainers split the stream disjointly.
+                    let (events, dropped) = obs.tracer.drain();
+                    let mut out = String::from("{\"events\":[");
+                    for (i, e) in events.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&event_json(e));
+                    }
+                    out.push_str(&format!("],\"dropped\":{dropped}}}"));
+                    out
+                }
                 "alerts" => engine.lock().alerts_json(),
                 _ => "{\"error\":\"unknown command\"}".to_string(),
             };
@@ -245,6 +268,76 @@ mod tests {
         reader.read_line(&mut l2).unwrap();
         assert_eq!(l1.trim(), "{\"ok\":true}");
         assert!(l2.contains("unknown command"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn drain_traces_consumes_ring_even_byte_at_a_time() {
+        let obs = Obs::new();
+        obs.tracer.set_default_level(Level::Info);
+        let engine = obs::alert::shared(AlertEngine::new(AlertConfig::default()));
+        let server =
+            TelemetryServer::spawn(&obs, engine, Duration::from_millis(50)).unwrap();
+
+        let t = obs.tracer.component("demo");
+        for i in 0..5u64 {
+            t.event(i * 100, "hit", &[("n", Value::U64(i))]);
+        }
+
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        // The command arrives one byte per segment; the server must not
+        // dispatch (and drain) until the newline completes the line.
+        for b in b"drain_traces\n" {
+            writer.write_all(&[*b]).unwrap();
+            writer.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let reply = line.trim();
+        validate_json(reply).unwrap_or_else(|p| panic!("invalid JSON at {p}: {reply}"));
+        assert_eq!(reply.matches("\"kind\":\"hit\"").count(), 5, "reply: {reply}");
+        assert!(reply.contains("\"dropped\":0"), "reply: {reply}");
+
+        // The drain consumed the ring: a second drain returns nothing.
+        writer.write_all(b"drain_traces\n").unwrap();
+        writer.flush().unwrap();
+        let mut line2 = String::new();
+        reader.read_line(&mut line2).unwrap();
+        assert!(line2.contains("\"events\":[]"), "second drain: {line2}");
+        assert!(obs.tracer.drain().0.is_empty());
+        server.shutdown();
+    }
+
+    #[test]
+    fn two_clients_drain_disjointly() {
+        let obs = Obs::new();
+        obs.tracer.set_default_level(Level::Info);
+        let engine = obs::alert::shared(AlertEngine::new(AlertConfig::default()));
+        let server =
+            TelemetryServer::spawn(&obs, engine, Duration::from_millis(50)).unwrap();
+
+        let t = obs.tracer.component("demo");
+        for i in 0..20u64 {
+            t.event(i, "hit", &[("n", Value::U64(i))]);
+        }
+
+        // Two clients race drains: the accept loop serialises them, and
+        // each request performs one atomic drain, so the union of the two
+        // replies is exactly the recorded stream with no event twice.
+        let r1 = query(server.addr(), &["drain_traces"]);
+        let r2 = query(server.addr(), &["drain_traces"]);
+        let total: usize = [&r1[0], &r2[0]]
+            .iter()
+            .map(|r| r.matches("\"kind\":\"hit\"").count())
+            .sum();
+        assert_eq!(total, 20, "union must cover all events exactly once: {r1:?} {r2:?}");
+        // First drainer took everything; the second saw an empty ring.
+        assert_eq!(r1[0].matches("\"kind\":\"hit\"").count(), 20);
+        assert!(r2[0].contains("\"events\":[]"), "second client: {}", r2[0]);
         server.shutdown();
     }
 
