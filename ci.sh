@@ -12,7 +12,7 @@
 #
 # Usage: ./ci.sh [stage]
 #   stage ∈ {build, test, lint, clippy, telemetry, journeys, ha, fleet,
-#   fleetobs, docs}; no argument runs all.
+#   fleetobs, analytics, docs}; no argument runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -84,6 +84,17 @@ if want fleetobs; then
   cargo run --release --offline -p bench --bin telemetry_check -- \
     --fleetobs target/fleetobs-smoke/BENCH_fleetobs.json \
     target/fleetobs-smoke/BENCH_fleetobs_trace.jsonl
+fi
+
+if want analytics; then
+  echo "==> traffic-analytics smoke (feature tests + BENCH_analytics export + validation)"
+  cargo test -q --offline -p dnsguard --features traffic-analytics
+  cargo test -q --offline -p bench --features traffic-analytics analytics
+  mkdir -p target/analytics-smoke
+  cargo run --release --offline -p bench --features traffic-analytics \
+    --bin all_experiments -- --analytics-only --obs-out target/analytics-smoke
+  cargo run --release --offline -p bench --bin telemetry_check -- \
+    --analytics target/analytics-smoke/BENCH_analytics.json
 fi
 
 if want docs; then

@@ -1,0 +1,160 @@
+//! Low-and-slow botnet workload: many real sources, each below every
+//! per-source threshold.
+//!
+//! The complement of the spoofed flood and the flash crowd: thousands of
+//! compromised hosts each query at a trickle — individually indistinguishable
+//! from legitimate clients (Rate-Limiter2 never trips), collectively a
+//! flood. What gives it away is exactly what the traffic-analytics layer
+//! measures: the distinct-source count surges past any plausible resolver
+//! population while per-source repeat rates stay near 1 and the source
+//! distribution is uniform (maximal entropy) — no real client population
+//! is that even. The discriminator labels the onset `spoof_flood`
+//! (population anomaly), never `flash_crowd`.
+//!
+//! Open-loop with the same tick pacing as [`crate::flood::SpoofedFlood`];
+//! emission round-robins the pool so per-source rates are exactly uniform,
+//! and exact per-source counts are kept as bench ground truth.
+
+use dnswire::message::Message;
+use dnswire::name::Name;
+use dnswire::types::RrType;
+use netsim::engine::{Context, Node};
+use netsim::packet::{Endpoint, Packet, DNS_PORT};
+use netsim::time::SimTime;
+use std::net::Ipv4Addr;
+
+/// Configuration of the botnet.
+#[derive(Debug, Clone)]
+pub struct BotnetConfig {
+    /// Target (the guard's public address, usually).
+    pub target: Ipv4Addr,
+    /// First bot address; bots are `source_base .. +source_count`.
+    pub source_base: Ipv4Addr,
+    /// Number of bots.
+    pub source_count: u32,
+    /// Per-bot packets per second (kept low — the point of the attack).
+    pub per_source_rate: f64,
+    /// Queried name.
+    pub qname: Name,
+    /// Stop after this much simulated time (None = run forever).
+    pub duration: Option<SimTime>,
+}
+
+/// The botnet node: one simulator node round-robining the whole pool.
+pub struct BotnetLowRate {
+    config: BotnetConfig,
+    started: SimTime,
+    sent: u64,
+    next: u32,
+    /// Exact datagrams sent per bot — the bench's ground truth.
+    per_source: Vec<u64>,
+}
+
+/// Batch period, matching the flood generators.
+const TICK: SimTime = SimTime::from_micros(100);
+
+impl BotnetLowRate {
+    /// Creates the botnet node.
+    pub fn new(config: BotnetConfig) -> Self {
+        BotnetLowRate {
+            per_source: vec![0; config.source_count.max(1) as usize],
+            config,
+            started: SimTime::ZERO,
+            sent: 0,
+            next: 0,
+        }
+    }
+
+    /// Packets sent so far (aggregate).
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Exact datagrams sent per bot.
+    pub fn per_source(&self) -> &[u64] {
+        &self.per_source
+    }
+
+    /// The aggregate rate: `source_count × per_source_rate`.
+    pub fn aggregate_rate(&self) -> f64 {
+        f64::from(self.config.source_count) * self.config.per_source_rate
+    }
+
+    /// The address of bot `idx` (0-based).
+    pub fn source_addr(&self, idx: usize) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.config.source_base).wrapping_add(idx as u32))
+    }
+}
+
+impl Node for BotnetLowRate {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.started = ctx.now();
+        ctx.set_timer(SimTime::ZERO, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+        if let Some(d) = self.config.duration {
+            if ctx.now().saturating_sub(self.started) >= d {
+                return;
+            }
+        }
+        let elapsed = ctx.now().saturating_sub(self.started);
+        let due = (elapsed.as_secs_f64() * self.aggregate_rate()) as u64;
+        let batch = due.saturating_sub(self.sent).min(1_000);
+        for _ in 0..batch {
+            self.sent += 1;
+            let idx = (self.next % self.config.source_count.max(1)) as usize;
+            self.next = self.next.wrapping_add(1);
+            self.per_source[idx] += 1;
+            let src = Endpoint::new(self.source_addr(idx), 1024 + (idx % 50_000) as u16);
+            let txid = (self.sent % 0xFFFF) as u16;
+            let q = Message::iterative_query(txid, self.config.qname.clone(), RrType::A);
+            ctx.send(Packet::udp(src, Endpoint::new(self.config.target, DNS_PORT), q.encode()));
+        }
+        ctx.set_timer(TICK, 0);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::engine::{CpuConfig, Simulator};
+
+    #[test]
+    fn every_bot_stays_below_per_source_rate_but_aggregate_floods() {
+        let mut sim = Simulator::new(12);
+        let target = Ipv4Addr::new(1, 2, 3, 4);
+        struct Sink {
+            received: u64,
+        }
+        impl Node for Sink {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {
+                self.received += 1;
+            }
+        }
+        let sink = sim.add_node(target, CpuConfig::unbounded(), Sink { received: 0 });
+        let bots = sim.add_node(
+            Ipv4Addr::new(78, 0, 0, 1),
+            CpuConfig::unbounded(),
+            BotnetLowRate::new(BotnetConfig {
+                target,
+                source_base: Ipv4Addr::new(130, 0, 0, 1),
+                source_count: 2_000,
+                per_source_rate: 4.0,
+                qname: "www.foo.com".parse().unwrap(),
+                duration: None,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let b = sim.node_ref::<BotnetLowRate>(bots).unwrap();
+        // Aggregate ≈ 8000/s — a flood —
+        assert!((b.sent() as f64 - 8_000.0).abs() < 300.0, "aggregate {}", b.sent());
+        let received = sim.node_ref::<Sink>(sink).unwrap().received;
+        assert!(received + 10 >= b.sent(), "delivered {received} of {}", b.sent());
+        // — while every bot individually sent ≈ 4 queries.
+        assert!(b.per_source().iter().all(|&c| c <= 5), "low and slow per bot");
+        assert_eq!(b.per_source().iter().sum::<u64>(), b.sent());
+    }
+}

@@ -1,0 +1,186 @@
+//! Flash-crowd workload: a bounded population of *real* clients whose
+//! query volume follows a Zipf popularity curve.
+//!
+//! This is the legitimate look-alike of a flood — a news event sends a
+//! burst of traffic to the zone, but from a fixed set of resolvers whose
+//! per-client volume is heavily skewed (a few big ISP resolvers dominate,
+//! a long tail queries once in a while). The traffic-analytics
+//! discriminator must label this `flash_crowd`, never `spoof_flood`: the
+//! source population is bounded, re-queries are common, and the source
+//! distribution is far from uniform.
+//!
+//! The node is open-loop like [`crate::flood::SpoofedFlood`] (same tick
+//! pacing) and keeps exact per-source ground truth, so the analytics
+//! bench can compare sketch estimates against reality.
+
+use dnswire::message::Message;
+use dnswire::name::Name;
+use dnswire::types::RrType;
+use netsim::engine::{Context, Node};
+use netsim::packet::{Endpoint, Packet, DNS_PORT};
+use netsim::time::SimTime;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Configuration of the crowd.
+#[derive(Debug, Clone)]
+pub struct FlashCrowdConfig {
+    /// Target (the guard's public address, usually).
+    pub target: Ipv4Addr,
+    /// Aggregate packets per second across the whole crowd.
+    pub rate: f64,
+    /// First client address; clients are `source_base .. +source_count`.
+    pub source_base: Ipv4Addr,
+    /// Crowd population size.
+    pub source_count: u32,
+    /// Zipf exponent: client `k` (1-based by popularity rank) carries
+    /// weight `k^-s`. Around `1.0`–`1.3` for realistic resolver skew.
+    pub zipf_s: f64,
+    /// Queried name (the suddenly-popular record).
+    pub qname: Name,
+    /// Stop after this much simulated time (None = run forever).
+    pub duration: Option<SimTime>,
+}
+
+/// The flash-crowd node: one simulator node emitting the whole crowd's
+/// queries, each stamped with its client's real source address.
+pub struct FlashCrowd {
+    config: FlashCrowdConfig,
+    started: SimTime,
+    sent: u64,
+    /// Scaled cumulative Zipf weights; a uniform draw binary-searches this.
+    cumulative: Vec<u64>,
+    /// Exact datagrams sent per client — the bench's ground truth.
+    per_source: Vec<u64>,
+}
+
+/// Batch period, matching the flood generators.
+const TICK: SimTime = SimTime::from_micros(100);
+
+/// Fixed-point scale for the Zipf weights.
+const WEIGHT_SCALE: f64 = 1_000_000.0;
+
+impl FlashCrowd {
+    /// Creates the crowd node (precomputes the popularity CDF).
+    pub fn new(config: FlashCrowdConfig) -> Self {
+        let n = config.source_count.max(1);
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut acc = 0u64;
+        for k in 1..=n {
+            let w = (WEIGHT_SCALE / f64::from(k).powf(config.zipf_s)).max(1.0) as u64;
+            acc += w;
+            cumulative.push(acc);
+        }
+        FlashCrowd {
+            per_source: vec![0; n as usize],
+            config,
+            started: SimTime::ZERO,
+            sent: 0,
+            cumulative,
+        }
+    }
+
+    /// Packets sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Exact datagrams sent per client, indexed by popularity rank.
+    pub fn per_source(&self) -> &[u64] {
+        &self.per_source
+    }
+
+    /// Clients that actually sent at least one query.
+    pub fn distinct_used(&self) -> usize {
+        self.per_source.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The address of the client at popularity rank `idx` (0-based).
+    pub fn source_addr(&self, idx: usize) -> Ipv4Addr {
+        Ipv4Addr::from(u32::from(self.config.source_base).wrapping_add(idx as u32))
+    }
+
+    fn pick_source(&mut self, ctx: &mut Context<'_>) -> usize {
+        let total = *self.cumulative.last().expect("source_count >= 1");
+        let r = ctx.rng().gen::<u64>() % total;
+        self.cumulative.partition_point(|&c| c <= r)
+    }
+}
+
+impl Node for FlashCrowd {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        self.started = ctx.now();
+        ctx.set_timer(SimTime::ZERO, 0);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _tag: u64) {
+        if let Some(d) = self.config.duration {
+            if ctx.now().saturating_sub(self.started) >= d {
+                return;
+            }
+        }
+        let elapsed = ctx.now().saturating_sub(self.started);
+        let due = (elapsed.as_secs_f64() * self.config.rate) as u64;
+        let batch = due.saturating_sub(self.sent).min(1_000);
+        for _ in 0..batch {
+            self.sent += 1;
+            let idx = self.pick_source(ctx);
+            self.per_source[idx] += 1;
+            let src = Endpoint::new(self.source_addr(idx), 1024 + (idx % 50_000) as u16);
+            let txid = (self.sent % 0xFFFF) as u16;
+            let q = Message::iterative_query(txid, self.config.qname.clone(), RrType::A);
+            ctx.send(Packet::udp(src, Endpoint::new(self.config.target, DNS_PORT), q.encode()));
+        }
+        ctx.set_timer(TICK, 0);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::engine::{CpuConfig, Simulator};
+
+    #[test]
+    fn crowd_is_bounded_zipf_skewed_and_paced() {
+        let mut sim = Simulator::new(11);
+        let target = Ipv4Addr::new(1, 2, 3, 4);
+        struct Sink;
+        impl Node for Sink {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+        sim.add_node(target, CpuConfig::unbounded(), Sink);
+        let crowd = sim.add_node(
+            Ipv4Addr::new(77, 0, 0, 1),
+            CpuConfig::unbounded(),
+            FlashCrowd::new(FlashCrowdConfig {
+                target,
+                rate: 20_000.0,
+                source_base: Ipv4Addr::new(120, 0, 0, 1),
+                source_count: 300,
+                zipf_s: 1.2,
+                qname: "www.foo.com".parse().unwrap(),
+                duration: None,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let c = sim.node_ref::<FlashCrowd>(crowd).unwrap();
+        assert!((c.sent() as f64 - 20_000.0).abs() < 500.0, "paced: {}", c.sent());
+        assert_eq!(c.per_source().iter().sum::<u64>(), c.sent(), "ground truth conserves");
+        // Bounded population…
+        assert!(c.distinct_used() <= 300);
+        assert!(c.distinct_used() > 250, "most of the crowd shows up");
+        // …with Zipf skew: rank 1 dwarfs the median client.
+        let top = c.per_source()[0];
+        let median = {
+            let mut v = c.per_source().to_vec();
+            v.sort_unstable();
+            v[v.len() / 2]
+        };
+        assert!(
+            top > median * 20,
+            "rank-1 client ({top}) should dwarf the median ({median})"
+        );
+    }
+}

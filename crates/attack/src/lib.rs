@@ -4,7 +4,13 @@
 //! * [`flood`] — open-loop spoofed floods with pluggable payloads: plain
 //!   queries, NS-name cookie guesses, extension-cookie guesses, and the
 //!   `COOKIE2` subnet spray (the 1/R_y attack);
-//! * [`amplification`] — the reflection attack and its measuring victim.
+//! * [`amplification`] — the reflection attack and its measuring victim;
+//! * [`flashcrowd`] — a bounded population of real clients with Zipf
+//!   popularity: the legitimate surge the spoof-vs-flash-crowd
+//!   discriminator must *not* label as spoofing;
+//! * [`botnet`] — many real sources each at a trickle: individually
+//!   innocuous, collectively a flood, detectable only as a
+//!   source-population anomaly.
 //!
 //! Non-spoofed ("zombie") floods reuse [`flood::SourceStrategy::Pool`]:
 //! real addresses at high rates, which is exactly what Rate-Limiter2
@@ -13,10 +19,14 @@
 #![forbid(unsafe_code)]
 
 pub mod amplification;
+pub mod botnet;
+pub mod flashcrowd;
 pub mod flood;
 pub mod prober;
 
 pub use amplification::Victim;
+pub use botnet::{BotnetConfig, BotnetLowRate};
+pub use flashcrowd::{FlashCrowd, FlashCrowdConfig};
 pub use flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
 pub use prober::{FeedbackProber, ProberConfig};
 

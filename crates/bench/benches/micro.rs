@@ -292,6 +292,123 @@ fn bench_stage_profiling(c: &mut Criterion) {
     }
 }
 
+/// Traffic-analytics overhead budget: the same per-datagram path as
+/// `bench_obs_overhead`, but compiled with the guard's `traffic-analytics`
+/// feature — once with the sketch pipeline disabled at runtime (one branch
+/// per datagram) and once enabled (SipHash + count-min/top-K/HLL writes
+/// per datagram, estimate derivation every 256th). The datagrams cycle
+/// through 64 distinct sources so the top-K takes its eviction path, not
+/// just the same-entry fast path. Beyond the criterion timings, the bench
+/// enforces the budget itself: best-of-N mean per-datagram cost with
+/// analytics enabled must stay within 5 % of disabled, or the bench panics
+/// (ci runs it with `--features traffic-analytics`).
+///
+/// Without the feature this is a no-op so `--all-targets` builds stay
+/// green in the default configuration.
+fn bench_traffic_analytics(c: &mut Criterion) {
+    #[cfg(not(feature = "traffic-analytics"))]
+    let _ = c;
+    #[cfg(feature = "traffic-analytics")]
+    {
+        use dnsguard::classify::AuthorityClassifier;
+        use dnsguard::config::GuardConfig;
+        use dnsguard::guard::RemoteGuard;
+        use netsim::engine::{Context, CpuConfig, Node, NodeId, Simulator};
+        use netsim::packet::{Endpoint, Packet, DNS_PORT};
+        use std::time::Instant;
+
+        struct Blackhole;
+        impl Node for Blackhole {
+            fn on_packet(&mut self, _ctx: &mut Context<'_>, _pkt: Packet) {}
+        }
+
+        let pub_addr = Ipv4Addr::new(198, 41, 0, 4);
+        let client = Ipv4Addr::new(66, 0, 0, 9);
+        let build = |enabled: bool| -> (Simulator, NodeId) {
+            let (root, _, _) = server::zone::paper_hierarchy();
+            let mut config = GuardConfig::new(pub_addr, Ipv4Addr::new(10, 99, 0, 1));
+            config.rl1_global_rate = 1e12;
+            config.rl1_per_source_rate = 1e12;
+            config.rl2_per_source_rate = 1e12;
+            let mut sim = Simulator::new(7);
+            let guard = sim.add_node(
+                pub_addr,
+                CpuConfig::unbounded(),
+                RemoteGuard::new(
+                    config,
+                    AuthorityClassifier::new(server::authoritative::Authority::new(vec![root])),
+                ),
+            );
+            let atk = sim.add_node(client, CpuConfig::unbounded(), Blackhole);
+            if !enabled {
+                sim.node_mut::<RemoteGuard>(guard)
+                    .unwrap()
+                    .set_analytics_enabled(false);
+            }
+            (sim, atk)
+        };
+        // 64 distinct sources against a top-K capacity of 16: the sketch
+        // update constantly churns the replacement path.
+        let query = Message::iterative_query(9, "www.foo.com".parse().unwrap(), RrType::A);
+        let pkts: Vec<Packet> = (0..64u8)
+            .map(|i| {
+                Packet::udp(
+                    Endpoint::new(Ipv4Addr::new(66, 0, 1, i), 1024),
+                    Endpoint::new(pub_addr, DNS_PORT),
+                    query.encode(),
+                )
+            })
+            .collect();
+
+        let mut g = c.benchmark_group("traffic_analytics");
+        for (label, enabled) in [("guard_datagram_disabled", false), ("guard_datagram_enabled", true)]
+        {
+            let (mut sim, atk) = build(enabled);
+            let pkts = pkts.clone();
+            let mut i = 0usize;
+            g.bench_function(label, |b| {
+                b.iter(|| {
+                    i = (i + 1) % pkts.len();
+                    sim.inject(atk, black_box(pkts[i].clone()));
+                    sim.run();
+                })
+            });
+        }
+        g.finish();
+
+        // The budget gate: best-of-N mean per-datagram wall time, enabled
+        // vs disabled, interleaved trials — same methodology as the
+        // stage-profiling gate above.
+        const TRIALS: usize = 32;
+        const DATAGRAMS: u32 = 1_000;
+        let trial = |sim: &mut Simulator, atk: NodeId| -> f64 {
+            let t0 = Instant::now();
+            for n in 0..DATAGRAMS {
+                sim.inject(atk, pkts[n as usize % pkts.len()].clone());
+                sim.run();
+            }
+            t0.elapsed().as_nanos() as f64 / DATAGRAMS as f64
+        };
+        let (mut sim_off, atk_off) = build(false);
+        let (mut sim_on, atk_on) = build(true);
+        let (mut disabled, mut enabled) = (f64::INFINITY, f64::INFINITY);
+        for _ in 0..TRIALS {
+            disabled = disabled.min(trial(&mut sim_off, atk_off));
+            enabled = enabled.min(trial(&mut sim_on, atk_on));
+        }
+        let budget = disabled * 1.05 + 50.0;
+        assert!(
+            enabled <= budget,
+            "traffic analytics overhead out of budget: enabled {enabled:.1} ns/datagram \
+             vs disabled {disabled:.1} ns/datagram (budget {budget:.1} ns)"
+        );
+        println!(
+            "traffic-analytics budget OK: disabled {disabled:.1} ns/datagram, \
+             enabled {enabled:.1} ns/datagram (≤ {budget:.1})"
+        );
+    }
+}
+
 /// Journey reassembly throughput: stitching one cold-start world's drained
 /// trace (fabricated-NS handshakes, forwards, relays) back into causal
 /// timelines. This is the offline half of the tracing cost — it runs at
@@ -340,6 +457,7 @@ criterion_group!(
     bench_ratelimit,
     bench_obs_overhead,
     bench_stage_profiling,
+    bench_traffic_analytics,
     bench_journey_assembly
 );
 criterion_main!(benches);

@@ -22,6 +22,12 @@
 //!   skew, fleet alert rules through a site crash) and write
 //!   `BENCH_fleetobs.json` + `BENCH_fleetobs_trace.jsonl`;
 //! * `--fleetobs-only` — run only the fleet-observability experiment;
+//! * `--analytics` — additionally run the traffic-analytics experiment
+//!   (spoof-vs-flash-crowd discriminator over the guard's streaming
+//!   sketches, two-site sketch merge vs ground truth) and write
+//!   `BENCH_analytics.json`; requires building with
+//!   `--features traffic-analytics`;
+//! * `--analytics-only` — run only the traffic-analytics experiment;
 //! * `--obs-out <dir>` — output directory for the exported files
 //!   (default `.`).
 
@@ -353,6 +359,81 @@ fn run_fleetobs_export(out_dir: &std::path::Path) {
     }
 }
 
+#[cfg(feature = "traffic-analytics")]
+fn run_analytics_export(out_dir: &std::path::Path) {
+    println!("== Traffic analytics: spoof vs flash crowd, sketch merge ==");
+    let (run, summary) = match bench::analytics::export_to(out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("analytics export failed: {e}");
+            exit(1);
+        }
+    };
+    println!("wrote {} ({} bytes)", summary.display(), run.summary_json.len());
+    for o in [&run.baseline, &run.flood, &run.crowd, &run.botnet] {
+        println!(
+            "   {:>12}: {:>6} datagrams, distinct ~{:.0}, entropy_norm {:.3}, \
+             top_share {:.3}, spoof_flood={}, flash_crowd={}",
+            o.name,
+            o.datagrams,
+            o.distinct,
+            o.entropy_norm,
+            o.top_share,
+            o.spoof_flood_fired,
+            o.flash_crowd_fired,
+        );
+    }
+    let m = &run.merge;
+    println!(
+        "   fleet merge: total {}/{} conserved, distinct {:.0} vs {} ({:.2}% err), \
+         top talkers {}/{} found, bounds ok: {}",
+        m.merged_total,
+        m.sent,
+        m.merged_distinct,
+        m.distinct_truth,
+        m.distinct_err_pct,
+        m.top_found,
+        m.top_expected,
+        m.top_bounds_ok,
+    );
+
+    let mut failed = false;
+    if !run.discriminator_ok {
+        eprintln!("analytics acceptance failed: a scenario got the wrong verdict");
+        failed = true;
+    }
+    if m.merged_total != m.sent {
+        eprintln!(
+            "analytics acceptance failed: merged total {} != {} emitted",
+            m.merged_total, m.sent
+        );
+        failed = true;
+    }
+    if m.distinct_err_pct > 20.0 {
+        eprintln!(
+            "analytics acceptance failed: merged cardinality {:.2}% off truth (bound 20%)",
+            m.distinct_err_pct
+        );
+        failed = true;
+    }
+    if m.top_found != m.top_expected || !m.top_bounds_ok {
+        eprintln!("analytics acceptance failed: merged top-K misses a true top talker");
+        failed = true;
+    }
+    if failed {
+        exit(1);
+    }
+}
+
+#[cfg(not(feature = "traffic-analytics"))]
+fn run_analytics_export(_out_dir: &std::path::Path) {
+    eprintln!(
+        "the analytics experiment needs the sketches compiled in: \
+         rebuild with --features traffic-analytics"
+    );
+    exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let obs_only = args.iter().any(|a| a == "--obs-only");
@@ -365,6 +446,8 @@ fn main() {
     let fleet = fleet_only || args.iter().any(|a| a == "--fleet");
     let fleetobs_only = args.iter().any(|a| a == "--fleetobs-only");
     let fleetobs = fleetobs_only || args.iter().any(|a| a == "--fleetobs");
+    let analytics_only = args.iter().any(|a| a == "--analytics-only");
+    let analytics = analytics_only || args.iter().any(|a| a == "--analytics");
     let out_dir: PathBuf = args
         .iter()
         .position(|a| a == "--obs-out")
@@ -372,7 +455,7 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
 
-    if obs_only || journeys_only || ha_only || fleet_only || fleetobs_only {
+    if obs_only || journeys_only || ha_only || fleet_only || fleetobs_only || analytics_only {
         if obs_only {
             run_obs_export(&out_dir);
         }
@@ -387,6 +470,9 @@ fn main() {
         }
         if fleetobs_only {
             run_fleetobs_export(&out_dir);
+        }
+        if analytics_only {
+            run_analytics_export(&out_dir);
         }
         return;
     }
@@ -542,5 +628,8 @@ fn main() {
     }
     if fleetobs {
         run_fleetobs_export(&out_dir);
+    }
+    if analytics {
+        run_analytics_export(&out_dir);
     }
 }

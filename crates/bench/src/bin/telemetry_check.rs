@@ -24,6 +24,12 @@
 //! collector's own telemetry, and the collector trace (every
 //! [`STITCH_KINDS`] kind present).
 //!
+//! With `--analytics <BENCH_analytics.json>` it validates the
+//! traffic-analytics export: all four scenario verdicts (clean baseline
+//! silent, `spoof_flood` on the random-spoof flood and the botnet,
+//! `flash_crowd` on the Zipf crowd), the sketch fields behind each
+//! verdict, and the two-site fleet-merge leg's accuracy bar.
+//!
 //! [`STITCH_KINDS`]: obs::fleet::STITCH_KINDS
 
 use bench::journeys::SCHEMES;
@@ -129,6 +135,27 @@ const FLEETOBS_KEYS: &[&str] = &[
     "\"baseline_silent\":true",
 ];
 
+/// Substrings the traffic-analytics summary must contain: the global
+/// discriminator verdict, all four scenarios with their sketch readings
+/// and rule outcomes, and the fleet-merge accuracy bar.
+const ANALYTICS_KEYS: &[&str] = &[
+    "\"experiment\":\"analytics\"",
+    "\"discriminator_ok\":true",
+    "\"baseline\":",
+    "\"spoof_flood\":",
+    "\"flash_crowd\":",
+    "\"botnet\":",
+    "\"fleet_merge\":",
+    "\"spoof_flood_fired\":",
+    "\"flash_crowd_fired\":",
+    "\"entropy_norm\":",
+    "\"top_share\":",
+    "\"top_sources\":",
+    "\"distinct_err_pct\":",
+    "\"top_bounds_ok\":true",
+    "\"merged_total\":",
+];
+
 /// Substrings a chrome `trace_event` document must contain.
 const CHROME_KEYS: &[&str] = &[
     "\"traceEvents\":",
@@ -227,6 +254,13 @@ fn check_fleetobs(summary_path: &str, trace_path: &str) {
     );
 }
 
+fn check_analytics(summary_path: &str) {
+    let summary = read(summary_path);
+    require_json(summary_path, &summary);
+    require_keys(summary_path, &summary, ANALYTICS_KEYS);
+    println!("analytics OK: {} ({} bytes)", summary_path, summary.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--ha") {
@@ -256,6 +290,14 @@ fn main() {
         check_fleetobs(summary, trace);
         return;
     }
+    if args.first().map(String::as_str) == Some("--analytics") {
+        let Some(summary) = args.get(1) else {
+            eprintln!("usage: telemetry_check --analytics <BENCH_analytics.json>");
+            exit(2);
+        };
+        check_analytics(summary);
+        return;
+    }
     if args.first().map(String::as_str) == Some("--journeys") {
         let (Some(summary), Some(chrome)) = (args.get(1), args.get(2)) else {
             eprintln!("usage: telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>");
@@ -270,7 +312,8 @@ fn main() {
              \x20      telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>\n\
              \x20      telemetry_check --ha <BENCH_failover.json>\n\
              \x20      telemetry_check --fleet <BENCH_fleet.json>\n\
-             \x20      telemetry_check --fleetobs <BENCH_fleetobs.json> <BENCH_fleetobs_trace.jsonl>"
+             \x20      telemetry_check --fleetobs <BENCH_fleetobs.json> <BENCH_fleetobs_trace.jsonl>\n\
+             \x20      telemetry_check --analytics <BENCH_analytics.json>"
         );
         exit(2);
     };

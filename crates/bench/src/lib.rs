@@ -21,6 +21,13 @@
 //!   cross-node journey stitching through a mid-flood catchment shift
 //!   with clock skew, and the fleet alert rules through a site crash
 //!   (`all_experiments -- --fleetobs`);
+//! * `analytics` — (feature `traffic-analytics`, so no doc link from the
+//!   default build) the spoof-vs-flash-crowd
+//!   discriminator experiment behind `BENCH_analytics.json`: a random-spoof
+//!   flood, a bounded Zipf flash crowd, and a low-and-slow botnet driven
+//!   through the guard's streaming sketches, plus a two-site sketch-merge
+//!   leg checked against exact generator ground truth
+//!   (`all_experiments -- --analytics`);
 //! * [`report`] — plain-text table rendering.
 //!
 //! [`FleetAggregator`]: obs::fleet::FleetAggregator
@@ -35,6 +42,8 @@
 
 #![forbid(unsafe_code)]
 
+#[cfg(feature = "traffic-analytics")]
+pub mod analytics;
 pub mod experiments;
 pub mod failover;
 pub mod fleet;

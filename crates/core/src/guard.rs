@@ -716,6 +716,10 @@ pub struct RemoteGuard {
     /// Per-decision-stage latency profiler; a zero-sized no-op unless the
     /// `stage-profiling` cargo feature is on *and* a clock is injected.
     stageprof: crate::stageprof::StageProf,
+    /// Streaming source-population sketches (heavy hitters, cardinality,
+    /// entropy); a zero-sized no-op unless the `traffic-analytics` cargo
+    /// feature is on.
+    analytics: crate::analytics::TrafficAnalytics,
 }
 
 impl RemoteGuard {
@@ -765,6 +769,7 @@ impl RemoteGuard {
             config,
             classifier,
             stageprof: crate::stageprof::StageProf::new(),
+            analytics: crate::analytics::TrafficAnalytics::new(),
         }
     }
 
@@ -797,6 +802,7 @@ impl RemoteGuard {
         self.rl2.adopt_into(&obs.registry, "guard", "rl2");
         self.proxy.adopt_into(&obs.registry);
         self.stageprof.adopt_into(&obs.registry);
+        self.analytics.adopt_into(obs);
         self.metrics.trace = obs.tracer.component("guard");
     }
 
@@ -813,6 +819,32 @@ impl RemoteGuard {
     /// `stage-profiling` feature.
     pub fn stage_sample_count(&self, stage: usize) -> u64 {
         self.stageprof.stage_count(stage)
+    }
+
+    /// Runtime switch for the traffic-analytics pipeline (the bench's
+    /// reference arm); a no-op without the `traffic-analytics` feature.
+    pub fn set_analytics_enabled(&mut self, enabled: bool) {
+        self.analytics.set_enabled(enabled);
+    }
+
+    /// A freshly derived source-population snapshot (distinct sources,
+    /// entropy, top talkers); empty without the `traffic-analytics`
+    /// feature.
+    pub fn analytics_snapshot(&self) -> obs::sketch::AnalyticsSnapshot {
+        self.analytics.snapshot()
+    }
+
+    /// A clone of the cumulative traffic sketch for fleet-level merging;
+    /// empty without the `traffic-analytics` feature.
+    pub fn analytics_sketch(&self) -> obs::sketch::TrafficSketch {
+        self.analytics.sketch()
+    }
+
+    /// The shared republished snapshot the telemetry `top_sources`
+    /// command serves; stays empty without the `traffic-analytics`
+    /// feature.
+    pub fn analytics_shared(&self) -> crate::analytics::SharedAnalytics {
+        self.analytics.shared()
     }
 
     /// Whether spoof detection is currently engaged.
@@ -1822,6 +1854,7 @@ impl RemoteGuard {
 
     fn handle_udp_inner(&mut self, ctx: &mut Context<'_>, pkt: Packet) {
         self.metrics.udp_datagrams.inc();
+        self.analytics.observe(ctx.now().as_nanos(), pkt.src.ip);
         let Ok(msg) = Message::decode(&pkt.payload) else {
             self.metrics.unparseable.inc();
             return;

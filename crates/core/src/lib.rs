@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod analytics;
 pub mod checkpoint;
 pub mod classify;
 pub mod config;

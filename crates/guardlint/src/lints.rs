@@ -6,7 +6,7 @@
 //! | L2 | determinism: wall clocks and ambient RNG are forbidden in the sim-domain crates (`core`, `netsim`, `server`, `attack`, `obs`) |
 //! | L3 | atomic-ordering discipline: `Ordering::Relaxed` outside the obs record path needs a `// lint: relaxed-ok — ...` justification |
 //! | L4 | metric/alert names referenced by `telemetry_check` and the alert rules (per-node `RULES`, fleet `FLEET_RULES`) must exist at a registry definition site |
-//! | L5 | trace coverage: contract kinds (`REQUIRED_KINDS`, `STITCH_KINDS`) must have emit sites, and guard-emitted kinds must be observed somewhere |
+//! | L5 | trace coverage: contract kinds (`REQUIRED_KINDS`, `STITCH_KINDS`, `ANALYTICS_KINDS`) must have emit sites, and guard/analytics-emitted kinds must be observed somewhere |
 //!
 //! L1–L3 are per-line token lints over scrubbed code (see [`crate::lexer`]);
 //! L4/L5 are cross-file consistency checks over extracted call arguments.
@@ -558,11 +558,24 @@ pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
 
 const OBS_EXPORT: &str = "crates/bench/src/obs_export.rs";
 const GUARD_RS: &str = "crates/core/src/guard.rs";
+const ANALYTICS_RS: &str = "crates/core/src/analytics.rs";
 
 /// Trace-kind contracts checked by L5: `(file, kind-table const)`. The
 /// export contract promises `REQUIRED_KINDS`; the fleet aggregator
-/// promises the `STITCH_KINDS` it synthesises during stitching.
-const KIND_CONTRACTS: &[(&str, &str)] = &[(OBS_EXPORT, "REQUIRED_KINDS"), (FLEET_RS, "STITCH_KINDS")];
+/// promises the `STITCH_KINDS` it synthesises during stitching; the
+/// traffic-analytics pipeline promises the `ANALYTICS_KINDS` it emits
+/// on each sketch refresh.
+const KIND_CONTRACTS: &[(&str, &str)] = &[
+    (OBS_EXPORT, "REQUIRED_KINDS"),
+    (FLEET_RS, "STITCH_KINDS"),
+    (ANALYTICS_RS, "ANALYTICS_KINDS"),
+];
+
+/// Files whose emitted kinds must be observed elsewhere in the corpus:
+/// the guard's per-decision events, and the analytics pipeline's
+/// per-refresh population events (both feed dashboards and alerts, so an
+/// unreferenced kind is dead telemetry).
+const OBSERVED_EMITTERS: &[&str] = &[GUARD_RS, ANALYTICS_RS];
 
 /// Trace emit sites: `(kind, file, line)` for every non-test
 /// `.event( / .debug(` call (the kind is the first string argument).
@@ -583,10 +596,13 @@ fn emit_sites(files: &[SourceFile]) -> Vec<(String, String, usize)> {
 /// L5: trace coverage.
 ///
 /// * every kind in a declared contract table (`REQUIRED_KINDS` in the
-///   export, `STITCH_KINDS` in the fleet aggregator) has an emit site;
-/// * every kind emitted by `core::guard` is referenced (as a string
-///   literal) somewhere else in the workspace — journey assembly, alert
-///   rules, benches or tests — so no decision event is unobserved.
+///   export, `STITCH_KINDS` in the fleet aggregator, `ANALYTICS_KINDS`
+///   in the traffic-analytics pipeline) has an emit site;
+/// * every kind emitted by an `OBSERVED_EMITTERS` file (`core::guard`,
+///   `core::analytics`) is referenced (as a string literal) somewhere
+///   else in the workspace — journey assembly, alert rules, the fleet
+///   collector vocabulary, benches or tests — so no decision or
+///   population event is unobserved.
 ///
 /// `corpus` is the wider reference set (lint files plus tests/examples),
 /// searched including test code.
@@ -616,28 +632,31 @@ pub fn l5(files: &[SourceFile], corpus: &[SourceFile]) -> Vec<Finding> {
         }
     }
 
-    // Guard-emitted kinds must be observed somewhere outside guard.rs.
-    let mut guard_kinds: BTreeMap<&str, usize> = BTreeMap::new();
-    for (k, file, line) in &emits {
-        if file == GUARD_RS {
-            guard_kinds.entry(k).or_insert(*line);
+    // Kinds emitted by the observed-emitter files (guard decisions,
+    // analytics refreshes) must be referenced somewhere outside them.
+    for &emitter in OBSERVED_EMITTERS {
+        let mut kinds: BTreeMap<&str, usize> = BTreeMap::new();
+        for (k, file, line) in &emits {
+            if file == emitter {
+                kinds.entry(k).or_insert(*line);
+            }
         }
-    }
-    for (kind, line) in guard_kinds {
-        let observed = corpus.iter().any(|f| {
-            f.rel != GUARD_RS && f.scrub.strings.iter().any(|s| s.content == kind)
-        });
-        if !observed {
-            out.push(Finding {
-                file: GUARD_RS.to_string(),
-                line,
-                lint: "L5",
-                severity: Severity::Error,
-                message: format!(
-                    "guard decision kind {kind:?} is emitted here but referenced nowhere \
-                     else (journeys, alerts, benches or tests) — unobserved telemetry"
-                ),
+        for (kind, line) in kinds {
+            let observed = corpus.iter().any(|f| {
+                f.rel != emitter && f.scrub.strings.iter().any(|s| s.content == kind)
             });
+            if !observed {
+                out.push(Finding {
+                    file: emitter.to_string(),
+                    line,
+                    lint: "L5",
+                    severity: Severity::Error,
+                    message: format!(
+                        "emitted trace kind {kind:?} is referenced nowhere else \
+                         (journeys, alerts, benches or tests) — unobserved telemetry"
+                    ),
+                });
+            }
         }
     }
     out
@@ -829,6 +848,59 @@ mod tests {
         let findings = l5(&all, &corpus);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("ghost_kind"));
+    }
+
+    #[test]
+    fn l4_analytics_rules_need_set_state_sites() {
+        // The discriminator rules ride the same RULES contract as every
+        // other alert: declared + evaluated is clean, declared-only is not.
+        let both = file(
+            ALERT_RS,
+            "pub const RULES: &[&str] = &[\"spoof_flood\", \"flash_crowd\"];\n\
+             fn e(&mut self, t: u64) { self.set_state(t, \"spoof_flood\", true, 0.0, 0.0); \
+             self.set_state(t, \"flash_crowd\", false, 0.0, 0.0); }\n",
+        );
+        assert!(l4(std::slice::from_ref(&both)).is_empty());
+        let missing = file(
+            ALERT_RS,
+            "pub const RULES: &[&str] = &[\"spoof_flood\", \"flash_crowd\"];\n\
+             fn e(&mut self, t: u64) { self.set_state(t, \"spoof_flood\", true, 0.0, 0.0); }\n",
+        );
+        let findings = l4(std::slice::from_ref(&missing));
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("flash_crowd"));
+    }
+
+    #[test]
+    fn l5_analytics_kind_without_emitter() {
+        let analytics = file(
+            ANALYTICS_RS,
+            "pub const ANALYTICS_KINDS: &[&str] = &[\"analytics_topk\", \"ghost_topk\"];\n\
+             fn r(&self, t: u64) { self.trace.event(t, \"analytics_topk\", &[]); }\n",
+        );
+        let findings = l5(std::slice::from_ref(&analytics), &[]);
+        // `ghost_topk` has no emit site; `analytics_topk` is emitted but
+        // unobserved — both legs must fire.
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings.iter().any(|f| f.message.contains("ghost_topk")
+            && f.message.contains("ANALYTICS_KINDS")));
+        assert!(findings.iter().any(|f| f.message.contains("analytics_topk")
+            && f.message.contains("unobserved")));
+    }
+
+    #[test]
+    fn l5_observed_analytics_kind_is_clean() {
+        let analytics = file(
+            ANALYTICS_RS,
+            "pub const ANALYTICS_KINDS: &[&str] = &[\"analytics_topk\"];\n\
+             fn r(&self, t: u64) { self.trace.event(t, \"analytics_topk\", &[]); }\n",
+        );
+        let witness = file(
+            "crates/runtime/src/fleet_collector.rs",
+            "const VOCAB: &[&str] = &[\"analytics_topk\"];\n",
+        );
+        let findings = l5(std::slice::from_ref(&analytics), &[witness]);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

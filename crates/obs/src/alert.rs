@@ -40,6 +40,8 @@ pub const RULES: &[&str] = &[
     "admission_shedding",
     "catchment_shift",
     "handshake_storm",
+    "spoof_flood",
+    "flash_crowd",
 ];
 
 /// Thresholds and windows for the rule set.
@@ -74,6 +76,37 @@ pub struct AlertConfig {
     /// rate (events/s): previously-verified clients are re-handshaking en
     /// masse, the failure mode shared cookies exist to prevent.
     pub handshake_per_sec: f64,
+    /// Neither analytics rule considers firing below this datagram rate
+    /// (datagrams/s): sketch estimates on a trickle are noise.
+    pub analytics_min_rate: f64,
+    /// `spoof_flood` requires the distinct-source estimate
+    /// (`analytics_distinct`) above this — spoofed floods burn through
+    /// source space; flash crowds are bounded populations.
+    pub spoof_min_distinct: f64,
+    /// `spoof_flood` requires new sources appearing above this rate
+    /// (sources/s): random spoofing mints a fresh address almost every
+    /// datagram.
+    pub spoof_new_source_per_sec: f64,
+    /// `spoof_flood` requires the per-source repeat rate (datagrams per
+    /// new source over the window) at or below this: spoofed sources
+    /// barely repeat, real clients retry and re-query.
+    pub spoof_max_repeat: f64,
+    /// `spoof_flood` requires normalized source entropy
+    /// (`analytics_entropy_norm_milli` / 1000) at or above this: a
+    /// uniform-random source population sits near 1.0.
+    pub spoof_min_entropy_norm: f64,
+    /// `flash_crowd` requires the new-source rate at or below this:
+    /// a crowd's population is recruited once, then it re-queries.
+    pub crowd_max_new_source_per_sec: f64,
+    /// `flash_crowd` requires the distinct-source estimate at or below
+    /// this (bounded population).
+    pub crowd_max_distinct: f64,
+    /// `flash_crowd` requires Zipf-like skew: normalized entropy at or
+    /// below this, …
+    pub crowd_max_entropy_norm: f64,
+    /// … or the hottest source's guaranteed share
+    /// (`analytics_top_share_milli` / 1000) at or above this.
+    pub crowd_min_top_share: f64,
 }
 
 impl Default for AlertConfig {
@@ -88,6 +121,15 @@ impl Default for AlertConfig {
             shed_per_sec: 100.0,
             shift_per_sec: 100.0,
             handshake_per_sec: 2_000.0,
+            analytics_min_rate: 5_000.0,
+            spoof_min_distinct: 1_000.0,
+            spoof_new_source_per_sec: 1_000.0,
+            spoof_max_repeat: 6.0,
+            spoof_min_entropy_norm: 0.88,
+            crowd_max_new_source_per_sec: 500.0,
+            crowd_max_distinct: 1_000.0,
+            crowd_max_entropy_norm: 0.85,
+            crowd_min_top_share: 0.05,
         }
     }
 }
@@ -212,28 +254,36 @@ impl AlertEngine {
         let mut d_shed = 0u64;
         let mut d_shifted = 0u64;
         let mut d_handshakes = 0u64;
+        let mut d_datagrams = 0u64;
+        let mut d_new_sources = 0u64;
+        let mut distinct = 0u64;
+        let mut entropy_norm_milli = 0u64;
+        let mut top_share_milli = 0u64;
         let prev = &mut self.prev;
-        let mut cell_delta = |s: &MetricSample| -> u64 {
-            let now = counter_of(s);
+        // Clamped per-cell delta of `now` (the counter value — or, for the
+        // cumulative `analytics_distinct` gauge, the gauge value: between
+        // refreshes it only moves forward, and a reset clamps to zero like
+        // any counter) against this cell's previous evaluation.
+        let mut cell_delta = |s: &MetricSample, now: u64| -> u64 {
             let was = prev.insert(s.key(), now).unwrap_or(now);
             now.saturating_sub(was)
         };
         for s in samples {
             match (s.component, s.name) {
                 (_, "verify") if label_is(&s.labels, "verdict", "invalid") => {
-                    d_invalid += cell_delta(s);
+                    d_invalid += cell_delta(s, counter_of(s));
                 }
-                ("guard_server", "dropped_spoofed") => d_invalid += cell_delta(s),
+                ("guard_server", "dropped_spoofed") => d_invalid += cell_delta(s, counter_of(s)),
                 (_, "rl_dropped") if label_is(&s.labels, "limiter", "rl1") => {
-                    d_rl1 += cell_delta(s);
+                    d_rl1 += cell_delta(s, counter_of(s));
                 }
-                ("guard_server", "dropped_rl1") => d_rl1 += cell_delta(s),
+                ("guard_server", "dropped_rl1") => d_rl1 += cell_delta(s, counter_of(s)),
                 (_, "rl_dropped") if label_is(&s.labels, "limiter", "rl2") => {
-                    d_rl2 += cell_delta(s);
+                    d_rl2 += cell_delta(s, counter_of(s));
                 }
-                (_, "ans_down_events") => d_downs += cell_delta(s),
-                (_, "ans_recoveries") => d_recov += cell_delta(s),
-                ("trace", "ring_dropped") => d_ring += cell_delta(s),
+                (_, "ans_down_events") => d_downs += cell_delta(s, counter_of(s)),
+                (_, "ans_recoveries") => d_recov += cell_delta(s, counter_of(s)),
+                ("trace", "ring_dropped") => d_ring += cell_delta(s, counter_of(s)),
                 (_, "amplification_milli") => {
                     if let SampleValue::Gauge(v) = s.value {
                         amp_milli = amp_milli.max(v);
@@ -244,11 +294,28 @@ impl AlertEngine {
                         checkpoint_age = checkpoint_age.max(v);
                     }
                 }
-                (_, "failover_takeovers") => d_takeovers += cell_delta(s),
-                (_, "admission_shed") => d_shed += cell_delta(s),
-                (_, "catchment_shifted") => d_shifted += cell_delta(s),
+                (_, "failover_takeovers") => d_takeovers += cell_delta(s, counter_of(s)),
+                (_, "admission_shed") => d_shed += cell_delta(s, counter_of(s)),
+                (_, "catchment_shifted") => d_shifted += cell_delta(s, counter_of(s)),
                 (_, "fabricated_ns_sent") | (_, "grants_sent") | (_, "tc_sent") => {
-                    d_handshakes += cell_delta(s);
+                    d_handshakes += cell_delta(s, counter_of(s));
+                }
+                (_, "udp_datagrams") => d_datagrams += cell_delta(s, counter_of(s)),
+                (_, "analytics_distinct") => {
+                    if let SampleValue::Gauge(v) = s.value {
+                        distinct = distinct.max(v);
+                        d_new_sources += cell_delta(s, v);
+                    }
+                }
+                (_, "analytics_entropy_norm_milli") => {
+                    if let SampleValue::Gauge(v) = s.value {
+                        entropy_norm_milli = entropy_norm_milli.max(v);
+                    }
+                }
+                (_, "analytics_top_share_milli") => {
+                    if let SampleValue::Gauge(v) = s.value {
+                        top_share_milli = top_share_milli.max(v);
+                    }
                 }
                 _ => {}
             }
@@ -357,6 +424,49 @@ impl AlertEngine {
             handshake_rate > self.config.handshake_per_sec,
             handshake_rate,
             self.config.handshake_per_sec,
+        );
+
+        // The spoof-vs-flash-crowd discriminator, over the sketch-derived
+        // population signals (zeros — analytics off — satisfy neither
+        // rule). A spoofed flood mints new sources near the datagram rate
+        // with near-maximal entropy and no repeats; a flash crowd is a
+        // bounded, Zipf-skewed population that re-queries. The absolute
+        // cardinality split (`spoof_min_distinct` / `crowd_max_distinct`)
+        // keeps a crowd's recruitment burst from reading as spoofing and a
+        // flood's tail from reading as a crowd.
+        let datagram_rate = rate(d_datagrams);
+        let new_source_rate = rate(d_new_sources);
+        let repeat = if d_new_sources == 0 {
+            f64::INFINITY
+        } else {
+            d_datagrams as f64 / d_new_sources as f64
+        };
+        let entropy_norm = entropy_norm_milli as f64 / 1_000.0;
+        let top_share = top_share_milli as f64 / 1_000.0;
+        let spoofing = datagram_rate > self.config.analytics_min_rate
+            && distinct as f64 > self.config.spoof_min_distinct
+            && new_source_rate > self.config.spoof_new_source_per_sec
+            && repeat <= self.config.spoof_max_repeat
+            && entropy_norm >= self.config.spoof_min_entropy_norm;
+        self.set_state(
+            t_nanos,
+            "spoof_flood",
+            spoofing,
+            new_source_rate,
+            self.config.spoof_new_source_per_sec,
+        );
+        let crowding = datagram_rate > self.config.analytics_min_rate
+            && distinct > 0
+            && (distinct as f64) <= self.config.crowd_max_distinct
+            && new_source_rate <= self.config.crowd_max_new_source_per_sec
+            && (entropy_norm <= self.config.crowd_max_entropy_norm
+                || top_share >= self.config.crowd_min_top_share);
+        self.set_state(
+            t_nanos,
+            "flash_crowd",
+            crowding,
+            datagram_rate,
+            self.config.analytics_min_rate,
         );
     }
 
@@ -662,6 +772,98 @@ mod tests {
         late.add(1_000_000);
         engine.evaluate(2 * SEC, &snapshot_with(&reg));
         assert!(engine.is_silent(), "first sight of a cell is a baseline, not a delta");
+    }
+
+    /// The analytics cells the discriminator reads.
+    struct AnalyticsCells {
+        datagrams: crate::metrics::Counter,
+        distinct: crate::metrics::Gauge,
+        entropy: crate::metrics::Gauge,
+        top_share: crate::metrics::Gauge,
+    }
+
+    fn analytics_cells(reg: &Registry) -> AnalyticsCells {
+        AnalyticsCells {
+            datagrams: reg.counter("guard", "udp_datagrams", &[]),
+            distinct: reg.gauge("guard", "analytics_distinct", &[]),
+            entropy: reg.gauge("guard", "analytics_entropy_norm_milli", &[]),
+            top_share: reg.gauge("guard", "analytics_top_share_milli", &[]),
+        }
+    }
+
+    #[test]
+    fn spoof_flood_fires_on_cardinality_surge_without_repeats() {
+        let reg = Registry::new();
+        let cells = analytics_cells(&reg);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+
+        // Random spoofing: 50 K datagrams/s, nearly every one a new
+        // source, near-maximal entropy, nothing repeats enough to own a
+        // guaranteed top-K share.
+        cells.datagrams.add(50_000);
+        cells.distinct.set(48_000);
+        cells.entropy.set(980);
+        cells.top_share.set(0);
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        let rules: Vec<_> = engine.active().iter().map(|a| a.rule).collect();
+        assert!(rules.contains(&"spoof_flood"), "{rules:?}");
+        assert!(!rules.contains(&"flash_crowd"), "huge cardinality is no crowd");
+
+        // Flood stops: both silent again.
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        assert!(!engine.active().iter().any(|a| a.rule == "spoof_flood"));
+    }
+
+    #[test]
+    fn flash_crowd_fires_on_bounded_zipf_population() {
+        let reg = Registry::new();
+        let cells = analytics_cells(&reg);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+
+        // Established crowd: 20 K datagrams/s from ~300 sources that were
+        // recruited earlier (no new ones this window), Zipf skew.
+        cells.distinct.set(300);
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        cells.datagrams.add(20_000);
+        cells.entropy.set(760);
+        cells.top_share.set(180);
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        let rules: Vec<_> = engine.active().iter().map(|a| a.rule).collect();
+        assert!(rules.contains(&"flash_crowd"), "{rules:?}");
+        assert!(!rules.contains(&"spoof_flood"), "bounded population is not spoofing");
+    }
+
+    #[test]
+    fn crowd_recruitment_burst_does_not_read_as_spoofing() {
+        // The crowd's onset window: hundreds of genuinely new sources per
+        // second, but the absolute cardinality stays bounded — below
+        // `spoof_min_distinct` — so `spoof_flood` must stay quiet, and the
+        // new-source rate keeps `flash_crowd` quiet until the population
+        // settles.
+        let reg = Registry::new();
+        let cells = analytics_cells(&reg);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+        cells.datagrams.add(10_000);
+        cells.distinct.set(600); // 600 new sources/s, all of them.
+        cells.entropy.set(950); // Early uniform-ish sampling.
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        assert!(engine.is_silent(), "{:?}", engine.fired_rules());
+    }
+
+    #[test]
+    fn analytics_rules_stay_silent_without_analytics_gauges() {
+        // Feature off: the gauges never appear, so neither rule can fire
+        // no matter the datagram rate.
+        let reg = Registry::new();
+        let datagrams = reg.counter("guard", "udp_datagrams", &[]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+        engine.evaluate(0, &snapshot_with(&reg));
+        datagrams.add(500_000);
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        assert!(engine.is_silent());
     }
 
     #[test]

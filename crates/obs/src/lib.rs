@@ -28,6 +28,12 @@
 //!   limiter saturation, amplification-bound breach, ANS down/flap and
 //!   trace-ring drops, with an active set, transition history and alert
 //!   events/counters.
+//! * [`sketch`] — mergeable streaming sketches over source IPs: count-min
+//!   and space-saving top-K heavy hitters, HyperLogLog-style distinct-source
+//!   cardinality and a source-distribution entropy estimate — the
+//!   constant-memory population signals that discriminate spoofed floods
+//!   (cardinality/entropy surge, no repeats) from flash crowds (bounded
+//!   sources, Zipf repeats). Commutative merges make them fleet-safe.
 //! * [`fleet`] — the fleet observability plane: merges per-node snapshots
 //!   (counters sum, gauges max, histograms merge bucket-by-bucket),
 //!   stitches per-node traces into cross-node journeys after clock-offset
@@ -67,6 +73,7 @@ pub mod export;
 pub mod fleet;
 pub mod journey;
 pub mod metrics;
+pub mod sketch;
 pub mod trace;
 
 use std::sync::Arc;

@@ -46,16 +46,19 @@ const VOCAB: &[&str] = &[
     "alert", "ans", "bench", "client", "fleet", "guard", "guard_server", "netsim", "proxy",
     "resolver", "sim", "trace",
     // event kinds
-    "admission_shed", "amp", "ans_down", "ans_probe", "ans_recovered", "catchment_shift",
+    "admission_shed", "amp", "analytics_topk", "ans_down", "ans_probe", "ans_recovered",
+    "catchment_shift",
     "checkpoint", "corrupted", "crash_dropped", "duplicated", "evict", "fabricated_ns",
     "fail_closed", "fleet_key_rotate", "forward", "grant", "injected_loss", "journey_stitch",
     "mix", "node_silent", "partition_dropped", "passthrough", "peer_down", "proxy_accept",
     "proxy_relay", "refused", "relay", "reordered", "restore", "rl_drop", "servfail",
     "stash_hit", "takeover", "tc_sent", "tcp_fallback", "tier_change", "timeout", "verify",
     // field names
-    "addr", "age_nanos", "age_ns", "bytes", "epoch", "from", "inter_site_ns", "ip", "limiter",
+    "addr", "age_nanos", "age_ns", "bytes", "distinct", "entropy_norm_milli", "epoch", "from",
+    "inter_site_ns", "ip", "limiter",
     "n", "node", "nodes", "ok", "orig_txid", "qid", "ratio", "role", "rtt_ns", "rule", "scheme",
-    "seq", "src", "state", "table", "threshold", "tier", "timeouts", "to", "token", "txid",
+    "seq", "src", "state", "table", "threshold", "tier", "timeouts", "to", "token",
+    "top_count", "top_share_milli", "top_src", "total", "txid",
     "value", "verdict", "via",
     // string field values
     "cookie", "cookie2", "cookie2_redirect", "dns_based", "ext", "fwd", "invalid", "master",
@@ -64,7 +67,7 @@ const VOCAB: &[&str] = &[
     // per-node alert rule names (the `rule` field of `alert` events)
     "spoof_surge", "rl1_saturation", "rl2_saturation", "amplification_breach", "ans_flap",
     "trace_drops", "checkpoint_lag", "failover_triggered", "admission_shedding",
-    "handshake_storm", "fleet_spoof_surge", "site_rate_skew",
+    "handshake_storm", "fleet_spoof_surge", "site_rate_skew", "spoof_flood", "flash_crowd",
 ];
 
 /// Interns `s` against [`VOCAB`]. `None` means the string is outside the
@@ -600,6 +603,39 @@ mod tests {
         // Structurally broken JSON rejects the whole reply.
         assert!(parse_drain_reply("{\"events\":[{\"t\":1").is_none());
         assert!(parse_snapshot_reply("{\"metrics\":[{]}").is_none());
+    }
+
+    #[test]
+    fn analytics_topk_events_round_trip_through_the_vocabulary() {
+        // The traffic-analytics refresh event: every component, kind, and
+        // field name it emits must intern, or fleet dashboards would
+        // silently lose the per-node top-talker feed.
+        let obs = Obs::new();
+        obs.tracer.set_default_level(Level::Info);
+        obs.tracer.component("guard").event(
+            9_000,
+            "analytics_topk",
+            &[
+                ("total", Value::U64(4_096)),
+                ("distinct", Value::U64(310)),
+                ("entropy_norm_milli", Value::U64(512)),
+                ("top_share_milli", Value::U64(220)),
+                ("top_src", Value::Ip(Ipv4Addr::new(120, 0, 0, 1))),
+                ("top_count", Value::U64(901)),
+            ],
+        );
+        let (events, _) = obs.tracer.drain();
+        let reply = format!("{{\"events\":[{}],\"dropped\":0}}", event_json(&events[0]));
+        let (parsed, _) = parse_drain_reply(&reply).expect("round trip");
+        assert_eq!(parsed.len(), 1);
+        let e = &parsed[0];
+        assert_eq!(e.kind, "analytics_topk");
+        assert_eq!(e.field("total"), Some(Value::U64(4_096)));
+        assert_eq!(e.field("distinct"), Some(Value::U64(310)));
+        assert_eq!(e.field("entropy_norm_milli"), Some(Value::U64(512)));
+        assert_eq!(e.field("top_share_milli"), Some(Value::U64(220)));
+        assert_eq!(e.field("top_src"), Some(Value::Ip(Ipv4Addr::new(120, 0, 0, 1))));
+        assert_eq!(e.field("top_count"), Some(Value::U64(901)));
     }
 
     #[test]

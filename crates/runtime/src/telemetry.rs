@@ -12,6 +12,7 @@
 //! | `events`   | the most recent trace events (non-consuming peek)         |
 //! | `drain_traces` | `{"events":[...],"dropped":N}` — consumes the ring atomically |
 //! | `alerts`   | the alert engine's active set and transition history      |
+//! | `top_sources` | the guard's traffic-analytics snapshot (top talkers, distinct sources, entropy) — `{"analytics":"disabled"}` unless a provider is wired |
 //!
 //! `events` peeks and can be issued by any number of concurrent dashboard
 //! clients; `drain_traces` is the fleet collector's consuming read. The
@@ -37,6 +38,15 @@ use std::time::{Duration, Instant};
 /// How many trace events an `events` reply carries at most.
 const RECENT_EVENTS: usize = 256;
 
+/// Produces the `top_sources` reply body (a JSON document). The runtime
+/// stays feature-free: a deployment built with the guard's
+/// `traffic-analytics` feature wires a closure over the guard's shared
+/// [`AnalyticsSnapshot`]; without one the command reports analytics as
+/// disabled.
+///
+/// [`AnalyticsSnapshot`]: obs::sketch::AnalyticsSnapshot
+pub type AnalyticsProvider = Arc<dyn Fn() -> String + Send + Sync>;
+
 /// A live telemetry endpoint on a background thread.
 pub struct TelemetryServer {
     addr: SocketAddr,
@@ -53,6 +63,17 @@ impl TelemetryServer {
         obs: &Obs,
         engine: SharedAlertEngine,
         eval_every: Duration,
+    ) -> io::Result<TelemetryServer> {
+        TelemetryServer::spawn_with_analytics(obs, engine, eval_every, None)
+    }
+
+    /// [`TelemetryServer::spawn`] with a `top_sources` provider (e.g. a
+    /// closure serialising the guard's shared analytics snapshot).
+    pub fn spawn_with_analytics(
+        obs: &Obs,
+        engine: SharedAlertEngine,
+        eval_every: Duration,
+        analytics: Option<AnalyticsProvider>,
     ) -> io::Result<TelemetryServer> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
@@ -75,7 +96,7 @@ impl TelemetryServer {
                     Ok((stream, _)) => {
                         // Serve this client to completion; telemetry clients
                         // are short-lived scripts, not long-poll consumers.
-                        let _ = serve_client(stream, &t_obs, &engine);
+                        let _ = serve_client(stream, &t_obs, &engine, analytics.as_ref());
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -115,7 +136,12 @@ impl Drop for TelemetryServer {
     }
 }
 
-fn serve_client(stream: TcpStream, obs: &Obs, engine: &SharedAlertEngine) -> io::Result<()> {
+fn serve_client(
+    stream: TcpStream,
+    obs: &Obs,
+    engine: &SharedAlertEngine,
+    analytics: Option<&AnalyticsProvider>,
+) -> io::Result<()> {
     stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     let mut writer = stream.try_clone()?;
@@ -169,6 +195,10 @@ fn serve_client(stream: TcpStream, obs: &Obs, engine: &SharedAlertEngine) -> io:
                     out
                 }
                 "alerts" => engine.lock().alerts_json(),
+                "top_sources" => match analytics {
+                    Some(provider) => provider(),
+                    None => "{\"analytics\":\"disabled\"}".to_string(),
+                },
                 _ => "{\"error\":\"unknown command\"}".to_string(),
             };
             writer.write_all(reply.as_bytes())?;
@@ -338,6 +368,52 @@ mod tests {
         // First drainer took everything; the second saw an empty ring.
         assert_eq!(r1[0].matches("\"kind\":\"hit\"").count(), 20);
         assert!(r2[0].contains("\"events\":[]"), "second client: {}", r2[0]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn top_sources_reports_disabled_without_a_provider() {
+        let obs = Obs::new();
+        let engine = obs::alert::shared(AlertEngine::new(AlertConfig::default()));
+        let server =
+            TelemetryServer::spawn(&obs, engine, Duration::from_millis(50)).unwrap();
+        let replies = query(server.addr(), &["top_sources"]);
+        assert_eq!(replies[0], "{\"analytics\":\"disabled\"}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn top_sources_serves_the_provider_snapshot() {
+        let obs = Obs::new();
+        let engine = obs::alert::shared(AlertEngine::new(AlertConfig::default()));
+        // The provider shape a deployment wires: a closure over the guard's
+        // shared snapshot handle, serialised fresh per request.
+        let snap = Arc::new(parking_lot::Mutex::new(
+            obs::sketch::AnalyticsSnapshot::default(),
+        ));
+        {
+            let mut sketch = obs::sketch::TrafficSketch::new();
+            for i in 0..100u32 {
+                sketch.observe_key(0x0a00_0000 | (i % 7));
+            }
+            *snap.lock() = sketch.snapshot();
+        }
+        let provider: AnalyticsProvider = {
+            let snap = snap.clone();
+            Arc::new(move || snap.lock().to_json())
+        };
+        let server = TelemetryServer::spawn_with_analytics(
+            &obs,
+            engine,
+            Duration::from_millis(50),
+            Some(provider),
+        )
+        .unwrap();
+        let replies = query(server.addr(), &["top_sources"]);
+        validate_json(&replies[0]).unwrap_or_else(|p| panic!("invalid JSON at {p}: {}", replies[0]));
+        assert!(replies[0].contains("\"total\":100"), "reply: {}", replies[0]);
+        assert!(replies[0].contains("\"top_sources\":["), "reply: {}", replies[0]);
+        assert!(replies[0].contains("10.0.0.0"), "reply: {}", replies[0]);
         server.shutdown();
     }
 
