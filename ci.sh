@@ -12,7 +12,7 @@
 #
 # Usage: ./ci.sh [stage]
 #   stage ∈ {build, test, lint, clippy, telemetry, journeys, ha, fleet,
-#   fleetobs, analytics, docs}; no argument runs all.
+#   fleetobs, analytics, poison, docs}; no argument runs all.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -95,6 +95,15 @@ if want analytics; then
     --bin all_experiments -- --analytics-only --obs-out target/analytics-smoke
   cargo run --release --offline -p bench --bin telemetry_check -- \
     --analytics target/analytics-smoke/BENCH_analytics.json
+fi
+
+if want poison; then
+  echo "==> cache-poisoning smoke (BENCH_poison export + validation)"
+  mkdir -p target/poison-smoke
+  cargo run --release --offline -p bench --bin all_experiments -- \
+    --poison-only --obs-out target/poison-smoke
+  cargo run --release --offline -p bench --bin telemetry_check -- \
+    --poison target/poison-smoke/BENCH_poison.json
 fi
 
 if want docs; then

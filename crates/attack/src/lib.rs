@@ -22,12 +22,17 @@ pub mod amplification;
 pub mod botnet;
 pub mod flashcrowd;
 pub mod flood;
+pub mod poison;
 pub mod prober;
 
 pub use amplification::Victim;
 pub use botnet::{BotnetConfig, BotnetLowRate};
 pub use flashcrowd::{FlashCrowd, FlashCrowdConfig};
 pub use flood::{AttackPayload, FloodConfig, SourceStrategy, SpoofedFlood};
+pub use poison::{
+    DerandConfig, FragPoisonConfig, FragPoisoner, KaminskyAttack, KaminskyConfig,
+    PortDerandomizer, PortKnowledge,
+};
 pub use prober::{FeedbackProber, ProberConfig};
 
 #[cfg(test)]

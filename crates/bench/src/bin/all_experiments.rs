@@ -28,6 +28,11 @@
 //!   `BENCH_analytics.json`; requires building with
 //!   `--features traffic-analytics`;
 //! * `--analytics-only` — run only the traffic-analytics experiment;
+//! * `--poison` — additionally run the cache-poisoning experiment
+//!   (Kaminsky defense × bandwidth success table vs the analytic
+//!   birthday model, port derandomization, fragment substitution,
+//!   clean-baseline alert silence) and write `BENCH_poison.json`;
+//! * `--poison-only` — run only the cache-poisoning experiment;
 //! * `--obs-out <dir>` — output directory for the exported files
 //!   (default `.`).
 
@@ -434,6 +439,55 @@ fn run_analytics_export(_out_dir: &std::path::Path) {
     exit(1);
 }
 
+fn run_poison_export(out_dir: &std::path::Path) {
+    println!("== Cache poisoning: adversary suite vs unilateral hardening ==");
+    let (run, summary) = match bench::poison::export_to(out_dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("poison export failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "{:<13} {:>9} {:>6} {:>5} {:>11} {:>12} {:>9} {:>9}",
+        "defense", "rate/s", "races", "wins", "measured_p", "predicted_p", "forged", "attempts"
+    );
+    for c in &run.cells {
+        println!(
+            "{:<13} {:>9.0} {:>6} {:>5} {:>11.4} {:>12.3e} {:>9} {:>9}",
+            c.defense, c.rate, c.races, c.wins, c.measured_p, c.predicted_p, c.forged,
+            c.poison_attempts,
+        );
+    }
+    println!(
+        "derand: sequential ports {}/{} races poisoned, keyed-random {}/{} \
+         ({} probes answered)",
+        run.derand.sequential_wins,
+        run.derand.races,
+        run.derand.randomized_wins,
+        run.derand.races,
+        run.derand.probes_answered,
+    );
+    println!(
+        "frag: undefended poisoned = {}, reject_fragmented poisoned = {} \
+         ({} spliced, {} rejected, {} TCP fallbacks)",
+        run.frag.undefended_poisoned,
+        run.frag.hardened_poisoned,
+        run.frag.substituted,
+        run.frag.frag_rejected,
+        run.frag.tcp_fallbacks,
+    );
+    println!("baseline fired rules: {:?}", run.baseline_fired);
+    println!("wrote {} ({} bytes)", summary.display(), run.summary_json.len());
+    if !run.table_ok {
+        eprintln!(
+            "poison acceptance failed: the success table is off the analytic \
+             model or a hardened cell was poisoned"
+        );
+        exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let obs_only = args.iter().any(|a| a == "--obs-only");
@@ -448,6 +502,8 @@ fn main() {
     let fleetobs = fleetobs_only || args.iter().any(|a| a == "--fleetobs");
     let analytics_only = args.iter().any(|a| a == "--analytics-only");
     let analytics = analytics_only || args.iter().any(|a| a == "--analytics");
+    let poison_only = args.iter().any(|a| a == "--poison-only");
+    let poison = poison_only || args.iter().any(|a| a == "--poison");
     let out_dir: PathBuf = args
         .iter()
         .position(|a| a == "--obs-out")
@@ -455,7 +511,14 @@ fn main() {
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("."));
 
-    if obs_only || journeys_only || ha_only || fleet_only || fleetobs_only || analytics_only {
+    if obs_only
+        || journeys_only
+        || ha_only
+        || fleet_only
+        || fleetobs_only
+        || analytics_only
+        || poison_only
+    {
         if obs_only {
             run_obs_export(&out_dir);
         }
@@ -473,6 +536,9 @@ fn main() {
         }
         if analytics_only {
             run_analytics_export(&out_dir);
+        }
+        if poison_only {
+            run_poison_export(&out_dir);
         }
         return;
     }
@@ -631,5 +697,8 @@ fn main() {
     }
     if analytics {
         run_analytics_export(&out_dir);
+    }
+    if poison {
+        run_poison_export(&out_dir);
     }
 }

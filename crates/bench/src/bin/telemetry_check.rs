@@ -30,6 +30,11 @@
 //! `flash_crowd` on the Zipf crowd), the sketch fields behind each
 //! verdict, and the two-site fleet-merge leg's accuracy bar.
 //!
+//! With `--poison <BENCH_poison.json>` it validates the cache-poisoning
+//! export: the defense × bandwidth success table (undefended ≥ 0.5,
+//! hardened cells blank), the port-derandomization and fragmentation
+//! legs, the silent clean baseline, and the overall `table_ok` verdict.
+//!
 //! [`STITCH_KINDS`]: obs::fleet::STITCH_KINDS
 
 use bench::journeys::SCHEMES;
@@ -156,6 +161,32 @@ const ANALYTICS_KEYS: &[&str] = &[
     "\"merged_total\":",
 ];
 
+/// Substrings the cache-poisoning summary must contain: every defense
+/// row of the success table, the analytic-model column, the derand and
+/// fragmentation legs, the alert outcome, and the overall verdict.
+const POISON_KEYS: &[&str] = &[
+    "\"experiment\":\"poison\"",
+    "\"table\":",
+    "\"defense\":\"none\"",
+    "\"defense\":\"random_ports\"",
+    "\"defense\":\"case_0x20\"",
+    "\"defense\":\"anomaly_gate\"",
+    "\"defense\":\"full_stack\"",
+    "\"measured_p\":",
+    "\"predicted_p\":",
+    "\"poison_attempts\":",
+    "\"gate_trips\":",
+    "\"alert_fired\":true",
+    "\"derand\":",
+    "\"sequential_wins\":",
+    "\"randomized_wins\":0",
+    "\"frag\":",
+    "\"undefended_poisoned\":true",
+    "\"hardened_poisoned\":false",
+    "\"baseline_fired\":[]",
+    "\"table_ok\":true",
+];
+
 /// Substrings a chrome `trace_event` document must contain.
 const CHROME_KEYS: &[&str] = &[
     "\"traceEvents\":",
@@ -261,6 +292,13 @@ fn check_analytics(summary_path: &str) {
     println!("analytics OK: {} ({} bytes)", summary_path, summary.len());
 }
 
+fn check_poison(summary_path: &str) {
+    let summary = read(summary_path);
+    require_json(summary_path, &summary);
+    require_keys(summary_path, &summary, POISON_KEYS);
+    println!("poison OK: {} ({} bytes)", summary_path, summary.len());
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--ha") {
@@ -298,6 +336,14 @@ fn main() {
         check_analytics(summary);
         return;
     }
+    if args.first().map(String::as_str) == Some("--poison") {
+        let Some(summary) = args.get(1) else {
+            eprintln!("usage: telemetry_check --poison <BENCH_poison.json>");
+            exit(2);
+        };
+        check_poison(summary);
+        return;
+    }
     if args.first().map(String::as_str) == Some("--journeys") {
         let (Some(summary), Some(chrome)) = (args.get(1), args.get(2)) else {
             eprintln!("usage: telemetry_check --journeys <BENCH_journeys.json> <chrome_trace.json>");
@@ -313,7 +359,8 @@ fn main() {
              \x20      telemetry_check --ha <BENCH_failover.json>\n\
              \x20      telemetry_check --fleet <BENCH_fleet.json>\n\
              \x20      telemetry_check --fleetobs <BENCH_fleetobs.json> <BENCH_fleetobs_trace.jsonl>\n\
-             \x20      telemetry_check --analytics <BENCH_analytics.json>"
+             \x20      telemetry_check --analytics <BENCH_analytics.json>\n\
+             \x20      telemetry_check --poison <BENCH_poison.json>"
         );
         exit(2);
     };

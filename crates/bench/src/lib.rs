@@ -50,6 +50,7 @@ pub mod fleet;
 pub mod fleetobs;
 pub mod journeys;
 pub mod obs_export;
+pub mod poison;
 pub mod report;
 pub mod worlds;
 

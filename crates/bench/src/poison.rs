@@ -1,0 +1,715 @@
+//! The cache-poisoning experiment behind `BENCH_poison.json`: a measured
+//! success-probability table for the off-path adversary suite against
+//! each unilateral resolver defense.
+//!
+//! Four legs:
+//!
+//! 1. **Kaminsky table** — attacker bandwidth × defense combination, each
+//!    cell `races` independent forced-miss races against a fresh resolver.
+//!    Measured success probability is compared against the analytic
+//!    birthday model `p = casing × (1 − (1 − 1/(65536·ports))^G)` with
+//!    `G = rate × window` guesses (capped at the anomaly-gate threshold
+//!    when the gate is on). The undefended cell must reach `p ≥ 0.5` at
+//!    the top bandwidth; every hardened cell must record zero wins; the
+//!    full stack must blank the attack at every swept bandwidth.
+//! 2. **Port derandomization** — the same race against sequential
+//!    ephemeral ports, with the attacker probing its own delegated zone
+//!    to read the current port: succeeds like the fixed-port case. The
+//!    keyed-random pool defeats the same attacker.
+//! 3. **Fragmentation** — an oversized RRset fragments on the victim
+//!    path and a planted second fragment splices an attacker record into
+//!    the reassembled answer: poisons the undefended resolver with *zero*
+//!    guesses; `reject_fragmented` forces TCP and blanks it.
+//! 4. **Clean baseline** — ordinary resolution with telemetry attached:
+//!    the `cache_poisoning` alert must stay silent (and must fire during
+//!    the undefended attack cell).
+//!
+//! Run via `cargo run --release -p bench --bin all_experiments --
+//! --poison-only`; the document lands in `BENCH_poison.json`.
+
+use attack::poison::{
+    craft_evil_tail, miss_name, target_name, DerandConfig, FragPoisonConfig, FragPoisoner,
+    KaminskyAttack, KaminskyConfig, PortDerandomizer, PortKnowledge,
+};
+use dnswire::message::Message;
+use dnswire::name::Name;
+use dnswire::rdata::RData;
+use dnswire::types::RrType;
+use netsim::engine::{CpuConfig, FragSub, Simulator};
+use netsim::time::SimTime;
+use netsim::NodeId;
+use obs::alert::{AlertConfig, AlertEngine};
+use obs::trace::Level;
+use obs::Obs;
+use server::authoritative::Authority;
+use server::hardening::{PortMode, ResolverHardening};
+use server::nodes::AuthNode;
+use server::recursive::{RecursiveResolver, ResolverConfig};
+use server::zone::{Zone, ZoneBuilder};
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+
+/// Trace kinds the poisoning experiment exercises end to end — the
+/// resolver-hardening and fragmentation-fault telemetry contract
+/// (guardlint L5 checks each has an emit site).
+pub const POISON_KINDS: &[&str] = &[
+    "poison_attempt",
+    "poison_success",
+    "anomaly_gate",
+    "bailiwick_drop",
+    "frag_rejected",
+    "fragmented",
+    "frag_substituted",
+];
+
+const RESOLVER: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+const ROOT_NS: Ipv4Addr = Ipv4Addr::new(198, 41, 0, 4);
+const VICTIM_NS: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 10);
+const ATTACKER: Ipv4Addr = Ipv4Addr::new(66, 0, 0, 1);
+const EVIL: Ipv4Addr = Ipv4Addr::new(66, 66, 66, 66);
+const WWW: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 80);
+
+/// MTU of the fragmentation leg's victim path.
+const FRAG_MTU: usize = 300;
+
+/// A records in the oversized RRset (response ≈ 430 bytes > [`FRAG_MTU`]).
+const BIG_RRSET: u8 = 24;
+
+/// Sweep parameters. [`PoisonParams::full`] is the exported experiment;
+/// [`PoisonParams::quick`] keeps the in-crate test affordable in debug.
+#[derive(Debug, Clone)]
+pub struct PoisonParams {
+    /// Base RNG seed (each cell derives its own).
+    pub seed: u64,
+    /// Races per table cell.
+    pub races: u32,
+    /// Race window — the authoritative round trip the attacker races.
+    pub window: SimTime,
+    /// Attacker bandwidths (forged responses per second).
+    pub rates: Vec<f64>,
+}
+
+impl PoisonParams {
+    /// The exported sweep: the paper-scale 250 ms authoritative RTT with
+    /// a 400 K pkt/s top-end attacker (G = 100 K guesses → p ≈ 0.78).
+    pub fn full() -> Self {
+        PoisonParams {
+            seed: 2007,
+            races: 12,
+            window: SimTime::from_millis(250),
+            rates: vec![50_000.0, 400_000.0],
+        }
+    }
+
+    /// Compressed profile for debug-mode tests: same G ≈ 48 K guesses
+    /// squeezed into a 40 ms window.
+    pub fn quick() -> Self {
+        PoisonParams {
+            seed: 2007,
+            races: 6,
+            window: SimTime::from_millis(40),
+            rates: vec![1_200_000.0],
+        }
+    }
+}
+
+/// The defense combinations swept by the Kaminsky table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Defense {
+    /// Fixed port 53, nothing else — the classic vulnerable resolver.
+    None,
+    /// Keyed-random source ports over a 16384-port pool.
+    RandomPorts,
+    /// 0x20 case randomization with case-sensitive echo check.
+    Case0x20,
+    /// Duplicate-response anomaly gate (abandon race → TCP) at 8.
+    AnomalyGate,
+    /// Ports + 0x20 + gate + bailiwick + fragment rejection.
+    Full,
+}
+
+impl Defense {
+    /// All swept combinations, in table order.
+    pub const ALL: [Defense; 5] = [
+        Defense::None,
+        Defense::RandomPorts,
+        Defense::Case0x20,
+        Defense::AnomalyGate,
+        Defense::Full,
+    ];
+
+    /// The JSON / report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Defense::None => "none",
+            Defense::RandomPorts => "random_ports",
+            Defense::Case0x20 => "case_0x20",
+            Defense::AnomalyGate => "anomaly_gate",
+            Defense::Full => "full_stack",
+        }
+    }
+
+    fn hardening(self) -> ResolverHardening {
+        match self {
+            Defense::None => ResolverHardening::default(),
+            Defense::RandomPorts => ResolverHardening {
+                port_mode: PortMode::Randomized { base: 32768, range: 16384 },
+                ..ResolverHardening::default()
+            },
+            Defense::Case0x20 => ResolverHardening {
+                case_randomization: true,
+                ..ResolverHardening::default()
+            },
+            Defense::AnomalyGate => ResolverHardening {
+                anomaly_gate: Some(8),
+                ..ResolverHardening::default()
+            },
+            Defense::Full => ResolverHardening::full(),
+        }
+    }
+
+    /// What the off-path attacker knows about ports under this defense.
+    fn attacker_ports(self) -> PortKnowledge {
+        match self.hardening().port_mode {
+            PortMode::Fixed => PortKnowledge::Exact(53),
+            PortMode::Sequential { base } => PortKnowledge::Exact(base),
+            PortMode::Randomized { base, range } => PortKnowledge::Range { base, range },
+        }
+    }
+
+    /// Analytic per-race success probability for `guesses` txid draws
+    /// with replacement: the birthday model, scaled by the port pool and
+    /// the all-lowercase 0x20 coin draw, capped at the gate threshold.
+    pub fn predicted_p(self, guesses: f64, letters: u32) -> f64 {
+        let h = self.hardening();
+        let ports = match h.port_mode {
+            PortMode::Randomized { range, .. } => f64::from(range),
+            _ => 1.0,
+        };
+        let g_eff = match h.anomaly_gate {
+            Some(k) => guesses.min(f64::from(k)),
+            None => guesses,
+        };
+        let per_guess = 1.0 / (65536.0 * ports);
+        let base = 1.0 - (1.0 - per_guess).powf(g_eff);
+        if h.case_randomization {
+            base * (0.5f64).powi(letters as i32)
+        } else {
+            base
+        }
+    }
+}
+
+fn victim() -> Name {
+    "victim.com".parse().expect("static zone name")
+}
+
+fn root_zone() -> Zone {
+    ZoneBuilder::new(Name::root())
+        .ttl(600)
+        .ns("ns.root".parse().expect("static name"), ROOT_NS)
+        .delegate(victim(), "ns.victim.com".parse().expect("static name"), VICTIM_NS)
+        .delegate(
+            "attacker.net".parse().expect("static name"),
+            "ns.attacker.net".parse().expect("static name"),
+            ATTACKER,
+        )
+        .build()
+}
+
+fn victim_zone() -> Zone {
+    let mut b = ZoneBuilder::new(victim())
+        .ttl(600)
+        .ns("ns.victim.com".parse().expect("static name"), VICTIM_NS)
+        .a("www.victim.com".parse().expect("static name"), WWW);
+    for i in 0..BIG_RRSET {
+        b = b.a(
+            "big.victim.com".parse().expect("static name"),
+            Ipv4Addr::new(192, 0, 2, 100 + i),
+        );
+    }
+    b.build()
+}
+
+/// Root + victim NS + hardened resolver; the victim link's RTT is the
+/// race window (the legitimate answer arrives exactly when the forged
+/// flood stops).
+fn poison_world(
+    seed: u64,
+    hardening: ResolverHardening,
+    window: SimTime,
+) -> (Simulator, NodeId, NodeId) {
+    let mut sim = Simulator::new(seed);
+    let _root = sim.add_node(
+        ROOT_NS,
+        CpuConfig::unbounded(),
+        AuthNode::new(ROOT_NS, Authority::new(vec![root_zone()])),
+    );
+    let victim_ns = sim.add_node(
+        VICTIM_NS,
+        CpuConfig::unbounded(),
+        AuthNode::new(VICTIM_NS, Authority::new(vec![victim_zone()])),
+    );
+    let mut cfg = ResolverConfig::new(RESOLVER, vec![ROOT_NS]);
+    cfg.timeout = window * 4;
+    cfg.hardening = hardening;
+    let lrs = sim.add_node(RESOLVER, CpuConfig::unbounded(), RecursiveResolver::new(cfg));
+    sim.connect_rtt(victim_ns, lrs, window * 2);
+    (sim, lrs, victim_ns)
+}
+
+/// One Kaminsky table cell.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Defense label.
+    pub defense: &'static str,
+    /// Attacker bandwidth (forged responses per second).
+    pub rate: f64,
+    /// Races run.
+    pub races: u32,
+    /// Races whose poison target entered the cache.
+    pub wins: u32,
+    /// `wins / races`.
+    pub measured_p: f64,
+    /// The analytic birthday-model prediction for one race.
+    pub predicted_p: f64,
+    /// Forged responses the attacker emitted.
+    pub forged: u64,
+    /// Wrong-response mismatches the resolver registered.
+    pub poison_attempts: u64,
+    /// Times the anomaly gate abandoned a race.
+    pub gate_trips: u64,
+    /// Whether the per-node `cache_poisoning` alert fired during the cell.
+    pub alert_fired: bool,
+}
+
+/// Letters (not digits/dots) in the race qname — each is one 0x20 coin.
+fn qname_letters(zone: &Name, race: u32) -> u32 {
+    let name = miss_name(zone, race);
+    name.to_string().bytes().filter(u8::is_ascii_alphabetic).count() as u32
+}
+
+fn kaminsky_cell(seed: u64, defense: Defense, rate: f64, params: &PoisonParams) -> CellOutcome {
+    let (mut sim, lrs, _) = poison_world(seed, defense.hardening(), params.window);
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    sim.node_mut::<RecursiveResolver>(lrs)
+        .expect("resolver node")
+        .attach_obs(&obs);
+    let mut engine = AlertEngine::new(AlertConfig::default());
+    engine.attach_obs(&obs);
+
+    let arm_delay = SimTime::from_micros(500);
+    // One race per period, with slack for the gate's TCP re-queries.
+    let period = params.window * 2 + SimTime::from_millis(10);
+    let atk = sim.add_node(
+        ATTACKER,
+        CpuConfig::unbounded(),
+        KaminskyAttack::new(KaminskyConfig {
+            attacker: ATTACKER,
+            resolver: RESOLVER,
+            spoof_server: VICTIM_NS,
+            victim_zone: victim(),
+            evil: EVIL,
+            forge_rate: rate,
+            races: params.races,
+            race_period: period,
+            arm_delay,
+            window: params.window,
+            ports: defense.attacker_ports(),
+        }),
+    );
+    let horizon = period * u64::from(params.races) + params.window * 2;
+    let mut ms = 0u64;
+    while ms * 1_000_000 < horizon.as_nanos() {
+        ms += 100;
+        sim.run_until(SimTime::from_millis(ms));
+        engine.evaluate(sim.now().as_nanos(), &obs.registry.snapshot());
+    }
+
+    let forged = sim.node_ref::<KaminskyAttack>(atk).expect("attacker node").forged_sent();
+    let now = sim.now();
+    let zone = victim();
+    let resolver = sim.node_mut::<RecursiveResolver>(lrs).expect("resolver node");
+    let wins = (0..params.races)
+        .filter(|&r| resolver.poison_check(now, &target_name(&zone, r), RrType::A, &[]))
+        .count() as u32;
+    let stats = resolver.stats();
+    let guesses = rate * params.window.as_secs_f64();
+    CellOutcome {
+        defense: defense.label(),
+        rate,
+        races: params.races,
+        wins,
+        measured_p: f64::from(wins) / f64::from(params.races),
+        predicted_p: defense.predicted_p(guesses, qname_letters(&zone, 0)),
+        forged,
+        poison_attempts: stats.poison_attempts,
+        gate_trips: stats.gate_trips,
+        alert_fired: engine.fired_rules().contains(&"cache_poisoning"),
+    }
+}
+
+/// Outcome of the port-derandomization leg.
+#[derive(Debug, Clone)]
+pub struct DerandOutcome {
+    /// Probe-then-race rounds against the sequential allocator.
+    pub races: u32,
+    /// Wins against sequential ports (must behave like fixed-port).
+    pub sequential_wins: u32,
+    /// Wins by the same attacker against the keyed-random pool.
+    pub randomized_wins: u32,
+    /// Ports the sequential resolver revealed to the attacker's probes.
+    pub probes_answered: u64,
+}
+
+fn derand_leg(seed: u64, params: &PoisonParams) -> DerandOutcome {
+    let races = params.races.min(6);
+    let rate = params.rates.iter().copied().fold(0.0f64, f64::max);
+    let run = |hardening: ResolverHardening| -> (u32, u64) {
+        let (mut sim, lrs, _) = poison_world(seed, hardening, params.window);
+        let period = params.window * 2 + SimTime::from_millis(10);
+        let atk = sim.add_node(
+            ATTACKER,
+            CpuConfig::unbounded(),
+            PortDerandomizer::new(DerandConfig {
+                attacker: ATTACKER,
+                probe_zone: "attacker.net".parse().expect("static name"),
+                resolver: RESOLVER,
+                spoof_server: VICTIM_NS,
+                victim_zone: victim(),
+                evil: EVIL,
+                forge_rate: rate,
+                races,
+                race_period: period,
+                window: params.window,
+                port_step: 1,
+            }),
+        );
+        sim.run_until(period * u64::from(races + 1) + params.window * 2);
+        let probes = sim.node_ref::<PortDerandomizer>(atk).expect("attacker node").probes_seen;
+        let now = sim.now();
+        let zone = victim();
+        let resolver = sim.node_mut::<RecursiveResolver>(lrs).expect("resolver node");
+        let wins = (0..races)
+            .filter(|&r| resolver.poison_check(now, &target_name(&zone, r), RrType::A, &[]))
+            .count() as u32;
+        (wins, probes)
+    };
+    let sequential = ResolverHardening {
+        port_mode: PortMode::Sequential { base: 40_000 },
+        ..ResolverHardening::default()
+    };
+    let randomized = ResolverHardening {
+        port_mode: PortMode::Randomized { base: 32768, range: 16384 },
+        ..ResolverHardening::default()
+    };
+    let (sequential_wins, probes_answered) = run(sequential);
+    let (randomized_wins, _) = run(randomized);
+    DerandOutcome { races, sequential_wins, randomized_wins, probes_answered }
+}
+
+/// Outcome of the fragmentation leg.
+#[derive(Debug, Clone)]
+pub struct FragOutcome {
+    /// Whether the planted second fragment poisoned the stock resolver.
+    pub undefended_poisoned: bool,
+    /// Whether it poisoned the `reject_fragmented` resolver.
+    pub hardened_poisoned: bool,
+    /// Datagrams the network marked as reassembled-from-fragments.
+    pub fragmented: u64,
+    /// Planted tails actually spliced in.
+    pub substituted: u64,
+    /// Reassembled answers the hardened resolver discarded.
+    pub frag_rejected: u64,
+    /// TCP re-queries the hardened resolver issued.
+    pub tcp_fallbacks: u64,
+}
+
+/// The exact wire the victim's server emits for the oversized query; the
+/// bytes past [`FRAG_MTU`] are txid-independent, which is what makes the
+/// attack work without guessing.
+fn big_response_wire() -> Vec<u8> {
+    let q = Message::iterative_query(0, "big.victim.com".parse().expect("static name"), RrType::A);
+    let (resp, _) = Authority::new(vec![victim_zone()]).answer(&q);
+    resp.encode()
+}
+
+fn frag_leg(seed: u64) -> FragOutcome {
+    let legit: Vec<RData> = (0..BIG_RRSET)
+        .map(|i| RData::A(Ipv4Addr::new(192, 0, 2, 100 + i)))
+        .collect();
+    let run = |hardening: ResolverHardening| -> (bool, u64, u64, u64, u64) {
+        let (mut sim, lrs, victim_ns) = poison_world(seed, hardening, SimTime::from_millis(4));
+        sim.set_link_mtu(victim_ns, lrs, FRAG_MTU);
+        sim.plant_fragment(
+            lrs,
+            FragSub {
+                src: VICTIM_NS,
+                offset: FRAG_MTU,
+                payload: craft_evil_tail(&big_response_wire(), FRAG_MTU, EVIL),
+            },
+        );
+        sim.add_node(
+            ATTACKER,
+            CpuConfig::unbounded(),
+            FragPoisoner::new(FragPoisonConfig {
+                attacker: ATTACKER,
+                resolver: RESOLVER,
+                qname: "big.victim.com".parse().expect("static name"),
+                trials: 2,
+                trial_period: SimTime::from_millis(60),
+            }),
+        );
+        sim.run_until(SimTime::from_millis(200));
+        let faults = sim.fault_stats();
+        let now = sim.now();
+        let resolver = sim.node_mut::<RecursiveResolver>(lrs).expect("resolver node");
+        let stats = resolver.stats();
+        let poisoned = resolver.poison_check(
+            now,
+            &"big.victim.com".parse().expect("static name"),
+            RrType::A,
+            &legit,
+        );
+        (poisoned, faults.fragmented, faults.frag_substituted, stats.frag_rejected, stats.tcp_fallbacks)
+    };
+    let (undefended_poisoned, fragmented, substituted, _, _) =
+        run(ResolverHardening::default());
+    let hardened = ResolverHardening {
+        reject_fragmented: true,
+        ..ResolverHardening::default()
+    };
+    let (hardened_poisoned, _, _, frag_rejected, tcp_fallbacks) = run(hardened);
+    FragOutcome {
+        undefended_poisoned,
+        hardened_poisoned,
+        fragmented,
+        substituted,
+        frag_rejected,
+        tcp_fallbacks,
+    }
+}
+
+/// Clean-baseline leg: ordinary resolution with the alert engine
+/// attached; returns every rule that fired (must be none).
+fn baseline_leg(seed: u64) -> Vec<&'static str> {
+    let (mut sim, lrs, _) = poison_world(seed, ResolverHardening::full(), SimTime::from_millis(4));
+    let obs = Obs::new();
+    obs.tracer.set_default_level(Level::Info);
+    sim.node_mut::<RecursiveResolver>(lrs)
+        .expect("resolver node")
+        .attach_obs(&obs);
+    let mut engine = AlertEngine::new(AlertConfig::default());
+    engine.attach_obs(&obs);
+    // An ordinary client re-querying popular names — misses, then hits.
+    sim.add_node(
+        Ipv4Addr::new(10, 0, 0, 1),
+        CpuConfig::unbounded(),
+        FragPoisoner::new(FragPoisonConfig {
+            attacker: Ipv4Addr::new(10, 0, 0, 1),
+            resolver: RESOLVER,
+            qname: "www.victim.com".parse().expect("static name"),
+            trials: 8,
+            trial_period: SimTime::from_millis(40),
+        }),
+    );
+    let mut ms = 0u64;
+    while ms < 500 {
+        ms += 100;
+        sim.run_until(SimTime::from_millis(ms));
+        engine.evaluate(sim.now().as_nanos(), &obs.registry.snapshot());
+    }
+    engine.fired_rules()
+}
+
+/// The full experiment.
+pub struct PoisonRun {
+    /// The composed `BENCH_poison.json` document.
+    pub summary_json: String,
+    /// The Kaminsky success-probability table.
+    pub cells: Vec<CellOutcome>,
+    /// The port-derandomization leg.
+    pub derand: DerandOutcome,
+    /// The fragmentation leg.
+    pub frag: FragOutcome,
+    /// Rules the clean baseline fired (must be empty).
+    pub baseline_fired: Vec<&'static str>,
+    /// Whether every acceptance criterion held.
+    pub table_ok: bool,
+}
+
+fn cell_json(c: &CellOutcome) -> String {
+    format!(
+        "{{\"defense\":\"{}\",\"rate\":{:.0},\"races\":{},\"wins\":{},\
+         \"measured_p\":{:.4},\"predicted_p\":{:.6},\"forged\":{},\
+         \"poison_attempts\":{},\"gate_trips\":{},\"alert_fired\":{}}}",
+        c.defense,
+        c.rate,
+        c.races,
+        c.wins,
+        c.measured_p,
+        c.predicted_p,
+        c.forged,
+        c.poison_attempts,
+        c.gate_trips,
+        c.alert_fired,
+    )
+}
+
+/// Runs the sweep and composes the export document.
+pub fn run_all(params: &PoisonParams) -> PoisonRun {
+    let mut cells = Vec::new();
+    let mut seed = params.seed;
+    for &rate in &params.rates {
+        for defense in Defense::ALL {
+            seed += 1;
+            cells.push(kaminsky_cell(seed, defense, rate, params));
+        }
+    }
+    let derand = derand_leg(params.seed + 100, params);
+    let frag = frag_leg(params.seed + 200);
+    let baseline_fired = baseline_leg(params.seed + 300);
+
+    let top_rate = params.rates.iter().copied().fold(0.0f64, f64::max);
+    let undefended_top = cells
+        .iter()
+        .find(|c| c.defense == "none" && c.rate == top_rate)
+        .expect("table has the undefended top-rate cell");
+    // The statistical bar: measured probability within a generous
+    // binomial band of the birthday model, and ≥ 0.5 as the paper-scale
+    // attack promises; single defenses and the full stack blank the
+    // table; the derand/frag legs behave per their designs.
+    let sigma =
+        (undefended_top.predicted_p * (1.0 - undefended_top.predicted_p) / f64::from(undefended_top.races))
+            .sqrt();
+    let band = 4.0 * sigma + 0.05;
+    let table_ok = undefended_top.measured_p >= 0.5
+        && (undefended_top.measured_p - undefended_top.predicted_p).abs() <= band
+        && undefended_top.alert_fired
+        && cells.iter().filter(|c| c.defense != "none").all(|c| c.wins == 0)
+        && cells.iter().filter(|c| c.defense == "full_stack").all(|c| c.wins == 0)
+        && derand.sequential_wins >= 1
+        && derand.randomized_wins == 0
+        && frag.undefended_poisoned
+        && !frag.hardened_poisoned
+        && baseline_fired.is_empty();
+
+    let mut table = String::from("[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            table.push(',');
+        }
+        table.push_str(&cell_json(c));
+    }
+    table.push(']');
+    let mut baseline = String::from("[");
+    for (i, r) in baseline_fired.iter().enumerate() {
+        if i > 0 {
+            baseline.push(',');
+        }
+        baseline.push_str(&format!("\"{r}\""));
+    }
+    baseline.push(']');
+    let summary_json = format!(
+        "{{\"experiment\":\"poison\",\"seed\":{},\"races\":{},\"window_ms\":{},\
+         \"table\":{table},\
+         \"derand\":{{\"races\":{},\"sequential_wins\":{},\"randomized_wins\":{},\
+         \"probes_answered\":{}}},\
+         \"frag\":{{\"undefended_poisoned\":{},\"hardened_poisoned\":{},\
+         \"fragmented\":{},\"substituted\":{},\"frag_rejected\":{},\"tcp_fallbacks\":{}}},\
+         \"baseline_fired\":{baseline},\"table_ok\":{table_ok}}}",
+        params.seed,
+        params.races,
+        params.window.as_nanos() / 1_000_000,
+        derand.races,
+        derand.sequential_wins,
+        derand.randomized_wins,
+        derand.probes_answered,
+        frag.undefended_poisoned,
+        frag.hardened_poisoned,
+        frag.fragmented,
+        frag.substituted,
+        frag.frag_rejected,
+        frag.tcp_fallbacks,
+    );
+    PoisonRun { summary_json, cells, derand, frag, baseline_fired, table_ok }
+}
+
+/// Runs the full-scale sweep and writes `BENCH_poison.json` under `dir`.
+pub fn export_to(dir: &Path) -> std::io::Result<(PoisonRun, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let run = run_all(&PoisonParams::full());
+    let summary = dir.join("BENCH_poison.json");
+    std::fs::write(&summary, &run.summary_json)?;
+    Ok((run, summary))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::export::validate_json;
+
+    #[test]
+    fn poison_table_meets_the_acceptance_bar_quick_profile() {
+        let run = run_all(&PoisonParams::quick());
+        let top = run
+            .cells
+            .iter()
+            .find(|c| c.defense == "none")
+            .expect("undefended cell present");
+        assert!(
+            top.measured_p >= 0.5,
+            "undefended Kaminsky must win most races: p = {:.3} ({} wins / {} races, \
+             predicted {:.3})",
+            top.measured_p,
+            top.wins,
+            top.races,
+            top.predicted_p
+        );
+        assert!(top.alert_fired, "the guessing race must trip cache_poisoning");
+        for c in &run.cells {
+            if c.defense != "none" {
+                assert_eq!(
+                    c.wins, 0,
+                    "{} at {:.0}/s must blank the attack (predicted p {:.2e})",
+                    c.defense, c.rate, c.predicted_p
+                );
+            }
+        }
+        assert!(
+            run.derand.sequential_wins >= 1,
+            "derandomized sequential ports must lose like fixed-port: {:?}",
+            run.derand
+        );
+        assert_eq!(run.derand.randomized_wins, 0, "keyed ports defeat the prober");
+        assert!(run.frag.undefended_poisoned, "planted fragment needs no guesses");
+        assert!(!run.frag.hardened_poisoned, "reject_fragmented blanks the splice");
+        assert!(run.frag.frag_rejected >= 1 && run.frag.tcp_fallbacks >= 1);
+        assert!(
+            run.baseline_fired.is_empty(),
+            "clean baseline raised {:?}",
+            run.baseline_fired
+        );
+        assert!(run.table_ok);
+        validate_json(&run.summary_json)
+            .unwrap_or_else(|off| panic!("BENCH_poison.json invalid at byte {off}"));
+        assert!(run.summary_json.contains("\"experiment\":\"poison\""));
+        assert!(run.summary_json.contains("\"table_ok\":true"));
+    }
+
+    #[test]
+    fn predicted_probability_tracks_the_birthday_model() {
+        // 50 K guesses at 1/65536 each: 1 - (1-1/65536)^50000 ≈ 0.5336.
+        let p = Defense::None.predicted_p(50_000.0, 13);
+        assert!((p - 0.5336).abs() < 0.01, "undefended prediction: {p:.4}");
+        // Randomized ports multiply the space by 16384.
+        let p = Defense::RandomPorts.predicted_p(50_000.0, 13);
+        assert!(p < 1e-4, "port-randomized prediction: {p:.2e}");
+        // 0x20 scales by 2^-letters; the gate caps the guess count.
+        let p = Defense::Case0x20.predicted_p(50_000.0, 13);
+        assert!(p < 1e-4, "0x20 prediction: {p:.2e}");
+        let p = Defense::AnomalyGate.predicted_p(50_000.0, 13);
+        assert!(p < 2e-4, "gated prediction: {p:.2e}");
+    }
+}

@@ -164,6 +164,41 @@ mod proptests {
             let _ = Message::decode(&wire);
         }
 
+        /// Fragment-substitution splices never panic the decode path: a
+        /// reassembled datagram an attacker tampered with is an honest
+        /// prefix up to the fragmentation cut plus an attacker-controlled
+        /// second fragment — truncated, overlapping, oversized, or pure
+        /// garbage. Decode may succeed or fail; it must only be total.
+        #[test]
+        fn decoder_total_under_fragment_splices(
+            msg in arb_message(),
+            cut in any::<u16>(),
+            tail in proptest::collection::vec(any::<u8>(), 0..600),
+        ) {
+            let wire = msg.encode();
+            let cut = cut as usize % (wire.len() + 1);
+            let mut spliced = wire[..cut].to_vec();
+            spliced.extend_from_slice(&tail);
+            let _ = Message::decode(&spliced);
+        }
+
+        /// A second fragment copied from the *same* response but at the
+        /// wrong offset (the overlap/shift case real reassemblers hit)
+        /// never panics the decoder either.
+        #[test]
+        fn decoder_total_under_shifted_self_splices(
+            msg in arb_message(),
+            cut in any::<u16>(),
+            shift in any::<u16>(),
+        ) {
+            let wire = msg.encode();
+            let cut = cut as usize % (wire.len() + 1);
+            let shift = shift as usize % (wire.len() + 1);
+            let mut spliced = wire[..cut].to_vec();
+            spliced.extend_from_slice(&wire[shift..]);
+            let _ = Message::decode(&spliced);
+        }
+
         /// Truncated encodes stay within the limit, keep the question intact
         /// and set TC when records were dropped.
         #[test]

@@ -19,7 +19,10 @@ const MAX_POINTER_JUMPS: usize = 64;
 /// A fully-qualified domain name, stored as a sequence of labels (without the
 /// trailing root label, which is implicit).
 ///
-/// Comparison and hashing are ASCII case-insensitive, per RFC 1035.
+/// Comparison and hashing are ASCII case-insensitive, per RFC 1035 /
+/// RFC 4343, but the original label bytes are preserved: a resolver doing
+/// 0x20 case randomization needs its MiXeD-cAsE query name echoed back
+/// byte-for-byte, which [`Name::eq_case_sensitive`] checks.
 ///
 /// # Examples
 ///
@@ -27,16 +30,17 @@ const MAX_POINTER_JUMPS: usize = 64;
 /// use dnswire::name::Name;
 ///
 /// let name: Name = "www.Foo.COM".parse()?;
-/// assert_eq!(name.to_string(), "www.foo.com.");
+/// assert_eq!(name.to_string(), "www.Foo.COM.");
+/// assert_eq!(name, "WWW.foo.com".parse()?);
+/// assert!(!name.eq_case_sensitive(&"www.foo.com".parse()?));
 /// assert_eq!(name.label_count(), 3);
 /// assert!(name.is_subdomain_of(&"com".parse()?));
 /// # Ok::<(), dnswire::error::WireError>(())
 /// ```
 #[derive(Clone, Default)]
 pub struct Name {
-    /// Labels in query order (leftmost first), stored lowercased for
-    /// comparison but preserving original bytes for display round-trips is
-    /// not required by the reproduction, so we canonicalise to lowercase.
+    /// Labels in query order (leftmost first), case preserved. All
+    /// comparisons fold ASCII case except [`Name::eq_case_sensitive`].
     labels: Vec<Vec<u8>>,
 }
 
@@ -67,7 +71,7 @@ impl Name {
             if l.len() > MAX_LABEL_LEN {
                 return Err(WireError::LabelTooLong(l.len()));
             }
-            out.push(l.to_ascii_lowercase());
+            out.push(l.to_vec());
         }
         let name = Name { labels: out };
         let wire = name.wire_len();
@@ -125,10 +129,52 @@ impl Name {
         }
     }
 
-    /// True when `self` is `other` or a descendant of `other`.
-    /// Every name is a subdomain of the root.
+    /// True when `self` is `other` or a descendant of `other`, comparing
+    /// labels case-insensitively. Every name is a subdomain of the root.
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        self.labels.ends_with(&other.labels)
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        // lint: index-ok — the early return above guarantees
+        // other.labels.len() <= self.labels.len(), so the start bound
+        // never underflows and never exceeds the slice length.
+        let tail = &self.labels[self.labels.len() - other.labels.len()..];
+        tail.iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Byte-exact equality, including ASCII case — the check a 0x20
+    /// resolver runs on the echoed question name. Regular `==` stays
+    /// case-insensitive per RFC 1035.
+    pub fn eq_case_sensitive(&self, other: &Name) -> bool {
+        self.labels == other.labels
+    }
+
+    /// Returns a copy with each ASCII letter's case chosen by `coin`
+    /// (`true` = uppercase), called once per letter in wire order — the
+    /// 0x20 query-name encoding. Non-letter bytes pass through.
+    pub fn with_case<F: FnMut() -> bool>(&self, mut coin: F) -> Name {
+        let labels = self
+            .labels
+            .iter()
+            .map(|l| {
+                l.iter()
+                    .map(|&b| {
+                        if b.is_ascii_alphabetic() {
+                            if coin() {
+                                b.to_ascii_uppercase()
+                            } else {
+                                b.to_ascii_lowercase()
+                            }
+                        } else {
+                            b
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Name { labels }
     }
 
     /// Creates a child name by prepending `label`.
@@ -231,7 +277,7 @@ impl Name {
                     if wire_len > MAX_NAME_LEN {
                         return Err(WireError::NameTooLong(wire_len));
                     }
-                    labels.push(label.to_ascii_lowercase());
+                    labels.push(label.to_vec());
                     pos = end;
                 }
             }
@@ -241,15 +287,28 @@ impl Name {
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels == other.labels
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
     }
 }
 
 impl Eq for Name {}
 
 impl std::hash::Hash for Name {
+    /// Hashes the case-folded labels so `Hash` stays consistent with the
+    /// case-insensitive `Eq` (folds per byte, no allocation).
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.labels.hash(state);
+        for l in &self.labels {
+            state.write_usize(l.len());
+            for &b in l {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+        state.write_usize(self.labels.len());
     }
 }
 
@@ -261,10 +320,33 @@ impl PartialOrd for Name {
 
 impl Ord for Name {
     /// Canonical DNS ordering: compare label sequences right-to-left
-    /// (hierarchical order), so a zone sorts before its children.
+    /// (hierarchical order) with ASCII case folded, so a zone sorts before
+    /// its children and ordering agrees with the case-insensitive `Eq`.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a = self.labels.iter().rev();
-        let b = other.labels.iter().rev();
+        let a = self.labels.iter().rev().map(|l| Fold(l));
+        let b = other.labels.iter().rev().map(|l| Fold(l));
+        a.cmp(b)
+    }
+}
+
+/// A label viewed through ASCII case folding, for ordering.
+struct Fold<'a>(&'a [u8]);
+
+impl PartialEq for Fold<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.eq_ignore_ascii_case(other.0)
+    }
+}
+impl Eq for Fold<'_> {}
+impl PartialOrd for Fold<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Fold<'_> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.0.iter().map(u8::to_ascii_lowercase);
+        let b = other.0.iter().map(u8::to_ascii_lowercase);
         a.cmp(b)
     }
 }
@@ -357,7 +439,7 @@ mod tests {
         assert_eq!(n("www.foo.com.").to_string(), "www.foo.com.");
         assert_eq!(n(".").to_string(), ".");
         assert_eq!(n("").to_string(), ".");
-        assert_eq!(n("COM").to_string(), "com.");
+        assert_eq!(n("COM").to_string(), "COM.", "case is preserved for display");
     }
 
     #[test]
@@ -366,6 +448,39 @@ mod tests {
         let mut set = std::collections::HashSet::new();
         set.insert(n("Example.ORG"));
         assert!(set.contains(&n("example.org")));
+    }
+
+    #[test]
+    fn case_sensitive_compare_and_0x20() {
+        assert!(n("www.foo.com").eq_case_sensitive(&n("www.foo.com")));
+        assert!(!n("wWw.foo.com").eq_case_sensitive(&n("www.foo.com")));
+        // 0x20: flip every other letter; round-trips through the wire.
+        let mut i = 0u32;
+        let mixed = n("www.foo.com").with_case(|| {
+            i += 1;
+            i.is_multiple_of(2)
+        });
+        assert_eq!(mixed, n("www.foo.com"), "still equal case-insensitively");
+        assert!(!mixed.eq_case_sensitive(&n("www.foo.com")));
+        let mut buf = Vec::new();
+        mixed.encode_uncompressed(&mut buf);
+        let (decoded, _) = Name::decode(&buf, 0).unwrap();
+        assert!(decoded.eq_case_sensitive(&mixed), "wire preserves case");
+        assert!(n("WWW.FOO.COM").is_subdomain_of(&n("foo.com")));
+    }
+
+    #[test]
+    fn hash_and_ord_fold_case() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |name: &Name| {
+            let mut s = DefaultHasher::new();
+            name.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&n("WWW.Foo.Com")), h(&n("www.foo.com")));
+        assert_eq!(n("A.COM").cmp(&n("a.com")), std::cmp::Ordering::Equal);
+        assert!(n("A.com") < n("b.COM"));
     }
 
     #[test]

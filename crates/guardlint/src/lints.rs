@@ -559,16 +559,20 @@ pub fn l4(files: &[SourceFile]) -> Vec<Finding> {
 const OBS_EXPORT: &str = "crates/bench/src/obs_export.rs";
 const GUARD_RS: &str = "crates/core/src/guard.rs";
 const ANALYTICS_RS: &str = "crates/core/src/analytics.rs";
+const POISON_RS: &str = "crates/bench/src/poison.rs";
 
 /// Trace-kind contracts checked by L5: `(file, kind-table const)`. The
 /// export contract promises `REQUIRED_KINDS`; the fleet aggregator
 /// promises the `STITCH_KINDS` it synthesises during stitching; the
 /// traffic-analytics pipeline promises the `ANALYTICS_KINDS` it emits
-/// on each sketch refresh.
+/// on each sketch refresh; the poisoning bench promises the
+/// `POISON_KINDS` the resolver hardening and fragmentation faults emit
+/// during the success-probability sweep.
 const KIND_CONTRACTS: &[(&str, &str)] = &[
     (OBS_EXPORT, "REQUIRED_KINDS"),
     (FLEET_RS, "STITCH_KINDS"),
     (ANALYTICS_RS, "ANALYTICS_KINDS"),
+    (POISON_RS, "POISON_KINDS"),
 ];
 
 /// Files whose emitted kinds must be observed elsewhere in the corpus:

@@ -27,7 +27,7 @@
 //!   its protocol state. Links without plans draw no randomness, so
 //!   fault-free runs are unchanged.
 
-use crate::packet::Packet;
+use crate::packet::{Packet, Proto};
 use crate::time::SimTime;
 use obs::metrics::Counter;
 use obs::trace::{ComponentTracer, Value};
@@ -257,6 +257,12 @@ pub struct FaultStats {
     /// node had crashed, or had crashed and restarted since they were
     /// scheduled.
     pub crash_dropped: u64,
+    /// UDP datagrams that exceeded a link MTU and were delivered
+    /// network-reassembled (marked [`Packet::fragmented`]).
+    pub fragmented: u64,
+    /// Fragmented datagrams whose tail was replaced by a planted spoofed
+    /// second fragment ([`Simulator::plant_fragment`]).
+    pub frag_substituted: u64,
 }
 
 /// Live fault accounting: detached [`Counter`] handles (adopted into a
@@ -271,6 +277,8 @@ struct FaultMetrics {
     catchment_shifted: Counter,
     partition_dropped: Counter,
     crash_dropped: Counter,
+    fragmented: Counter,
+    frag_substituted: Counter,
     trace: ComponentTracer,
 }
 
@@ -284,9 +292,32 @@ impl Default for FaultMetrics {
             catchment_shifted: Counter::new(),
             partition_dropped: Counter::new(),
             crash_dropped: Counter::new(),
+            fragmented: Counter::new(),
+            frag_substituted: Counter::new(),
             trace: ComponentTracer::disabled(),
         }
     }
+}
+
+/// A spoofed second fragment planted in a node's reassembly buffer
+/// ([`Simulator::plant_fragment`]), modelling "Fragmentation Considered
+/// Poisonous": the off-path attacker pre-sends a forged tail fragment so
+/// that when the real first fragment of a too-large response arrives, the
+/// victim reassembles the attacker's bytes instead of the real ones. The
+/// txid, ports and 0x20-cased question all live in the first fragment, so
+/// the splice defeats every entropy defense — only refusing reassembled
+/// datagrams (or TCP) stops it.
+#[derive(Debug, Clone)]
+pub struct FragSub {
+    /// Source address the planted fragment spoofs; it only combines with
+    /// fragmented datagrams genuinely arriving from this address.
+    pub src: Ipv4Addr,
+    /// Byte offset the planted fragment claims. Reassembly only succeeds
+    /// when it equals the actual split point (the link MTU), mirroring the
+    /// real attack's need to predict where the sender fragments.
+    pub offset: usize,
+    /// Payload bytes of the planted second fragment.
+    pub payload: Vec<u8>,
 }
 
 /// What a timed partition cuts off.
@@ -507,6 +538,11 @@ pub struct Simulator {
     faults: HashMap<(NodeId, NodeId), FaultPlan>,
     /// Timed partitions, checked at packet departure time.
     partitions: Vec<Partition>,
+    /// Directed per-link MTUs; UDP payloads above the MTU arrive
+    /// network-reassembled ([`Packet::fragmented`] set).
+    frag_mtus: HashMap<(NodeId, NodeId), usize>,
+    /// Spoofed second fragments planted per destination node.
+    frag_subs: HashMap<NodeId, Vec<FragSub>>,
     fault_metrics: FaultMetrics,
     /// Optional alert-engine tick: evaluated on a sim-time cadence from the
     /// run loops, so alerts fire at deterministic simulated instants.
@@ -539,6 +575,8 @@ impl Simulator {
             live_events: 0,
             faults: HashMap::new(),
             partitions: Vec::new(),
+            frag_mtus: HashMap::new(),
+            frag_subs: HashMap::new(),
             fault_metrics: FaultMetrics::default(),
             alert: None,
         }
@@ -557,6 +595,8 @@ impl Simulator {
         r.adopt_counter("netsim", "catchment_shifted", &[], &m.catchment_shifted);
         r.adopt_counter("netsim", "fault_partition_dropped", &[], &m.partition_dropped);
         r.adopt_counter("netsim", "fault_crash_dropped", &[], &m.crash_dropped);
+        r.adopt_counter("netsim", "fault_fragmented", &[], &m.fragmented);
+        r.adopt_counter("netsim", "fault_frag_substituted", &[], &m.frag_substituted);
         self.fault_metrics.trace = obs.tracer.component("netsim");
     }
 
@@ -672,6 +712,37 @@ impl Simulator {
         self.faults.remove(&(b, a));
     }
 
+    /// Sets the MTU of the *directed* link `from -> to`. UDP datagrams
+    /// whose payload exceeds `mtu` still arrive whole (the simulator
+    /// reassembles instantly) but are marked [`Packet::fragmented`] — the
+    /// state fragmentation-poisoning exploits and hardened receivers
+    /// refuse. TCP segments are unaffected (path-MTU discovery keeps
+    /// segments under the MTU in real stacks).
+    pub fn set_link_mtu(&mut self, from: NodeId, to: NodeId, mtu: usize) {
+        assert!(mtu > 0, "zero MTU");
+        self.frag_mtus.insert((from, to), mtu);
+    }
+
+    /// Removes the MTU of the directed link `from -> to`.
+    pub fn clear_link_mtu(&mut self, from: NodeId, to: NodeId) {
+        self.frag_mtus.remove(&(from, to));
+    }
+
+    /// Plants a spoofed second fragment in `at`'s reassembly buffer. Every
+    /// subsequent fragmented UDP datagram arriving at `at` from
+    /// [`FragSub::src`] whose split point equals [`FragSub::offset`] is
+    /// delivered with its tail replaced by the planted payload. The plant
+    /// persists until [`Simulator::clear_fragment_plants`] — modelling an
+    /// attacker continuously refreshing the poisoned fragment.
+    pub fn plant_fragment(&mut self, at: NodeId, sub: FragSub) {
+        self.frag_subs.entry(at).or_default().push(sub);
+    }
+
+    /// Removes every planted fragment at `at`.
+    pub fn clear_fragment_plants(&mut self, at: NodeId) {
+        self.frag_subs.remove(&at);
+    }
+
     /// Cuts all traffic between `a` and `b` (both directions) for packets
     /// departing in `[from, until)`. The partition heals by itself.
     pub fn partition(&mut self, a: NodeId, b: NodeId, from: SimTime, until: SimTime) {
@@ -744,6 +815,8 @@ impl Simulator {
             shifted: m.catchment_shifted.get(),
             partition_dropped: m.partition_dropped.get(),
             crash_dropped: m.crash_dropped.get(),
+            fragmented: m.fragmented.get(),
+            frag_substituted: m.frag_substituted.get(),
         }
     }
 
@@ -1090,6 +1163,48 @@ impl Simulator {
                     ],
                 );
             }
+            // Fragmentation: a UDP payload above the link MTU arrives
+            // reassembled-and-marked; a planted spoofed tail whose claimed
+            // source and offset line up replaces everything past the split.
+            if pkt.proto == Proto::Udp {
+                if let Some(&mtu) = self.frag_mtus.get(&(from, dst_node)) {
+                    if pkt.payload.len() > mtu {
+                        pkt.fragmented = true;
+                        self.fault_metrics.fragmented.inc();
+                        self.fault_metrics.trace.event(
+                            depart.as_nanos(),
+                            "fragmented",
+                            &[
+                                ("from", Value::U64(from as u64)),
+                                ("to", Value::U64(dst_node as u64)),
+                                ("bytes", Value::U64(pkt.payload.len() as u64)),
+                            ],
+                        );
+                        let planted = self
+                            .frag_subs
+                            .get(&dst_node)
+                            .and_then(|subs| {
+                                subs.iter()
+                                    .find(|s| s.src == pkt.src.ip && s.offset == mtu)
+                            })
+                            .cloned();
+                        if let Some(sub) = planted {
+                            pkt.payload.truncate(mtu);
+                            pkt.payload.extend_from_slice(&sub.payload);
+                            self.fault_metrics.frag_substituted.inc();
+                            self.fault_metrics.trace.event(
+                                depart.as_nanos(),
+                                "frag_substituted",
+                                &[
+                                    ("from", Value::U64(from as u64)),
+                                    ("to", Value::U64(dst_node as u64)),
+                                    ("offset", Value::U64(sub.offset as u64)),
+                                ],
+                            );
+                        }
+                    }
+                }
+            }
             self.push(depart + delay, EventKind::Deliver(dst_node, pkt));
         }
     }
@@ -1167,6 +1282,87 @@ mod tests {
             received: 0,
             last_arrival: SimTime::ZERO,
         }
+    }
+
+    /// Stores every received packet for inspection.
+    struct CaptureSink {
+        got: Vec<Packet>,
+    }
+
+    impl Node for CaptureSink {
+        fn on_packet(&mut self, _ctx: &mut Context<'_>, pkt: Packet) {
+            self.got.push(pkt);
+        }
+    }
+
+    #[test]
+    fn oversize_udp_is_marked_fragmented_and_planted_tail_splices() {
+        let mut sim = Simulator::new(3);
+        let small = Packet::udp(ep(1, 53), ep(2, 4000), vec![7u8; 100]);
+        let big = Packet::udp(ep(1, 53), ep(2, 4000), vec![7u8; 900]);
+        let src = sim.add_node(Ipv4Addr::new(10, 0, 0, 1), CpuConfig::default(), sink(SimTime::ZERO));
+        let dst = sim.add_node(
+            Ipv4Addr::new(10, 0, 0, 2),
+            CpuConfig::default(),
+            CaptureSink { got: Vec::new() },
+        );
+        sim.set_link_mtu(src, dst, 512);
+
+        // Under the MTU: untouched. Over: marked fragmented, payload whole.
+        sim.inject(src, small.clone());
+        sim.inject(src, big.clone());
+        sim.run();
+        {
+            let cap = sim.node_ref::<CaptureSink>(dst).unwrap();
+            assert_eq!(cap.got.len(), 2);
+            assert!(!cap.got[0].fragmented);
+            assert_eq!(cap.got[0].payload, small.payload);
+            assert!(cap.got[1].fragmented);
+            assert_eq!(cap.got[1].payload, big.payload);
+        }
+        assert_eq!(sim.fault_stats().fragmented, 1);
+        assert_eq!(sim.fault_stats().frag_substituted, 0);
+
+        // Plant a spoofed tail at the right source + offset: the bytes past
+        // the split point are replaced. Wrong-source plants never apply.
+        sim.plant_fragment(
+            dst,
+            FragSub {
+                src: Ipv4Addr::new(66, 66, 66, 66), // not the real sender
+                offset: 512,
+                payload: vec![1u8; 10],
+            },
+        );
+        sim.plant_fragment(
+            dst,
+            FragSub {
+                src: Ipv4Addr::new(10, 0, 0, 1),
+                offset: 512,
+                payload: vec![9u8; 50],
+            },
+        );
+        sim.inject(src, big.clone());
+        sim.run();
+        {
+            let cap = sim.node_ref::<CaptureSink>(dst).unwrap();
+            let spliced = &cap.got[2];
+            assert!(spliced.fragmented);
+            assert_eq!(spliced.payload.len(), 512 + 50);
+            assert_eq!(&spliced.payload[..512], &big.payload[..512]);
+            assert!(spliced.payload[512..].iter().all(|&b| b == 9));
+        }
+        assert_eq!(sim.fault_stats().frag_substituted, 1);
+
+        // Clearing the plants restores clean (marked-only) delivery, and TCP
+        // is never fragmented regardless of size.
+        sim.clear_fragment_plants(dst);
+        sim.inject(src, big.clone());
+        sim.inject(src, Packet::tcp(ep(1, 53), ep(2, 4000), vec![7u8; 900]));
+        sim.run();
+        let cap = sim.node_ref::<CaptureSink>(dst).unwrap();
+        assert_eq!(cap.got[3].payload, big.payload);
+        assert!(!cap.got[4].fragmented);
+        assert_eq!(sim.fault_stats().frag_substituted, 1);
     }
 
     #[test]

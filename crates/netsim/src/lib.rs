@@ -31,7 +31,8 @@ pub mod time;
 pub mod tokenbucket;
 
 pub use engine::{
-    Context, CpuConfig, CpuStats, FaultPlan, FaultStats, LinkParams, Node, NodeId, Simulator,
+    Context, CpuConfig, CpuStats, FaultPlan, FaultStats, FragSub, LinkParams, Node, NodeId,
+    Simulator,
 };
 pub use packet::{Endpoint, Packet, Proto, DNS_PORT};
 pub use time::SimTime;

@@ -55,6 +55,11 @@ pub struct Packet {
     /// Extra bytes of header overhead counted for size accounting (IP + UDP
     /// or IP + TCP headers).
     pub header_bytes: usize,
+    /// True when the network reassembled this datagram from IP fragments
+    /// (it exceeded a link MTU in transit). Hardened receivers may refuse
+    /// such datagrams — reassembly is the splice point fragmentation
+    /// poisoning abuses.
+    pub fragmented: bool,
 }
 
 /// IPv4 + UDP header overhead used for amplification accounting.
@@ -72,6 +77,7 @@ impl Packet {
             proto: Proto::Udp,
             payload,
             header_bytes: UDP_HEADER_BYTES,
+            fragmented: false,
         }
     }
 
@@ -83,6 +89,7 @@ impl Packet {
             proto: Proto::Tcp,
             payload,
             header_bytes: TCP_HEADER_BYTES,
+            fragmented: false,
         }
     }
 

@@ -42,6 +42,7 @@ pub const RULES: &[&str] = &[
     "handshake_storm",
     "spoof_flood",
     "flash_crowd",
+    "cache_poisoning",
 ];
 
 /// Thresholds and windows for the rule set.
@@ -107,6 +108,11 @@ pub struct AlertConfig {
     /// … or the hottest source's guaranteed share
     /// (`analytics_top_share_milli` / 1000) at or above this.
     pub crowd_min_top_share: f64,
+    /// `cache_poisoning` fires when a resolver registers wrong-response
+    /// mismatches for in-flight queries above this rate (events/s) — the
+    /// visible footprint of a txid-guessing race — or immediately on any
+    /// confirmed poisoned cache entry, regardless of rate.
+    pub poison_attempt_per_sec: f64,
 }
 
 impl Default for AlertConfig {
@@ -130,6 +136,7 @@ impl Default for AlertConfig {
             crowd_max_distinct: 1_000.0,
             crowd_max_entropy_norm: 0.85,
             crowd_min_top_share: 0.05,
+            poison_attempt_per_sec: 20.0,
         }
     }
 }
@@ -255,6 +262,8 @@ impl AlertEngine {
         let mut d_shifted = 0u64;
         let mut d_handshakes = 0u64;
         let mut d_datagrams = 0u64;
+        let mut d_poison_attempts = 0u64;
+        let mut d_poison_hits = 0u64;
         let mut d_new_sources = 0u64;
         let mut distinct = 0u64;
         let mut entropy_norm_milli = 0u64;
@@ -301,6 +310,8 @@ impl AlertEngine {
                     d_handshakes += cell_delta(s, counter_of(s));
                 }
                 (_, "udp_datagrams") => d_datagrams += cell_delta(s, counter_of(s)),
+                (_, "poison_attempts") => d_poison_attempts += cell_delta(s, counter_of(s)),
+                (_, "poison_successes") => d_poison_hits += cell_delta(s, counter_of(s)),
                 (_, "analytics_distinct") => {
                     if let SampleValue::Gauge(v) = s.value {
                         distinct = distinct.max(v);
@@ -468,6 +479,18 @@ impl AlertEngine {
             datagram_rate,
             self.config.analytics_min_rate,
         );
+
+        // A poisoning race in progress (mismatch burst) or already won
+        // (any confirmed poisoned entry fires at once — one success is
+        // one too many).
+        let poison_rate = rate(d_poison_attempts);
+        self.set_state(
+            t_nanos,
+            "cache_poisoning",
+            poison_rate > self.config.poison_attempt_per_sec || d_poison_hits > 0,
+            poison_rate.max(d_poison_hits as f64),
+            self.config.poison_attempt_per_sec,
+        );
     }
 
     fn set_state(
@@ -573,6 +596,31 @@ mod tests {
 
     fn snapshot_with(reg: &Registry) -> Vec<MetricSample> {
         reg.snapshot()
+    }
+
+    #[test]
+    fn cache_poisoning_fires_on_mismatch_burst_and_on_any_success() {
+        let reg = Registry::new();
+        let attempts = reg.counter("resolver", "poison_attempts", &[("node", "lrs")]);
+        let hits = reg.counter("resolver", "poison_successes", &[("node", "lrs")]);
+        let mut engine = AlertEngine::new(AlertConfig::default());
+
+        engine.evaluate(0, &snapshot_with(&reg));
+        attempts.add(5); // 5/s: below the 20/s race threshold.
+        engine.evaluate(SEC, &snapshot_with(&reg));
+        assert!(engine.is_silent(), "a handful of stray mismatches is noise");
+
+        attempts.add(500); // A guessing race: 500 mismatches in a second.
+        engine.evaluate(2 * SEC, &snapshot_with(&reg));
+        assert_eq!(engine.active().len(), 1);
+        assert_eq!(engine.active()[0].rule, "cache_poisoning");
+
+        engine.evaluate(3 * SEC, &snapshot_with(&reg));
+        assert!(engine.active().is_empty(), "race over, alert clears");
+
+        hits.inc(); // One confirmed poisoned entry fires regardless of rate.
+        engine.evaluate(4 * SEC, &snapshot_with(&reg));
+        assert_eq!(engine.active()[0].rule, "cache_poisoning");
     }
 
     #[test]

@@ -46,17 +46,21 @@ const VOCAB: &[&str] = &[
     "alert", "ans", "bench", "client", "fleet", "guard", "guard_server", "netsim", "proxy",
     "resolver", "sim", "trace",
     // event kinds
-    "admission_shed", "amp", "analytics_topk", "ans_down", "ans_probe", "ans_recovered",
-    "catchment_shift",
+    "admission_shed", "amp", "analytics_topk", "anomaly_gate", "ans_down", "ans_probe",
+    "ans_recovered", "bailiwick_drop", "catchment_shift",
     "checkpoint", "corrupted", "crash_dropped", "duplicated", "evict", "fabricated_ns",
-    "fail_closed", "fleet_key_rotate", "forward", "grant", "injected_loss", "journey_stitch",
-    "mix", "node_silent", "partition_dropped", "passthrough", "peer_down", "proxy_accept",
+    "fail_closed", "fleet_key_rotate", "forward", "frag_rejected", "frag_substituted",
+    "fragmented", "grant", "injected_loss", "journey_stitch",
+    "mix", "node_silent", "partition_dropped", "passthrough", "peer_down", "poison_attempt",
+    "poison_success", "proxy_accept",
     "proxy_relay", "refused", "relay", "reordered", "restore", "rl_drop", "servfail",
     "stash_hit", "takeover", "tc_sent", "tcp_fallback", "tier_change", "timeout", "verify",
     // field names
-    "addr", "age_nanos", "age_ns", "bytes", "distinct", "entropy_norm_milli", "epoch", "from",
-    "inter_site_ns", "ip", "limiter",
-    "n", "node", "nodes", "ok", "orig_txid", "qid", "ratio", "role", "rtt_ns", "rule", "scheme",
+    "addr", "age_nanos", "age_ns", "bytes", "distinct", "dropped", "entropy_norm_milli",
+    "epoch", "from",
+    "inter_site_ns", "ip", "job", "limiter",
+    "n", "node", "nodes", "offset", "ok", "orig_txid", "qid", "qtype", "ratio", "role",
+    "rtt_ns", "rule", "scheme", "server",
     "seq", "src", "state", "table", "threshold", "tier", "timeouts", "to", "token",
     "top_count", "top_share_milli", "top_src", "total", "txid",
     "value", "verdict", "via",
@@ -68,6 +72,7 @@ const VOCAB: &[&str] = &[
     "spoof_surge", "rl1_saturation", "rl2_saturation", "amplification_breach", "ans_flap",
     "trace_drops", "checkpoint_lag", "failover_triggered", "admission_shedding",
     "handshake_storm", "fleet_spoof_surge", "site_rate_skew", "spoof_flood", "flash_crowd",
+    "cache_poisoning",
 ];
 
 /// Interns `s` against [`VOCAB`]. `None` means the string is outside the

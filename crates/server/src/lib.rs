@@ -22,6 +22,7 @@
 
 pub mod authoritative;
 pub mod cache;
+pub mod hardening;
 pub mod nodes;
 pub mod openloop;
 pub mod recursive;
@@ -32,9 +33,10 @@ pub mod zonefile;
 
 pub use authoritative::{AnswerKind, Authority};
 pub use cache::Cache;
+pub use hardening::{KeyedSeq, PortMode, ResolverHardening};
 pub use nodes::{AuthNode, ServerCosts};
 pub use openloop::{OpenLoopClient, OpenLoopConfig};
-pub use recursive::{RecursiveResolver, ResolverConfig};
+pub use recursive::{InFlight, RecursiveResolver, ResolverConfig};
 pub use simclient::{CookieMode, LrsSimConfig, LrsSimulator};
 pub use zone::{Zone, ZoneBuilder};
 pub use zonefile::parse_zone;

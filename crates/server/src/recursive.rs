@@ -11,6 +11,7 @@
 //! the modified-DNS scheme needs a local guard *in front of* it.
 
 use crate::cache::Cache;
+use crate::hardening::{KeyedSeq, PortMode, ResolverHardening};
 use dnswire::message::{Message, MAX_UDP_PAYLOAD};
 use dnswire::name::Name;
 use dnswire::question::Question;
@@ -42,6 +43,12 @@ pub struct ResolverConfig {
     pub allowed_clients: Option<Vec<(Ipv4Addr, u8)>>,
     /// CPU cost charged per packet handled.
     pub per_packet_cost: SimTime,
+    /// Unilateral anti-poisoning defenses (default: all off).
+    pub hardening: ResolverHardening,
+    /// Seed of the keyed txid/port/case generators. Derived from `addr` by
+    /// default so every resolver draws a distinct deterministic stream;
+    /// override for experiments that need identical streams.
+    pub prng_seed: u64,
 }
 
 impl ResolverConfig {
@@ -55,12 +62,20 @@ impl ResolverConfig {
             max_retries: 3,
             allowed_clients: None,
             per_packet_cost: SimTime::from_micros(2),
+            hardening: ResolverHardening::default(),
+            prng_seed: u64::from(u32::from(addr)) ^ 0x9e37_79b9_7f4a_7c15,
         }
     }
 
     /// Switches to BIND's 2-second retry timer (used by Figure 5).
     pub fn with_bind_timer(mut self) -> Self {
         self.timeout = SimTime::from_secs(2);
+        self
+    }
+
+    /// Sets the unilateral anti-poisoning defenses.
+    pub fn with_hardening(mut self, hardening: ResolverHardening) -> Self {
+        self.hardening = hardening;
         self
     }
 }
@@ -83,6 +98,17 @@ pub struct ResolverStats {
     pub tcp_fallbacks: u64,
     /// Jobs that exhausted retries and answered SERVFAIL.
     pub servfails: u64,
+    /// Response-shaped datagrams aimed at an in-flight query's 4-tuple
+    /// that failed acceptance — the footprint of a guessing race.
+    pub poison_attempts: u64,
+    /// In-flight queries abandoned by the anomaly gate (re-queried TCP).
+    pub gate_trips: u64,
+    /// Records refused by strict bailiwick filtering.
+    pub bailiwick_dropped: u64,
+    /// Fragmented responses discarded (re-queried over TCP).
+    pub frag_rejected: u64,
+    /// Ground-truth poisonings detected by [`RecursiveResolver::poison_check`].
+    pub poison_successes: u64,
 }
 
 /// Live resolver counters: detached registry handles, adopted by
@@ -96,6 +122,11 @@ struct ResolverMetrics {
     timeouts: obs::metrics::Counter,
     tcp_fallbacks: obs::metrics::Counter,
     servfails: obs::metrics::Counter,
+    poison_attempts: obs::metrics::Counter,
+    gate_trips: obs::metrics::Counter,
+    bailiwick_dropped: obs::metrics::Counter,
+    frag_rejected: obs::metrics::Counter,
+    poison_successes: obs::metrics::Counter,
     trace: obs::trace::ComponentTracer,
 }
 
@@ -109,6 +140,11 @@ impl Default for ResolverMetrics {
             timeouts: obs::metrics::Counter::new(),
             tcp_fallbacks: obs::metrics::Counter::new(),
             servfails: obs::metrics::Counter::new(),
+            poison_attempts: obs::metrics::Counter::new(),
+            gate_trips: obs::metrics::Counter::new(),
+            bailiwick_dropped: obs::metrics::Counter::new(),
+            frag_rejected: obs::metrics::Counter::new(),
+            poison_successes: obs::metrics::Counter::new(),
             trace: obs::trace::ComponentTracer::disabled(),
         }
     }
@@ -124,6 +160,11 @@ impl ResolverMetrics {
             timeouts: self.timeouts.get(),
             tcp_fallbacks: self.tcp_fallbacks.get(),
             servfails: self.servfails.get(),
+            poison_attempts: self.poison_attempts.get(),
+            gate_trips: self.gate_trips.get(),
+            bailiwick_dropped: self.bailiwick_dropped.get(),
+            frag_rejected: self.frag_rejected.get(),
+            poison_successes: self.poison_successes.get(),
         }
     }
 }
@@ -152,6 +193,9 @@ struct Job {
     /// Set while a child sub-resolution is outstanding.
     waiting: bool,
     started: SimTime,
+    /// Zone of the cut currently being queried — the bailiwick responses
+    /// are filtered against.
+    zone: Name,
 }
 
 #[derive(Debug)]
@@ -160,6 +204,35 @@ struct Pending {
     server: Ipv4Addr,
     txid: u16,
     done: bool,
+    /// Local port the query left from; the response must come back to it.
+    local_port: u16,
+    /// The qname exactly as sent (0x20-cased when enabled); the response
+    /// must echo it.
+    qname: Name,
+    qtype: RrType,
+    /// Bailiwick of the server this query went to.
+    zone: Name,
+    /// Wrong responses seen for this op (anomaly-gate evidence).
+    mismatches: u32,
+    /// True for TCP fallback queries — UDP responses never match them.
+    via_tcp: bool,
+}
+
+/// One in-flight UDP iterative query, from [`RecursiveResolver::in_flight`].
+/// Tests and attack oracles use this to read the ground-truth race state
+/// (what an omniscient — not off-path — adversary would know).
+#[derive(Debug, Clone)]
+pub struct InFlight {
+    /// Transaction id of the outstanding query.
+    pub txid: u16,
+    /// Authoritative server it was sent to.
+    pub server: Ipv4Addr,
+    /// Local port it left from.
+    pub local_port: u16,
+    /// Exact qname as sent (0x20-cased when enabled).
+    pub qname: Name,
+    /// Query type.
+    pub qtype: RrType,
 }
 
 #[derive(Debug)]
@@ -180,8 +253,14 @@ pub struct RecursiveResolver {
     pending: HashMap<u64, Pending>,
     txid_to_op: HashMap<u16, u64>,
     next_op: u64,
-    next_txid: u16,
-    next_tcp_port: u16,
+    /// Keyed txid stream (domain-separated from ports and case bits).
+    txid_seq: KeyedSeq,
+    /// Keyed stream for randomized UDP source ports and TCP ephemerals.
+    port_seq: KeyedSeq,
+    /// Keyed coin-flip stream for 0x20 case randomization.
+    case_seq: KeyedSeq,
+    /// Cursor of the `PortMode::Sequential` discipline.
+    next_src_port: u16,
     tcp: TcpHost,
     tcp_pending: HashMap<ConnKey, TcpPending>,
     /// Live counters (snapshot through [`RecursiveResolver::stats`]).
@@ -195,14 +274,16 @@ impl RecursiveResolver {
     pub fn new(config: ResolverConfig) -> Self {
         RecursiveResolver {
             tcp: TcpHost::new(u64::from(u32::from(config.addr))),
+            txid_seq: KeyedSeq::new(config.prng_seed, 1),
+            port_seq: KeyedSeq::new(config.prng_seed, 2),
+            case_seq: KeyedSeq::new(config.prng_seed, 3),
             config,
             cache: Cache::new(),
             jobs: Vec::new(),
             pending: HashMap::new(),
             txid_to_op: HashMap::new(),
             next_op: 1,
-            next_txid: 1,
-            next_tcp_port: 40_000,
+            next_src_port: 0,
             tcp_pending: HashMap::new(),
             metrics: ResolverMetrics::default(),
             latencies: netsim::metrics::LatencyRecorder::new(),
@@ -230,6 +311,11 @@ impl RecursiveResolver {
         r.adopt_counter("resolver", "timeouts", labels, &m.timeouts);
         r.adopt_counter("resolver", "tcp_fallbacks", labels, &m.tcp_fallbacks);
         r.adopt_counter("resolver", "servfails", labels, &m.servfails);
+        r.adopt_counter("resolver", "poison_attempts", labels, &m.poison_attempts);
+        r.adopt_counter("resolver", "gate_trips", labels, &m.gate_trips);
+        r.adopt_counter("resolver", "bailiwick_dropped", labels, &m.bailiwick_dropped);
+        r.adopt_counter("resolver", "frag_rejected", labels, &m.frag_rejected);
+        r.adopt_counter("resolver", "poison_successes", labels, &m.poison_successes);
         self.metrics.trace = obs.tracer.component("resolver");
     }
 
@@ -241,6 +327,49 @@ impl RecursiveResolver {
     /// Drops all cached data.
     pub fn flush_cache(&mut self) {
         self.cache.clear();
+    }
+
+    /// Snapshot of every in-flight UDP iterative query — the omniscient
+    /// race state a ground-truth harness may read (an off-path attacker
+    /// cannot).
+    pub fn in_flight(&self) -> Vec<InFlight> {
+        self.pending
+            .values()
+            .filter(|p| !p.done && !p.via_tcp)
+            .map(|p| InFlight {
+                txid: p.txid,
+                server: p.server,
+                local_port: p.local_port,
+                qname: p.qname.clone(),
+                qtype: p.qtype,
+            })
+            .collect()
+    }
+
+    /// Ground-truth poisoning probe: reports (and counts) whether the
+    /// cache holds any record for `name`/`rtype` whose rdata is *not* in
+    /// the legitimate set. Emits a `poison_success` trace event on hit —
+    /// the exact moment an attacker-controlled record entered the cache.
+    pub fn poison_check(
+        &mut self,
+        now: SimTime,
+        name: &Name,
+        rtype: RrType,
+        legit: &[RData],
+    ) -> bool {
+        let Some(records) = self.cache.peek(now, name, rtype) else {
+            return false;
+        };
+        let poisoned = records.iter().any(|r| !legit.contains(&r.rdata));
+        if poisoned {
+            self.metrics.poison_successes.inc();
+            self.metrics.trace.event(
+                now.as_nanos(),
+                "poison_success",
+                &[("qtype", obs::trace::Value::U64(u64::from(rtype.code())))],
+            );
+        }
+        poisoned
     }
 
     fn acl_allows(&self, client: Ipv4Addr) -> bool {
@@ -270,6 +399,7 @@ impl RecursiveResolver {
             answer_prefix: Vec::new(),
             waiting: false,
             started: ctx.now(),
+            zone: Name::root(),
         };
         let id = self
             .jobs
@@ -353,13 +483,21 @@ impl RecursiveResolver {
         target: &Name,
     ) -> Option<Vec<Ipv4Addr>> {
         match self.cache.best_zone_cut(now, target) {
-            None => Some(self.config.root_hints.clone()),
-            Some((_cut, ns_names)) => {
+            None => {
+                if let Some(job) = self.jobs[job_id].as_mut() {
+                    job.zone = Name::root();
+                }
+                Some(self.config.root_hints.clone())
+            }
+            Some((cut, ns_names)) => {
                 let mut addrs = Vec::new();
                 for ns in &ns_names {
                     addrs.extend(self.cache.addresses(now, ns));
                 }
                 if !addrs.is_empty() {
+                    if let Some(job) = self.jobs[job_id].as_mut() {
+                        job.zone = cut;
+                    }
                     return Some(addrs);
                 }
                 // No addresses for any NS name: resolve the first NS name.
@@ -379,16 +517,82 @@ impl RecursiveResolver {
         }
     }
 
+    /// Keyed txid draw, never colliding with an in-flight query (RFC 5452).
+    fn alloc_txid(&mut self) -> u16 {
+        let in_use = &self.txid_to_op;
+        self.txid_seq.draw_u16(|v| v != 0 && !in_use.contains_key(&v))
+    }
+
+    /// Picks the outbound UDP source port per the configured discipline.
+    fn alloc_udp_port(&mut self) -> u16 {
+        match self.config.hardening.port_mode {
+            PortMode::Fixed => DNS_PORT,
+            PortMode::Sequential { base } => {
+                let p = if self.next_src_port < base {
+                    base
+                } else {
+                    self.next_src_port
+                };
+                self.next_src_port = if p == u16::MAX { base } else { p + 1 };
+                p
+            }
+            PortMode::Randomized { base, range } => {
+                let in_use: std::collections::HashSet<u16> = self
+                    .pending
+                    .values()
+                    .filter(|p| !p.done && !p.via_tcp)
+                    .map(|p| p.local_port)
+                    .collect();
+                let mut port = 0u16;
+                self.port_seq.draw_u16(|v| {
+                    let cand = base.wrapping_add(v % range.max(1));
+                    if cand != DNS_PORT && !in_use.contains(&cand) {
+                        port = cand;
+                        true
+                    } else {
+                        false
+                    }
+                });
+                port
+            }
+        }
+    }
+
+    /// 0x20-cases `name` by keyed coin-flips when enabled; identity
+    /// otherwise.
+    fn cased_qname(&mut self, name: &Name) -> Name {
+        if !self.config.hardening.case_randomization {
+            return name.clone();
+        }
+        let seq = &mut self.case_seq;
+        let mut bits = 0u64;
+        let mut have = 0u32;
+        name.with_case(|| {
+            if have == 0 {
+                bits = seq.next_u64();
+                have = 64;
+            }
+            let up = bits & 1 == 1;
+            bits >>= 1;
+            have -= 1;
+            up
+        })
+    }
+
     fn send_upstream(&mut self, ctx: &mut Context<'_>, job_id: usize, server: Ipv4Addr) {
         let job = self.jobs[job_id].as_ref().expect("job alive");
-        let txid = self.next_txid;
-        self.next_txid = self.next_txid.wrapping_add(1).max(1);
+        let target = job.target.clone();
+        let qtype = job.qtype;
+        let zone = job.zone.clone();
+        let txid = self.alloc_txid();
+        let qname = self.cased_qname(&target);
+        let local_port = self.alloc_udp_port();
         let op = self.next_op;
         self.next_op += 1;
 
-        let query = Message::iterative_query(txid, job.target.clone(), job.qtype);
+        let query = Message::iterative_query(txid, qname.clone(), qtype);
         let pkt = Packet::udp(
-            self.my_udp(),
+            Endpoint::new(self.config.addr, local_port),
             Endpoint::new(server, DNS_PORT),
             query.encode(),
         );
@@ -402,6 +606,12 @@ impl RecursiveResolver {
                 server,
                 txid,
                 done: false,
+                local_port,
+                qname,
+                qtype,
+                zone,
+                mismatches: 0,
+                via_tcp: false,
             },
         );
         self.txid_to_op.insert(txid, op);
@@ -517,17 +727,56 @@ impl RecursiveResolver {
     }
 
     fn handle_upstream_response(&mut self, ctx: &mut Context<'_>, pkt: Packet, msg: Message) {
-        let Some(&op) = self.txid_to_op.get(&msg.header.id) else {
-            return; // unsolicited or stale
-        };
-        let Some(pending) = self.pending.get(&op) else {
+        // Full 5-tuple + question-section acceptance (RFC 5452): the txid
+        // must map to an in-flight UDP op, the packet must travel
+        // server:53 -> our recorded local port, and the question must echo
+        // our qname/qtype — case-sensitively when 0x20 is on. Anything
+        // less is how txid-only matching made Kaminsky races cheap.
+        let case_sensitive = self.config.hardening.case_randomization;
+        let accepted = self.txid_to_op.get(&msg.header.id).copied().filter(|op| {
+            self.pending.get(op).is_some_and(|p| {
+                !p.done
+                    && !p.via_tcp
+                    && p.server == pkt.src.ip
+                    && pkt.src.port == DNS_PORT
+                    && pkt.dst.port == p.local_port
+                    && msg.question().is_some_and(|q| {
+                        q.qtype == p.qtype
+                            && if case_sensitive {
+                                q.name.eq_case_sensitive(&p.qname)
+                            } else {
+                                q.name == p.qname
+                            }
+                    })
+            })
+        });
+        let Some(op) = accepted else {
+            self.note_mismatch(ctx, &pkt);
             return;
         };
-        if pending.done || pending.server != pkt.src.ip {
-            return; // already answered, or off-path spoof
-        }
+        let pending = self.pending.get(&op).expect("accepted op pending");
         let job_id = pending.job;
+        let server = pending.server;
+        let zone = pending.zone.clone();
         self.retire_op(op);
+
+        if self.config.hardening.reject_fragmented && pkt.fragmented {
+            // The response was reassembled from IP fragments: everything
+            // past the first fragment is unauthenticated ("Fragmentation
+            // Considered Poisonous"). Discard and re-ask over TCP.
+            self.metrics.frag_rejected.inc();
+            self.metrics.tcp_fallbacks.inc();
+            self.metrics.trace.event(
+                ctx.now().as_nanos(),
+                "frag_rejected",
+                &[
+                    ("server", obs::trace::Value::Ip(server)),
+                    ("job", obs::trace::Value::U64(job_id as u64)),
+                ],
+            );
+            self.query_over_tcp(ctx, job_id, server);
+            return;
+        }
 
         if msg.header.truncated {
             // TC flag: retry this query over TCP to the same server.
@@ -543,10 +792,63 @@ impl RecursiveResolver {
             self.query_over_tcp(ctx, job_id, pkt.src.ip);
             return;
         }
-        self.process_answer(ctx, job_id, msg);
+        self.process_answer(ctx, job_id, &zone, msg);
     }
 
-    fn process_answer(&mut self, ctx: &mut Context<'_>, job_id: usize, msg: Message) {
+    /// A response-shaped datagram that failed acceptance. When it is aimed
+    /// at an in-flight query's exact 4-tuple it is the footprint of a
+    /// blind guessing race (the POPS observation): count it, and once the
+    /// armed anomaly gate's threshold is crossed, abandon the UDP race —
+    /// the forger can't win a race that no longer exists — and re-ask over
+    /// TCP.
+    fn note_mismatch(&mut self, ctx: &mut Context<'_>, pkt: &Packet) {
+        if pkt.src.port != DNS_PORT {
+            return; // not even shaped like an authoritative answer
+        }
+        let gate = self.config.hardening.anomaly_gate;
+        let now = ctx.now().as_nanos();
+        let mut targeted = false;
+        let mut tripped: Vec<(u64, usize, Ipv4Addr)> = Vec::new();
+        for (&op, p) in self.pending.iter_mut() {
+            if p.done || p.via_tcp || p.server != pkt.src.ip || p.local_port != pkt.dst.port {
+                continue;
+            }
+            targeted = true;
+            p.mismatches += 1;
+            if p.mismatches == 1 {
+                self.metrics.trace.event(
+                    now,
+                    "poison_attempt",
+                    &[
+                        ("server", obs::trace::Value::Ip(p.server)),
+                        ("job", obs::trace::Value::U64(p.job as u64)),
+                    ],
+                );
+            }
+            if gate.is_some_and(|k| p.mismatches >= k) {
+                tripped.push((op, p.job, p.server));
+            }
+        }
+        if targeted {
+            self.metrics.poison_attempts.inc();
+        }
+        for (op, job_id, server) in tripped {
+            self.retire_op(op);
+            self.metrics.gate_trips.inc();
+            self.metrics.tcp_fallbacks.inc();
+            self.metrics.trace.event(
+                now,
+                "anomaly_gate",
+                &[
+                    ("server", obs::trace::Value::Ip(server)),
+                    ("job", obs::trace::Value::U64(job_id as u64)),
+                ],
+            );
+            self.query_over_tcp(ctx, job_id, server);
+        }
+    }
+
+    fn process_answer(&mut self, ctx: &mut Context<'_>, job_id: usize, zone: &Name, mut msg: Message) {
         let now = ctx.now();
         let Some(job) = self.jobs[job_id].as_mut() else {
             return;
@@ -554,6 +856,29 @@ impl RecursiveResolver {
         job.budget = job.budget.saturating_sub(1);
         let target = job.target.clone();
         let qtype = job.qtype;
+
+        // Strict bailiwick: a server only speaks for its own zone. Records
+        // it has no authority over (Kaminsky's out-of-zone NS + glue
+        // payload) are dropped before they can touch the cache.
+        if self.config.hardening.strict_bailiwick {
+            let before = msg.answers.len() + msg.authorities.len() + msg.additionals.len();
+            msg.answers.retain(|r| r.name.is_subdomain_of(zone));
+            msg.authorities.retain(|r| r.name.is_subdomain_of(zone));
+            msg.additionals.retain(|r| r.name.is_subdomain_of(zone));
+            let dropped =
+                before - (msg.answers.len() + msg.authorities.len() + msg.additionals.len());
+            if dropped > 0 {
+                self.metrics.bailiwick_dropped.add(dropped as u64);
+                self.metrics.trace.event(
+                    now.as_nanos(),
+                    "bailiwick_drop",
+                    &[
+                        ("job", obs::trace::Value::U64(job_id as u64)),
+                        ("dropped", obs::trace::Value::U64(dropped as u64)),
+                    ],
+                );
+            }
+        }
 
         // Cache everything the server told us.
         self.cache.put(now, &msg.answers);
@@ -646,19 +971,34 @@ impl RecursiveResolver {
         let Some(job) = self.jobs[job_id].as_ref() else {
             return;
         };
-        let txid = self.next_txid;
-        self.next_txid = self.next_txid.wrapping_add(1).max(1);
+        let target = job.target.clone();
+        let qtype = job.qtype;
+        let zone = job.zone.clone();
+        let txid = self.alloc_txid();
         let op = self.next_op;
         self.next_op += 1;
-        let query = Message::iterative_query(txid, job.target.clone(), job.qtype);
+        let query = Message::iterative_query(txid, target.clone(), qtype);
         // RFC 1035 TCP framing: two-byte length prefix.
         let dns = query.encode();
         let mut wire = Vec::with_capacity(dns.len() + 2);
         wire.extend_from_slice(&(dns.len() as u16).to_be_bytes());
         wire.extend_from_slice(&dns);
 
-        let local = Endpoint::new(self.config.addr, self.next_tcp_port);
-        self.next_tcp_port = self.next_tcp_port.wrapping_add(1).max(40_000);
+        // Keyed ephemeral port from the same pool real stacks use,
+        // avoiding ports with a live fallback connection.
+        let in_use: std::collections::HashSet<u16> =
+            self.tcp_pending.keys().map(|k| k.local.port).collect();
+        let mut tcp_port = 0u16;
+        self.port_seq.draw_u16(|v| {
+            let cand = 40_000u16.wrapping_add(v % 20_000);
+            if !in_use.contains(&cand) {
+                tcp_port = cand;
+                true
+            } else {
+                false
+            }
+        });
+        let local = Endpoint::new(self.config.addr, tcp_port);
         let (key, syn) = self.tcp.connect(local, Endpoint::new(server, DNS_PORT));
         ctx.charge(self.config.per_packet_cost);
         ctx.send(syn);
@@ -670,6 +1010,12 @@ impl RecursiveResolver {
                 server,
                 txid,
                 done: false,
+                local_port: tcp_port,
+                qname: target,
+                qtype,
+                zone,
+                mismatches: 0,
+                via_tcp: true,
             },
         );
         self.txid_to_op.insert(txid, op);
@@ -724,8 +1070,9 @@ impl RecursiveResolver {
                         if let Some(p) = self.pending.get(&op) {
                             if !p.done {
                                 let job_id = p.job;
+                                let zone = p.zone.clone();
                                 self.retire_op(op);
-                                self.process_answer(ctx, job_id, msg);
+                                self.process_answer(ctx, job_id, &zone, msg);
                             }
                         }
                     }
@@ -1051,49 +1398,307 @@ mod tests {
         assert_eq!(stats.servfails, 1);
     }
 
-    #[test]
-    fn spoofed_response_from_wrong_server_ignored() {
-        // A response with the right txid but wrong source address must not
-        // be accepted (classic cache-poisoning requirement).
+    // ---- poisoning / hardening regression tests ------------------------
+
+    const LRS_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 53);
+    const STUB_IP: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    /// Builds a world on the *public* (TCP-capable) [`crate::nodes::AuthNode`]
+    /// so gate/fragment fallbacks can actually re-query over TCP. Returns
+    /// `(sim, lrs, stub, [root, com, foo])`.
+    fn hardened_world(
+        seed: u64,
+        hardening: crate::hardening::ResolverHardening,
+    ) -> (Simulator, netsim::NodeId, netsim::NodeId, [netsim::NodeId; 3]) {
         let (root, com, foo) = paper_hierarchy();
-        let mut sim = Simulator::new(6);
-        let lrs_ip = Ipv4Addr::new(10, 0, 0, 53);
-        for (ip, zone) in [(ROOT_SERVER, root), (COM_SERVER, com), (FOO_SERVER, foo)] {
-            sim.add_node(ip, CpuConfig::unbounded(), AuthNode::new(ip, Authority::new(vec![zone])));
+        let mut sim = Simulator::new(seed);
+        let mut auth_ids = [0usize; 3];
+        for (i, (ip, zone)) in [(ROOT_SERVER, root), (COM_SERVER, com), (FOO_SERVER, foo)]
+            .into_iter()
+            .enumerate()
+        {
+            auth_ids[i] = sim.add_node(
+                ip,
+                CpuConfig::unbounded(),
+                crate::nodes::AuthNode::new(ip, Authority::new(vec![zone])),
+            );
         }
         let lrs = sim.add_node(
-            lrs_ip,
+            LRS_IP,
             CpuConfig::unbounded(),
-            RecursiveResolver::new(ResolverConfig::new(lrs_ip, vec![ROOT_SERVER])),
+            RecursiveResolver::new(
+                ResolverConfig::new(LRS_IP, vec![ROOT_SERVER]).with_hardening(hardening),
+            ),
         );
-        // Inject a forged response claiming www.foo.com = 6.6.6.6 with
-        // txid 1 (the resolver's first txid) from an off-path address.
-        let mut forged = Message::iterative_query(1, "www.foo.com".parse().unwrap(), RrType::A).response();
-        forged
-            .answers
-            .push(dnswire::record::Record::a("www.foo.com".parse().unwrap(), Ipv4Addr::new(6, 6, 6, 6), 600));
-        let stub_ip = Ipv4Addr::new(10, 0, 0, 1);
         let stub = sim.add_node(
-            stub_ip,
+            STUB_IP,
             CpuConfig::unbounded(),
             OneShot {
-                me: Endpoint::new(stub_ip, 5000),
-                lrs: Endpoint::new(lrs_ip, DNS_PORT),
+                me: Endpoint::new(STUB_IP, 5000),
+                lrs: Endpoint::new(LRS_IP, DNS_PORT),
                 qname: "www.foo.com".parse().unwrap(),
                 reply: None,
             },
         );
+        (sim, lrs, stub, auth_ids)
+    }
+
+    /// Steps the sim until the resolver has an iterative query in flight
+    /// to `server`, returning its ground-truth race state.
+    fn wait_for_query_to(
+        sim: &mut Simulator,
+        lrs: netsim::NodeId,
+        server: Ipv4Addr,
+    ) -> crate::recursive::InFlight {
+        for step in 1..400u64 {
+            sim.run_until(SimTime::from_micros(step * 50));
+            let inflight = sim.node_ref::<RecursiveResolver>(lrs).unwrap().in_flight();
+            if let Some(q) = inflight.into_iter().find(|q| q.server == server) {
+                return q;
+            }
+        }
+        panic!("no in-flight query to {server} observed");
+    }
+
+    fn final_answer(sim: &mut Simulator, stub: netsim::NodeId) -> Message {
+        sim.run();
+        sim.node_ref::<OneShot>(stub)
+            .unwrap()
+            .reply
+            .clone()
+            .expect("stub answered")
+    }
+
+    #[test]
+    fn spoofed_response_from_wrong_server_ignored() {
+        // A response with the *correct* txid, port and question but the
+        // wrong source address must not be accepted (RFC 5452 5-tuple
+        // check). Ground truth comes from `in_flight`, not from assuming
+        // a predictable txid — there no longer is one.
+        let (mut sim, lrs, stub, _) = hardened_world(6, Default::default());
+        let q = wait_for_query_to(&mut sim, lrs, ROOT_SERVER);
+        let mut forged = Message::iterative_query(q.txid, q.qname.clone(), q.qtype).response();
+        forged.answers.push(dnswire::record::Record::a(
+            "www.foo.com".parse().unwrap(),
+            Ipv4Addr::new(6, 6, 6, 6),
+            600,
+        ));
         sim.inject(
             stub,
             Packet::udp(
                 Endpoint::new(Ipv4Addr::new(66, 66, 66, 66), DNS_PORT),
-                Endpoint::new(lrs_ip, DNS_PORT),
+                Endpoint::new(LRS_IP, q.local_port),
                 forged.encode(),
             ),
         );
-        sim.run();
-        let reply = sim.node_ref::<OneShot>(stub).unwrap().reply.clone().unwrap();
+        let reply = final_answer(&mut sim, stub);
         assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR), "forgery rejected");
-        let _ = lrs;
+    }
+
+    #[test]
+    fn wrong_question_forgery_ignored_and_counted() {
+        // Correct txid, correct 5-tuple, wrong question section: the
+        // forgery must be dropped (question echo check) and counted as a
+        // poisoning attempt.
+        let (mut sim, lrs, stub, _) = hardened_world(7, Default::default());
+        let q = wait_for_query_to(&mut sim, lrs, ROOT_SERVER);
+        let evil: Name = "evil.com".parse().unwrap();
+        let mut forged = Message::iterative_query(q.txid, evil.clone(), RrType::A).response();
+        forged
+            .answers
+            .push(dnswire::record::Record::a(evil.clone(), Ipv4Addr::new(6, 6, 6, 6), 600));
+        sim.inject(
+            stub,
+            Packet::udp(
+                Endpoint::new(ROOT_SERVER, DNS_PORT),
+                Endpoint::new(LRS_IP, q.local_port),
+                forged.encode(),
+            ),
+        );
+        let reply = final_answer(&mut sim, stub);
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
+        let now = sim.now();
+        let lrs_node = sim.node_mut::<RecursiveResolver>(lrs).unwrap();
+        assert!(lrs_node.stats().poison_attempts >= 1, "attempt footprint recorded");
+        assert!(
+            !lrs_node.poison_check(now, &evil, RrType::A, &[]),
+            "evil.com never entered the cache"
+        );
+    }
+
+    #[test]
+    fn wrong_case_echo_rejected_with_0x20() {
+        // With 0x20 on, a response echoing the question in the wrong case
+        // is a forgery fingerprint and must be dropped.
+        let hardening = crate::hardening::ResolverHardening {
+            case_randomization: true,
+            ..Default::default()
+        };
+        let (mut sim, lrs, stub, _) = hardened_world(11, hardening);
+        let q = wait_for_query_to(&mut sim, lrs, ROOT_SERVER);
+        let lowercase: Name = "www.foo.com".parse().unwrap();
+        assert!(
+            !q.qname.eq_case_sensitive(&lowercase),
+            "seed 11 must yield a mixed-case query for this test to bite"
+        );
+        let mut forged = Message::iterative_query(q.txid, lowercase, q.qtype).response();
+        forged.answers.push(dnswire::record::Record::a(
+            "www.foo.com".parse().unwrap(),
+            Ipv4Addr::new(6, 6, 6, 6),
+            600,
+        ));
+        sim.inject(
+            stub,
+            Packet::udp(
+                Endpoint::new(ROOT_SERVER, DNS_PORT),
+                Endpoint::new(LRS_IP, q.local_port),
+                forged.encode(),
+            ),
+        );
+        let reply = final_answer(&mut sim, stub);
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR), "case forgery rejected");
+        assert!(sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats().poison_attempts >= 1);
+    }
+
+    #[test]
+    fn full_hardening_stack_still_resolves() {
+        // Randomized ports + 0x20 + bailiwick + gate + fragment rejection
+        // must be invisible to a legitimate resolution (servers echo the
+        // question byte-for-byte, ports route back, nothing trips).
+        let (mut sim, lrs, stub, _) = hardened_world(13, crate::hardening::ResolverHardening::full());
+        let reply = final_answer(&mut sim, stub);
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
+        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats();
+        assert_eq!(stats.poison_attempts, 0, "clean run leaves no attack footprint");
+        assert_eq!(stats.gate_trips, 0);
+        assert_eq!(stats.frag_rejected, 0);
+        assert_eq!(stats.servfails, 0);
+    }
+
+    #[test]
+    fn anomaly_gate_abandons_race_and_requeries_over_tcp() {
+        // A burst of wrong-txid responses on an in-flight query's 4-tuple
+        // trips the gate: the UDP race is abandoned and the query re-asked
+        // over TCP, which still resolves correctly.
+        let hardening = crate::hardening::ResolverHardening {
+            anomaly_gate: Some(3),
+            ..Default::default()
+        };
+        let (mut sim, lrs, stub, _) = hardened_world(17, hardening);
+        let q = wait_for_query_to(&mut sim, lrs, ROOT_SERVER);
+        for i in 0..3u16 {
+            let guess = q.txid.wrapping_add(1).wrapping_add(i);
+            let mut forged = Message::iterative_query(guess, q.qname.clone(), q.qtype).response();
+            forged.answers.push(dnswire::record::Record::a(
+                "www.foo.com".parse().unwrap(),
+                Ipv4Addr::new(6, 6, 6, 6),
+                600,
+            ));
+            sim.inject(
+                stub,
+                Packet::udp(
+                    Endpoint::new(ROOT_SERVER, DNS_PORT),
+                    Endpoint::new(LRS_IP, q.local_port),
+                    forged.encode(),
+                ),
+            );
+        }
+        let reply = final_answer(&mut sim, stub);
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
+        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats();
+        assert!(stats.gate_trips >= 1, "gate tripped: {stats:?}");
+        assert!(stats.tcp_fallbacks >= 1);
+        assert!(stats.poison_attempts >= 3);
+    }
+
+    #[test]
+    fn strict_bailiwick_drops_out_of_zone_records() {
+        // An accepted response from the `com` server carrying an
+        // out-of-zone additional record (the classic poisoning payload)
+        // has that record stripped before caching; the in-zone referral
+        // still drives the resolution forward.
+        let hardening = crate::hardening::ResolverHardening {
+            strict_bailiwick: true,
+            ..Default::default()
+        };
+        let (mut sim, lrs, stub, _) = hardened_world(19, hardening);
+        let q = wait_for_query_to(&mut sim, lrs, COM_SERVER);
+        let evil: Name = "evil.org".parse().unwrap();
+        let mut forged = Message::iterative_query(q.txid, q.qname.clone(), q.qtype).response();
+        // In-zone referral: NS foo.com -> ns.foo.com with glue at the real
+        // foo server, so resolution proceeds.
+        forged.authorities.push(dnswire::record::Record::ns(
+            "foo.com".parse().unwrap(),
+            "ns.foo.com".parse().unwrap(),
+            600,
+        ));
+        forged.additionals.push(dnswire::record::Record::a(
+            "ns.foo.com".parse().unwrap(),
+            FOO_SERVER,
+            600,
+        ));
+        // Out-of-zone payload that bailiwick must strip.
+        forged
+            .additionals
+            .push(dnswire::record::Record::a(evil.clone(), Ipv4Addr::new(6, 6, 6, 6), 600));
+        sim.inject(
+            stub,
+            Packet::udp(
+                Endpoint::new(COM_SERVER, DNS_PORT),
+                Endpoint::new(LRS_IP, q.local_port),
+                forged.encode(),
+            ),
+        );
+        let reply = final_answer(&mut sim, stub);
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
+        let now = sim.now();
+        let lrs_node = sim.node_mut::<RecursiveResolver>(lrs).unwrap();
+        assert!(lrs_node.stats().bailiwick_dropped >= 1);
+        assert!(
+            !lrs_node.poison_check(now, &evil, RrType::A, &[]),
+            "out-of-zone record never cached"
+        );
+    }
+
+    #[test]
+    fn fragmented_response_rejected_and_retried_over_tcp() {
+        // With `reject_fragmented`, a response reassembled from IP
+        // fragments is discarded and the query re-asked over TCP.
+        let hardening = crate::hardening::ResolverHardening {
+            reject_fragmented: true,
+            ..Default::default()
+        };
+        let (mut sim, lrs, stub, auth) = hardened_world(23, hardening);
+        // Fragment everything larger than 40 bytes from the foo server.
+        sim.set_link_mtu(auth[2], lrs, 40);
+        let reply = final_answer(&mut sim, stub);
+        assert_eq!(reply.answers[0].rdata, RData::A(WWW_ADDR));
+        let stats = sim.node_ref::<RecursiveResolver>(lrs).unwrap().stats();
+        assert!(stats.frag_rejected >= 1, "{stats:?}");
+        assert!(stats.tcp_fallbacks >= 1);
+        assert!(sim.fault_stats().fragmented >= 1);
+    }
+
+    #[test]
+    fn txid_and_port_allocation_is_not_sequential() {
+        // The default-config allocators must not hand out predictable
+        // sequences: observe several resolutions' in-flight txids and
+        // assert they are not consecutive.
+        let hardening = crate::hardening::ResolverHardening {
+            port_mode: crate::hardening::PortMode::Randomized { base: 10_000, range: 16_384 },
+            ..Default::default()
+        };
+        let (mut sim, lrs, _stub, _) = hardened_world(29, hardening);
+        let mut txids = Vec::new();
+        let mut ports = Vec::new();
+        for server in [ROOT_SERVER, COM_SERVER, FOO_SERVER] {
+            let q = wait_for_query_to(&mut sim, lrs, server);
+            txids.push(q.txid);
+            ports.push(q.local_port);
+        }
+        let consecutive = |v: &[u16]| v.windows(2).all(|w| w[1] == w[0].wrapping_add(1));
+        assert!(!consecutive(&txids), "txids look sequential: {txids:?}");
+        assert!(!consecutive(&ports), "ports look sequential: {ports:?}");
+        assert!(ports.iter().all(|&p| (10_000..26_384).contains(&p)));
     }
 }
