@@ -31,8 +31,8 @@ use dnswire::record::Record;
 use dnswire::types::RrType;
 use guardhash::cookie::{CookieFactory, SecretKey, KEY_LEN};
 use netsim::time::SimTime;
+use guardcheck::sync::Mutex;
 use netsim::tokenbucket::TokenBucketState;
-use parking_lot::Mutex;
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::Arc;

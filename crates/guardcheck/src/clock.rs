@@ -1,0 +1,177 @@
+//! Vector clocks for happens-before tracking.
+//!
+//! A [`VClock`] maps model-thread ids (small dense `usize` indices
+//! assigned per execution) to logical timestamps. The partial order
+//! `a ≤ b` (every component of `a` is ≤ the matching component of `b`)
+//! is exactly the happens-before relation the checker reasons with:
+//! an access with clock `a` happens before one with clock `b` iff
+//! `a ≤ b` at the accessing thread's component — see `sync.rs` for the
+//! per-location race predicates built on top.
+
+/// A grow-on-demand vector clock. Missing components read as 0, so
+/// clocks for executions with different thread counts compare cleanly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VClock {
+    slots: Vec<u32>,
+}
+
+impl VClock {
+    /// The zero clock (happens before everything).
+    pub fn new() -> Self {
+        VClock { slots: Vec::new() }
+    }
+
+    /// Component for thread `tid` (0 if never ticked).
+    pub fn get(&self, tid: usize) -> u32 {
+        self.slots.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Set thread `tid`'s component to `val`, growing as needed.
+    pub fn set(&mut self, tid: usize, val: u32) {
+        if self.slots.len() <= tid {
+            self.slots.resize(tid + 1, 0);
+        }
+        self.slots[tid] = val;
+    }
+
+    /// Advance thread `tid`'s own component by one.
+    pub fn tick(&mut self, tid: usize) {
+        let v = self.get(tid);
+        self.set(tid, v + 1);
+    }
+
+    /// Component-wise maximum: after `a.join(&b)`, `a` is the least
+    /// clock that is ≥ both inputs.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (i, v) in other.slots.iter().enumerate() {
+            if *v > self.slots[i] {
+                self.slots[i] = *v;
+            }
+        }
+    }
+
+    /// Partial-order comparison: true iff every component of `self`
+    /// is ≤ the matching component of `other`.
+    pub fn leq(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, v)| *v <= other.get(i))
+    }
+
+    /// Neither `self ≤ other` nor `other ≤ self`: the two clocks
+    /// belong to concurrent (racing, if conflicting) accesses.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// True iff every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.slots.iter().all(|v| *v == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(parts: &[(usize, u32)]) -> VClock {
+        let mut c = VClock::new();
+        for &(t, v) in parts {
+            c.set(t, v);
+        }
+        c
+    }
+
+    #[test]
+    fn zero_clock_leq_everything() {
+        let z = VClock::new();
+        assert!(z.leq(&z));
+        assert!(z.leq(&vc(&[(0, 3), (2, 1)])));
+        assert!(z.is_zero());
+    }
+
+    #[test]
+    fn join_is_commutative() {
+        let a = vc(&[(0, 3), (1, 1)]);
+        let b = vc(&[(1, 4), (2, 2)]);
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn join_is_associative() {
+        let a = vc(&[(0, 1)]);
+        let b = vc(&[(1, 2), (3, 1)]);
+        let c = vc(&[(0, 5), (2, 9)]);
+        let mut ab_c = a.clone();
+        ab_c.join(&b);
+        ab_c.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut a_bc = a.clone();
+        a_bc.join(&bc);
+        assert_eq!(ab_c, a_bc);
+    }
+
+    #[test]
+    fn join_is_idempotent_and_upper_bound() {
+        let a = vc(&[(0, 2), (1, 7)]);
+        let b = vc(&[(0, 4)]);
+        let mut j = a.clone();
+        j.join(&b);
+        let mut jj = j.clone();
+        jj.join(&b);
+        assert_eq!(j, jj, "join idempotent");
+        assert!(a.leq(&j) && b.leq(&j), "join is an upper bound");
+        // Least upper bound: any other upper bound dominates the join.
+        let ub = vc(&[(0, 9), (1, 9), (2, 9)]);
+        assert!(j.leq(&ub));
+    }
+
+    #[test]
+    fn leq_is_a_partial_order() {
+        let a = vc(&[(0, 1), (1, 2)]);
+        let b = vc(&[(0, 2), (1, 2)]);
+        let c = vc(&[(0, 3), (1, 5)]);
+        // reflexive, antisymmetric, transitive
+        assert!(a.leq(&a));
+        assert!(a.leq(&b) && !b.leq(&a));
+        assert!(a.leq(&b) && b.leq(&c) && a.leq(&c));
+    }
+
+    #[test]
+    fn concurrent_detection() {
+        let a = vc(&[(0, 2), (1, 0)]);
+        let b = vc(&[(0, 0), (1, 3)]);
+        assert!(a.concurrent_with(&b));
+        assert!(b.concurrent_with(&a));
+        let mut joined = a.clone();
+        joined.join(&b);
+        assert!(!a.concurrent_with(&joined), "join orders both inputs");
+    }
+
+    #[test]
+    fn tick_only_moves_own_component() {
+        let mut a = vc(&[(0, 1), (1, 1)]);
+        let before = a.clone();
+        a.tick(1);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(a.get(1), 2);
+        assert!(before.leq(&a) && !a.leq(&before));
+    }
+
+    #[test]
+    fn missing_components_read_as_zero() {
+        let short = vc(&[(0, 1)]);
+        let long = vc(&[(0, 1), (5, 0)]);
+        assert!(short.leq(&long) && long.leq(&short));
+        assert_eq!(long.get(9), 0);
+    }
+}

@@ -1,0 +1,44 @@
+//! guardcheck — deterministic interleaving model checker for the
+//! guard data plane, plus the cfg-swappable concurrency facade the
+//! data-plane crates build on.
+//!
+//! The checker is loom-style: a checked closure constructs its shared
+//! state, spawns model threads ([`model::spawn`]), and asserts its
+//! invariants; [`model::Checker::check`] re-runs it under every thread
+//! interleaving up to a bounded preemption depth, tracking
+//! happens-before with vector clocks per memory location. Data races,
+//! lost updates, deadlocks, and failed assertions come back as
+//! [`Counterexample`]s carrying a replayable [`ScheduleTrace`]
+//! (`seed=N;decisions=...`) that [`model::Checker::replay`] reproduces
+//! exactly.
+//!
+//! Production code never sees the model: it imports atomics and
+//! mutexes from [`sync`], which re-exports `std::sync::atomic` unless
+//! the build sets `--cfg guardcheck` (the ci.sh `guardcheck` stage
+//! does), in which case the same names resolve to the modeled
+//! primitives and the harnesses in `tests/harnesses.rs` drive the real
+//! data-plane types through the checker.
+
+#![forbid(unsafe_code)]
+
+mod clock;
+mod primitives;
+mod report;
+mod sched;
+pub mod sync;
+
+pub use clock::VClock;
+pub use report::{CexKind, Counterexample, Report, ScheduleTrace};
+
+/// Upper bound on thread ids scanned when naming the offending thread
+/// in a race report; matches the scheduler's thread cap.
+pub(crate) const MAX_REPORT_THREADS: usize = 16;
+
+/// The model checker and modeled primitives for writing harnesses.
+pub mod model {
+    pub use crate::primitives::{
+        ModelAtomicBool, ModelAtomicU64, ModelAtomicU8, ModelAtomicUsize, ModelCell, ModelMutex,
+        ModelMutexGuard,
+    };
+    pub use crate::sched::{spawn, Checker, JoinHandle};
+}

@@ -1,0 +1,568 @@
+//! Modeled concurrency primitives.
+//!
+//! Each primitive carries its own metadata (value + vector clocks)
+//! behind an internal `std::sync::Mutex`. That mutex is uncontended in
+//! practice — the scheduler serializes model threads — and is stamped
+//! with the execution id so a primitive that outlives one execution
+//! starts the next with clean clocks.
+//!
+//! Memory-model subset (documented in DESIGN.md): values are
+//! sequentially consistent (a load observes the latest store), while
+//! `Ordering` controls only the happens-before edges used for race
+//! detection. A `Release` store publishes the storing thread's clock
+//! on the location; an `Acquire` load joins it. A `Relaxed` store
+//! clears the published clock (it heads no release sequence); a
+//! `Relaxed` RMW preserves it (it continues one). Plain data lives in
+//! [`ModelCell`], where any pair of conflicting accesses not ordered
+//! by happens-before is reported as a data race / lost update.
+//!
+//! Outside a checker execution every primitive degrades to plain
+//! sequential behavior, so types built on the facade stay usable in
+//! ordinary unit tests compiled with `--cfg guardcheck`.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::report::CexKind;
+use crate::sched::{current, Inner};
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Modeled atomics
+// ---------------------------------------------------------------------------
+
+struct AtomMeta {
+    exec_id: u64,
+    value: u64,
+    /// Clock published by the last release store (joined by RMWs in
+    /// the release sequence); empty after a relaxed plain store.
+    sync: VClock,
+}
+
+/// Shared implementation for all modeled atomic widths: storage is a
+/// `u64`, the typed wrappers truncate/extend at the edges.
+struct AtomCore {
+    meta: Mutex<AtomMeta>,
+}
+
+impl AtomCore {
+    fn new(value: u64) -> AtomCore {
+        AtomCore {
+            meta: Mutex::new(AtomMeta { exec_id: 0, value, sync: VClock::new() }),
+        }
+    }
+
+    fn meta_for(&self, inner: &Inner) -> MutexGuard<'_, AtomMeta> {
+        let mut m = relock(&self.meta);
+        if m.exec_id != inner.exec_id {
+            m.exec_id = inner.exec_id;
+            m.sync = VClock::new();
+        }
+        m
+    }
+
+    fn load(&self, ord: Ordering) -> u64 {
+        match current() {
+            Some((inner, tid)) => {
+                inner.yield_now(tid);
+                let m = self.meta_for(&inner);
+                let v = m.value;
+                let sync = m.sync.clone();
+                drop(m);
+                inner.with_clock(tid, |c| {
+                    if is_acquire(ord) {
+                        c.join(&sync);
+                    }
+                    c.tick(tid);
+                });
+                v
+            }
+            None => relock(&self.meta).value,
+        }
+    }
+
+    fn store(&self, v: u64, ord: Ordering) {
+        match current() {
+            Some((inner, tid)) => {
+                inner.yield_now(tid);
+                let clock = inner.with_clock(tid, |c| {
+                    let snap = c.clone();
+                    c.tick(tid);
+                    snap
+                });
+                let mut m = self.meta_for(&inner);
+                m.value = v;
+                // A release store heads a new release sequence and
+                // publishes the storing thread's clock; a relaxed
+                // store publishes nothing (acquire loads that read it
+                // synchronize with nobody).
+                m.sync = if is_release(ord) { clock } else { VClock::new() };
+            }
+            None => relock(&self.meta).value = v,
+        }
+    }
+
+    fn rmw(&self, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        match current() {
+            Some((inner, tid)) => {
+                inner.yield_now(tid);
+                let mut m = self.meta_for(&inner);
+                let sync = m.sync.clone();
+                let clock = inner.with_clock(tid, |c| {
+                    if is_acquire(ord) {
+                        c.join(&sync);
+                    }
+                    let snap = c.clone();
+                    c.tick(tid);
+                    snap
+                });
+                let old = m.value;
+                m.value = f(old);
+                // Even a relaxed RMW continues the release sequence,
+                // so `sync` is preserved; a release RMW additionally
+                // merges this thread's clock in.
+                if is_release(ord) {
+                    m.sync.join(&clock);
+                }
+                old
+            }
+            None => {
+                let mut m = relock(&self.meta);
+                let old = m.value;
+                m.value = f(old);
+                old
+            }
+        }
+    }
+
+    fn compare_exchange(
+        &self,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        match current() {
+            Some((inner, tid)) => {
+                inner.yield_now(tid);
+                let mut m = self.meta_for(&inner);
+                let sync = m.sync.clone();
+                if m.value == expected {
+                    let clock = inner.with_clock(tid, |c| {
+                        if is_acquire(success) {
+                            c.join(&sync);
+                        }
+                        let snap = c.clone();
+                        c.tick(tid);
+                        snap
+                    });
+                    m.value = new;
+                    if is_release(success) {
+                        m.sync.join(&clock);
+                    }
+                    Ok(expected)
+                } else {
+                    inner.with_clock(tid, |c| {
+                        if is_acquire(failure) {
+                            c.join(&sync);
+                        }
+                        c.tick(tid);
+                    });
+                    Err(m.value)
+                }
+            }
+            None => {
+                let mut m = relock(&self.meta);
+                if m.value == expected {
+                    m.value = new;
+                    Ok(expected)
+                } else {
+                    Err(m.value)
+                }
+            }
+        }
+    }
+}
+
+macro_rules! model_atomic_int {
+    ($name:ident, $ty:ty) => {
+        /// Modeled atomic integer with the full `Ordering` surface.
+        pub struct $name {
+            core: AtomCore,
+        }
+
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                $name { core: AtomCore::new(v as u64) }
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                self.core.load(ord) as $ty
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                self.core.store(v as u64, ord)
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                self.core.rmw(ord, |_| v as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                self.core.rmw(ord, |old| (old as $ty).wrapping_add(v) as u64) as $ty
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                self.core.rmw(ord, |old| (old as $ty).wrapping_sub(v) as u64) as $ty
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                self.core.rmw(ord, |old| (old as $ty).max(v) as u64) as $ty
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expected: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.core
+                    .compare_exchange(expected as u64, new as u64, success, failure)
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(..)"))
+            }
+        }
+    };
+}
+
+model_atomic_int!(ModelAtomicU64, u64);
+model_atomic_int!(ModelAtomicUsize, usize);
+model_atomic_int!(ModelAtomicU8, u8);
+
+/// Modeled `AtomicBool`.
+pub struct ModelAtomicBool {
+    core: AtomCore,
+}
+
+impl ModelAtomicBool {
+    pub fn new(v: bool) -> Self {
+        ModelAtomicBool { core: AtomCore::new(v as u64) }
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        self.core.load(ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        self.core.store(v as u64, ord)
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        self.core.rmw(ord, |_| v as u64) != 0
+    }
+
+    pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+        self.core.rmw(ord, |old| old | (v as u64)) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        expected: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.core
+            .compare_exchange(expected as u64, new as u64, success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+impl Default for ModelAtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for ModelAtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ModelAtomicBool(..)")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plain data with race detection
+// ---------------------------------------------------------------------------
+
+struct CellMeta<T> {
+    exec_id: u64,
+    value: T,
+    /// Per-thread clocks of the last write / read by each thread.
+    writes: VClock,
+    reads: VClock,
+}
+
+/// A plain (non-atomic) shared memory location. Any conflicting pair
+/// of accesses without a happens-before edge between them is reported:
+/// unordered write/write as a *lost update*, unordered read/write as a
+/// *data race*. This is the modeled stand-in for ordinary fields that
+/// threads share without synchronization.
+pub struct ModelCell<T> {
+    name: &'static str,
+    meta: Arc<Mutex<CellMeta<T>>>,
+}
+
+impl<T> Clone for ModelCell<T> {
+    fn clone(&self) -> Self {
+        ModelCell { name: self.name, meta: Arc::clone(&self.meta) }
+    }
+}
+
+impl<T: Copy> ModelCell<T> {
+    pub fn new(value: T) -> Self {
+        Self::named("cell", value)
+    }
+
+    /// Name shows up in race reports; use it to tell locations apart.
+    pub fn named(name: &'static str, value: T) -> Self {
+        ModelCell {
+            name,
+            meta: Arc::new(Mutex::new(CellMeta {
+                exec_id: 0,
+                value,
+                writes: VClock::new(),
+                reads: VClock::new(),
+            })),
+        }
+    }
+
+    fn meta_for(&self, inner: &Inner) -> MutexGuard<'_, CellMeta<T>> {
+        let mut m = relock(&self.meta);
+        if m.exec_id != inner.exec_id {
+            m.exec_id = inner.exec_id;
+            m.writes = VClock::new();
+            m.reads = VClock::new();
+        }
+        m
+    }
+
+    /// Which thread's recorded access is not ordered before `clock`.
+    fn offender(access: &VClock, clock: &VClock) -> usize {
+        (0..crate::MAX_REPORT_THREADS)
+            .find(|&u| access.get(u) > clock.get(u))
+            .unwrap_or(0)
+    }
+
+    pub fn get(&self) -> T {
+        match current() {
+            Some((inner, tid)) => {
+                inner.yield_now(tid);
+                let clock = inner.with_clock(tid, |c| {
+                    let snap = c.clone();
+                    c.tick(tid);
+                    snap
+                });
+                let mut m = self.meta_for(&inner);
+                if !m.writes.leq(&clock) {
+                    let u = Self::offender(&m.writes, &clock);
+                    inner.report_failure(
+                        CexKind::DataRace,
+                        format!(
+                            "plain location '{}': write by t{} not ordered before read by t{} \
+                             (missing happens-before edge)",
+                            self.name, u, tid
+                        ),
+                    );
+                }
+                m.reads.set(tid, clock.get(tid));
+                m.value
+            }
+            None => relock(&self.meta).value,
+        }
+    }
+
+    pub fn set(&self, value: T) {
+        match current() {
+            Some((inner, tid)) => {
+                inner.yield_now(tid);
+                let clock = inner.with_clock(tid, |c| {
+                    let snap = c.clone();
+                    c.tick(tid);
+                    snap
+                });
+                let mut m = self.meta_for(&inner);
+                if !m.writes.leq(&clock) {
+                    let u = Self::offender(&m.writes, &clock);
+                    inner.report_failure(
+                        CexKind::LostUpdate,
+                        format!(
+                            "plain location '{}': unordered writes by t{} and t{} \
+                             (one update can be lost)",
+                            self.name, u, tid
+                        ),
+                    );
+                } else if !m.reads.leq(&clock) {
+                    let u = Self::offender(&m.reads, &clock);
+                    inner.report_failure(
+                        CexKind::DataRace,
+                        format!(
+                            "plain location '{}': read by t{} not ordered before write by t{} \
+                             (missing happens-before edge)",
+                            self.name, u, tid
+                        ),
+                    );
+                }
+                m.writes.set(tid, clock.get(tid));
+                m.value = value;
+            }
+            None => relock(&self.meta).value = value,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Modeled mutex
+// ---------------------------------------------------------------------------
+
+struct MutexMeta {
+    exec_id: u64,
+    /// Per-execution lock id used for block/wake bookkeeping.
+    id: u64,
+    holder: Option<usize>,
+    /// Clock of the last unlock; acquirers join it (lock-release edge).
+    clock: VClock,
+}
+
+/// Modeled mutual-exclusion lock with `parking_lot`-style API
+/// (`lock()` returns the guard directly). Contended acquisition is a
+/// scheduling decision point; unordered-acquisition deadlocks surface
+/// as deadlock counterexamples.
+pub struct ModelMutex<T: ?Sized> {
+    meta: Mutex<MutexMeta>,
+    data: Mutex<T>,
+}
+
+impl<T> ModelMutex<T> {
+    pub fn new(value: T) -> Self {
+        ModelMutex {
+            meta: Mutex::new(MutexMeta {
+                exec_id: 0,
+                id: 0,
+                holder: None,
+                clock: VClock::new(),
+            }),
+            data: Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> ModelMutexGuard<'_, T> {
+        match current() {
+            Some((inner, tid)) => loop {
+                inner.yield_now(tid);
+                let mut m = relock(&self.meta);
+                if m.exec_id != inner.exec_id {
+                    m.exec_id = inner.exec_id;
+                    m.id = inner.fresh_lock_id();
+                    m.holder = None;
+                    m.clock = VClock::new();
+                }
+                if m.holder.is_none() {
+                    m.holder = Some(tid);
+                    let lock_clock = m.clock.clone();
+                    let id = m.id;
+                    drop(m);
+                    inner.with_clock(tid, |c| {
+                        c.join(&lock_clock);
+                        c.tick(tid);
+                    });
+                    return ModelMutexGuard {
+                        mutex: self,
+                        guard: Some(relock(&self.data)),
+                        ctx: Some((inner, tid, id)),
+                    };
+                }
+                let id = m.id;
+                drop(m);
+                inner.block_on_mutex(tid, id);
+            },
+            None => ModelMutexGuard { mutex: self, guard: Some(relock(&self.data)), ctx: None },
+        }
+    }
+}
+
+impl<T: Default> Default for ModelMutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::fmt::Debug for ModelMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ModelMutex(..)")
+    }
+}
+
+/// Guard for [`ModelMutex`]; releases the model lock (and publishes
+/// the unlock clock) on drop.
+pub struct ModelMutexGuard<'a, T: ?Sized> {
+    mutex: &'a ModelMutex<T>,
+    guard: Option<MutexGuard<'a, T>>,
+    ctx: Option<(Arc<Inner>, usize, u64)>,
+}
+
+impl<T: ?Sized> std::ops::Deref for ModelMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for ModelMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T: ?Sized> Drop for ModelMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some((inner, tid, id)) = self.ctx.take() {
+            let clock = inner.with_clock(tid, |c| {
+                let snap = c.clone();
+                c.tick(tid);
+                snap
+            });
+            let mut m = relock(&self.mutex.meta);
+            m.holder = None;
+            m.clock = clock;
+            drop(m);
+            inner.unblock_mutex_waiters(id);
+        }
+        // `self.guard` (the data lock) drops after this body.
+    }
+}

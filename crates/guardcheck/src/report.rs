@@ -1,0 +1,166 @@
+//! Checker output: exploration statistics, counterexamples, and the
+//! replayable schedule trace that pins a failing interleaving.
+
+use std::fmt;
+
+/// What kind of defect a counterexample demonstrates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CexKind {
+    /// Conflicting read/write on plain data with no happens-before edge.
+    DataRace,
+    /// Two unordered writes to the same plain location: one of them
+    /// can be silently overwritten.
+    LostUpdate,
+    /// No thread is runnable but some are unfinished.
+    Deadlock,
+    /// A model thread panicked (failed `assert!` = violated invariant).
+    InvariantViolation,
+}
+
+impl fmt::Display for CexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CexKind::DataRace => "data race",
+            CexKind::LostUpdate => "lost update",
+            CexKind::Deadlock => "deadlock",
+            CexKind::InvariantViolation => "invariant violation",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A replayable schedule: the exploration seed plus the sequence of
+/// scheduling decisions (chosen thread id at each branching yield
+/// point). Feed it back through [`crate::model::Checker::replay`] to
+/// reproduce the exact interleaving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    pub seed: u64,
+    pub decisions: Vec<usize>,
+}
+
+impl fmt::Display for ScheduleTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seed={};decisions=", self.seed)?;
+        for (i, d) in self.decisions.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl ScheduleTrace {
+    /// Parse the `Display` form back (`seed=N;decisions=a,b,c`).
+    /// Returns `None` on any malformed input — never panics, so traces
+    /// pasted from CI logs are safe to feed through.
+    pub fn parse(s: &str) -> Option<ScheduleTrace> {
+        let rest = s.strip_prefix("seed=")?;
+        let (seed_str, dec_str) = rest.split_once(";decisions=")?;
+        let seed = seed_str.parse().ok()?;
+        let mut decisions = Vec::new();
+        if !dec_str.is_empty() {
+            for part in dec_str.split(',') {
+                decisions.push(part.parse().ok()?);
+            }
+        }
+        Some(ScheduleTrace { seed, decisions })
+    }
+}
+
+/// A concrete failing execution found by the checker.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    pub kind: CexKind,
+    /// Human-oriented description: which location, which threads,
+    /// which operations conflicted.
+    pub message: String,
+    /// Schedule that reproduces the failure deterministically.
+    pub trace: ScheduleTrace,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} [replay: {}]", self.kind, self.message, self.trace)
+    }
+}
+
+impl Counterexample {
+    /// GitHub Actions annotation form (`::error ::...`), used by the
+    /// CI `guardcheck` stage so failures surface on the PR directly.
+    pub fn render_github(&self, harness: &str) -> String {
+        // Annotation messages are single-line; the trace rides along so
+        // the failure can be replayed locally from the annotation alone.
+        format!(
+            "::error title=guardcheck {}::harness {}: {} [replay: {}]",
+            self.kind, harness, self.message, self.trace
+        )
+    }
+}
+
+/// Result of a [`crate::model::Checker::check`] run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of complete executions (distinct schedules) explored.
+    pub schedules: u64,
+    /// Total scheduling decision points visited across all executions —
+    /// a proxy for distinct interleaving states.
+    pub states: u64,
+    /// First failure found, if any. Exploration stops at the first
+    /// counterexample (its trace is already minimal-prefix for replay).
+    pub counterexample: Option<Counterexample>,
+    /// True when the bounded search space was exhausted (no schedule
+    /// or preemption budget cut the search short).
+    pub complete: bool,
+}
+
+impl Report {
+    /// Panic with a replayable trace if the run found a counterexample.
+    /// Harness tests call this so failures print the schedule string.
+    pub fn assert_ok(&self, harness: &str) {
+        if let Some(cex) = &self.counterexample {
+            panic!("guardcheck harness {harness} failed: {cex}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_roundtrips_through_display() {
+        let t = ScheduleTrace { seed: 7, decisions: vec![0, 1, 1, 2, 0] };
+        let s = t.to_string();
+        assert_eq!(s, "seed=7;decisions=0,1,1,2,0");
+        assert_eq!(ScheduleTrace::parse(&s), Some(t));
+    }
+
+    #[test]
+    fn empty_decisions_roundtrip() {
+        let t = ScheduleTrace { seed: 0, decisions: vec![] };
+        assert_eq!(ScheduleTrace::parse(&t.to_string()), Some(t));
+    }
+
+    #[test]
+    fn malformed_traces_parse_to_none() {
+        for bad in ["", "seed=x;decisions=1", "seed=1", "decisions=1", "seed=1;decisions=1,b"] {
+            assert!(ScheduleTrace::parse(bad).is_none(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn github_annotation_shape() {
+        let cex = Counterexample {
+            kind: CexKind::DataRace,
+            message: "plain cell written by t1 read by t0".into(),
+            trace: ScheduleTrace { seed: 1, decisions: vec![1, 0] },
+        };
+        let line = cex.render_github("stop_flag");
+        assert!(line.starts_with("::error title=guardcheck data race::"));
+        assert!(line.contains("seed=1;decisions=1,0"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,588 @@
+//! Deterministic interleaving scheduler.
+//!
+//! Model threads are real OS threads serialized by a baton: exactly one
+//! model thread runs between scheduling decisions, so every operation
+//! between two yield points is atomic with respect to the model. Each
+//! modeled operation (atomic access, mutex acquisition, cell access,
+//! spawn, join) is a yield point; when more than one thread is runnable
+//! the scheduler consults the DFS tape to decide who continues.
+//!
+//! Exploration is depth-first over the tree of scheduling decisions,
+//! bounded by a preemption budget (a decision counts as a preemption
+//! when the previously running thread was still runnable but a
+//! different one was chosen). The search is fully deterministic given
+//! the seed, and every execution's decision string replays exactly —
+//! that is what makes counterexample traces reproducible.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VClock;
+use crate::report::{CexKind, Counterexample, Report, ScheduleTrace};
+
+/// Hard cap on model threads per execution; keeps vector clocks small
+/// and the schedule space sane. Harnesses use 2–4 threads.
+const MAX_THREADS: usize = 16;
+
+/// Global execution-id source. Model primitives stamp their metadata
+/// with the execution id and lazily reset when it changes, so types
+/// that outlive one execution (statics, reused fixtures) start clean.
+static EXEC_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Payload used to unwind model threads during teardown (deadlock or
+/// early stop). Recognized by the thread trampoline so it is not
+/// reported as an invariant violation.
+struct AbortPanic;
+
+fn abort_unwind() -> ! {
+    std::panic::panic_any(AbortPanic)
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Run {
+    Runnable,
+    BlockedMutex(u64),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct TState {
+    run: Run,
+    clock: VClock,
+}
+
+/// One branching decision point: the seed-ordered enabled set, which
+/// index was chosen, and who held the baton when the choice was made.
+#[derive(Clone, Debug)]
+pub(crate) struct Frame {
+    pub(crate) ordered: Vec<usize>,
+    pub(crate) chosen_idx: usize,
+    pub(crate) running_before: usize,
+}
+
+struct SchedState {
+    threads: Vec<TState>,
+    current: usize,
+    live: usize,
+    forced: Vec<usize>,
+    decisions: Vec<usize>,
+    frames: Vec<Frame>,
+    failure: Option<Counterexample>,
+    abort: bool,
+    states: u64,
+}
+
+/// Shared per-execution scheduler state. Model primitives reach it via
+/// the thread-local set up by the trampoline.
+pub(crate) struct Inner {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+    pub(crate) exec_id: u64,
+    seed: u64,
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_lock_id: AtomicU64,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Inner>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The executing model thread's scheduler handle, if any. Model
+/// primitives fall back to plain sequential behavior when `None`
+/// (i.e. when used outside a checker run).
+pub(crate) fn current() -> Option<(Arc<Inner>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic ordering of the enabled set at one decision point:
+/// the currently running thread first (so choice 0 never preempts),
+/// remaining threads in a seed-rotated order so different seeds walk
+/// the tree differently while staying reproducible.
+fn order_enabled(enabled: &[usize], current: usize, seed: u64, depth: usize) -> Vec<usize> {
+    let mut rest: Vec<usize> = enabled.iter().copied().filter(|&t| t != current).collect();
+    if rest.len() > 1 {
+        let r = (splitmix64(seed ^ depth as u64) as usize) % rest.len();
+        rest.rotate_left(r);
+    }
+    if enabled.contains(&current) {
+        let mut out = Vec::with_capacity(enabled.len());
+        out.push(current);
+        out.extend(rest);
+        out
+    } else {
+        rest
+    }
+}
+
+impl Inner {
+    fn new(seed: u64, forced: Vec<usize>) -> Inner {
+        let mut main = TState { run: Run::Runnable, clock: VClock::new() };
+        main.clock.tick(0);
+        Inner {
+            state: Mutex::new(SchedState {
+                threads: vec![main],
+                current: 0,
+                live: 1,
+                forced,
+                decisions: Vec::new(),
+                frames: Vec::new(),
+                failure: None,
+                abort: false,
+                states: 0,
+            }),
+            cv: Condvar::new(),
+            exec_id: EXEC_IDS.fetch_add(1, Ordering::Relaxed),
+            seed,
+            os_handles: Mutex::new(Vec::new()),
+            next_lock_id: AtomicU64::new(1),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn fresh_lock_id(&self) -> u64 {
+        self.next_lock_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn trace_of(&self, st: &SchedState) -> ScheduleTrace {
+        ScheduleTrace { seed: self.seed, decisions: st.decisions.clone() }
+    }
+
+    /// Record a failure (first one wins) with the schedule so far.
+    pub(crate) fn report_failure(&self, kind: CexKind, message: String) {
+        let mut st = self.lock_state();
+        if st.failure.is_none() {
+            let trace = self.trace_of(&st);
+            st.failure = Some(Counterexample { kind, message, trace });
+        }
+    }
+
+    /// Run `f` against the calling model thread's vector clock.
+    pub(crate) fn with_clock<R>(&self, tid: usize, f: impl FnOnce(&mut VClock) -> R) -> R {
+        let mut st = self.lock_state();
+        f(&mut st.threads[tid].clock)
+    }
+
+    /// Pick who runs next. Called with the state lock held, by the
+    /// thread that currently holds the baton (or is giving it up).
+    fn pick_next(&self, st: &mut SchedState) {
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let enabled: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.live > 0 {
+                // Every unfinished thread is blocked: deadlock.
+                if st.failure.is_none() {
+                    let blocked: Vec<String> = st
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, t)| match t.run {
+                            Run::BlockedMutex(m) => Some(format!("t{i} on mutex#{m}")),
+                            Run::BlockedJoin(j) => Some(format!("t{i} joining t{j}")),
+                            _ => None,
+                        })
+                        .collect();
+                    let trace = self.trace_of(st);
+                    st.failure = Some(Counterexample {
+                        kind: CexKind::Deadlock,
+                        message: format!("deadlock: {}", blocked.join(", ")),
+                        trace,
+                    });
+                }
+                st.abort = true;
+            }
+            // live == 0: execution complete; wake the controller.
+            self.cv.notify_all();
+            return;
+        }
+        let next = if enabled.len() == 1 {
+            enabled[0]
+        } else {
+            st.states += 1;
+            let depth = st.frames.len();
+            let ordered = order_enabled(&enabled, st.current, self.seed, depth);
+            let pos = st.decisions.len();
+            let chosen_idx = if pos < st.forced.len() {
+                let want = st.forced[pos];
+                ordered.iter().position(|&t| t == want).unwrap_or(0)
+            } else {
+                0
+            };
+            let chosen = ordered[chosen_idx];
+            st.frames.push(Frame { ordered, chosen_idx, running_before: st.current });
+            st.decisions.push(chosen);
+            chosen
+        };
+        st.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Yield point: optionally move self into a blocked state, choose
+    /// the next runner, then wait until rescheduled.
+    pub(crate) fn reschedule(&self, my: usize, block: Option<Run>) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        if let Some(b) = block {
+            st.threads[my].run = b;
+        }
+        self.pick_next(&mut st);
+        while !(st.current == my && st.threads[my].run == Run::Runnable) {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Plain yield point (no state change).
+    pub(crate) fn yield_now(&self, my: usize) {
+        self.reschedule(my, None);
+    }
+
+    /// Block until this freshly spawned thread is scheduled for the
+    /// first time.
+    fn first_schedule(&self, my: usize) {
+        let mut st = self.lock_state();
+        while !(st.current == my && st.threads[my].run == Run::Runnable) {
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Register a child thread: child inherits the parent clock
+    /// (spawn edge), both tick so their subsequent ops are ordered
+    /// only through that edge.
+    fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        assert!(tid < MAX_THREADS, "guardcheck: more than {MAX_THREADS} model threads");
+        let mut clock = st.threads[parent].clock.clone();
+        clock.tick(tid);
+        st.threads[parent].clock.tick(parent);
+        st.threads.push(TState { run: Run::Runnable, clock });
+        st.live += 1;
+        tid
+    }
+
+    /// Mark `my` finished, wake joiners, hand the baton on.
+    fn finish(&self, my: usize) {
+        let mut st = self.lock_state();
+        st.threads[my].run = Run::Finished;
+        st.live -= 1;
+        for i in 0..st.threads.len() {
+            if st.threads[i].run == Run::BlockedJoin(my) {
+                st.threads[i].run = Run::Runnable;
+            }
+        }
+        self.pick_next(&mut st);
+    }
+
+    /// Join edge: wait for `target` to finish, then absorb its clock.
+    fn join_thread(&self, my: usize, target: usize) {
+        loop {
+            let mut st = self.lock_state();
+            if st.abort {
+                drop(st);
+                abort_unwind();
+            }
+            if st.threads[target].run == Run::Finished {
+                let tc = st.threads[target].clock.clone();
+                st.threads[my].clock.join(&tc);
+                st.threads[my].clock.tick(my);
+                return;
+            }
+            st.threads[my].run = Run::BlockedJoin(target);
+            self.pick_next(&mut st);
+            while !(st.current == my && st.threads[my].run == Run::Runnable) {
+                if st.abort {
+                    drop(st);
+                    abort_unwind();
+                }
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Wake every thread blocked on mutex `id` (they re-contend).
+    pub(crate) fn unblock_mutex_waiters(&self, id: u64) {
+        let mut st = self.lock_state();
+        for t in st.threads.iter_mut() {
+            if t.run == Run::BlockedMutex(id) {
+                t.run = Run::Runnable;
+            }
+        }
+    }
+
+    /// Block the caller on mutex `id` and yield. Returns when the
+    /// caller has been woken *and* rescheduled; the caller re-checks
+    /// the lock state itself.
+    pub(crate) fn block_on_mutex(&self, my: usize, id: u64) {
+        self.reschedule(my, Some(Run::BlockedMutex(id)));
+    }
+}
+
+/// Handle to a model-spawned thread. `join` returns `None` if the
+/// child panicked (the panic is reported as an invariant violation).
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+    inner: Arc<Inner>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> Option<T> {
+        let (inner, my) = current().expect("guardcheck: join outside a model execution");
+        assert!(Arc::ptr_eq(&inner, &self.inner), "guardcheck: cross-execution join");
+        inner.yield_now(my);
+        inner.join_thread(my, self.tid);
+        self.result.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+/// Spawn a model thread inside a checker execution. Must be called
+/// from model-managed code (the checked closure or one of its spawns).
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (inner, my) = current().expect("guardcheck: spawn outside a model execution");
+    let tid = inner.register_thread(my);
+    let result = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    let inner2 = Arc::clone(&inner);
+    let os = std::thread::Builder::new()
+        .name(format!("guardcheck-t{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner2), tid)));
+            inner2.first_schedule(tid);
+            let out = catch_unwind(AssertUnwindSafe(f));
+            match out {
+                Ok(v) => {
+                    *result2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                }
+                Err(payload) => {
+                    if !payload.is::<AbortPanic>() {
+                        inner2.report_failure(
+                            CexKind::InvariantViolation,
+                            format!("thread t{tid} panicked: {}", panic_message(payload.as_ref())),
+                        );
+                    }
+                }
+            }
+            inner2.finish(tid);
+            CURRENT.with(|c| *c.borrow_mut() = None);
+        })
+        .expect("guardcheck: OS thread spawn failed");
+    inner.os_handles.lock().unwrap_or_else(|e| e.into_inner()).push(os);
+    // Decision point: the child is now enabled alongside the parent.
+    inner.yield_now(my);
+    JoinHandle { tid, result, inner }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+struct ExecResult {
+    frames: Vec<Frame>,
+    states: u64,
+    failure: Option<Counterexample>,
+}
+
+fn count_preemptions(frames: &[Frame]) -> usize {
+    frames
+        .iter()
+        .filter(|f| {
+            let chosen = f.ordered[f.chosen_idx];
+            chosen != f.running_before && f.ordered.contains(&f.running_before)
+        })
+        .count()
+}
+
+/// Deterministic bounded model checker. Configure, then [`Checker::check`]
+/// a closure that builds its shared state and spawns model threads.
+pub struct Checker {
+    preemption_bound: usize,
+    max_schedules: u64,
+    seed: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Checker {
+    pub fn new() -> Checker {
+        Checker { preemption_bound: 2, max_schedules: 100_000, seed: 0 }
+    }
+
+    /// Max context switches away from a still-runnable thread per
+    /// schedule. Empirically 2–3 finds almost all real bugs while
+    /// keeping the schedule space tractable.
+    pub fn preemption_bound(mut self, n: usize) -> Checker {
+        self.preemption_bound = n;
+        self
+    }
+
+    /// Hard budget on explored schedules; `Report::complete` is false
+    /// if the budget stops the search early.
+    pub fn max_schedules(mut self, n: u64) -> Checker {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Perturbs the deterministic ordering of scheduling alternatives.
+    pub fn seed(mut self, seed: u64) -> Checker {
+        self.seed = seed;
+        self
+    }
+
+    fn run_one<F>(&self, f: &Arc<F>, forced: Vec<usize>) -> ExecResult
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let inner = Arc::new(Inner::new(self.seed, forced));
+        let inner_main = Arc::clone(&inner);
+        let body = Arc::clone(f);
+        let main = std::thread::Builder::new()
+            .name("guardcheck-t0".into())
+            .spawn(move || {
+                CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&inner_main), 0)));
+                let out = catch_unwind(AssertUnwindSafe(|| body()));
+                if let Err(payload) = out {
+                    if !payload.is::<AbortPanic>() {
+                        inner_main.report_failure(
+                            CexKind::InvariantViolation,
+                            format!("thread t0 panicked: {}", panic_message(payload.as_ref())),
+                        );
+                    }
+                }
+                inner_main.finish(0);
+                CURRENT.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("guardcheck: OS thread spawn failed");
+
+        // Wait for the execution to drain (all model threads finished,
+        // normally or via abort teardown).
+        {
+            let mut st = inner.lock_state();
+            while st.live > 0 {
+                st = inner.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        main.join().ok();
+        let handles: Vec<_> =
+            std::mem::take(&mut *inner.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            h.join().ok();
+        }
+        let st = inner.lock_state();
+        ExecResult { frames: st.frames.clone(), states: st.states, failure: st.failure.clone() }
+    }
+
+    /// Exhaustively explore interleavings of `f` up to the preemption
+    /// bound. `f` runs once per schedule; it must construct its shared
+    /// state internally and join every thread it spawns.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let mut report =
+            Report { schedules: 0, states: 0, counterexample: None, complete: false };
+        let mut forced: Vec<usize> = Vec::new();
+        loop {
+            let res = self.run_one(&f, forced.clone());
+            report.schedules += 1;
+            report.states += res.states;
+            if res.failure.is_some() {
+                report.counterexample = res.failure;
+                return report;
+            }
+            if report.schedules >= self.max_schedules {
+                return report;
+            }
+            // DFS backtrack: deepest frame with an untried, in-budget
+            // alternative becomes the new forced prefix.
+            let frames = res.frames;
+            let mut next: Option<Vec<usize>> = None;
+            'scan: for i in (0..frames.len()).rev() {
+                let budget_used = count_preemptions(&frames[..i]);
+                let fr = &frames[i];
+                for idx in fr.chosen_idx + 1..fr.ordered.len() {
+                    let alt = fr.ordered[idx];
+                    let preempts = alt != fr.running_before
+                        && fr.ordered.contains(&fr.running_before);
+                    if preempts && budget_used + 1 > self.preemption_bound {
+                        continue;
+                    }
+                    let mut pfx: Vec<usize> =
+                        frames[..i].iter().map(|f| f.ordered[f.chosen_idx]).collect();
+                    pfx.push(alt);
+                    next = Some(pfx);
+                    break 'scan;
+                }
+            }
+            match next {
+                Some(pfx) => forced = pfx,
+                None => {
+                    report.complete = true;
+                    return report;
+                }
+            }
+        }
+    }
+
+    /// Re-run exactly one schedule from a counterexample trace.
+    /// Deterministic: the same forced decisions reproduce the same
+    /// interleaving, so the same failure fires again.
+    pub fn replay<F>(trace: &ScheduleTrace, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let checker = Checker::new().seed(trace.seed);
+        let res = checker.run_one(&Arc::new(f), trace.decisions.clone());
+        Report {
+            schedules: 1,
+            states: res.states,
+            counterexample: res.failure,
+            complete: false,
+        }
+    }
+}

@@ -178,9 +178,13 @@ fn parse_string(value: &str) -> Option<String> {
 }
 
 impl Allowlist {
-    /// Applies the allowlist: suppressed findings are removed, and a
-    /// warning is produced for every entry that suppressed nothing.
-    pub fn apply(&self, findings: Vec<Finding>, toml_path: &str) -> Vec<Finding> {
+    /// Applies the allowlist: suppressed findings are removed, and every
+    /// entry that suppressed nothing becomes a *stale-entry* finding.
+    /// Stale entries are warnings in advisory runs but hard errors when
+    /// `strict` (the `--deny` gate): a suppression that no longer matches
+    /// anything is dead wood hiding the next real finding at that site,
+    /// so CI refuses to carry it.
+    pub fn apply(&self, findings: Vec<Finding>, toml_path: &str, strict: bool) -> Vec<Finding> {
         let mut used = vec![false; self.entries.len()];
         let mut kept: Vec<Finding> = Vec::new();
         for f in findings {
@@ -198,7 +202,7 @@ impl Allowlist {
                     file: toml_path.to_string(),
                     line: e.at_line,
                     lint: "ALLOW",
-                    severity: Severity::Warning,
+                    severity: if strict { Severity::Error } else { Severity::Warning },
                     message: format!(
                         "stale allow entry: no {} finding at {}{} — remove it",
                         e.lint,
@@ -260,11 +264,31 @@ justification = "encode with an unlimited budget cannot return TooLarge"
             severity: Severity::Error,
             message: "x".into(),
         };
-        let kept = list.apply(vec![hit], "Lint.toml");
+        let kept = list.apply(vec![hit], "Lint.toml", false);
         assert!(kept.is_empty(), "{kept:?}");
-        let kept = list.apply(vec![], "Lint.toml");
+        let kept = list.apply(vec![], "Lint.toml", false);
         assert_eq!(kept.len(), 1);
         assert!(kept[0].message.contains("stale allow entry"));
         assert_eq!(kept[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn stale_entry_is_a_hard_error_under_deny() {
+        let list = parse(GOOD, "Lint.toml");
+        // Strict (--deny): the same stale entry must gate the build.
+        let kept = list.apply(vec![], "Lint.toml", true);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].severity, Severity::Error, "{kept:?}");
+        assert_eq!(kept[0].lint, "ALLOW");
+        assert!(kept[0].message.contains("stale allow entry"));
+        // A matching finding keeps the entry live in strict mode too.
+        let hit = Finding {
+            file: "crates/dnswire/src/message.rs".into(),
+            line: 108,
+            lint: "L1",
+            severity: Severity::Error,
+            message: "x".into(),
+        };
+        assert!(list.apply(vec![hit], "Lint.toml", true).is_empty());
     }
 }

@@ -44,6 +44,31 @@ impl Finding {
             self.file, self.line, self.lint, self.severity, self.message
         )
     }
+
+    /// Renders a GitHub Actions workflow annotation
+    /// (`::error file=…,line=…,title=…::message`) so the finding lands
+    /// directly on the offending line of the PR diff.
+    pub fn render_github(&self) -> String {
+        format!(
+            "::{} file={},line={},title=guardlint {}::{}",
+            self.severity,
+            gh_property(&self.file),
+            self.line,
+            self.lint,
+            gh_message(&self.message)
+        )
+    }
+}
+
+/// Escapes an annotation *message* per the workflow-command grammar.
+fn gh_message(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escapes an annotation *property* value (`file=`, `title=`), which
+/// additionally reserves `:` and `,`.
+fn gh_property(s: &str) -> String {
+    gh_message(s).replace(':', "%3A").replace(',', "%2C")
 }
 
 /// Escapes a string for embedding in a JSON document.
@@ -113,6 +138,24 @@ mod tests {
         let json = to_json(&[f]);
         assert!(json.contains("\"lint\":\"L1\""));
         assert!(json.contains("\\u") || json.contains("unwrap"));
+    }
+
+    #[test]
+    fn github_annotations_escape_and_point_at_the_line() {
+        let f = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 7,
+            lint: "L6",
+            severity: Severity::Error,
+            message: "captured `x` is mutated, 100% wrong\nsecond line".into(),
+        };
+        assert_eq!(
+            f.render_github(),
+            "::error file=crates/x/src/lib.rs,line=7,title=guardlint L6::captured `x` \
+             is mutated, 100%25 wrong%0Asecond line"
+        );
+        let w = Finding { severity: Severity::Warning, ..f };
+        assert!(w.render_github().starts_with("::warning "));
     }
 
     #[test]

@@ -15,19 +15,33 @@
 //! * **L4** — metric/alert names referenced by `telemetry_check` and the
 //!   alert rules must exist at a registry definition site;
 //! * **L5** — trace coverage: the export contract's kinds have emit
-//!   sites, and guard-emitted kinds are observed somewhere.
+//!   sites, and guard-emitted kinds are observed somewhere;
+//! * **L6** — shared-state escape: a variable captured by a spawned
+//!   closure and mutated inside it must go through a `guardcheck::sync`
+//!   atomic/lock (so the model checker covers it) or carry an inline
+//!   `// lint: shared-ok — <why>`;
+//! * **L7** — lock ordering: the hold-while-acquiring graph built from
+//!   every function's `.lock()` sites must be acyclic (AB/BA cycles and
+//!   re-acquiring a held lock are deadlock recipes under the
+//!   non-reentrant facade mutex).
 //!
 //! Findings print as `file:line [lint-id] severity: message`; `Lint.toml`
-//! holds justified exemptions (see [`allowlist`]); `--deny` turns errors
-//! into a non-zero exit for CI. Zero dependencies by design: the crate
-//! carries its own comment/string-aware lexer ([`lexer`]) instead of a
-//! Rust parser, because every invariant here is token- or
-//! string-cross-reference-shaped.
+//! holds justified exemptions (see [`allowlist`]) — entries that stop
+//! matching become hard errors under `--deny` so the file cannot rot;
+//! `--deny` turns errors into a non-zero exit for CI and `--github`
+//! re-renders findings as Actions annotations. Zero dependencies by
+//! design: the crate carries its own comment/string-aware lexer
+//! ([`lexer`]) and brace matcher ([`scopes`]) instead of a Rust parser,
+//! because every invariant here is token-, scope- or
+//! string-cross-reference-shaped. guardlint is the static front line of
+//! the concurrency toolchain; the `guardcheck` crate's interleaving
+//! model checker is the dynamic back line.
 
 pub mod allowlist;
 pub mod findings;
 pub mod lexer;
 pub mod lints;
+pub mod scopes;
 
 use findings::{Finding, Severity};
 use lints::SourceFile;
@@ -130,7 +144,9 @@ fn corpus_extra_paths(root: &Path) -> io::Result<Vec<PathBuf>> {
 
 /// Runs the full lint pass over the workspace at `root`, applying the
 /// allowlist at `allowlist_path` (skipped when the file does not exist).
-pub fn run(root: &Path, allowlist_path: &Path) -> io::Result<RunResult> {
+/// With `deny` set (the CI gate), stale allowlist entries are promoted
+/// from advisory warnings to hard errors.
+pub fn run(root: &Path, allowlist_path: &Path, deny: bool) -> io::Result<RunResult> {
     let lint_paths = lint_set_paths(root)?;
     let files = load(root, &lint_paths)?;
     let mut corpus = load(root, &corpus_extra_paths(root)?)?;
@@ -144,7 +160,7 @@ pub fn run(root: &Path, allowlist_path: &Path) -> io::Result<RunResult> {
     if allowlist_path.is_file() {
         let content = std::fs::read_to_string(allowlist_path)?;
         let list = allowlist::parse(&content, &toml_rel);
-        findings = list.apply(findings, &toml_rel);
+        findings = list.apply(findings, &toml_rel, deny);
         findings.extend(list.problems);
     }
     findings::sort(&mut findings);

@@ -7,12 +7,17 @@
 //! | L3 | atomic-ordering discipline: `Ordering::Relaxed` outside the obs record path needs a `// lint: relaxed-ok — ...` justification |
 //! | L4 | metric/alert names referenced by `telemetry_check` and the alert rules (per-node `RULES`, fleet `FLEET_RULES`) must exist at a registry definition site |
 //! | L5 | trace coverage: contract kinds (`REQUIRED_KINDS`, `STITCH_KINDS`, `ANALYTICS_KINDS`) must have emit sites, and guard/analytics-emitted kinds must be observed somewhere |
+//! | L6 | shared-state escape: a variable captured by a spawned closure and mutated inside it must go through an atomic/lock (`guardcheck::sync`) or carry `// lint: shared-ok — <why>` |
+//! | L7 | lock ordering: the per-function lock-acquisition graph must be acyclic — an A→B hold-while-acquiring edge with a B→A edge elsewhere is a deadlock recipe |
 //!
 //! L1–L3 are per-line token lints over scrubbed code (see [`crate::lexer`]);
-//! L4/L5 are cross-file consistency checks over extracted call arguments.
+//! L4/L5 are cross-file consistency checks over extracted call arguments;
+//! L6/L7 are brace-aware structural lints (see [`crate::scopes`]) feeding
+//! the guardcheck model checker's static front line.
 
 use crate::findings::{Finding, Severity};
 use crate::lexer::{str_refs, Scrubbed, STR_OPEN};
+use crate::scopes::{functions, ScopeMap};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// One lexed source file, addressed by workspace-relative path.
@@ -42,9 +47,12 @@ fn in_l2_scope(rel: &str) -> bool {
 
 /// L3 exemption: the lock-free metrics/trace record path is the one place
 /// plain relaxed counters are the design (single monotonic cells, no
-/// cross-cell ordering contract).
+/// cross-cell ordering contract); the guardcheck crate *implements* the
+/// ordering semantics, so it necessarily names every `Ordering` variant.
 fn l3_exempt(rel: &str) -> bool {
-    rel == "crates/obs/src/metrics.rs" || rel == "crates/obs/src/trace.rs"
+    rel == "crates/obs/src/metrics.rs"
+        || rel == "crates/obs/src/trace.rs"
+        || rel.starts_with("crates/guardcheck/src/")
 }
 
 // ------------------------------------------------------------- utilities
@@ -228,6 +236,474 @@ pub fn l3(file: &SourceFile) -> Vec<Finding> {
             message: message.to_string(),
         });
     }
+    out
+}
+
+// --------------------------------------------------------------- L6 / L7
+
+/// Matching `)` of the `(` at `open` (byte offsets); `None` if unbalanced.
+fn matching_paren(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        match b {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the token ending just before `at` (skipping whitespace) is `kw`.
+fn preceded_by_kw(flat: &str, at: usize, kw: &str) -> bool {
+    let head = flat[..at].trim_end();
+    head.ends_with(kw)
+        && !head[..head.len() - kw.len()]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Byte offsets in `code` where an assignment's left-hand side ends:
+/// plain `=` and every compound `op=`, excluding `==`, `!=`, `<=`, `>=`
+/// and `=>`.
+fn assignment_sites(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    let mut out = Vec::new();
+    for i in 0..b.len() {
+        if b[i] != b'=' {
+            continue;
+        }
+        if matches!(b.get(i + 1), Some(b'=') | Some(b'>')) {
+            continue; // `==` / `=>`
+        }
+        let prev = i.checked_sub(1).map(|k| b[k]);
+        let prev2 = i.checked_sub(2).map(|k| b[k]);
+        match prev {
+            Some(b'=') | Some(b'!') => {} // second `=` of `==`, or `!=`
+            Some(b'<') => {
+                if prev2 == Some(b'<') {
+                    out.push(i - 2); // `<<=`
+                }
+            }
+            Some(b'>') => {
+                if prev2 == Some(b'>') {
+                    out.push(i - 2); // `>>=`
+                }
+            }
+            Some(op) if b"+-*/%&|^".contains(&op) => out.push(i - 1),
+            _ => out.push(i),
+        }
+    }
+    out
+}
+
+/// Walks backwards from `end` over a place expression — identifiers,
+/// `.` / `::` separators and balanced `(…)` / `[…]` groups — returning
+/// `(full path text, root identifier)`. The root is the leftmost plain
+/// identifier (`self.shared.ring` → `shared.ring` path, root `shared`
+/// after the `self.` strip; `*m.lock()` → path `m.lock()`, root `m`).
+fn path_before(flat: &str, end: usize) -> (String, String) {
+    let b = flat.as_bytes();
+    let mut i = end;
+    while i > 0 && b[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    let stop = i;
+    loop {
+        if i == 0 {
+            break;
+        }
+        let c = b[i - 1];
+        if c == b')' || c == b']' {
+            // Skip the balanced group backwards.
+            let (open, close) = if c == b')' { (b'(', b')') } else { (b'[', b']') };
+            let mut depth = 0i32;
+            let mut k = i;
+            while k > 0 {
+                let cc = b[k - 1];
+                if cc == close {
+                    depth += 1;
+                } else if cc == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                k -= 1;
+            }
+            if k == 0 {
+                break;
+            }
+            i = k - 1;
+        } else if is_ident_byte(c) || c == b'.' || c == b':' {
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    let mut path = flat[i..stop].trim_start_matches(':').to_string();
+    if let Some(rest) = path.strip_prefix("self.") {
+        path = rest.to_string();
+    }
+    let root: String = path
+        .chars()
+        .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+        .collect();
+    (path, root)
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parameter identifiers of closures nested in `text`: a `|` opening a
+/// parameter list follows `(`, `,`, `=`, `{`, `;` or the `move` keyword
+/// (a binary `|` always follows an operand). Everything up to the
+/// closing `|` is parsed as patterns.
+fn collect_closure_params(text: &str, into: &mut BTreeSet<String>) {
+    let b = text.as_bytes();
+    for i in 0..b.len() {
+        if b[i] != b'|' {
+            continue;
+        }
+        let head = text[..i].trim_end();
+        let opens = head.is_empty()
+            || head.ends_with(['(', ',', '=', '{', ';'])
+            || preceded_by_kw(text, i, "move");
+        if !opens || b.get(i + 1) == Some(&b'|') {
+            continue; // operand `|`, or `||` (no params)
+        }
+        let Some(close) = text[i + 1..].find('|') else { continue };
+        let params = &text[i + 1..i + 1 + close];
+        if params.contains(';') || params.contains('{') {
+            continue; // ran past a statement boundary: not a param list
+        }
+        for param in params.split(',') {
+            let pat = param.split(':').next().unwrap_or("");
+            for word in pat.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_')) {
+                if !word.is_empty() && !matches!(word, "mut" | "ref") {
+                    into.insert(word.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Identifiers bound inside a closure body (or parameter list): `let`
+/// patterns, `for` loop variables, closure parameters. Over-collects
+/// pattern constructor names (`Some`), which is harmless — they are
+/// never assignment roots.
+fn collect_bindings(text: &str, into: &mut BTreeSet<String>) {
+    let b = text.as_bytes();
+    for kw in ["let", "for"] {
+        let mut from = 0usize;
+        while let Some(p) = find_token(&text[from..], kw) {
+            let at = from + p;
+            from = at + kw.len();
+            // Idents up to the terminator: `=` for let, `in` for for.
+            let mut j = from;
+            while j < b.len() && b[j] != b'=' && b[j] != b';' && b[j] != b'{' {
+                if is_ident_byte(b[j]) {
+                    let s = j;
+                    while j < b.len() && is_ident_byte(b[j]) {
+                        j += 1;
+                    }
+                    let ident = &text[s..j];
+                    if kw == "for" && ident == "in" {
+                        break;
+                    }
+                    if !matches!(ident, "mut" | "ref" | "in") {
+                        into.insert(ident.to_string());
+                    }
+                } else {
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
+/// L6: shared-state escape. A variable captured by a spawned closure and
+/// mutated inside it bypasses the repo's concurrency discipline: every
+/// cross-thread cell must be an atomic or lock from `guardcheck::sync`
+/// (so the model checker can exercise it) or carry an explicit
+/// `// lint: shared-ok — <why>` (e.g. the value is moved, not shared).
+/// The lexer cannot see ownership, so moved-and-mutated locals need the
+/// justification too — that note is the audit trail the lint wants.
+pub fn l6(file: &SourceFile) -> Vec<Finding> {
+    let flat = &file.scrub.flat;
+    let bytes = flat.as_bytes();
+    let scopes = ScopeMap::build(flat);
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(p) = find_token(&flat[from..], "spawn") {
+        let at = from + p;
+        from = at + "spawn".len();
+        if preceded_by_kw(flat, at, "fn") {
+            continue; // a `fn spawn(…)` definition, not a call
+        }
+        let mut i = from;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        let Some(call_close) = matching_paren(bytes, i) else { continue };
+        let args = &flat[i + 1..call_close];
+        // The closure literal: `move |params| body` / `|| body`. Calls
+        // without one (`GuardServer::spawn(addr, seed)`) are not spawns
+        // of interest.
+        let Some(bar) = args.find('|') else { continue };
+        let (params, body_rel) = if args[bar + 1..].starts_with('|') {
+            ("", bar + 2)
+        } else {
+            match args[bar + 1..].find('|') {
+                Some(q) => (&args[bar + 1..bar + 1 + q], bar + 2 + q),
+                None => continue,
+            }
+        };
+        // Body extent: a brace block (matched via the scope map) or a
+        // bare expression running to the call's closing paren.
+        let body_abs = i + 1 + body_rel;
+        let mut k = body_abs;
+        while k < call_close && bytes[k].is_ascii_whitespace() {
+            k += 1;
+        }
+        let (body_start, body_end) = if bytes.get(k) == Some(&b'{') {
+            match scopes.close_of(k) {
+                Some(c) => (k + 1, c),
+                None => (k + 1, call_close),
+            }
+        } else {
+            (k, call_close)
+        };
+        let body = &flat[body_start..body_end];
+
+        let mut locals: BTreeSet<String> = BTreeSet::new();
+        for param in params.split(',') {
+            // Pattern idents before any `: Type` annotation.
+            let pat = param.split(':').next().unwrap_or("");
+            for word in pat.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_')) {
+                if !word.is_empty() && !matches!(word, "mut" | "ref") {
+                    locals.insert(word.to_string());
+                }
+            }
+        }
+        collect_bindings(body, &mut locals);
+        collect_closure_params(body, &mut locals);
+
+        for lhs_end in assignment_sites(body) {
+            let (path, root) = path_before(flat, body_start + lhs_end);
+            if root.is_empty()
+                || root == "self"
+                || root.chars().next().is_some_and(|c| c.is_ascii_digit())
+                || locals.contains(&root)
+                || path.contains("lock(")
+            {
+                continue;
+            }
+            let line = file.scrub.line_of(body_start + lhs_end);
+            if file.scrub.is_test_line(line) || justified(&file.scrub.lines, line - 1, "shared-ok")
+            {
+                continue;
+            }
+            out.push(Finding {
+                file: file.rel.clone(),
+                line,
+                lint: "L6",
+                severity: Severity::Error,
+                message: format!(
+                    "captured `{root}` is mutated inside a spawned closure; share it \
+                     through a guardcheck::sync atomic or lock (so the model checker \
+                     covers it), or justify with `// lint: shared-ok — <why>`"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// One hold-while-acquiring edge: lock `from` was (plausibly) held when
+/// lock `to` was acquired.
+struct LockEdge {
+    from: String,
+    to: String,
+    file: String,
+    /// Line of the `to` acquisition (the finding anchor).
+    line: usize,
+    /// Line of the `from` acquisition (context in the message).
+    held_line: usize,
+}
+
+/// Lock acquisitions of one function body, with liveness extents:
+/// `let g = x.lock()` guards live to the end of their enclosing scope
+/// (or an explicit `drop(g)`); bare `x.lock().f()` temporaries live to
+/// the end of their statement.
+fn lock_sites(
+    file: &SourceFile,
+    scopes: &ScopeMap,
+    body: (usize, usize),
+) -> Vec<(usize, String, usize, usize)> {
+    let flat = &file.scrub.flat;
+    let bytes = flat.as_bytes();
+    let (bo, bc) = body;
+    let mut sites = Vec::new();
+    let mut from = bo;
+    while let Some(p) = flat[from..bc].find(".lock()") {
+        let at = from + p;
+        from = at + ".lock()".len();
+        let line = file.scrub.line_of(at);
+        if file.scrub.is_test_line(line) {
+            continue;
+        }
+        let (path, root) = path_before(flat, at);
+        if root.is_empty() {
+            continue;
+        }
+        // Statement start: the last `;`/`{`/`}` before the receiver.
+        let recv_start = at - path.len();
+        let stmt_start = flat[bo..recv_start]
+            .rfind([';', '{', '}'])
+            .map_or(bo, |q| bo + q + 1);
+        let let_bound = find_token(&flat[stmt_start..recv_start], "let").is_some();
+        let live_until = if let_bound {
+            let scope_end = scopes.enclosing(at).map_or(bc, |(_, c)| c).min(bc);
+            // An explicit `drop(guard)` releases early.
+            let guard = flat[stmt_start..recv_start]
+                .split_whitespace()
+                .filter(|w| !matches!(*w, "let" | "mut"))
+                .find_map(|w| {
+                    let id: String =
+                        w.chars().take_while(|c| c.is_ascii_alphanumeric() || *c == '_').collect();
+                    (!id.is_empty()).then_some(id)
+                });
+            match guard.and_then(|g| {
+                let needle = format!("drop({g})");
+                flat[at..scope_end].find(&needle).map(|q| at + q)
+            }) {
+                Some(dropped) => dropped,
+                None => scope_end,
+            }
+        } else {
+            flat[at..bc]
+                .find(';')
+                .map_or_else(|| bc.min(bytes.len()), |q| at + q)
+        };
+        sites.push((at, path, live_until, line));
+    }
+    sites
+}
+
+/// L7: lock-ordering. Builds the hold-while-acquiring graph across the
+/// whole lint set (edges keyed by receiver path, `self.` stripped) and
+/// flags every acquisition participating in a cycle — the classic
+/// AB/BA deadlock recipe — plus re-acquisition of a lock already held
+/// (a self-deadlock with the non-reentrant `guardcheck::sync::Mutex`).
+/// `// lint: lockorder-ok — <why>` on the inner acquisition exempts it.
+pub fn l7(files: &[SourceFile]) -> Vec<Finding> {
+    let mut edges: Vec<LockEdge> = Vec::new();
+    let mut selfs: Vec<LockEdge> = Vec::new();
+    for f in files {
+        let flat = &f.scrub.flat;
+        let scopes = ScopeMap::build(flat);
+        for func in functions(flat, &scopes) {
+            let sites = lock_sites(f, &scopes, func.body);
+            for (i, (at, path, _until, line)) in sites.iter().enumerate() {
+                for (_pat, ppath, puntil, pline) in &sites[..i] {
+                    if puntil <= at {
+                        continue; // earlier guard already dead here
+                    }
+                    let edge = LockEdge {
+                        from: ppath.clone(),
+                        to: path.clone(),
+                        file: f.rel.clone(),
+                        line: *line,
+                        held_line: *pline,
+                    };
+                    if ppath == path {
+                        selfs.push(edge);
+                    } else {
+                        edges.push(edge);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+    }
+    let reaches = |start: &str, goal: &str| -> bool {
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if n == goal {
+                return true;
+            }
+            if seen.insert(n) {
+                if let Some(next) = adj.get(n) {
+                    stack.extend(next.iter().copied());
+                }
+            }
+        }
+        false
+    };
+
+    let mut out = Vec::new();
+    for e in &selfs {
+        let file = files.iter().find(|f| f.rel == e.file);
+        if file.is_some_and(|f| justified(&f.scrub.lines, e.line - 1, "lockorder-ok")) {
+            continue;
+        }
+        out.push(Finding {
+            file: e.file.clone(),
+            line: e.line,
+            lint: "L7",
+            severity: Severity::Error,
+            message: format!(
+                "lock `{}` re-acquired while the guard from line {} is still live — \
+                 self-deadlock with a non-reentrant mutex; drop the first guard, or \
+                 justify with `// lint: lockorder-ok — <why>`",
+                e.to, e.held_line
+            ),
+        });
+    }
+    for e in &edges {
+        if !reaches(&e.to, &e.from) {
+            continue;
+        }
+        let file = files.iter().find(|f| f.rel == e.file);
+        if file.is_some_and(|f| justified(&f.scrub.lines, e.line - 1, "lockorder-ok")) {
+            continue;
+        }
+        let witness = edges
+            .iter()
+            .find(|w| w.from == e.to && reaches(&w.to, &e.from))
+            .map(|w| format!(" (reverse path starts at {}:{})", w.file, w.line))
+            .unwrap_or_default();
+        out.push(Finding {
+            file: e.file.clone(),
+            line: e.line,
+            lint: "L7",
+            severity: Severity::Error,
+            message: format!(
+                "lock-order cycle: `{}` (held since line {}) → `{}` here, but the \
+                 reverse order also exists{witness}; pick one global order or justify \
+                 with `// lint: lockorder-ok — <why>`",
+                e.from, e.held_line, e.to
+            ),
+        });
+    }
+    out.sort_by(|a, b| (&a.file, a.line, &a.message).cmp(&(&b.file, b.line, &b.message)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
     out
 }
 
@@ -674,9 +1150,11 @@ pub fn run_all(files: &[SourceFile], corpus: &[SourceFile]) -> Vec<Finding> {
         out.extend(l1(f));
         out.extend(l2(f));
         out.extend(l3(f));
+        out.extend(l6(f));
     }
     out.extend(l4(files));
     out.extend(l5(files, corpus));
+    out.extend(l7(files));
     out
 }
 
@@ -905,6 +1383,120 @@ mod tests {
         );
         let findings = l5(std::slice::from_ref(&analytics), &[witness]);
         assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn l6_flags_captured_mutation_in_spawned_closure() {
+        let f = file(
+            "crates/runtime/src/worker.rs",
+            "fn f() { let mut shared = 0u64; std::thread::spawn(move || { shared += 1; }); }\n",
+        );
+        let found = l6(&f);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("`shared`"), "{}", found[0].message);
+    }
+
+    #[test]
+    fn l6_locals_locks_and_justifications_are_clean() {
+        let local = file(
+            "crates/runtime/src/worker.rs",
+            "fn f() { std::thread::spawn(move || { let mut n = 0; n += 1; }); }\n",
+        );
+        assert!(l6(&local).is_empty(), "{:?}", l6(&local));
+        let locked = file(
+            "crates/runtime/src/worker.rs",
+            "fn f() { std::thread::spawn(move || { *snap.lock() = fresh(); }); }\n",
+        );
+        assert!(l6(&locked).is_empty(), "{:?}", l6(&locked));
+        let just = file(
+            "crates/runtime/src/worker.rs",
+            "fn f() { std::thread::spawn(move || {\n    total += 1; // lint: shared-ok — moved accumulator, returned via join\n}); }\n",
+        );
+        assert!(l6(&just).is_empty(), "{:?}", l6(&just));
+    }
+
+    #[test]
+    fn l6_skips_definitions_and_non_closure_spawn_calls() {
+        let f = file(
+            "crates/runtime/src/worker.rs",
+            "pub fn spawn(x: u8) { total = x; }\nfn g() { GuardServer::spawn(addr, seed); }\n",
+        );
+        assert!(l6(&f).is_empty(), "{:?}", l6(&f));
+    }
+
+    #[test]
+    fn l6_closure_params_and_for_bindings_are_local() {
+        let f = file(
+            "crates/runtime/src/worker.rs",
+            "fn f() { pool.spawn(move |mut acc: u64| { for x in 0..3 { acc += x; } acc }); }\n",
+        );
+        assert!(l6(&f).is_empty(), "{:?}", l6(&f));
+    }
+
+    #[test]
+    fn l6_nested_closure_params_are_local() {
+        // `CURRENT.with(|c| *c.borrow_mut() = …)` inside a spawn: `c` is a
+        // nested-closure parameter, not a capture.
+        let f = file(
+            "crates/runtime/src/worker.rs",
+            "fn f() { std::thread::spawn(move || { CURRENT.with(|c| *c.borrow_mut() = Some(1)); }); }\n",
+        );
+        assert!(l6(&f).is_empty(), "{:?}", l6(&f));
+    }
+
+    #[test]
+    fn l7_detects_ab_ba_cycle_across_functions() {
+        let f = file(
+            "crates/core/src/shards.rs",
+            "fn a(&self) { let g = self.m1.lock(); self.m2.lock().poke(); }\n\
+             fn b(&self) { let g = self.m2.lock(); self.m1.lock().poke(); }\n",
+        );
+        let found = l7(std::slice::from_ref(&f));
+        assert_eq!(found.len(), 2, "both directions flagged: {found:?}");
+        assert!(found[0].message.contains("m1") && found[0].message.contains("m2"));
+        assert!(found.iter().any(|x| x.message.contains("reverse path starts at")));
+    }
+
+    #[test]
+    fn l7_temporary_guards_make_no_edges() {
+        let f = file(
+            "crates/core/src/shards.rs",
+            "fn a(&self) { self.m1.lock().poke(); self.m2.lock().poke(); }\n\
+             fn b(&self) { self.m2.lock().poke(); self.m1.lock().poke(); }\n",
+        );
+        assert!(l7(std::slice::from_ref(&f)).is_empty(), "{:?}", l7(std::slice::from_ref(&f)));
+    }
+
+    #[test]
+    fn l7_self_double_lock_flagged_and_drop_releases() {
+        let double = file(
+            "crates/core/src/shards.rs",
+            "fn a(&self) { let g = self.m.lock(); self.m.lock().poke(); }\n",
+        );
+        let found = l7(std::slice::from_ref(&double));
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].message.contains("self-deadlock"), "{}", found[0].message);
+        let dropped = file(
+            "crates/core/src/shards.rs",
+            "fn a(&self) { let g = self.m.lock(); drop(g); self.m.lock().poke(); }\n",
+        );
+        assert!(l7(std::slice::from_ref(&dropped)).is_empty());
+    }
+
+    #[test]
+    fn l7_consistent_order_is_clean_and_justification_respected() {
+        let consistent = file(
+            "crates/core/src/shards.rs",
+            "fn a(&self) { let g = self.m1.lock(); self.m2.lock().poke(); }\n\
+             fn b(&self) { let g = self.m1.lock(); self.m2.lock().poke(); }\n",
+        );
+        assert!(l7(std::slice::from_ref(&consistent)).is_empty());
+        let justified = file(
+            "crates/core/src/shards.rs",
+            "fn a(&self) { let g = self.m1.lock(); self.m2.lock().poke(); } // lint: lockorder-ok — m2 is a leaf lock\n\
+             fn b(&self) { let g = self.m2.lock(); self.m1.lock().poke(); } // lint: lockorder-ok — never concurrent with a()\n",
+        );
+        assert!(l7(std::slice::from_ref(&justified)).is_empty());
     }
 
     #[test]

@@ -9,20 +9,25 @@ use std::process::exit;
 const USAGE: &str = "\
 guardlint — workspace-native static analysis for the DNS-guard repo
 
-USAGE: guardlint [--root <dir>] [--allowlist <Lint.toml>] [--json] [--deny]
+USAGE: guardlint [--root <dir>] [--allowlist <Lint.toml>] [--json] [--github] [--deny]
 
   --root <dir>        workspace root (default: current directory)
   --allowlist <file>  allowlist path (default: <root>/Lint.toml)
   --json              emit findings as a JSON array on stdout
-  --deny              exit non-zero when any error-severity finding remains
+  --github            emit findings as GitHub Actions ::error/::warning
+                      annotations (for PR-line placement in CI)
+  --deny              exit non-zero when any error-severity finding
+                      remains; stale allowlist entries become errors
 
 Lint families: L1 no-panic-on-wire-input, L2 determinism, L3 relaxed-
-ordering justification, L4 metric-name cross-check, L5 trace coverage.";
+ordering justification, L4 metric-name cross-check, L5 trace coverage,
+L6 shared-state escape, L7 lock-ordering cycles.";
 
 fn main() {
     let mut root = PathBuf::from(".");
     let mut allowlist: Option<PathBuf> = None;
     let mut json = false;
+    let mut github = false;
     let mut deny = false;
 
     let mut args = std::env::args().skip(1);
@@ -37,6 +42,7 @@ fn main() {
                 None => usage_error("--allowlist needs a value"),
             },
             "--json" => json = true,
+            "--github" => github = true,
             "--deny" => deny = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -47,7 +53,7 @@ fn main() {
     }
 
     let allowlist = allowlist.unwrap_or_else(|| root.join("Lint.toml"));
-    let result = match guardlint::run(&root, &allowlist) {
+    let result = match guardlint::run(&root, &allowlist, deny) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("guardlint: {}: {e}", root.display());
@@ -59,7 +65,7 @@ fn main() {
         print!("{}", to_json(&result.findings));
     } else {
         for f in &result.findings {
-            println!("{}", f.render());
+            println!("{}", if github { f.render_github() } else { f.render() });
         }
     }
     let (errors, warnings) = (result.errors(), result.warnings());

@@ -1,0 +1,181 @@
+//! Brace-aware scope tracking over the scrubbed flat stream.
+//!
+//! The per-line token families (L1–L3) never need structure, but the
+//! concurrency families do: L6 must know where a spawned closure's body
+//! ends, and L7 must know which function a lock acquisition belongs to
+//! and how long a `let`-bound guard lives. [`ScopeMap`] matches every
+//! brace pair in a [`crate::lexer::Scrubbed::flat`] stream — strings,
+//! chars and comments are already gone from that view, so every brace
+//! it sees is a real delimiter — and [`functions`] lists the `fn` items
+//! with their body extents.
+
+/// Matched `{`/`}` pairs of one flat stream, addressed by byte offset.
+#[derive(Debug, Default)]
+pub struct ScopeMap {
+    /// `(open, close)` byte offsets, sorted by `open`.
+    pairs: Vec<(usize, usize)>,
+}
+
+impl ScopeMap {
+    /// Matches every brace pair in `flat`. Unbalanced braces (truncated
+    /// input) simply produce no pair, never a panic.
+    pub fn build(flat: &str) -> ScopeMap {
+        let mut pairs = Vec::new();
+        let mut stack: Vec<usize> = Vec::new();
+        for (i, b) in flat.bytes().enumerate() {
+            match b {
+                b'{' => stack.push(i),
+                b'}' => {
+                    if let Some(open) = stack.pop() {
+                        pairs.push((open, i));
+                    }
+                }
+                _ => {}
+            }
+        }
+        pairs.sort_unstable();
+        ScopeMap { pairs }
+    }
+
+    /// The matching `}` offset of the `{` at `open`.
+    pub fn close_of(&self, open: usize) -> Option<usize> {
+        self.pairs
+            .binary_search_by_key(&open, |p| p.0)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// The innermost brace pair strictly containing `offset`.
+    pub fn enclosing(&self, offset: usize) -> Option<(usize, usize)> {
+        self.pairs
+            .iter()
+            .filter(|&&(o, c)| o < offset && offset < c)
+            .min_by_key(|&&(o, c)| c - o)
+            .copied()
+    }
+}
+
+/// One `fn` item with a brace body.
+#[derive(Debug)]
+pub struct FnSpan {
+    /// The function's name (empty only for pathological input).
+    pub name: String,
+    /// Byte offset of the `fn` keyword in the flat stream.
+    pub decl: usize,
+    /// `(open, close)` byte offsets of the body braces.
+    pub body: (usize, usize),
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// All `fn` items with bodies — free functions, methods, nested fns,
+/// test fns. Bodyless trait declarations (`fn f(…);`) and `fn`-pointer
+/// type positions are skipped. Closures are *not* listed; their extents
+/// belong to the enclosing function.
+pub fn functions(flat: &str, scopes: &ScopeMap) -> Vec<FnSpan> {
+    let bytes = flat.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while let Some(p) = flat[i..].find("fn") {
+        let at = i + p;
+        i = at + 2;
+        let pre_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let post_ok = !bytes.get(at + 2).copied().is_some_and(is_ident_byte);
+        if !pre_ok || !post_ok {
+            continue;
+        }
+        // Name: the identifier after the keyword (absent for `fn(` types).
+        let mut j = at + 2;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        let name_start = j;
+        while j < bytes.len() && is_ident_byte(bytes[j]) {
+            j += 1;
+        }
+        if j == name_start {
+            continue; // `fn(` pointer type, not an item
+        }
+        let name = flat[name_start..j].to_string();
+        // Scan to the body `{` at paren depth 0; `;` or `=` first means a
+        // bodyless declaration (trait method, `type F = fn()` alias).
+        let mut depth = 0i32;
+        let mut open = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    open = Some(j);
+                    break;
+                }
+                b';' | b'=' if depth == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let Some(close) = scopes.close_of(open) else { continue };
+        out.push(FnSpan { name, decl: at, body: (open, close) });
+        // Continue *inside* the body so nested fns are found too.
+        i = open + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    #[test]
+    fn braces_match_and_nest() {
+        let s = scrub("fn a() { if x { y(); } }");
+        let m = ScopeMap::build(&s.flat);
+        let outer = s.flat.find('{').expect("outer open");
+        let close = m.close_of(outer).expect("outer close");
+        assert_eq!(&s.flat[close..=close], "}");
+        assert_eq!(close, s.flat.rfind('}').expect("last brace"));
+        let inner_open = s.flat[outer + 1..].find('{').map(|p| outer + 1 + p).expect("inner");
+        let (eo, ec) = m.enclosing(inner_open + 1).expect("enclosing pair");
+        assert_eq!(eo, inner_open);
+        assert!(ec < close);
+    }
+
+    #[test]
+    fn braces_inside_strings_are_invisible() {
+        let s = scrub("fn a() { let x = \"}{\"; }");
+        let m = ScopeMap::build(&s.flat);
+        let open = s.flat.find('{').expect("open");
+        assert_eq!(m.close_of(open), Some(s.flat.rfind('}').expect("close")));
+    }
+
+    #[test]
+    fn functions_found_with_bodies() {
+        let src = "fn a() { inner(); }\ntrait T { fn decl(&self); }\nimpl S { fn b(&self) -> u8 { 0 } }\n";
+        let s = scrub(src);
+        let m = ScopeMap::build(&s.flat);
+        let fns = functions(&s.flat, &m);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"], "bodyless trait decl skipped: {names:?}");
+    }
+
+    #[test]
+    fn nested_fn_and_fn_pointer_type() {
+        let src = "fn outer() { fn inner() {} let f: fn() = inner; }\n";
+        let s = scrub(src);
+        let m = ScopeMap::build(&s.flat);
+        let names: Vec<String> = functions(&s.flat, &m).into_iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["outer".to_string(), "inner".to_string()]);
+    }
+
+    #[test]
+    fn unbalanced_input_never_panics() {
+        let s = scrub("fn a() { { { \n");
+        let m = ScopeMap::build(&s.flat);
+        assert!(functions(&s.flat, &m).is_empty());
+        assert!(m.enclosing(3).is_none());
+    }
+}

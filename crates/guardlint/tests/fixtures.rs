@@ -86,6 +86,29 @@ fn l2_flags_clocks_and_ambient_rng_in_sim_crates() {
 }
 
 #[test]
+fn l6_flags_known_bad_escapes() {
+    let f = fixture("bad_escape.rs.txt", "crates/runtime/src/bad_escape.rs");
+    let found = lints::l6(&f);
+    let at = lines(&found);
+    assert!(at.contains(&7), "plain captured mutation must be flagged: {at:?}");
+    assert!(at.contains(&13), "compound captured mutation must be flagged: {at:?}");
+    assert_eq!(found.len(), 2, "locals, lock-guarded, justified and test code are exempt: {found:?}");
+}
+
+#[test]
+fn l7_flags_known_bad_lock_orders() {
+    let f = fixture("bad_lockorder.rs.txt", "crates/core/src/bad_lockorder.rs");
+    let found = lints::l7(std::slice::from_ref(&f));
+    let at = lines(&found);
+    assert!(at.contains(&6) || at.contains(&12), "one side of the AB/BA cycle: {at:?}");
+    assert!(
+        found.iter().any(|x| x.message.contains("self-deadlock")),
+        "double-lock must be flagged: {found:?}"
+    );
+    assert_eq!(found.len(), 3, "temporaries and dropped guards are exempt: {found:?}");
+}
+
+#[test]
 fn l3_requires_justification_outside_obs_record_path() {
     let f = fixture("bad_ordering.rs.txt", "crates/runtime/src/flags.rs");
     let found = lints::l3(&f);

@@ -8,8 +8,7 @@
 //! observer attaches. The record path is a single relaxed atomic operation:
 //! no locks, no allocation, no branch on registration state.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use guardcheck::sync::{AtomicU64, Mutex, Ordering};
 use std::sync::Arc;
 
 /// Number of log₂ buckets in a [`Histogram`]: one per power of two, which

@@ -12,11 +12,10 @@
 //! disabled cost is a branch, not an allocation or a lock.
 
 use crate::metrics::{Counter, Gauge, Registry};
-use parking_lot::Mutex;
+use guardcheck::sync::{AtomicU8, Mutex, Ordering};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
 /// Maximum number of fields carried by one [`Event`]; extras are truncated.

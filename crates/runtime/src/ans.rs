@@ -6,7 +6,8 @@ use parking_lot::Mutex;
 use server::authoritative::Authority;
 use std::io;
 use std::net::{SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use crate::stopflag::StopFlag;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -37,7 +38,7 @@ pub struct AnsCounters {
 /// ```
 pub struct ToyAns {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: StopFlag,
     counters: Arc<AnsCounters>,
     handle: Option<JoinHandle<()>>,
 }
@@ -49,7 +50,7 @@ impl ToyAns {
         let sock = UdpSocket::bind("127.0.0.1:0")?;
         sock.set_read_timeout(Some(Duration::from_millis(50)))?;
         let addr = sock.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = StopFlag::new();
         let counters = Arc::new(AnsCounters::default());
         let authority = Arc::new(Mutex::new(authority));
 
@@ -57,7 +58,7 @@ impl ToyAns {
         let t_counters = counters.clone();
         let handle = std::thread::spawn(move || {
             let mut buf = [0u8; 2048];
-            while !t_stop.load(Ordering::Acquire) {
+            while !t_stop.should_stop() {
                 let (len, peer) = match sock.recv_from(&mut buf) {
                     Ok(x) => x,
                     Err(e)
@@ -110,7 +111,7 @@ impl ToyAns {
 
     /// Stops the server thread and waits for it.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -119,7 +120,7 @@ impl ToyAns {
 
 impl Drop for ToyAns {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

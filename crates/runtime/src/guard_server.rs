@@ -20,7 +20,7 @@ use obs::trace::{ComponentTracer, Value};
 use parking_lot::Mutex;
 use std::io;
 use std::net::{IpAddr, SocketAddr, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::stopflag::StopFlag;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -46,7 +46,7 @@ pub struct GuardCounters {
 /// makes sense when every loopback client shares the address 127.0.0.1.
 pub struct GuardServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: StopFlag,
     counters: Arc<GuardCounters>,
     handle: Option<JoinHandle<()>>,
 }
@@ -83,7 +83,7 @@ impl GuardServer {
         let upstream = UdpSocket::bind("127.0.0.1:0")?;
         upstream.set_read_timeout(Some(Duration::from_millis(500)))?;
 
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = StopFlag::new();
         let counters = Arc::new(GuardCounters::default());
         let factory = Arc::new(Mutex::new(CookieFactory::from_seed(key_seed)));
         let rl1 = Arc::new(Mutex::new(SourceRateLimiter::new(10_000.0, 1_000.0)));
@@ -97,7 +97,7 @@ impl GuardServer {
             // every decision event so offline assembly can stitch the
             // grant → verify → forward → relay chain.
             let mut next_qid: u64 = 1;
-            while !t_stop.load(Ordering::Acquire) {
+            while !t_stop.should_stop() {
                 let (len, peer) = match sock.recv_from(&mut buf) {
                     Ok(x) => x,
                     Err(e)
@@ -268,7 +268,7 @@ impl GuardServer {
 
     /// Stops the guard thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -277,7 +277,7 @@ impl GuardServer {
 
 impl Drop for GuardServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

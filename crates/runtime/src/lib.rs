@@ -28,6 +28,7 @@ pub mod ans;
 pub mod client;
 pub mod fleet_collector;
 pub mod guard_server;
+pub mod stopflag;
 pub mod tcp_front;
 pub mod telemetry;
 

@@ -12,8 +12,7 @@ use dnswire::message::Message;
 use obs::metrics::Counter;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use crate::stopflag::StopFlag;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -38,7 +37,7 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> io::Result<()> {
 /// A live TCP→UDP DNS proxy on a background thread.
 pub struct TcpFront {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: StopFlag,
     relayed: Counter,
     handle: Option<JoinHandle<()>>,
 }
@@ -50,13 +49,13 @@ impl TcpFront {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = StopFlag::new();
         let relayed = Counter::new();
 
         let t_stop = stop.clone();
         let t_relayed = relayed.clone();
         let handle = std::thread::spawn(move || {
-            while !t_stop.load(Ordering::Acquire) {
+            while !t_stop.should_stop() {
                 let (mut stream, _peer) = match listener.accept() {
                     Ok(x) => x,
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -119,7 +118,7 @@ impl TcpFront {
 
     /// Stops the proxy thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -128,7 +127,7 @@ impl TcpFront {
 
 impl Drop for TcpFront {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

@@ -30,7 +30,7 @@ use obs::export::{event_json, metrics_json};
 use obs::Obs;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::stopflag::StopFlag;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -50,7 +50,7 @@ pub type AnalyticsProvider = Arc<dyn Fn() -> String + Send + Sync>;
 /// A live telemetry endpoint on a background thread.
 pub struct TelemetryServer {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
+    stop: StopFlag,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -78,14 +78,14 @@ impl TelemetryServer {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
+        let stop = StopFlag::new();
 
         let t_stop = stop.clone();
         let t_obs = obs.clone();
         let started = Instant::now();
         let handle = std::thread::spawn(move || {
             let mut next_eval = started + eval_every;
-            while !t_stop.load(Ordering::Acquire) {
+            while !t_stop.should_stop() {
                 if Instant::now() >= next_eval {
                     let t = started.elapsed().as_nanos() as u64;
                     let samples = t_obs.registry.snapshot();
@@ -120,7 +120,7 @@ impl TelemetryServer {
 
     /// Stops the endpoint thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -129,7 +129,7 @@ impl TelemetryServer {
 
 impl Drop for TelemetryServer {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        self.stop.stop();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
